@@ -1,0 +1,497 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's per-experiment index), plus Bechamel
+   micro-benchmarks of the substrates.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe -- fig8     # a single experiment
+   Experiments: fig5 fig7 fig8 fig9 fig10 fig11 fig12 table1 perf
+
+   Reported times are *simulated* seconds (LLM latency + verification runs on
+   the simulated clock); rates are measured by actually running each repaired
+   program. EXPERIMENTS.md records the paper-vs-measured comparison. *)
+
+let seeds = [ 1; 2; 3 ]
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* -- aggregation ----------------------------------------------------- *)
+
+type rates = { pass : float; exec : float; mean_seconds : float; n : int }
+
+let rates_of (reports : Rustbrain.Report.t list) =
+  {
+    pass = Statkit.Stats.proportion (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.passed) reports;
+    exec = Statkit.Stats.proportion (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.semantic) reports;
+    mean_seconds =
+      Statkit.Stats.mean (List.map (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.seconds) reports);
+    n = List.length reports;
+  }
+
+let rustbrain_cfg ?(kb = true) ?(feedback = true) ?(model = Llm_sim.Profile.Gpt4)
+    ?(temperature = 0.5) ?(rollback = Rustbrain.Slow_think.Adaptive) ~seed () =
+  { Rustbrain.Pipeline.default_config with
+    Rustbrain.Pipeline.model; temperature; use_kb = kb; use_feedback = feedback;
+    rollback; seed }
+
+let run_rustbrain ?kb ?feedback ?model ?temperature ?rollback cases =
+  List.concat_map
+    (fun seed ->
+      Rustbrain.Pipeline.run_campaign
+        (rustbrain_cfg ?kb ?feedback ?model ?temperature ?rollback ~seed ())
+        cases)
+    seeds
+
+let run_alone ?(model = Llm_sim.Profile.Gpt4) cases =
+  List.concat_map
+    (fun seed ->
+      Baselines.Llm_only.run_campaign
+        { Baselines.Llm_only.default_config with Baselines.Llm_only.model; seed }
+        cases)
+    seeds
+
+let run_rust_assistant cases =
+  List.concat_map
+    (fun seed ->
+      Baselines.Rust_assistant.run_campaign
+        { Baselines.Rust_assistant.default_config with Baselines.Rust_assistant.seed }
+        cases)
+    seeds
+
+(* -- Fig. 7 (RQ1, flexibility) --------------------------------------- *)
+
+(* Ten solution groups over one semantic-modification UB, mirroring the
+   paper's figure: agent orders differ, the knowledge base is toggled, group
+   3 stands for the generic fixed-framework plan. *)
+let fig7 () =
+  section "Fig. 7 — RQ1 flexibility: ten solutions for one semantic-modification UB";
+  let case = Option.get (Dataset.Corpus.find "va_partial_init") in
+  let open Rustbrain in
+  let fix c = Solution.Fix c in
+  let groups =
+    [ (1, "modify-only", [ fix Ub_class.C_modify; fix Ub_class.C_modify ], false);
+      (2, "modify-then-assert", [ fix Ub_class.C_modify; fix Ub_class.C_assert ], false);
+      (3, "generic fixed plan", [ fix Ub_class.C_replace; fix Ub_class.C_assert; fix Ub_class.C_modify;
+                                  fix Ub_class.C_replace; fix Ub_class.C_assert ], false);
+      (4, "assert-first", [ fix Ub_class.C_assert; fix Ub_class.C_modify ], false);
+      (5, "abstract+modify (KB)", [ Solution.Abstract; fix Ub_class.C_modify ], true);
+      (6, "abstract+sweep (KB)", [ Solution.Abstract; fix Ub_class.C_modify; fix Ub_class.C_replace ], true);
+      (7, "replace-only", [ fix Ub_class.C_replace; fix Ub_class.C_replace ], false);
+      (8, "deep modify (KB)", [ Solution.Abstract; fix Ub_class.C_modify; fix Ub_class.C_modify;
+                                fix Ub_class.C_modify ], true);
+      (9, "modify+abstract late (KB)", [ fix Ub_class.C_modify; Solution.Abstract; fix Ub_class.C_modify ], true);
+      (10, "assert-only", [ fix Ub_class.C_assert; fix Ub_class.C_assert ], false) ]
+  in
+  let rows =
+    List.map
+      (fun (idx, name, steps, kb) ->
+        let cfg = rustbrain_cfg ~kb ~feedback:false ~seed:1 () in
+        let session = Pipeline.create_session cfg in
+        let solution = { Solution.sname = name; steps; origin = "fig7" } in
+        let r = Pipeline.repair_with_solution session case solution in
+        [ string_of_int idx; name; (if kb then "yes" else "no");
+          (if r.Report.passed then "pass" else "-");
+          (if r.Report.semantic then "exec" else "-");
+          Statkit.Table.secs r.Report.seconds;
+          string_of_int r.Report.iterations ])
+      groups
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "group"; "solution"; "KB"; "pass"; "exec"; "time(s)"; "iters" ]
+       rows);
+  Printf.printf
+    "\n(paper: diverse solutions exist for the same UB; KB helps but costs 2-4x\n\
+     overhead; the generic fixed plan wastes steps; some groups pass without\n\
+     semantic acceptability)\n"
+
+(* -- Figs. 8 & 9 (RQ2, accuracy) ------------------------------------- *)
+
+let fig89 () =
+  section "Figs. 8 & 9 — RQ2 accuracy: pass / exec rates by model and configuration";
+  let cases = Dataset.Corpus.all in
+  let cells =
+    [ ("GPT-3.5 alone", run_alone ~model:Llm_sim.Profile.Gpt35 cases);
+      ("GPT-3.5 + RustBrain", run_rustbrain ~model:Llm_sim.Profile.Gpt35 ~kb:false ~feedback:false cases);
+      ("GPT-3.5 + RustBrain + KB", run_rustbrain ~model:Llm_sim.Profile.Gpt35 cases);
+      ("GPT-4 alone", run_alone ~model:Llm_sim.Profile.Gpt4 cases);
+      ("GPT-4 + RustBrain", run_rustbrain ~model:Llm_sim.Profile.Gpt4 ~kb:false ~feedback:false cases);
+      ("GPT-4 + RustBrain + KB", run_rustbrain ~model:Llm_sim.Profile.Gpt4 cases);
+      ("Claude-3.5 alone", run_alone ~model:Llm_sim.Profile.Claude35 cases);
+      ("Claude-3.5 + RustBrain", run_rustbrain ~model:Llm_sim.Profile.Claude35 ~kb:false ~feedback:false cases);
+      ("Claude-3.5 + RustBrain + KB", run_rustbrain ~model:Llm_sim.Profile.Claude35 cases) ]
+  in
+  let rows =
+    List.map
+      (fun (name, reports) ->
+        let r = rates_of reports in
+        [ name; Statkit.Table.pct r.pass; Statkit.Table.pct r.exec; string_of_int r.n ])
+      cells
+  in
+  print_string
+    (Statkit.Table.render ~header:[ "configuration"; "pass (Fig.8)"; "exec (Fig.9)"; "runs" ] rows);
+  Printf.printf
+    "\n(paper: GPT-4+RustBrain+KB averages 94.3%% pass / 80.4%% exec; RustBrain\n\
+     lifts every model 17-35 points; GPT-3.5+RustBrain reaches GPT-4-alone level)\n"
+
+(* -- Fig. 10 (GPT-O1 comparison) ------------------------------------- *)
+
+let fig10 () =
+  section "Fig. 10 — GPT-O1 alone vs RustBrain on a category subset";
+  let subset_kinds =
+    [ Miri.Diag.Validity; Miri.Diag.Alloc; Miri.Diag.Func_pointer; Miri.Diag.Panic_bug;
+      Miri.Diag.Dangling_pointer ]
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let cases = Dataset.Corpus.by_category kind in
+        let o1 = rates_of (run_alone ~model:Llm_sim.Profile.Gpt_o1 cases) in
+        let rb = rates_of (run_rustbrain cases) in
+        [ Miri.Diag.kind_name kind;
+          Statkit.Table.pct o1.pass; Statkit.Table.pct o1.exec;
+          Statkit.Table.pct rb.pass; Statkit.Table.pct rb.exec ])
+      subset_kinds
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "category"; "O1 pass"; "O1 exec"; "RustBrain pass"; "RustBrain exec" ]
+       rows);
+  (* the paper restricts O1 to a subset "due to O1's high cost": estimate the
+     metered cost per repaired case for each standalone model *)
+  let subset_cases = List.concat_map Dataset.Corpus.by_category subset_kinds in
+  let cost_per_case model =
+    let session =
+      Baselines.Llm_only.create_session
+        { Baselines.Llm_only.default_config with Baselines.Llm_only.model }
+    in
+    List.iter (fun c -> ignore (Baselines.Llm_only.repair session c)) subset_cases;
+    Baselines.Llm_only.cost_usd session /. float_of_int (List.length subset_cases)
+  in
+  Printf.printf "\nestimated metered cost per standalone repair attempt:\n";
+  List.iter
+    (fun model ->
+      Printf.printf "  %-12s $%.4f\n" (Llm_sim.Profile.name model) (cost_per_case model))
+    Llm_sim.Profile.all;
+  Printf.printf
+    "(paper: despite O1's reasoning, RustBrain beats it, most visibly on the\n\
+     uncommon panic category — +35.6%% exec there; O1 runs a subset only\n\
+     because of its cost, which the estimate above reproduces)\n"
+
+(* -- Fig. 11 (RQ3, temperature sensitivity) --------------------------- *)
+
+let fig11 () =
+  section "Fig. 11 — RQ3 sensitivity: temperature sweep with 95% Wilson CIs";
+  let cases = Dataset.Corpus.all in
+  let temps = [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  let rows =
+    List.map
+      (fun temperature ->
+        let reports = run_rustbrain ~temperature cases in
+        let n = List.length reports in
+        let passes = List.length (List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.passed) reports) in
+        let execs = List.length (List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.semantic) reports) in
+        [ Printf.sprintf "%.1f" temperature;
+          Statkit.Table.pct (float_of_int passes /. float_of_int n);
+          Statkit.Table.ci (Statkit.Stats.wilson_ci ~successes:passes n);
+          Statkit.Table.pct (float_of_int execs /. float_of_int n);
+          Statkit.Table.ci (Statkit.Stats.wilson_ci ~successes:execs n) ])
+      temps
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "temperature"; "pass"; "pass 95% CI"; "exec"; "exec 95% CI" ]
+       rows);
+  Printf.printf
+    "\n(paper: pass/exec peak around temperature 0.5; higher temperatures trade\n\
+     semantic integrity for flexibility, lower ones lose repair diversity)\n"
+
+(* -- Fig. 12 (RQ4 vs RustAssistant) ----------------------------------- *)
+
+let fig12 () =
+  section "Fig. 12 — RQ4: RustBrain vs the fixed-pipeline RustAssistant";
+  let cases = Dataset.Corpus.all in
+  let rb = rates_of (run_rustbrain cases) in
+  let ra = rates_of (run_rust_assistant cases) in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "system"; "pass"; "exec" ]
+       [ [ "RustAssistant (fixed pipeline)"; Statkit.Table.pct ra.pass; Statkit.Table.pct ra.exec ];
+         [ "RustBrain"; Statkit.Table.pct rb.pass; Statkit.Table.pct rb.exec ];
+         [ "delta";
+           Printf.sprintf "+%.1f pts" (100.0 *. (rb.pass -. ra.pass));
+           Printf.sprintf "+%.1f pts" (100.0 *. (rb.exec -. ra.exec)) ] ]);
+  Printf.printf "\n(paper: RustBrain +33 pass points, +41 exec points over RustAssistant)\n"
+
+(* -- Table I (RQ4 vs human experts) ----------------------------------- *)
+
+let table1 () =
+  section "Table I — repair time per category: RustBrain (no KB / KB) vs human";
+  let mean_time (reports : Rustbrain.Report.t list) kind =
+    let xs =
+      List.filter_map
+        (fun (r : Rustbrain.Report.t) ->
+          if r.Rustbrain.Report.category = kind then Some r.Rustbrain.Report.seconds else None)
+        reports
+    in
+    Statkit.Stats.mean xs
+  in
+  let cases = Dataset.Corpus.all in
+  let no_kb = run_rustbrain ~kb:false ~feedback:false cases in
+  let with_kb = run_rustbrain ~kb:true ~feedback:false cases in
+  let with_fb = run_rustbrain ~kb:true ~feedback:true cases in
+  let human =
+    List.concat_map
+      (fun seed ->
+        Baselines.Human_expert.run_campaign
+          { Baselines.Human_expert.default_config with Baselines.Human_expert.seed }
+          cases)
+      seeds
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let t_nokb = mean_time no_kb kind in
+        let t_kb = mean_time with_kb kind in
+        let t_fb = mean_time with_fb kind in
+        let t_h = mean_time human kind in
+        [ Miri.Diag.kind_name kind;
+          Statkit.Table.secs t_nokb; Statkit.Table.secs t_kb; Statkit.Table.secs t_fb;
+          Statkit.Table.secs t_h;
+          Printf.sprintf "%.1fx" (t_h /. max 0.001 t_nokb) ])
+      Dataset.Corpus.categories
+  in
+  let avg sel = Statkit.Stats.mean (List.map (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.seconds) sel) in
+  let totals =
+    [ "Average"; Statkit.Table.secs (avg no_kb); Statkit.Table.secs (avg with_kb);
+      Statkit.Table.secs (avg with_fb); Statkit.Table.secs (avg human);
+      Printf.sprintf "%.1fx" (avg human /. max 0.001 (avg no_kb)) ]
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "type"; "no_knowledge"; "knowledge"; "knowledge+feedback"; "human"; "speedup" ]
+       (rows @ [ totals ]));
+  let fb_hits = List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.feedback_hit) with_fb in
+  let fb_misses = List.filter (fun (r : Rustbrain.Report.t) -> not r.Rustbrain.Report.feedback_hit) with_fb in
+  Printf.printf
+    "\nfeedback shortcut (the paper's red sections): %d repairs recalled a similar\n\
+     error and averaged %.1fs vs %.1fs without a recall\n"
+    (List.length fb_hits) (avg fb_hits) (avg fb_misses);
+  Printf.printf
+    "(paper: 62.6s no-KB / 84.9s KB / 442s human, average speedup 7.4x; func.\n\
+     calls show the largest gap, dangling pointers the smallest)\n"
+
+(* -- Fig. 5 (rollback ablation) ---------------------------------------- *)
+
+let fig5 () =
+  section "Fig. 5 — error sequences with and without adaptive rollback";
+  (* A hallucination stress-test, as in the paper's analysis: a weak model at
+     a very hot temperature runs a long modify-heavy plan, so corrupted edits
+     pile errors onto the program; the rollback policies then differ in how
+     much of the accumulated damage survives. *)
+  let policies =
+    [ ("no rollback", Rustbrain.Slow_think.No_rollback);
+      ("rollback to initial", Rustbrain.Slow_think.To_initial);
+      ("adaptive rollback", Rustbrain.Slow_think.Adaptive) ]
+  in
+  let cases = List.filteri (fun i _ -> i mod 3 = 0) Dataset.Corpus.all in
+  let plan =
+    { Rustbrain.Solution.sname = "stress"; origin = "fig5";
+      steps =
+        [ Rustbrain.Solution.Fix Rustbrain.Ub_class.C_modify;
+          Rustbrain.Solution.Fix Rustbrain.Ub_class.C_modify;
+          Rustbrain.Solution.Fix Rustbrain.Ub_class.C_assert ] }
+  in
+  let run_policy rollback =
+    List.concat_map
+      (fun seed ->
+        let session =
+          Rustbrain.Pipeline.create_session
+            { (rustbrain_cfg ~model:Llm_sim.Profile.Gpt35 ~temperature:1.3 ~kb:false
+                 ~feedback:false ~rollback ~seed ())
+              with Rustbrain.Pipeline.max_iters = 10 }
+        in
+        List.map
+          (fun case -> Rustbrain.Pipeline.repair_with_solution session case plan)
+          cases)
+      seeds
+  in
+  let all_runs = List.map (fun (name, p) -> (name, run_policy p)) policies in
+  let rows =
+    List.map
+      (fun (name, reports) ->
+        let r = rates_of reports in
+        let max_n =
+          Statkit.Stats.mean
+            (List.map
+               (fun (rep : Rustbrain.Report.t) ->
+                 float_of_int (List.fold_left max 0 rep.Rustbrain.Report.n_sequence))
+               reports)
+        in
+        let rollbacks =
+          List.fold_left (fun acc (rep : Rustbrain.Report.t) -> acc + rep.Rustbrain.Report.rollbacks) 0 reports
+        in
+        [ name; Statkit.Table.pct r.pass; Statkit.Table.pct r.exec;
+          Printf.sprintf "%.1f" max_n; string_of_int rollbacks;
+          Statkit.Table.secs r.mean_seconds ])
+      all_runs
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "policy"; "pass"; "exec"; "mean peak errors"; "rollbacks"; "time(s)" ]
+       rows);
+  (* concrete fluctuating error sequences, as in the figure *)
+  print_endline "\nexample N sequences (no rollback):";
+  (match all_runs with
+  | (_, reports) :: _ ->
+    reports
+    |> List.filter (fun (r : Rustbrain.Report.t) ->
+           List.length r.Rustbrain.Report.n_sequence >= 4
+           && List.fold_left max 0 r.Rustbrain.Report.n_sequence
+              > List.hd r.Rustbrain.Report.n_sequence)
+    |> List.filteri (fun i _ -> i < 4)
+    |> List.iter (fun (r : Rustbrain.Report.t) ->
+           Printf.printf "  %-28s {%s}\n" r.Rustbrain.Report.case_name
+             (String.concat ", " (List.map string_of_int r.Rustbrain.Report.n_sequence)))
+  | [] -> ());
+  Printf.printf
+    "(paper: error counts fluctuate under hallucination, e.g. N = {1, 3, 4, 6, 9};\n\
+     adaptive rollback restarts each step from the best intermediate state)\n"
+
+(* -- Bechamel micro-benchmarks ----------------------------------------- *)
+
+let perf () =
+  section "Substrate micro-benchmarks (Bechamel, real time)";
+  let case = Option.get (Dataset.Corpus.find "dr_flag_spin") in
+  let src = case.Dataset.Case.buggy_src in
+  let program = Dataset.Case.buggy case in
+  let info =
+    match Minirust.Typecheck.check program with
+    | Ok info -> info
+    | Error _ -> failwith "corpus case must typecheck"
+  in
+  let simple = Option.get (Dataset.Corpus.find "al_double_free") in
+  let vec = Knowledge.Featvec.of_program program [] in
+  let store = Knowledge.Store.create () in
+  List.iteri
+    (fun i (c : Dataset.Case.t) ->
+      Knowledge.Store.add store (Knowledge.Featvec.of_program (Dataset.Case.buggy c) []) i)
+    Dataset.Corpus.all;
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"parse" (Staged.stage (fun () -> Minirust.Parser.parse src));
+      Test.make ~name:"typecheck"
+        (Staged.stage (fun () -> Minirust.Typecheck.check program));
+      Test.make ~name:"miri-run-threaded"
+        (Staged.stage (fun () ->
+             Miri.Machine.run
+               ~config:{ Miri.Machine.default_config with Miri.Machine.inputs = [| 9L |] }
+               program info));
+      Test.make ~name:"ast-prune"
+        (Staged.stage (fun () -> Knowledge.Prune.prune program []));
+      Test.make ~name:"featvec+query"
+        (Staged.stage (fun () -> Knowledge.Store.query store vec ~k:3));
+      Test.make ~name:"full-repair"
+        (Staged.stage (fun () ->
+             let session =
+               Rustbrain.Pipeline.create_session (rustbrain_cfg ~seed:1 ())
+             in
+             Rustbrain.Pipeline.repair session simple)) ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+        let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+        let name, est =
+          Hashtbl.fold
+            (fun name o acc ->
+              match Analyze.OLS.estimates o with
+              | Some (t :: _) -> (name, t)
+              | _ -> acc)
+            results ("?", 0.0)
+        in
+        [ name; Printf.sprintf "%.1f us" (est /. 1_000.0) ])
+      tests
+  in
+  print_string (Statkit.Table.render ~header:[ "operation"; "time/run" ] rows)
+
+
+(* -- component ablation (DESIGN.md's starred design choices) ----------- *)
+
+let ablate () =
+  section "Ablation — removing one RustBrain component at a time (GPT-4, full corpus)";
+  let cases = Dataset.Corpus.all in
+  let base seed = rustbrain_cfg ~seed () in
+  let variants =
+    [ ("full RustBrain", fun seed -> base seed);
+      ("- knowledge base", fun seed -> { (base seed) with Rustbrain.Pipeline.use_kb = false });
+      ("- feedback (S3)", fun seed -> { (base seed) with Rustbrain.Pipeline.use_feedback = false });
+      ("- adaptive rollback",
+       fun seed -> { (base seed) with Rustbrain.Pipeline.rollback = Rustbrain.Slow_think.No_rollback });
+      ("- abstract reasoning",
+       fun seed -> { (base seed) with Rustbrain.Pipeline.enable_abstract = false });
+      ("- replace agent", fun seed -> { (base seed) with Rustbrain.Pipeline.enable_replace = false });
+      ("- assert agent", fun seed -> { (base seed) with Rustbrain.Pipeline.enable_assert = false });
+      ("- modify agent", fun seed -> { (base seed) with Rustbrain.Pipeline.enable_modify = false });
+      ("single solution only",
+       fun seed -> { (base seed) with Rustbrain.Pipeline.max_solutions = 1 });
+      ("2 iterations only", fun seed -> { (base seed) with Rustbrain.Pipeline.max_iters = 2 }) ]
+  in
+  let rows =
+    List.map
+      (fun (name, cfg_of) ->
+        let reports =
+          List.concat_map (fun seed -> Rustbrain.Pipeline.run_campaign (cfg_of seed) cases) seeds
+        in
+        let r = rates_of reports in
+        let iters =
+          Statkit.Stats.mean
+            (List.map (fun (rep : Rustbrain.Report.t) -> float_of_int rep.Rustbrain.Report.iterations) reports)
+        in
+        [ name; Statkit.Table.pct r.pass; Statkit.Table.pct r.exec;
+          Statkit.Table.secs r.mean_seconds; Printf.sprintf "%.1f" iters ])
+      variants
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "variant"; "pass"; "exec"; "time(s)"; "mean iters" ]
+       rows)
+
+(* -- driver ------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig5", fig5); ("fig7", fig7); ("fig8", fig89); ("fig9", fig89);
+    ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("table1", table1);
+    ("ablate", ablate); ("perf", perf) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Printf.printf "RustBrain reproduction benchmark harness (simulated clock; see DESIGN.md)\n";
+    fig7 ();
+    fig89 ();
+    fig10 ();
+    fig11 ();
+    fig12 ();
+    table1 ();
+    fig5 ();
+    ablate ();
+    perf ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      names

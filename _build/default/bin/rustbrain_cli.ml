@@ -1,0 +1,233 @@
+(* Command-line interface to the reproduction.
+
+   - `check FILE`    run the Miri substrate on a MiniRust source file
+   - `fix FILE`      repair a MiniRust source file with the RustBrain pipeline
+   - `corpus`        list the benchmark corpus
+   - `corpus-show`   print one case's buggy and reference sources
+   - `corpus-fix`    run the full pipeline on one corpus case
+
+   MiniRust sources conventionally use the .mrs extension; any path works. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_inputs csv =
+  if String.trim csv = "" then [||]
+  else
+    String.split_on_char ',' csv
+    |> List.map (fun s -> Int64.of_string (String.trim s))
+    |> Array.of_list
+
+let load path =
+  try Ok (Minirust.Parser.parse (read_file path)) with
+  | Minirust.Parser.Parse_error (msg, line) ->
+    Error (Printf.sprintf "%s:%d: parse error: %s" path line msg)
+  | Minirust.Lexer.Lex_error (msg, line) ->
+    Error (Printf.sprintf "%s:%d: lexical error: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let report_outcome (r : Miri.Machine.run_result) =
+  List.iter (fun line -> Printf.printf "  output: %s\n" line) r.Miri.Machine.output;
+  (match r.Miri.Machine.outcome with
+  | Miri.Machine.Finished -> print_endline "outcome: finished cleanly"
+  | Miri.Machine.Panicked msg -> Printf.printf "outcome: panicked: %s\n" msg
+  | Miri.Machine.Ub d -> Printf.printf "outcome: %s\n" (Miri.Diag.to_string d)
+  | Miri.Machine.Step_limit -> print_endline "outcome: step limit exhausted");
+  List.iter (fun d -> Printf.printf "  diag: %s\n" (Miri.Diag.to_string d)) r.Miri.Machine.diags;
+  Printf.printf "steps: %d, errors: %d\n" r.Miri.Machine.steps r.Miri.Machine.error_count
+
+(* -- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let inputs =
+    Arg.(value & opt string "" & info [ "i"; "inputs" ] ~docv:"N,N,..."
+           ~doc:"Comma-separated probe inputs returned by input(i).")
+  in
+  let collect =
+    Arg.(value & opt int 0 & info [ "collect" ] ~docv:"N"
+           ~doc:"Collect up to $(docv) diagnostics instead of stopping at the first.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Thread-scheduler seed.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Record and print allocation/retag/invalidation events.")
+  in
+  let run file inputs collect seed trace =
+    match load file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok program -> (
+      let mode =
+        if collect > 0 then Miri.Machine.Collect collect else Miri.Machine.Stop_first
+      in
+      let config =
+        { Miri.Machine.mode; seed; max_steps = 1_000_000; inputs = parse_inputs inputs;
+          trace }
+      in
+      match Miri.Machine.analyze ~config program with
+      | Miri.Machine.Compile_error msg ->
+        Printf.printf "compile error:\n%s\n" msg;
+        1
+      | Miri.Machine.Ran r ->
+        List.iter (fun e -> Printf.printf "  event: %s\n" e) r.Miri.Machine.events;
+        report_outcome r;
+        if Miri.Machine.is_clean r then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Detect undefined behaviour in a MiniRust file (Miri substrate).")
+    Term.(const run $ file $ inputs $ collect $ seed $ trace)
+
+(* -- fix ----------------------------------------------------------------- *)
+
+(* Repairing an arbitrary file has no developer reference, so the oracle
+   scores candidates purely by residual error count; semantic acceptability
+   cannot be judged. *)
+let fix_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let inputs =
+    Arg.(value & opt string "" & info [ "i"; "inputs" ] ~docv:"N,N,..."
+           ~doc:"Probe inputs used during verification.")
+  in
+  let model =
+    Arg.(value & opt string "GPT-4" & info [ "model" ] ~doc:"Simulated model profile.")
+  in
+  let temperature = Arg.(value & opt float 0.5 & info [ "temperature" ]) in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let run file inputs model temperature seed =
+    match load file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok program -> (
+      match Llm_sim.Profile.of_name model with
+      | None ->
+        Printf.eprintf "unknown model %S (known: %s)\n" model
+          (String.concat ", " (List.map Llm_sim.Profile.name Llm_sim.Profile.all));
+        1
+      | Some model ->
+        let probe = parse_inputs inputs in
+        let clock = Rb_util.Simclock.create () in
+        let client = Llm_sim.Client.create ~seed ~clock (Llm_sim.Profile.get model) in
+        let kb = Knowledge.Kb.create ~clock () in
+        Knowledge.Kb.seed_default kb;
+        let scorer p =
+          match Minirust.Typecheck.check p with
+          | Error _ -> 0.02
+          | Ok _ ->
+            let errors = Dataset.Semantic.error_count p probe in
+            if errors = 0 then 1.0 else max 0.1 (1.0 /. (1.0 +. float_of_int errors))
+        in
+        let env =
+          { Rustbrain.Env.clock; client;
+            sampling = { Llm_sim.Client.temperature };
+            kb = Some kb; scorer; reference = None; probes = [ probe ];
+            ref_panics = [ false ];
+            rng = Rb_util.Rng.create (seed * 31 + 7) }
+        in
+        let solution =
+          { Rustbrain.Solution.sname = "cli"; origin = "cli";
+            steps =
+              [ Rustbrain.Solution.Abstract;
+                Rustbrain.Solution.Fix Rustbrain.Ub_class.C_replace;
+                Rustbrain.Solution.Fix Rustbrain.Ub_class.C_modify;
+                Rustbrain.Solution.Fix Rustbrain.Ub_class.C_assert ] }
+        in
+        let exec =
+          Rustbrain.Slow_think.execute env ~program ~solution
+            ~rollback:Rustbrain.Slow_think.Adaptive ~max_iters:10
+        in
+        List.iter (fun line -> Printf.printf "  %s\n" line) exec.Rustbrain.Slow_think.trace;
+        Printf.printf "errors: %s\n"
+          (String.concat " -> " (List.map string_of_int exec.Rustbrain.Slow_think.n_sequence));
+        Printf.printf "simulated repair time: %.1fs\n" exec.Rustbrain.Slow_think.seconds;
+        if exec.Rustbrain.Slow_think.passed then begin
+          print_endline "repaired program:";
+          print_string (Minirust.Pretty.program exec.Rustbrain.Slow_think.final);
+          0
+        end
+        else begin
+          Printf.printf "could not reach a clean program (%d residual error(s))\n"
+            exec.Rustbrain.Slow_think.errors;
+          1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
+    Term.(const run $ file $ inputs $ model $ temperature $ seed)
+
+(* -- corpus --------------------------------------------------------------- *)
+
+let corpus_cmd =
+  let run () =
+    Printf.printf "%d cases across %d categories\n\n" Dataset.Corpus.size
+      (List.length Dataset.Corpus.categories);
+    List.iter
+      (fun (kind, count) ->
+        Printf.printf "%-18s %d case(s)\n" (Miri.Diag.kind_name kind) count)
+      (Dataset.Corpus.stats ());
+    print_newline ();
+    List.iter
+      (fun (c : Dataset.Case.t) ->
+        Printf.printf "%-28s %-18s %s\n" c.Dataset.Case.name
+          (Miri.Diag.kind_name c.Dataset.Case.category)
+          c.Dataset.Case.description)
+      Dataset.Corpus.all;
+    0
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List the benchmark corpus.") Term.(const run $ const ())
+
+let corpus_show_cmd =
+  let case_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
+  let run name =
+    match Dataset.Corpus.find name with
+    | None ->
+      Printf.eprintf "unknown case %S\n" name;
+      1
+    | Some c ->
+      Printf.printf "// %s (%s)\n// %s\n\n// --- buggy ---\n%s\n// --- reference fix ---\n%s"
+        c.Dataset.Case.name
+        (Miri.Diag.kind_name c.Dataset.Case.category)
+        c.Dataset.Case.description c.Dataset.Case.buggy_src c.Dataset.Case.fixed_src;
+      0
+  in
+  Cmd.v (Cmd.info "corpus-show" ~doc:"Print a corpus case.") Term.(const run $ case_name)
+
+let corpus_fix_cmd =
+  let case_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let run name seed =
+    match Dataset.Corpus.find name with
+    | None ->
+      Printf.eprintf "unknown case %S\n" name;
+      1
+    | Some case ->
+      let session =
+        Rustbrain.Pipeline.create_session
+          { Rustbrain.Pipeline.default_config with Rustbrain.Pipeline.seed }
+      in
+      let r = Rustbrain.Pipeline.repair session case in
+      List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
+      print_endline (Rustbrain.Report.summary_line r);
+      if r.Rustbrain.Report.passed then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
+    Term.(const run $ case_name $ seed)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "rustbrain" ~version:"1.0.0"
+             ~doc:"RustBrain reproduction: detect and repair UB in MiniRust programs.")
+          ~default
+          [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd ]))

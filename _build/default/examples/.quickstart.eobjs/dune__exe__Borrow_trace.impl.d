@@ -1,0 +1,1 @@
+examples/borrow_trace.ml: List Minirust Miri Printf

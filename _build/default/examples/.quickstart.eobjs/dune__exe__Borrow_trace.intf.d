@@ -1,0 +1,1 @@
+examples/borrow_trace.mli:

@@ -1,0 +1,1 @@
+examples/campaign.ml: Dataset List Llm_sim Printf Rb_util Rustbrain Statkit

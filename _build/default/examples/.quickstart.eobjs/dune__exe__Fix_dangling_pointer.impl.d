@@ -1,0 +1,1 @@
+examples/fix_dangling_pointer.ml: Dataset List Miri Option Printf Rustbrain String

@@ -1,0 +1,1 @@
+examples/fix_dangling_pointer.mli:

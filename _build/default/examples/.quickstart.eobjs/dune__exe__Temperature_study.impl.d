@@ -1,0 +1,1 @@
+examples/temperature_study.ml: Dataset List Miri Printf Rustbrain Statkit

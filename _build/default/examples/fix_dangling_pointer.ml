@@ -1,0 +1,37 @@
+(* Repairing one corpus case end-to-end with the full RustBrain pipeline,
+   showing the fast-thinking solutions, the slow-thinking agent trace, and
+   the before/after code.
+
+   Run with: dune exec examples/fix_dangling_pointer.exe *)
+
+let () =
+  let case = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  Printf.printf "case: %s — %s\n\n" case.Dataset.Case.name case.Dataset.Case.description;
+  Printf.printf "--- buggy program ---\n%s\n" case.Dataset.Case.buggy_src;
+
+  (* what Miri says about it *)
+  let inputs = match case.Dataset.Case.probes with p :: _ -> p | [] -> [||] in
+  (match
+     Miri.Machine.analyze
+       ~config:{ Miri.Machine.default_config with Miri.Machine.inputs }
+       (Dataset.Case.buggy case)
+   with
+  | Miri.Machine.Ran { Miri.Machine.outcome = Miri.Machine.Ub d; _ } ->
+    Printf.printf "detected: %s\n\n" (Miri.Diag.to_string d)
+  | _ -> print_endline "unexpectedly clean?\n");
+
+  (* full pipeline *)
+  let session = Rustbrain.Pipeline.create_session Rustbrain.Pipeline.default_config in
+  let report = Rustbrain.Pipeline.repair session case in
+  print_endline "--- slow-thinking trace ---";
+  List.iter (fun line -> Printf.printf "  %s\n" line) report.Rustbrain.Report.trace;
+  Printf.printf "\nerror sequence N = {%s}\n"
+    (String.concat ", " (List.map string_of_int report.Rustbrain.Report.n_sequence));
+  Printf.printf "%s\n" (Rustbrain.Report.summary_line report);
+  Printf.printf "simulated cost: %.1fs over %d LLM call(s), %d tokens\n\n"
+    report.Rustbrain.Report.seconds report.Rustbrain.Report.llm_calls
+    report.Rustbrain.Report.tokens;
+
+  (* show that the reference behaviour is matched *)
+  print_endline "--- reference fix (developer) ---";
+  print_string case.Dataset.Case.fixed_src

@@ -1,0 +1,40 @@
+(* A compact version of the paper's RQ3 temperature study (Fig. 11) on one
+   category, showing how sampling temperature trades repair flexibility
+   against semantic integrity.
+
+   Run with: dune exec examples/temperature_study.exe *)
+
+let () =
+  let cases = Dataset.Corpus.by_category Miri.Diag.Stack_borrow in
+  Printf.printf "sweeping temperature over %d stack-borrow cases x 5 seeds\n\n"
+    (List.length cases);
+  let rows =
+    List.map
+      (fun temperature ->
+        let reports =
+          List.concat_map
+            (fun seed ->
+              Rustbrain.Pipeline.run_campaign
+                { Rustbrain.Pipeline.default_config with
+                  Rustbrain.Pipeline.temperature; seed }
+                cases)
+            [ 1; 2; 3; 4; 5 ]
+        in
+        let n = List.length reports in
+        let passes =
+          List.length (List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.passed) reports)
+        in
+        let execs =
+          List.length (List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.semantic) reports)
+        in
+        [ Printf.sprintf "%.1f" temperature;
+          Statkit.Table.pct (float_of_int passes /. float_of_int n);
+          Statkit.Table.ci (Statkit.Stats.wilson_ci ~successes:passes n);
+          Statkit.Table.pct (float_of_int execs /. float_of_int n);
+          Statkit.Table.ci (Statkit.Stats.wilson_ci ~successes:execs n) ])
+      [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "temp"; "pass"; "pass CI"; "exec"; "exec CI" ]
+       rows)

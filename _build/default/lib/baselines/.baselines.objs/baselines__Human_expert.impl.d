@@ -1,0 +1,1 @@
+lib/baselines/human_expert.ml: Dataset List Miri Rb_util Rustbrain

@@ -1,0 +1,1 @@
+lib/baselines/human_expert.mli: Dataset Miri Rustbrain

@@ -1,0 +1,1 @@
+lib/baselines/llm_only.ml: Dataset List Llm_sim Minirust Miri Rb_util Repairs Rustbrain

@@ -1,0 +1,1 @@
+lib/baselines/llm_only.mli: Dataset Llm_sim Rb_util Rustbrain

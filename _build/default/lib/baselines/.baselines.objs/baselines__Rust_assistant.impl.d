@@ -1,0 +1,1 @@
+lib/baselines/rust_assistant.ml: Dataset List Llm_sim Rb_util Rustbrain

@@ -1,0 +1,1 @@
+lib/baselines/rust_assistant.mli: Dataset Llm_sim Rb_util Rustbrain

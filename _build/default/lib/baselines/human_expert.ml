@@ -1,0 +1,60 @@
+type config = { seed : int; success_rate : float; spread : float }
+
+let default_config = { seed = 1; success_rate = 0.98; spread = 0.25 }
+
+(* Paper Table I, "Human" column (seconds). *)
+let median_seconds (k : Miri.Diag.ub_kind) =
+  match k with
+  | Miri.Diag.Stack_borrow -> 366.0
+  | Miri.Diag.Unaligned_pointer -> 222.0
+  | Miri.Diag.Validity -> 678.0
+  | Miri.Diag.Alloc -> 450.0
+  | Miri.Diag.Func_pointer -> 480.0
+  | Miri.Diag.Provenance -> 240.0
+  | Miri.Diag.Panic_bug -> 336.0
+  | Miri.Diag.Func_call -> 1176.0
+  | Miri.Diag.Dangling_pointer -> 114.0
+  | Miri.Diag.Both_borrow -> 762.0
+  | Miri.Diag.Concurrency -> 144.0
+  | Miri.Diag.Data_race -> 336.0
+
+type session = { cfg : config; rng : Rb_util.Rng.t; sclock : Rb_util.Simclock.t }
+
+let create_session cfg =
+  { cfg; rng = Rb_util.Rng.create (cfg.seed * 97 + 5); sclock = Rb_util.Simclock.create () }
+
+let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  let start = Rb_util.Simclock.now session.sclock in
+  let median = median_seconds case.Dataset.Case.category in
+  let seconds =
+    Rb_util.Rng.lognormal session.rng ~mu:(log median) ~sigma:session.cfg.spread
+  in
+  Rb_util.Simclock.charge session.sclock seconds;
+  let succeeds = Rb_util.Rng.bernoulli session.rng session.cfg.success_rate in
+  let passed, semantic =
+    if succeeds then begin
+      let verdict = Dataset.Semantic.check case (Dataset.Case.fixed case) in
+      (verdict.Dataset.Semantic.passes, verdict.Dataset.Semantic.semantic)
+    end
+    else (false, false)
+  in
+  {
+    Rustbrain.Report.case_name = case.Dataset.Case.name;
+    category = case.Dataset.Case.category;
+    passed;
+    semantic;
+    seconds = Rb_util.Simclock.now session.sclock -. start;
+    llm_calls = 0;
+    tokens = 0;
+    iterations = 1;
+    solutions_tried = 1;
+    rollbacks = 0;
+    n_sequence = [];
+    winning_solution = Some "human";
+    feedback_hit = false;
+    trace = [];
+  }
+
+let run_campaign cfg cases =
+  let session = create_session cfg in
+  List.map (repair session) cases

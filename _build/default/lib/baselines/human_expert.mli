@@ -1,0 +1,28 @@
+(** Human-expert baseline for Table I.
+
+    No human sits in this container, so the expert is a stochastic model:
+    repair time is drawn from a lognormal distribution whose per-category
+    median is the paper's measured Human column (the paper's own empirical
+    data, reused as workload parameters — see DESIGN.md), scaled by how much
+    larger the program is than a typical Miri test. Experts essentially
+    always produce the developer fix (configurable success probability,
+    default 0.98). *)
+
+type config = {
+  seed : int;
+  success_rate : float;
+  spread : float;  (** lognormal sigma, default 0.25 *)
+}
+
+val default_config : config
+
+val median_seconds : Miri.Diag.ub_kind -> float
+(** The paper's Table I Human column, per category. *)
+
+type session
+
+val create_session : config -> session
+
+val repair : session -> Dataset.Case.t -> Rustbrain.Report.t
+
+val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list

@@ -1,0 +1,149 @@
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  attempts : int;
+  seed : int;
+}
+
+let default_config =
+  { model = Llm_sim.Profile.Gpt4; temperature = 0.5; attempts = 2; seed = 1 }
+
+type session = {
+  cfg : config;
+  sclock : Rb_util.Simclock.t;
+  client : Llm_sim.Client.t;
+  rng : Rb_util.Rng.t;
+}
+
+let create_session cfg =
+  let sclock = Rb_util.Simclock.create () in
+  let client =
+    Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
+  in
+  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 17 + 3) }
+
+let clock s = s.sclock
+
+let cost_usd s = Llm_sim.Client.cost_usd s.client
+
+let check_errors sclock program inputs =
+  Rb_util.Simclock.charge sclock (Rustbrain.Env.verify_cost program);
+  match Minirust.Typecheck.check program with
+  | Error errors -> (List.length errors, [], None)
+  | Ok info ->
+    let config =
+      { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
+        inputs; trace = false }
+    in
+    let r = Miri.Machine.run ~config program info in
+    ( r.Miri.Machine.error_count,
+      r.Miri.Machine.diags,
+      match r.Miri.Machine.outcome with
+      | Miri.Machine.Panicked m -> Some m
+      | _ -> None )
+
+let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  let cfg = session.cfg in
+  let start = Rb_util.Simclock.now session.sclock in
+  let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
+  let inputs = match case.Dataset.Case.probes with [] -> [||] | p :: _ -> p in
+  let scorer = Dataset.Semantic.score case in
+  let reference = Dataset.Case.fixed case in
+  let program = ref (Dataset.Case.buggy case) in
+  let n_sequence = ref [] in
+  let iterations = ref 0 in
+  let errors, diags0, panicked0 = check_errors session.sclock !program inputs in
+  n_sequence := [ errors ];
+  let cur_errors = ref errors in
+  let cur_diags = ref diags0 in
+  let cur_panic = ref panicked0 in
+  let attempt () =
+    incr iterations;
+    let ctx =
+      { Repairs.Rule.program = !program;
+        diag = (match !cur_diags with d :: _ -> Some d | [] -> None);
+        panicked = !cur_panic }
+    in
+    let candidates =
+      Repairs.Candidates.enumerate ~reference ctx
+      |> Repairs.Candidates.score_all ~scorer !program
+    in
+    (* bare prompt: code + raw error, nothing else *)
+    let prompt =
+      Llm_sim.Prompt.make
+        ([ (Llm_sim.Prompt.sec_code, Minirust.Pretty.program !program) ]
+        @
+        match !cur_diags with
+        | d :: _ -> [ (Llm_sim.Prompt.sec_error, Miri.Diag.to_string d) ]
+        | [] -> (
+          match !cur_panic with
+          | Some m -> [ (Llm_sim.Prompt.sec_error, "panic: " ^ m) ]
+          | None -> []))
+    in
+    let category =
+      match !cur_diags with
+      | d :: _ -> d.Miri.Diag.kind
+      | [] -> Miri.Diag.Panic_bug
+    in
+    let task =
+      { Llm_sim.Client.category; prompt;
+        candidates = Repairs.Candidates.to_llm_candidates candidates;
+        kind_bias = [] }
+    in
+    match
+      Llm_sim.Client.choose_repair session.client
+        { Llm_sim.Client.temperature = cfg.temperature }
+        task
+    with
+    | None -> ()
+    | Some choice ->
+      let candidate =
+        List.find
+          (fun c ->
+            c.Repairs.Candidates.id = choice.Llm_sim.Client.chosen.Llm_sim.Client.cand_id)
+          candidates
+      in
+      let edit =
+        if choice.Llm_sim.Client.corrupted then
+          Repairs.Corrupt.corrupt session.rng !program candidate.Repairs.Candidates.edit
+        else candidate.Repairs.Candidates.edit
+      in
+      (match Minirust.Edit.apply edit !program with
+      | Error _ -> ()
+      | Ok p' -> program := p');
+      let errors, diags, panic = check_errors session.sclock !program inputs in
+      cur_errors := errors;
+      cur_diags := diags;
+      cur_panic := panic;
+      n_sequence := errors :: !n_sequence
+  in
+  let tries = ref 0 in
+  while !cur_errors > 0 && !tries < cfg.attempts do
+    incr tries;
+    attempt ()
+  done;
+  let verdict = Dataset.Semantic.check case !program in
+  List.iter
+    (fun _ -> Rb_util.Simclock.charge session.sclock (Rustbrain.Env.verify_cost !program))
+    case.Dataset.Case.probes;
+  let stats = Llm_sim.Client.stats session.client in
+  {
+    Rustbrain.Report.case_name = case.Dataset.Case.name;
+    category = case.Dataset.Case.category;
+    passed = verdict.Dataset.Semantic.passes;
+    semantic = verdict.Dataset.Semantic.semantic;
+    seconds = Rb_util.Simclock.now session.sclock -. start;
+    llm_calls = stats.Llm_sim.Client.calls - calls0;
+    tokens = stats.Llm_sim.Client.tokens_in + stats.Llm_sim.Client.tokens_out;
+    iterations = !iterations;
+    solutions_tried = 1;
+    rollbacks = 0;
+    n_sequence = List.rev !n_sequence;
+    winning_solution = Some "single-shot";
+    feedback_hit = false;
+    trace = [];
+  }
+
+let run_campaign cfg cases =
+  let session = create_session cfg in
+  List.map (repair session) cases

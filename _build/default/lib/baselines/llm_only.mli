@@ -1,0 +1,29 @@
+(** "Model alone" baseline: what the paper calls e.g. "GPT-4" without
+    RustBrain.
+
+    A minimal loop: dump the code and the raw Miri error into a prompt (no
+    feature extraction, no pruned AST, no KB — so low prompt quality), let
+    the model pick one repair, apply it, re-check; at most [attempts] tries,
+    keeping whatever the last edit produced (no rollback). *)
+
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  attempts : int;  (** default 3 *)
+  seed : int;
+}
+
+val default_config : config
+
+type session
+
+val create_session : config -> session
+
+val clock : session -> Rb_util.Simclock.t
+
+val cost_usd : session -> float
+(** Metered dollar cost of the session's LLM calls so far. *)
+
+val repair : session -> Dataset.Case.t -> Rustbrain.Report.t
+
+val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list

@@ -1,0 +1,89 @@
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  iterations : int;
+  seed : int;
+}
+
+let default_config =
+  { model = Llm_sim.Profile.Gpt4; temperature = 0.5; iterations = 1; seed = 1 }
+
+type session = {
+  cfg : config;
+  sclock : Rb_util.Simclock.t;
+  client : Llm_sim.Client.t;
+  rng : Rb_util.Rng.t;
+}
+
+let create_session cfg =
+  let sclock = Rb_util.Simclock.create () in
+  let client =
+    Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
+  in
+  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 13 + 11) }
+
+let clock s = s.sclock
+
+(* The fixed step order: the same for every error, every time. *)
+let fixed_steps =
+  [ Rustbrain.Ub_class.C_replace; Rustbrain.Ub_class.C_assert; Rustbrain.Ub_class.C_modify ]
+
+let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  let cfg = session.cfg in
+  let start = Rb_util.Simclock.now session.sclock in
+  let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
+  let env =
+    {
+      Rustbrain.Env.clock = session.sclock;
+      client = session.client;
+      sampling = { Llm_sim.Client.temperature = cfg.temperature };
+      kb = None;
+      scorer = Dataset.Semantic.score case;
+      reference = Some (Dataset.Case.fixed case);
+      probes = case.Dataset.Case.probes;
+      ref_panics =
+        Rustbrain.Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
+          ~probes:case.Dataset.Case.probes;
+      rng = session.rng;
+    }
+  in
+  let buggy = Dataset.Case.buggy case in
+  let state = Rustbrain.Env.init_state env buggy in
+  let pass = ref 0 in
+  while state.Rustbrain.Env.errors > 0 && !pass < cfg.iterations do
+    incr pass;
+    (* every pass runs the full generic step list, no adaptation, no
+       rollback: later steps inherit whatever earlier ones produced *)
+    List.iter
+      (fun cls ->
+        if state.Rustbrain.Env.errors > 0 then
+          ignore (Rustbrain.Agent.run env state cls))
+      fixed_steps
+  done;
+  let verdict = Dataset.Semantic.check case state.Rustbrain.Env.program in
+  List.iter
+    (fun _ ->
+      Rb_util.Simclock.charge session.sclock
+        (Rustbrain.Env.verify_cost state.Rustbrain.Env.program))
+    case.Dataset.Case.probes;
+  let stats = Llm_sim.Client.stats session.client in
+  {
+    Rustbrain.Report.case_name = case.Dataset.Case.name;
+    category = case.Dataset.Case.category;
+    passed = verdict.Dataset.Semantic.passes;
+    semantic = verdict.Dataset.Semantic.semantic;
+    seconds = Rb_util.Simclock.now session.sclock -. start;
+    llm_calls = stats.Llm_sim.Client.calls - calls0;
+    tokens = stats.Llm_sim.Client.tokens_in + stats.Llm_sim.Client.tokens_out;
+    iterations = state.Rustbrain.Env.iterations;
+    solutions_tried = 1;
+    rollbacks = 0;
+    n_sequence = List.rev state.Rustbrain.Env.n_sequence;
+    winning_solution = Some "fixed-pipeline";
+    feedback_hit = false;
+    trace = List.rev state.Rustbrain.Env.trace;
+  }
+
+let run_campaign cfg cases =
+  let session = create_session cfg in
+  List.map (repair session) cases

@@ -1,0 +1,29 @@
+(** RustAssistant-style fixed-pipeline baseline (Deligiannis et al.).
+
+    A faithful caricature of the fixed process the paper compares against:
+    every iteration runs the same generic step sequence — format the error,
+    build the prompt, ask for a replace-class fix, then an assert-class fix,
+    then a modify-class fix — regardless of the code's features, keeping
+    whatever each step produced (no adaptive rollback, no knowledge base, no
+    feedback). The generic steps give it overhead on easy cases and no way
+    to specialize on hard ones, which is exactly the behaviour Figs. 7 and
+    12 contrast RustBrain with. *)
+
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  iterations : int;  (** full pipeline passes, default 2 *)
+  seed : int;
+}
+
+val default_config : config
+
+type session
+
+val create_session : config -> session
+
+val clock : session -> Rb_util.Simclock.t
+
+val repair : session -> Dataset.Case.t -> Rustbrain.Report.t
+
+val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list

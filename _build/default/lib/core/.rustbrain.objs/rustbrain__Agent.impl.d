@@ -1,0 +1,1 @@
+lib/core/agent.ml: Env List Llm_sim Minirust Miri Printf Repairs Ub_class

@@ -1,0 +1,1 @@
+lib/core/agent_abstract.ml: Env Knowledge List Llm_sim Miri Option Printf

@@ -1,0 +1,1 @@
+lib/core/agent_abstract.mli: Env

@@ -1,0 +1,1 @@
+lib/core/agent_rollback.ml: Env List Printf Rb_util

@@ -1,0 +1,1 @@
+lib/core/agent_rollback.mli: Env

@@ -1,0 +1,1 @@
+lib/core/env.ml: Knowledge List Llm_sim Minirust Miri Rb_util

@@ -1,0 +1,1 @@
+lib/core/fast_think.ml: Env Features Feedback List Llm_sim Solution Ub_class

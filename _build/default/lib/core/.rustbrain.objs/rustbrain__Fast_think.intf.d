@@ -1,0 +1,1 @@
+lib/core/fast_think.mli: Env Features Feedback Minirust Solution

@@ -1,0 +1,1 @@
+lib/core/features.ml: Buffer Knowledge List Minirust Miri Printf String Ub_class

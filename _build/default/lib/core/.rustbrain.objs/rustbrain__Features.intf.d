@@ -1,0 +1,1 @@
+lib/core/features.mli: Minirust Miri Ub_class

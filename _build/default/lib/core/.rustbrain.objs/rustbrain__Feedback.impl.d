@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Knowledge Miri Printf Solution Ub_class

@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Miri Solution Ub_class

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dataset Env Fast_think Features Feedback Knowledge List Llm_sim Miri Rb_util Report Slow_think Solution Ub_class

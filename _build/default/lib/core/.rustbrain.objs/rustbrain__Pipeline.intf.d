@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dataset Llm_sim Rb_util Report Slow_think Solution

@@ -1,0 +1,1 @@
+lib/core/slow_think.ml: Agent Agent_abstract Agent_rollback Array Env List Minirust Rb_util Solution

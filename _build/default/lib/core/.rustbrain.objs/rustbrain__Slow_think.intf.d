@@ -1,0 +1,1 @@
+lib/core/slow_think.mli: Env Minirust Solution

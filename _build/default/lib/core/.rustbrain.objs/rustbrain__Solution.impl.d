@@ -1,0 +1,1 @@
+lib/core/solution.ml: List Printf String Ub_class

@@ -1,0 +1,1 @@
+lib/core/ub_class.ml: Ast Hashtbl List Minirust Miri Option Repairs Visit

@@ -1,0 +1,1 @@
+lib/core/ub_class.mli: Minirust Miri Repairs

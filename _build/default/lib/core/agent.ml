@@ -1,0 +1,89 @@
+type outcome =
+  | Already_clean
+  | No_candidates
+  | Applied of { label : string; corrupted : bool; errors_after : int }
+  | Edit_failed of string
+
+let outcome_to_string = function
+  | Already_clean -> "already clean"
+  | No_candidates -> "no candidates"
+  | Applied { label; corrupted; errors_after } ->
+    Printf.sprintf "applied%s `%s` -> %d error(s)"
+      (if corrupted then " [hallucinated]" else "")
+      label errors_after
+  | Edit_failed msg -> "edit failed: " ^ msg
+
+let build_prompt (env : Env.t) (state : Env.state) =
+  let sections =
+    [ (Llm_sim.Prompt.sec_code, Minirust.Pretty.program state.Env.program) ]
+    @ (match state.Env.diags with
+      | d :: _ -> [ (Llm_sim.Prompt.sec_error, Miri.Diag.to_string d) ]
+      | [] -> (
+        match state.Env.panicked with
+        | Some m -> [ (Llm_sim.Prompt.sec_error, "panic: " ^ m) ]
+        | None -> []))
+    @ List.rev state.Env.prompt_extras
+  in
+  ignore env;
+  Llm_sim.Prompt.make sections
+
+let category_of_state (state : Env.state) : Miri.Diag.ub_kind =
+  match state.Env.diags with
+  | d :: _ -> d.Miri.Diag.kind
+  | [] -> Miri.Diag.Panic_bug
+
+let run (env : Env.t) (state : Env.state) (cls : Ub_class.repair_class) : outcome =
+  if state.Env.errors = 0 then Already_clean
+  else begin
+    state.Env.iterations <- state.Env.iterations + 1;
+    let ctx =
+      { Repairs.Rule.program = state.Env.program;
+        diag = (match state.Env.diags with d :: _ -> Some d | [] -> None);
+        panicked = state.Env.panicked }
+    in
+    let kind = Ub_class.to_fix_kind cls in
+    let all = Repairs.Candidates.enumerate ?reference:env.Env.reference ctx in
+    let mine = List.filter (fun c -> c.Repairs.Candidates.kind = kind) all in
+    match mine with
+    | [] -> No_candidates
+    | mine ->
+      let scored =
+        Repairs.Candidates.score_all ~scorer:env.Env.scorer state.Env.program mine
+      in
+      let task =
+        { Llm_sim.Client.category = category_of_state state;
+          prompt = build_prompt env state;
+          candidates = Repairs.Candidates.to_llm_candidates scored;
+          kind_bias = state.Env.kind_bias }
+      in
+      (match Llm_sim.Client.choose_repair env.Env.client env.Env.sampling task with
+      | None -> No_candidates
+      | Some choice ->
+        let candidate =
+          List.find
+            (fun c -> c.Repairs.Candidates.id = choice.Llm_sim.Client.chosen.Llm_sim.Client.cand_id)
+            scored
+        in
+        let edit =
+          if choice.Llm_sim.Client.corrupted then
+            Repairs.Corrupt.corrupt env.Env.rng state.Env.program
+              candidate.Repairs.Candidates.edit
+          else candidate.Repairs.Candidates.edit
+        in
+        (match Minirust.Edit.apply edit state.Env.program with
+        | Error msg ->
+          (* a failed application still costs an iteration and is visible to
+             the error sequence as "no progress" *)
+          state.Env.n_sequence <- state.Env.errors :: state.Env.n_sequence;
+          Env.log state ("edit failed: " ^ msg);
+          Edit_failed msg
+        | Ok program' ->
+          state.Env.program <- program';
+          let errors_after = Env.check env state in
+          Env.snapshot state;
+          let label = edit.Minirust.Edit.label in
+          Env.log state
+            (Printf.sprintf "[%s] %s -> %d error(s)" (Ub_class.repair_class_name cls)
+               label errors_after);
+          Applied { label; corrupted = choice.Llm_sim.Client.corrupted; errors_after }))
+  end

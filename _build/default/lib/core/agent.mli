@@ -1,0 +1,19 @@
+(** The three error-fixing agents (paper Section III-B1).
+
+    Each agent owns one repair class — equivalent replacement, assertion
+    insertion, semantic modification — and performs one repair attempt: it
+    diagnoses the current program, enumerates the candidates of its class,
+    lets the simulated LLM choose (with whatever prompt enrichment the
+    abstract-reasoning agent has accumulated in the state), applies the
+    chosen edit (or its hallucinated corruption), and re-verifies. *)
+
+type outcome =
+  | Already_clean          (** nothing to do: last check found zero errors *)
+  | No_candidates          (** the class offers nothing for this diagnosis *)
+  | Applied of { label : string; corrupted : bool; errors_after : int }
+  | Edit_failed of string  (** the chosen edit did not apply *)
+
+val outcome_to_string : outcome -> string
+
+val run : Env.t -> Env.state -> Ub_class.repair_class -> outcome
+(** One attempt with the given class's agent. Mutates [state]. *)

@@ -1,0 +1,45 @@
+type outcome = { sketch_kept : int; sketch_dropped : int; kb_hits : int }
+
+let set_extra (state : Env.state) name body =
+  state.Env.prompt_extras <-
+    (name, body) :: List.remove_assoc name state.Env.prompt_extras
+
+let run (env : Env.t) (state : Env.state) : outcome =
+  let sketch = Knowledge.Prune.prune state.Env.program state.Env.diags in
+  set_extra state Llm_sim.Prompt.sec_pruned_ast (Knowledge.Prune.render sketch);
+  (* the sketch extraction itself is an LLM pass in the paper (it replaces
+     syn); charge one completion over the sketch *)
+  let sketch_prompt =
+    Llm_sim.Prompt.make [ (Llm_sim.Prompt.sec_code, Knowledge.Prune.render sketch) ]
+  in
+  Llm_sim.Client.charge_prompt env.Env.client sketch_prompt;
+  let kb_hits =
+    match env.Env.kb with
+    | None -> 0
+    | Some kb ->
+      let kind =
+        match state.Env.diags with
+        | d :: _ -> Some d.Miri.Diag.kind
+        | [] -> None
+      in
+      let vec = Knowledge.Featvec.of_sketch sketch kind in
+      let hits = Knowledge.Kb.query kb vec in
+      if hits <> [] then begin
+        set_extra state Llm_sim.Prompt.sec_kb_hints (Knowledge.Kb.hints_text hits);
+        let bias = Knowledge.Kb.kind_bias hits in
+        state.Env.kind_bias <-
+          List.fold_left
+            (fun acc (k, v) ->
+              let cur = Option.value (List.assoc_opt k acc) ~default:0.0 in
+              (k, max cur v) :: List.remove_assoc k acc)
+            state.Env.kind_bias bias
+      end;
+      List.length hits
+  in
+  Env.log state
+    (Printf.sprintf "abstract reasoning: pruned AST %d kept / %d dropped, %d KB hit(s)"
+       (List.length sketch.Knowledge.Prune.kept_stmts)
+       sketch.Knowledge.Prune.dropped kb_hits);
+  { sketch_kept = List.length sketch.Knowledge.Prune.kept_stmts;
+    sketch_dropped = sketch.Knowledge.Prune.dropped;
+    kb_hits }

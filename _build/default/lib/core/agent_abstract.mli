@@ -1,0 +1,15 @@
+(** Abstract-reasoning agent (paper Section III-B3).
+
+    Extracts a pruned AST sketch of the current program (Algorithm 1),
+    vectorizes it, queries the knowledge base, and enriches the shared state:
+    the sketch and the retrieved advice become prompt sections (raising the
+    simulated model's prompt quality) and the advice's recommended fix
+    classes become perceived-quality biases for subsequent agent calls. *)
+
+type outcome = {
+  sketch_kept : int;
+  sketch_dropped : int;
+  kb_hits : int;
+}
+
+val run : Env.t -> Env.state -> outcome

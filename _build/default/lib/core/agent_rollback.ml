@@ -1,0 +1,35 @@
+type outcome = Kept | Rolled_back of { from_errors : int; to_errors : int }
+
+let maybe_rollback (env : Env.t) (state : Env.state) =
+  ignore env;
+  let best_program, best_errors = Env.best_snapshot state in
+  if state.Env.errors > best_errors then begin
+    let from_errors = state.Env.errors in
+    state.Env.program <- best_program;
+    state.Env.errors <- best_errors;
+    (* the snapshot's diagnostics are stale but the next check refreshes
+       them; cost is negligible: no re-verification is needed because the
+       snapshot's count is known (the paper's c * T_{n-a} saving) *)
+    Env.log state
+      (Printf.sprintf "rollback: %d error(s) -> best snapshot with %d" from_errors
+         best_errors);
+    Rolled_back { from_errors; to_errors = best_errors }
+  end
+  else Kept
+
+let rollback_to_initial (env : Env.t) (state : Env.state) =
+  match List.rev state.Env.history with
+  | [] -> Kept
+  | (initial, initial_errors) :: _ ->
+    if state.Env.errors > initial_errors then begin
+      let from_errors = state.Env.errors in
+      state.Env.program <- initial;
+      state.Env.errors <- initial_errors;
+      (* the naive strategy re-verifies from scratch: charge a full check *)
+      Rb_util.Simclock.charge env.Env.clock (Env.verify_cost initial);
+      Env.log state
+        (Printf.sprintf "full rollback to initial state (%d -> %d errors)" from_errors
+           initial_errors);
+      Rolled_back { from_errors; to_errors = initial_errors }
+    end
+    else Kept

@@ -1,0 +1,19 @@
+(** Adaptive rollback and optimal-code-selection agent (paper Section
+    III-B2).
+
+    After a repair step, if the current error count exceeds the best state
+    seen so far, revert to that best intermediate snapshot instead of
+    restarting from the initial code (the [c * T_n] full-rollback overhead
+    the paper criticises in fixed frameworks). Keeping the best state
+    preserves partial corrections while stopping hallucinated edits from
+    propagating. *)
+
+type outcome =
+  | Kept              (** current state is (at least tied for) the best *)
+  | Rolled_back of { from_errors : int; to_errors : int }
+
+val maybe_rollback : Env.t -> Env.state -> outcome
+
+val rollback_to_initial : Env.t -> Env.state -> outcome
+(** The naive strategy of existing frameworks, kept for the Fig. 5 ablation:
+    discard everything and return to the first snapshot. *)

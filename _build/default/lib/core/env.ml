@@ -1,0 +1,124 @@
+(* Shared execution environment and mutable attempt state threaded through
+   fast thinking, the slow-thinking agents and the feedback mechanism.
+
+   Cost model: LLM calls charge the simulated clock inside Llm_sim.Client;
+   every *verification* run RustBrain performs (re-checking a candidate
+   program with the Miri substrate) charges [verify_cost]; knowledge-base
+   queries charge inside Knowledge.Kb. The oracle scoring that stands in
+   for the model's internal knowledge (see DESIGN.md) is deliberately free:
+   it is simulation machinery, not pipeline work. *)
+
+type t = {
+  clock : Rb_util.Simclock.t;
+  client : Llm_sim.Client.t;
+  sampling : Llm_sim.Client.sampling;
+  kb : Knowledge.Kb.t option;
+  scorer : Minirust.Ast.program -> float;
+  reference : Minirust.Ast.program option;
+  probes : int64 array list;
+  ref_panics : bool list;
+      (** per probe: does the reference itself panic? A candidate panic on
+          such a probe is a defined refusal, not an error to fix *)
+  rng : Rb_util.Rng.t;  (* corruption and tie-breaking *)
+}
+
+(* Reference panic profile for an env under construction. *)
+let reference_panics ~reference ~probes =
+  match reference with
+  | None -> List.map (fun _ -> false) probes
+  | Some reference -> (
+    match Minirust.Typecheck.check reference with
+    | Error _ -> List.map (fun _ -> false) probes
+    | Ok info ->
+      List.map
+        (fun inputs ->
+          let config =
+            { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+              max_steps = 200_000; inputs; trace = false }
+          in
+          match (Miri.Machine.run ~config reference info).Miri.Machine.outcome with
+          | Miri.Machine.Panicked _ -> true
+          | _ -> false)
+        probes)
+
+type state = {
+  mutable program : Minirust.Ast.program;
+  mutable errors : int;                    (* collect-mode error count *)
+  mutable diags : Miri.Diag.t list;        (* diagnostics of the last check *)
+  mutable panicked : string option;
+  mutable history : (Minirust.Ast.program * int) list;  (* snapshots for rollback *)
+  mutable n_sequence : int list;           (* reversed error-count sequence *)
+  mutable trace : string list;             (* reversed step log *)
+  mutable prompt_extras : (string * string) list;
+  mutable kind_bias : (string * float) list;
+  mutable iterations : int;
+}
+
+let verify_cost program =
+  (* simulated seconds per Miri run: startup plus per-statement interpretation *)
+  0.8 +. (0.01 *. float_of_int (Minirust.Visit.count_stmts program))
+
+(* Collect-mode check of the current program across every probe input:
+   updates the aggregate error count, keeps the diagnostics of the first
+   failing probe, charges the clock once per probe, and appends to the N
+   sequence. *)
+let check env state =
+  let probes = match env.probes with [] -> [ [||] ] | ps -> ps in
+  (match Minirust.Typecheck.check state.program with
+  | Error errors ->
+    Rb_util.Simclock.charge env.clock (verify_cost state.program);
+    state.errors <- List.length errors;
+    state.diags <- [];
+    state.panicked <- None
+  | Ok info ->
+    let total = ref 0 in
+    let first_diags = ref [] in
+    let first_panic = ref None in
+    let ref_panics =
+      if List.length env.ref_panics = List.length probes then env.ref_panics
+      else List.map (fun _ -> false) probes
+    in
+    List.iter2
+      (fun inputs ref_panics_here ->
+        Rb_util.Simclock.charge env.clock (verify_cost state.program);
+        let config =
+          { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42;
+            max_steps = 200_000; inputs; trace = false }
+        in
+        let r = Miri.Machine.run ~config state.program info in
+        total := !total + List.length r.Miri.Machine.diags;
+        (match r.Miri.Machine.outcome with
+        | Miri.Machine.Panicked m ->
+          (* a panic is an error to repair only where the reference runs on *)
+          if not ref_panics_here then begin
+            total := !total + 1;
+            if !first_panic = None then first_panic := Some m
+          end
+        | _ -> ());
+        if !first_diags = [] then first_diags := r.Miri.Machine.diags)
+      probes ref_panics;
+    state.errors <- !total;
+    state.diags <- !first_diags;
+    state.panicked <- !first_panic);
+  state.n_sequence <- state.errors :: state.n_sequence;
+  state.errors
+
+let init_state env program =
+  let state =
+    { program; errors = 0; diags = []; panicked = None; history = [];
+      n_sequence = []; trace = []; prompt_extras = []; kind_bias = [];
+      iterations = 0 }
+  in
+  let errors = check env state in
+  state.history <- [ (program, errors) ];
+  state
+
+let log state msg = state.trace <- msg :: state.trace
+
+let snapshot state = state.history <- (state.program, state.errors) :: state.history
+
+let best_snapshot state =
+  List.fold_left
+    (fun (bp, be) (p, e) -> if e < be then (p, e) else (bp, be))
+    (state.program, state.errors)
+    state.history

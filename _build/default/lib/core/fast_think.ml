@@ -1,0 +1,53 @@
+type generation = {
+  solutions : Solution.t list;
+  feedback_hit : (float * Feedback.memory) option;
+}
+
+(* Diverse plan shapes over a class priority [c1; c2; c3]. *)
+let base_plans ~abstract_enabled priority =
+  let open Solution in
+  let fix c = Fix c in
+  let with_abstract steps = if abstract_enabled then Abstract :: steps else steps in
+  match priority with
+  | c1 :: c2 :: c3 :: _ ->
+    [ { sname = "primary-focus"; steps = [ fix c1; fix c1; fix c2 ]; origin = "fast-thinking" };
+      { sname = "priority-sweep"; steps = [ fix c1; fix c2; fix c3 ]; origin = "fast-thinking" };
+      { sname = "deep-primary";
+        steps = with_abstract [ fix c1; fix c1; fix c1 ];
+        origin = "fast-thinking" };
+      { sname = "expert-guided";
+        steps = with_abstract [ fix c1; fix c2; fix c1 ];
+        origin = "fast-thinking" };
+      { sname = "secondary-first"; steps = [ fix c2; fix c1; fix c3 ]; origin = "fast-thinking" };
+      { sname = "broad-then-deep";
+        steps = with_abstract [ fix c3; fix c2; fix c1; fix c1 ];
+        origin = "fast-thinking" } ]
+  | _ ->
+    [ { sname = "fallback";
+        steps = with_abstract [ fix Ub_class.C_modify; fix Ub_class.C_replace ];
+        origin = "fast-thinking" } ]
+
+let generate (env : Env.t) ~program ~(features : Features.t) ~feedback ~abstract_enabled
+    ~count =
+  (* the fast-thinking LLM pass over the extracted features *)
+  let prompt =
+    Llm_sim.Prompt.make
+      [ (Llm_sim.Prompt.sec_features, Features.to_prompt_section features) ]
+  in
+  ignore (Llm_sim.Client.complete env.Env.client env.Env.sampling prompt);
+  let hit =
+    match feedback with
+    | None -> None
+    | Some fb -> Feedback.recall fb (Features.vector program features)
+  in
+  let plans = base_plans ~abstract_enabled features.Features.repair_priority in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  match hit with
+  | Some (score, memory) ->
+    (* self-learning shortcut: lead with the recalled plan, shrink the search *)
+    let recalled =
+      { memory.Feedback.plan with Solution.origin = "feedback"; sname = "recalled" }
+    in
+    { solutions = recalled :: take (max 0 (min 1 (count - 1))) plans;
+      feedback_hit = Some (score, memory) }
+  | None -> { solutions = take (max 1 count) plans; feedback_hit = None }

@@ -1,0 +1,22 @@
+(** Fast thinking (paper stages F1–F2): intuitive, pattern-driven generation
+    of multiple candidate solutions from the extracted code features.
+
+    One (cheap) LLM call digests the features; the solution set is then
+    derived from the category's repair-class priority, diversified with and
+    without the abstract-reasoning step. When the feedback store recalls a
+    similar previously-solved error, its winning plan is generated first and
+    the solution budget shrinks — the paper's self-learning shortcut. *)
+
+type generation = {
+  solutions : Solution.t list;
+  feedback_hit : (float * Feedback.memory) option;
+}
+
+val generate :
+  Env.t ->
+  program:Minirust.Ast.program ->
+  features:Features.t ->
+  feedback:Feedback.t option ->
+  abstract_enabled:bool ->
+  count:int ->
+  generation

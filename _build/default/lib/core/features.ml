@@ -1,0 +1,94 @@
+type t = {
+  category : Miri.Diag.ub_kind option;
+  diag_message : string;
+  panicked : string option;
+  unsafe_ops : (Ub_class.unsafe_op * int) list;
+  stmt_count : int;
+  fn_count : int;
+  has_threads : bool;
+  has_heap : bool;
+  error_count : int;
+  repair_priority : Ub_class.repair_class list;
+}
+
+let op_name = function
+  | Ub_class.Deref_raw_pointer -> "deref raw pointer"
+  | Ub_class.Call_unsafe_fn -> "call unsafe fn"
+  | Ub_class.Access_static_mut -> "access static mut"
+  | Ub_class.Union_field_access -> "union field access"
+  | Ub_class.Unchecked_or_intrinsic -> "unchecked/intrinsic op"
+
+let extract program (run : Miri.Machine.run_result) =
+  let diag = Miri.Machine.first_ub run in
+  let category =
+    match diag with
+    | Some d -> Some d.Miri.Diag.kind
+    | None -> (
+      match run.Miri.Machine.outcome with
+      | Miri.Machine.Panicked _ -> Some Miri.Diag.Panic_bug
+      | _ -> None)
+  in
+  let panicked =
+    match run.Miri.Machine.outcome with
+    | Miri.Machine.Panicked m -> Some m
+    | _ -> None
+  in
+  let has_threads = ref false and has_heap = ref false in
+  Minirust.Visit.iter_stmts
+    (fun st ->
+      match st.Minirust.Ast.s with
+      | Minirust.Ast.S_spawn _ -> has_threads := true
+      | _ -> ())
+    program;
+  Minirust.Visit.iter_exprs
+    (fun e ->
+      match e.Minirust.Ast.e with
+      | Minirust.Ast.E_alloc _ -> has_heap := true
+      | _ -> ())
+    program;
+  {
+    category;
+    diag_message =
+      (match diag with Some d -> d.Miri.Diag.message | None -> "");
+    panicked;
+    unsafe_ops = Ub_class.unsafe_profile program;
+    stmt_count = Minirust.Visit.count_stmts program;
+    fn_count = List.length program.Minirust.Ast.funcs;
+    has_threads = !has_threads;
+    has_heap = !has_heap;
+    error_count = run.Miri.Machine.error_count;
+    repair_priority =
+      (match category with
+      | Some k -> Ub_class.classify_diag k
+      | None -> [ Ub_class.C_modify ]);
+  }
+
+let to_prompt_section t =
+  let b = Buffer.create 256 in
+  (match t.category with
+  | Some k -> Buffer.add_string b ("error category: " ^ Miri.Diag.kind_name k ^ "\n")
+  | None -> Buffer.add_string b "error category: unknown\n");
+  if t.diag_message <> "" then
+    Buffer.add_string b ("diagnostic: " ^ t.diag_message ^ "\n");
+  (match t.panicked with
+  | Some m -> Buffer.add_string b ("panic: " ^ m ^ "\n")
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "shape: %d statements, %d functions%s%s\n" t.stmt_count t.fn_count
+       (if t.has_threads then ", threaded" else "")
+       (if t.has_heap then ", manual heap" else ""));
+  List.iter
+    (fun (op, n) -> Buffer.add_string b (Printf.sprintf "unsafe op: %s x%d\n" (op_name op) n))
+    t.unsafe_ops;
+  Buffer.add_string b
+    ("suggested repair order: "
+    ^ String.concat " > " (List.map Ub_class.repair_class_name t.repair_priority));
+  Buffer.contents b
+
+let vector program t =
+  let diags =
+    match t.category with
+    | Some k -> [ Miri.Diag.make k t.diag_message ]
+    | None -> []
+  in
+  Knowledge.Featvec.of_program program diags

@@ -1,0 +1,28 @@
+(** Fast-thinking feature extraction (paper stage F2).
+
+    Produces the structured summary the fast-thinking LLM call works from:
+    the diagnosed error, the program's unsafe-operation profile, and basic
+    shape statistics. Rendering it into the prompt's [features] section is
+    what raises the simulated model's prompt quality relative to a bare code
+    dump. *)
+
+type t = {
+  category : Miri.Diag.ub_kind option;
+  diag_message : string;
+  panicked : string option;
+  unsafe_ops : (Ub_class.unsafe_op * int) list;
+  stmt_count : int;
+  fn_count : int;
+  has_threads : bool;
+  has_heap : bool;
+  error_count : int;
+  repair_priority : Ub_class.repair_class list;
+}
+
+val extract : Minirust.Ast.program -> Miri.Machine.run_result -> t
+
+val to_prompt_section : t -> string
+
+val vector : Minirust.Ast.program -> t -> float array
+(** Pruned-AST feature vector of the diagnosed program (for feedback and KB
+    retrieval). *)

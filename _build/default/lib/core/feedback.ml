@@ -1,0 +1,27 @@
+type memory = {
+  category : Miri.Diag.ub_kind;
+  plan : Solution.t;
+  winning_class : Ub_class.repair_class option;
+}
+
+type t = { store : memory Knowledge.Store.t }
+
+let create () = { store = Knowledge.Store.create () }
+
+let size t = Knowledge.Store.size t.store
+
+let learn t vec memory = Knowledge.Store.add t.store vec memory
+
+let recall t vec =
+  match Knowledge.Store.query t.store vec ~k:1 with
+  | (score, m) :: _ when score > 0.55 -> Some (score, m)
+  | _ -> None
+
+let to_prompt_section (score, m) =
+  Printf.sprintf
+    "a similar %s error (similarity %.2f) was previously repaired with plan %s%s"
+    (Miri.Diag.kind_name m.category) score
+    (Solution.to_string m.plan)
+    (match m.winning_class with
+    | Some c -> "; the winning fix class was " ^ Ub_class.repair_class_name c
+    | None -> "")

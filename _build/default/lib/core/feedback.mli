@@ -1,0 +1,27 @@
+(** Feedback mechanism between slow and fast thinking (paper Section III-C
+    and stage S3).
+
+    Successful repairs are stored under their pruned-AST feature vector. On
+    the next similar error, fast thinking recalls the winning plan, puts it
+    first, and adds a feedback prompt section — so similar UBs get repaired
+    with fewer candidate solutions, fewer iterations, and less reliance on
+    the knowledge base (the "red sections" of the paper's Table I). *)
+
+type memory = {
+  category : Miri.Diag.ub_kind;
+  plan : Solution.t;
+  winning_class : Ub_class.repair_class option;
+}
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val learn : t -> float array -> memory -> unit
+
+val recall : t -> float array -> (float * memory) option
+(** Best match above similarity 0.55, if any. *)
+
+val to_prompt_section : float * memory -> string

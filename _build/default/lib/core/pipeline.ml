@@ -1,0 +1,232 @@
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  use_kb : bool;
+  use_feedback : bool;
+  rollback : Slow_think.rollback_policy;
+  enable_replace : bool;
+  enable_assert : bool;
+  enable_modify : bool;
+  enable_abstract : bool;
+  max_solutions : int;
+  max_iters : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    model = Llm_sim.Profile.Gpt4;
+    temperature = 0.5;
+    use_kb = true;
+    use_feedback = true;
+    rollback = Slow_think.Adaptive;
+    enable_replace = true;
+    enable_assert = true;
+    enable_modify = true;
+    enable_abstract = true;
+    max_solutions = 3;
+    max_iters = 6;
+    seed = 1;
+  }
+
+type session = {
+  cfg : config;
+  sclock : Rb_util.Simclock.t;
+  client : Llm_sim.Client.t;
+  kb : Knowledge.Kb.t option;
+  feedback : Feedback.t option;
+  rng : Rb_util.Rng.t;
+}
+
+let create_session cfg =
+  let sclock = Rb_util.Simclock.create () in
+  let client =
+    Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
+  in
+  let kb =
+    if cfg.use_kb then begin
+      let kb = Knowledge.Kb.create ~clock:sclock () in
+      Knowledge.Kb.seed_default kb;
+      Some kb
+    end
+    else None
+  in
+  let feedback = if cfg.use_feedback then Some (Feedback.create ()) else None in
+  { cfg; sclock; client; kb; feedback; rng = Rb_util.Rng.create (cfg.seed * 31 + 7) }
+
+let clock s = s.sclock
+let config s = s.cfg
+let llm_stats s = Llm_sim.Client.stats s.client
+
+(* restrict a plan to the enabled agents *)
+let filter_solution cfg (solution : Solution.t) : Solution.t =
+  let keep = function
+    | Solution.Abstract -> cfg.enable_abstract
+    | Solution.Fix Ub_class.C_replace -> cfg.enable_replace
+    | Solution.Fix Ub_class.C_assert -> cfg.enable_assert
+    | Solution.Fix Ub_class.C_modify -> cfg.enable_modify
+  in
+  { solution with Solution.steps = List.filter keep solution.Solution.steps }
+
+let make_env session (case : Dataset.Case.t) : Env.t =
+  {
+    Env.clock = session.sclock;
+    client = session.client;
+    sampling = { Llm_sim.Client.temperature = session.cfg.temperature };
+    kb = session.kb;
+    scorer = Dataset.Semantic.score case;
+    reference = Some (Dataset.Case.fixed case);
+    probes = case.Dataset.Case.probes;
+    ref_panics =
+      Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
+        ~probes:case.Dataset.Case.probes;
+    rng = session.rng;
+  }
+
+type attempt = {
+  at_exec : Slow_think.execution;
+  at_solution : Solution.t;
+  at_semantic : bool;
+}
+
+(* final verdict: full multi-probe pass/exec check, charged per probe *)
+let judge env (case : Dataset.Case.t) program =
+  List.iter
+    (fun _ -> Rb_util.Simclock.charge env.Env.clock (Env.verify_cost program))
+    case.Dataset.Case.probes;
+  Dataset.Semantic.check case program
+
+let repair_common session (case : Dataset.Case.t) (solutions_override : Solution.t list option) :
+    Report.t =
+  let cfg = session.cfg in
+  let env = make_env session case in
+  let start = Rb_util.Simclock.now session.sclock in
+  let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
+  let buggy = Dataset.Case.buggy case in
+  (* F1: detection *)
+  Rb_util.Simclock.charge session.sclock (Env.verify_cost buggy);
+  let inputs = match case.Dataset.Case.probes with [] -> [||] | p :: _ -> p in
+  let detect =
+    Miri.Machine.analyze
+      ~config:
+        { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
+          inputs; trace = false }
+      buggy
+  in
+  let run_result =
+    match detect with
+    | Miri.Machine.Ran r -> r
+    | Miri.Machine.Compile_error _ ->
+      (* corpus programs always compile; treat as an immediate failure *)
+      { Miri.Machine.outcome = Miri.Machine.Step_limit; output = []; diags = [];
+        steps = 0; error_count = 1; events = [] }
+  in
+  let features = Features.extract buggy run_result in
+  (* F2: fast thinking *)
+  let generation =
+    match solutions_override with
+    | Some solutions -> { Fast_think.solutions; feedback_hit = None }
+    | None ->
+      Fast_think.generate env ~program:buggy ~features ~feedback:session.feedback
+        ~abstract_enabled:cfg.enable_abstract ~count:cfg.max_solutions
+  in
+  let solutions =
+    List.filter
+      (fun s -> s.Solution.steps <> [])
+      (List.map (filter_solution cfg) generation.Fast_think.solutions)
+  in
+  (* feedback recall enriches the prompt for all subsequent agent calls *)
+  let prompt_extras =
+    match generation.Fast_think.feedback_hit with
+    | Some hit -> [ (Llm_sim.Prompt.sec_feedback, Feedback.to_prompt_section hit) ]
+    | None -> []
+  in
+  (* S1–S2: execute solutions until one is semantically acceptable; every
+     agent call sees the fast-thinking features (and recalled feedback) *)
+  let base_extras =
+    (Llm_sim.Prompt.sec_features, Features.to_prompt_section features) :: prompt_extras
+  in
+  let rec try_solutions acc = function
+    | [] -> acc
+    | solution :: rest ->
+      let exec =
+        Slow_think.execute ~prompt_extras:base_extras env ~program:buggy ~solution
+          ~rollback:cfg.rollback ~max_iters:cfg.max_iters
+      in
+      let verdict =
+        if exec.Slow_think.passed then judge env case exec.Slow_think.final
+        else { Dataset.Semantic.passes = false; semantic = false; per_probe = [] }
+      in
+      let attempt =
+        { at_exec = exec; at_solution = solution; at_semantic = verdict.Dataset.Semantic.semantic }
+      in
+      let acc = attempt :: acc in
+      if verdict.Dataset.Semantic.semantic then acc else try_solutions acc rest
+  in
+  let attempts = List.rev (try_solutions [] solutions) in
+  (* pick the best attempt: semantic > passed > fewest errors *)
+  let best =
+    List.fold_left
+      (fun best a ->
+        match best with
+        | None -> Some a
+        | Some b ->
+          let score x =
+            (if x.at_semantic then 4 else 0)
+            + (if x.at_exec.Slow_think.passed then 2 else 0)
+            - min 1 x.at_exec.Slow_think.errors
+          in
+          if score a > score b then Some a else Some b)
+      None attempts
+  in
+  let passed, semantic, winning, n_sequence, iterations, rollbacks, trace =
+    match best with
+    | None -> (false, false, None, [], 0, 0, [])
+    | Some a ->
+      let v = judge env case a.at_exec.Slow_think.final in
+      ( v.Dataset.Semantic.passes,
+        v.Dataset.Semantic.semantic,
+        Some a.at_solution.Solution.sname,
+        a.at_exec.Slow_think.n_sequence,
+        List.fold_left (fun n at -> n + at.at_exec.Slow_think.iterations) 0 attempts,
+        List.fold_left (fun n at -> n + at.at_exec.Slow_think.rollbacks) 0 attempts,
+        a.at_exec.Slow_think.trace )
+  in
+  (* S3: learn from success *)
+  (match (session.feedback, best) with
+  | Some fb, Some a when semantic ->
+    let vec = Features.vector buggy features in
+    let winning_class =
+      List.fold_left
+        (fun acc step -> match step with Solution.Fix c -> Some c | _ -> acc)
+        None a.at_solution.Solution.steps
+    in
+    Feedback.learn fb vec
+      { Feedback.category = case.Dataset.Case.category; plan = a.at_solution; winning_class }
+  | _ -> ());
+  let stats = Llm_sim.Client.stats session.client in
+  {
+    Report.case_name = case.Dataset.Case.name;
+    category = case.Dataset.Case.category;
+    passed;
+    semantic;
+    seconds = Rb_util.Simclock.now session.sclock -. start;
+    llm_calls = stats.Llm_sim.Client.calls - calls0;
+    tokens = stats.Llm_sim.Client.tokens_in + stats.Llm_sim.Client.tokens_out;
+    iterations;
+    solutions_tried = List.length attempts;
+    rollbacks;
+    n_sequence;
+    winning_solution = winning;
+    feedback_hit = generation.Fast_think.feedback_hit <> None;
+    trace;
+  }
+
+let repair session case = repair_common session case None
+
+let repair_with_solution session case solution =
+  repair_common session case (Some [ solution ])
+
+let run_campaign cfg cases =
+  let session = create_session cfg in
+  List.map (repair session) cases

@@ -1,0 +1,49 @@
+(** The RustBrain pipeline: detection (F1), fast thinking (F2), slow-thinking
+    multi-agent execution (S1–S2), and feedback/self-learning (S3).
+
+    A {!session} carries the state shared across a repair campaign — the
+    simulated clock, the LLM client, the optional knowledge base, and the
+    feedback store — so that repairs of similar errors get cheaper over a
+    run, exactly as the paper's Table I "red sections" describe.
+
+    Every configuration toggle the paper ablates is here: per-agent
+    enablement and order (Fig. 7), knowledge base (Figs. 8/9, Table I),
+    feedback, rollback policy (Fig. 5), model and temperature (Figs. 8–11),
+    solution and iteration budgets. *)
+
+type config = {
+  model : Llm_sim.Profile.model;
+  temperature : float;
+  use_kb : bool;
+  use_feedback : bool;
+  rollback : Slow_think.rollback_policy;
+  enable_replace : bool;
+  enable_assert : bool;
+  enable_modify : bool;
+  enable_abstract : bool;
+  max_solutions : int;  (** fast-thinking solutions to try (paper: up to 10) *)
+  max_iters : int;      (** slow-thinking agent attempts per solution *)
+  seed : int;
+}
+
+val default_config : config
+(** GPT-4, temperature 0.5, all agents, adaptive rollback, KB and feedback
+    on, 3 solutions x 6 iterations, seed 1. *)
+
+type session
+
+val create_session : config -> session
+
+val clock : session -> Rb_util.Simclock.t
+val config : session -> config
+val llm_stats : session -> Llm_sim.Client.stats
+
+val repair : session -> Dataset.Case.t -> Report.t
+(** Run the full pipeline on one case. *)
+
+val repair_with_solution : session -> Dataset.Case.t -> Solution.t -> Report.t
+(** Force a single externally-supplied solution plan (used by the Fig. 7
+    flexibility experiment, which enumerates explicit agent orders). *)
+
+val run_campaign : config -> Dataset.Case.t list -> Report.t list
+(** Fresh session, repair each case in order. *)

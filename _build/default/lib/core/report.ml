@@ -1,0 +1,23 @@
+type t = {
+  case_name : string;
+  category : Miri.Diag.ub_kind;
+  passed : bool;
+  semantic : bool;
+  seconds : float;
+  llm_calls : int;
+  tokens : int;
+  iterations : int;
+  solutions_tried : int;
+  rollbacks : int;
+  n_sequence : int list;
+  winning_solution : string option;
+  feedback_hit : bool;
+  trace : string list;
+}
+
+let summary_line t =
+  Printf.sprintf "%-28s %-18s pass=%b exec=%b %6.1fs iters=%d sols=%d%s%s" t.case_name
+    (Miri.Diag.kind_name t.category)
+    t.passed t.semantic t.seconds t.iterations t.solutions_tried
+    (if t.feedback_hit then " [feedback]" else "")
+    (match t.winning_solution with Some s -> " <" ^ s ^ ">" | None -> "")

@@ -1,0 +1,20 @@
+(** Per-case repair report: everything the evaluation harness aggregates. *)
+
+type t = {
+  case_name : string;
+  category : Miri.Diag.ub_kind;
+  passed : bool;          (** paper's *pass*: UB-free on all probes *)
+  semantic : bool;        (** paper's *exec*: behaviour matches the reference *)
+  seconds : float;        (** simulated repair wall time *)
+  llm_calls : int;
+  tokens : int;           (** prompt + completion tokens *)
+  iterations : int;       (** total agent attempts across solutions *)
+  solutions_tried : int;
+  rollbacks : int;
+  n_sequence : int list;  (** error counts of the winning solution *)
+  winning_solution : string option;
+  feedback_hit : bool;
+  trace : string list;
+}
+
+val summary_line : t -> string

@@ -1,0 +1,66 @@
+type rollback_policy = No_rollback | To_initial | Adaptive
+
+type execution = {
+  final : Minirust.Ast.program;
+  passed : bool;
+  errors : int;
+  iterations : int;
+  n_sequence : int list;
+  rollbacks : int;
+  trace : string list;
+  seconds : float;
+}
+
+let execute ?(prompt_extras = []) (env : Env.t) ~program ~(solution : Solution.t)
+    ~rollback ~max_iters =
+  let start = Rb_util.Simclock.now env.Env.clock in
+  let state = Env.init_state env program in
+  state.Env.prompt_extras <- List.rev prompt_extras;
+  let rollbacks = ref 0 in
+  let apply_rollback () =
+    let outcome =
+      match rollback with
+      | No_rollback -> Agent_rollback.Kept
+      | Adaptive -> Agent_rollback.maybe_rollback env state
+      | To_initial -> Agent_rollback.rollback_to_initial env state
+    in
+    match outcome with
+    | Agent_rollback.Rolled_back _ -> incr rollbacks
+    | Agent_rollback.Kept -> ()
+  in
+  (* cycle the plan's steps until clean or out of budget *)
+  let steps = Array.of_list solution.Solution.steps in
+  let nsteps = Array.length steps in
+  let rec go i =
+    (* the [i] bound also guards against plans whose steps never consume an
+       iteration (e.g. all-abstract plans) *)
+    if
+      state.Env.errors = 0 || state.Env.iterations >= max_iters || nsteps = 0
+      || i >= (max_iters + 1) * (nsteps + 1)
+    then ()
+    else begin
+      (match steps.(i mod nsteps) with
+      | Solution.Abstract ->
+        ignore (Agent_abstract.run env state);
+        (* the abstract pass informs but does not edit; it costs an
+           iteration slot only through its clock charges *)
+        ()
+      | Solution.Fix cls ->
+        (match Agent.run env state cls with
+        | Agent.Already_clean -> ()
+        | Agent.No_candidates | Agent.Edit_failed _ -> ()
+        | Agent.Applied _ -> apply_rollback ()));
+      go (i + 1)
+    end
+  in
+  go 0;
+  {
+    final = state.Env.program;
+    passed = state.Env.errors = 0;
+    errors = state.Env.errors;
+    iterations = state.Env.iterations;
+    n_sequence = List.rev state.Env.n_sequence;
+    rollbacks = !rollbacks;
+    trace = List.rev state.Env.trace;
+    seconds = Rb_util.Simclock.now env.Env.clock -. start;
+  }

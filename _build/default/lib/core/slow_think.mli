@@ -1,0 +1,33 @@
+(** Slow thinking (paper stages S1–S2): execute one decomposed solution
+    plan with the multi-agent toolbox, under the adaptive-rollback policy,
+    cycling the plan's steps until the program is clean or the iteration
+    budget runs out.
+
+    The evaluation triplet the paper defines — (accuracy, acceptability,
+    overhead) — is computed at the end: accuracy = passes the UB check,
+    acceptability = matches the reference behaviour, overhead = simulated
+    seconds this attempt consumed. *)
+
+type rollback_policy = No_rollback | To_initial | Adaptive
+
+type execution = {
+  final : Minirust.Ast.program;
+  passed : bool;         (** clean on the first probe after execution *)
+  errors : int;
+  iterations : int;
+  n_sequence : int list; (** chronological collect-mode error counts *)
+  rollbacks : int;
+  trace : string list;   (** chronological step log *)
+  seconds : float;       (** simulated time consumed by this execution *)
+}
+
+val execute :
+  ?prompt_extras:(string * string) list ->
+  Env.t ->
+  program:Minirust.Ast.program ->
+  solution:Solution.t ->
+  rollback:rollback_policy ->
+  max_iters:int ->
+  execution
+(** [prompt_extras] are prompt sections injected into every agent call of
+    this execution (fast-thinking features, recalled feedback). *)

@@ -1,0 +1,12 @@
+type step = Fix of Ub_class.repair_class | Abstract
+
+type t = { sname : string; steps : step list; origin : string }
+
+let step_name = function
+  | Fix c -> Ub_class.repair_class_name c
+  | Abstract -> "abstract"
+
+let to_string t =
+  Printf.sprintf "%s [%s] (%s)" t.sname
+    (String.concat " -> " (List.map step_name t.steps))
+    t.origin

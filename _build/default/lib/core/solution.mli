@@ -1,0 +1,15 @@
+(** A repair solution: the ordered steps slow thinking will execute
+    (paper stage S1's decomposition). *)
+
+type step =
+  | Fix of Ub_class.repair_class  (** one attempt by that class's agent *)
+  | Abstract                      (** run the abstract-reasoning agent *)
+
+type t = {
+  sname : string;
+  steps : step list;
+  origin : string;  (** "fast-thinking", "feedback", ... for reporting *)
+}
+
+val step_name : step -> string
+val to_string : t -> string

@@ -1,0 +1,84 @@
+open Minirust
+open Ast
+
+type unsafe_op =
+  | Deref_raw_pointer
+  | Call_unsafe_fn
+  | Access_static_mut
+  | Union_field_access
+  | Unchecked_or_intrinsic
+
+type repair_class = C_replace | C_assert | C_modify
+
+let repair_class_name = function
+  | C_replace -> "replace"
+  | C_assert -> "assert"
+  | C_modify -> "modify"
+
+let unsafe_profile program =
+  let counts = Hashtbl.create 8 in
+  let bump op = Hashtbl.replace counts op (1 + Option.value (Hashtbl.find_opt counts op) ~default:0) in
+  let unsafe_fns =
+    List.filter_map (fun f -> if f.fn_unsafe then Some f.fname else None) program.funcs
+  in
+  let static_muts =
+    List.filter_map (fun s -> if s.smut then Some s.sname else None) program.statics
+  in
+  Visit.iter_exprs
+    (fun e ->
+      match e.e with
+      | E_place (P_deref _) -> bump Deref_raw_pointer
+      | E_place (P_index_unchecked _) -> bump Unchecked_or_intrinsic
+      | E_place (P_union_field _) -> bump Union_field_access
+      | E_call (name, _) when List.mem name unsafe_fns -> bump Call_unsafe_fn
+      | E_transmute _ | E_offset _ | E_alloc _ | E_atomic_load _ ->
+        bump Unchecked_or_intrinsic
+      | E_place (P_var v) when List.mem v static_muts -> bump Access_static_mut
+      | _ -> ())
+    program;
+  (* place-level operations *)
+  List.iter
+    (fun f ->
+      Visit.iter_stmts_block
+        (fun st ->
+          (match st.s with
+          | S_dealloc _ | S_atomic_store _ -> bump Unchecked_or_intrinsic
+          | S_assign (p, _) ->
+            let rec walk = function
+              | P_var v -> if List.mem v static_muts then bump Access_static_mut
+              | P_deref { e = E_cast _ | E_place _ | E_offset _; _ } -> bump Deref_raw_pointer
+              | P_deref _ -> bump Deref_raw_pointer
+              | P_index (b, _) | P_field (b, _) -> walk b
+              | P_index_unchecked (b, _) ->
+                bump Unchecked_or_intrinsic;
+                walk b
+              | P_union_field (b, _) ->
+                bump Union_field_access;
+                walk b
+            in
+            walk p
+          | _ -> ());
+          ())
+        f.body)
+    program.funcs;
+  Hashtbl.fold (fun op n acc -> (op, n) :: acc) counts []
+
+let classify_diag (k : Miri.Diag.ub_kind) : repair_class list =
+  match k with
+  | Miri.Diag.Dangling_pointer -> [ C_replace; C_assert; C_modify ]
+  | Miri.Diag.Stack_borrow -> [ C_replace; C_modify; C_assert ]
+  | Miri.Diag.Both_borrow -> [ C_modify; C_replace; C_assert ]
+  | Miri.Diag.Unaligned_pointer -> [ C_modify; C_assert; C_replace ]
+  | Miri.Diag.Validity -> [ C_modify; C_replace; C_assert ]
+  | Miri.Diag.Alloc -> [ C_modify; C_assert; C_replace ]
+  | Miri.Diag.Func_pointer -> [ C_modify; C_replace; C_assert ]
+  | Miri.Diag.Func_call -> [ C_modify; C_replace; C_assert ]
+  | Miri.Diag.Provenance -> [ C_replace; C_modify; C_assert ]
+  | Miri.Diag.Panic_bug -> [ C_modify; C_assert; C_replace ]
+  | Miri.Diag.Concurrency -> [ C_modify; C_replace; C_assert ]
+  | Miri.Diag.Data_race -> [ C_replace; C_modify; C_assert ]
+
+let to_fix_kind = function
+  | C_replace -> Repairs.Rule.Replace
+  | C_assert -> Repairs.Rule.Assert
+  | C_modify -> Repairs.Rule.Modify

@@ -1,0 +1,29 @@
+(** Classification of unsafe Rust from the repair perspective
+    (paper Section III-A).
+
+    The five unsafe-operation kinds are Rust's own taxonomy; the three repair
+    classes are the paper's Principle 2. [classify_diag] maps a Miri
+    diagnostic to the repair classes worth trying first, and
+    [unsafe_profile] summarizes which unsafe operations a program uses —
+    both feed fast thinking's solution generation. *)
+
+type unsafe_op =
+  | Deref_raw_pointer
+  | Call_unsafe_fn
+  | Access_static_mut
+  | Union_field_access
+  | Unchecked_or_intrinsic
+      (** get_unchecked / transmute / alloc / offset / atomics — the unsafe
+          intrinsic surface standing in for "implement unsafe trait" *)
+
+type repair_class = C_replace | C_assert | C_modify
+
+val repair_class_name : repair_class -> string
+
+val unsafe_profile : Minirust.Ast.program -> (unsafe_op * int) list
+(** Occurrence count of each unsafe-operation kind (zero entries omitted). *)
+
+val classify_diag : Miri.Diag.ub_kind -> repair_class list
+(** Repair classes ordered by prior success likelihood for the category. *)
+
+val to_fix_kind : repair_class -> Repairs.Rule.fix_kind

@@ -1,0 +1,1 @@
+lib/dataset/case.ml: Minirust Miri

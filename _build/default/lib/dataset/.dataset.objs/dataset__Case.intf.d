@@ -1,0 +1,1 @@
+lib/dataset/case.mli: Minirust Miri

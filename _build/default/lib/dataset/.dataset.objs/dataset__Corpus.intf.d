@@ -1,0 +1,1 @@
+lib/dataset/corpus.mli: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_alloc.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_both_borrow.ml: Case Miri

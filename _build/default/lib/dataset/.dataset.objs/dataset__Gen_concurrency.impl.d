@@ -1,0 +1,1 @@
+lib/dataset/gen_concurrency.ml: Case Miri

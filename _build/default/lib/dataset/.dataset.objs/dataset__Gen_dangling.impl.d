@@ -1,0 +1,1 @@
+lib/dataset/gen_dangling.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_data_race.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_func_pointer.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_panic.ml: Case Miri

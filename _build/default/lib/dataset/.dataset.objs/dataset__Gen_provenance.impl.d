@@ -1,0 +1,1 @@
+lib/dataset/gen_provenance.ml: Case Miri

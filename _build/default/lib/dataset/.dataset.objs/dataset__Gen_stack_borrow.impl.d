@@ -1,0 +1,1 @@
+lib/dataset/gen_stack_borrow.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/gen_unaligned.ml: Case Miri

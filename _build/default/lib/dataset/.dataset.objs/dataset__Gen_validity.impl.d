@@ -1,0 +1,1 @@
+lib/dataset/gen_validity.ml: Case Miri

@@ -1,0 +1,1 @@
+lib/dataset/semantic.ml: Case List Minirust Miri String

@@ -1,0 +1,1 @@
+lib/dataset/semantic.mli: Case Minirust

@@ -1,0 +1,22 @@
+type t = {
+  name : string;
+  category : Miri.Diag.ub_kind;
+  description : string;
+  buggy_src : string;
+  fixed_src : string;
+  probes : int64 array list;
+}
+
+let make ~name ~category ?(description = "") ?(probes = [ [||] ]) ~buggy ~fixed () =
+  {
+    name;
+    category;
+    description;
+    buggy_src = buggy;
+    fixed_src = fixed;
+    probes = (match probes with [] -> [ [||] ] | ps -> ps);
+  }
+
+let buggy t = Minirust.Parser.parse t.buggy_src
+
+let fixed t = Minirust.Parser.parse t.fixed_src

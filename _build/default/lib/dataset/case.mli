@@ -1,0 +1,32 @@
+(** One benchmark case: a MiniRust program with a UB, its developer reference
+    fix, and the probe inputs used to judge semantic acceptability.
+
+    The corpus plays the role of the paper's Miri-repository dataset: each
+    case deterministically exhibits exactly one UB category, and the
+    reference fix is UB-free and defines the expected observable behaviour
+    ([print] trace + termination class) on every probe input. *)
+
+type t = {
+  name : string;
+  category : Miri.Diag.ub_kind;
+  description : string;
+  buggy_src : string;
+  fixed_src : string;
+  probes : int64 array list;
+      (** input vectors for [input(i)]; at least one (possibly [||]) *)
+}
+
+val make :
+  name:string ->
+  category:Miri.Diag.ub_kind ->
+  ?description:string ->
+  ?probes:int64 array list ->
+  buggy:string ->
+  fixed:string ->
+  unit ->
+  t
+
+val buggy : t -> Minirust.Ast.program
+(** Parse the buggy source (fresh node ids on every call). *)
+
+val fixed : t -> Minirust.Ast.program

@@ -1,0 +1,15 @@
+let all =
+  Gen_stack_borrow.cases @ Gen_unaligned.cases @ Gen_validity.cases @ Gen_alloc.cases
+  @ Gen_func_pointer.cases @ Gen_provenance.cases @ Gen_panic.cases
+  @ Gen_func_calls.cases @ Gen_dangling.cases @ Gen_both_borrow.cases
+  @ Gen_concurrency.cases @ Gen_data_race.cases
+
+let by_category k = List.filter (fun (c : Case.t) -> c.Case.category = k) all
+
+let find name = List.find_opt (fun (c : Case.t) -> String.equal c.Case.name name) all
+
+let categories = Miri.Diag.all_kinds
+
+let size = List.length all
+
+let stats () = List.map (fun k -> (k, List.length (by_category k))) categories

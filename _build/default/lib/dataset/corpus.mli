@@ -1,0 +1,16 @@
+(** The full UB corpus: every case from the twelve category generators. *)
+
+val all : Case.t list
+
+val by_category : Miri.Diag.ub_kind -> Case.t list
+
+val find : string -> Case.t option
+(** Look a case up by name. *)
+
+val categories : Miri.Diag.ub_kind list
+(** The twelve categories, in the paper's Table I order. *)
+
+val size : int
+
+val stats : unit -> (Miri.Diag.ub_kind * int) list
+(** Cases per category. *)

@@ -1,0 +1,448 @@
+(* Allocation-API misuse: double frees, layout mismatches, leaks, freeing
+   memory the allocator never handed out. *)
+
+let k = Miri.Diag.Alloc
+
+let cases =
+  [
+    Case.make ~name:"al_double_free" ~category:k
+      ~description:"the same block is deallocated twice"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_leak" ~category:k
+      ~description:"an allocation is never freed"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        *p.offset(1) = input(0) * 2;
+        print(*p + *p.offset(1));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        *p.offset(1) = input(0) * 2;
+        print(*p + *p.offset(1));
+        dealloc(p as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_wrong_size_free" ~category:k
+      ~description:"deallocation states a different size than the allocation"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_wrong_align_free" ~category:k
+      ~description:"deallocation states a different alignment than the allocation"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 16) as *mut i64;
+        *p = input(0) + 1;
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 16) as *mut i64;
+        *p = input(0) + 1;
+        print(*p);
+        dealloc(p as *mut i8, 8, 16);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_free_interior_pointer" ~category:k
+      ~description:"freeing a pointer into the middle of the block"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        *p.offset(1) = 7;
+        print(*p.offset(1));
+        dealloc(p.offset(1) as *mut i8, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(16, 8) as *mut i64;
+        *p = input(0);
+        *p.offset(1) = 7;
+        print(*p.offset(1));
+        dealloc(p as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_free_stack_memory" ~category:k
+      ~description:"a pointer to a stack local is handed to the allocator"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut p = &raw mut x as *mut i8;
+    unsafe {
+        print(x);
+        dealloc(p, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_zero_sized_alloc" ~category:k
+      ~description:"the allocator is asked for zero bytes"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(0, 8);
+        print(p as usize != 0usize);
+    }
+    print(input(0));
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8);
+        print(p as usize != 0usize);
+        dealloc(p, 8, 8);
+    }
+    print(input(0));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_conditional_leak" ~category:k
+      ~description:"one branch returns early without freeing"
+      ~probes:[ [| 0L |]; [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        if *p == 0 {
+            print(-1);
+        } else {
+            print(*p);
+            dealloc(p as *mut i8, 8, 8);
+        }
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        if *p == 0 {
+            print(-1);
+        } else {
+            print(*p);
+        }
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_loop_leak" ~category:k
+      ~description:"a loop allocates a scratch buffer per iteration and frees none"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut i = 0;
+    let mut total = 0;
+    while i < input(0) {
+        unsafe {
+            let mut scratch = alloc(8, 8) as *mut i64;
+            *scratch = i * i;
+            total = total + *scratch;
+        }
+        i = i + 1;
+    }
+    print(total);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut i = 0;
+    let mut total = 0;
+    while i < input(0) {
+        unsafe {
+            let mut scratch = alloc(8, 8) as *mut i64;
+            *scratch = i * i;
+            total = total + *scratch;
+            dealloc(scratch as *mut i8, 8, 8);
+        }
+        i = i + 1;
+    }
+    print(total);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_free_in_helper_then_caller" ~category:k
+      ~description:"a cleanup helper frees the block and the caller frees it again"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn cleanup(p: *mut i8) {
+    unsafe {
+        dealloc(p, 8, 8);
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        cleanup(p as *mut i8);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn cleanup(p: *mut i8) {
+    unsafe {
+        dealloc(p, 8, 8);
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        cleanup(p as *mut i8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_bad_align_request" ~category:k
+      ~description:"the requested alignment is not a power of two"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 6);
+        print(input(0));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8);
+        dealloc(p, 8, 8);
+        print(input(0));
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"al_ring_buffer_modules" ~category:k
+      ~description:"multi-module ring buffer: both the cleanup path and the stats path free the store"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn rb_new() -> *mut i64 {
+    unsafe {
+        let mut rb = alloc(48, 8) as *mut i64;
+        *rb = 0;
+        *rb.offset(1) = 0;
+        let mut i = 2;
+        while i < 6 {
+            *rb.offset(i) = 0;
+            i = i + 1;
+        }
+        return rb;
+    }
+}
+
+fn rb_put(rb: *mut i64, v: i64) {
+    unsafe {
+        let mut tail = *rb.offset(1);
+        *rb.offset(2 + tail % 4) = v;
+        *rb.offset(1) = tail + 1;
+    }
+}
+
+fn rb_sum(rb: *mut i64) -> i64 {
+    unsafe {
+        let mut total = 0;
+        let mut i = 2;
+        while i < 6 {
+            total = total + *rb.offset(i);
+            i = i + 1;
+        }
+        return total;
+    }
+}
+
+fn rb_report(rb: *mut i64) {
+    print(rb_sum(rb));
+    unsafe {
+        dealloc(rb as *mut i8, 48, 8);
+    }
+}
+
+fn rb_shutdown(rb: *mut i64) {
+    unsafe {
+        dealloc(rb as *mut i8, 48, 8);
+    }
+}
+
+fn main() {
+    let mut rb = rb_new();
+    rb_put(rb, input(0));
+    rb_put(rb, input(0) * 2);
+    rb_report(rb);
+    rb_shutdown(rb);
+}
+|}
+      ~fixed:
+        {|
+fn rb_new() -> *mut i64 {
+    unsafe {
+        let mut rb = alloc(48, 8) as *mut i64;
+        *rb = 0;
+        *rb.offset(1) = 0;
+        let mut i = 2;
+        while i < 6 {
+            *rb.offset(i) = 0;
+            i = i + 1;
+        }
+        return rb;
+    }
+}
+
+fn rb_put(rb: *mut i64, v: i64) {
+    unsafe {
+        let mut tail = *rb.offset(1);
+        *rb.offset(2 + tail % 4) = v;
+        *rb.offset(1) = tail + 1;
+    }
+}
+
+fn rb_sum(rb: *mut i64) -> i64 {
+    unsafe {
+        let mut total = 0;
+        let mut i = 2;
+        while i < 6 {
+            total = total + *rb.offset(i);
+            i = i + 1;
+        }
+        return total;
+    }
+}
+
+fn rb_report(rb: *mut i64) {
+    print(rb_sum(rb));
+}
+
+fn rb_shutdown(rb: *mut i64) {
+    unsafe {
+        dealloc(rb as *mut i8, 48, 8);
+    }
+}
+
+fn main() {
+    let mut rb = rb_new();
+    rb_put(rb, input(0));
+    rb_put(rb, input(0) * 2);
+    rb_report(rb);
+    rb_shutdown(rb);
+}
+|}
+      ()
+  ]

@@ -1,0 +1,228 @@
+(* "Both borrow" UBs: a shared (read-only) borrow coexists with a conflicting
+   mutable access and is then used — Rust's aliasing rule &T xor &mut T. *)
+
+let k = Miri.Diag.Both_borrow
+
+let cases =
+  [
+    Case.make ~name:"bb_shared_then_mut" ~category:k
+      ~description:"shared reference read after a mutable borrow of the same local"
+      ~probes:[ [| 8L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut s = &x;
+    let mut m = &mut x;
+    *m = *m + 1;
+    print(*s);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut s = &x;
+    print(*s);
+    let mut m = &mut x;
+    *m = *m + 1;
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_write_through_const_cast" ~category:k
+      ~description:"writing through a *mut that was laundered from a shared reference"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut p = &x as *const i64 as *mut i64;
+    unsafe {
+        *p = *p + 1;
+    }
+    print(x);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut p = &mut x as *mut i64;
+    unsafe {
+        *p = *p + 1;
+    }
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_modify_while_borrowed" ~category:k
+      ~description:"the local is written directly while a shared reference is live"
+      ~probes:[ [| 2L |]; [| 11L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut value = input(0);
+    let mut view = &value;
+    value = value * 2;
+    print(*view);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut value = input(0);
+    value = value * 2;
+    let mut view = &value;
+    print(*view);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_aliasing_call_args" ~category:k
+      ~description:"&x and &mut x built for the same call; the shared one is read last"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn observe(s: &i64, m: &mut i64) -> i64 {
+    *m = *m + 10;
+    return *s;
+}
+
+fn main() {
+    let mut x = input(0);
+    let mut got = observe(&x, &mut x);
+    print(got);
+}
+|}
+      ~fixed:
+        {|
+fn observe(s: i64, m: &mut i64) -> i64 {
+    *m = *m + 10;
+    return s;
+}
+
+fn main() {
+    let mut x = input(0);
+    let mut before = x;
+    let mut got = observe(before, &mut x);
+    print(got);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_tuple_field_alias" ~category:k
+      ~description:"a shared borrow of one tuple field outlives a mutable borrow of the tuple"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut pair = (input(0), 100);
+    let mut s = &pair.0;
+    let mut m = &mut pair;
+    (*m).1 = (*m).1 + 1;
+    print(*s);
+    print(pair.1);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut pair = (input(0), 100);
+    let mut s = &pair.0;
+    print(*s);
+    let mut m = &mut pair;
+    (*m).1 = (*m).1 + 1;
+    print(pair.1);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_stale_shared_in_loop" ~category:k
+      ~description:"shared reference captured once but the loop keeps mutating"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut acc = 1;
+    let mut snapshot = &acc;
+    let mut i = 0;
+    while i < input(0) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    print(*snapshot);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut acc = 1;
+    let mut i = 0;
+    while i < input(0) {
+        acc = acc + i;
+        i = i + 1;
+    }
+    let mut snapshot = &acc;
+    print(*snapshot);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_field_view_invalidated" ~category:k
+      ~description:"a shared view of one tuple field is read after the whole tuple is rewritten"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut record = (input(0), input(0) * 2);
+    let mut view = &record.1;
+    record = (0, 0);
+    print(*view);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut record = (input(0), input(0) * 2);
+    let mut view = &record.1;
+    print(*view);
+    record = (0, 0);
+    print(record.1);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"bb_reader_helper" ~category:k
+      ~description:"a helper reads through a shared reference captured before a direct write"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn read_twice(r: &i64) -> i64 {
+    return *r + *r;
+}
+
+fn main() {
+    let mut gauge = input(0);
+    let mut snapshot = &gauge;
+    gauge = gauge + 10;
+    print(read_twice(snapshot));
+}
+|}
+      ~fixed:
+        {|
+fn read_twice(r: &i64) -> i64 {
+    return *r + *r;
+}
+
+fn main() {
+    let mut gauge = input(0);
+    gauge = gauge + 10;
+    let mut snapshot = &gauge;
+    print(read_twice(snapshot));
+}
+|}
+      ()
+  ]

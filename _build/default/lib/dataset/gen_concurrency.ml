@@ -1,0 +1,331 @@
+(* Concurrency misuse other than data races: leaked threads, double joins,
+   forged handles. *)
+
+let k = Miri.Diag.Concurrency
+
+let cases =
+  [
+    Case.make ~name:"cc_thread_leak" ~category:k
+      ~description:"main exits while a worker is still unjoined"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    print(n * 2);
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    print(1);
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    print(n * 2);
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    join(h);
+    print(1);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_double_join" ~category:k
+      ~description:"the same handle is joined twice"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    print(n);
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    join(h);
+    join(h);
+    print(9);
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    print(n);
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    join(h);
+    print(9);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_forged_handle" ~category:k
+      ~description:"an integer is transmuted into a thread handle and joined"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut ticket = input(0);
+    unsafe {
+        let mut h = transmute::<handle>(ticket + 40);
+        join(h);
+    }
+    print(ticket);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut ticket = input(0);
+    print(ticket);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_two_leaks" ~category:k
+      ~description:"a fan-out joins only one of its two workers"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    let mut local = n * n;
+    local = local + 1;
+}
+
+fn main() {
+    let a = spawn worker(input(0));
+    let b = spawn worker(input(0) + 1);
+    join(a);
+    print(0);
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    let mut local = n * n;
+    local = local + 1;
+}
+
+fn main() {
+    let a = spawn worker(input(0));
+    let b = spawn worker(input(0) + 1);
+    join(a);
+    join(b);
+    print(0);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_conditional_leak" ~category:k
+      ~description:"an early-out path forgets to join"
+      ~probes:[ [| 0L |]; [| 4L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    let mut unused = n + 1;
+    unused = unused * 2;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    if input(0) == 0 {
+        print(-1);
+    } else {
+        join(h);
+        print(input(0));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    let mut unused = n + 1;
+    unused = unused * 2;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    join(h);
+    if input(0) == 0 {
+        print(-1);
+    } else {
+        print(input(0));
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_join_in_wrong_branch" ~category:k
+      ~description:"the join lives inside a branch that not every input reaches"
+      ~probes:[ [| 1L |]; [| 5L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    let mut x = n * 2;
+    x = x + 1;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    let mut mode = input(0);
+    if mode > 3 {
+        join(h);
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    let mut x = n * 2;
+    x = x + 1;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    let mut mode = input(0);
+    join(h);
+    if mode > 3 {
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_handle_reuse" ~category:k
+      ~description:"a dispatcher joins the same worker once per loop iteration"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn worker(n: i64) {
+    let mut x = n + 1;
+    x = x * 2;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    let mut i = 0;
+    while i < input(0) {
+        join(h);
+        i = i + 1;
+    }
+    print(i);
+}
+|}
+      ~fixed:
+        {|
+fn worker(n: i64) {
+    let mut x = n + 1;
+    x = x * 2;
+}
+
+fn main() {
+    let h = spawn worker(input(0));
+    join(h);
+    let mut i = 0;
+    while i < input(0) {
+        i = i + 1;
+    }
+    print(i);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_nested_spawn_leak" ~category:k
+      ~description:"a worker spawns a grandchild nobody joins"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn grandchild(n: i64) {
+    let mut x = n * 3;
+    x = x + 1;
+}
+
+fn child(n: i64) {
+    let g = spawn grandchild(n);
+    let mut y = n + 1;
+    y = y * 2;
+}
+
+fn main() {
+    let c = spawn child(input(0));
+    join(c);
+    print(0);
+}
+|}
+      ~fixed:
+        {|
+fn grandchild(n: i64) {
+    let mut x = n * 3;
+    x = x + 1;
+}
+
+fn child(n: i64) {
+    let g = spawn grandchild(n);
+    let mut y = n + 1;
+    y = y * 2;
+    join(g);
+}
+
+fn main() {
+    let c = spawn child(input(0));
+    join(c);
+    print(0);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"cc_fanout_partial_join" ~category:k
+      ~description:"a three-way fan-out joins only the first two workers"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn work(n: i64) {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < n {
+        acc = acc + i;
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let a = spawn work(input(0));
+    let b = spawn work(input(0) + 1);
+    let c = spawn work(input(0) + 2);
+    join(a);
+    join(b);
+    print(3);
+}
+|}
+      ~fixed:
+        {|
+fn work(n: i64) {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < n {
+        acc = acc + i;
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let a = spawn work(input(0));
+    let b = spawn work(input(0) + 1);
+    let c = spawn work(input(0) + 2);
+    join(a);
+    join(b);
+    join(c);
+    print(3);
+}
+|}
+      ()
+  ]

@@ -1,0 +1,328 @@
+(* Dangling-pointer UBs: the pointee is dead (freed heap block, out-of-scope
+   local) or the access runs outside the allocation's bounds. *)
+
+let k = Miri.Diag.Dangling_pointer
+
+let cases =
+  [
+    Case.make ~name:"dp_return_local_addr" ~category:k
+      ~description:"function returns the address of its own local"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn make() -> *const i64 {
+    let mut slot = input(0);
+    return &raw const slot;
+}
+
+fn main() {
+    let mut p = make();
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn make() -> i64 {
+    let mut slot = input(0);
+    return slot;
+}
+
+fn main() {
+    let mut v = make();
+    print(v);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_use_after_free_read" ~category:k
+      ~description:"heap block read after it was deallocated"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        dealloc(p as *mut i8, 8, 8);
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_use_after_free_write" ~category:k
+      ~description:"heap block written after it was deallocated"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = 1;
+        dealloc(p as *mut i8, 8, 8);
+        *p = input(0);
+    }
+    print(0);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = 1;
+        *p = input(0);
+        dealloc(p as *mut i8, 8, 8);
+    }
+    print(0);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_unchecked_index_oob" ~category:k
+      ~description:"get_unchecked with an index past the end of the array"
+      ~probes:[ [| 2L |]; [| 6L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut samples = [4, 8, 15, 16];
+    let mut i = input(0);
+    unsafe {
+        print(samples.get_unchecked(i));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut samples = [4, 8, 15, 16];
+    let mut i = input(0);
+    print(samples[i]);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_block_scope_escape" ~category:k
+      ~description:"pointer to an inner-block local used after the block ends"
+      ~probes:[ [| 9L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut p = 0 as *const i64;
+    {
+        let mut inner = input(0);
+        p = &raw const inner;
+    }
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut outer = input(0);
+    let mut p = &raw const outer;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_offset_past_end" ~category:k
+      ~description:"pointer arithmetic walks one element past the allocation"
+      ~probes:[ [| 0L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut base = alloc(24, 8) as *mut i64;
+        *base = input(0);
+        *base.offset(1) = 2;
+        *base.offset(2) = 3;
+        print(*base.offset(3));
+        dealloc(base as *mut i8, 24, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut base = alloc(24, 8) as *mut i64;
+        *base = input(0);
+        *base.offset(1) = 2;
+        *base.offset(2) = 3;
+        print(*base.offset(2));
+        dealloc(base as *mut i8, 24, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_stale_cache_pointer" ~category:k
+      ~description:"a cached element pointer outlives the buffer it points into"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8) as *mut i64;
+        *buf = 10;
+        *buf.offset(1) = 20;
+        let mut cached = buf.offset(1);
+        dealloc(buf as *mut i8, 16, 8);
+        let mut fresh = alloc(16, 8) as *mut i64;
+        *fresh = input(0);
+        print(*cached);
+        dealloc(fresh as *mut i8, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8) as *mut i64;
+        *buf = 10;
+        *buf.offset(1) = 20;
+        let mut cached = *buf.offset(1);
+        dealloc(buf as *mut i8, 16, 8);
+        let mut fresh = alloc(16, 8) as *mut i64;
+        *fresh = input(0);
+        print(cached);
+        dealloc(fresh as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_pop_then_peek" ~category:k
+      ~description:"a tiny stack frees its backing store on pop but peek still reads it"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+fn push(buf: *mut i64, top: i64, v: i64) {
+    unsafe {
+        *buf.offset(top) = v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut buf = alloc(24, 8) as *mut i64;
+        push(buf, 0, input(0));
+        push(buf, 1, input(0) + 1);
+        let mut top_value = 0;
+        dealloc(buf as *mut i8, 24, 8);
+        top_value = *buf.offset(1);
+        print(top_value);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn push(buf: *mut i64, top: i64, v: i64) {
+    unsafe {
+        *buf.offset(top) = v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut buf = alloc(24, 8) as *mut i64;
+        push(buf, 0, input(0));
+        push(buf, 1, input(0) + 1);
+        let mut top_value = 0;
+        top_value = *buf.offset(1);
+        dealloc(buf as *mut i8, 24, 8);
+        print(top_value);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_grow_keeps_old_ptr" ~category:k
+      ~description:"after growing a buffer, one pointer still refers to the freed block"
+      ~probes:[ [| 9L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut old = alloc(8, 8) as *mut i64;
+        *old = input(0);
+        let mut grown = alloc(16, 8) as *mut i64;
+        *grown = *old;
+        *grown.offset(1) = 0;
+        dealloc(old as *mut i8, 8, 8);
+        print(*old);
+        dealloc(grown as *mut i8, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut old = alloc(8, 8) as *mut i64;
+        *old = input(0);
+        let mut grown = alloc(16, 8) as *mut i64;
+        *grown = *old;
+        *grown.offset(1) = 0;
+        dealloc(old as *mut i8, 8, 8);
+        print(*grown);
+        dealloc(grown as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dp_negative_unchecked" ~category:k
+      ~description:"a reverse scan underflows to index -1 with get_unchecked"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut data = [5, 6, 7];
+    let mut i = data.len() as i64 - 1;
+    let mut total = 0;
+    while i >= -1 {
+        unsafe {
+            total = total + data.get_unchecked(i);
+        }
+        i = i - 1;
+    }
+    print(total);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut data = [5, 6, 7];
+    let mut i = data.len() as i64 - 1;
+    let mut total = 0;
+    while i >= 0 {
+        unsafe {
+            total = total + data.get_unchecked(i);
+        }
+        i = i - 1;
+    }
+    print(total);
+}
+|}
+      ()
+  ]

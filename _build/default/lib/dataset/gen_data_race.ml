@@ -1,0 +1,551 @@
+(* Data races: conflicting accesses from two threads with no happens-before
+   ordering. Reference fixes either sequence the work with joins or switch
+   the shared cell to atomic operations. *)
+
+let k = Miri.Diag.Data_race
+
+let cases =
+  [
+    Case.make ~name:"dr_two_writers" ~category:k
+      ~description:"two workers increment the same static without synchronization"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+static mut COUNTER: i64 = 0;
+
+fn bump(n: i64) {
+    unsafe {
+        COUNTER = COUNTER + n;
+    }
+}
+
+fn main() {
+    let a = spawn bump(input(0));
+    let b = spawn bump(input(0) * 2);
+    join(a);
+    join(b);
+    unsafe {
+        print(COUNTER);
+    }
+}
+|}
+      ~fixed:
+        {|
+static mut COUNTER: i64 = 0;
+
+fn bump(n: i64) {
+    unsafe {
+        COUNTER = COUNTER + n;
+    }
+}
+
+fn main() {
+    let a = spawn bump(input(0));
+    join(a);
+    let b = spawn bump(input(0) * 2);
+    join(b);
+    unsafe {
+        print(COUNTER);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_read_before_join" ~category:k
+      ~description:"main reads the shared cell before joining the writer"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+static mut RESULT: i64 = 0;
+
+fn compute(n: i64) {
+    unsafe {
+        RESULT = n * n;
+    }
+}
+
+fn main() {
+    let h = spawn compute(input(0));
+    let mut seen = 0;
+    unsafe {
+        seen = RESULT;
+    }
+    join(h);
+    unsafe {
+        print(RESULT);
+    }
+}
+|}
+      ~fixed:
+        {|
+static mut RESULT: i64 = 0;
+
+fn compute(n: i64) {
+    unsafe {
+        RESULT = n * n;
+    }
+}
+
+fn main() {
+    let h = spawn compute(input(0));
+    join(h);
+    let mut seen = 0;
+    unsafe {
+        seen = RESULT;
+        print(RESULT);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_heap_cell" ~category:k
+      ~description:"main and a worker write the same heap cell concurrently"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn writer(p: *mut i64, v: i64) {
+    unsafe {
+        *p = v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut cell = alloc(8, 8) as *mut i64;
+        *cell = 0;
+        let h = spawn writer(cell, input(0));
+        *cell = 42;
+        join(h);
+        print(*cell);
+        dealloc(cell as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn writer(p: *mut i64, v: i64) {
+    unsafe {
+        *p = v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut cell = alloc(8, 8) as *mut i64;
+        *cell = 42;
+        let h = spawn writer(cell, input(0));
+        join(h);
+        print(*cell);
+        dealloc(cell as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_flag_spin" ~category:k
+      ~description:"a hand-rolled flag handshake uses plain loads and stores"
+      ~probes:[ [| 9L |] ]
+      ~buggy:
+        {|
+static mut READY: i64 = 0;
+static mut PAYLOAD: i64 = 0;
+
+fn producer(v: i64) {
+    unsafe {
+        PAYLOAD = v;
+        READY = 1;
+    }
+}
+
+fn main() {
+    let h = spawn producer(input(0));
+    let mut waiting = true;
+    while waiting {
+        unsafe {
+            if READY == 1 {
+                waiting = false;
+            }
+        }
+    }
+    unsafe {
+        print(PAYLOAD);
+    }
+    join(h);
+}
+|}
+      ~fixed:
+        {|
+static mut READY: i64 = 0;
+static mut PAYLOAD: i64 = 0;
+
+fn producer(v: i64) {
+    unsafe {
+        PAYLOAD = v;
+        atomic_store(&raw mut READY, 1);
+    }
+}
+
+fn main() {
+    let h = spawn producer(input(0));
+    let mut waiting = true;
+    while waiting {
+        unsafe {
+            if atomic_load(&raw mut READY) == 1 {
+                waiting = false;
+            }
+        }
+    }
+    unsafe {
+        print(PAYLOAD);
+    }
+    join(h);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_shared_slot_sum" ~category:k
+      ~description:"two workers accumulate into one slot instead of separate ones"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn accumulate(p: *mut i64, v: i64) {
+    unsafe {
+        *p = *p + v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut slots = alloc(16, 8) as *mut i64;
+        *slots = 0;
+        *slots.offset(1) = 0;
+        let a = spawn accumulate(slots, input(0));
+        let b = spawn accumulate(slots, input(0) + 1);
+        join(a);
+        join(b);
+        print(*slots);
+        dealloc(slots as *mut i8, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn accumulate(p: *mut i64, v: i64) {
+    unsafe {
+        *p = *p + v;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut slots = alloc(16, 8) as *mut i64;
+        *slots = 0;
+        *slots.offset(1) = 0;
+        let a = spawn accumulate(slots, input(0));
+        let b = spawn accumulate(slots.offset(1), input(0) + 1);
+        join(a);
+        join(b);
+        print(*slots + *slots.offset(1));
+        dealloc(slots as *mut i8, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_concurrent_counters" ~category:k
+      ~description:"two workers increment a shared counter; the fix keeps them concurrent with fetch-and-add"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+static mut HITS: i64 = 0;
+
+fn record(n: i64) {
+    let mut i = 0;
+    while i < n {
+        unsafe {
+            HITS = HITS + 1;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let a = spawn record(input(0));
+    let b = spawn record(input(0));
+    join(a);
+    join(b);
+    unsafe {
+        print(HITS);
+    }
+}
+|}
+      ~fixed:
+        {|
+static mut HITS: i64 = 0;
+
+fn record(n: i64) {
+    let mut i = 0;
+    while i < n {
+        unsafe {
+            atomic_add(&raw mut HITS, 1);
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let a = spawn record(input(0));
+    let b = spawn record(input(0));
+    join(a);
+    join(b);
+    unsafe {
+        print(atomic_load(&raw mut HITS));
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_publish_before_init" ~category:k
+      ~description:"a worker publishes a buffer pointer before finishing its writes"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+static mut SHARED: i64 = 0;
+static mut DONE: i64 = 0;
+
+fn producer(v: i64) {
+    unsafe {
+        atomic_store(&raw mut DONE, 1);
+        SHARED = v * 2;
+    }
+}
+
+fn main() {
+    let h = spawn producer(input(0));
+    let mut spin = true;
+    while spin {
+        unsafe {
+            if atomic_load(&raw mut DONE) == 1 {
+                spin = false;
+            }
+        }
+    }
+    unsafe {
+        print(SHARED);
+    }
+    join(h);
+}
+|}
+      ~fixed:
+        {|
+static mut SHARED: i64 = 0;
+static mut DONE: i64 = 0;
+
+fn producer(v: i64) {
+    unsafe {
+        SHARED = v * 2;
+        atomic_store(&raw mut DONE, 1);
+    }
+}
+
+fn main() {
+    let h = spawn producer(input(0));
+    let mut spin = true;
+    while spin {
+        unsafe {
+            if atomic_load(&raw mut DONE) == 1 {
+                spin = false;
+            }
+        }
+    }
+    unsafe {
+        print(SHARED);
+    }
+    join(h);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_rmw_on_heap" ~category:k
+      ~description:"concurrent read-modify-write on a heap counter; atomic_add is the fix"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn bump(p: *mut i64, times: i64) {
+    let mut i = 0;
+    while i < times {
+        unsafe {
+            *p = *p + 1;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut counter = alloc(8, 8) as *mut i64;
+        *counter = 0;
+        let a = spawn bump(counter, input(0));
+        let b = spawn bump(counter, input(0));
+        join(a);
+        join(b);
+        print(*counter);
+        dealloc(counter as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn bump(p: *mut i64, times: i64) {
+    let mut i = 0;
+    while i < times {
+        unsafe {
+            atomic_add(p, 1);
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut counter = alloc(8, 8) as *mut i64;
+        *counter = 0;
+        let a = spawn bump(counter, input(0));
+        let b = spawn bump(counter, input(0));
+        join(a);
+        join(b);
+        print(atomic_load(counter));
+        dealloc(counter as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_overlapping_ranges" ~category:k
+      ~description:"two workers write ranges that overlap in one cell"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn fill(p: *mut i64, from: i64, upto: i64, v: i64) {
+    let mut i = from;
+    while i < upto {
+        unsafe {
+            *p.offset(i) = v;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut buf = alloc(32, 8) as *mut i64;
+        let a = spawn fill(buf, 0, 3, input(0));
+        let b = spawn fill(buf, 2, 4, input(0) + 1);
+        join(a);
+        join(b);
+        print(*buf.offset(3));
+        dealloc(buf as *mut i8, 32, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn fill(p: *mut i64, from: i64, upto: i64, v: i64) {
+    let mut i = from;
+    while i < upto {
+        unsafe {
+            *p.offset(i) = v;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut buf = alloc(32, 8) as *mut i64;
+        let a = spawn fill(buf, 0, 2, input(0));
+        let b = spawn fill(buf, 2, 4, input(0) + 1);
+        join(a);
+        join(b);
+        print(*buf.offset(3));
+        dealloc(buf as *mut i8, 32, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"dr_stats_pipeline_modules" ~category:k
+      ~description:"multi-module stats pipeline: the aggregator reads before joining both stages"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+static mut MIN_SEEN: i64 = 999;
+static mut MAX_SEEN: i64 = -999;
+
+fn stage_min(v: i64) {
+    unsafe {
+        if v < MIN_SEEN {
+            MIN_SEEN = v;
+        }
+    }
+}
+
+fn stage_max(v: i64) {
+    unsafe {
+        if v > MAX_SEEN {
+            MAX_SEEN = v;
+        }
+    }
+}
+
+fn aggregate() -> i64 {
+    unsafe {
+        return MAX_SEEN - MIN_SEEN;
+    }
+}
+
+fn main() {
+    let a = spawn stage_min(input(0));
+    let b = spawn stage_max(input(0) * 5);
+    join(a);
+    print(aggregate());
+    join(b);
+}
+|}
+      ~fixed:
+        {|
+static mut MIN_SEEN: i64 = 999;
+static mut MAX_SEEN: i64 = -999;
+
+fn stage_min(v: i64) {
+    unsafe {
+        if v < MIN_SEEN {
+            MIN_SEEN = v;
+        }
+    }
+}
+
+fn stage_max(v: i64) {
+    unsafe {
+        if v > MAX_SEEN {
+            MAX_SEEN = v;
+        }
+    }
+}
+
+fn aggregate() -> i64 {
+    unsafe {
+        return MAX_SEEN - MIN_SEEN;
+    }
+}
+
+fn main() {
+    let a = spawn stage_min(input(0));
+    let b = spawn stage_max(input(0) * 5);
+    join(a);
+    join(b);
+    print(aggregate());
+}
+|}
+      ()
+  ]

@@ -1,0 +1,227 @@
+(* Function-call UBs: the callee is not a function at all — a null pointer,
+   a data pointer, or integer garbage conjured into a fn pointer. *)
+
+let k = Miri.Diag.Func_call
+
+let cases =
+  [
+    Case.make ~name:"fc_null_fn_ptr" ~category:k
+      ~description:"an uninitialized (null) callback is invoked"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn on_event(x: i64) -> i64 {
+    return x + 100;
+}
+
+fn main() {
+    unsafe {
+        let mut callback = transmute::<fn(i64) -> i64>(0);
+        print(callback(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn on_event(x: i64) -> i64 {
+    return x + 100;
+}
+
+fn main() {
+    let mut callback = on_event;
+    print(callback(input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_data_as_code" ~category:k
+      ~description:"a pointer to data is invoked as code"
+      ~probes:[ [| 8L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut jump = transmute::<fn(i64) -> i64>(&raw const x);
+        print(jump(1));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn identity(v: i64) -> i64 {
+    return v;
+}
+
+fn main() {
+    let mut x = input(0);
+    let mut jump = identity;
+    print(jump(1));
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_garbage_address" ~category:k
+      ~description:"an integer \"handle\" is cast into a callable"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut handle_bits = 3735928559;
+    unsafe {
+        let mut f = transmute::<fn(i64) -> i64>(handle_bits);
+        print(f(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn from_handle(x: i64) -> i64 {
+    return x;
+}
+
+fn main() {
+    let mut f = from_handle;
+    print(f(input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_freed_trampoline" ~category:k
+      ~description:"a callback slot is read back from freed memory and called"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn step(x: i64) -> i64 {
+    return x + 1;
+}
+
+fn main() {
+    unsafe {
+        let mut slot = alloc(8, 8) as *mut i64;
+        *slot = step as usize as i64;
+        let mut stored = *slot;
+        dealloc(slot as *mut i8, 8, 8);
+        let mut f = transmute::<fn(i64) -> i64>(stored);
+        print(f(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn step(x: i64) -> i64 {
+    return x + 1;
+}
+
+fn main() {
+    let mut f = step;
+    print(f(input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_offset_fn_ptr" ~category:k
+      ~description:"arithmetic on a function address produces a non-function"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn base_op(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    unsafe {
+        let mut addr = base_op as usize;
+        let mut f = transmute::<fn(i64) -> i64>(addr + 1usize);
+        print(f(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn base_op(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    let mut f = base_op;
+    print(f(input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_uninit_vtable_slot" ~category:k
+      ~description:"a vtable slot is called before anything was stored in it"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn real_handler(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    unsafe {
+        let mut vtable = alloc(8, 8) as *mut i64;
+        let mut f = transmute::<fn(i64) -> i64>(0);
+        if input(0) < 0 {
+            *vtable = real_handler as usize as i64;
+            f = transmute::<fn(i64) -> i64>(*vtable);
+        }
+        print(f(input(0)));
+        dealloc(vtable as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn real_handler(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    unsafe {
+        let mut vtable = alloc(8, 8) as *mut i64;
+        let mut f = real_handler;
+        print(f(input(0)));
+        dealloc(vtable as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fc_union_punned_callee" ~category:k
+      ~description:"a callback is smuggled through a union's integer field"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+union Slot { addr: i64, tag: i8 }
+
+fn handler(x: i64) -> i64 {
+    return x + 7;
+}
+
+fn main() {
+    unsafe {
+        let mut slot = transmute::<Slot>(0);
+        slot.addr = handler as usize as i64;
+        let mut f = transmute::<fn(i64) -> i64>(slot.addr);
+        print(f(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+union Slot { addr: i64, tag: i8 }
+
+fn handler(x: i64) -> i64 {
+    return x + 7;
+}
+
+fn main() {
+    let mut f = handler;
+    print(f(input(0)));
+}
+|}
+      ()
+  ]

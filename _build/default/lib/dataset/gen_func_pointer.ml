@@ -1,0 +1,283 @@
+(* Function-pointer UBs: calling through a pointer whose claimed signature
+   does not match the callee — the "type conversion problems" the paper
+   highlights for this category. *)
+
+let k = Miri.Diag.Func_pointer
+
+let cases =
+  [
+    Case.make ~name:"fp_wrong_arity" ~category:k
+      ~description:"a unary function is transmuted to a binary signature"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn double(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    unsafe {
+        let mut op = transmute::<fn(i64, i64) -> i64>(double);
+        print(op(input(0), 1));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn double(x: i64) -> i64 {
+    return x * 2;
+}
+
+fn main() {
+    let mut op = double;
+    print(op(input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_wrong_return" ~category:k
+      ~description:"the claimed signature returns a value the callee never produces"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+fn log_value(x: i64) {
+    print(x);
+}
+
+fn main() {
+    unsafe {
+        let mut f = transmute::<fn(i64) -> i64>(log_value);
+        let mut r = f(input(0));
+        print(r);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn log_value(x: i64) -> i64 {
+    print(x);
+    return x;
+}
+
+fn main() {
+    let mut f = log_value;
+    let mut r = f(input(0));
+    print(r);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_wrong_param_type" ~category:k
+      ~description:"a pointer-taking function is called with a plain integer signature"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn read_slot(p: *const i64) -> i64 {
+    unsafe {
+        return *p;
+    }
+}
+
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut f = transmute::<fn(i64) -> i64>(read_slot);
+        print(f(x));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn read_slot(p: *const i64) -> i64 {
+    unsafe {
+        return *p;
+    }
+}
+
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut f = read_slot;
+        print(f(&raw const x));
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_table_mixup" ~category:k
+      ~description:"a dispatch table mixes signatures via transmute"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn inc(x: i64) -> i64 {
+    return x + 1;
+}
+
+fn sum2(a: i64, b: i64) -> i64 {
+    return a + b;
+}
+
+fn main() {
+    unsafe {
+        let mut table = [inc, transmute::<fn(i64) -> i64>(sum2)];
+        let mut v = input(0);
+        print(table[0](v));
+        print(table[1](v));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn inc(x: i64) -> i64 {
+    return x + 1;
+}
+
+fn sum2(a: i64, b: i64) -> i64 {
+    return a + b;
+}
+
+fn twice(x: i64) -> i64 {
+    return sum2(x, x);
+}
+
+fn main() {
+    let mut table = [inc, twice];
+    let mut v = input(0);
+    print(table[0](v));
+    print(table[1](v));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_roundtrip_int" ~category:k
+      ~description:"a fn pointer survives an integer round-trip but with the wrong type"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn triple(x: i64) -> i64 {
+    return x * 3;
+}
+
+fn main() {
+    unsafe {
+        let mut addr = triple as *const ();
+        let mut f = transmute::<fn(i64, i64) -> i64>(addr);
+        print(f(input(0), 0));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn triple(x: i64) -> i64 {
+    return x * 3;
+}
+
+fn main() {
+    unsafe {
+        let mut addr = triple as *const ();
+        let mut f = transmute::<fn(i64) -> i64>(addr);
+        print(f(input(0)));
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_callback_registry" ~category:k
+      ~description:"a registry slot written as one signature is invoked as another"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn on_tick(t: i64) -> i64 {
+    return t + 1;
+}
+
+fn dispatch(f: fn(i64, i64) -> i64, a: i64) -> i64 {
+    return f(a, a);
+}
+
+fn main() {
+    unsafe {
+        let mut slot = transmute::<fn(i64, i64) -> i64>(on_tick);
+        print(dispatch(slot, input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn on_tick(t: i64) -> i64 {
+    return t + 1;
+}
+
+fn dispatch(f: fn(i64) -> i64, a: i64) -> i64 {
+    return f(a);
+}
+
+fn main() {
+    let mut slot = on_tick;
+    print(dispatch(slot, input(0)));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_zero_arity_confusion" ~category:k
+      ~description:"a nullary initializer is stored behind a unary signature"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn init() -> i64 {
+    return 99;
+}
+
+fn main() {
+    unsafe {
+        let mut setup = transmute::<fn(i64) -> i64>(init);
+        print(setup(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn init() -> i64 {
+    return 99;
+}
+
+fn main() {
+    let mut setup = init;
+    print(setup());
+}
+|}
+      ()
+  ;
+    Case.make ~name:"fp_bool_result_confusion" ~category:k
+      ~description:"a predicate is called through a signature returning i64"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+fn is_big(x: i64) -> bool {
+    return x > 5;
+}
+
+fn main() {
+    unsafe {
+        let mut judge = transmute::<fn(i64) -> i64>(is_big);
+        print(judge(input(0)));
+    }
+}
+|}
+      ~fixed:
+        {|
+fn is_big(x: i64) -> bool {
+    return x > 5;
+}
+
+fn main() {
+    let mut judge = is_big;
+    if judge(input(0)) {
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ()
+  ]

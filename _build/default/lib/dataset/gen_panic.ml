@@ -1,0 +1,240 @@
+(* Panic-category errors: the program aborts with a reachable panic —
+   arithmetic overflow, division by zero, out-of-bounds checked indexing, or
+   an over-strict assertion. Panics are defined behaviour, but they are the
+   bug these cases exist to fix: the reference runs to completion. *)
+
+let k = Miri.Diag.Panic_bug
+
+let cases =
+  [
+    Case.make ~name:"pn_add_overflow" ~category:k
+      ~description:"an accumulator saturates past i64::MAX"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut nearly_max = 9223372036854775800;
+    let mut bump = input(0) * 5;
+    let mut total = nearly_max + bump;
+    print(total);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut nearly_max = 9223372036854775800;
+    let mut bump = input(0) * 5;
+    let mut room = 9223372036854775807 - nearly_max;
+    if bump > room {
+        print(9223372036854775807);
+    } else {
+        print(nearly_max + bump);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_div_by_zero" ~category:k
+      ~description:"a ratio is computed without guarding the divisor"
+      ~probes:[ [| 10L; 0L |]; [| 10L; 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut total = input(0);
+    let mut count = input(1);
+    let mut mean = total / count;
+    print(mean);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut total = input(0);
+    let mut count = input(1);
+    if count == 0 {
+        print(0);
+    } else {
+        print(total / count);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_index_off_by_one" ~category:k
+      ~description:"a scan loop runs one element past the array"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut table = [3, 1, 4, 1, 5];
+    let mut i = 0;
+    let mut sum = 0;
+    while i <= table.len() as i64 {
+        sum = sum + table[i];
+        i = i + 1;
+    }
+    print(sum);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut table = [3, 1, 4, 1, 5];
+    let mut i = 0;
+    let mut sum = 0;
+    while i < table.len() as i64 {
+        sum = sum + table[i];
+        i = i + 1;
+    }
+    print(sum);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_strict_assert" ~category:k
+      ~description:"a sanity assertion rejects a legal input"
+      ~probes:[ [| 0L |]; [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut requests = input(0);
+    assert(requests > 0, "requests must be positive");
+    print(requests * 2);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut requests = input(0);
+    assert(requests >= 0, "requests must be non-negative");
+    print(requests * 2);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_mul_overflow" ~category:k
+      ~description:"a size computation multiplies past the integer range"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut blocks = 4611686018427387904;
+    let mut bytes = blocks * (input(0) + 1);
+    print(bytes);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut blocks = 4611686018427387904;
+    let mut factor = input(0) + 1;
+    let mut limit = 9223372036854775807 / factor;
+    if blocks > limit {
+        print(-1);
+    } else {
+        print(blocks * factor);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_shift_overflow" ~category:k
+      ~description:"a shift amount equal to the width"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut bits = input(0);
+    let mut mask = 1 << (bits + 63);
+    print(mask);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut bits = input(0);
+    let mut mask = 1 << ((bits + 63) % 64);
+    print(mask);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_sub_underflow_usize" ~category:k
+      ~description:"an unsigned length underflows below zero"
+      ~probes:[ [| 0L |]; [| 6L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut len = input(0) as usize;
+    let mut without_header = len - 2usize;
+    print(without_header as i64);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut len = input(0) as usize;
+    if len < 2usize {
+        print(0);
+    } else {
+        print((len - 2usize) as i64);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_average_of_empty" ~category:k
+      ~description:"a helper divides by a count that can be zero"
+      ~probes:[ [| 0L |]; [| 4L |] ]
+      ~buggy:
+        {|
+fn average(total: i64, count: i64) -> i64 {
+    return total / count;
+}
+
+fn main() {
+    let mut n = input(0);
+    let mut sum = n * (n + 1) / 2;
+    print(average(sum, n));
+}
+|}
+      ~fixed:
+        {|
+fn average(total: i64, count: i64) -> i64 {
+    if count == 0 {
+        return 0;
+    }
+    return total / count;
+}
+
+fn main() {
+    let mut n = input(0);
+    let mut sum = n * (n + 1) / 2;
+    print(average(sum, n));
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pn_binary_search_probe" ~category:k
+      ~description:"a midpoint expression overflows for large bounds"
+      ~probes:[ [| 9223372036854775000L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut lo = input(0);
+    let mut hi = 9223372036854775807;
+    let mut mid = (lo + hi) / 2;
+    print(mid);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut lo = input(0);
+    let mut hi = 9223372036854775807;
+    let mut mid = lo + (hi - lo) / 2;
+    print(mid);
+}
+|}
+      ()
+  ]

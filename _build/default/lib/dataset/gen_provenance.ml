@@ -1,0 +1,212 @@
+(* Provenance UBs: integer-derived pointers used without a valid provenance
+   chain (the address was never exposed, or the provenance was stripped by a
+   transmute round-trip). *)
+
+let k = Miri.Diag.Provenance
+
+let cases =
+  [
+    Case.make ~name:"pv_transmute_roundtrip" ~category:k
+      ~description:"ptr->int via transmute strips provenance without exposing"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut addr = transmute::<usize>(&raw const x);
+        let mut p = addr as *const i64;
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut addr = &raw const x as usize;
+        let mut p = addr as *const i64;
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_int_in_memory" ~category:k
+      ~description:"a pointer smuggled through memory as an integer loses provenance"
+      ~probes:[ [| 9L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut stash = 0;
+    unsafe {
+        stash = transmute::<i64>(&raw mut x);
+        let mut p = transmute::<*mut i64>(stash);
+        *p = *p + 1;
+    }
+    print(x);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut stash = 0;
+    unsafe {
+        stash = &raw mut x as *mut i64 as i64;
+        let mut p = stash as *mut i64;
+        *p = *p + 1;
+    }
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_neighbor_guess" ~category:k
+      ~description:"pointer arithmetic from one exposed local into an unexposed one"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = a * 10;
+    let mut base = &raw const a as usize;
+    unsafe {
+        let mut hop = transmute::<usize>(&raw const b) - base;
+        let mut p = (base + hop) as *const i64;
+        let mut q = base as *const i64;
+        print(*q);
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = a * 10;
+    let mut q = &raw const a;
+    let mut p = &raw const b;
+    unsafe {
+        print(*q);
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_xor_stash" ~category:k
+      ~description:"an XOR-encoded pointer is decoded and dereferenced"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut secret = input(0);
+    unsafe {
+        let mut masked = transmute::<usize>(&raw const secret) ^ 12345usize;
+        let mut p = (masked ^ 12345usize) as *const i64;
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut secret = input(0);
+    unsafe {
+        let mut masked = (&raw const secret as usize) ^ 12345usize;
+        let mut p = (masked ^ 12345usize) as *const i64;
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_write_unexposed" ~category:k
+      ~description:"writing through an integer-derived pointer that was never exposed"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut slot = input(0);
+    unsafe {
+        let mut addr = transmute::<usize>(&raw mut slot);
+        let mut p = addr as *mut i64;
+        *p = 99;
+    }
+    print(slot);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut slot = input(0);
+    unsafe {
+        let mut p = &raw mut slot;
+        *p = 99;
+    }
+    print(slot);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_handle_table" ~category:k
+      ~description:"a handle table stores addresses as plain integers via transmute"
+      ~probes:[ [| 8L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut value = input(0);
+    let mut handles = [0, 0];
+    unsafe {
+        handles[0] = transmute::<i64>(&raw mut value);
+        let mut back = handles[0] as *mut i64;
+        *back = *back + 1;
+    }
+    print(value);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut value = input(0);
+    let mut handles = [0, 0];
+    unsafe {
+        handles[0] = &raw mut value as i64;
+        let mut back = handles[0] as *mut i64;
+        *back = *back + 1;
+    }
+    print(value);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"pv_offset_from_strange_base" ~category:k
+      ~description:"field address computed from a transmuted (never exposed) base"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut pair = (input(0), input(0) * 10);
+    unsafe {
+        let mut base = transmute::<usize>(&raw const pair);
+        let mut second = (base + 8usize) as *const i64;
+        print(*second);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut pair = (input(0), input(0) * 10);
+    unsafe {
+        let mut base = &raw const pair as usize;
+        let mut second = (base + 8usize) as *const i64;
+        print(*second);
+    }
+}
+|}
+      ()
+  ]

@@ -1,0 +1,438 @@
+(* Stack-borrow UBs: a tagged pointer used after a conflicting borrow
+   invalidated it. Reference fixes either reorder the uses or re-derive the
+   pointer — the two idioms Miri's own test suite fixes use. *)
+
+let k = Miri.Diag.Stack_borrow
+
+let cases =
+  [
+    Case.make ~name:"sb_write_after_retag" ~category:k
+      ~description:"raw pointer invalidated by a later &mut, then written through"
+      ~probes:[ [| 3L |]; [| 10L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut p = &mut x as *mut i64;
+    let mut r = &mut x;
+    *r = *r + 1;
+    unsafe {
+        *p = *p * 2;
+    }
+    print(x);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut p = &mut x as *mut i64;
+    unsafe {
+        *p = *p * 2;
+    }
+    let mut r = &mut x;
+    *r = *r + 1;
+    print(x);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_direct_write_invalidates" ~category:k
+      ~description:"direct write to the local pops the derived raw pointer's tag"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut counter = input(0);
+    let mut p = &raw mut counter;
+    counter = counter + 100;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut counter = input(0);
+    counter = counter + 100;
+    let mut p = &raw mut counter;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_callee_retag" ~category:k
+      ~description:"callee's &mut parameter invalidates the caller's raw pointer"
+      ~probes:[ [| 2L |]; [| 7L |] ]
+      ~buggy:
+        {|
+fn bump(r: &mut i64) {
+    *r = *r + 1;
+}
+
+fn main() {
+    let mut total = input(0);
+    let mut p = &mut total as *mut i64;
+    bump(&mut total);
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn bump(r: &mut i64) {
+    *r = *r + 1;
+}
+
+fn main() {
+    let mut total = input(0);
+    bump(&mut total);
+    let mut p = &mut total as *mut i64;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_loop_stale_raw" ~category:k
+      ~description:"a raw pointer captured before a loop goes stale inside it"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut acc = 0;
+    let mut p = &raw mut acc;
+    let mut i = 0;
+    while i < input(0) {
+        let mut r = &mut acc;
+        *r = *r + i;
+        unsafe {
+            *p = *p + 1;
+        }
+        i = i + 1;
+    }
+    print(acc);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut acc = 0;
+    let mut i = 0;
+    while i < input(0) {
+        let mut r = &mut acc;
+        *r = *r + i;
+        let mut p = &raw mut acc;
+        unsafe {
+            *p = *p + 1;
+        }
+        i = i + 1;
+    }
+    print(acc);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_sibling_raws" ~category:k
+      ~description:"deriving a second raw pointer from the place invalidates the first"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut cell = input(0);
+    let mut first = &raw mut cell;
+    let mut second = &raw mut cell;
+    unsafe {
+        *second = *second + 1;
+        *first = *first * 3;
+    }
+    print(cell);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut cell = input(0);
+    let mut first = &raw mut cell;
+    unsafe {
+        *first = *first + 1;
+        *first = *first * 3;
+    }
+    print(cell);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_array_elem_retag" ~category:k
+      ~description:"raw pointer to an array slot dies when the array is reborrowed"
+      ~probes:[ [| 1L |]; [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut data = [10, 20, 30, 40];
+    let mut p = &raw mut data[1];
+    let mut r = &mut data;
+    (*r)[2] = input(0);
+    unsafe {
+        print(*p);
+    }
+    print(data[2]);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut data = [10, 20, 30, 40];
+    let mut r = &mut data;
+    (*r)[2] = input(0);
+    let mut p = &raw mut data[1];
+    unsafe {
+        print(*p);
+    }
+    print(data[2]);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_swap_helper" ~category:k
+      ~description:"a hand-rolled swap keeps using a pointer across a fresh borrow"
+      ~probes:[ [| 6L; 9L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = input(1);
+    let mut pa = &mut a as *mut i64;
+    let mut tmp = 0;
+    let mut r = &mut a;
+    tmp = *r;
+    *r = b;
+    unsafe {
+        b = *pa;
+        *pa = tmp;
+    }
+    print(a);
+    print(b);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = input(1);
+    let mut tmp = 0;
+    let mut r = &mut a;
+    tmp = *r;
+    *r = b;
+    let mut pa = &mut a as *mut i64;
+    unsafe {
+        b = *pa;
+        *pa = tmp;
+    }
+    print(a);
+    print(b);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_row_pointer_cache" ~category:k
+      ~description:"a cached row pointer into a flat matrix dies when the matrix is reborrowed"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn row_sum(p: *const i64, width: i64) -> i64 {
+    let mut total = 0;
+    let mut j = 0;
+    while j < width {
+        unsafe {
+            total = total + *p.offset(j);
+        }
+        j = j + 1;
+    }
+    return total;
+}
+
+fn main() {
+    let mut grid = [1, 2, 3, 4, 5, 6];
+    let mut row1 = &raw mut grid[3] as *const i64;
+    let mut editor = &mut grid;
+    (*editor)[0] = input(0);
+    print(row_sum(row1, 3));
+    print(grid[0]);
+}
+|}
+      ~fixed:
+        {|
+fn row_sum(p: *const i64, width: i64) -> i64 {
+    let mut total = 0;
+    let mut j = 0;
+    while j < width {
+        unsafe {
+            total = total + *p.offset(j);
+        }
+        j = j + 1;
+    }
+    return total;
+}
+
+fn main() {
+    let mut grid = [1, 2, 3, 4, 5, 6];
+    let mut editor = &mut grid;
+    (*editor)[0] = input(0);
+    let mut row1 = &raw mut grid[3] as *const i64;
+    print(row_sum(row1, 3));
+    print(grid[0]);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_aliasing_params" ~category:k
+      ~description:"a raw pointer and a fresh &mut to the same local cross a call boundary"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn bump_both(p: *mut i64, r: &mut i64) {
+    *r = *r + 1;
+    unsafe {
+        *p = *p * 2;
+    }
+}
+
+fn main() {
+    let mut v = input(0);
+    let mut p = &raw mut v;
+    bump_both(p, &mut v);
+    print(v);
+}
+|}
+      ~fixed:
+        {|
+fn bump_both(p: *mut i64) {
+    unsafe {
+        *p = *p + 1;
+        *p = *p * 2;
+    }
+}
+
+fn main() {
+    let mut v = input(0);
+    let mut p = &raw mut v;
+    bump_both(p);
+    print(v);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_helper_chain" ~category:k
+      ~description:"a raw pointer made before a two-level call chain that reborrows"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn scale(r: &mut i64, by: i64) {
+    *r = *r * by;
+}
+
+fn adjust(r: &mut i64) {
+    scale(r, 3);
+    *r = *r + 1;
+}
+
+fn main() {
+    let mut level = input(0);
+    let mut watcher = &raw mut level;
+    adjust(&mut level);
+    unsafe {
+        print(*watcher);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn scale(r: &mut i64, by: i64) {
+    *r = *r * by;
+}
+
+fn adjust(r: &mut i64) {
+    scale(r, 3);
+    *r = *r + 1;
+}
+
+fn main() {
+    let mut level = input(0);
+    adjust(&mut level);
+    let mut watcher = &raw mut level;
+    unsafe {
+        print(*watcher);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"sb_ledger_modules" ~category:k
+      ~description:"multi-module ledger: an audit pointer taken before fee processing goes stale"
+      ~probes:[ [| 100L |] ]
+      ~buggy:
+        {|
+fn apply_fee(balance: &mut i64, fee: i64) {
+    *balance = *balance - fee;
+}
+
+fn apply_interest(balance: &mut i64) {
+    *balance = *balance + *balance / 10;
+}
+
+fn audit_read(p: *const i64) -> i64 {
+    unsafe {
+        return *p;
+    }
+}
+
+fn month_end(balance: &mut i64) {
+    apply_fee(balance, 5);
+    apply_interest(balance);
+}
+
+fn main() {
+    let mut balance = input(0);
+    let mut auditor = &raw mut balance as *const i64;
+    month_end(&mut balance);
+    print(audit_read(auditor));
+    print(balance);
+}
+|}
+      ~fixed:
+        {|
+fn apply_fee(balance: &mut i64, fee: i64) {
+    *balance = *balance - fee;
+}
+
+fn apply_interest(balance: &mut i64) {
+    *balance = *balance + *balance / 10;
+}
+
+fn audit_read(p: *const i64) -> i64 {
+    unsafe {
+        return *p;
+    }
+}
+
+fn month_end(balance: &mut i64) {
+    apply_fee(balance, 5);
+    apply_interest(balance);
+}
+
+fn main() {
+    let mut balance = input(0);
+    month_end(&mut balance);
+    let mut auditor = &raw mut balance as *const i64;
+    print(audit_read(auditor));
+    print(balance);
+}
+|}
+      ()
+  ]

@@ -1,0 +1,258 @@
+(* Unaligned-pointer UBs: a typed access whose address is not a multiple of
+   the type's alignment. *)
+
+let k = Miri.Diag.Unaligned_pointer
+
+let cases =
+  [
+    Case.make ~name:"ua_odd_offset_write" ~category:k
+      ~description:"writing an i64 one byte into the buffer"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8);
+        let mut q = buf.offset(1) as *mut i64;
+        *q = input(0);
+        print(*q);
+        dealloc(buf, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8);
+        let mut q = buf.offset(8) as *mut i64;
+        *q = input(0);
+        print(*q);
+        dealloc(buf, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_half_word_read" ~category:k
+      ~description:"reading an i64 from a 4-byte boundary"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8);
+        let mut lo = buf as *mut i32;
+        *lo = input(0) as i32;
+        let mut wide = buf.offset(4) as *mut i64;
+        print(*wide);
+        dealloc(buf, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(16, 8);
+        let mut lo = buf as *mut i32;
+        *lo = input(0) as i32;
+        print(*lo as i64);
+        dealloc(buf, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_underaligned_alloc" ~category:k
+      ~description:"the allocation's own alignment is too small for i64 access"
+      ~probes:[ [| 9L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(8, 1) as *mut i64;
+        *buf = input(0);
+        print(*buf);
+        dealloc(buf as *mut i8, 8, 1);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(8, 8) as *mut i64;
+        *buf = input(0);
+        print(*buf);
+        dealloc(buf as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_exposed_addr_bump" ~category:k
+      ~description:"address arithmetic on an exposed address breaks alignment"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut pair = [input(0), 77];
+    let mut addr = &raw mut pair[0] as *mut i64 as usize;
+    let mut p = (addr + 1usize) as *const i64;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut pair = [input(0), 77];
+    let mut addr = &raw mut pair[0] as *mut i64 as usize;
+    let mut p = addr as *const i64;
+    unsafe {
+        print(*p);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_packed_scan" ~category:k
+      ~description:"a byte scanner reinterprets odd positions as i16"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(8, 2);
+        let mut i = 0;
+        while i < 8 {
+            *buf.offset(i) = (i + input(0)) as i8;
+            i = i + 1;
+        }
+        let mut probe = buf.offset(3) as *const i16;
+        print(*probe as i64);
+        dealloc(buf, 8, 2);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(8, 2);
+        let mut i = 0;
+        while i < 8 {
+            *buf.offset(i) = (i + input(0)) as i8;
+            i = i + 1;
+        }
+        let mut probe = buf.offset(4) as *const i16;
+        print(*probe as i64);
+        dealloc(buf, 8, 2);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_i32_at_odd" ~category:k
+      ~description:"an i32 access at an odd address"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(12, 4);
+        let mut cell = buf.offset(5) as *mut i32;
+        *cell = input(0) as i32;
+        print(*cell as i64);
+        dealloc(buf, 12, 4);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(12, 4);
+        let mut cell = buf.offset(4) as *mut i32;
+        *cell = input(0) as i32;
+        print(*cell as i64);
+        dealloc(buf, 12, 4);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_header_then_payload" ~category:k
+      ~description:"a 4-byte header pushes the 8-byte payload off alignment"
+      ~probes:[ [| 8L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut msg = alloc(16, 8);
+        let mut header = msg as *mut i32;
+        *header = 7i32;
+        let mut payload = msg.offset(4) as *mut i64;
+        *payload = input(0);
+        print(*header as i64);
+        print(*payload);
+        dealloc(msg, 16, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut msg = alloc(16, 8);
+        let mut header = msg as *mut i32;
+        *header = 7i32;
+        let mut payload = msg.offset(8) as *mut i64;
+        *payload = input(0);
+        print(*header as i64);
+        print(*payload);
+        dealloc(msg, 16, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"ua_stride_walk" ~category:k
+      ~description:"a record walker uses stride 12 over 8-aligned records"
+      ~probes:[ [| 2L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut table = alloc(48, 8);
+        let mut k = 0;
+        while k < 2 {
+            let mut cell = table.offset(k * 12) as *mut i64;
+            *cell = input(0) + k;
+            k = k + 1;
+        }
+        print(*(table as *const i64));
+        dealloc(table, 48, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut table = alloc(48, 8);
+        let mut k = 0;
+        while k < 2 {
+            let mut cell = table.offset(k * 16) as *mut i64;
+            *cell = input(0) + k;
+            k = k + 1;
+        }
+        print(*(table as *const i64));
+        dealloc(table, 48, 8);
+    }
+}
+|}
+      ()
+  ]

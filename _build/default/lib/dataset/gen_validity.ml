@@ -1,0 +1,407 @@
+(* Validity-invariant UBs: producing or reading invalid values —
+   uninitialized memory, out-of-range booleans, null references. *)
+
+let k = Miri.Diag.Validity
+
+let cases =
+  [
+    Case.make ~name:"va_uninit_read" ~category:k
+      ~description:"freshly allocated memory is read before any write"
+      ~probes:[ [| 1L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        print(*p);
+        *p = input(0);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = input(0);
+        print(*p);
+        dealloc(p as *mut i8, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_bad_bool_transmute" ~category:k
+      ~description:"an integer other than 0/1 is transmuted to bool"
+      ~probes:[ [| 2L |]; [| 0L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut flag_raw = input(0) as i8;
+    unsafe {
+        let mut flag = transmute::<bool>(flag_raw);
+        if flag {
+            print(1);
+        } else {
+            print(0);
+        }
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut flag_raw = input(0) as i8;
+    let mut flag = flag_raw != 0i8;
+    if flag {
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_null_reference" ~category:k
+      ~description:"a null reference is conjured via transmute"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut x = input(0);
+    unsafe {
+        let mut r = transmute::<&i64>(0);
+        print(x);
+        print(*r);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut x = input(0);
+    let mut r = &x;
+    print(x);
+    print(*r);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_partial_init" ~category:k
+      ~description:"only half of an i64 is initialized before the full read"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8);
+        let mut half = p as *mut i32;
+        *half = input(0) as i32;
+        let mut full = p as *mut i64;
+        print(*full);
+        dealloc(p, 8, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8);
+        let mut half = p as *mut i32;
+        *half = input(0) as i32;
+        let mut upper = p.offset(4) as *mut i32;
+        *upper = 0i32;
+        let mut full = p as *mut i64;
+        print(*full);
+        dealloc(p, 8, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_union_bool" ~category:k
+      ~description:"a union's integer payload is reinterpreted as a bad bool"
+      ~probes:[ [| 7L |] ]
+      ~buggy:
+        {|
+union Bits { word: i64, low: i8 }
+
+fn main() {
+    unsafe {
+        let mut bits = transmute::<Bits>(0);
+        bits.word = input(0);
+        let mut low = bits.low;
+        let mut flag = transmute::<bool>(low);
+        if flag {
+            print(1);
+        } else {
+            print(0);
+        }
+    }
+}
+|}
+      ~fixed:
+        {|
+union Bits { word: i64, low: i8 }
+
+fn main() {
+    unsafe {
+        let mut bits = transmute::<Bits>(0);
+        bits.word = input(0);
+        let mut low = bits.low;
+        let mut flag = low != 0i8;
+        if flag {
+            print(1);
+        } else {
+            print(0);
+        }
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_uninit_loop_sum" ~category:k
+      ~description:"a summing loop reads one slot that was never written"
+      ~probes:[ [| 5L |] ]
+      ~buggy:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(32, 8) as *mut i64;
+        let mut i = 0;
+        while i < 3 {
+            *buf.offset(i) = input(0) + i;
+            i = i + 1;
+        }
+        let mut sum = 0;
+        let mut j = 0;
+        while j < 4 {
+            sum = sum + *buf.offset(j);
+            j = j + 1;
+        }
+        print(sum);
+        dealloc(buf as *mut i8, 32, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    unsafe {
+        let mut buf = alloc(32, 8) as *mut i64;
+        let mut i = 0;
+        while i < 4 {
+            *buf.offset(i) = input(0) + i;
+            i = i + 1;
+        }
+        let mut sum = 0;
+        let mut j = 0;
+        while j < 4 {
+            sum = sum + *buf.offset(j);
+            j = j + 1;
+        }
+        print(sum);
+        dealloc(buf as *mut i8, 32, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_swap_reads_garbage" ~category:k
+      ~description:"a hand-rolled swap via scratch memory reads the slot it never filled"
+      ~probes:[ [| 4L |] ]
+      ~buggy:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = input(0) * 3;
+    unsafe {
+        let mut scratch = alloc(16, 8) as *mut i64;
+        *scratch = a;
+        a = b;
+        b = *scratch.offset(1);
+        dealloc(scratch as *mut i8, 16, 8);
+    }
+    print(a);
+    print(b);
+}
+|}
+      ~fixed:
+        {|
+fn main() {
+    let mut a = input(0);
+    let mut b = input(0) * 3;
+    unsafe {
+        let mut scratch = alloc(16, 8) as *mut i64;
+        *scratch = a;
+        a = b;
+        b = *scratch;
+        dealloc(scratch as *mut i8, 16, 8);
+    }
+    print(a);
+    print(b);
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_flag_from_wide_int" ~category:k
+      ~description:"a status word's low byte becomes a bool without masking to 0/1"
+      ~probes:[ [| 5L |]; [| 0L |] ]
+      ~buggy:
+        {|
+fn status_flag(word: i64) -> bool {
+    unsafe {
+        return transmute::<bool>(word as i8);
+    }
+}
+
+fn main() {
+    if status_flag(input(0)) {
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn status_flag(word: i64) -> bool {
+    return word != 0;
+}
+
+fn main() {
+    if status_flag(input(0)) {
+        print(1);
+    } else {
+        print(0);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_gap_in_record" ~category:k
+      ~description:"a serializer writes fields 0 and 2 but the reader also loads field 1"
+      ~probes:[ [| 6L |] ]
+      ~buggy:
+        {|
+fn write_record(p: *mut i64, a: i64, c: i64) {
+    unsafe {
+        *p = a;
+        *p.offset(2) = c;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut rec = alloc(24, 8) as *mut i64;
+        write_record(rec, input(0), input(0) * 2);
+        let mut sum = *rec + *rec.offset(1) + *rec.offset(2);
+        print(sum);
+        dealloc(rec as *mut i8, 24, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn write_record(p: *mut i64, a: i64, c: i64) {
+    unsafe {
+        *p = a;
+        *p.offset(1) = 0;
+        *p.offset(2) = c;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut rec = alloc(24, 8) as *mut i64;
+        write_record(rec, input(0), input(0) * 2);
+        let mut sum = *rec + *rec.offset(1) + *rec.offset(2);
+        print(sum);
+        dealloc(rec as *mut i8, 24, 8);
+    }
+}
+|}
+      ()
+  ;
+    Case.make ~name:"va_serializer_modules" ~category:k
+      ~description:"multi-module serializer: the body encoder skips a slot the checksum reads"
+      ~probes:[ [| 3L |] ]
+      ~buggy:
+        {|
+fn encode_header(rec: *mut i64, version: i64) {
+    unsafe {
+        *rec = version;
+    }
+}
+
+fn encode_body(rec: *mut i64, a: i64, b: i64) {
+    unsafe {
+        *rec.offset(1) = a;
+        *rec.offset(2) = b;
+    }
+}
+
+fn checksum(rec: *mut i64) -> i64 {
+    unsafe {
+        let mut sum = 0;
+        let mut i = 0;
+        while i < 4 {
+            sum = sum ^ *rec.offset(i);
+            i = i + 1;
+        }
+        return sum;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut rec = alloc(32, 8) as *mut i64;
+        encode_header(rec, 7);
+        encode_body(rec, input(0), input(0) + 1);
+        print(checksum(rec));
+        dealloc(rec as *mut i8, 32, 8);
+    }
+}
+|}
+      ~fixed:
+        {|
+fn encode_header(rec: *mut i64, version: i64) {
+    unsafe {
+        *rec = version;
+    }
+}
+
+fn encode_body(rec: *mut i64, a: i64, b: i64) {
+    unsafe {
+        *rec.offset(1) = a;
+        *rec.offset(2) = b;
+        *rec.offset(3) = 0;
+    }
+}
+
+fn checksum(rec: *mut i64) -> i64 {
+    unsafe {
+        let mut sum = 0;
+        let mut i = 0;
+        while i < 4 {
+            sum = sum ^ *rec.offset(i);
+            i = i + 1;
+        }
+        return sum;
+    }
+}
+
+fn main() {
+    unsafe {
+        let mut rec = alloc(32, 8) as *mut i64;
+        encode_header(rec, 7);
+        encode_body(rec, input(0), input(0) + 1);
+        print(checksum(rec));
+        dealloc(rec as *mut i8, 32, 8);
+    }
+}
+|}
+      ()
+  ]

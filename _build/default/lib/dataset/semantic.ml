@@ -1,0 +1,83 @@
+type observation = {
+  finished : bool;
+  panicked : bool;
+  trace : string list;
+  errors : int;
+}
+
+let observe ?(seed = 42) ?(max_steps = 200_000) program inputs =
+  let config =
+    { Miri.Machine.mode = Miri.Machine.Stop_first; seed; max_steps; inputs;
+      trace = false }
+  in
+  match Miri.Machine.analyze ~config program with
+  | Miri.Machine.Compile_error _ ->
+    { finished = false; panicked = false; trace = []; errors = max_int }
+  | Miri.Machine.Ran r ->
+    let finished = Miri.Machine.is_clean r in
+    let panicked =
+      match r.Miri.Machine.outcome with Miri.Machine.Panicked _ -> true | _ -> false
+    in
+    (* [errors] counts UB diagnostics only; a panic is a defined outcome and
+       is judged via [panicked] *)
+    { finished; panicked; trace = r.Miri.Machine.output;
+      errors = List.length r.Miri.Machine.diags }
+
+type verdict = {
+  passes : bool;
+  semantic : bool;
+  per_probe : (observation * observation) list;
+}
+
+(* same termination class and same observable trace *)
+let same_behaviour (a : observation) (b : observation) =
+  a.finished = b.finished && a.panicked = b.panicked
+  && List.length a.trace = List.length b.trace
+  && List.for_all2 String.equal a.trace b.trace
+
+let reference_observations (case : Case.t) =
+  let reference = Case.fixed case in
+  List.map (observe reference) case.Case.probes
+
+let check (case : Case.t) candidate =
+  let refs = reference_observations case in
+  let cands = List.map (observe candidate) case.Case.probes in
+  let per_probe = List.combine cands refs in
+  (* pass: no UB anywhere, and the candidate only panics where the reference
+     itself panics (a clean panic on an input the developer fix also refuses
+     is defined behaviour, not an unfixed error) *)
+  let clean (c : observation) (r : observation) =
+    c.errors = 0 && ((not c.panicked) || r.panicked)
+  in
+  let passes = List.for_all (fun (c, r) -> clean c r) per_probe in
+  let semantic = passes && List.for_all (fun (c, r) -> same_behaviour c r) per_probe in
+  { passes; semantic; per_probe }
+
+let score case candidate =
+  match Minirust.Typecheck.check candidate with
+  | Error _ -> 0.02
+  | Ok _ ->
+    let v = check case candidate in
+    if v.semantic then 1.0
+    else if v.passes then 0.7
+    else begin
+      let clean_probes =
+        List.length
+          (List.filter
+             (fun (c, r) -> c.errors = 0 && ((not c.panicked) || r.panicked))
+             v.per_probe)
+      in
+      let frac = float_of_int clean_probes /. float_of_int (List.length v.per_probe) in
+      0.15 +. (0.35 *. frac)
+    end
+
+let error_count ?(collect_limit = 25) program inputs =
+  match Minirust.Typecheck.check program with
+  | Error errors -> List.length errors
+  | Ok info ->
+    let config =
+      { Miri.Machine.mode = Miri.Machine.Collect collect_limit; seed = 42;
+        max_steps = 200_000; inputs; trace = false }
+    in
+    let r = Miri.Machine.run ~config program info in
+    r.Miri.Machine.error_count

@@ -1,0 +1,47 @@
+(** Pass and semantic-acceptability judgment — the paper's two metrics.
+
+    - *pass*: the candidate program runs UB-free under the machine on every
+      probe input (clean termination or a clean panic; panics are defined
+      behaviour).
+    - *exec* (semantic acceptability): additionally, on every probe input the
+      candidate's observable behaviour equals the reference fix's — same
+      [print] trace and same termination class. Two panics are considered
+      the same termination class regardless of message, so an
+      assertion-agent fix that panics exactly where the developer fix panics
+      is acceptable.
+
+    [score] condenses both into the oracle quality the candidate ranking
+    uses. *)
+
+type observation = {
+  finished : bool;   (** terminated without UB and without panicking *)
+  panicked : bool;
+  trace : string list;
+  errors : int;      (** UB diagnostics on this probe *)
+}
+
+val observe :
+  ?seed:int -> ?max_steps:int -> Minirust.Ast.program -> int64 array -> observation
+(** Run one probe (stop-at-first-UB mode, fixed scheduler seed). A program
+    that fails to typecheck observes as [errors = max_int]. *)
+
+type verdict = {
+  passes : bool;
+  semantic : bool;
+  per_probe : (observation * observation) list;  (** candidate, reference *)
+}
+
+val check : Case.t -> Minirust.Ast.program -> verdict
+(** Judge a candidate repair of the given case. *)
+
+val reference_observations : Case.t -> observation list
+(** The reference fix's behaviour on each probe (cached per call site). *)
+
+val score : Case.t -> Minirust.Ast.program -> float
+(** Oracle quality in [0,1]: 1.0 = passes and semantically acceptable,
+    0.7 = passes, below that scaled by the fraction of clean probes;
+    ill-typed candidates score 0.02. *)
+
+val error_count : ?collect_limit:int -> Minirust.Ast.program -> int64 array -> int
+(** Collect-mode error count (the paper's n_i): UB diagnostics plus one if
+    the run panicked; type errors count individually. *)

@@ -1,0 +1,1 @@
+lib/knowledge/featvec.ml: Array Ast Char Edit List Minirust Miri Pretty Prune String

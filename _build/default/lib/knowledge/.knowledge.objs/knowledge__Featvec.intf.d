@@ -1,0 +1,1 @@
+lib/knowledge/featvec.mli: Minirust Miri Prune

@@ -1,0 +1,1 @@
+lib/knowledge/kb.ml: Featvec List Miri Option Printf Prune Rb_util Repairs Store String

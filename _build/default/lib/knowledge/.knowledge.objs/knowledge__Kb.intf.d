@@ -1,0 +1,1 @@
+lib/knowledge/kb.mli: Miri Rb_util Repairs

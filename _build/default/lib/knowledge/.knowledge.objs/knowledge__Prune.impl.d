@@ -1,0 +1,1 @@
+lib/knowledge/prune.ml: Ast Edit Hashtbl List Minirust Miri Pretty Printf String Visit

@@ -1,0 +1,1 @@
+lib/knowledge/prune.mli: Minirust Miri

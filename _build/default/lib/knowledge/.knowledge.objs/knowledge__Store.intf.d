@@ -1,0 +1,1 @@
+lib/knowledge/store.mli:

@@ -1,0 +1,136 @@
+open Minirust
+open Ast
+
+let hash_dim = 48
+let cat_dim = List.length Miri.Diag.all_kinds
+let dim = hash_dim + cat_dim
+
+(* stable string hash (FNV-1a) so vectors do not depend on OCaml's runtime *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let expr_kind_name (e : expr) =
+  match e.e with
+  | E_unit -> "unit"
+  | E_bool _ -> "bool"
+  | E_int _ -> "int"
+  | E_place _ -> "place"
+  | E_unop _ -> "unop"
+  | E_binop (op, _, _) -> "binop_" ^ Pretty.binop_str op
+  | E_tuple _ -> "tuple"
+  | E_array _ -> "array"
+  | E_repeat _ -> "repeat"
+  | E_ref (Mut, _) -> "ref_mut"
+  | E_ref (Imm, _) -> "ref"
+  | E_raw_of _ -> "raw_of"
+  | E_call _ -> "call"
+  | E_call_ptr _ -> "call_ptr"
+  | E_cast _ -> "cast"
+  | E_transmute _ -> "transmute"
+  | E_offset _ -> "offset"
+  | E_alloc _ -> "alloc"
+  | E_len _ -> "len"
+  | E_input _ -> "input"
+  | E_atomic_load _ -> "atomic_load"
+  | E_atomic_add _ -> "atomic_add"
+
+let place_kind_name = function
+  | P_var _ -> "var"
+  | P_deref _ -> "deref"
+  | P_index _ -> "index"
+  | P_index_unchecked _ -> "index_unchecked"
+  | P_field _ -> "field"
+  | P_union_field _ -> "union_field"
+
+let stmt_kind_name (st : stmt) =
+  match st.s with
+  | S_let _ -> "let"
+  | S_assign _ -> "assign"
+  | S_expr _ -> "expr"
+  | S_if _ -> "if"
+  | S_while _ -> "while"
+  | S_block _ -> "block"
+  | S_unsafe _ -> "unsafe"
+  | S_assert _ -> "assert"
+  | S_panic _ -> "panic"
+  | S_return _ -> "return"
+  | S_print _ -> "print"
+  | S_dealloc _ -> "dealloc"
+  | S_spawn _ -> "spawn"
+  | S_join _ -> "join"
+  | S_atomic_store _ -> "atomic_store"
+
+let bump vec feature weight =
+  let idx = fnv1a feature mod hash_dim in
+  vec.(idx) <- vec.(idx) +. weight
+
+let add_stmt_features vec st =
+  let sname = stmt_kind_name st in
+  bump vec ("s:" ^ sname) 1.0;
+  let _ =
+    Edit.map_exprs_in_stmt
+      (fun e ->
+        let en = expr_kind_name e in
+        bump vec ("e:" ^ en) 0.6;
+        bump vec ("se:" ^ sname ^ ">" ^ en) 0.4;
+        None)
+      st
+  in
+  let _ =
+    Edit.map_places_in_stmt
+      (fun p ->
+        bump vec ("p:" ^ place_kind_name p) 0.6;
+        None)
+      st
+  in
+  ()
+
+let normalize vec =
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 vec) in
+  if norm > 0.0 then Array.map (fun x -> x /. norm) vec else vec
+
+let of_sketch (sk : Prune.sketch) (kind : Miri.Diag.ub_kind option) =
+  let vec = Array.make dim 0.0 in
+  List.iter (fun st -> add_stmt_features vec st) sk.Prune.kept_stmts;
+  (* Normalize the hashed structural block to unit length before appending
+     the category block, so the category signal carries a fixed weight
+     regardless of program size: same-category errors in different programs
+     stay closer than different-category errors in the same program. *)
+  let hash_norm =
+    sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 (Array.sub vec 0 hash_dim))
+  in
+  if hash_norm > 0.0 then
+    for i = 0 to hash_dim - 1 do
+      vec.(i) <- vec.(i) /. hash_norm
+    done;
+  (match kind with
+  | Some k ->
+    let rec index_of i = function
+      | [] -> 0
+      | k' :: rest -> if k' = k then i else index_of (i + 1) rest
+    in
+    let idx = index_of 0 Miri.Diag.all_kinds in
+    vec.(hash_dim + idx) <- 2.0  (* strong category signal *)
+  | None -> ());
+  normalize vec
+
+let of_program program diags =
+  let sk = Prune.prune program diags in
+  let kind = match diags with [] -> None | d :: _ -> Some d.Miri.Diag.kind in
+  of_sketch sk kind
+
+let cosine a b =
+  let n = min (Array.length a) (Array.length b) in
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  for i = 0 to n - 1 do
+    dot := !dot +. (a.(i) *. b.(i));
+    na := !na +. (a.(i) *. a.(i));
+    nb := !nb +. (b.(i) *. b.(i))
+  done;
+  if !na = 0.0 || !nb = 0.0 then 0.0 else !dot /. (sqrt !na *. sqrt !nb)

@@ -1,0 +1,17 @@
+(** Feature vectors over pruned AST sketches.
+
+    A sketch is hashed into a fixed-dimension vector (feature hashing of
+    node-kind unigrams and parent-child bigrams, plus a UB-category one-hot
+    block). Cosine similarity over these vectors is what the knowledge base
+    and the feedback store use to find "semantically similar" errors. *)
+
+val dim : int
+
+val of_sketch : Prune.sketch -> Miri.Diag.ub_kind option -> float array
+(** L2-normalized feature vector. *)
+
+val of_program : Minirust.Ast.program -> Miri.Diag.t list -> float array
+(** Convenience: prune then vectorize, tagging with the first diag's kind. *)
+
+val cosine : float array -> float array -> float
+(** In [-1, 1]; 1.0 for identical directions. Zero vectors give 0. *)

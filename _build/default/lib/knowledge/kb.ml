@@ -1,0 +1,88 @@
+type entry = {
+  category : Miri.Diag.ub_kind;
+  advice : string;
+  recommended : Repairs.Rule.fix_kind;
+}
+
+type t = {
+  store : entry Store.t;
+  clock : Rb_util.Simclock.t;
+  query_cost : float;
+}
+
+let create ?(query_cost = 3.0) ~clock () = { store = Store.create (); clock; query_cost }
+
+let learn t vec entry = Store.add t.store vec entry
+
+let size t = Store.size t.store
+
+(* Build a representative sketch vector for a category from a tiny canonical
+   program exhibiting it; the one-hot category block dominates matching, the
+   hashed block adds structure sensitivity. *)
+let seed_vec category =
+  let sk = { Prune.kept_stmts = []; kept_fns = []; dropped = 0 } in
+  Featvec.of_sketch sk (Some category)
+
+let default_entries =
+  [ (Miri.Diag.Stack_borrow,
+     "a reference created after the raw pointer invalidated its tag; re-derive the \
+      pointer or access the place directly", Repairs.Rule.Replace);
+    (Miri.Diag.Unaligned_pointer,
+     "the pointer's address is not a multiple of the access alignment; round the \
+      offset or raise the allocation's alignment", Repairs.Rule.Modify);
+    (Miri.Diag.Validity,
+     "an invalid value was produced (uninitialized read or bad bool); initialize \
+      the memory or derive the value with a comparison", Repairs.Rule.Modify);
+    (Miri.Diag.Alloc,
+     "allocation misuse: free exactly once, with the allocated layout, and free \
+      everything before exit", Repairs.Rule.Modify);
+    (Miri.Diag.Func_pointer,
+     "the fn pointer's claimed signature disagrees with the callee; fix the \
+      transmute target or call the item directly", Repairs.Rule.Modify);
+    (Miri.Diag.Provenance,
+     "an integer-derived pointer has no provenance; derive it from the original \
+      place or expose the address first", Repairs.Rule.Replace);
+    (Miri.Diag.Panic_bug,
+     "a reachable panic: guard the failing operation or repair the arithmetic", Repairs.Rule.Modify);
+    (Miri.Diag.Func_call,
+     "the callee is not a function; route the call through the intended item", Repairs.Rule.Modify);
+    (Miri.Diag.Dangling_pointer,
+     "the pointee is dead or out of bounds; use checked indexing or extend the \
+      pointee's lifetime", Repairs.Rule.Replace);
+    (Miri.Diag.Both_borrow,
+     "a shared reference was used after a conflicting mutable borrow; reorder the \
+      uses or drop one borrow", Repairs.Rule.Modify);
+    (Miri.Diag.Concurrency,
+     "a thread was leaked or joined twice; join every spawned handle exactly once", Repairs.Rule.Modify);
+    (Miri.Diag.Data_race,
+     "unsynchronized conflicting accesses; join before accessing or make the \
+      accesses atomic", Repairs.Rule.Replace) ]
+
+let seed_default t =
+  List.iter
+    (fun (category, advice, recommended) ->
+      learn t (seed_vec category) { category; advice; recommended })
+    default_entries
+
+let query t vec =
+  (* size-dependent lookup cost: the paper reports KB overhead growing with
+     the knowledge base *)
+  Rb_util.Simclock.charge t.clock (t.query_cost +. (0.05 *. float_of_int (size t)));
+  Store.query_above t.store vec ~threshold:0.35
+
+let hints_text hits =
+  String.concat "\n"
+    (List.map
+       (fun (score, e) ->
+         Printf.sprintf "- [%s, sim %.2f] %s (recommended: %s)"
+           (Miri.Diag.kind_name e.category) score e.advice
+           (Repairs.Rule.fix_kind_name e.recommended))
+       hits)
+
+let kind_bias hits =
+  let add acc kind amount =
+    let key = Repairs.Rule.fix_kind_name kind in
+    let cur = Option.value (List.assoc_opt key acc) ~default:0.0 in
+    (key, cur +. amount) :: List.remove_assoc key acc
+  in
+  List.fold_left (fun acc (score, e) -> add acc e.recommended (0.08 *. score)) [] hits

@@ -1,0 +1,39 @@
+(** The abstract-reasoning agent's knowledge base.
+
+    Entries pair an error-prone AST-sketch vector with repair advice: the
+    recommended fix class and a textual hint. Retrieval is similarity search
+    over pruned-AST vectors ({!Featvec}); hits contribute a prompt section
+    (raising prompt quality) and a perceived-quality bias toward the
+    recommended fix class. Querying and learning both charge simulated time,
+    which reproduces the paper's observation that the KB costs 2-4x overhead
+    (Fig. 7, Table I's "knowledge" column). *)
+
+type entry = {
+  category : Miri.Diag.ub_kind;
+  advice : string;
+  recommended : Repairs.Rule.fix_kind;
+}
+
+type t
+
+val create : ?query_cost:float -> clock:Rb_util.Simclock.t -> unit -> t
+(** [query_cost] is seconds charged per lookup (default 3.0, plus a
+    per-entry scan cost) — the paper's Fig. 7 observes that the knowledge
+    base buys accuracy at 2-4x overhead growing with its size. *)
+
+val seed_default : t -> unit
+(** Install the built-in per-category expertise entries. *)
+
+val learn : t -> float array -> entry -> unit
+(** Add an entry under a sketch vector (used by S3 self-learning). *)
+
+val size : t -> int
+
+val query : t -> float array -> (float * entry) list
+(** Top matches (similarity > 0.35), best first. Charges simulated time. *)
+
+val hints_text : (float * entry) list -> string
+(** Render hits as a prompt section. *)
+
+val kind_bias : (float * entry) list -> (string * float) list
+(** Perceived-quality bias per fix-class, derived from hit similarity. *)

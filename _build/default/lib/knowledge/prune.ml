@@ -1,0 +1,113 @@
+open Minirust
+open Ast
+
+type sketch = { kept_stmts : stmt list; kept_fns : string list; dropped : int }
+
+(* variables a statement reads *)
+let vars_used st =
+  let acc = ref [] in
+  let record_place p = match p with P_var v -> acc := v :: !acc | _ -> () in
+  let _ =
+    Edit.map_places_in_stmt
+      (fun p ->
+        record_place p;
+        None)
+      st
+  in
+  let _ =
+    Edit.map_exprs_in_stmt
+      (fun e ->
+        (match e.e with E_place (P_var v) -> acc := v :: !acc | _ -> ());
+        None)
+      st
+  in
+  List.sort_uniq compare !acc
+
+let var_defined st = match st.s with S_let (v, _, _) | S_spawn (v, _, _) -> Some v | _ -> None
+
+let stmt_mentions_unsafe st =
+  match st.s with
+  | S_unsafe _ -> true
+  | S_dealloc _ | S_atomic_store _ -> true
+  | _ ->
+    let unsafe_expr e =
+      match e.e with
+      | E_transmute _ | E_offset _ | E_alloc _ | E_atomic_load _ | E_atomic_add _ -> true
+      | _ -> false
+    in
+    let unsafe_place p =
+      match p with
+      | P_index_unchecked _ | P_union_field _ -> true
+      | P_deref _ -> true  (* conservatively relevant *)
+      | _ -> false
+    in
+    let found = ref false in
+    let _ =
+      Edit.map_exprs_in_stmt
+        (fun e ->
+          if unsafe_expr e then found := true;
+          None)
+        st
+    in
+    let _ =
+      Edit.map_places_in_stmt
+        (fun p ->
+          if unsafe_place p then found := true;
+          None)
+        st
+    in
+    !found
+
+let prune (program : program) (diags : Miri.Diag.t list) : sketch =
+  let hinted_sids =
+    List.filter_map
+      (fun (d : Miri.Diag.t) -> if d.stmt_hint >= 0 then Some d.stmt_hint else None)
+      diags
+  in
+  (* Pass 1 (Algorithm 1's first loop): keep unsafe-marked and hinted
+     statements. *)
+  let stmts = ref [] in
+  let fn_of = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      Visit.iter_stmts_block
+        (fun st ->
+          Hashtbl.replace fn_of st.sid f.fname;
+          stmts := st :: !stmts)
+        f.body)
+    program.funcs;
+  let stmts = List.rev !stmts in
+  let keep = Hashtbl.create 64 in
+  List.iter
+    (fun st ->
+      if stmt_mentions_unsafe st || List.mem st.sid hinted_sids then
+        Hashtbl.replace keep st.sid ())
+    stmts;
+  (* Pass 2 (the context-relevance loop): keep definitions the retained
+     statements depend on; drop the rest. *)
+  let needed_vars =
+    List.concat_map (fun st -> if Hashtbl.mem keep st.sid then vars_used st else []) stmts
+  in
+  List.iter
+    (fun st ->
+      match var_defined st with
+      | Some v when List.mem v needed_vars -> Hashtbl.replace keep st.sid ()
+      | _ -> ())
+    stmts;
+  (* only leaf statements go into the sketch: a kept block is represented by
+     its kept children *)
+  let leaf st =
+    match st.s with S_if _ | S_while _ | S_block _ | S_unsafe _ -> false | _ -> true
+  in
+  let kept_stmts = List.filter (fun st -> leaf st && Hashtbl.mem keep st.sid) stmts in
+  let kept_fns =
+    List.sort_uniq compare
+      (List.filter_map (fun st -> Hashtbl.find_opt fn_of st.sid) kept_stmts)
+  in
+  let total_leaves = List.length (List.filter leaf stmts) in
+  { kept_stmts; kept_fns; dropped = total_leaves - List.length kept_stmts }
+
+let render sk =
+  let body = String.concat "\n" (List.map (fun st -> Pretty.stmt st) sk.kept_stmts) in
+  Printf.sprintf "// pruned AST sketch: %d statements kept, %d dropped (fns: %s)\n%s"
+    (List.length sk.kept_stmts) sk.dropped (String.concat ", " sk.kept_fns) body

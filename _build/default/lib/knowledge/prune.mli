@@ -1,0 +1,20 @@
+(** AST pruning — the paper's Algorithm 1.
+
+    Input: the program's AST and the Miri diagnostics. Output: a pruned
+    sketch that keeps (i) every node marked [unsafe], (ii) the statement each
+    diagnostic points at, and (iii) the statements that define variables the
+    retained statements use (one dataflow step); everything else is dropped
+    as noise. The abstract-reasoning agent vectorizes this sketch instead of
+    the full AST, which both shrinks the prompt and removes the "irrelevant
+    or noisy information" the paper describes. *)
+
+type sketch = {
+  kept_stmts : Minirust.Ast.stmt list;  (** retained statements, program order *)
+  kept_fns : string list;               (** functions contributing statements *)
+  dropped : int;                        (** statements pruned away *)
+}
+
+val prune : Minirust.Ast.program -> Miri.Diag.t list -> sketch
+
+val render : sketch -> string
+(** Source-like rendering of the sketch (used in prompts). *)

@@ -1,0 +1,17 @@
+type 'a t = { mutable entries : (float array * 'a) list }
+
+let create () = { entries = [] }
+
+let add t vec payload = t.entries <- (vec, payload) :: t.entries
+
+let size t = List.length t.entries
+
+let ranked t vec =
+  t.entries
+  |> List.map (fun (v, payload) -> (Featvec.cosine vec v, payload))
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let query t vec ~k = List.filteri (fun i _ -> i < k) (ranked t vec)
+
+let query_above t vec ~threshold =
+  List.filter (fun (s, _) -> s > threshold) (ranked t vec)

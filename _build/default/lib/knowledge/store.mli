@@ -1,0 +1,15 @@
+(** A small in-memory vector store with cosine-similarity retrieval. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> float array -> 'a -> unit
+
+val size : 'a t -> int
+
+val query : 'a t -> float array -> k:int -> (float * 'a) list
+(** Top-[k] entries by cosine similarity, best first. *)
+
+val query_above : 'a t -> float array -> threshold:float -> (float * 'a) list
+(** All entries whose similarity exceeds [threshold], best first. *)

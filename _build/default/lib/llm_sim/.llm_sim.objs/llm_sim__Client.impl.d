@@ -1,0 +1,1 @@
+lib/llm_sim/client.ml: Hashtbl List Miri Option Printf Profile Prompt Rb_util String

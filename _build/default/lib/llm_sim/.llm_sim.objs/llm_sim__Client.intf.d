@@ -1,0 +1,1 @@
+lib/llm_sim/client.mli: Miri Profile Prompt Rb_util

@@ -1,0 +1,1 @@
+lib/llm_sim/profile.ml: List Miri String

@@ -1,0 +1,1 @@
+lib/llm_sim/prompt.ml: Buffer List Tokenizer

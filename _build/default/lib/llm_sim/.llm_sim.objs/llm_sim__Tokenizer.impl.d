@@ -1,0 +1,1 @@
+lib/llm_sim/tokenizer.ml: Minirust String

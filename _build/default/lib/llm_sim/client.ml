@@ -1,0 +1,114 @@
+type sampling = { temperature : float }
+
+type candidate = { cand_id : int; quality : float; brief : string; kind : string }
+
+type task = {
+  category : Miri.Diag.ub_kind;
+  prompt : Prompt.t;
+  candidates : candidate list;
+  kind_bias : (string * float) list;
+}
+
+type choice = { chosen : candidate; corrupted : bool; confidence : float }
+
+type stats = { mutable calls : int; mutable tokens_in : int; mutable tokens_out : int }
+
+type t = {
+  profile : Profile.t;
+  rng : Rb_util.Rng.t;
+  clock : Rb_util.Simclock.t;
+  stats : stats;
+  salt : int;  (* per-client idiosyncrasy for the sticky prior *)
+}
+
+let create ?(seed = 7) ~clock profile =
+  { profile; rng = Rb_util.Rng.create seed; clock;
+    stats = { calls = 0; tokens_in = 0; tokens_out = 0 }; salt = seed }
+
+let profile t = t.profile
+let stats t = t.stats
+
+let charge t ~tokens_in ~tokens_out =
+  t.stats.calls <- t.stats.calls + 1;
+  t.stats.tokens_in <- t.stats.tokens_in + tokens_in;
+  t.stats.tokens_out <- t.stats.tokens_out + tokens_out;
+  let total = float_of_int (tokens_in + tokens_out) in
+  Rb_util.Simclock.charge t.clock
+    (t.profile.Profile.latency_base +. (total /. 1000.0 *. t.profile.Profile.latency_per_1k))
+
+let charge_prompt t prompt =
+  charge t ~tokens_in:(Prompt.tokens prompt) ~tokens_out:t.profile.Profile.completion_tokens
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let choose_repair t sampling task =
+  match task.candidates with
+  | [] -> None
+  | candidates ->
+    charge t ~tokens_in:(Prompt.tokens task.prompt)
+      ~tokens_out:t.profile.Profile.completion_tokens;
+    let prompt_quality = Prompt.quality task.prompt in
+    let skill = t.profile.Profile.skill task.category in
+    (* How faithfully the model perceives true candidate quality. The strong
+       prompt-quality dependence is the calibration heart of the simulation:
+       a bare code dump (baselines) leaves even a capable model mostly
+       guessing, while features + pruned AST + KB hints (RustBrain) let it
+       rank candidates reliably — matching the standalone-vs-framework gaps
+       the paper reports. *)
+    let fidelity = clamp 0.05 0.98 (skill *. (0.05 +. (0.95 *. prompt_quality))) in
+    let temp = clamp 0.01 2.0 sampling.temperature in
+    (* The misperception noise has two parts. The *sticky* prior is a
+       deterministic per-client, per-candidate bias — the model's
+       idiosyncratic opinion, which re-asking at low temperature just
+       repeats (the paper's "lower temperatures limit flexibility,
+       potentially missing opportunities"). Temperature interpolates toward
+       fresh randomness, which is what makes retries and multi-solution
+       sampling productive. *)
+    let sticky c =
+      (* digits are masked out: candidate labels embed AST node ids, which
+         differ between otherwise-identical parses and must not influence
+         behaviour *)
+      let normalized =
+        String.map (fun ch -> if ch >= '0' && ch <= '9' then '#' else ch) c.brief
+      in
+      let h = Hashtbl.hash (t.salt, normalized, c.kind) in
+      float_of_int (h land 0xFFFFF) /. 1048576.0
+    in
+    let perceived c =
+      let bias = Option.value (List.assoc_opt c.kind task.kind_bias) ~default:0.0 in
+      let fresh = Rb_util.Rng.float t.rng in
+      let w = clamp 0.0 1.0 temp in
+      (* per-draw choice keeps the noise's full spread at every temperature;
+         only the *resampling* behaviour changes with it *)
+      let noise = if Rb_util.Rng.float t.rng < w then fresh else sticky c in
+      (fidelity *. c.quality) +. ((1.0 -. fidelity) *. noise) +. bias
+    in
+    let scored = List.map (fun c -> (c, perceived c)) candidates in
+    (* softmax sampling: temperature controls exploration *)
+    let weights =
+      List.map (fun (c, s) -> (c, exp (s /. (0.10 +. (0.45 *. temp))))) scored
+    in
+    let chosen = Rb_util.Rng.pick_weighted t.rng weights in
+    let confidence =
+      match List.assoc_opt chosen.cand_id (List.map (fun (c, s) -> (c.cand_id, s)) scored) with
+      | Some s -> clamp 0.0 1.0 s
+      | None -> 0.5
+    in
+    (* hallucination grows with temperature and shrinks with prompt quality *)
+    let corrupt_p =
+      clamp 0.0 0.9
+        (t.profile.Profile.hallucination *. (0.55 +. temp) *. (1.9 -. (1.6 *. prompt_quality)))
+    in
+    let corrupted = Rb_util.Rng.bernoulli t.rng corrupt_p in
+    Some { chosen; corrupted; confidence }
+
+let cost_usd t =
+  (float_of_int t.stats.tokens_in /. 1000.0 *. t.profile.Profile.usd_per_1k_in)
+  +. (float_of_int t.stats.tokens_out /. 1000.0 *. t.profile.Profile.usd_per_1k_out)
+
+let complete t _sampling prompt =
+  charge t ~tokens_in:(Prompt.tokens prompt) ~tokens_out:t.profile.Profile.completion_tokens;
+  (* deterministic canned analysis: enough for feature-extraction stages whose
+     real output in this reproduction is structural, not textual *)
+  Printf.sprintf "[%s] analysis of %d prompt tokens: acknowledged."
+    t.profile.Profile.name (Prompt.tokens prompt)

@@ -1,0 +1,65 @@
+(** The simulated chat client: a capability oracle plus calibrated noise.
+
+    [choose_repair] is the heart of the reproduction's LLM substitution.
+    The caller (an agent or a baseline) presents a repair task: the UB
+    category, a prompt, and the candidate edits the rule engine enumerated,
+    each with an oracle quality score (obtained by actually applying the
+    edit and re-running Miri plus the semantic probe). The simulated model
+    then *perceives* each candidate's quality through a noisy channel whose
+    fidelity is the model's skill for this category scaled by the prompt
+    quality, softmax-samples at the requested temperature, and may corrupt
+    its choice (hallucination). Latency and token budgets are charged to the
+    simulated clock exactly like a metered API.
+
+    All stochastic behaviour comes from the client's own seeded generator:
+    same seed, same prompts, same answers. *)
+
+type sampling = { temperature : float }
+
+type candidate = {
+  cand_id : int;
+  quality : float;   (** oracle score in [0,1] — see DESIGN.md *)
+  brief : string;    (** short human-readable description of the edit *)
+  kind : string;     (** "replace" | "assert" | "modify" *)
+}
+
+type task = {
+  category : Miri.Diag.ub_kind;
+  prompt : Prompt.t;
+  candidates : candidate list;
+  kind_bias : (string * float) list;
+      (** additive perceived-quality bias per candidate kind (KB/feedback hints) *)
+}
+
+type choice = {
+  chosen : candidate;
+  corrupted : bool;   (** the model "hallucinated": apply a corrupted variant *)
+  confidence : float; (** the model's perceived quality of its choice *)
+}
+
+type stats = {
+  mutable calls : int;
+  mutable tokens_in : int;
+  mutable tokens_out : int;
+}
+
+type t
+
+val create : ?seed:int -> clock:Rb_util.Simclock.t -> Profile.t -> t
+
+val profile : t -> Profile.t
+val stats : t -> stats
+
+val choose_repair : t -> sampling -> task -> choice option
+(** [None] when the task has no candidates. *)
+
+val complete : t -> sampling -> Prompt.t -> string
+(** Generic text completion (used for feature extraction / AST sketching):
+    returns a deterministic canned analysis and charges cost. *)
+
+val charge_prompt : t -> Prompt.t -> unit
+(** Account for a prompt that is sent without needing a structured answer. *)
+
+val cost_usd : t -> float
+(** Metered dollar cost of every call made so far (the reason the paper
+    evaluates GPT-O1 on a category subset only). *)

@@ -1,0 +1,32 @@
+(** Capability profiles of the simulated language models.
+
+    The paper evaluates GPT-3.5, GPT-4, GPT-O1 and Claude-3.5. No model
+    endpoint exists in this container, so each model is a *calibrated
+    capability profile*: a per-UB-category probability of recognising the
+    correct repair, a hallucination rate, reasoning depth, and a latency
+    model. The calibration targets the standalone-model pass rates the paper
+    reports (GPT-4 alone ≈ 60%, GPT-3.5 below it, Claude-3.5 comparable to
+    GPT-4, O1 above all standalone models); everything RustBrain adds on top
+    (multi-solution sampling, verification, rollback, KB, feedback) emerges
+    from the harness, not from these numbers. See DESIGN.md. *)
+
+type model = Gpt35 | Gpt4 | Gpt_o1 | Claude35
+
+type t = {
+  model : model;
+  name : string;
+  skill : Miri.Diag.ub_kind -> float;
+      (** base probability of recognising the best repair for a category *)
+  reasoning : float;       (** 0..1: how much decomposed slow-thinking steps help *)
+  hallucination : float;   (** base probability of emitting a corrupted edit *)
+  latency_base : float;    (** seconds per call *)
+  latency_per_1k : float;  (** seconds per 1000 tokens in+out *)
+  completion_tokens : int; (** typical completion size *)
+  usd_per_1k_in : float;   (** metered price, input tokens *)
+  usd_per_1k_out : float;  (** metered price, output tokens *)
+}
+
+val get : model -> t
+val all : model list
+val name : model -> string
+val of_name : string -> model option

@@ -1,0 +1,42 @@
+type t = { system : string; sections : (string * string) list }
+
+let sec_code = "code"
+let sec_error = "error"
+let sec_features = "features"
+let sec_pruned_ast = "pruned_ast"
+let sec_kb_hints = "kb_hints"
+let sec_feedback = "feedback"
+let sec_step = "step"
+
+let default_system =
+  "You are a Rust safety expert. Eliminate the undefined behaviour while \
+   preserving the program's semantics."
+
+let make ?(system = default_system) sections = { system; sections }
+
+let add_section t name body = { t with sections = t.sections @ [ (name, body) ] }
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf t.system;
+  Buffer.add_string buf "\n\n";
+  List.iter
+    (fun (name, body) ->
+      Buffer.add_string buf ("## " ^ name ^ "\n");
+      Buffer.add_string buf body;
+      Buffer.add_string buf "\n\n")
+    t.sections;
+  Buffer.contents buf
+
+let tokens t = Tokenizer.count (render t)
+
+let has t name = List.mem_assoc name t.sections
+
+let quality t =
+  let score = ref 0.1 in
+  if has t sec_error then score := !score +. 0.15;
+  if has t sec_features then score := !score +. 0.15;
+  if has t sec_pruned_ast then score := !score +. 0.15;
+  if has t sec_kb_hints then score := !score +. 0.30;
+  if has t sec_feedback then score := !score +. 0.10;
+  min 1.0 !score

@@ -1,0 +1,31 @@
+(** Structured prompts for the simulated model.
+
+    The quality of a prompt is *computed from its contents*: a prompt that
+    carries the Miri error, the fast-thinking code features, a pruned AST and
+    knowledge-base hints gives the model a measurably higher chance of
+    picking the right repair than a bare code dump. This is how the paper's
+    F2 (feature extraction) and the abstract-reasoning agent's AST pruning
+    and KB retrieval feed back into repair accuracy. *)
+
+type t = { system : string; sections : (string * string) list }
+
+val make : ?system:string -> (string * string) list -> t
+
+val add_section : t -> string -> string -> t
+
+val render : t -> string
+
+val tokens : t -> int
+
+val quality : t -> float
+(** In [0, 1]; grows with the presence of the [error], [features],
+    [pruned_ast], [kb_hints] and [feedback] sections. *)
+
+(* canonical section names *)
+val sec_code : string
+val sec_error : string
+val sec_features : string
+val sec_pruned_ast : string
+val sec_kb_hints : string
+val sec_feedback : string
+val sec_step : string

@@ -1,0 +1,16 @@
+let count text =
+  let words = ref 0 in
+  let in_word = ref false in
+  String.iter
+    (fun c ->
+      let is_sep = c = ' ' || c = '\n' || c = '\t' in
+      if is_sep then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    text;
+  (* roughly: one token per short word plus one per 4 chars of residue *)
+  max !words ((String.length text + 3) / 4)
+
+let count_program p = count (Minirust.Pretty.program p)

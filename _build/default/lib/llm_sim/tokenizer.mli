@@ -1,0 +1,11 @@
+(** Approximate tokenizer used for cost and latency accounting.
+
+    The simulator charges time and tokens per call the way a metered API
+    would; roughly 4 characters per token, which is the usual rule of thumb
+    for BPE tokenizers on code. *)
+
+val count : string -> int
+(** Approximate token count of a text. *)
+
+val count_program : Minirust.Ast.program -> int
+(** Token count of a program's source rendering. *)

@@ -1,0 +1,1 @@
+lib/minirust/ast.ml: Int64 List Option String

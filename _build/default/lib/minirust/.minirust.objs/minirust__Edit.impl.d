@@ -1,0 +1,1 @@
+lib/minirust/edit.ml: Ast List Option Printf String

@@ -1,0 +1,1 @@
+lib/minirust/edit.mli: Ast

@@ -1,0 +1,1 @@
+lib/minirust/layout.ml: Ast List

@@ -1,0 +1,1 @@
+lib/minirust/layout.mli: Ast

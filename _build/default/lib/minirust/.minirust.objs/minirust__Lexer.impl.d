@@ -1,0 +1,1 @@
+lib/minirust/lexer.ml: Ast Buffer Int64 List Printf String Token

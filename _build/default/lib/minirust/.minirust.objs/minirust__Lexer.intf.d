@@ -1,0 +1,1 @@
+lib/minirust/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/minirust/parser.mli: Ast

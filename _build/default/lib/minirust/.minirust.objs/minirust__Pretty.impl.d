@@ -1,0 +1,1 @@
+lib/minirust/pretty.ml: Ast Buffer Int64 List Printf String

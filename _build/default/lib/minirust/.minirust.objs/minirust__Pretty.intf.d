@@ -1,0 +1,1 @@
+lib/minirust/pretty.mli: Ast

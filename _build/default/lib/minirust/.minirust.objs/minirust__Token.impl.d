@@ -1,0 +1,1 @@
+lib/minirust/token.ml: Ast Int64 Printf

@@ -1,0 +1,1 @@
+lib/minirust/typecheck.ml: Ast Hashtbl Layout List Pretty Printf String

@@ -1,0 +1,1 @@
+lib/minirust/typecheck.mli: Ast Hashtbl

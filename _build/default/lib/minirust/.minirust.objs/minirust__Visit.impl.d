@@ -1,0 +1,1 @@
+lib/minirust/visit.ml: Ast List

@@ -1,0 +1,1 @@
+lib/minirust/visit.mli: Ast

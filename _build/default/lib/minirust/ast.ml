@@ -1,0 +1,288 @@
+(* Abstract syntax of MiniRust.
+
+   MiniRust is the Rust-syntax subset this reproduction uses in place of real
+   Rust (see DESIGN.md). It is deliberately rich enough to express the five
+   unsafe-operation classes the paper enumerates: dereferencing raw pointers,
+   calling unsafe functions, accessing/modifying mutable statics, accessing
+   union fields, and (via unsafe fns) unsafe trait surface. Threads, atomics,
+   manual allocation, transmutes and unchecked indexing give the UB families
+   of the paper's Table I something to happen in.
+
+   Every expression and statement carries a unique node id. Repair agents
+   address their edits by node id; [fresh_id] hands out ids for nodes created
+   by edits. *)
+
+type mutability = Imm | Mut
+
+type int_width = I8 | I16 | I32 | I64 | Usize
+
+type ty =
+  | T_unit
+  | T_bool
+  | T_int of int_width
+  | T_ref of mutability * ty
+  | T_raw of mutability * ty
+  | T_array of ty * int
+  | T_tuple of ty list
+  | T_fn of ty list * ty
+  | T_union of string
+  | T_handle  (** thread handle produced by [spawn] *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr = { eid : int; e : expr_kind }
+
+and expr_kind =
+  | E_unit
+  | E_bool of bool
+  | E_int of int64 * int_width
+  | E_place of place                      (** read the current value of a place *)
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_tuple of expr list
+  | E_array of expr list
+  | E_repeat of expr * int                (** [[e; n]] array literal *)
+  | E_ref of mutability * place           (** [&p] / [&mut p] *)
+  | E_raw_of of mutability * place        (** [&raw const p] / [&raw mut p] *)
+  | E_call of string * expr list          (** named call, or fn-ptr variable call *)
+  | E_call_ptr of expr * expr list        (** call through a fn-pointer expression *)
+  | E_cast of expr * ty                   (** [e as T] *)
+  | E_transmute of ty * expr              (** [transmute::<T>(e)] — unsafe *)
+  | E_offset of expr * expr               (** [p.offset(n)] raw-ptr arithmetic — unsafe *)
+  | E_alloc of expr * expr                (** [alloc(size, align)] returning [*mut i64-bytes] — unsafe *)
+  | E_len of expr                         (** [a.len()] *)
+  | E_input of expr                       (** [input(i)]: i-th probe input (i64) *)
+  | E_atomic_load of expr                 (** [atomic_load(p)] on [*mut i64] — unsafe *)
+  | E_atomic_add of expr * expr           (** [atomic_add(p, n)]: fetch-and-add, returns the old value — unsafe *)
+
+and place =
+  | P_var of string
+  | P_deref of expr                       (** [*e]; unsafe when [e] is a raw pointer *)
+  | P_index of place * expr               (** [a\[i\]] bounds-checked (panics) *)
+  | P_index_unchecked of place * expr     (** [a.get_unchecked(i)] — unsafe, no check *)
+  | P_field of place * int                (** tuple field [p.0] *)
+  | P_union_field of place * string       (** union field access — unsafe (reads) *)
+
+type stmt = { sid : int; s : stmt_kind }
+
+and stmt_kind =
+  | S_let of string * ty option * expr
+  | S_assign of place * expr
+  | S_expr of expr
+  | S_if of expr * block * block
+  | S_while of expr * block
+  | S_block of block
+  | S_unsafe of block
+  | S_assert of expr * string
+  | S_panic of string
+  | S_return of expr option
+  | S_print of expr
+  | S_dealloc of expr * expr * expr       (** [dealloc(ptr, size, align)] — unsafe *)
+  | S_spawn of string * string * expr list(** [let h = spawn f(args);] *)
+  | S_join of expr                        (** [join(h)] *)
+  | S_atomic_store of expr * expr         (** [atomic_store(p, v)] — unsafe *)
+
+and block = stmt list
+
+type fn_decl = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  fn_unsafe : bool;
+  body : block;
+}
+
+type union_decl = { uname : string; ufields : (string * ty) list }
+
+type static_decl = { sname : string; sty : ty; smut : bool; sinit : expr }
+
+type program = {
+  unions : union_decl list;
+  statics : static_decl list;
+  funcs : fn_decl list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Node ids and constructors                                           *)
+
+let id_counter = ref 0
+
+let fresh_id () =
+  incr id_counter;
+  !id_counter
+
+let mk e = { eid = fresh_id (); e }
+let mks s = { sid = fresh_id (); s }
+
+(* Convenience constructors used by the dataset generators and by repair
+   rules; they keep AST-building code readable. *)
+
+let unit_e () = mk E_unit
+let bool_e b = mk (E_bool b)
+let int_e ?(w = I64) n = mk (E_int (Int64.of_int n, w))
+let int64_e ?(w = I64) n = mk (E_int (n, w))
+let var_e name = mk (E_place (P_var name))
+let read_e p = mk (E_place p)
+let unop_e op a = mk (E_unop (op, a))
+let binop_e op a b = mk (E_binop (op, a, b))
+let call_e f args = mk (E_call (f, args))
+let cast_e e ty = mk (E_cast (e, ty))
+let deref_e e = mk (E_place (P_deref e))
+let ref_e m p = mk (E_ref (m, p))
+let raw_of_e m p = mk (E_raw_of (m, p))
+let offset_e p n = mk (E_offset (p, n))
+let let_s name ?ty e = mks (S_let (name, ty, e))
+let assign_s p e = mks (S_assign (p, e))
+let expr_s e = mks (S_expr e)
+let print_s e = mks (S_print e)
+let unsafe_s b = mks (S_unsafe b)
+let assert_s e msg = mks (S_assert (e, msg))
+let return_s e = mks (S_return e)
+let if_s c t f = mks (S_if (c, t, f))
+let while_s c b = mks (S_while (c, b))
+
+let lookup_fn program name =
+  List.find_opt (fun f -> String.equal f.fname name) program.funcs
+
+let lookup_union program name =
+  List.find_opt (fun u -> String.equal u.uname name) program.unions
+
+let lookup_static program name =
+  List.find_opt (fun s -> String.equal s.sname name) program.statics
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality ignoring node ids — used by tests and by the
+   pipeline to detect fixed-point edits. *)
+
+let rec equal_ty a b =
+  match (a, b) with
+  | T_unit, T_unit | T_bool, T_bool | T_handle, T_handle -> true
+  | T_int w1, T_int w2 -> w1 = w2
+  | T_ref (m1, t1), T_ref (m2, t2) | T_raw (m1, t1), T_raw (m2, t2) ->
+    m1 = m2 && equal_ty t1 t2
+  | T_array (t1, n1), T_array (t2, n2) -> n1 = n2 && equal_ty t1 t2
+  | T_tuple l1, T_tuple l2 ->
+    List.length l1 = List.length l2 && List.for_all2 equal_ty l1 l2
+  | T_fn (a1, r1), T_fn (a2, r2) ->
+    List.length a1 = List.length a2 && List.for_all2 equal_ty a1 a2 && equal_ty r1 r2
+  | T_union u1, T_union u2 -> String.equal u1 u2
+  | ( ( T_unit | T_bool | T_int _ | T_ref _ | T_raw _ | T_array _ | T_tuple _
+      | T_fn _ | T_union _ | T_handle ),
+      _ ) ->
+    false
+
+let rec equal_expr (a : expr) (b : expr) = equal_expr_kind a.e b.e
+
+and equal_expr_kind a b =
+  match (a, b) with
+  | E_unit, E_unit -> true
+  | E_bool x, E_bool y -> x = y
+  | E_int (x, w1), E_int (y, w2) -> Int64.equal x y && w1 = w2
+  | E_place p, E_place q -> equal_place p q
+  | E_unop (o1, a1), E_unop (o2, a2) -> o1 = o2 && equal_expr a1 a2
+  | E_binop (o1, a1, b1), E_binop (o2, a2, b2) ->
+    o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | E_tuple l1, E_tuple l2 | E_array l1, E_array l2 ->
+    List.length l1 = List.length l2 && List.for_all2 equal_expr l1 l2
+  | E_repeat (e1, n1), E_repeat (e2, n2) -> n1 = n2 && equal_expr e1 e2
+  | E_ref (m1, p1), E_ref (m2, p2) | E_raw_of (m1, p1), E_raw_of (m2, p2) ->
+    m1 = m2 && equal_place p1 p2
+  | E_call (f1, l1), E_call (f2, l2) ->
+    String.equal f1 f2 && List.length l1 = List.length l2 && List.for_all2 equal_expr l1 l2
+  | E_call_ptr (e1, l1), E_call_ptr (e2, l2) ->
+    equal_expr e1 e2 && List.length l1 = List.length l2 && List.for_all2 equal_expr l1 l2
+  | E_cast (e1, t1), E_cast (e2, t2) -> equal_expr e1 e2 && equal_ty t1 t2
+  | E_transmute (t1, e1), E_transmute (t2, e2) -> equal_ty t1 t2 && equal_expr e1 e2
+  | E_offset (a1, b1), E_offset (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | E_alloc (a1, b1), E_alloc (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | E_len e1, E_len e2 | E_input e1, E_input e2 | E_atomic_load e1, E_atomic_load e2 ->
+    equal_expr e1 e2
+  | E_atomic_add (a1, b1), E_atomic_add (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | ( ( E_unit | E_bool _ | E_int _ | E_place _ | E_unop _ | E_binop _
+      | E_tuple _ | E_array _ | E_repeat _ | E_ref _ | E_raw_of _ | E_call _
+      | E_call_ptr _ | E_cast _ | E_transmute _ | E_offset _
+      | E_alloc _ | E_len _ | E_input _ | E_atomic_load _ | E_atomic_add _ ),
+      _ ) ->
+    false
+
+and equal_place a b =
+  match (a, b) with
+  | P_var x, P_var y -> String.equal x y
+  | P_deref e1, P_deref e2 -> equal_expr e1 e2
+  | P_index (p1, e1), P_index (p2, e2)
+  | P_index_unchecked (p1, e1), P_index_unchecked (p2, e2) ->
+    equal_place p1 p2 && equal_expr e1 e2
+  | P_field (p1, i1), P_field (p2, i2) -> equal_place p1 p2 && i1 = i2
+  | P_union_field (p1, f1), P_union_field (p2, f2) ->
+    equal_place p1 p2 && String.equal f1 f2
+  | ( ( P_var _ | P_deref _ | P_index _ | P_index_unchecked _ | P_field _
+      | P_union_field _ ),
+      _ ) ->
+    false
+
+let rec equal_stmt (a : stmt) (b : stmt) = equal_stmt_kind a.s b.s
+
+and equal_stmt_kind a b =
+  match (a, b) with
+  | S_let (n1, t1, e1), S_let (n2, t2, e2) ->
+    String.equal n1 n2 && Option.equal equal_ty t1 t2 && equal_expr e1 e2
+  | S_assign (p1, e1), S_assign (p2, e2) -> equal_place p1 p2 && equal_expr e1 e2
+  | S_expr e1, S_expr e2 | S_print e1, S_print e2 | S_join e1, S_join e2 ->
+    equal_expr e1 e2
+  | S_if (c1, t1, f1), S_if (c2, t2, f2) ->
+    equal_expr c1 c2 && equal_block t1 t2 && equal_block f1 f2
+  | S_while (c1, b1), S_while (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | S_block b1, S_block b2 | S_unsafe b1, S_unsafe b2 -> equal_block b1 b2
+  | S_assert (e1, m1), S_assert (e2, m2) -> equal_expr e1 e2 && String.equal m1 m2
+  | S_panic m1, S_panic m2 -> String.equal m1 m2
+  | S_return e1, S_return e2 -> Option.equal equal_expr e1 e2
+  | S_dealloc (a1, b1, c1), S_dealloc (a2, b2, c2) ->
+    equal_expr a1 a2 && equal_expr b1 b2 && equal_expr c1 c2
+  | S_spawn (h1, f1, l1), S_spawn (h2, f2, l2) ->
+    String.equal h1 h2 && String.equal f1 f2
+    && List.length l1 = List.length l2
+    && List.for_all2 equal_expr l1 l2
+  | S_atomic_store (p1, v1), S_atomic_store (p2, v2) ->
+    equal_expr p1 p2 && equal_expr v1 v2
+  | ( ( S_let _ | S_assign _ | S_expr _ | S_if _ | S_while _ | S_block _
+      | S_unsafe _ | S_assert _ | S_panic _ | S_return _ | S_print _
+      | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ),
+      _ ) ->
+    false
+
+and equal_block b1 b2 =
+  List.length b1 = List.length b2 && List.for_all2 equal_stmt b1 b2
+
+let equal_fn f g =
+  String.equal f.fname g.fname
+  && List.length f.params = List.length g.params
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal_ty t1 t2)
+       f.params g.params
+  && equal_ty f.ret g.ret && f.fn_unsafe = g.fn_unsafe
+  && equal_block f.body g.body
+
+let equal_program p q =
+  List.length p.funcs = List.length q.funcs
+  && List.for_all2 equal_fn p.funcs q.funcs
+  && List.length p.statics = List.length q.statics
+  && List.for_all2
+       (fun s1 s2 ->
+         String.equal s1.sname s2.sname && equal_ty s1.sty s2.sty
+         && s1.smut = s2.smut && equal_expr s1.sinit s2.sinit)
+       p.statics q.statics
+  && List.length p.unions = List.length q.unions
+  && List.for_all2
+       (fun u1 u2 ->
+         String.equal u1.uname u2.uname
+         && List.length u1.ufields = List.length u2.ufields
+         && List.for_all2
+              (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal_ty t1 t2)
+              u1.ufields u2.ufields)
+       p.unions q.unions

@@ -1,0 +1,300 @@
+open Ast
+
+type action =
+  | Replace_stmt of int * stmt list
+  | Insert_before of int * stmt
+  | Insert_after of int * stmt
+  | Replace_expr of int * expr
+  | Wrap_unsafe of int
+  | Replace_fn_body of string * block
+  | Set_fn_unsafe of string * bool
+  | Replace_fn_decl of fn_decl
+  | Add_fn of fn_decl
+  | Remove_fn of string
+
+type t = { label : string; actions : action list }
+
+exception Edit_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Fresh-id cloning *)
+
+let rec clone_expr (e : expr) : expr =
+  let kind =
+    match e.e with
+    | (E_unit | E_bool _ | E_int _) as k -> k
+    | E_place p -> E_place (clone_place p)
+    | E_unop (op, a) -> E_unop (op, clone_expr a)
+    | E_binop (op, a, b) -> E_binop (op, clone_expr a, clone_expr b)
+    | E_tuple es -> E_tuple (List.map clone_expr es)
+    | E_array es -> E_array (List.map clone_expr es)
+    | E_repeat (a, n) -> E_repeat (clone_expr a, n)
+    | E_ref (m, p) -> E_ref (m, clone_place p)
+    | E_raw_of (m, p) -> E_raw_of (m, clone_place p)
+    | E_call (f, args) -> E_call (f, List.map clone_expr args)
+    | E_call_ptr (c, args) -> E_call_ptr (clone_expr c, List.map clone_expr args)
+    | E_cast (a, t) -> E_cast (clone_expr a, t)
+    | E_transmute (t, a) -> E_transmute (t, clone_expr a)
+    | E_offset (a, b) -> E_offset (clone_expr a, clone_expr b)
+    | E_alloc (a, b) -> E_alloc (clone_expr a, clone_expr b)
+    | E_len a -> E_len (clone_expr a)
+    | E_input a -> E_input (clone_expr a)
+    | E_atomic_load a -> E_atomic_load (clone_expr a)
+    | E_atomic_add (a, b) -> E_atomic_add (clone_expr a, clone_expr b)
+  in
+  mk kind
+
+and clone_place (p : place) : place =
+  match p with
+  | P_var _ as v -> v
+  | P_deref e -> P_deref (clone_expr e)
+  | P_index (b, i) -> P_index (clone_place b, clone_expr i)
+  | P_index_unchecked (b, i) -> P_index_unchecked (clone_place b, clone_expr i)
+  | P_field (b, i) -> P_field (clone_place b, i)
+  | P_union_field (b, f) -> P_union_field (clone_place b, f)
+
+let rec clone_stmt (st : stmt) : stmt =
+  let kind =
+    match st.s with
+    | S_let (n, t, e) -> S_let (n, t, clone_expr e)
+    | S_assign (p, e) -> S_assign (clone_place p, clone_expr e)
+    | S_expr e -> S_expr (clone_expr e)
+    | S_if (c, t, f) -> S_if (clone_expr c, clone_block t, clone_block f)
+    | S_while (c, b) -> S_while (clone_expr c, clone_block b)
+    | S_block b -> S_block (clone_block b)
+    | S_unsafe b -> S_unsafe (clone_block b)
+    | S_assert (e, m) -> S_assert (clone_expr e, m)
+    | S_panic m -> S_panic m
+    | S_return e -> S_return (Option.map clone_expr e)
+    | S_print e -> S_print (clone_expr e)
+    | S_dealloc (a, b, c) -> S_dealloc (clone_expr a, clone_expr b, clone_expr c)
+    | S_spawn (h, f, args) -> S_spawn (h, f, List.map clone_expr args)
+    | S_join e -> S_join (clone_expr e)
+    | S_atomic_store (a, b) -> S_atomic_store (clone_expr a, clone_expr b)
+  in
+  mks kind
+
+and clone_block b = List.map clone_stmt b
+
+let refresh_ids (p : program) : program =
+  {
+    unions = p.unions;
+    statics = List.map (fun s -> { s with sinit = clone_expr s.sinit }) p.statics;
+    funcs = List.map (fun f -> { f with body = clone_block f.body }) p.funcs;
+  }
+
+let rename_stmt_ids = clone_stmt
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level rewriting *)
+
+(* Rewrite a block by mapping each statement id to an optional replacement
+   sequence. Recurses into nested blocks. Counts the rewrites it performs so
+   a missing target can be reported. *)
+let rewrite_block (hits : int ref) (f : stmt -> stmt list option) (b : block) : block =
+  let rec go_block b = List.concat_map go_stmt b
+  and go_stmt st =
+    match f st with
+    | Some replacement ->
+      incr hits;
+      replacement
+    | None ->
+      let kind =
+        match st.s with
+        | S_if (c, t, e) -> S_if (c, go_block t, go_block e)
+        | S_while (c, body) -> S_while (c, go_block body)
+        | S_block body -> S_block (go_block body)
+        | S_unsafe body -> S_unsafe (go_block body)
+        | ( S_let _ | S_assign _ | S_expr _ | S_assert _ | S_panic _ | S_return _
+          | S_print _ | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ) as k ->
+          k
+      in
+      [ { st with s = kind } ]
+  in
+  go_block b
+
+let rewrite_program_stmts (f : stmt -> stmt list option) (p : program) : program * int =
+  let hits = ref 0 in
+  let funcs =
+    List.map (fun fd -> { fd with body = rewrite_block hits f fd.body }) p.funcs
+  in
+  ({ p with funcs }, !hits)
+
+(* ------------------------------------------------------------------ *)
+(* Expression/place rewriting, shared by program-wide and single-statement
+   entry points. [on_expr]/[on_place] return [Some replacement] to substitute
+   a node (no recursion into the replacement) or [None] to keep recursing. *)
+
+let make_rewriter ~(on_expr : expr -> expr option) ~(on_place : place -> place option)
+    ~(hits : int ref) =
+  let rec go_expr (e : expr) : expr =
+    match on_expr e with
+    | Some replacement ->
+      incr hits;
+      replacement
+    | None ->
+      let kind =
+        match e.e with
+        | (E_unit | E_bool _ | E_int _) as k -> k
+        | E_place pl -> E_place (go_place pl)
+        | E_unop (op, a) -> E_unop (op, go_expr a)
+        | E_binop (op, a, b) -> E_binop (op, go_expr a, go_expr b)
+        | E_tuple es -> E_tuple (List.map go_expr es)
+        | E_array es -> E_array (List.map go_expr es)
+        | E_repeat (a, n) -> E_repeat (go_expr a, n)
+        | E_ref (m, pl) -> E_ref (m, go_place pl)
+        | E_raw_of (m, pl) -> E_raw_of (m, go_place pl)
+        | E_call (name, args) -> E_call (name, List.map go_expr args)
+        | E_call_ptr (c, args) -> E_call_ptr (go_expr c, List.map go_expr args)
+        | E_cast (a, t) -> E_cast (go_expr a, t)
+        | E_transmute (t, a) -> E_transmute (t, go_expr a)
+        | E_offset (a, b) -> E_offset (go_expr a, go_expr b)
+        | E_alloc (a, b) -> E_alloc (go_expr a, go_expr b)
+        | E_len a -> E_len (go_expr a)
+        | E_input a -> E_input (go_expr a)
+        | E_atomic_load a -> E_atomic_load (go_expr a)
+        | E_atomic_add (a, b) -> E_atomic_add (go_expr a, go_expr b)
+      in
+      { e with e = kind }
+  and go_place (pl : place) : place =
+    match on_place pl with
+    | Some replacement ->
+      incr hits;
+      replacement
+    | None -> (
+      match pl with
+      | P_var _ as v -> v
+      | P_deref e -> P_deref (go_expr e)
+      | P_index (b, i) -> P_index (go_place b, go_expr i)
+      | P_index_unchecked (b, i) -> P_index_unchecked (go_place b, go_expr i)
+      | P_field (b, i) -> P_field (go_place b, i)
+      | P_union_field (b, fld) -> P_union_field (go_place b, fld))
+  in
+  let rec go_stmt st =
+    let kind =
+      match st.s with
+      | S_let (n, t, e) -> S_let (n, t, go_expr e)
+      | S_assign (pl, e) -> S_assign (go_place pl, go_expr e)
+      | S_expr e -> S_expr (go_expr e)
+      | S_assert (e, m) -> S_assert (go_expr e, m)
+      | S_print e -> S_print (go_expr e)
+      | S_return e -> S_return (Option.map go_expr e)
+      | S_dealloc (a, b, c) -> S_dealloc (go_expr a, go_expr b, go_expr c)
+      | S_spawn (h, fn, args) -> S_spawn (h, fn, List.map go_expr args)
+      | S_join e -> S_join (go_expr e)
+      | S_atomic_store (a, b) -> S_atomic_store (go_expr a, go_expr b)
+      | S_if (c, t, e) -> S_if (go_expr c, List.map go_stmt t, List.map go_stmt e)
+      | S_while (c, body) -> S_while (go_expr c, List.map go_stmt body)
+      | S_block body -> S_block (List.map go_stmt body)
+      | S_unsafe body -> S_unsafe (List.map go_stmt body)
+      | S_panic _ as k -> k
+    in
+    { st with s = kind }
+  in
+  (go_expr, go_stmt)
+
+let map_exprs_in_stmt f st =
+  let hits = ref 0 in
+  let _, go_stmt = make_rewriter ~on_expr:f ~on_place:(fun _ -> None) ~hits in
+  let st' = go_stmt st in
+  (st', !hits)
+
+let map_places_in_stmt f st =
+  let hits = ref 0 in
+  let _, go_stmt = make_rewriter ~on_expr:(fun _ -> None) ~on_place:f ~hits in
+  let st' = go_stmt st in
+  (st', !hits)
+
+let rewrite_program_exprs (f : expr -> expr option) (p : program) : program * int =
+  let hits = ref 0 in
+  let go_expr, go_stmt = make_rewriter ~on_expr:f ~on_place:(fun _ -> None) ~hits in
+  let funcs = List.map (fun fd -> { fd with body = List.map go_stmt fd.body }) p.funcs in
+  let statics = List.map (fun s -> { s with sinit = go_expr s.sinit }) p.statics in
+  ({ p with funcs; statics }, !hits)
+
+(* ------------------------------------------------------------------ *)
+(* Actions *)
+
+let apply_action (p : program) (a : action) : program =
+  match a with
+  | Replace_stmt (sid, replacement) ->
+    let p', hits =
+      rewrite_program_stmts
+        (fun st -> if st.sid = sid then Some (List.map clone_stmt replacement) else None)
+        p
+    in
+    if hits = 0 then raise (Edit_error (Printf.sprintf "Replace_stmt: no statement #%d" sid));
+    p'
+  | Insert_before (sid, new_stmt) ->
+    let p', hits =
+      rewrite_program_stmts
+        (fun st -> if st.sid = sid then Some [ clone_stmt new_stmt; st ] else None)
+        p
+    in
+    if hits = 0 then raise (Edit_error (Printf.sprintf "Insert_before: no statement #%d" sid));
+    p'
+  | Insert_after (sid, new_stmt) ->
+    let p', hits =
+      rewrite_program_stmts
+        (fun st -> if st.sid = sid then Some [ st; clone_stmt new_stmt ] else None)
+        p
+    in
+    if hits = 0 then raise (Edit_error (Printf.sprintf "Insert_after: no statement #%d" sid));
+    p'
+  | Replace_expr (eid, new_expr) ->
+    let p', hits =
+      rewrite_program_exprs
+        (fun e -> if e.eid = eid then Some (clone_expr new_expr) else None)
+        p
+    in
+    if hits = 0 then raise (Edit_error (Printf.sprintf "Replace_expr: no expression #%d" eid));
+    p'
+  | Wrap_unsafe sid ->
+    let p', hits =
+      rewrite_program_stmts
+        (fun st -> if st.sid = sid then Some [ mks (S_unsafe [ st ]) ] else None)
+        p
+    in
+    if hits = 0 then raise (Edit_error (Printf.sprintf "Wrap_unsafe: no statement #%d" sid));
+    p'
+  | Replace_fn_body (name, body) ->
+    if not (List.exists (fun f -> String.equal f.fname name) p.funcs) then
+      raise (Edit_error ("Replace_fn_body: no function " ^ name));
+    let funcs =
+      List.map
+        (fun f -> if String.equal f.fname name then { f with body = clone_block body } else f)
+        p.funcs
+    in
+    { p with funcs }
+  | Set_fn_unsafe (name, flag) ->
+    if not (List.exists (fun f -> String.equal f.fname name) p.funcs) then
+      raise (Edit_error ("Set_fn_unsafe: no function " ^ name));
+    let funcs =
+      List.map
+        (fun f -> if String.equal f.fname name then { f with fn_unsafe = flag } else f)
+        p.funcs
+    in
+    { p with funcs }
+  | Replace_fn_decl decl ->
+    if not (List.exists (fun f -> String.equal f.fname decl.fname) p.funcs) then
+      raise (Edit_error ("Replace_fn_decl: no function " ^ decl.fname));
+    let fresh = { decl with body = clone_block decl.body } in
+    let funcs =
+      List.map (fun f -> if String.equal f.fname decl.fname then fresh else f) p.funcs
+    in
+    { p with funcs }
+  | Add_fn decl ->
+    if List.exists (fun f -> String.equal f.fname decl.fname) p.funcs then
+      raise (Edit_error ("Add_fn: function already exists: " ^ decl.fname));
+    { p with funcs = p.funcs @ [ { decl with body = clone_block decl.body } ] }
+  | Remove_fn name ->
+    if not (List.exists (fun f -> String.equal f.fname name) p.funcs) then
+      raise (Edit_error ("Remove_fn: no function " ^ name));
+    { p with funcs = List.filter (fun f -> not (String.equal f.fname name)) p.funcs }
+
+let apply (t : t) (p : program) : (program, string) result =
+  try Ok (List.fold_left apply_action p t.actions)
+  with Edit_error msg -> Error (Printf.sprintf "edit `%s` failed: %s" t.label msg)
+
+let apply_exn (t : t) (p : program) : program =
+  match apply t p with Ok p' -> p' | Error msg -> raise (Edit_error msg)

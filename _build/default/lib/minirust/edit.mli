@@ -1,0 +1,49 @@
+(** Structural edits on MiniRust programs.
+
+    Repair agents express every code change as an [action]; [apply] produces
+    a *new* program (the input is never mutated), which is what makes the
+    paper's adaptive-rollback agent cheap: previous program states are simply
+    kept. Statement-level actions address statements by node id. *)
+
+type action =
+  | Replace_stmt of int * Ast.stmt list
+      (** replace statement [sid] with a sequence (empty list deletes) *)
+  | Insert_before of int * Ast.stmt
+  | Insert_after of int * Ast.stmt
+  | Replace_expr of int * Ast.expr
+  | Wrap_unsafe of int  (** wrap statement [sid] in [unsafe { ... }] *)
+  | Replace_fn_body of string * Ast.block
+  | Set_fn_unsafe of string * bool
+  | Replace_fn_decl of Ast.fn_decl
+      (** replace the whole declaration (params, return type, body) of the
+          same-named function *)
+  | Add_fn of Ast.fn_decl
+  | Remove_fn of string
+
+type t = { label : string; actions : action list }
+(** A named, ordered batch of actions; the paper's "repair step". *)
+
+val apply : t -> Ast.program -> (Ast.program, string) result
+(** Apply every action in order. Fails if a target node id or function does
+    not exist. The result has fresh node ids for inserted nodes only; ids of
+    untouched nodes are preserved. *)
+
+val apply_exn : t -> Ast.program -> Ast.program
+
+val refresh_ids : Ast.program -> Ast.program
+(** Deep-copy a program giving every node a fresh id. Dataset templates use
+    this so two instantiations never share ids. *)
+
+val rename_stmt_ids : Ast.stmt -> Ast.stmt
+(** Fresh ids for one statement tree (including nested expressions). *)
+
+val map_exprs_in_stmt :
+  (Ast.expr -> Ast.expr option) -> Ast.stmt -> Ast.stmt * int
+(** Rewrite expressions inside one statement (recursing into nested blocks).
+    Returns the rewritten statement and the number of replacements. Repair
+    rules use this to build [Replace_stmt] payloads. *)
+
+val map_places_in_stmt :
+  (Ast.place -> Ast.place option) -> Ast.stmt -> Ast.stmt * int
+(** Rewrite places inside one statement, including places nested within
+    expressions ([E_place], [E_ref], [E_raw_of]). *)

@@ -1,0 +1,54 @@
+open Ast
+
+let round_up n align = (n + align - 1) / align * align
+
+let rec align_of program = function
+  | T_unit -> 1
+  | T_bool -> 1
+  | T_int I8 -> 1
+  | T_int I16 -> 2
+  | T_int I32 -> 4
+  | T_int (I64 | Usize) -> 8
+  | T_ref _ | T_raw _ | T_fn _ | T_handle -> 8
+  | T_array (t, _) -> align_of program t
+  | T_tuple ts -> List.fold_left (fun acc t -> max acc (align_of program t)) 1 ts
+  | T_union u -> (
+    match lookup_union program u with
+    | None -> 1
+    | Some decl ->
+      List.fold_left (fun acc (_, t) -> max acc (align_of program t)) 1 decl.ufields)
+
+let rec size_of program = function
+  | T_unit -> 0
+  | T_bool -> 1
+  | T_int I8 -> 1
+  | T_int I16 -> 2
+  | T_int I32 -> 4
+  | T_int (I64 | Usize) -> 8
+  | T_ref _ | T_raw _ | T_fn _ | T_handle -> 8
+  | T_array (t, n) -> size_of program t * n
+  | T_tuple ts as t ->
+    let end_offset =
+      List.fold_left
+        (fun off elem -> round_up off (align_of program elem) + size_of program elem)
+        0 ts
+    in
+    round_up end_offset (align_of program t)
+  | T_union u as t -> (
+    match lookup_union program u with
+    | None -> 0
+    | Some decl ->
+      let raw =
+        List.fold_left (fun acc (_, ft) -> max acc (size_of program ft)) 0 decl.ufields
+      in
+      round_up raw (align_of program t))
+
+let tuple_offsets program ts =
+  let _, rev_offsets =
+    List.fold_left
+      (fun (off, acc) elem ->
+        let start = round_up off (align_of program elem) in
+        (start + size_of program elem, start :: acc))
+      (0, []) ts
+  in
+  List.rev rev_offsets

@@ -1,0 +1,15 @@
+(** Memory layout of MiniRust types.
+
+    Sizes and alignments follow a fixed 64-bit layout (pointers are 8 bytes).
+    Tuples are laid out in declaration order with natural alignment padding;
+    unions overlay all fields at offset 0. The typechecker uses sizes to
+    validate [transmute]; the interpreter uses offsets for field access. *)
+
+val size_of : Ast.program -> Ast.ty -> int
+val align_of : Ast.program -> Ast.ty -> int
+
+val tuple_offsets : Ast.program -> Ast.ty list -> int list
+(** Byte offset of each component of a tuple type. *)
+
+val round_up : int -> int -> int
+(** [round_up n align] is the smallest multiple of [align] that is [>= n]. *)

@@ -1,0 +1,159 @@
+exception Lex_error of string * int
+
+let keyword_of_string = function
+  | "fn" -> Some Token.KW_fn
+  | "let" -> Some Token.KW_let
+  | "mut" -> Some Token.KW_mut
+  | "if" -> Some Token.KW_if
+  | "else" -> Some Token.KW_else
+  | "while" -> Some Token.KW_while
+  | "unsafe" -> Some Token.KW_unsafe
+  | "static" -> Some Token.KW_static
+  | "union" -> Some Token.KW_union
+  | "return" -> Some Token.KW_return
+  | "true" -> Some Token.KW_true
+  | "false" -> Some Token.KW_false
+  | "as" -> Some Token.KW_as
+  | "spawn" -> Some Token.KW_spawn
+  | "raw" -> Some Token.KW_raw
+  | "const" -> Some Token.KW_const
+  | "loop" -> Some Token.KW_loop
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let width_suffix s =
+  match s with
+  | "i8" -> Some Ast.I8
+  | "i16" -> Some Ast.I16
+  | "i32" -> Some Ast.I32
+  | "i64" -> Some Ast.I64
+  | "usize" -> Some Ast.Usize
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () = incr pos in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      advance ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      let digits = String.sub src start (!pos - start) in
+      let suffix_start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let suffix = String.sub src suffix_start (!pos - suffix_start) in
+      let width =
+        if String.length suffix = 0 then None
+        else
+          match width_suffix suffix with
+          | Some w -> Some w
+          | None -> raise (Lex_error ("bad integer suffix: " ^ suffix, !line))
+      in
+      let value =
+        try Int64.of_string digits
+        with Failure _ -> raise (Lex_error ("bad integer literal: " ^ digits, !line))
+      in
+      emit (Token.INT (value, width))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      match keyword_of_string word with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word)
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let finished = ref false in
+      while not !finished do
+        if !pos >= n then raise (Lex_error ("unterminated string", !line));
+        let d = src.[!pos] in
+        if d = '"' then begin
+          advance ();
+          finished := true
+        end
+        else if d = '\\' then begin
+          advance ();
+          (match peek 0 with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some other -> raise (Lex_error (Printf.sprintf "bad escape \\%c" other, !line))
+          | None -> raise (Lex_error ("unterminated string", !line)));
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf d;
+          if d = '\n' then incr line;
+          advance ()
+        end
+      done;
+      emit (Token.STRING (Buffer.contents buf))
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok in
+      let one tok = advance (); emit tok in
+      match (c, peek 1) with
+      | ':', Some ':' -> two Token.COLONCOLON
+      | '-', Some '>' -> two Token.ARROW
+      | '&', Some '&' -> two Token.AMPAMP
+      | '|', Some '|' -> two Token.PIPEPIPE
+      | '<', Some '<' -> two Token.SHL
+      | '>', Some '>' -> two Token.SHR
+      | '=', Some '=' -> two Token.EQEQ
+      | '!', Some '=' -> two Token.NE
+      | '<', Some '=' -> two Token.LE
+      | '>', Some '=' -> two Token.GE
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ',', _ -> one Token.COMMA
+      | ';', _ -> one Token.SEMI
+      | ':', _ -> one Token.COLON
+      | '.', _ -> one Token.DOT
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '&', _ -> one Token.AMP
+      | '|', _ -> one Token.PIPE
+      | '^', _ -> one Token.CARET
+      | '=', _ -> one Token.EQ
+      | '<', _ -> one Token.LT
+      | '>', _ -> one Token.GT
+      | '!', _ -> one Token.BANG
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit Token.EOF;
+  List.rev !tokens

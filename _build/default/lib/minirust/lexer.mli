@@ -1,0 +1,9 @@
+(** Hand-written lexer for MiniRust source text. *)
+
+exception Lex_error of string * int
+(** [Lex_error (message, line)]. *)
+
+val tokenize : string -> (Token.t * int) list
+(** [tokenize src] is the token stream with 1-based line numbers, ending with
+    [Token.EOF]. Line comments [// ...] and whitespace are skipped.
+    @raise Lex_error on an unrecognized character or malformed literal. *)

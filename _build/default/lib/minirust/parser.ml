@@ -1,0 +1,603 @@
+open Ast
+
+exception Parse_error of string * int
+
+type state = { toks : (Token.t * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Token.EOF
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let error st msg = raise (Parse_error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | other -> error st (Printf.sprintf "expected identifier, found %s" (Token.to_string other))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let width_of_name = function
+  | "i8" -> Some I8
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "usize" -> Some Usize
+  | _ -> None
+
+let rec parse_ty st =
+  match peek st with
+  | Token.AMP ->
+    advance st;
+    let m = if accept st Token.KW_mut then Mut else Imm in
+    T_ref (m, parse_ty st)
+  | Token.STAR ->
+    advance st;
+    let m =
+      if accept st Token.KW_mut then Mut
+      else if accept st Token.KW_const then Imm
+      else error st "expected `const` or `mut` after `*` in type"
+    in
+    T_raw (m, parse_ty st)
+  | Token.LPAREN ->
+    advance st;
+    if accept st Token.RPAREN then T_unit
+    else begin
+      let first = parse_ty st in
+      if accept st Token.RPAREN then first
+      else begin
+        let rest = ref [ first ] in
+        while accept st Token.COMMA do
+          if peek st <> Token.RPAREN then rest := parse_ty st :: !rest
+        done;
+        expect st Token.RPAREN;
+        T_tuple (List.rev !rest)
+      end
+    end
+  | Token.LBRACKET ->
+    advance st;
+    let elem = parse_ty st in
+    expect st Token.SEMI;
+    let n =
+      match peek st with
+      | Token.INT (v, None) ->
+        advance st;
+        Int64.to_int v
+      | _ -> error st "expected array length"
+    in
+    expect st Token.RBRACKET;
+    T_array (elem, n)
+  | Token.KW_fn ->
+    advance st;
+    expect st Token.LPAREN;
+    let args = ref [] in
+    if peek st <> Token.RPAREN then begin
+      args := [ parse_ty st ];
+      while accept st Token.COMMA do
+        args := parse_ty st :: !args
+      done
+    end;
+    expect st Token.RPAREN;
+    expect st Token.ARROW;
+    let ret = parse_ty st in
+    T_fn (List.rev !args, ret)
+  | Token.IDENT name -> begin
+    advance st;
+    match width_of_name name with
+    | Some w -> T_int w
+    | None -> (
+      match name with
+      | "bool" -> T_bool
+      | "handle" -> T_handle
+      | _ -> T_union name)
+  end
+  | other -> error st (Printf.sprintf "expected type, found %s" (Token.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let as_place st (e : expr) =
+  match e.e with
+  | E_place p -> p
+  | _ -> error st "expected a place expression"
+
+let rec parse_expr_st st = parse_binary st 1
+
+and op_of_token = function
+    | Token.PIPEPIPE -> Some (Or, 1)
+    | Token.AMPAMP -> Some (And, 2)
+    | Token.EQEQ -> Some (Eq, 3)
+    | Token.NE -> Some (Ne, 3)
+    | Token.LT -> Some (Lt, 3)
+    | Token.LE -> Some (Le, 3)
+    | Token.GT -> Some (Gt, 3)
+    | Token.GE -> Some (Ge, 3)
+    | Token.PIPE -> Some (Bit_or, 4)
+    | Token.CARET -> Some (Bit_xor, 5)
+    | Token.AMP -> Some (Bit_and, 6)
+    | Token.SHL -> Some (Shl, 7)
+    | Token.SHR -> Some (Shr, 7)
+    | Token.PLUS -> Some (Add, 8)
+    | Token.MINUS -> Some (Sub, 8)
+    | Token.STAR -> Some (Mul, 9)
+    | Token.SLASH -> Some (Div, 9)
+    | Token.PERCENT -> Some (Rem, 9)
+    | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_cast st) in
+  let looping = ref true in
+  while !looping do
+    match op_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := mk (E_binop (op, !lhs, rhs));
+      (* comparisons are non-associative (as in Rust): reject chains *)
+      if prec = 3 then begin
+        match op_of_token (peek st) with
+        | Some (_, 3) -> error st "comparison operators cannot be chained"
+        | Some _ | None -> ()
+      end
+    | Some _ | None -> looping := false
+  done;
+  !lhs
+
+and parse_cast st =
+  let e = ref (parse_unary st) in
+  while peek st = Token.KW_as do
+    advance st;
+    let t = parse_ty st in
+    e := mk (E_cast (!e, t))
+  done;
+  !e
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS -> begin
+    advance st;
+    match peek st with
+    | Token.INT (v, w) ->
+      advance st;
+      mk (E_int (Int64.neg v, Option.value w ~default:I64))
+    | _ -> mk (E_unop (Neg, parse_unary st))
+  end
+  | Token.BANG ->
+    advance st;
+    mk (E_unop (Not, parse_unary st))
+  | Token.STAR ->
+    advance st;
+    let inner = parse_unary st in
+    mk (E_place (P_deref inner))
+  | Token.AMP -> begin
+    advance st;
+    if accept st Token.KW_raw then begin
+      let m =
+        if accept st Token.KW_const then Imm
+        else if accept st Token.KW_mut then Mut
+        else error st "expected `const` or `mut` after `&raw`"
+      in
+      let inner = parse_unary st in
+      mk (E_raw_of (m, as_place st inner))
+    end
+    else begin
+      let m = if accept st Token.KW_mut then Mut else Imm in
+      let inner = parse_unary st in
+      mk (E_ref (m, as_place st inner))
+    end
+  end
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_atom st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match peek st with
+    | Token.LPAREN ->
+      (* call on a non-identifier callee: fn-pointer call *)
+      advance st;
+      let args = parse_args st in
+      e := mk (E_call_ptr (!e, args))
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr_st st in
+      expect st Token.RBRACKET;
+      let p = as_place st !e in
+      e := mk (E_place (P_index (p, idx)))
+    | Token.DOT -> begin
+      advance st;
+      match peek st with
+      | Token.INT (v, None) ->
+        advance st;
+        let p = as_place st !e in
+        e := mk (E_place (P_field (p, Int64.to_int v)))
+      | Token.IDENT "offset" ->
+        advance st;
+        expect st Token.LPAREN;
+        let n = parse_expr_st st in
+        expect st Token.RPAREN;
+        e := mk (E_offset (!e, n))
+      | Token.IDENT "len" ->
+        advance st;
+        expect st Token.LPAREN;
+        expect st Token.RPAREN;
+        e := mk (E_len !e)
+      | Token.IDENT "get_unchecked" ->
+        advance st;
+        expect st Token.LPAREN;
+        let idx = parse_expr_st st in
+        expect st Token.RPAREN;
+        let p = as_place st !e in
+        e := mk (E_place (P_index_unchecked (p, idx)))
+      | Token.IDENT field ->
+        advance st;
+        let p = as_place st !e in
+        e := mk (E_place (P_union_field (p, field)))
+      | other ->
+        error st (Printf.sprintf "expected field or method after `.`, found %s" (Token.to_string other))
+    end
+    | _ -> continue_loop := false
+  done;
+  !e
+
+and parse_args st =
+  let args = ref [] in
+  if peek st <> Token.RPAREN then begin
+    args := [ parse_expr_st st ];
+    while accept st Token.COMMA do
+      args := parse_expr_st st :: !args
+    done
+  end;
+  expect st Token.RPAREN;
+  List.rev !args
+
+and parse_atom st =
+  match peek st with
+  | Token.INT (v, w) ->
+    advance st;
+    mk (E_int (v, Option.value w ~default:I64))
+  | Token.KW_true ->
+    advance st;
+    mk (E_bool true)
+  | Token.KW_false ->
+    advance st;
+    mk (E_bool false)
+  | Token.LPAREN -> begin
+    advance st;
+    if accept st Token.RPAREN then mk E_unit
+    else begin
+      let first = parse_expr_st st in
+      if peek st = Token.COMMA then begin
+        let elems = ref [ first ] in
+        while accept st Token.COMMA do
+          if peek st <> Token.RPAREN then elems := parse_expr_st st :: !elems
+        done;
+        expect st Token.RPAREN;
+        mk (E_tuple (List.rev !elems))
+      end
+      else begin
+        expect st Token.RPAREN;
+        first
+      end
+    end
+  end
+  | Token.LBRACKET -> begin
+    advance st;
+    if accept st Token.RBRACKET then mk (E_array [])
+    else begin
+      let first = parse_expr_st st in
+      if accept st Token.SEMI then begin
+        let n =
+          match peek st with
+          | Token.INT (v, None) ->
+            advance st;
+            Int64.to_int v
+          | _ -> error st "expected repeat count"
+        in
+        expect st Token.RBRACKET;
+        mk (E_repeat (first, n))
+      end
+      else begin
+        let elems = ref [ first ] in
+        while accept st Token.COMMA do
+          if peek st <> Token.RBRACKET then elems := parse_expr_st st :: !elems
+        done;
+        expect st Token.RBRACKET;
+        mk (E_array (List.rev !elems))
+      end
+    end
+  end
+  | Token.IDENT "transmute" when peek2 st = Token.COLONCOLON ->
+    advance st;
+    expect st Token.COLONCOLON;
+    expect st Token.LT;
+    let t = parse_ty st in
+    expect st Token.GT;
+    expect st Token.LPAREN;
+    let arg = parse_expr_st st in
+    expect st Token.RPAREN;
+    mk (E_transmute (t, arg))
+  | Token.IDENT "alloc" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let size = parse_expr_st st in
+    expect st Token.COMMA;
+    let align = parse_expr_st st in
+    expect st Token.RPAREN;
+    mk (E_alloc (size, align))
+  | Token.IDENT "input" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let i = parse_expr_st st in
+    expect st Token.RPAREN;
+    mk (E_input i)
+  | Token.IDENT "atomic_load" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let p = parse_expr_st st in
+    expect st Token.RPAREN;
+    mk (E_atomic_load p)
+  | Token.IDENT "atomic_add" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let p = parse_expr_st st in
+    expect st Token.COMMA;
+    let n = parse_expr_st st in
+    expect st Token.RPAREN;
+    mk (E_atomic_add (p, n))
+  | Token.IDENT name -> begin
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      mk (E_call (name, args))
+    end
+    else mk (E_place (P_var name))
+  end
+  | other -> error st (Printf.sprintf "expected expression, found %s" (Token.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_string_lit st =
+  match peek st with
+  | Token.STRING s ->
+    advance st;
+    s
+  | other -> error st (Printf.sprintf "expected string literal, found %s" (Token.to_string other))
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.KW_let -> begin
+    advance st;
+    let _mut = accept st Token.KW_mut in
+    let name = expect_ident st in
+    let ty_annot = if accept st Token.COLON then Some (parse_ty st) else None in
+    expect st Token.EQ;
+    if peek st = Token.KW_spawn then begin
+      advance st;
+      let fname = expect_ident st in
+      expect st Token.LPAREN;
+      let args = parse_args st in
+      expect st Token.SEMI;
+      mks (S_spawn (name, fname, args))
+    end
+    else begin
+      let e = parse_expr_st st in
+      expect st Token.SEMI;
+      mks (S_let (name, ty_annot, e))
+    end
+  end
+  | Token.KW_if -> parse_if st
+  | Token.KW_while ->
+    advance st;
+    let cond = parse_expr_st st in
+    let body = parse_block_st st in
+    mks (S_while (cond, body))
+  | Token.KW_loop ->
+    advance st;
+    let body = parse_block_st st in
+    mks (S_while (mk (E_bool true), body))
+  | Token.KW_unsafe ->
+    advance st;
+    let body = parse_block_st st in
+    mks (S_unsafe body)
+  | Token.KW_return ->
+    advance st;
+    if accept st Token.SEMI then mks (S_return None)
+    else begin
+      let e = parse_expr_st st in
+      expect st Token.SEMI;
+      mks (S_return (Some e))
+    end
+  | Token.LBRACE ->
+    let body = parse_block_st st in
+    mks (S_block body)
+  | Token.IDENT "print" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr_st st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_print e)
+  | Token.IDENT "assert" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr_st st in
+    expect st Token.COMMA;
+    let msg = parse_string_lit st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_assert (cond, msg))
+  | Token.IDENT "panic" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let msg = parse_string_lit st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_panic msg)
+  | Token.IDENT "dealloc" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let p = parse_expr_st st in
+    expect st Token.COMMA;
+    let size = parse_expr_st st in
+    expect st Token.COMMA;
+    let align = parse_expr_st st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_dealloc (p, size, align))
+  | Token.IDENT "join" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let h = parse_expr_st st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_join h)
+  | Token.IDENT "atomic_store" when peek2 st = Token.LPAREN ->
+    advance st;
+    expect st Token.LPAREN;
+    let p = parse_expr_st st in
+    expect st Token.COMMA;
+    let v = parse_expr_st st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    mks (S_atomic_store (p, v))
+  | _ -> begin
+    let e = parse_expr_st st in
+    if accept st Token.EQ then begin
+      let p = as_place st e in
+      let rhs = parse_expr_st st in
+      expect st Token.SEMI;
+      mks (S_assign (p, rhs))
+    end
+    else begin
+      expect st Token.SEMI;
+      mks (S_expr e)
+    end
+  end
+
+and parse_if st =
+  expect st Token.KW_if;
+  let cond = parse_expr_st st in
+  let then_b = parse_block_st st in
+  let else_b =
+    if accept st Token.KW_else then
+      if peek st = Token.KW_if then [ parse_if st ] else parse_block_st st
+    else []
+  in
+  mks (S_if (cond, then_b, else_b))
+
+and parse_block_st st =
+  expect st Token.LBRACE;
+  let stmts = ref [] in
+  while peek st <> Token.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Token.RBRACE;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Items *)
+
+let parse_fn st =
+  let fn_unsafe = accept st Token.KW_unsafe in
+  expect st Token.KW_fn;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params = ref [] in
+  if peek st <> Token.RPAREN then begin
+    let parse_param () =
+      let pname = expect_ident st in
+      expect st Token.COLON;
+      let pty = parse_ty st in
+      (pname, pty)
+    in
+    params := [ parse_param () ];
+    while accept st Token.COMMA do
+      params := parse_param () :: !params
+    done
+  end;
+  expect st Token.RPAREN;
+  let ret = if accept st Token.ARROW then parse_ty st else T_unit in
+  let body = parse_block_st st in
+  { fname = name; params = List.rev !params; ret; fn_unsafe; body }
+
+let parse_union st =
+  expect st Token.KW_union;
+  let name = expect_ident st in
+  expect st Token.LBRACE;
+  let fields = ref [] in
+  if peek st <> Token.RBRACE then begin
+    let parse_field () =
+      let fname = expect_ident st in
+      expect st Token.COLON;
+      let fty = parse_ty st in
+      (fname, fty)
+    in
+    fields := [ parse_field () ];
+    while accept st Token.COMMA do
+      if peek st <> Token.RBRACE then fields := parse_field () :: !fields
+    done
+  end;
+  expect st Token.RBRACE;
+  { uname = name; ufields = List.rev !fields }
+
+let parse_static st =
+  expect st Token.KW_static;
+  let smut = accept st Token.KW_mut in
+  let name = expect_ident st in
+  expect st Token.COLON;
+  let sty = parse_ty st in
+  expect st Token.EQ;
+  let init = parse_expr_st st in
+  expect st Token.SEMI;
+  { sname = name; sty; smut; sinit = init }
+
+let parse_program st =
+  let unions = ref [] in
+  let statics = ref [] in
+  let funcs = ref [] in
+  while peek st <> Token.EOF do
+    match peek st with
+    | Token.KW_union -> unions := parse_union st :: !unions
+    | Token.KW_static -> statics := parse_static st :: !statics
+    | Token.KW_fn | Token.KW_unsafe -> funcs := parse_fn st :: !funcs
+    | other ->
+      error st (Printf.sprintf "expected item (fn/static/union), found %s" (Token.to_string other))
+  done;
+  { unions = List.rev !unions; statics = List.rev !statics; funcs = List.rev !funcs }
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let parse src = parse_program (make_state src)
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_st st in
+  expect st Token.EOF;
+  e
+
+let parse_block src =
+  let st = make_state src in
+  let b = parse_block_st st in
+  expect st Token.EOF;
+  b

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for MiniRust.
+
+    Syntax is a Rust subset; see the dataset sources under [lib/dataset] for
+    representative programs. [parse] assigns fresh node ids to every
+    expression and statement. *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, line)]. *)
+
+val parse : string -> Ast.program
+(** Parse a full program (unions, statics, functions).
+    @raise Parse_error on syntax errors.
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)
+
+val parse_block : string -> Ast.block
+(** Parse a brace-delimited block (used by tests and repair tooling). *)

@@ -1,0 +1,200 @@
+open Ast
+
+let width_str = function
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Usize -> "usize"
+
+let rec ty = function
+  | T_unit -> "()"
+  | T_bool -> "bool"
+  | T_int w -> width_str w
+  | T_ref (Imm, t) -> "&" ^ ty t
+  | T_ref (Mut, t) -> "&mut " ^ ty t
+  | T_raw (Imm, t) -> "*const " ^ ty t
+  | T_raw (Mut, t) -> "*mut " ^ ty t
+  | T_array (t, n) -> Printf.sprintf "[%s; %d]" (ty t) n
+  | T_tuple ts -> "(" ^ String.concat ", " (List.map ty ts) ^ ")"
+  | T_fn (args, ret) ->
+    Printf.sprintf "fn(%s) -> %s" (String.concat ", " (List.map ty args)) (ty ret)
+  | T_union u -> u
+  | T_handle -> "handle"
+
+let unop_str = function Neg -> "-" | Not -> "!"
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | And -> "&&" | Or -> "||"
+  | Bit_and -> "&" | Bit_or -> "|" | Bit_xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(* Precedence levels, higher binds tighter. Comparison operators are printed
+   fully parenthesized when nested (Rust makes chained comparison an error,
+   so the parser would otherwise reject a roundtrip). *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Bit_or -> 4
+  | Bit_xor -> 5
+  | Bit_and -> 6
+  | Shl | Shr -> 7
+  | Add | Sub -> 8
+  | Mul | Div | Rem -> 9
+
+let cast_prec = 10
+let unary_prec = 11
+let postfix_prec = 12
+let atom_prec = 13
+
+let rec expr_prec (e : expr) =
+  match e.e with
+  | E_unit | E_bool _ | E_tuple _ | E_array _ | E_repeat _ | E_call _
+  | E_transmute _ | E_alloc _ | E_input _ | E_atomic_load _ | E_atomic_add _ ->
+    atom_prec
+  | E_int (n, _) -> if Int64.compare n 0L < 0 then unary_prec else atom_prec
+  | E_place p -> place_prec p
+  | E_unop _ | E_ref _ | E_raw_of _ -> unary_prec
+  | E_binop (op, _, _) -> binop_prec op
+  | E_call_ptr _ | E_offset _ | E_len _ -> postfix_prec
+  | E_cast _ -> cast_prec
+
+and place_prec = function
+  | P_var _ -> atom_prec
+  | P_deref _ -> unary_prec
+  | P_index _ | P_index_unchecked _ | P_field _ | P_union_field _ -> postfix_prec
+
+let rec expr (e : expr) = expr_at 0 e
+
+and expr_at min_prec e =
+  let p = expr_prec e in
+  let s = expr_bare e in
+  if p < min_prec then "(" ^ s ^ ")" else s
+
+and expr_bare (e : expr) =
+  match e.e with
+  | E_unit -> "()"
+  | E_bool b -> if b then "true" else "false"
+  | E_int (n, w) -> Int64.to_string n ^ width_str w
+  | E_place p -> place p
+  | E_unop (op, a) -> unop_str op ^ expr_at unary_prec a
+  | E_binop (op, a, b) ->
+    let p = binop_prec op in
+    (* comparisons are non-associative: parenthesize both sides at >= *)
+    let left_min = if p = 3 then p + 1 else p in
+    Printf.sprintf "%s %s %s" (expr_at left_min a) (binop_str op) (expr_at (p + 1) b)
+  | E_tuple [] -> "()"
+  | E_tuple [ x ] -> "(" ^ expr x ^ ",)"
+  | E_tuple xs -> "(" ^ String.concat ", " (List.map expr xs) ^ ")"
+  | E_array xs -> "[" ^ String.concat ", " (List.map expr xs) ^ "]"
+  | E_repeat (x, n) -> Printf.sprintf "[%s; %d]" (expr x) n
+  | E_ref (Imm, p) -> "&" ^ place_at unary_prec p
+  | E_ref (Mut, p) -> "&mut " ^ place_at unary_prec p
+  | E_raw_of (Imm, p) -> "&raw const " ^ place_at unary_prec p
+  | E_raw_of (Mut, p) -> "&raw mut " ^ place_at unary_prec p
+  | E_call (f, args) -> Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | E_call_ptr (f, args) ->
+    Printf.sprintf "%s(%s)" (expr_at postfix_prec f) (String.concat ", " (List.map expr args))
+  | E_cast (a, t) -> Printf.sprintf "%s as %s" (expr_at cast_prec a) (ty t)
+  | E_transmute (t, a) -> Printf.sprintf "transmute::<%s>(%s)" (ty t) (expr a)
+  | E_offset (p, n) -> Printf.sprintf "%s.offset(%s)" (expr_at postfix_prec p) (expr n)
+  | E_alloc (size, align) -> Printf.sprintf "alloc(%s, %s)" (expr size) (expr align)
+  | E_len a -> Printf.sprintf "%s.len()" (expr_at postfix_prec a)
+  | E_input i -> Printf.sprintf "input(%s)" (expr i)
+  | E_atomic_load p -> Printf.sprintf "atomic_load(%s)" (expr p)
+  | E_atomic_add (p, n) -> Printf.sprintf "atomic_add(%s, %s)" (expr p) (expr n)
+
+and place p = place_at 0 p
+
+and place_at min_prec p =
+  let prec = place_prec p in
+  let s = place_bare p in
+  if prec < min_prec then "(" ^ s ^ ")" else s
+
+and place_bare = function
+  | P_var x -> x
+  | P_deref e -> "*" ^ expr_at unary_prec e
+  | P_index (p, i) -> Printf.sprintf "%s[%s]" (place_at postfix_prec p) (expr i)
+  | P_index_unchecked (p, i) ->
+    Printf.sprintf "%s.get_unchecked(%s)" (place_at postfix_prec p) (expr i)
+  | P_field (p, i) -> Printf.sprintf "%s.%d" (place_at postfix_prec p) i
+  | P_union_field (p, f) -> Printf.sprintf "%s.%s" (place_at postfix_prec p) f
+
+let indent_str n = String.make (n * 4) ' '
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec stmt ?(indent = 0) (st : stmt) =
+  let ind = indent_str indent in
+  match st.s with
+  | S_let (x, None, e) -> Printf.sprintf "%slet mut %s = %s;" ind x (expr e)
+  | S_let (x, Some t, e) -> Printf.sprintf "%slet mut %s: %s = %s;" ind x (ty t) (expr e)
+  | S_assign (p, e) -> Printf.sprintf "%s%s = %s;" ind (place p) (expr e)
+  | S_expr e -> Printf.sprintf "%s%s;" ind (expr e)
+  | S_if (c, t, []) ->
+    Printf.sprintf "%sif %s {\n%s%s}" ind (expr c) (block_body ~indent t) ind
+  | S_if (c, t, f) ->
+    Printf.sprintf "%sif %s {\n%s%s} else {\n%s%s}" ind (expr c)
+      (block_body ~indent t) ind (block_body ~indent f) ind
+  | S_while (c, b) ->
+    Printf.sprintf "%swhile %s {\n%s%s}" ind (expr c) (block_body ~indent b) ind
+  | S_block b -> Printf.sprintf "%s{\n%s%s}" ind (block_body ~indent b) ind
+  | S_unsafe b -> Printf.sprintf "%sunsafe {\n%s%s}" ind (block_body ~indent b) ind
+  | S_assert (e, msg) ->
+    Printf.sprintf "%sassert(%s, \"%s\");" ind (expr e) (escape_string msg)
+  | S_panic msg -> Printf.sprintf "%spanic(\"%s\");" ind (escape_string msg)
+  | S_return None -> Printf.sprintf "%sreturn;" ind
+  | S_return (Some e) -> Printf.sprintf "%sreturn %s;" ind (expr e)
+  | S_print e -> Printf.sprintf "%sprint(%s);" ind (expr e)
+  | S_dealloc (p, size, align) ->
+    Printf.sprintf "%sdealloc(%s, %s, %s);" ind (expr p) (expr size) (expr align)
+  | S_spawn (h, f, args) ->
+    Printf.sprintf "%slet %s = spawn %s(%s);" ind h f
+      (String.concat ", " (List.map expr args))
+  | S_join e -> Printf.sprintf "%sjoin(%s);" ind (expr e)
+  | S_atomic_store (p, v) -> Printf.sprintf "%satomic_store(%s, %s);" ind (expr p) (expr v)
+
+and block_body ~indent b =
+  String.concat "" (List.map (fun s -> stmt ~indent:(indent + 1) s ^ "\n") b)
+
+let block ?(indent = 0) b = block_body ~indent b
+
+let fn_decl (f : fn_decl) =
+  let params =
+    String.concat ", " (List.map (fun (n, t) -> Printf.sprintf "%s: %s" n (ty t)) f.params)
+  in
+  let ret = match f.ret with T_unit -> "" | t -> " -> " ^ ty t in
+  let unsafe_kw = if f.fn_unsafe then "unsafe " else "" in
+  Printf.sprintf "%sfn %s(%s)%s {\n%s}" unsafe_kw f.fname params ret
+    (block_body ~indent:0 f.body)
+
+let union_decl (u : union_decl) =
+  let fields =
+    String.concat ", " (List.map (fun (n, t) -> Printf.sprintf "%s: %s" n (ty t)) u.ufields)
+  in
+  Printf.sprintf "union %s { %s }" u.uname fields
+
+let static_decl (s : static_decl) =
+  Printf.sprintf "static %s%s: %s = %s;" (if s.smut then "mut " else "") s.sname
+    (ty s.sty) (expr s.sinit)
+
+let program (p : program) =
+  let parts =
+    List.map union_decl p.unions
+    @ List.map static_decl p.statics
+    @ List.map fn_decl p.funcs
+  in
+  String.concat "\n\n" parts ^ "\n"

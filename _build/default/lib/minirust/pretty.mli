@@ -1,0 +1,17 @@
+(** Pretty-printer from MiniRust AST back to source text.
+
+    The output is valid MiniRust: [Parser.parse (Pretty.program p)] succeeds
+    and yields a program structurally equal to [p] (modulo node ids) — this
+    roundtrip is property-tested. The printer is also what repair agents use
+    to show code to the (simulated) LLM and what the CLI prints. *)
+
+val ty : Ast.ty -> string
+val width_str : Ast.int_width -> string
+val unop_str : Ast.unop -> string
+val binop_str : Ast.binop -> string
+val expr : Ast.expr -> string
+val place : Ast.place -> string
+val stmt : ?indent:int -> Ast.stmt -> string
+val block : ?indent:int -> Ast.block -> string
+val fn_decl : Ast.fn_decl -> string
+val program : Ast.program -> string

@@ -1,0 +1,61 @@
+(* Lexical tokens of MiniRust. Kept in their own module so the lexer, the
+   parser and the LLM tokenizer-cost model can all talk about tokens. *)
+
+type t =
+  | INT of int64 * Ast.int_width option
+  | IDENT of string
+  | STRING of string
+  (* keywords *)
+  | KW_fn | KW_let | KW_mut | KW_if | KW_else | KW_while | KW_unsafe
+  | KW_static | KW_union | KW_return | KW_true | KW_false | KW_as
+  | KW_spawn | KW_raw | KW_const | KW_loop
+  (* punctuation and operators *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | COLONCOLON | ARROW | DOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | AMPAMP | PIPE | PIPEPIPE | CARET | SHL | SHR
+  | EQ | EQEQ | NE | LT | LE | GT | GE | BANG
+  | EOF
+
+let to_string = function
+  | INT (n, None) -> Int64.to_string n
+  | INT (n, Some w) ->
+    let suffix =
+      match w with
+      | Ast.I8 -> "i8"
+      | Ast.I16 -> "i16"
+      | Ast.I32 -> "i32"
+      | Ast.I64 -> "i64"
+      | Ast.Usize -> "usize"
+    in
+    Int64.to_string n ^ suffix
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_fn -> "fn"
+  | KW_let -> "let"
+  | KW_mut -> "mut"
+  | KW_if -> "if"
+  | KW_else -> "else"
+  | KW_while -> "while"
+  | KW_unsafe -> "unsafe"
+  | KW_static -> "static"
+  | KW_union -> "union"
+  | KW_return -> "return"
+  | KW_true -> "true"
+  | KW_false -> "false"
+  | KW_as -> "as"
+  | KW_spawn -> "spawn"
+  | KW_raw -> "raw"
+  | KW_const -> "const"
+  | KW_loop -> "loop"
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":" | COLONCOLON -> "::"
+  | ARROW -> "->" | DOT -> "."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | AMPAMP -> "&&" | PIPE -> "|" | PIPEPIPE -> "||"
+  | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | EQ -> "=" | EQEQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">=" | BANG -> "!"
+  | EOF -> "<eof>"

@@ -1,0 +1,454 @@
+open Ast
+
+type info = { expr_ty : (int, ty) Hashtbl.t }
+
+type error = { msg : string; context : string }
+
+exception Type_error of string
+
+type env = {
+  program : program;
+  info : info;
+  fn : fn_decl;
+  mutable scopes : (string * ty) list list;
+  mutable in_unsafe : bool;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let push_scope env = env.scopes <- [] :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | [] -> fail "internal: scope underflow"
+  | _ :: rest -> env.scopes <- rest
+
+let bind env name ty =
+  match env.scopes with
+  | [] -> fail "internal: no scope"
+  | top :: rest -> env.scopes <- ((name, ty) :: top) :: rest
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some t -> Some t | None -> go rest)
+  in
+  go env.scopes
+
+let require_unsafe env what =
+  if not env.in_unsafe then
+    fail "%s is unsafe and requires an unsafe block (E0133)" what
+
+let is_int = function T_int _ -> true | _ -> false
+
+let fn_sig (f : fn_decl) = T_fn (List.map snd f.params, f.ret)
+
+let rec check_expr env (e : expr) : ty =
+  let t = check_expr_kind env e in
+  Hashtbl.replace env.info.expr_ty e.eid t;
+  t
+
+and check_expr_kind env (e : expr) : ty =
+  match e.e with
+  | E_unit -> T_unit
+  | E_bool _ -> T_bool
+  | E_int (_, w) -> T_int w
+  | E_place p -> check_place_read env p
+  | E_unop (Neg, a) -> begin
+    match check_expr env a with
+    | T_int w -> T_int w
+    | t -> fail "negation needs an integer, got %s" (Pretty.ty t)
+  end
+  | E_unop (Not, a) -> begin
+    match check_expr env a with
+    | T_bool -> T_bool
+    | T_int w -> T_int w
+    | t -> fail "`!` needs bool or integer, got %s" (Pretty.ty t)
+  end
+  | E_binop (op, a, b) -> check_binop env op a b
+  | E_tuple es -> T_tuple (List.map (check_expr env) es)
+  | E_array [] -> fail "cannot infer the element type of an empty array literal"
+  | E_array (first :: rest) ->
+    let elem_ty = check_expr env first in
+    List.iteri
+      (fun i e ->
+        let t = check_expr env e in
+        if not (equal_ty t elem_ty) then
+          fail "array element %d has type %s, expected %s" (i + 1) (Pretty.ty t)
+            (Pretty.ty elem_ty))
+      rest;
+    T_array (elem_ty, List.length rest + 1)
+  | E_repeat (x, n) ->
+    if n < 0 then fail "negative array repeat count";
+    T_array (check_expr env x, n)
+  | E_ref (m, p) ->
+    let t = check_place_read env p in
+    T_ref (m, t)
+  | E_raw_of (m, p) ->
+    let t = check_place_read env p in
+    T_raw (m, t)
+  | E_call (name, args) -> check_call env name args
+  | E_call_ptr (callee, args) -> begin
+    match check_expr env callee with
+    | T_fn (param_tys, ret) ->
+      check_args env ("fn-pointer call") param_tys args;
+      ret
+    | t -> fail "cannot call a value of type %s" (Pretty.ty t)
+  end
+  | E_cast (a, target) -> check_cast env a target
+  | E_transmute (target, a) ->
+    require_unsafe env "transmute";
+    let src = check_expr env a in
+    let ssize = Layout.size_of env.program src in
+    let tsize = Layout.size_of env.program target in
+    if ssize <> tsize then
+      fail "transmute between types of different sizes: %s (%d bytes) -> %s (%d bytes)"
+        (Pretty.ty src) ssize (Pretty.ty target) tsize;
+    target
+  | E_offset (p, n) -> begin
+    require_unsafe env "pointer offset";
+    let pt = check_expr env p in
+    let nt = check_expr env n in
+    if not (is_int nt) then fail "offset count must be an integer";
+    match pt with
+    | T_raw _ -> pt
+    | t -> fail "offset needs a raw pointer, got %s" (Pretty.ty t)
+  end
+  | E_alloc (size, align) ->
+    require_unsafe env "alloc";
+    let st = check_expr env size in
+    let at = check_expr env align in
+    if not (is_int st && is_int at) then fail "alloc(size, align) takes integers";
+    T_raw (Mut, T_int I8)
+  | E_len a -> begin
+    match check_expr env a with
+    | T_array _ -> T_int Usize
+    | T_ref (_, T_array _) -> T_int Usize
+    | t -> fail "len() needs an array, got %s" (Pretty.ty t)
+  end
+  | E_input i ->
+    if not (is_int (check_expr env i)) then fail "input index must be an integer";
+    T_int I64
+  | E_atomic_load p -> begin
+    require_unsafe env "atomic_load";
+    match check_expr env p with
+    | T_raw (_, T_int I64) -> T_int I64
+    | t -> fail "atomic_load needs *const i64 / *mut i64, got %s" (Pretty.ty t)
+  end
+  | E_atomic_add (p, n) -> begin
+    require_unsafe env "atomic_add";
+    match (check_expr env p, check_expr env n) with
+    | T_raw (Mut, T_int I64), T_int I64 -> T_int I64
+    | pt, nt -> fail "atomic_add needs (*mut i64, i64), got (%s, %s)" (Pretty.ty pt) (Pretty.ty nt)
+  end
+
+and check_binop env op a b =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  let same () =
+    if not (equal_ty ta tb) then
+      fail "binary `%s` on mismatched types %s and %s" (Pretty.binop_str op)
+        (Pretty.ty ta) (Pretty.ty tb)
+  in
+  match op with
+  | Add | Sub | Mul | Div | Rem | Bit_and | Bit_or | Bit_xor | Shl | Shr ->
+    same ();
+    if not (is_int ta) then
+      fail "arithmetic `%s` needs integers, got %s" (Pretty.binop_str op) (Pretty.ty ta);
+    ta
+  | And | Or ->
+    same ();
+    if ta <> T_bool then fail "logical `%s` needs bool" (Pretty.binop_str op);
+    T_bool
+  | Eq | Ne ->
+    same ();
+    (match ta with
+    | T_int _ | T_bool | T_raw _ | T_unit -> ()
+    | t -> fail "equality is not defined on %s" (Pretty.ty t));
+    T_bool
+  | Lt | Le | Gt | Ge ->
+    same ();
+    (match ta with
+    | T_int _ -> ()
+    | t -> fail "ordering comparison is not defined on %s" (Pretty.ty t));
+    T_bool
+
+and check_cast env a target =
+  let src = check_expr env a in
+  let ok =
+    match (src, target) with
+    | T_int _, T_int _ -> true
+    | T_raw _, T_raw _ -> true
+    | T_ref (Mut, t1), T_raw (_, t2) -> equal_ty t1 t2
+    | T_ref (Imm, t1), T_raw (Imm, t2) -> equal_ty t1 t2
+    | T_raw _, T_int (Usize | I64) -> true
+    | T_int (Usize | I64), T_raw _ -> true
+    | T_fn _, T_int (Usize | I64) -> true
+    | T_fn _, T_raw (_, T_unit) -> true
+    | T_bool, T_int _ -> true
+    | _ -> false
+  in
+  if not ok then fail "invalid cast from %s to %s" (Pretty.ty src) (Pretty.ty target);
+  target
+
+and check_call env name args =
+  (* A name that resolves to a local of fn type is a fn-pointer call. *)
+  match lookup_var env name with
+  | Some (T_fn (param_tys, ret)) ->
+    check_args env (name ^ " (fn pointer)") param_tys args;
+    ret
+  | Some t -> fail "cannot call local `%s` of type %s" name (Pretty.ty t)
+  | None -> (
+    match lookup_fn env.program name with
+    | Some f ->
+      if f.fn_unsafe then require_unsafe env (Printf.sprintf "call to unsafe fn `%s`" name);
+      check_args env name (List.map snd f.params) args;
+      f.ret
+    | None -> fail "unknown function `%s`" name)
+
+and check_args env what param_tys args =
+  if List.length param_tys <> List.length args then
+    fail "%s expects %d argument(s), got %d" what (List.length param_tys)
+      (List.length args);
+  List.iteri
+    (fun i (pt, arg) ->
+      let at = check_expr env arg in
+      if not (equal_ty at pt) then
+        fail "argument %d of %s has type %s, expected %s" (i + 1) what (Pretty.ty at)
+          (Pretty.ty pt))
+    (List.combine param_tys args)
+
+and check_place_read env p =
+  let t = check_place env p in
+  (match p with
+  | P_union_field _ -> require_unsafe env "reading a union field"
+  | P_var _ | P_deref _ | P_index _ | P_index_unchecked _ | P_field _ -> ());
+  t
+
+(* Type of a place; enforces unsafe-context rules common to reads and
+   writes. Union-field *reads* additionally require unsafe (Rust allows safe
+   writes), which [check_place_read] layers on top. *)
+and check_place env (p : place) : ty =
+  match p with
+  | P_var name -> begin
+    match lookup_var env name with
+    | Some t -> t
+    | None -> (
+      match lookup_static env.program name with
+      | Some s ->
+        if s.smut then require_unsafe env (Printf.sprintf "access to static mut `%s`" name);
+        s.sty
+      | None -> (
+        match lookup_fn env.program name with
+        | Some f -> fn_sig f
+        | None -> fail "unknown variable `%s`" name))
+  end
+  | P_deref e -> begin
+    match check_expr env e with
+    | T_ref (_, t) -> t
+    | T_raw (_, t) ->
+      require_unsafe env "dereferencing a raw pointer";
+      t
+    | t -> fail "cannot dereference a value of type %s" (Pretty.ty t)
+  end
+  | P_index (base, idx) -> begin
+    let bt = check_place env base in
+    if not (is_int (check_expr env idx)) then fail "array index must be an integer";
+    match bt with
+    | T_array (t, _) -> t
+    | t -> fail "cannot index a value of type %s" (Pretty.ty t)
+  end
+  | P_index_unchecked (base, idx) -> begin
+    require_unsafe env "get_unchecked";
+    let bt = check_place env base in
+    if not (is_int (check_expr env idx)) then fail "array index must be an integer";
+    match bt with
+    | T_array (t, _) -> t
+    | t -> fail "cannot index a value of type %s" (Pretty.ty t)
+  end
+  | P_field (base, i) -> begin
+    match check_place env base with
+    | T_tuple ts ->
+      if i < 0 || i >= List.length ts then fail "tuple field index %d out of range" i;
+      List.nth ts i
+    | t -> fail "cannot take field .%d of type %s" i (Pretty.ty t)
+  end
+  | P_union_field (base, fld) -> begin
+    match check_place env base with
+    | T_union u -> (
+      match lookup_union env.program u with
+      | None -> fail "unknown union type `%s`" u
+      | Some decl -> (
+        match List.assoc_opt fld decl.ufields with
+        | Some t -> t
+        | None -> fail "union `%s` has no field `%s`" u fld))
+    | t -> fail "cannot access union field on type %s" (Pretty.ty t)
+  end
+
+(* Rust rejects assignment through `&T` or `*const T` and to non-mut statics
+   at compile time; mirror that (writes through a cast-to-*mut pointer are
+   allowed — their soundness is the borrow checker's runtime concern). *)
+let rec check_place_writable env (p : place) : unit =
+  match p with
+  | P_var name -> begin
+    match lookup_var env name with
+    | Some _ -> ()  (* every MiniRust local is mutable *)
+    | None -> (
+      match lookup_static env.program name with
+      | Some s ->
+        if not s.smut then fail "cannot assign to immutable static `%s`" name
+      | None -> ())
+  end
+  | P_deref e -> begin
+    match Hashtbl.find_opt env.info.expr_ty e.eid with
+    | Some (T_ref (Imm, _)) -> fail "cannot assign through a `&` reference"
+    | Some (T_raw (Imm, _)) -> fail "cannot assign through a `*const` pointer"
+    | Some _ | None -> ()
+  end
+  | P_index (base, _) | P_index_unchecked (base, _) | P_field (base, _)
+  | P_union_field (base, _) ->
+    check_place_writable env base
+
+and check_stmt env (st : stmt) : unit =
+  match st.s with
+  | S_let (name, annot, e) ->
+    let t = check_expr env e in
+    (match annot with
+    | Some a when not (equal_ty a t) ->
+      fail "let %s: annotated %s but initializer has type %s" name (Pretty.ty a)
+        (Pretty.ty t)
+    | Some _ | None -> ());
+    bind env name t
+  | S_assign (p, e) ->
+    let pt = check_place env p in
+    check_place_writable env p;
+    let et = check_expr env e in
+    if not (equal_ty pt et) then
+      fail "assignment of %s value to place of type %s" (Pretty.ty et) (Pretty.ty pt)
+  | S_expr e -> ignore (check_expr env e)
+  | S_if (c, t, f) ->
+    if check_expr env c <> T_bool then fail "if condition must be bool";
+    check_block env t;
+    check_block env f
+  | S_while (c, b) ->
+    if check_expr env c <> T_bool then fail "while condition must be bool";
+    check_block env b
+  | S_block b -> check_block env b
+  | S_unsafe b ->
+    let saved = env.in_unsafe in
+    env.in_unsafe <- true;
+    check_block env b;
+    env.in_unsafe <- saved
+  | S_assert (e, _) -> if check_expr env e <> T_bool then fail "assert condition must be bool"
+  | S_panic _ -> ()
+  | S_return None ->
+    if not (equal_ty env.fn.ret T_unit) then
+      fail "return without a value in a function returning %s" (Pretty.ty env.fn.ret)
+  | S_return (Some e) ->
+    let t = check_expr env e in
+    if not (equal_ty t env.fn.ret) then
+      fail "return of %s in a function returning %s" (Pretty.ty t) (Pretty.ty env.fn.ret)
+  | S_print e -> begin
+    match check_expr env e with
+    | T_int _ | T_bool | T_unit -> ()
+    | t -> fail "print() takes an integer, bool or unit, got %s" (Pretty.ty t)
+  end
+  | S_dealloc (p, size, align) -> begin
+    require_unsafe env "dealloc";
+    match check_expr env p with
+    | T_raw _ ->
+      if not (is_int (check_expr env size) && is_int (check_expr env align)) then
+        fail "dealloc(ptr, size, align) takes integer size and align"
+    | t -> fail "dealloc needs a raw pointer, got %s" (Pretty.ty t)
+  end
+  | S_spawn (handle, fname, args) -> begin
+    match lookup_fn env.program fname with
+    | None -> fail "spawn of unknown function `%s`" fname
+    | Some f ->
+      if f.fn_unsafe then require_unsafe env (Printf.sprintf "spawning unsafe fn `%s`" fname);
+      check_args env fname (List.map snd f.params) args;
+      bind env handle T_handle
+  end
+  | S_join e -> begin
+    match check_expr env e with
+    | T_handle -> ()
+    | t -> fail "join needs a thread handle, got %s" (Pretty.ty t)
+  end
+  | S_atomic_store (p, v) -> begin
+    require_unsafe env "atomic_store";
+    match (check_expr env p, check_expr env v) with
+    | T_raw (Mut, T_int I64), T_int I64 -> ()
+    | pt, vt ->
+      fail "atomic_store needs (*mut i64, i64), got (%s, %s)" (Pretty.ty pt) (Pretty.ty vt)
+  end
+
+and check_block env b =
+  push_scope env;
+  List.iter (check_stmt env) b;
+  pop_scope env
+
+(* Conservative "all paths return" analysis for non-unit functions. *)
+let rec block_returns (b : block) =
+  List.exists stmt_returns b
+
+and stmt_returns (st : stmt) =
+  match st.s with
+  | S_return _ -> true
+  | S_panic _ -> true
+  | S_if (_, t, f) -> block_returns t && block_returns f
+  | S_block b | S_unsafe b -> block_returns b
+  | S_let _ | S_assign _ | S_expr _ | S_while _ | S_assert _ | S_print _
+  | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ->
+    false
+
+let check_fn program info (f : fn_decl) : error list =
+  let env = { program; info; fn = f; scopes = [ [] ]; in_unsafe = f.fn_unsafe } in
+  try
+    List.iter (fun (name, t) -> bind env name t) f.params;
+    check_block env f.body;
+    if (not (equal_ty f.ret T_unit)) && not (block_returns f.body) then
+      [ { msg = "not all control paths return a value"; context = f.fname } ]
+    else []
+  with Type_error msg -> [ { msg; context = f.fname } ]
+
+let check_static program info (s : static_decl) : error list =
+  (* Static initializers are checked in a minimal environment; they may not
+     reference locals, call functions or perform unsafe operations. *)
+  let dummy_fn = { fname = "<static>"; params = []; ret = T_unit; fn_unsafe = false; body = [] } in
+  let env = { program; info; fn = dummy_fn; scopes = [ [] ]; in_unsafe = false } in
+  try
+    let t = check_expr env s.sinit in
+    if not (equal_ty t s.sty) then
+      [ { msg =
+            Printf.sprintf "static `%s` declared %s but initialized with %s" s.sname
+              (Pretty.ty s.sty) (Pretty.ty t);
+          context = "<static>" } ]
+    else []
+  with Type_error msg -> [ { msg; context = "static " ^ s.sname } ]
+
+let check program =
+  let info = { expr_ty = Hashtbl.create 256 } in
+  let dup_errors =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun f ->
+        if Hashtbl.mem seen f.fname then
+          Some { msg = "duplicate function `" ^ f.fname ^ "`"; context = f.fname }
+        else begin
+          Hashtbl.add seen f.fname ();
+          None
+        end)
+      program.funcs
+  in
+  let static_errors = List.concat_map (check_static program info) program.statics in
+  let fn_errors = List.concat_map (check_fn program info) program.funcs in
+  match dup_errors @ static_errors @ fn_errors with
+  | [] -> Ok info
+  | errors -> Error errors
+
+let errors_to_string errors =
+  String.concat "\n"
+    (List.map (fun e -> Printf.sprintf "error in %s: %s" e.context e.msg) errors)
+
+let ty_of_expr info (e : expr) = Hashtbl.find_opt info.expr_ty e.eid

@@ -1,0 +1,23 @@
+(** Static checker for MiniRust programs.
+
+    Plays the role rustc plays for the paper's pipeline: it rejects malformed
+    programs *including uses of unsafe operations outside [unsafe] context*
+    (rustc's E0133). Repair agents run candidate edits through this checker
+    before spending a Miri run on them.
+
+    Checked unsafe operations: dereferencing a raw pointer, unchecked
+    indexing, reading a union field, any access to a [static mut], calling an
+    [unsafe fn], [transmute], [offset], [alloc]/[dealloc], and the atomics. *)
+
+type info = {
+  expr_ty : (int, Ast.ty) Hashtbl.t;  (** inferred type per expression node id *)
+}
+
+type error = { msg : string; context : string  (** enclosing function name *) }
+
+val check : Ast.program -> (info, error list) result
+
+val errors_to_string : error list -> string
+
+val ty_of_expr : info -> Ast.expr -> Ast.ty option
+(** Type recorded for an expression node during checking. *)

@@ -1,0 +1,138 @@
+open Ast
+
+let rec expr_iter f (e : expr) =
+  f e;
+  match e.e with
+  | E_unit | E_bool _ | E_int _ -> ()
+  | E_place p -> place_iter f p
+  | E_unop (_, a) -> expr_iter f a
+  | E_binop (_, a, b) ->
+    expr_iter f a;
+    expr_iter f b
+  | E_tuple es | E_array es -> List.iter (expr_iter f) es
+  | E_repeat (a, _) -> expr_iter f a
+  | E_ref (_, p) | E_raw_of (_, p) -> place_iter f p
+  | E_call (_, args) -> List.iter (expr_iter f) args
+  | E_call_ptr (callee, args) ->
+    expr_iter f callee;
+    List.iter (expr_iter f) args
+  | E_cast (a, _) | E_transmute (_, a) | E_len a | E_input a | E_atomic_load a ->
+    expr_iter f a
+  | E_offset (a, b) | E_alloc (a, b) | E_atomic_add (a, b) ->
+    expr_iter f a;
+    expr_iter f b
+
+and place_iter f (p : place) =
+  match p with
+  | P_var _ -> ()
+  | P_deref e -> expr_iter f e
+  | P_index (base, idx) | P_index_unchecked (base, idx) ->
+    place_iter f base;
+    expr_iter f idx
+  | P_field (base, _) -> place_iter f base
+  | P_union_field (base, _) -> place_iter f base
+
+let rec stmt_iter fs fe (st : stmt) =
+  fs st;
+  match st.s with
+  | S_let (_, _, e) | S_expr e | S_print e | S_join e -> expr_iter fe e
+  | S_assign (p, e) ->
+    place_iter fe p;
+    expr_iter fe e
+  | S_if (c, t, f) ->
+    expr_iter fe c;
+    List.iter (stmt_iter fs fe) t;
+    List.iter (stmt_iter fs fe) f
+  | S_while (c, b) ->
+    expr_iter fe c;
+    List.iter (stmt_iter fs fe) b
+  | S_block b | S_unsafe b -> List.iter (stmt_iter fs fe) b
+  | S_assert (e, _) -> expr_iter fe e
+  | S_panic _ -> ()
+  | S_return None -> ()
+  | S_return (Some e) -> expr_iter fe e
+  | S_dealloc (a, b, c) ->
+    expr_iter fe a;
+    expr_iter fe b;
+    expr_iter fe c
+  | S_spawn (_, _, args) -> List.iter (expr_iter fe) args
+  | S_atomic_store (a, b) ->
+    expr_iter fe a;
+    expr_iter fe b
+
+let iter_exprs_block f b = List.iter (stmt_iter (fun _ -> ()) f) b
+let iter_stmts_block f b = List.iter (stmt_iter f (fun _ -> ())) b
+
+let iter_program fs fe (p : program) =
+  List.iter (fun s -> expr_iter fe s.sinit) p.statics;
+  List.iter (fun fd -> List.iter (stmt_iter fs fe) fd.body) p.funcs
+
+let iter_exprs f p = iter_program (fun _ -> ()) f p
+let iter_stmts f p = iter_program f (fun _ -> ()) p
+
+exception Found_stmt of stmt
+exception Found_expr of expr
+
+let find_stmt p id =
+  try
+    iter_stmts (fun st -> if st.sid = id then raise (Found_stmt st)) p;
+    None
+  with Found_stmt st -> Some st
+
+let find_expr p id =
+  try
+    iter_exprs (fun e -> if e.eid = id then raise (Found_expr e)) p;
+    None
+  with Found_expr e -> Some e
+
+let count_exprs p =
+  let n = ref 0 in
+  iter_exprs (fun _ -> incr n) p;
+  !n
+
+let count_stmts p =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) p;
+  !n
+
+let unsafe_blocks p =
+  let acc = ref [] in
+  List.iter
+    (fun fd ->
+      List.iter
+        (stmt_iter
+           (fun st -> match st.s with S_unsafe _ -> acc := (fd.fname, st) :: !acc | _ -> ())
+           (fun _ -> ()))
+        fd.body)
+    p.funcs;
+  List.rev !acc
+
+(* Statement-id membership, tracking whether the walk is inside unsafe. *)
+let stmt_in_unsafe p id =
+  let result = ref false in
+  let rec go_block in_unsafe b = List.iter (go_stmt in_unsafe) b
+  and go_stmt in_unsafe st =
+    if st.sid = id && in_unsafe then result := true;
+    match st.s with
+    | S_unsafe b -> go_block true b
+    | S_block b -> go_block in_unsafe b
+    | S_if (_, t, f) ->
+      go_block in_unsafe t;
+      go_block in_unsafe f
+    | S_while (_, b) -> go_block in_unsafe b
+    | S_let _ | S_assign _ | S_expr _ | S_assert _ | S_panic _ | S_return _
+    | S_print _ | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ->
+      ()
+  in
+  List.iter (fun fd -> go_block fd.fn_unsafe fd.body) p.funcs;
+  !result
+
+let enclosing_fn_of_stmt p id =
+  let result = ref None in
+  List.iter
+    (fun fd ->
+      List.iter
+        (stmt_iter (fun st -> if st.sid = id then result := Some fd.fname) (fun _ -> ()))
+        fd.body)
+    p.funcs;
+  !result

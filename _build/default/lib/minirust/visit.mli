@@ -1,0 +1,34 @@
+(** Read-only traversals over MiniRust programs.
+
+    The repair rule engine and the knowledge-base feature extractor both walk
+    the AST; this module centralizes the traversal order so node enumeration
+    is consistent everywhere. *)
+
+val iter_exprs : (Ast.expr -> unit) -> Ast.program -> unit
+(** Visit every expression (pre-order), including sub-expressions of places
+    and static initializers. *)
+
+val iter_stmts : (Ast.stmt -> unit) -> Ast.program -> unit
+(** Visit every statement (pre-order), in every function. *)
+
+val iter_exprs_block : (Ast.expr -> unit) -> Ast.block -> unit
+val iter_stmts_block : (Ast.stmt -> unit) -> Ast.block -> unit
+
+val find_stmt : Ast.program -> int -> Ast.stmt option
+(** Look a statement up by node id. *)
+
+val find_expr : Ast.program -> int -> Ast.expr option
+(** Look an expression up by node id. *)
+
+val count_exprs : Ast.program -> int
+val count_stmts : Ast.program -> int
+
+val unsafe_blocks : Ast.program -> (string * Ast.stmt) list
+(** All [unsafe { ... }] statements paired with their enclosing function. *)
+
+val stmt_in_unsafe : Ast.program -> int -> bool
+(** Whether the statement with the given id sits (transitively) inside an
+    [unsafe] block or an [unsafe fn] body. *)
+
+val enclosing_fn_of_stmt : Ast.program -> int -> string option
+(** Name of the function whose body contains the statement. *)

@@ -1,0 +1,1 @@
+lib/miri/borrow.ml: Hashtbl List Option Printf

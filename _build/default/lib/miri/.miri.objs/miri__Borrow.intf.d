@@ -1,0 +1,1 @@
+lib/miri/borrow.mli:

@@ -1,0 +1,1 @@
+lib/miri/diag.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/miri/machine.ml: Array Ast Borrow Diag Effect Hashtbl Int64 Layout List Mem Minirust Option Pretty Printf Rb_util String Typecheck Value Vclock

@@ -1,0 +1,1 @@
+lib/miri/machine.mli: Diag Minirust

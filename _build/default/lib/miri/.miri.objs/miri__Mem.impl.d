@@ -1,0 +1,1 @@
+lib/miri/mem.ml: Array Ast Borrow Hashtbl Int64 Layout List Minirust Pretty Printf Result Value Vclock

@@ -1,0 +1,1 @@
+lib/miri/mem.mli: Borrow Minirust Value Vclock

@@ -1,0 +1,1 @@
+lib/miri/value.ml: Array Ast Int64 Layout List Minirust Printf String

@@ -1,0 +1,1 @@
+lib/miri/vclock.ml: Int List Map Option Printf String

@@ -1,0 +1,118 @@
+type perm = Unique | Shared_rw | Shared_ro
+
+type violation = {
+  missing_tag : int;
+  missing_perm : perm;
+  write_through_ro : bool;
+  detail : string;
+}
+
+type item = { tag : int; perm : perm }
+
+type t = {
+  mutable stack : item list;  (** head = top *)
+  created : (int, perm) Hashtbl.t;
+      (** every tag ever created on this stack, for violation classification *)
+}
+
+let tag_counter = ref 0
+
+let fresh_tag () =
+  incr tag_counter;
+  !tag_counter
+
+let create ~base_tag =
+  let created = Hashtbl.create 8 in
+  Hashtbl.replace created base_tag Unique;
+  { stack = [ { tag = base_tag; perm = Unique } ]; created }
+
+let perm_name = function
+  | Unique -> "Unique"
+  | Shared_rw -> "SharedRW"
+  | Shared_ro -> "SharedRO"
+
+let find_index t tag =
+  let rec go i = function
+    | [] -> None
+    | item :: rest -> if item.tag = tag then Some (i, item) else go (i + 1) rest
+  in
+  go 0 t.stack
+
+let missing t tag =
+  let perm = Option.value (Hashtbl.find_opt t.created tag) ~default:Unique in
+  {
+    missing_tag = tag;
+    missing_perm = perm;
+    write_through_ro = false;
+    detail =
+      Printf.sprintf "tag %d (%s) is no longer on the borrow stack" tag (perm_name perm);
+  }
+
+(* Keep only items at or below position [idx], except that a read access
+   keeps non-Unique items above (reads only invalidate unique borrows).
+   Returns the popped items, top-first. *)
+let truncate_for_access t idx ~write =
+  let popped = ref [] in
+  let rec go i = function
+    | [] -> []
+    | item :: rest ->
+      if i >= idx then item :: rest
+      else if write || item.perm = Unique then begin
+        popped := item :: !popped;
+        go (i + 1) rest
+      end
+      else item :: go (i + 1) rest
+  in
+  t.stack <- go 0 t.stack;
+  List.rev_map (fun item -> (item.tag, item.perm)) !popped
+
+let access t ~tag ~write =
+  match tag with
+  | None -> Ok []  (* wildcard: bounds/expose checks happen in the memory layer *)
+  | Some tag -> (
+    match find_index t tag with
+    | None -> Error (missing t tag)
+    | Some (idx, item) ->
+      if write && item.perm = Shared_ro then
+        Error
+          {
+            missing_tag = tag;
+            missing_perm = Shared_ro;
+            write_through_ro = true;
+            detail = Printf.sprintf "write through shared read-only tag %d" tag;
+          }
+      else Ok (truncate_for_access t idx ~write))
+
+let retag t ~parent perm =
+  let parent_tag =
+    match parent with
+    | Some tag -> Some tag
+    | None -> (
+      (* wildcard parent: derive from the bottom (base) item *)
+      match List.rev t.stack with
+      | [] -> None
+      | base :: _ -> Some base.tag)
+  in
+  match parent_tag with
+  | None ->
+    Error
+      {
+        missing_tag = -1;
+        missing_perm = Unique;
+        write_through_ro = false;
+        detail = "retag from an empty borrow stack";
+      }
+  | Some ptag -> (
+    let write = match perm with Unique | Shared_rw -> true | Shared_ro -> false in
+    match access t ~tag:(Some ptag) ~write with
+    | Error v -> Error v
+    | Ok popped ->
+      let tag = fresh_tag () in
+      Hashtbl.replace t.created tag perm;
+      t.stack <- { tag; perm } :: t.stack;
+      Ok (tag, popped))
+
+let perm_of_tag t tag =
+  Option.map (fun (_, item) -> item.perm) (find_index t tag)
+
+let items t = List.map (fun item -> (item.tag, item.perm)) t.stack

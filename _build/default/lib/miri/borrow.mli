@@ -1,0 +1,51 @@
+(** Simplified Stacked-Borrows discipline, per allocation.
+
+    Each allocation carries one stack of borrow items. Creating a reference
+    (retag) pushes an item derived from the parent tag; every typed access
+    first performs the stack transition for its tag. An access through a tag
+    that is no longer on the stack is undefined behaviour; the reported kind
+    distinguishes the paper's "both borrow" row (a shared reference that was
+    invalidated by a conflicting mutable borrow) from plain "stack borrow".
+
+    Simplification vs Miri: stacks are per-allocation rather than per-byte;
+    the corpus does not rely on disjoint sub-borrows (see DESIGN.md). *)
+
+type perm =
+  | Unique     (** [&mut]: exclusive read/write *)
+  | Shared_rw  (** raw pointer derived from a mutable place *)
+  | Shared_ro  (** [&]: shared read-only *)
+
+type violation = {
+  missing_tag : int;
+  missing_perm : perm;        (** permission the tag had when created *)
+  write_through_ro : bool;    (** write attempted through a live [Shared_ro] *)
+  detail : string;
+}
+
+type t
+(** Mutable borrow stack of one allocation. *)
+
+val create : base_tag:int -> t
+(** Fresh stack containing only the allocation's base tag (Unique). *)
+
+val fresh_tag : unit -> int
+(** Globally unique tags (also used by the allocator for base tags). *)
+
+val retag : t -> parent:int option -> perm -> (int * (int * perm) list, violation) result
+(** Derive a new pointer with permission [perm] from [parent]. Performs the
+    access implied by the new permission through the parent tag, pushes the
+    new item, and returns its tag together with the items that access popped
+    (for diagnostics/tracing). [parent = None] means a wildcard parent: the
+    retag is performed from the base item. *)
+
+val access : t -> tag:int option -> write:bool -> ((int * perm) list, violation) result
+(** Perform a read or write access through [tag], returning the items the
+    access invalidated (popped), top-first. [None] is a wildcard access,
+    which only the exposed-ness check in the memory layer guards; here it
+    succeeds without disturbing the stack. *)
+
+val perm_of_tag : t -> int -> perm option
+(** Permission a (live) tag holds on this stack. *)
+
+val items : t -> (int * perm) list
+(** Top-first snapshot, for debugging and tests. *)

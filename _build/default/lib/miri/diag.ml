@@ -1,0 +1,42 @@
+type ub_kind =
+  | Stack_borrow
+  | Unaligned_pointer
+  | Validity
+  | Alloc
+  | Func_pointer
+  | Provenance
+  | Panic_bug
+  | Func_call
+  | Dangling_pointer
+  | Both_borrow
+  | Concurrency
+  | Data_race
+
+type t = { kind : ub_kind; message : string; thread : int; stmt_hint : int }
+
+let make ?(thread = 0) ?(stmt_hint = -1) kind message =
+  { kind; message; thread; stmt_hint }
+
+let kind_name = function
+  | Stack_borrow -> "stack borrow"
+  | Unaligned_pointer -> "unaligned pointer"
+  | Validity -> "validity"
+  | Alloc -> "alloc"
+  | Func_pointer -> "func. pointer"
+  | Provenance -> "provenance"
+  | Panic_bug -> "panic"
+  | Func_call -> "func. calls"
+  | Dangling_pointer -> "dangling pointer"
+  | Both_borrow -> "both borrow"
+  | Concurrency -> "concurrency"
+  | Data_race -> "data race"
+
+let all_kinds =
+  [ Stack_borrow; Unaligned_pointer; Validity; Alloc; Func_pointer; Provenance;
+    Panic_bug; Func_call; Dangling_pointer; Both_borrow; Concurrency; Data_race ]
+
+let kind_of_name name =
+  List.find_opt (fun k -> String.equal (kind_name k) name) all_kinds
+
+let to_string d =
+  Printf.sprintf "UB(%s) in thread %d: %s" (kind_name d.kind) d.thread d.message

@@ -1,0 +1,37 @@
+(** Diagnostics produced by the UB-detecting interpreter.
+
+    The twelve [ub_kind] constructors mirror the twelve error-type rows of
+    the paper's Table I; every undefined behaviour the machine detects is
+    classified into exactly one of them. *)
+
+type ub_kind =
+  | Stack_borrow       (** use of a pointer whose borrow-stack item was invalidated *)
+  | Unaligned_pointer  (** typed access through an insufficiently aligned pointer *)
+  | Validity           (** invalid value: uninitialized read, bad bool, null reference *)
+  | Alloc              (** invalid free, double free, bad layout, memory leak *)
+  | Func_pointer       (** call through a fn pointer with a mismatched signature *)
+  | Provenance         (** access through a pointer without valid provenance *)
+  | Panic_bug          (** panic reached inside code required to be panic-free (unsafe invariant) *)
+  | Func_call          (** call through something that is not a function at all *)
+  | Dangling_pointer   (** access to dead or out-of-bounds memory *)
+  | Both_borrow        (** shared reference used after a conflicting mutable borrow *)
+  | Concurrency        (** deadlock, double join, threads leaked at exit *)
+  | Data_race          (** conflicting unsynchronized accesses from two threads *)
+
+type t = {
+  kind : ub_kind;
+  message : string;
+  thread : int;        (** thread id that triggered the diagnostic *)
+  stmt_hint : int;     (** node id of the statement being executed, or -1 *)
+}
+
+val make : ?thread:int -> ?stmt_hint:int -> ub_kind -> string -> t
+
+val kind_name : ub_kind -> string
+(** Short name matching the paper's Table I rows, e.g. ["stack borrow"]. *)
+
+val kind_of_name : string -> ub_kind option
+
+val all_kinds : ub_kind list
+
+val to_string : t -> string

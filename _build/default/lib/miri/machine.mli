@@ -1,0 +1,63 @@
+(** The UB-detecting abstract machine — this repo's stand-in for Miri.
+
+    [run] executes a (well-typed) MiniRust program under the full dynamic
+    discipline: byte-level memory with provenance, stacked borrows, alignment
+    and validity checks, allocation tracking (double free, layout mismatch,
+    leaks), function-pointer signature checks, and vector-clock data-race
+    detection over cooperatively scheduled threads (OCaml 5 effects).
+
+    Two modes mirror how the paper uses Miri:
+    - [Stop_first] (Miri's behaviour): execution aborts at the first UB.
+    - [Collect n]: each UB is recorded, the failing operation is given a
+      defined recovery result, and execution continues (up to [n]
+      diagnostics). The paper's rollback analysis needs per-iteration error
+      *counts* (its sequences N = \{n_0, n_1, ...\}); this mode produces them.
+
+    Panics (failed asserts, arithmetic overflow, out-of-bounds checked
+    indexing, explicit [panic]) are *defined* behaviour: they terminate the
+    program with [Panicked] and are not UB diagnostics. The dataset's
+    "panic"-category cases are judged on outcome, not on diags. *)
+
+type mode = Stop_first | Collect of int
+
+type config = {
+  mode : mode;
+  seed : int;            (** thread-scheduler seed *)
+  max_steps : int;       (** statement budget before [Step_limit] *)
+  inputs : int64 array;  (** values returned by [input(i)] *)
+  trace : bool;          (** record allocation/retag/invalidation events *)
+}
+
+val default_config : config
+
+type outcome =
+  | Finished
+  | Panicked of string
+  | Ub of Diag.t         (** fatal diagnostic ([Stop_first], or collect overflow) *)
+  | Step_limit
+
+type run_result = {
+  outcome : outcome;
+  output : string list;  (** chronological [print] trace *)
+  diags : Diag.t list;   (** all recorded diagnostics, chronological *)
+  steps : int;
+  error_count : int;     (** |diags| + 1 if panicked — the paper's n_i *)
+  events : string list;
+      (** chronological borrow/allocation event trace — Miri's pointer-tag
+          tracking equivalent; empty unless [config.trace] *)
+}
+
+val run : ?config:config -> Minirust.Ast.program -> Minirust.Typecheck.info -> run_result
+(** Execute [main]. The program must have passed [Typecheck.check] (whose
+    [info] is required here); running an ill-typed program is a programming
+    error and may raise [Invalid_argument]. *)
+
+type analysis = Compile_error of string | Ran of run_result
+
+val analyze : ?config:config -> Minirust.Ast.program -> analysis
+(** Typecheck then run: the one-call interface the repair pipeline uses. *)
+
+val is_clean : run_result -> bool
+(** No UB and no panic: the program "passes Miri". *)
+
+val first_ub : run_result -> Diag.t option

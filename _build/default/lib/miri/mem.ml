@@ -1,0 +1,417 @@
+open Minirust
+
+type alloc_kind = Heap | Stack | Global
+
+type byte = B_uninit | B_int of int | B_frag of Value.pointer * int
+
+type bucket = {
+  mutable na_write : Vclock.t;
+  mutable na_read : Vclock.t;
+  mutable at_write : Vclock.t;
+  mutable at_read : Vclock.t;
+  mutable sync : Vclock.t;
+}
+
+type allocation = {
+  id : int;
+  base : int;
+  size : int;
+  align : int;
+  kind : alloc_kind;
+  mutable live : bool;
+  data : byte array;
+  borrows : Borrow.t;
+  base_tag : int;
+  mutable exposed : bool;
+}
+
+type access_error =
+  | Dead of string
+  | Oob of string
+  | No_alloc of string
+  | Misaligned of string
+  | Borrow_bad of Borrow.violation
+  | Race of string
+  | Not_exposed of string
+
+type t = {
+  mutable next_addr : int;
+  mutable next_id : int;
+  allocs : (int, allocation) Hashtbl.t;
+  buckets : (int * int, bucket) Hashtbl.t;  (* (alloc id, bucket index) *)
+  mutable order : allocation list;  (* for address lookup, newest first *)
+}
+
+let create () =
+  { next_addr = 0x1001; next_id = 1; allocs = Hashtbl.create 64;
+    buckets = Hashtbl.create 64; order = [] }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let allocate t ~size ~align ~kind =
+  if size < 0 then invalid_arg "Mem.allocate: negative size";
+  if not (is_power_of_two align) then invalid_arg "Mem.allocate: bad alignment";
+  let base = Layout.round_up t.next_addr align in
+  (* Guard gap so off-by-one pointers never fall into a neighbour. The odd
+     37 also prevents low-alignment allocations from accidentally landing on
+     8-byte boundaries, which would mask unaligned-access UB. *)
+  t.next_addr <- base + size + 37;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let base_tag = Borrow.fresh_tag () in
+  let a =
+    { id; base; size; align; kind; live = true;
+      data = Array.make size B_uninit;
+      borrows = Borrow.create ~base_tag; base_tag; exposed = false }
+  in
+  Hashtbl.replace t.allocs id a;
+  t.order <- a :: t.order;
+  a
+
+let deallocate _t a = a.live <- false
+
+let find_alloc t id = Hashtbl.find_opt t.allocs id
+
+let alloc_containing t addr =
+  List.find_opt (fun a -> addr >= a.base && addr < a.base + max a.size 1) t.order
+
+let live_heap_allocations t =
+  List.filter (fun a -> a.live && a.kind = Heap) t.order
+
+(* ------------------------------------------------------------------ *)
+(* Race metadata *)
+
+let bucket_of t a idx =
+  match Hashtbl.find_opt t.buckets (a.id, idx) with
+  | Some b -> b
+  | None ->
+    let b =
+      { na_write = Vclock.empty; na_read = Vclock.empty; at_write = Vclock.empty;
+        at_read = Vclock.empty; sync = Vclock.empty }
+    in
+    Hashtbl.replace t.buckets (a.id, idx) b;
+    b
+
+let bucket_range ~offset ~len =
+  if len <= 0 then [] else List.init (((offset + len - 1) / 8) - (offset / 8) + 1)
+                             (fun i -> (offset / 8) + i)
+
+let race_check t a ~offset ~len ~tid ~clock ~write ~atomic =
+  let check_bucket idx =
+    let b = bucket_of t a idx in
+    let conflict vc what =
+      if not (Vclock.leq vc clock) then
+        Some (Printf.sprintf
+                "conflicting %s: earlier access %s not ordered before thread %d's %s"
+                what (Vclock.to_string vc) tid
+                (if write then "write" else "read"))
+      else None
+    in
+    let issue =
+      if atomic then
+        if write then
+          match conflict b.na_write "non-atomic write vs atomic write" with
+          | Some _ as s -> s
+          | None -> conflict b.na_read "non-atomic read vs atomic write"
+        else conflict b.na_write "non-atomic write vs atomic read"
+      else if write then
+        match conflict b.na_write "write-after-write" with
+        | Some _ as s -> s
+        | None -> (
+          match conflict b.na_read "write-after-read" with
+          | Some _ as s -> s
+          | None -> (
+            match conflict b.at_write "write vs atomic write" with
+            | Some _ as s -> s
+            | None -> conflict b.at_read "write vs atomic read"))
+      else
+        match conflict b.na_write "read-after-write" with
+        | Some _ as s -> s
+        | None -> conflict b.at_write "read vs atomic write"
+    in
+    match issue with
+    | Some msg -> Error msg
+    | None ->
+      let mark vc = Vclock.set vc tid (Vclock.get clock tid) in
+      (if atomic then
+         if write then begin
+           b.at_write <- mark b.at_write;
+           b.sync <- Vclock.merge b.sync clock
+         end
+         else b.at_read <- mark b.at_read
+       else if write then b.na_write <- mark b.na_write
+       else b.na_read <- mark b.na_read);
+      Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | idx :: rest -> ( match check_bucket idx with Ok () -> go rest | Error _ as e -> e)
+  in
+  go (bucket_range ~offset ~len)
+
+let sync_clock_of t a offset = (bucket_of t a (offset / 8)).sync
+
+(* ------------------------------------------------------------------ *)
+(* Access validation *)
+
+let check_access t ~ptr ~len ~align ~write ~tid ~clock ~atomic =
+  let open Value in
+  let fail_no_alloc () =
+    if ptr.addr = 0 then Error (No_alloc "null pointer dereference")
+    else Error (No_alloc (Printf.sprintf "no allocation at address %d" ptr.addr))
+  in
+  let resolve () =
+    match ptr.prov with
+    | P_alloc id -> (
+      match find_alloc t id with
+      | Some a -> Ok a
+      | None -> fail_no_alloc ())
+    | P_wild -> (
+      match alloc_containing t ptr.addr with
+      | None -> fail_no_alloc ()
+      | Some a ->
+        if a.exposed then Ok a
+        else
+          Error
+            (Not_exposed
+               (Printf.sprintf
+                  "wildcard pointer into allocation %d whose address was never exposed"
+                  a.id)))
+    | P_fn _ -> Error (No_alloc "data access through a function pointer")
+    | P_none -> fail_no_alloc ()
+  in
+  match resolve () with
+  | Error _ as e -> e
+  | Ok a ->
+    if not a.live then
+      Error
+        (Dead
+           (Printf.sprintf "use of deallocated memory (allocation %d at address %d)"
+              a.id ptr.addr))
+    else begin
+      let offset = ptr.addr - a.base in
+      if offset < 0 || offset + len > a.size then
+        Error
+          (Oob
+             (Printf.sprintf
+                "out-of-bounds access: %d bytes at offset %d of %d-byte allocation %d"
+                len offset a.size a.id))
+      else if align > 1 && ptr.addr mod align <> 0 then
+        Error
+          (Misaligned
+             (Printf.sprintf "address %d is not aligned to %d bytes" ptr.addr align))
+      else if len = 0 then Ok (a, offset, [])
+      else
+        match Borrow.access a.borrows ~tag:ptr.tag ~write with
+        | Error v -> Error (Borrow_bad v)
+        | Ok popped -> (
+          match race_check t a ~offset ~len ~tid ~clock ~write ~atomic with
+          | Error msg -> Error (Race msg)
+          | Ok () -> Ok (a, offset, popped))
+    end
+
+let read_bytes a ~offset ~len = Array.sub a.data offset len
+
+let write_bytes a ~offset bytes =
+  Array.blit bytes 0 a.data offset (Array.length bytes)
+
+let expose t (ptr : Value.pointer) =
+  match ptr.prov with
+  | Value.P_alloc id -> (
+    match find_alloc t id with Some a -> a.exposed <- true | None -> ())
+  | Value.P_wild -> (
+    match alloc_containing t ptr.addr with Some a -> a.exposed <- true | None -> ())
+  | Value.P_fn _ | Value.P_none -> ()
+
+let retag t ~(ptr : Value.pointer) ~perm =
+  let open Value in
+  match ptr.prov with
+  | P_alloc id -> (
+    match find_alloc t id with
+    | None -> Error (No_alloc "retag of pointer to unknown allocation")
+    | Some a ->
+      if not a.live then Error (Dead "retag of pointer into deallocated memory")
+      else (
+        match Borrow.retag a.borrows ~parent:ptr.tag perm with
+        | Error v -> Error (Borrow_bad v)
+        | Ok (tag, popped) -> Ok ({ ptr with tag = Some tag }, popped)))
+  | P_wild -> (
+    match alloc_containing t ptr.addr with
+    | None -> Error (No_alloc "retag of wildcard pointer outside any allocation")
+    | Some a ->
+      if not a.live then Error (Dead "retag of wildcard pointer into dead memory")
+      else if not a.exposed then
+        Error (Not_exposed "retag of wildcard pointer into a never-exposed allocation")
+      else (
+        match Borrow.retag a.borrows ~parent:None perm with
+        | Error v -> Error (Borrow_bad v)
+        | Ok (tag, popped) ->
+          Ok ({ prov = P_alloc a.id; addr = ptr.addr; tag = Some tag }, popped)))
+  | P_fn _ -> Error (No_alloc "retag of a function pointer")
+  | P_none -> Error (No_alloc "retag of a pointer without provenance")
+
+(* ------------------------------------------------------------------ *)
+(* Typed encoding *)
+
+let encode_int64 value len =
+  Array.init len (fun i ->
+      B_int (Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * i)) 0xFFL)))
+
+let encode_pointer (ptr : Value.pointer) =
+  Array.init 8 (fun i -> B_frag (ptr, i))
+
+let width_len = function
+  | Ast.I8 -> 1
+  | Ast.I16 -> 2
+  | Ast.I32 -> 4
+  | Ast.I64 | Ast.Usize -> 8
+
+let rec encode program ~fn_addr (ty : Ast.ty) (v : Value.t) : byte array =
+  let open Value in
+  match (ty, v) with
+  | Ast.T_unit, _ -> [||]
+  | Ast.T_bool, V_bool b -> [| B_int (if b then 1 else 0) |]
+  | Ast.T_int w, V_int (n, _) -> encode_int64 n (width_len w)
+  | (Ast.T_ref _ | Ast.T_raw _), V_ptr (p, _) -> encode_pointer p
+  | Ast.T_fn _, V_ptr (p, _) -> encode_pointer p
+  | Ast.T_fn _, V_fn (name, _) -> encode_pointer (fn_addr name)
+  | Ast.T_handle, V_handle h -> encode_int64 (Int64.of_int h) 8
+  | Ast.T_array (elem, n), V_array vs ->
+    let elem_size = Layout.size_of program elem in
+    let out = Array.make (elem_size * n) B_uninit in
+    List.iteri
+      (fun i v ->
+        Array.blit (encode program ~fn_addr elem v) 0 out (i * elem_size) elem_size)
+      vs;
+    out
+  | Ast.T_tuple ts, V_tuple vs ->
+    let out = Array.make (Layout.size_of program ty) B_uninit in
+    List.iter2
+      (fun (t, off) v ->
+        let enc = encode program ~fn_addr t v in
+        Array.blit enc 0 out off (Array.length enc))
+      (List.combine ts (Layout.tuple_offsets program ts))
+      vs;
+    out
+  | Ast.T_union _, V_bytes bytes ->
+    Array.map (function Some n -> B_int n | None -> B_uninit) bytes
+  | _ ->
+    (* A value/type mismatch is an interpreter invariant violation, not a
+       program UB: the typechecker rules it out. *)
+    invalid_arg
+      (Printf.sprintf "Mem.encode: cannot encode %s at type %s" (Value.to_display v)
+         (Pretty.ty ty))
+
+let byte_as_int = function
+  | B_int n -> Some n
+  | B_frag (ptr, i) -> Some ((ptr.Value.addr lsr (8 * i)) land 0xFF)
+  | B_uninit -> None
+
+let decode_int bytes =
+  let n = Array.length bytes in
+  let rec go i acc =
+    if i >= n then Ok acc
+    else
+      match byte_as_int bytes.(i) with
+      | None -> Error "read of uninitialized memory"
+      | Some b -> go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int b) (8 * i)))
+  in
+  go 0 0L
+
+let sign_extend value bits =
+  if bits >= 64 then value
+  else
+    let shift = 64 - bits in
+    Int64.shift_right (Int64.shift_left value shift) shift
+
+let decode_pointer bytes =
+  (* Preserved provenance requires all 8 bytes to be consecutive fragments of
+     the same pointer. Anything else reconstructs a wildcard address. *)
+  let all_frags =
+    Array.for_all (function B_frag _ -> true | B_int _ | B_uninit -> false) bytes
+  in
+  if all_frags && Array.length bytes = 8 then begin
+    match bytes.(0) with
+    | B_frag (p0, 0) ->
+      let consistent = ref true in
+      Array.iteri
+        (fun i b ->
+          match b with
+          | B_frag (p, idx) when idx = i && p = p0 -> ()
+          | B_frag _ | B_int _ | B_uninit -> consistent := false)
+        bytes;
+      if !consistent then Ok p0
+      else
+        Result.map
+          (fun addr -> Value.{ prov = P_wild; addr = Int64.to_int addr; tag = None })
+          (decode_int bytes)
+    | B_frag _ | B_int _ | B_uninit ->
+      Result.map
+        (fun addr -> Value.{ prov = P_wild; addr = Int64.to_int addr; tag = None })
+        (decode_int bytes)
+  end
+  else
+    Result.map
+      (fun addr -> Value.{ prov = P_wild; addr = Int64.to_int addr; tag = None })
+      (decode_int bytes)
+
+let rec decode program (ty : Ast.ty) (bytes : byte array) :
+    (Value.t, string) result =
+  let open Value in
+  match ty with
+  | Ast.T_unit -> Ok V_unit
+  | Ast.T_bool -> (
+    match byte_as_int bytes.(0) with
+    | None -> Error "read of uninitialized memory at type bool"
+    | Some 0 -> Ok (V_bool false)
+    | Some 1 -> Ok (V_bool true)
+    | Some n -> Error (Printf.sprintf "invalid bool byte %d (must be 0 or 1)" n))
+  | Ast.T_int w -> (
+    match decode_int bytes with
+    | Error e -> Error e
+    | Ok raw ->
+      let bits = 8 * width_len w in
+      let v = match w with Ast.Usize -> raw | _ -> sign_extend raw bits in
+      Ok (V_int (v, w)))
+  | Ast.T_raw _ -> (
+    match decode_pointer bytes with
+    | Error e -> Error e
+    | Ok p -> Ok (V_ptr (p, ty)))
+  | Ast.T_ref _ -> (
+    match decode_pointer bytes with
+    | Error e -> Error e
+    | Ok p ->
+      if p.addr = 0 then Error "constructed an invalid value: null reference"
+      else Ok (V_ptr (p, ty)))
+  | Ast.T_fn _ -> (
+    match decode_pointer bytes with
+    | Error e -> Error e
+    | Ok p -> Ok (V_ptr (p, ty)))
+  | Ast.T_handle -> (
+    match decode_int bytes with
+    | Error e -> Error e
+    | Ok raw -> Ok (V_handle (Int64.to_int raw)))
+  | Ast.T_array (elem, n) ->
+    let elem_size = Layout.size_of program elem in
+    let rec go i acc =
+      if i >= n then Ok (V_array (List.rev acc))
+      else
+        match decode program elem (Array.sub bytes (i * elem_size) elem_size) with
+        | Error e -> Error e
+        | Ok v -> go (i + 1) (v :: acc)
+    in
+    go 0 []
+  | Ast.T_tuple ts ->
+    let offsets = Layout.tuple_offsets program ts in
+    let rec go ts offs acc =
+      match (ts, offs) with
+      | [], [] -> Ok (V_tuple (List.rev acc))
+      | t :: ts', off :: offs' -> (
+        match decode program t (Array.sub bytes off (Layout.size_of program t)) with
+        | Error e -> Error e
+        | Ok v -> go ts' offs' (v :: acc))
+      | _ -> Error "internal: tuple arity mismatch"
+    in
+    go ts offsets []
+  | Ast.T_union _ ->
+    Ok (V_bytes (Array.map byte_as_int bytes))

@@ -1,0 +1,105 @@
+(** Byte-level simulated memory with provenance, borrow stacks and
+    happens-before race metadata.
+
+    Every allocation (heap block, stack slot of a local, global static) gets
+    an absolute address range, a byte array, one borrow stack and per-8-byte
+    race buckets. Pointer-typed values are stored as 8 provenance-carrying
+    fragments, so transmuting or byte-copying a pointer preserves (or
+    deliberately destroys) provenance exactly as in Miri's model. *)
+
+type alloc_kind = Heap | Stack | Global
+
+type byte =
+  | B_uninit
+  | B_int of int                               (** 0..255 *)
+  | B_frag of Value.pointer * int              (** fragment [i] of a stored pointer *)
+
+type allocation = {
+  id : int;
+  base : int;
+  size : int;
+  align : int;
+  kind : alloc_kind;
+  mutable live : bool;
+  data : byte array;
+  borrows : Borrow.t;
+  base_tag : int;
+  mutable exposed : bool;  (** some pointer to this allocation was cast to an integer *)
+}
+
+type access_error =
+  | Dead of string         (** use of a deallocated or out-of-scope allocation *)
+  | Oob of string          (** access outside the allocation bounds *)
+  | No_alloc of string     (** address belongs to no allocation (incl. null) *)
+  | Misaligned of string
+  | Borrow_bad of Borrow.violation
+  | Race of string
+  | Not_exposed of string  (** wildcard pointer into a never-exposed allocation *)
+
+type t
+
+val create : unit -> t
+
+val allocate : t -> size:int -> align:int -> kind:alloc_kind -> allocation
+(** Fresh live allocation; [align] must be a positive power of two. *)
+
+val deallocate : t -> allocation -> unit
+(** Mark dead. The address range is never reused, so dangling accesses are
+    reliably detected. *)
+
+val find_alloc : t -> int -> allocation option
+(** Allocation by id (dead or alive). *)
+
+val alloc_containing : t -> int -> allocation option
+(** Live-or-dead allocation whose range contains the address. *)
+
+val live_heap_allocations : t -> allocation list
+(** For the leak check at program exit. *)
+
+val check_access :
+  t ->
+  ptr:Value.pointer ->
+  len:int ->
+  align:int ->
+  write:bool ->
+  tid:int ->
+  clock:Vclock.t ->
+  atomic:bool ->
+  (allocation * int * (int * Borrow.perm) list, access_error) result
+(** Validate an access of [len] bytes at [ptr] and perform the borrow-stack
+    transition and race-metadata update. Returns the allocation, the offset
+    within it, and the borrow-stack items the access invalidated (for the
+    event trace). A zero-length access only checks provenance. *)
+
+val sync_clock_of : t -> allocation -> int -> Vclock.t
+(** Release clock of the bucket containing [offset] (acquire loads merge it
+    into the reading thread's clock). *)
+
+val read_bytes : allocation -> offset:int -> len:int -> byte array
+val write_bytes : allocation -> offset:int -> byte array -> unit
+
+val expose : t -> Value.pointer -> unit
+(** Record that the pointed-to allocation had its address observed as an
+    integer (enables later wildcard access). *)
+
+val retag :
+  t -> ptr:Value.pointer -> perm:Borrow.perm ->
+  (Value.pointer * (int * Borrow.perm) list, access_error) result
+(** Derive a new tagged pointer from [ptr] (reference creation / ref-to-raw
+    cast), also returning the borrow-stack items the implied access popped.
+    Pointers without provenance retag from the base item. *)
+
+(* -- typed encoding ------------------------------------------------- *)
+
+val encode :
+  Minirust.Ast.program -> fn_addr:(string -> Value.pointer) -> Minirust.Ast.ty ->
+  Value.t -> byte array
+(** Serialize a value at a type. [fn_addr] maps a named function to its
+    function-table pointer. *)
+
+val decode :
+  Minirust.Ast.program -> Minirust.Ast.ty -> byte array -> (Value.t, string) result
+(** Deserialize bytes at a type; [Error msg] is a validity violation
+    (uninitialized read, invalid bool, null reference...). Function-pointer
+    bytes decode to a [V_ptr] carrying the *claimed* type; the machine checks
+    claimed-vs-actual signatures at call time. *)

@@ -1,0 +1,62 @@
+open Minirust
+
+type prov = P_alloc of int | P_fn of int | P_wild | P_none
+
+type pointer = { prov : prov; addr : int; tag : int option }
+
+type t =
+  | V_unit
+  | V_bool of bool
+  | V_int of int64 * Ast.int_width
+  | V_ptr of pointer * Ast.ty
+  | V_fn of string * Ast.ty
+  | V_handle of int
+  | V_tuple of t list
+  | V_array of t list
+  | V_bytes of int option array
+
+let null_pointer = { prov = P_none; addr = 0; tag = None }
+
+let rec zero program (ty : Ast.ty) : t =
+  match ty with
+  | Ast.T_unit -> V_unit
+  | Ast.T_bool -> V_bool false
+  | Ast.T_int w -> V_int (0L, w)
+  | Ast.T_ref _ | Ast.T_raw _ -> V_ptr (null_pointer, ty)
+  | Ast.T_fn _ -> V_ptr (null_pointer, ty)
+  | Ast.T_handle -> V_handle (-1)
+  | Ast.T_array (t, n) -> V_array (List.init n (fun _ -> zero program t))
+  | Ast.T_tuple ts -> V_tuple (List.map (zero program) ts)
+  | Ast.T_union _ as t ->
+    V_bytes (Array.make (Layout.size_of program t) (Some 0))
+
+let rec to_display = function
+  | V_unit -> "()"
+  | V_bool b -> if b then "true" else "false"
+  | V_int (n, _) -> Int64.to_string n
+  | V_ptr (p, _) -> Printf.sprintf "ptr@%d" p.addr
+  | V_fn (name, _) -> "fn:" ^ name
+  | V_handle h -> Printf.sprintf "handle:%d" h
+  | V_tuple vs -> "(" ^ String.concat ", " (List.map to_display vs) ^ ")"
+  | V_array vs -> "[" ^ String.concat ", " (List.map to_display vs) ^ "]"
+  | V_bytes b -> Printf.sprintf "union<%d bytes>" (Array.length b)
+
+let as_int = function V_int (n, _) -> Some n | _ -> None
+let as_bool = function V_bool b -> Some b | _ -> None
+let as_pointer = function V_ptr (p, _) -> Some p | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | V_unit, V_unit -> true
+  | V_bool x, V_bool y -> x = y
+  | V_int (x, wx), V_int (y, wy) -> Int64.equal x y && wx = wy
+  | V_ptr (p, _), V_ptr (q, _) -> p.addr = q.addr
+  | V_fn (f, _), V_fn (g, _) -> String.equal f g
+  | V_handle x, V_handle y -> x = y
+  | V_tuple xs, V_tuple ys | V_array xs, V_array ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | V_bytes xs, V_bytes ys -> xs = ys
+  | ( ( V_unit | V_bool _ | V_int _ | V_ptr _ | V_fn _ | V_handle _ | V_tuple _
+      | V_array _ | V_bytes _ ),
+      _ ) ->
+    false

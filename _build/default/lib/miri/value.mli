@@ -1,0 +1,39 @@
+(** Runtime values and pointers of the UB-detecting interpreter. *)
+
+type prov =
+  | P_alloc of int   (** pointer into allocation [id] *)
+  | P_fn of int      (** pointer to function-table slot [idx] *)
+  | P_wild           (** from an integer: provenance must be re-derived via expose *)
+  | P_none           (** no provenance at all (e.g. dangling constant) *)
+
+type pointer = {
+  prov : prov;
+  addr : int;            (** absolute simulated address *)
+  tag : int option;      (** borrow-stack tag, [None] for wildcard pointers *)
+}
+
+type t =
+  | V_unit
+  | V_bool of bool
+  | V_int of int64 * Minirust.Ast.int_width
+  | V_ptr of pointer * Minirust.Ast.ty  (** pointer plus its static pointer type *)
+  | V_fn of string * Minirust.Ast.ty    (** named function and claimed fn type *)
+  | V_handle of int                     (** thread handle *)
+  | V_tuple of t list
+  | V_array of t list
+  | V_bytes of int option array
+      (** opaque union value: raw bytes, [None] = uninitialized byte *)
+
+val null_pointer : pointer
+
+val zero : Minirust.Ast.program -> Minirust.Ast.ty -> t
+(** Defined recovery value of a type (collect-mode fallback). *)
+
+val to_display : t -> string
+(** Rendering used by [print]; part of a program's observable output. *)
+
+val as_int : t -> int64 option
+val as_bool : t -> bool option
+val as_pointer : t -> pointer option
+
+val equal : t -> t -> bool

@@ -1,0 +1,21 @@
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let get c tid = Option.value (Imap.find_opt tid c) ~default:0
+
+let tick c tid = Imap.add tid (get c tid + 1) c
+
+let set c tid v = Imap.add tid v c
+
+let merge a b = Imap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = Imap.for_all (fun tid epoch -> epoch <= get b tid) a
+
+let to_string c =
+  let entries =
+    Imap.bindings c |> List.map (fun (tid, e) -> Printf.sprintf "%d:%d" tid e)
+  in
+  "{" ^ String.concat ", " entries ^ "}"

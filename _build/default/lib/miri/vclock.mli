@@ -1,0 +1,21 @@
+(** Vector clocks for happens-before data-race detection (DJIT+-style).
+
+    A clock maps thread ids to epochs. Detection is based purely on
+    happens-before, so a race is reported whenever two unordered conflicting
+    accesses exist — no particular interleaving needs to be witnessed. *)
+
+type t
+
+val empty : t
+val get : t -> int -> int
+val tick : t -> int -> t
+(** [tick c tid] increments thread [tid]'s own epoch. *)
+
+val set : t -> int -> int -> t
+val merge : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every epoch of [a] is [<=] the matching epoch of [b]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/rb_util/rng.ml: Array Float Int64 List

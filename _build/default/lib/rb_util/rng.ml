@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = next_raw t
+
+let split t =
+  let s = next_raw t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's native non-negative int range *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  r mod bound
+
+let float t =
+  let r = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let bernoulli t p =
+  let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+  float t < p
+
+let gaussian t ~mean ~std =
+  (* Box-Muller; discard the second deviate for simplicity. *)
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~std:sigma)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. max 0.0 w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: non-positive total weight";
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest ->
+      let acc = acc +. max 0.0 w in
+      if x < acc then v else go acc rest
+  in
+  go 0.0 pairs
+
+let shuffle t l =
+  let a = Array.of_list l in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

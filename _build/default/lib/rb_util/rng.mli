@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component in the reproduction — the LLM simulator, the
+    thread scheduler, the human-expert time model — draws from an [Rng.t]
+    seeded explicitly, so that every experiment is reproducible bit-for-bit
+    and independent components can be given independent streams via
+    {!split}. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances by one step. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Box-Muller normal deviate. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp (gaussian ~mean:mu ~std:sigma)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform pick from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val pick_weighted : t -> ('a * float) list -> 'a
+(** Weighted pick; weights must be non-negative with positive sum. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

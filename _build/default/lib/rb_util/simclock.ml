@@ -1,0 +1,15 @@
+type t = { mutable seconds : float }
+
+let create () = { seconds = 0.0 }
+let now t = t.seconds
+
+let charge t dt =
+  if dt < 0.0 then invalid_arg "Simclock.charge: negative duration";
+  t.seconds <- t.seconds +. dt
+
+let reset t = t.seconds <- 0.0
+
+let elapsed_during t f =
+  let start = t.seconds in
+  let result = f () in
+  (result, t.seconds -. start)

@@ -1,0 +1,22 @@
+(** Simulated wall clock.
+
+    The paper's Table I reports repair times (LLM latency + verification
+    runs) against human experts. The container has no real LLM, so time is
+    accounted on a simulated clock: each simulated activity charges a cost in
+    seconds. Benchmarks read the accumulated time. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds since [create]. *)
+
+val charge : t -> float -> unit
+(** [charge t dt] advances the clock by [dt] seconds ([dt >= 0]). *)
+
+val reset : t -> unit
+
+val elapsed_during : t -> (unit -> 'a) -> 'a * float
+(** [elapsed_during t f] runs [f ()] and returns its result together with the
+    simulated time charged while it ran. *)

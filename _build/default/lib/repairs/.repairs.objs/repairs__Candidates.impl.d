@@ -1,0 +1,1 @@
+lib/repairs/candidates.ml: Ast Edit List Llm_sim Minirust Rule

@@ -1,0 +1,1 @@
+lib/repairs/candidates.mli: Llm_sim Minirust Rule

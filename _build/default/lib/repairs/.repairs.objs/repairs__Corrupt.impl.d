@@ -1,0 +1,1 @@
+lib/repairs/corrupt.ml: Ast Edit Int64 List Minirust Rb_util Visit

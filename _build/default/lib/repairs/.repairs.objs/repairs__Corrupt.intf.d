@@ -1,0 +1,1 @@
+lib/repairs/corrupt.mli: Minirust Rb_util

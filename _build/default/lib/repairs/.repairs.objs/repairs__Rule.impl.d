@@ -1,0 +1,1 @@
+lib/repairs/rule.ml: Ast Edit Hashtbl Int64 List Minirust Miri Option Printf String Visit

@@ -1,0 +1,1 @@
+lib/repairs/rule.mli: Minirust Miri

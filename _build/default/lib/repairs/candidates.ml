@@ -1,0 +1,59 @@
+open Minirust
+
+type t = { id : int; edit : Edit.t; kind : Rule.fix_kind; quality : float }
+
+let reference_edit ~buggy ~fixed =
+  let changed =
+    List.filter_map
+      (fun (bf : Ast.fn_decl) ->
+        match Ast.lookup_fn fixed bf.Ast.fname with
+        | Some ff when not (Ast.equal_fn bf ff) -> Some (Edit.Replace_fn_decl ff)
+        | Some _ -> None
+        | None -> Some (Edit.Remove_fn bf.Ast.fname))
+      buggy.Ast.funcs
+  in
+  let added =
+    List.filter_map
+      (fun (ff : Ast.fn_decl) ->
+        match Ast.lookup_fn buggy ff.Ast.fname with
+        | None -> Some (Edit.Add_fn ff)
+        | Some _ -> None)
+      fixed.Ast.funcs
+  in
+  match changed @ added with
+  | [] -> None
+  | actions -> Some { Edit.label = "developer-style rewrite"; actions }
+
+let enumerate ?reference ?(max_candidates = 24) (ctx : Rule.context) =
+  let rule_proposals = Rule.run_all ctx in
+  let ref_proposal =
+    match reference with
+    | None -> []
+    | Some fixed -> (
+      match reference_edit ~buggy:ctx.Rule.program ~fixed with
+      | Some edit -> [ { Rule.edit; kind = Rule.Modify } ]
+      | None -> [])
+  in
+  let proposals = ref_proposal @ rule_proposals in
+  let capped = List.filteri (fun i _ -> i < max_candidates) proposals in
+  List.mapi
+    (fun i (p : Rule.proposal) ->
+      { id = i; edit = p.Rule.edit; kind = p.Rule.kind; quality = 0.0 })
+    capped
+
+let score_all ~scorer program candidates =
+  List.map
+    (fun c ->
+      match Edit.apply c.edit program with
+      | Error _ -> { c with quality = 0.0 }
+      | Ok program' -> { c with quality = scorer program' })
+    candidates
+
+let to_llm_candidates candidates =
+  List.map
+    (fun c ->
+      { Llm_sim.Client.cand_id = c.id;
+        quality = c.quality;
+        brief = c.edit.Edit.label;
+        kind = Rule.fix_kind_name c.kind })
+    candidates

@@ -1,0 +1,40 @@
+(** Candidate enumeration and oracle scoring for one repair attempt.
+
+    A candidate is a concrete edit plus its fix class. The set offered to the
+    simulated LLM is the union of
+    - every rule-generated proposal ({!Rule.run_all}), and
+    - a developer-style rewrite derived from the dataset's reference fix
+      (whole-body replacement of each function whose body differs).
+
+    [score_all] computes each candidate's oracle quality by *actually
+    applying the edit* and re-checking the program with the scorer the caller
+    provides (typecheck + Miri + semantic probe); this is the "capability
+    oracle" half of the LLM substitution described in DESIGN.md. *)
+
+type t = {
+  id : int;
+  edit : Minirust.Edit.t;
+  kind : Rule.fix_kind;
+  quality : float;  (** oracle score in [0,1]; 0 until {!score_all} runs *)
+}
+
+val enumerate :
+  ?reference:Minirust.Ast.program ->
+  ?max_candidates:int ->
+  Rule.context ->
+  t list
+(** Rule proposals plus (when [reference] is given and differs) the
+    developer-style rewrite, capped at [max_candidates] (default 24). *)
+
+val score_all :
+  scorer:(Minirust.Ast.program -> float) -> Minirust.Ast.program -> t list -> t list
+(** Apply each candidate to the program and record [scorer program'] as its
+    quality. Candidates whose edit fails to apply score 0. *)
+
+val reference_edit :
+  buggy:Minirust.Ast.program -> fixed:Minirust.Ast.program -> Minirust.Edit.t option
+(** Whole-body replacement edit turning [buggy]'s differing functions (and
+    statics/unsafe flags) into [fixed]'s. [None] if the programs already
+    agree. *)
+
+val to_llm_candidates : t list -> Llm_sim.Client.candidate list

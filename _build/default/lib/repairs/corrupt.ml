@@ -1,0 +1,136 @@
+open Minirust
+open Ast
+
+let leaf_sids program =
+  let acc = ref [] in
+  Visit.iter_stmts
+    (fun st ->
+      match st.s with
+      | S_if _ | S_while _ | S_block _ | S_unsafe _ -> ()
+      | _ -> acc := st.sid :: !acc)
+    program;
+  List.rev !acc
+
+(* off-by-k constants: the classic transcription slip *)
+let bump_literals rng st =
+  let delta = Int64.of_int (1 + Rb_util.Rng.int rng 6) in
+  let sign = if Rb_util.Rng.bool rng then delta else Int64.neg delta in
+  let st', hits =
+    Edit.map_exprs_in_stmt
+      (fun e ->
+        match e.e with
+        | E_int (n, w) -> Some (int64_e ~w (Int64.add n sign))
+        | _ -> None)
+      st
+  in
+  if hits > 0 then Some st' else None
+
+let degrade_assert st =
+  match st.s with
+  | S_assert (_, msg) -> Some (assert_s (bool_e true) msg)
+  | _ -> None
+
+(* the statement payload an action carries, if any *)
+let payload_of = function
+  | Edit.Insert_before (_, st) | Edit.Insert_after (_, st) -> Some st
+  | Edit.Replace_stmt (_, [ st ]) -> Some st
+  | Edit.Replace_stmt (_, _) | Edit.Replace_expr _ | Edit.Wrap_unsafe _
+  | Edit.Replace_fn_body _ | Edit.Set_fn_unsafe _ | Edit.Replace_fn_decl _
+  | Edit.Add_fn _ | Edit.Remove_fn _ ->
+    None
+
+let corrupt_action rng program (a : Edit.action) : Edit.action =
+  let sids = leaf_sids program in
+  let retarget sid =
+    match List.filter (fun s -> s <> sid) sids with
+    | [] -> sid
+    | others -> Rb_util.Rng.pick rng others
+  in
+  match a with
+  | Edit.Insert_before (sid, st) -> begin
+    match Rb_util.Rng.int rng 3 with
+    | 0 -> Edit.Insert_before (retarget sid, st)
+    | 1 -> (
+      match degrade_assert st with
+      | Some st' -> Edit.Insert_before (sid, st')
+      | None -> Edit.Insert_before (retarget sid, st))
+    | _ -> (
+      match bump_literals rng st with
+      | Some st' -> Edit.Insert_before (sid, st')
+      | None -> Edit.Insert_before (retarget sid, st))
+  end
+  | Edit.Insert_after (sid, st) -> begin
+    match Rb_util.Rng.int rng 2 with
+    | 0 -> Edit.Insert_after (retarget sid, st)
+    | _ -> (
+      match bump_literals rng st with
+      | Some st' -> Edit.Insert_after (sid, st')
+      | None -> Edit.Insert_after (retarget sid, st))
+  end
+  | Edit.Replace_stmt (sid, stmts) -> begin
+    match Rb_util.Rng.int rng 3 with
+    | 0 -> Edit.Replace_stmt (retarget sid, stmts)
+    | 1 ->
+      (* duplicate the replacement: a classic over-eager model mistake *)
+      Edit.Replace_stmt (sid, stmts @ stmts)
+    | _ -> (
+      match stmts with
+      | [ st ] -> (
+        match bump_literals rng st with
+        | Some st' -> Edit.Replace_stmt (sid, [ st' ])
+        | None -> Edit.Replace_stmt (retarget sid, stmts))
+      | _ -> Edit.Replace_stmt (retarget sid, stmts))
+  end
+  | Edit.Replace_expr (eid, e) -> Edit.Replace_expr (eid, e)
+  | Edit.Wrap_unsafe sid -> Edit.Wrap_unsafe (retarget sid)
+  | Edit.Replace_fn_body (name, body) -> begin
+    match body with
+    | [] | [ _ ] -> Edit.Replace_fn_body (name, body)
+    | body ->
+      let drop = Rb_util.Rng.int rng (List.length body) in
+      Edit.Replace_fn_body (name, List.filteri (fun i _ -> i <> drop) body)
+  end
+  | Edit.Replace_fn_decl decl -> begin
+    match decl.body with
+    | [] | [ _ ] -> Edit.Replace_fn_decl decl
+    | body ->
+      let drop = Rb_util.Rng.int rng (List.length body) in
+      Edit.Replace_fn_decl { decl with body = List.filteri (fun i _ -> i <> drop) body }
+  end
+  | Edit.Set_fn_unsafe (name, flag) -> Edit.Set_fn_unsafe (name, not flag)
+  | Edit.Add_fn decl -> Edit.Add_fn decl
+  | Edit.Remove_fn name -> Edit.Remove_fn name
+
+let corrupt rng program (edit : Edit.t) : Edit.t =
+  match edit.Edit.actions with
+  | [] -> edit
+  | actions ->
+    let sids = leaf_sids program in
+    let choice = Rb_util.Rng.float rng in
+    if List.length actions > 1 && choice < 0.30 then begin
+      (* silently drop one step of a multi-step edit *)
+      let drop = Rb_util.Rng.int rng (List.length actions) in
+      { Edit.label = edit.Edit.label ^ " [hallucinated: step dropped]";
+        actions = List.filteri (fun i _ -> i <> drop) actions }
+    end
+    else if choice < 0.55 && sids <> [] then begin
+      (* apply the change at a second, spurious site as well: the over-eager
+         model "fixes" code that was fine, often *adding* errors — the
+         mechanism behind the paper's growing N sequences *)
+      let stray =
+        match List.find_map payload_of actions with
+        | Some st -> [ Edit.Insert_after (Rb_util.Rng.pick rng sids, st) ]
+        | None -> []
+      in
+      { Edit.label = edit.Edit.label ^ " [hallucinated: spurious extra edit]";
+        actions = actions @ stray }
+    end
+    else begin
+      let idx = Rb_util.Rng.int rng (List.length actions) in
+      let actions' =
+        List.mapi
+          (fun i a -> if i = idx then corrupt_action rng program a else a)
+          actions
+      in
+      { Edit.label = edit.Edit.label ^ " [hallucinated]"; actions = actions' }
+    end

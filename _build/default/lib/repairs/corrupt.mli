@@ -1,0 +1,15 @@
+(** Hallucination model: plausible corruptions of a repair edit.
+
+    When the simulated LLM hallucinates ({!Llm_sim.Client.choice.corrupted}),
+    the agent applies a *corrupted variant* of the chosen edit rather than
+    the edit itself: the change lands on the wrong statement, an inserted
+    constant is off by one, an assertion is degenerate, or part of a
+    multi-step edit is silently dropped. Corrupted edits still apply cleanly
+    — they just tend to leave the UB in place or add new errors, which is
+    what drives the paper's growing error sequences (Fig. 5) and gives the
+    adaptive-rollback agent something to do. *)
+
+val corrupt :
+  Rb_util.Rng.t -> Minirust.Ast.program -> Minirust.Edit.t -> Minirust.Edit.t
+(** Produce a corrupted variant of the edit that is applicable to the given
+    program (targets are retargeted only to existing statements). *)

@@ -1,0 +1,1058 @@
+open Minirust
+open Ast
+
+type fix_kind = Replace | Assert | Modify
+
+let fix_kind_name = function
+  | Replace -> "replace"
+  | Assert -> "assert"
+  | Modify -> "modify"
+
+type proposal = { edit : Edit.t; kind : fix_kind }
+
+type context = {
+  program : program;
+  diag : Miri.Diag.t option;
+  panicked : string option;
+}
+
+type t = { rule_name : string; generate : context -> proposal list }
+
+(* ------------------------------------------------------------------ *)
+(* Scanning helpers *)
+
+let all_stmts program =
+  let acc = ref [] in
+  Visit.iter_stmts (fun st -> acc := st :: !acc) program;
+  List.rev !acc
+
+(* Leaf statements only (no block-structured statements): the natural edit
+   targets. *)
+let leaf_stmts program =
+  List.filter
+    (fun st ->
+      match st.s with
+      | S_if _ | S_while _ | S_block _ | S_unsafe _ -> false
+      | S_let _ | S_assign _ | S_expr _ | S_assert _ | S_panic _ | S_return _
+      | S_print _ | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ->
+        true)
+    (all_stmts program)
+
+let stmt_has_place pred st =
+  let found = ref false in
+  let _ =
+    Edit.map_places_in_stmt
+      (fun p ->
+        if pred p then begin
+          found := true;
+          Some p
+        end
+        else None)
+      st
+  in
+  !found
+
+let stmt_has_expr pred st =
+  let found = ref false in
+  let _ =
+    Edit.map_exprs_in_stmt
+      (fun e ->
+        if pred e then begin
+          found := true;
+          Some e
+        end
+        else None)
+      st
+  in
+  !found
+
+let is_unchecked = function P_index_unchecked _ -> true | _ -> false
+
+(* Enclosing sibling list of a statement id, with its index. *)
+let siblings_of program sid : (stmt list * int) option =
+  let result = ref None in
+  let rec scan_block (b : block) =
+    List.iteri (fun i st -> if st.sid = sid then result := Some (b, i)) b;
+    List.iter scan_children b
+  and scan_children st =
+    match st.s with
+    | S_if (_, t, f) ->
+      scan_block t;
+      scan_block f
+    | S_while (_, body) | S_block body | S_unsafe body -> scan_block body
+    | S_let _ | S_assign _ | S_expr _ | S_assert _ | S_panic _ | S_return _
+    | S_print _ | S_dealloc _ | S_spawn _ | S_join _ | S_atomic_store _ ->
+      ()
+  in
+  List.iter (fun f -> scan_block f.body) program.funcs;
+  !result
+
+let failing_stmt ctx =
+  match ctx.diag with
+  | Some d when d.Miri.Diag.stmt_hint >= 0 -> Visit.find_stmt ctx.program d.Miri.Diag.stmt_hint
+  | _ -> None
+
+let diag_kind ctx = Option.map (fun d -> d.Miri.Diag.kind) ctx.diag
+
+(* let-pattern maps ------------------------------------------------- *)
+
+(* locals bound to a raw pointer derived from another local:
+   let p = &mut x as *mut T;   let p = &raw mut x;   let p = &raw const x; *)
+let raw_ptr_sources program : (string * (string * mutability)) list =
+  let acc = ref [] in
+  Visit.iter_stmts
+    (fun st ->
+      match st.s with
+      | S_let (p, _, { e = E_raw_of (m, P_var x); _ }) -> acc := (p, (x, m)) :: !acc
+      | S_let (p, _, { e = E_cast ({ e = E_ref (m, P_var x); _ }, T_raw _); _ }) ->
+        acc := (p, (x, m)) :: !acc
+      | _ -> ())
+    program;
+  !acc
+
+(* locals bound to an exposed address of another local:
+   let a = &raw const x as usize;   let a = &mut x as *mut T as usize; *)
+let addr_sources program : (string * string) list =
+  let acc = ref [] in
+  Visit.iter_stmts
+    (fun st ->
+      match st.s with
+      | S_let (a, _, { e = E_cast ({ e = E_raw_of (_, P_var x); _ }, T_int _); _ }) ->
+        acc := (a, x) :: !acc
+      | S_let
+          ( a,
+            _,
+            { e =
+                E_cast
+                  ( { e = E_cast ({ e = E_ref (_, P_var x); _ }, T_raw _); _ },
+                    T_int _ );
+              _ } ) ->
+        acc := (a, x) :: !acc
+      | _ -> ())
+    program;
+  !acc
+
+(* locals bound to heap allocations (possibly through one cast):
+   let p = alloc(s, a);   let p = alloc(s, a) as *mut T; *)
+let alloc_lets program : (stmt * string * expr * expr * ty option) list =
+  let acc = ref [] in
+  Visit.iter_stmts
+    (fun st ->
+      match st.s with
+      | S_let (p, _, { e = E_alloc (size, align); _ }) ->
+        acc := (st, p, size, align, None) :: !acc
+      | S_let (p, _, { e = E_cast ({ e = E_alloc (size, align); _ }, (T_raw _ as t)); _ })
+        ->
+        acc := (st, p, size, align, Some t) :: !acc
+      | _ -> ())
+    program;
+  List.rev !acc
+
+(* array literal lengths: let a = [..];  let a: [T; n] = ...; *)
+let array_lens program : (string * int) list =
+  let acc = ref [] in
+  Visit.iter_stmts
+    (fun st ->
+      match st.s with
+      | S_let (a, _, { e = E_array es; _ }) -> acc := (a, List.length es) :: !acc
+      | S_let (a, _, { e = E_repeat (_, n); _ }) -> acc := (a, n) :: !acc
+      | S_let (a, Some (T_array (_, n)), _) -> acc := (a, n) :: !acc
+      | _ -> ())
+    program;
+  !acc
+
+let named_fn program name = List.exists (fun f -> String.equal f.fname name) program.funcs
+
+(* trace an expression through casts to a named function item *)
+let rec fn_item_of program (e : expr) : string option =
+  match e.e with
+  | E_place (P_var f) when named_fn program f -> Some f
+  | E_cast (inner, _) -> fn_item_of program inner
+  | E_transmute (_, inner) -> fn_item_of program inner
+  | _ -> None
+
+let mk_edit label actions = { Edit.label; actions }
+
+(* ------------------------------------------------------------------ *)
+(* Individual rules *)
+
+let checked_indexing =
+  { rule_name = "checked_indexing";
+    generate =
+      (fun ctx ->
+        List.filter_map
+          (fun st ->
+            if stmt_has_place is_unchecked st then begin
+              let st', hits =
+                Edit.map_places_in_stmt
+                  (function P_index_unchecked (b, i) -> Some (P_index (b, i)) | _ -> None)
+                  st
+              in
+              if hits > 0 then
+                Some
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "replace get_unchecked with checked indexing (stmt %d)"
+                           st.sid)
+                        [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                    kind = Replace }
+              else None
+            end
+            else None)
+          (leaf_stmts ctx.program)) }
+
+let bounds_assert =
+  { rule_name = "bounds_assert";
+    generate =
+      (fun ctx ->
+        let proposals = ref [] in
+        List.iter
+          (fun st ->
+            let sites = ref [] in
+            let _ =
+              Edit.map_places_in_stmt
+                (fun p ->
+                  match p with
+                  | P_index_unchecked (base, idx) ->
+                    sites := (base, idx) :: !sites;
+                    Some p
+                  | _ -> None)
+                st
+            in
+            List.iter
+              (fun (base, idx) ->
+                let len_i64 = cast_e (mk (E_len (read_e base))) (T_int I64) in
+                let cond =
+                  binop_e And
+                    (binop_e Ge idx (int_e 0))
+                    (binop_e Lt idx len_i64)
+                in
+                let assert_stmt = assert_s cond "index out of bounds" in
+                proposals :=
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "assert index in bounds before stmt %d" st.sid)
+                        [ Edit.Insert_before (st.sid, assert_stmt) ];
+                    kind = Assert }
+                  :: !proposals)
+              !sites)
+          (leaf_stmts ctx.program);
+        !proposals) }
+
+let null_assert =
+  { rule_name = "null_assert";
+    generate =
+      (fun ctx ->
+        match failing_stmt ctx with
+        | None -> []
+        | Some st ->
+          let ptr_vars = ref [] in
+          let _ =
+            Edit.map_places_in_stmt
+              (fun p ->
+                match p with
+                | P_deref { e = E_place (P_var v); _ } ->
+                  ptr_vars := v :: !ptr_vars;
+                  Some p
+                | _ -> None)
+              st
+          in
+          List.map
+            (fun v ->
+              let cond =
+                binop_e Ne (cast_e (var_e v) (T_int Usize)) (int_e ~w:Usize 0)
+              in
+              { edit =
+                  mk_edit
+                    (Printf.sprintf "assert %s is non-null before stmt %d" v st.sid)
+                    [ Edit.Insert_before (st.sid, assert_s cond "null pointer") ];
+                kind = Assert })
+            (List.sort_uniq compare !ptr_vars)) }
+
+let remove_dealloc =
+  { rule_name = "remove_dealloc";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Alloc -> true | _ -> false
+        in
+        if not relevant then []
+        else
+          List.filter_map
+            (fun st ->
+              match st.s with
+              | S_dealloc _ ->
+                Some
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "remove duplicate dealloc (stmt %d)" st.sid)
+                        [ Edit.Replace_stmt (st.sid, []) ];
+                    kind = Modify }
+              | _ -> None)
+            (leaf_stmts ctx.program)) }
+
+let add_dealloc =
+  { rule_name = "add_dealloc";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Alloc -> true | _ -> false
+        in
+        if not relevant then []
+        else
+          List.filter_map
+            (fun (st, p, size, align, _) ->
+              match siblings_of ctx.program st.sid with
+              | None -> None
+              | Some (sibs, _) -> (
+                match List.rev sibs with
+                | [] -> None
+                | last :: _ ->
+                  let dealloc =
+                    unsafe_s [ mks (S_dealloc (var_e p, size, align)) ]
+                  in
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "free %s at end of its block" p)
+                          [ Edit.Insert_after (last.sid, dealloc) ];
+                      kind = Modify }))
+            (alloc_lets ctx.program)) }
+
+let move_dealloc =
+  { rule_name = "move_dealloc";
+    generate =
+      (fun ctx ->
+        let deallocs =
+          List.filter (fun st -> match st.s with S_dealloc _ -> true | _ -> false)
+            (leaf_stmts ctx.program)
+        in
+        List.concat_map
+          (fun d ->
+            let to_end =
+              match siblings_of ctx.program d.sid with
+              | Some (sibs, idx) when idx < List.length sibs - 1 ->
+                let last = List.nth sibs (List.length sibs - 1) in
+                [ { edit =
+                      mk_edit
+                        (Printf.sprintf "move dealloc (stmt %d) to end of block" d.sid)
+                        [ Edit.Replace_stmt (d.sid, []);
+                          Edit.Insert_after (last.sid, d) ];
+                    kind = Modify } ]
+              | _ -> []
+            in
+            let after_failure =
+              match failing_stmt ctx with
+              | Some f when f.sid <> d.sid ->
+                [ { edit =
+                      mk_edit
+                        (Printf.sprintf "move dealloc (stmt %d) after failing stmt" d.sid)
+                        [ Edit.Replace_stmt (d.sid, []);
+                          Edit.Insert_after (f.sid, d) ];
+                    kind = Modify } ]
+              | _ -> []
+            in
+            to_end @ after_failure)
+          deallocs) }
+
+let align_fixes =
+  { rule_name = "align_fixes";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Unaligned_pointer -> true | _ -> false
+        in
+        if not relevant then []
+        else begin
+          let proposals = ref [] in
+          List.iter
+            (fun st ->
+              (* round literal offsets up to 8 *)
+              let st', hits =
+                Edit.map_exprs_in_stmt
+                  (fun e ->
+                    match e.e with
+                    | E_offset (p, { e = E_int (n, w); _ })
+                      when Int64.rem n 8L <> 0L ->
+                      let rounded = Int64.mul (Int64.div (Int64.add n 7L) 8L) 8L in
+                      Some (offset_e p (int64_e ~w rounded))
+                    | _ -> None)
+                  st
+              in
+              if hits > 0 then
+                proposals :=
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "round pointer offset up to 8 (stmt %d)" st.sid)
+                        [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                    kind = Modify }
+                  :: !proposals;
+              (* raise an alloc's alignment to 8 *)
+              let st'', hits2 =
+                Edit.map_exprs_in_stmt
+                  (fun e ->
+                    match e.e with
+                    | E_alloc (size, { e = E_int (a, w); _ })
+                      when Int64.compare a 8L < 0 ->
+                      Some (mk (E_alloc (size, int64_e ~w 8L)))
+                    | _ -> None)
+                  st
+              in
+              if hits2 > 0 then
+                proposals :=
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "allocate with 8-byte alignment (stmt %d)" st.sid)
+                        [ Edit.Replace_stmt (st.sid, [ st'' ]) ];
+                    kind = Modify }
+                  :: !proposals;
+              (* alignment assertion before the failing access *)
+              match failing_stmt ctx with
+              | Some f when f.sid = st.sid ->
+                let ptr_vars = ref [] in
+                let _ =
+                  Edit.map_places_in_stmt
+                    (fun p ->
+                      match p with
+                      | P_deref { e = E_place (P_var v); _ } ->
+                        ptr_vars := v :: !ptr_vars;
+                        Some p
+                      | _ -> None)
+                    st
+                in
+                List.iter
+                  (fun v ->
+                    let cond =
+                      binop_e Eq
+                        (binop_e Rem (cast_e (var_e v) (T_int Usize)) (int_e ~w:Usize 8))
+                        (int_e ~w:Usize 0)
+                    in
+                    proposals :=
+                      { edit =
+                          mk_edit
+                            (Printf.sprintf "assert %s is 8-byte aligned" v)
+                            [ Edit.Insert_before (st.sid, assert_s cond "misaligned pointer") ];
+                        kind = Assert }
+                      :: !proposals)
+                  (List.sort_uniq compare !ptr_vars)
+              | _ -> ())
+            (leaf_stmts ctx.program);
+          !proposals
+        end) }
+
+let init_after_alloc =
+  { rule_name = "init_after_alloc";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Validity -> true | _ -> false
+        in
+        if not relevant then []
+        else
+          List.filter_map
+            (fun (st, p, size, _, cast_ty) ->
+              match cast_ty with
+              | Some (T_raw (Mut, T_int w)) ->
+                (* zero each element the allocation can hold *)
+                let elem_size = match w with I8 -> 1 | I16 -> 2 | I32 -> 4 | I64 | Usize -> 8 in
+                let count =
+                  match size.e with
+                  | E_int (n, _) -> Int64.to_int n / elem_size
+                  | _ -> 1
+                in
+                let writes =
+                  List.init (max 1 count) (fun i ->
+                      assign_s
+                        (P_deref (offset_e (var_e p) (int_e i)))
+                        (int_e ~w 0))
+                in
+                Some
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "initialize %s after allocation" p)
+                        [ Edit.Insert_after (st.sid, unsafe_s writes) ];
+                    kind = Modify }
+              | _ -> None)
+            (alloc_lets ctx.program)) }
+
+let bool_from_int =
+  { rule_name = "bool_from_int";
+    generate =
+      (fun ctx ->
+        List.concat_map
+          (fun st ->
+            if
+              stmt_has_expr
+                (fun e -> match e.e with E_transmute (T_bool, _) -> true | _ -> false)
+                st
+            then begin
+              let st', hits =
+                Edit.map_exprs_in_stmt
+                  (fun e ->
+                    match e.e with
+                    | E_transmute (T_bool, ({ e = E_int (_, w); _ } as inner)) ->
+                      Some (binop_e Ne inner (int_e ~w 0))
+                    | E_transmute (T_bool, inner) ->
+                      Some (binop_e Ne inner (int_e ~w:I8 0))
+                    | _ -> None)
+                  st
+              in
+              if hits > 0 then
+                [ { edit =
+                      mk_edit
+                        (Printf.sprintf "derive bool with a comparison (stmt %d)" st.sid)
+                        [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                    kind = Replace } ]
+              else []
+            end
+            else [])
+          (leaf_stmts ctx.program)) }
+
+let transmute_to_cast =
+  { rule_name = "transmute_to_cast";
+    generate =
+      (fun ctx ->
+        List.concat_map
+          (fun st ->
+            let st', hits =
+              Edit.map_exprs_in_stmt
+                (fun e ->
+                  match e.e with
+                  | E_transmute ((T_int _ as t), inner) -> Some (cast_e inner t)
+                  | _ -> None)
+                st
+            in
+            if hits > 0 then
+              [ { edit =
+                    mk_edit (Printf.sprintf "replace transmute with `as` cast (stmt %d)" st.sid)
+                      [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                  kind = Replace } ]
+            else [])
+          (leaf_stmts ctx.program)) }
+
+let rederive_pointer =
+  { rule_name = "rederive_pointer";
+    generate =
+      (fun ctx ->
+        let sources = raw_ptr_sources ctx.program in
+        match failing_stmt ctx with
+        | None -> []
+        | Some st ->
+          let direct =
+            (* *p -> x : bypass the stale pointer entirely *)
+            List.filter_map
+              (fun (p, (x, _m)) ->
+                let st', hits =
+                  Edit.map_places_in_stmt
+                    (fun pl ->
+                      match pl with
+                      | P_deref { e = E_place (P_var v); _ } when String.equal v p ->
+                        Some (P_var x)
+                      | _ -> None)
+                    st
+                in
+                if hits > 0 then
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "access %s directly instead of through %s" x p)
+                          [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                      kind = Replace }
+                else None)
+              sources
+          in
+          let rederive =
+            (* p = &raw mut x; just before the failing use: a fresh valid tag *)
+            List.filter_map
+              (fun (p, (x, m)) ->
+                if
+                  stmt_has_place
+                    (function
+                      | P_deref { e = E_place (P_var v); _ } -> String.equal v p
+                      | _ -> false)
+                    st
+                then
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "re-derive %s from %s before the failing use" p x)
+                          [ Edit.Insert_before
+                              (st.sid, assign_s (P_var p) (raw_of_e m (P_var x))) ];
+                      kind = Modify }
+                else None)
+              sources
+          in
+          direct @ rederive) }
+
+let move_stmt_up =
+  { rule_name = "move_stmt_up";
+    generate =
+      (fun ctx ->
+        match failing_stmt ctx with
+        | None -> []
+        | Some st -> (
+          match siblings_of ctx.program st.sid with
+          | None -> []
+          | Some (sibs, idx) ->
+            List.filter_map
+              (fun k ->
+                if idx - k >= 0 then
+                  let target = List.nth sibs (idx - k) in
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "move failing stmt %d up by %d" st.sid k)
+                          [ Edit.Replace_stmt (st.sid, []);
+                            Edit.Insert_before (target.sid, st) ];
+                      kind = Modify }
+                else None)
+              [ 1; 2 ])) }
+
+let provenance_fixes =
+  { rule_name = "provenance_fixes";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Provenance -> true | _ -> false
+        in
+        if not relevant then []
+        else begin
+          let addr_map = addr_sources ctx.program in
+          let from_var =
+            (* `a as *const T` -> `&raw const x` when a = &raw const x as usize *)
+            List.concat_map
+              (fun st ->
+                List.filter_map
+                  (fun (a, x) ->
+                    let st', hits =
+                      Edit.map_exprs_in_stmt
+                        (fun e ->
+                          match e.e with
+                          | E_cast ({ e = E_place (P_var v); _ }, T_raw (m, _))
+                            when String.equal v a ->
+                            Some (raw_of_e m (P_var x))
+                          | _ -> None)
+                        st
+                    in
+                    if hits > 0 then
+                      Some
+                        { edit =
+                            mk_edit
+                              (Printf.sprintf
+                                 "derive the pointer from %s instead of integer %s" x a)
+                              [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                          kind = Replace }
+                    else None)
+                  addr_map)
+              (leaf_stmts ctx.program)
+          in
+          let expose =
+            (* insert an explicit expose of a candidate source local *)
+            match failing_stmt ctx with
+            | None -> []
+            | Some f ->
+              let locals_with_address =
+                let acc = ref [] in
+                Visit.iter_exprs
+                  (fun e ->
+                    match e.e with
+                    | E_raw_of (_, P_var x) | E_ref (_, P_var x) -> acc := x :: !acc
+                    | _ -> ())
+                  ctx.program;
+                List.sort_uniq compare !acc
+              in
+              List.map
+                (fun x ->
+                  { edit =
+                      mk_edit
+                        (Printf.sprintf "expose the address of %s before the failing use" x)
+                        [ Edit.Insert_before
+                            ( f.sid,
+                              let_s "_exposed"
+                                (cast_e (raw_of_e Imm (P_var x)) (T_int Usize)) ) ];
+                    kind = Modify })
+                locals_with_address
+          in
+          from_var @ expose
+        end) }
+
+let fn_sig_fixes =
+  { rule_name = "fn_sig_fixes";
+    generate =
+      (fun ctx ->
+        let program = ctx.program in
+        let proposals = ref [] in
+        List.iter
+          (fun st ->
+            let _ =
+              Edit.map_exprs_in_stmt
+                (fun e ->
+                  (match e.e with
+                  | E_transmute (T_fn _, operand) -> (
+                    match fn_item_of program operand with
+                    | Some f_name -> (
+                      match Ast.lookup_fn program f_name with
+                      | Some f ->
+                        let actual = T_fn (List.map snd f.params, f.ret) in
+                        (* candidate 1: drop the transmute, use the item *)
+                        let st1, h1 =
+                          Edit.map_exprs_in_stmt
+                            (fun e' ->
+                              if e'.eid = e.eid then Some (var_e f_name) else None)
+                            st
+                        in
+                        if h1 > 0 then
+                          proposals :=
+                            { edit =
+                                mk_edit
+                                  (Printf.sprintf "use %s directly instead of transmuting"
+                                     f_name)
+                                  [ Edit.Replace_stmt (st.sid, [ st1 ]) ];
+                              kind = Replace }
+                            :: !proposals;
+                        (* candidate 2: fix the transmute's claimed signature *)
+                        let st2, h2 =
+                          Edit.map_exprs_in_stmt
+                            (fun e' ->
+                              match e'.e with
+                              | E_transmute (T_fn _, op) when e'.eid = e.eid ->
+                                Some (mk (E_transmute (actual, op)))
+                              | _ -> None)
+                            st
+                        in
+                        if h2 > 0 then
+                          proposals :=
+                            { edit =
+                                mk_edit
+                                  (Printf.sprintf
+                                     "correct the transmute target to %s's signature" f_name)
+                                  [ Edit.Replace_stmt (st.sid, [ st2 ]) ];
+                              kind = Modify }
+                            :: !proposals
+                      | None -> ())
+                    | None -> ())
+                  | _ -> ());
+                  None)
+                st
+            in
+            ())
+          (leaf_stmts ctx.program);
+        !proposals) }
+
+let panic_fixes =
+  { rule_name = "panic_fixes";
+    generate =
+      (fun ctx ->
+        if ctx.panicked = None then []
+        else
+          (* panics carry no diagnostic statement hint; fall back to every
+             statement containing a guardable operation *)
+          let guardable st =
+            stmt_has_expr
+              (fun e -> match e.e with E_binop ((Div | Rem), _, _) -> true | _ -> false)
+              st
+            || stmt_has_place (function P_index _ -> true | _ -> false) st
+            || (match st.s with S_assert _ -> true | _ -> false)
+          in
+          let targets =
+            match failing_stmt ctx with
+            | Some st -> [ st ]
+            | None -> List.filter guardable (leaf_stmts ctx.program)
+          in
+          List.concat_map (fun st ->
+            let guards = ref [] in
+            (* guard division by zero *)
+            let _ =
+              Edit.map_exprs_in_stmt
+                (fun e ->
+                  (match e.e with
+                  | E_binop ((Div | Rem), _, rhs) ->
+                    let cond = binop_e Ne rhs (int_e 0) in
+                    guards :=
+                      { edit =
+                          mk_edit
+                            (Printf.sprintf "guard stmt %d against a zero divisor" st.sid)
+                            [ Edit.Replace_stmt (st.sid, [ if_s cond [ st ] [] ]) ];
+                        kind = Modify }
+                      :: !guards
+                  | _ -> ());
+                  None)
+                st
+            in
+            (* clamp a checked index with a modulo *)
+            let lens = array_lens ctx.program in
+            let st', hits =
+              Edit.map_places_in_stmt
+                (fun p ->
+                  match p with
+                  | P_index ((P_var a as base), idx) -> (
+                    match List.assoc_opt a lens with
+                    | Some n -> Some (P_index (base, binop_e Rem idx (int_e n)))
+                    | None -> None)
+                  | _ -> None)
+                st
+            in
+            if hits > 0 then
+              guards :=
+                { edit =
+                    mk_edit (Printf.sprintf "wrap the index with a modulo (stmt %d)" st.sid)
+                      [ Edit.Replace_stmt (st.sid, [ st' ]) ];
+                  kind = Modify }
+                :: !guards;
+            (* an over-strict assertion can itself be the bug *)
+            (match st.s with
+            | S_assert _ ->
+              guards :=
+                { edit =
+                    mk_edit (Printf.sprintf "remove over-strict assertion (stmt %d)" st.sid)
+                      [ Edit.Replace_stmt (st.sid, []) ];
+                  kind = Modify }
+                :: !guards
+            | _ -> ());
+            !guards)
+            targets) }
+
+let atomicize_static =
+  { rule_name = "atomicize_static";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with
+          | Some (Miri.Diag.Data_race | Miri.Diag.Concurrency) -> true
+          | _ -> false
+        in
+        if not relevant then []
+        else
+          List.filter_map
+            (fun (s : static_decl) ->
+              if not (s.smut && equal_ty s.sty (T_int I64)) then None
+              else begin
+                let name = s.sname in
+                let actions = ref [] in
+                List.iter
+                  (fun st ->
+                    let replacement =
+                      match st.s with
+                      | S_assign
+                          ( P_var v,
+                            { e = E_binop (Add, { e = E_place (P_var v2); _ }, delta); _ } )
+                        when String.equal v name && String.equal v2 name ->
+                        (* read-modify-write: one atomic fetch-and-add keeps
+                           concurrent increments linearizable *)
+                        Some (expr_s (mk (E_atomic_add (raw_of_e Mut (P_var name), delta))))
+                      | S_assign (P_var v, rhs) when String.equal v name ->
+                        Some (mks (S_atomic_store (raw_of_e Mut (P_var name), rhs)))
+                      | _ ->
+                        let st', hits =
+                          Edit.map_exprs_in_stmt
+                            (fun e ->
+                              match e.e with
+                              | E_place (P_var v) when String.equal v name ->
+                                Some (mk (E_atomic_load (raw_of_e Mut (P_var name))))
+                              | _ -> None)
+                            st
+                        in
+                        if hits > 0 then Some st' else None
+                    in
+                    match replacement with
+                    | Some st' -> actions := Edit.Replace_stmt (st.sid, [ st' ]) :: !actions
+                    | None -> ())
+                  (leaf_stmts ctx.program);
+                if !actions = [] then None
+                else
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "make every access to %s atomic" name)
+                          (List.rev !actions);
+                      kind = Replace }
+              end)
+            ctx.program.statics) }
+
+let join_fixes =
+  { rule_name = "join_fixes";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with
+          | Some (Miri.Diag.Data_race | Miri.Diag.Concurrency) -> true
+          | _ -> false
+        in
+        if not relevant then []
+        else begin
+          let joins =
+            List.filter (fun st -> match st.s with S_join _ -> true | _ -> false)
+              (leaf_stmts ctx.program)
+          in
+          let spawns =
+            List.filter_map
+              (fun st -> match st.s with S_spawn (h, _, _) -> Some (st, h) | _ -> None)
+              (leaf_stmts ctx.program)
+          in
+          let move_join =
+            match failing_stmt ctx with
+            | None -> []
+            | Some f ->
+              List.filter_map
+                (fun j ->
+                  if j.sid <> f.sid then
+                    Some
+                      { edit =
+                          mk_edit
+                            (Printf.sprintf "join the thread before the failing stmt %d" f.sid)
+                            [ Edit.Replace_stmt (j.sid, []);
+                              Edit.Insert_before (f.sid, j) ];
+                        kind = Modify }
+                  else None)
+                joins
+          in
+          let add_join =
+            (* a spawned handle that is never joined *)
+            List.concat_map
+              (fun (spawn_stmt, h) ->
+                let joined =
+                  List.exists
+                    (fun j ->
+                      match j.s with
+                      | S_join { e = E_place (P_var v); _ } -> String.equal v h
+                      | _ -> false)
+                    joins
+                in
+                if joined then []
+                else
+                  match siblings_of ctx.program spawn_stmt.sid with
+                  | Some (sibs, _) -> (
+                    match List.rev sibs with
+                    | last :: _ ->
+                      [ { edit =
+                            mk_edit
+                              (Printf.sprintf "join handle %s at end of its block" h)
+                              [ Edit.Insert_after (last.sid, mks (S_join (var_e h))) ];
+                          kind = Modify } ]
+                    | [] -> [])
+                  | None -> [])
+              spawns
+          in
+          move_join @ add_join
+        end) }
+
+let fix_dealloc_layout =
+  { rule_name = "fix_dealloc_layout";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with Some Miri.Diag.Alloc -> true | _ -> false
+        in
+        if not relevant then []
+        else begin
+          (* make every dealloc of a tracked allocation state the allocated
+             layout: the mechanical fix for wrong-size / wrong-align frees *)
+          let allocs = alloc_lets ctx.program in
+          List.concat_map
+            (fun st ->
+              match st.s with
+              | S_dealloc (({ e = E_place (P_var v); _ } as pe), size, align)
+              | S_dealloc
+                  (({ e = E_cast ({ e = E_place (P_var v); _ }, _); _ } as pe), size, align)
+                -> (
+                match
+                  List.find_opt (fun (_, p, _, _, _) -> String.equal p v) allocs
+                with
+                | Some (_, _, alloc_size, alloc_align, _)
+                  when not
+                         (equal_expr size alloc_size && equal_expr align alloc_align) ->
+                  [ { edit =
+                        mk_edit
+                          (Printf.sprintf
+                             "state the allocated layout in dealloc (stmt %d)" st.sid)
+                          [ Edit.Replace_stmt
+                              (st.sid, [ mks (S_dealloc (pe, alloc_size, alloc_align)) ]) ];
+                      kind = Modify } ]
+                | _ -> [])
+              | _ -> [])
+            (leaf_stmts ctx.program)
+        end) }
+
+let widen_alloc =
+  { rule_name = "widen_alloc";
+    generate =
+      (fun ctx ->
+        let relevant =
+          match diag_kind ctx with
+          | Some (Miri.Diag.Dangling_pointer | Miri.Diag.Validity) -> true
+          | _ -> false
+        in
+        if not relevant then []
+        else
+          (* out-of-bounds or trailing-uninit access patterns sometimes mean
+             the buffer is simply too small: offer doubled allocations (the
+             matching dealloc must state the same size, so rewrite both) *)
+          List.filter_map
+            (fun (st, p, size, align, _) ->
+              match size.e with
+              | E_int (n, w) ->
+                let doubled = int64_e ~w (Int64.mul n 2L) in
+                let st', hits =
+                  Edit.map_exprs_in_stmt
+                    (fun e ->
+                      match e.e with
+                      | E_alloc (_, _) when e.eid = (match st.s with
+                          | S_let (_, _, { e = E_alloc _; eid; _ }) -> eid
+                          | S_let (_, _, { e = E_cast ({ e = E_alloc _; eid; _ }, _); _ }) -> eid
+                          | _ -> -1) ->
+                        Some (mk (E_alloc (doubled, align)))
+                      | _ -> None)
+                    st
+                in
+                if hits = 0 then None
+                else begin
+                  (* patch every dealloc of [p] to the doubled size too *)
+                  let dealloc_patches =
+                    List.filter_map
+                      (fun d ->
+                        match d.s with
+                        | S_dealloc (pe, { e = E_int (m, _); _ }, al)
+                          when Int64.equal m n
+                               && (match pe.e with
+                                  | E_place (P_var v)
+                                  | E_cast ({ e = E_place (P_var v); _ }, _) ->
+                                    String.equal v p
+                                  | _ -> false) ->
+                          Some
+                            (Edit.Replace_stmt
+                               (d.sid, [ mks (S_dealloc (pe, doubled, al)) ]))
+                        | _ -> None)
+                      (leaf_stmts ctx.program)
+                  in
+                  Some
+                    { edit =
+                        mk_edit
+                          (Printf.sprintf "double the allocation behind %s" p)
+                          (Edit.Replace_stmt (st.sid, [ st' ]) :: dealloc_patches);
+                      kind = Modify }
+                end
+              | _ -> None)
+            (alloc_lets ctx.program)) }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ checked_indexing; bounds_assert; null_assert; remove_dealloc; add_dealloc;
+    move_dealloc; fix_dealloc_layout; widen_alloc; align_fixes; init_after_alloc;
+    bool_from_int; transmute_to_cast; rederive_pointer; move_stmt_up;
+    provenance_fixes; fn_sig_fixes; panic_fixes; atomicize_static; join_fixes ]
+
+let run_all ctx =
+  let seen = Hashtbl.create 32 in
+  List.concat_map
+    (fun rule ->
+      List.filter
+        (fun p ->
+          let label = p.edit.Edit.label in
+          if Hashtbl.mem seen label then false
+          else begin
+            Hashtbl.add seen label ();
+            true
+          end)
+        (rule.generate ctx))
+    all

@@ -1,0 +1,32 @@
+(** Repair rules: pattern-directed rewrites for Rust UB, grouped into the
+    paper's three fix classes.
+
+    Each rule inspects the current program together with the Miri diagnosis
+    and proposes zero or more concrete {!Minirust.Edit.t} candidates. Rules
+    implement the genuinely mechanical fixes (checked indexing, bounds
+    asserts, re-deriving pointers, atomicizing racy statics, moving
+    deallocations...); the candidate set an agent offers the simulated LLM is
+    the union of rule output and a developer-style rewrite derived from the
+    dataset's reference fix (see {!Candidates}). *)
+
+type fix_kind = Replace | Assert | Modify
+
+val fix_kind_name : fix_kind -> string
+(** ["replace"] / ["assert"] / ["modify"] — the candidate kinds understood by
+    {!Llm_sim.Client}. *)
+
+type proposal = { edit : Minirust.Edit.t; kind : fix_kind }
+
+type context = {
+  program : Minirust.Ast.program;
+  diag : Miri.Diag.t option;   (** primary diagnosis, if the run produced one *)
+  panicked : string option;    (** panic message when the outcome was a panic *)
+}
+
+type t = { rule_name : string; generate : context -> proposal list }
+
+val all : t list
+(** Every built-in rule. *)
+
+val run_all : context -> proposal list
+(** Concatenation of all rules' proposals (deduplicated by label). *)

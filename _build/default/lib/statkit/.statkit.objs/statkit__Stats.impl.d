@@ -1,0 +1,1 @@
+lib/statkit/stats.ml: Array List Rb_util

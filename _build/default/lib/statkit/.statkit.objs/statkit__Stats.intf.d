@@ -1,0 +1,1 @@
+lib/statkit/stats.mli:

@@ -1,0 +1,1 @@
+lib/statkit/table.ml: List Printf String

@@ -1,0 +1,76 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    sqrt (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0))
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    let item i = List.nth sorted i in
+    (item lo *. (1.0 -. frac)) +. (item hi *. frac)
+
+let median xs = percentile 50.0 xs
+
+(* two-sided critical value of the standard normal for common confidences *)
+let z_of_confidence c =
+  if c >= 0.995 then 2.807
+  else if c >= 0.99 then 2.576
+  else if c >= 0.95 then 1.960
+  else if c >= 0.90 then 1.645
+  else 1.282
+
+let wilson_ci ?(confidence = 0.95) ~successes trials =
+  if trials <= 0 then (0.0, 1.0)
+  else begin
+    let z = z_of_confidence confidence in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (max 0.0 (center -. half), min 1.0 (center +. half))
+  end
+
+let mean_ci ?(confidence = 0.95) xs =
+  match xs with
+  | [] -> (0.0, 0.0)
+  | xs ->
+    let z = z_of_confidence confidence in
+    let m = mean xs in
+    let se = stddev xs /. sqrt (float_of_int (List.length xs)) in
+    (m -. (z *. se), m +. (z *. se))
+
+let bootstrap_ci ?(confidence = 0.95) ?(rounds = 1000) ~seed statistic xs =
+  match xs with
+  | [] -> (0.0, 0.0)
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let rng = Rb_util.Rng.create seed in
+    let resample () =
+      List.init n (fun _ -> arr.(Rb_util.Rng.int rng n))
+    in
+    let stats = List.init rounds (fun _ -> statistic (resample ())) in
+    let alpha = (1.0 -. confidence) /. 2.0 in
+    (percentile (100.0 *. alpha) stats, percentile (100.0 *. (1.0 -. alpha)) stats)
+
+let proportion pred xs =
+  match xs with
+  | [] -> 0.0
+  | xs -> float_of_int (List.length (List.filter pred xs)) /. float_of_int (List.length xs)

@@ -1,0 +1,28 @@
+(** Summary statistics and confidence intervals for the evaluation harness.
+
+    The paper's RQ3 reports 95% confidence intervals on pass/exec rates
+    (proportions), for which the Wilson score interval is the appropriate
+    small-sample choice; bootstrap intervals cover arbitrary statistics. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation (n-1). 0 for fewer than two samples. *)
+
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]; linear interpolation. *)
+
+val wilson_ci : ?confidence:float -> successes:int -> int -> float * float
+(** [wilson_ci ~successes trials]: Wilson score interval for a binomial
+    proportion. Default 95%. *)
+
+val mean_ci : ?confidence:float -> float list -> float * float
+(** Normal-approximation interval around the mean. *)
+
+val bootstrap_ci :
+  ?confidence:float -> ?rounds:int -> seed:int -> (float list -> float) ->
+  float list -> float * float
+(** Percentile bootstrap for an arbitrary statistic (default 1000 rounds). *)
+
+val proportion : ('a -> bool) -> 'a list -> float
+(** Fraction of elements satisfying the predicate (0 on empty). *)

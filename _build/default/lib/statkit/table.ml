@@ -1,0 +1,39 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (cell header i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> if i = 0 then Left else Right
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i w -> pad (align_of i) w (cell row i)) widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows) ^ "\n"
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let secs x = Printf.sprintf "%.1f" x
+
+let ci (lo, hi) = Printf.sprintf "[%.1f%%, %.1f%%]" (100.0 *. lo) (100.0 *. hi)

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the benchmark harness's paper-style
+    tables and figure series. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** Monospace table with a header rule. Missing cells render empty. *)
+
+val pct : float -> string
+(** [pct 0.943] is ["94.3%"]. *)
+
+val secs : float -> string
+(** Seconds with one decimal. *)
+
+val ci : float * float -> string
+(** ["[lo, hi]"] as percentages. *)

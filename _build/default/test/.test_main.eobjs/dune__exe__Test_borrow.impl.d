@@ -1,0 +1,1 @@
+test/test_borrow.ml: Alcotest Borrow List Miri Result

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Dataset List Minirust Miri Option String

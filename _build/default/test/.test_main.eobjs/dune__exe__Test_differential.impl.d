@@ -1,0 +1,1 @@
+test/test_differential.ml: Helpers Int64 Minirust Miri Printf QCheck QCheck_alcotest String

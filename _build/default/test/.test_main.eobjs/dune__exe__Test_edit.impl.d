@@ -1,0 +1,1 @@
+test/test_edit.ml: Alcotest Ast Edit Helpers List Minirust Option Parser Pretty Visit

@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Array Helpers Knowledge List Minirust Miri Rb_util Repairs String

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Client Hashtbl List Llm_sim Miri Profile Prompt Rb_util String Tokenizer

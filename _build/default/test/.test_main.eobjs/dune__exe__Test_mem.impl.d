@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Helpers Int64 Mem Minirust Miri QCheck QCheck_alcotest Value Vclock

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast List Minirust Option Parser Pretty

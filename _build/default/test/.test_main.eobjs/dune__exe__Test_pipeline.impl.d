@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Baselines Dataset Helpers List Miri Option Pipeline Report Rustbrain Solution Statkit Ub_class

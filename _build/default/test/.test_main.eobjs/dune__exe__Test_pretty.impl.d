@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Dataset List Minirust Parser Pretty QCheck QCheck_alcotest String

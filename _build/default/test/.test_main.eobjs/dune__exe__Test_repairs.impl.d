@@ -1,0 +1,1 @@
+test/test_repairs.ml: Alcotest Dataset Helpers List Minirust Miri Option QCheck QCheck_alcotest Rb_util Repairs

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Int64 List QCheck QCheck_alcotest Rb_util

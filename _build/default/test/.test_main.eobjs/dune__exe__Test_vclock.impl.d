@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest List Miri QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_visit.ml: Alcotest Ast List Minirust Option Parser Visit

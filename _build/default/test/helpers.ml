@@ -1,0 +1,37 @@
+(* Small shared helpers for the test suite. *)
+
+let contains hay sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Run a source program through the machine with a fixed configuration. *)
+let run ?(inputs = [||]) ?(mode = Miri.Machine.Stop_first) ?(seed = 1)
+    ?(max_steps = 200_000) src =
+  let program = Minirust.Parser.parse src in
+  match
+    Miri.Machine.analyze
+      ~config:{ Miri.Machine.mode; seed; max_steps; inputs; trace = false } program
+  with
+  | Miri.Machine.Compile_error msg -> Alcotest.failf "compile error: %s" msg
+  | Miri.Machine.Ran r -> r
+
+let outcome_kind (r : Miri.Machine.run_result) =
+  match r.Miri.Machine.outcome with
+  | Miri.Machine.Finished -> "finished"
+  | Miri.Machine.Panicked _ -> "panic"
+  | Miri.Machine.Ub d -> "ub:" ^ Miri.Diag.kind_name d.Miri.Diag.kind
+  | Miri.Machine.Step_limit -> "step-limit"
+
+let expect_ub ?(inputs = [||]) src kind () =
+  let r = run ~inputs src in
+  Alcotest.(check string) "outcome" ("ub:" ^ Miri.Diag.kind_name kind) (outcome_kind r)
+
+let expect_finished ?(inputs = [||]) src expected_output () =
+  let r = run ~inputs src in
+  Alcotest.(check string) "outcome" "finished" (outcome_kind r);
+  Alcotest.(check (list string)) "output" expected_output r.Miri.Machine.output
+
+let expect_panic ?(inputs = [||]) src () =
+  let r = run ~inputs src in
+  Alcotest.(check string) "outcome" "panic" (outcome_kind r)

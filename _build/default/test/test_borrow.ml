@@ -1,0 +1,109 @@
+(* Borrow stacks: the stacked-borrows transitions in isolation. *)
+
+open Miri
+
+let fresh () =
+  let base = Borrow.fresh_tag () in
+  (Borrow.create ~base_tag:base, base)
+
+let ok = function Ok v -> v | Error v -> Alcotest.failf "unexpected violation: %s" v.Borrow.detail
+
+(* access/retag return the popped items; most tests only care about success *)
+let ok_access r = ignore (ok r : (int * Borrow.perm) list)
+let ok_retag r = fst (ok r)
+
+let test_base_access () =
+  let stack, base = fresh () in
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:true);
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:false)
+
+let test_unique_chain () =
+  let stack, base = fresh () in
+  let r1 = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Unique) in
+  let r2 = ok_retag (Borrow.retag stack ~parent:(Some r1) Borrow.Unique) in
+  ok_access (Borrow.access stack ~tag:(Some r2) ~write:true);
+  (* using r1 invalidates r2: the popped list names it *)
+  let popped = ok (Borrow.access stack ~tag:(Some r1) ~write:true) in
+  Alcotest.(check bool) "r2 reported popped" true (List.mem_assoc r2 popped);
+  match Borrow.access stack ~tag:(Some r2) ~write:true with
+  | Error v -> Alcotest.(check int) "missing tag is r2" r2 v.Borrow.missing_tag
+  | Ok _ -> Alcotest.fail "r2 should be invalidated"
+
+let test_base_write_pops_all () =
+  let stack, base = fresh () in
+  let r = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Unique) in
+  (* the Shared_ro retag performs a read through base, which already pops r *)
+  let s = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Shared_ro) in
+  Alcotest.(check bool) "r popped by the shared retag" true
+    (Result.is_error (Borrow.access stack ~tag:(Some r) ~write:false));
+  let popped = ok (Borrow.access stack ~tag:(Some base) ~write:true) in
+  Alcotest.(check bool) "s reported popped by the base write" true (List.mem_assoc s popped);
+  Alcotest.(check bool) "s gone" true
+    (Result.is_error (Borrow.access stack ~tag:(Some s) ~write:false))
+
+let test_read_keeps_shared () =
+  let stack, base = fresh () in
+  let s = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Shared_ro) in
+  (* a read through the base keeps shared readers alive *)
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:false);
+  ok_access (Borrow.access stack ~tag:(Some s) ~write:false)
+
+let test_read_pops_unique () =
+  let stack, base = fresh () in
+  let u = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Unique) in
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:false);
+  Alcotest.(check bool) "unique popped by read" true
+    (Result.is_error (Borrow.access stack ~tag:(Some u) ~write:true))
+
+let test_write_through_shared_ro () =
+  let stack, base = fresh () in
+  let s = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Shared_ro) in
+  match Borrow.access stack ~tag:(Some s) ~write:true with
+  | Error v -> Alcotest.(check bool) "flagged as write-through-ro" true v.Borrow.write_through_ro
+  | Ok _ -> Alcotest.fail "write through SharedRO must fail"
+
+let test_shared_rw_can_write () =
+  let stack, base = fresh () in
+  let s = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Shared_rw) in
+  ok_access (Borrow.access stack ~tag:(Some s) ~write:true)
+
+let test_wildcard_access_is_free () =
+  let stack, _base = fresh () in
+  Alcotest.(check int) "wildcard pops nothing" 0
+    (List.length (ok (Borrow.access stack ~tag:None ~write:true)))
+
+let test_missing_perm_recorded () =
+  let stack, base = fresh () in
+  let s = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Shared_ro) in
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:true);
+  match Borrow.access stack ~tag:(Some s) ~write:false with
+  | Error v ->
+    Alcotest.(check bool) "records SharedRO creation perm" true
+      (v.Borrow.missing_perm = Borrow.Shared_ro)
+  | Ok _ -> Alcotest.fail "expected violation"
+
+let test_retag_from_wildcard_parent () =
+  let stack, _base = fresh () in
+  let t = ok_retag (Borrow.retag stack ~parent:None Borrow.Shared_rw) in
+  ok_access (Borrow.access stack ~tag:(Some t) ~write:true)
+
+let test_items_order () =
+  let stack, base = fresh () in
+  let a = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Unique) in
+  let items = Borrow.items stack in
+  match items with
+  | (top, Borrow.Unique) :: _ -> Alcotest.(check int) "top is newest" a top
+  | _ -> Alcotest.fail "unexpected stack shape"
+
+let suite =
+  [ Alcotest.test_case "base access" `Quick test_base_access;
+    Alcotest.test_case "unique chain invalidation" `Quick test_unique_chain;
+    Alcotest.test_case "base write pops all" `Quick test_base_write_pops_all;
+    Alcotest.test_case "read keeps shared" `Quick test_read_keeps_shared;
+    Alcotest.test_case "read pops unique" `Quick test_read_pops_unique;
+    Alcotest.test_case "write through SharedRO" `Quick test_write_through_shared_ro;
+    Alcotest.test_case "SharedRW can write" `Quick test_shared_rw_can_write;
+    Alcotest.test_case "wildcard access" `Quick test_wildcard_access_is_free;
+    Alcotest.test_case "missing perm recorded" `Quick test_missing_perm_recorded;
+    Alcotest.test_case "retag from wildcard parent" `Quick test_retag_from_wildcard_parent;
+    Alcotest.test_case "items order" `Quick test_items_order ]

@@ -1,0 +1,304 @@
+(* RustBrain core components: classification, features, agents, rollback,
+   fast thinking, feedback. *)
+
+open Rustbrain
+
+let case = Option.get (Dataset.Corpus.find "dp_unchecked_index_oob")
+
+let make_env ?(kb = false) ?(temperature = 0.5) () =
+  let clock = Rb_util.Simclock.create () in
+  let client = Llm_sim.Client.create ~seed:3 ~clock (Llm_sim.Profile.get Llm_sim.Profile.Gpt4) in
+  let kb =
+    if kb then begin
+      let kb = Knowledge.Kb.create ~clock () in
+      Knowledge.Kb.seed_default kb;
+      Some kb
+    end
+    else None
+  in
+  { Env.clock; client; sampling = { Llm_sim.Client.temperature }; kb;
+    scorer = Dataset.Semantic.score case;
+    reference = Some (Dataset.Case.fixed case);
+    probes = case.Dataset.Case.probes;
+    ref_panics =
+      Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
+        ~probes:case.Dataset.Case.probes;
+    rng = Rb_util.Rng.create 17 }
+
+(* classification *)
+
+let test_classify_diag_total () =
+  List.iter
+    (fun k ->
+      let classes = Ub_class.classify_diag k in
+      Alcotest.(check int) "three classes, all distinct" 3
+        (List.length (List.sort_uniq compare classes)))
+    Miri.Diag.all_kinds
+
+let test_unsafe_profile () =
+  let program =
+    Minirust.Parser.parse
+      {|
+static mut G: i64 = 0;
+unsafe fn danger() { }
+fn main() {
+    let mut a = [1];
+    unsafe {
+        danger();
+        G = 1;
+        print(a.get_unchecked(0));
+        let mut p = &raw const G;
+        print(*p);
+    }
+}
+|}
+  in
+  let profile = Ub_class.unsafe_profile program in
+  let has op = List.mem_assoc op profile in
+  Alcotest.(check bool) "unsafe call" true (has Ub_class.Call_unsafe_fn);
+  Alcotest.(check bool) "static mut" true (has Ub_class.Access_static_mut);
+  Alcotest.(check bool) "unchecked" true (has Ub_class.Unchecked_or_intrinsic);
+  Alcotest.(check bool) "raw deref" true (has Ub_class.Deref_raw_pointer)
+
+(* features *)
+
+let test_features_extract () =
+  let buggy = Dataset.Case.buggy case in
+  let env = make_env () in
+  let state = Env.init_state env buggy in
+  ignore state;
+  let run =
+    match
+      Miri.Machine.analyze
+        ~config:{ Miri.Machine.default_config with Miri.Machine.inputs = [| 6L |] }
+        buggy
+    with
+    | Miri.Machine.Ran r -> r
+    | Miri.Machine.Compile_error _ -> Alcotest.fail "case compiles"
+  in
+  let f = Features.extract buggy run in
+  Alcotest.(check bool) "category detected" true
+    (f.Features.category = Some Miri.Diag.Dangling_pointer);
+  let section = Features.to_prompt_section f in
+  Alcotest.(check bool) "section mentions category" true
+    (Helpers.contains section "dangling pointer");
+  Alcotest.(check bool) "priority non-empty" true (f.Features.repair_priority <> [])
+
+(* the fix agents *)
+
+let test_agent_repairs_case () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  Alcotest.(check bool) "starts with errors" true (state.Env.errors > 0);
+  (* alternating the replace and modify agents must fix the case within the
+     budget; a replace-only loop can dead-end after a hallucinated edit,
+     which is exactly why the pipeline runs multi-agent plans *)
+  let agents = [| Ub_class.C_replace; Ub_class.C_modify |] in
+  let i = ref 0 in
+  while state.Env.errors > 0 && !i < 20 do
+    ignore (Agent.run env state agents.(!i mod 2));
+    ignore (Agent_rollback.maybe_rollback env state);
+    incr i
+  done;
+  Alcotest.(check int) "repaired within budget" 0 state.Env.errors
+
+let test_agent_already_clean () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.fixed case) in
+  Alcotest.(check bool) "clean program" true (state.Env.errors = 0);
+  match Agent.run env state Ub_class.C_modify with
+  | Agent.Already_clean -> ()
+  | o -> Alcotest.failf "expected Already_clean, got %s" (Agent.outcome_to_string o)
+
+let test_agent_iterations_counted () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  ignore (Agent.run env state Ub_class.C_assert);
+  Alcotest.(check bool) "iteration recorded" true (state.Env.iterations >= 1)
+
+(* rollback *)
+
+let test_adaptive_rollback () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  let initial_errors = state.Env.errors in
+  (* manufacture a worse state *)
+  state.Env.program <- Minirust.Parser.parse "fn main() { let mut a = [1]; unsafe { print(a.get_unchecked(5)); print(a.get_unchecked(6)); print(a.get_unchecked(7)); } }";
+  state.Env.errors <- initial_errors + 5;
+  Env.snapshot state;
+  match Agent_rollback.maybe_rollback env state with
+  | Agent_rollback.Rolled_back { to_errors; _ } ->
+    Alcotest.(check int) "back to best" initial_errors to_errors;
+    Alcotest.(check int) "state errors updated" initial_errors state.Env.errors
+  | Agent_rollback.Kept -> Alcotest.fail "should have rolled back"
+
+let test_rollback_keeps_best () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  match Agent_rollback.maybe_rollback env state with
+  | Agent_rollback.Kept -> ()
+  | Agent_rollback.Rolled_back _ -> Alcotest.fail "nothing to roll back"
+
+let test_rollback_to_initial () =
+  let env = make_env () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  let initial = state.Env.errors in
+  state.Env.errors <- initial + 3;
+  match Agent_rollback.rollback_to_initial env state with
+  | Agent_rollback.Rolled_back { to_errors; _ } -> Alcotest.(check int) "initial" initial to_errors
+  | Agent_rollback.Kept -> Alcotest.fail "should roll back to initial"
+
+(* abstract reasoning *)
+
+let test_abstract_enriches_prompt () =
+  let env = make_env ~kb:true () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  let out = Agent_abstract.run env state in
+  Alcotest.(check bool) "sketch non-empty" true (out.Agent_abstract.sketch_kept > 0);
+  Alcotest.(check bool) "kb hit" true (out.Agent_abstract.kb_hits > 0);
+  Alcotest.(check bool) "pruned section added" true
+    (List.mem_assoc Llm_sim.Prompt.sec_pruned_ast state.Env.prompt_extras);
+  Alcotest.(check bool) "kb section added" true
+    (List.mem_assoc Llm_sim.Prompt.sec_kb_hints state.Env.prompt_extras);
+  Alcotest.(check bool) "bias set" true (state.Env.kind_bias <> [])
+
+let test_abstract_without_kb () =
+  let env = make_env ~kb:false () in
+  let state = Env.init_state env (Dataset.Case.buggy case) in
+  let out = Agent_abstract.run env state in
+  Alcotest.(check int) "no kb hits" 0 out.Agent_abstract.kb_hits
+
+(* fast thinking *)
+
+let features_of program =
+  let run =
+    match
+      Miri.Machine.analyze
+        ~config:{ Miri.Machine.default_config with Miri.Machine.inputs = [| 6L |] }
+        program
+    with
+    | Miri.Machine.Ran r -> r
+    | Miri.Machine.Compile_error _ -> Alcotest.fail "compiles"
+  in
+  Features.extract program run
+
+let test_fast_think_diversity () =
+  let env = make_env () in
+  let buggy = Dataset.Case.buggy case in
+  let g =
+    Fast_think.generate env ~program:buggy ~features:(features_of buggy) ~feedback:None
+      ~abstract_enabled:true ~count:5
+  in
+  Alcotest.(check int) "five solutions" 5 (List.length g.Fast_think.solutions);
+  let names = List.map (fun s -> s.Solution.sname) g.Fast_think.solutions in
+  Alcotest.(check int) "all distinct" 5 (List.length (List.sort_uniq compare names))
+
+let test_fast_think_respects_abstract_toggle () =
+  let env = make_env () in
+  let buggy = Dataset.Case.buggy case in
+  let g =
+    Fast_think.generate env ~program:buggy ~features:(features_of buggy) ~feedback:None
+      ~abstract_enabled:false ~count:6
+  in
+  List.iter
+    (fun s ->
+      if List.mem Solution.Abstract s.Solution.steps then
+        Alcotest.fail "abstract step generated while disabled")
+    g.Fast_think.solutions
+
+(* feedback *)
+
+let test_feedback_recall () =
+  let fb = Feedback.create () in
+  let buggy = Dataset.Case.buggy case in
+  let vec = Features.vector buggy (features_of buggy) in
+  let plan = { Solution.sname = "won"; steps = [ Solution.Fix Ub_class.C_replace ]; origin = "test" } in
+  Feedback.learn fb vec
+    { Feedback.category = case.Dataset.Case.category; plan; winning_class = Some Ub_class.C_replace };
+  (match Feedback.recall fb vec with
+  | Some (score, m) ->
+    Alcotest.(check bool) "high similarity" true (score > 0.9);
+    Alcotest.(check string) "plan recalled" "won" m.Feedback.plan.Solution.sname
+  | None -> Alcotest.fail "expected a recall");
+  (* a very different error should not recall *)
+  let other = Option.get (Dataset.Corpus.find "dr_two_writers") in
+  let other_buggy = Dataset.Case.buggy other in
+  let run =
+    match
+      Miri.Machine.analyze
+        ~config:{ Miri.Machine.default_config with Miri.Machine.inputs = [| 5L |] }
+        other_buggy
+    with
+    | Miri.Machine.Ran r -> r
+    | Miri.Machine.Compile_error _ -> Alcotest.fail "compiles"
+  in
+  let other_vec = Features.vector other_buggy (Features.extract other_buggy run) in
+  match Feedback.recall fb other_vec with
+  | None -> ()
+  | Some (score, _) ->
+    Alcotest.(check bool) "cross-category recall is weak" true (score < 0.9)
+
+let test_fast_think_uses_feedback () =
+  let env = make_env () in
+  let buggy = Dataset.Case.buggy case in
+  let features = features_of buggy in
+  let fb = Feedback.create () in
+  let vec = Features.vector buggy features in
+  let plan = { Solution.sname = "won"; steps = [ Solution.Fix Ub_class.C_replace ]; origin = "test" } in
+  Feedback.learn fb vec
+    { Feedback.category = case.Dataset.Case.category; plan; winning_class = Some Ub_class.C_replace };
+  let g =
+    Fast_think.generate env ~program:buggy ~features ~feedback:(Some fb)
+      ~abstract_enabled:true ~count:4
+  in
+  Alcotest.(check bool) "feedback hit" true (g.Fast_think.feedback_hit <> None);
+  match g.Fast_think.solutions with
+  | first :: _ -> Alcotest.(check string) "recalled plan first" "feedback" first.Solution.origin
+  | [] -> Alcotest.fail "no solutions"
+
+(* slow thinking *)
+
+let test_slow_think_fixes () =
+  let env = make_env ~kb:true () in
+  let solution =
+    { Solution.sname = "test"; origin = "test";
+      steps = [ Solution.Abstract; Solution.Fix Ub_class.C_replace; Solution.Fix Ub_class.C_modify ] }
+  in
+  let exec =
+    Slow_think.execute env ~program:(Dataset.Case.buggy case) ~solution
+      ~rollback:Slow_think.Adaptive ~max_iters:8
+  in
+  Alcotest.(check bool) "n sequence starts with initial errors" true
+    (match exec.Slow_think.n_sequence with n :: _ -> n > 0 | [] -> false);
+  Alcotest.(check bool) "some iterations happened" true (exec.Slow_think.iterations > 0);
+  Alcotest.(check bool) "time consumed" true (exec.Slow_think.seconds > 0.0)
+
+let test_slow_think_iteration_budget () =
+  let env = make_env () in
+  let solution =
+    { Solution.sname = "test"; origin = "test"; steps = [ Solution.Fix Ub_class.C_assert ] }
+  in
+  let exec =
+    Slow_think.execute env ~program:(Dataset.Case.buggy case) ~solution
+      ~rollback:Slow_think.No_rollback ~max_iters:2
+  in
+  Alcotest.(check bool) "bounded" true (exec.Slow_think.iterations <= 2)
+
+let suite =
+  [ Alcotest.test_case "classify_diag total" `Quick test_classify_diag_total;
+    Alcotest.test_case "unsafe profile" `Quick test_unsafe_profile;
+    Alcotest.test_case "features extract" `Quick test_features_extract;
+    Alcotest.test_case "fix agent repairs" `Quick test_agent_repairs_case;
+    Alcotest.test_case "agent already clean" `Quick test_agent_already_clean;
+    Alcotest.test_case "agent counts iterations" `Quick test_agent_iterations_counted;
+    Alcotest.test_case "adaptive rollback" `Quick test_adaptive_rollback;
+    Alcotest.test_case "rollback keeps best" `Quick test_rollback_keeps_best;
+    Alcotest.test_case "rollback to initial" `Quick test_rollback_to_initial;
+    Alcotest.test_case "abstract enriches prompt" `Quick test_abstract_enriches_prompt;
+    Alcotest.test_case "abstract without kb" `Quick test_abstract_without_kb;
+    Alcotest.test_case "fast thinking diversity" `Quick test_fast_think_diversity;
+    Alcotest.test_case "fast thinking abstract toggle" `Quick test_fast_think_respects_abstract_toggle;
+    Alcotest.test_case "feedback recall" `Quick test_feedback_recall;
+    Alcotest.test_case "fast thinking uses feedback" `Quick test_fast_think_uses_feedback;
+    Alcotest.test_case "slow thinking fixes" `Quick test_slow_think_fixes;
+    Alcotest.test_case "slow thinking budget" `Quick test_slow_think_iteration_budget ]

@@ -1,0 +1,181 @@
+(* Corpus validation — generated per case, three genuine checks each:
+   1. the buggy program deterministically exhibits the declared UB category
+      (on at least one probe, and never a *different* category),
+   2. the reference fix is clean on every probe (no UB, no leak, no panic
+      that the case's own probes should not trigger),
+   3. the reference fix is semantically acceptable against itself (the
+      [Semantic] judgment is reflexive on the reference). *)
+
+let analyze program inputs =
+  Miri.Machine.analyze
+    ~config:{ Miri.Machine.default_config with Miri.Machine.inputs }
+    program
+
+let buggy_exhibits (c : Dataset.Case.t) () =
+  let buggy = Dataset.Case.buggy c in
+  let expected = Miri.Diag.kind_name c.Dataset.Case.category in
+  let outcomes =
+    List.filter_map
+      (fun inputs ->
+        match analyze buggy inputs with
+        | Miri.Machine.Ran r -> (
+          match r.Miri.Machine.outcome with
+          | Miri.Machine.Ub d -> Some (Miri.Diag.kind_name d.Miri.Diag.kind)
+          | Miri.Machine.Panicked _ -> Some "panic"
+          | Miri.Machine.Finished -> None
+          | Miri.Machine.Step_limit -> Some "step-limit")
+        | Miri.Machine.Compile_error m -> Some ("compile-error: " ^ m))
+      c.Dataset.Case.probes
+  in
+  if not (List.mem expected outcomes) then
+    Alcotest.failf "no probe exhibits %s (got: %s)" expected (String.concat ", " outcomes);
+  List.iter
+    (fun o ->
+      if not (String.equal o expected) then
+        Alcotest.failf "probe exhibits %s instead of %s" o expected)
+    outcomes
+
+let fixed_clean (c : Dataset.Case.t) () =
+  let fixed = Dataset.Case.fixed c in
+  List.iter
+    (fun inputs ->
+      match analyze fixed inputs with
+      | Miri.Machine.Ran r -> (
+        match r.Miri.Machine.outcome with
+        | Miri.Machine.Finished | Miri.Machine.Panicked _ -> ()
+        | Miri.Machine.Ub d -> Alcotest.failf "fixed has UB: %s" (Miri.Diag.to_string d)
+        | Miri.Machine.Step_limit -> Alcotest.fail "fixed hit the step limit")
+      | Miri.Machine.Compile_error m -> Alcotest.failf "fixed does not compile: %s" m)
+    c.Dataset.Case.probes
+
+let fixed_self_semantic (c : Dataset.Case.t) () =
+  let v = Dataset.Semantic.check c (Dataset.Case.fixed c) in
+  Alcotest.(check bool) "reference passes" true v.Dataset.Semantic.passes;
+  Alcotest.(check bool) "reference is self-acceptable" true v.Dataset.Semantic.semantic
+
+let per_case_tests =
+  List.concat_map
+    (fun (c : Dataset.Case.t) ->
+      let n = c.Dataset.Case.name in
+      [ Alcotest.test_case (n ^ ": buggy exhibits category") `Quick (buggy_exhibits c);
+        Alcotest.test_case (n ^ ": reference is clean") `Quick (fixed_clean c);
+        Alcotest.test_case (n ^ ": reference self-semantic") `Quick (fixed_self_semantic c) ])
+    Dataset.Corpus.all
+
+(* corpus shape *)
+
+let test_coverage () =
+  List.iter
+    (fun (kind, count) ->
+      if count < 5 then
+        Alcotest.failf "category %s has only %d cases" (Miri.Diag.kind_name kind) count)
+    (Dataset.Corpus.stats ())
+
+let test_unique_names () =
+  let names = List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) Dataset.Corpus.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  Alcotest.(check bool) "find existing" true (Dataset.Corpus.find "al_double_free" <> None);
+  Alcotest.(check bool) "find missing" true (Dataset.Corpus.find "nope" = None)
+
+let test_buggy_differs_from_fixed () =
+  List.iter
+    (fun (c : Dataset.Case.t) ->
+      if Minirust.Ast.equal_program (Dataset.Case.buggy c) (Dataset.Case.fixed c) then
+        Alcotest.failf "%s: buggy and fixed are identical" c.Dataset.Case.name)
+    Dataset.Corpus.all
+
+(* semantic judgment details *)
+
+let test_semantic_rejects_wrong_output () =
+  let c = Option.get (Dataset.Corpus.find "pn_div_by_zero") in
+  (* a "fix" that passes but prints the wrong value *)
+  let wrong =
+    Minirust.Parser.parse
+      "fn main() { let mut total = input(0); let mut count = input(1); print(0); }"
+  in
+  let v = Dataset.Semantic.check c wrong in
+  Alcotest.(check bool) "passes" true v.Dataset.Semantic.passes;
+  Alcotest.(check bool) "but not semantic" false v.Dataset.Semantic.semantic
+
+let test_semantic_rejects_remaining_ub () =
+  let c = Option.get (Dataset.Corpus.find "al_double_free") in
+  let v = Dataset.Semantic.check c (Dataset.Case.buggy c) in
+  Alcotest.(check bool) "buggy does not pass" false v.Dataset.Semantic.passes
+
+let test_semantic_accepts_matching_panic () =
+  (* an assertion-agent style fix: panics (with a different message) exactly
+     where the reference's checked indexing panics — acceptable *)
+  let c = Option.get (Dataset.Corpus.find "dp_unchecked_index_oob") in
+  let candidate =
+    Minirust.Parser.parse
+      {|
+fn main() {
+    let mut samples = [4, 8, 15, 16];
+    let mut i = input(0);
+    assert(i >= 0 && i < 4, "index must be in range");
+    unsafe {
+        print(samples.get_unchecked(i));
+    }
+}
+|}
+  in
+  let v = Dataset.Semantic.check c candidate in
+  Alcotest.(check bool) "passes" true v.Dataset.Semantic.passes;
+  Alcotest.(check bool) "acceptable" true v.Dataset.Semantic.semantic
+
+let test_semantic_rejects_spurious_panic () =
+  (* a guard that also rejects a legal input is not acceptable *)
+  let c = Option.get (Dataset.Corpus.find "dp_unchecked_index_oob") in
+  let candidate =
+    Minirust.Parser.parse
+      {|
+fn main() {
+    let mut samples = [4, 8, 15, 16];
+    let mut i = input(0);
+    assert(i >= 0 && i < 2, "over-strict");
+    unsafe {
+        print(samples.get_unchecked(i));
+    }
+}
+|}
+  in
+  let v = Dataset.Semantic.check c candidate in
+  Alcotest.(check bool) "not passing (panics where reference succeeds)" false
+    v.Dataset.Semantic.passes
+
+let test_score_ordering () =
+  let c = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  let s_fixed = Dataset.Semantic.score c (Dataset.Case.fixed c) in
+  let s_buggy = Dataset.Semantic.score c (Dataset.Case.buggy c) in
+  Alcotest.(check (float 0.001)) "reference scores 1.0" 1.0 s_fixed;
+  Alcotest.(check bool) "buggy scores lower" true (s_buggy < s_fixed)
+
+let test_score_ill_typed () =
+  let c = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  let broken = Minirust.Parser.parse "fn main() { let mut x: bool = 1; }" in
+  let s = Dataset.Semantic.score c broken in
+  Alcotest.(check bool) "ill-typed scores ~0" true (s < 0.05)
+
+let test_error_count_collect () =
+  let program =
+    Minirust.Parser.parse
+      "fn main() { let mut a = [1]; unsafe { print(a.get_unchecked(3)); print(a.get_unchecked(4)); } }"
+  in
+  Alcotest.(check int) "two errors" 2 (Dataset.Semantic.error_count program [||])
+
+let suite =
+  per_case_tests
+  @ [ Alcotest.test_case "every category covered" `Quick test_coverage;
+      Alcotest.test_case "unique names" `Quick test_unique_names;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "buggy differs from fixed" `Quick test_buggy_differs_from_fixed;
+      Alcotest.test_case "semantic rejects wrong output" `Quick test_semantic_rejects_wrong_output;
+      Alcotest.test_case "semantic rejects remaining UB" `Quick test_semantic_rejects_remaining_ub;
+      Alcotest.test_case "semantic accepts matching panic" `Quick test_semantic_accepts_matching_panic;
+      Alcotest.test_case "semantic rejects spurious panic" `Quick test_semantic_rejects_spurious_panic;
+      Alcotest.test_case "score ordering" `Quick test_score_ordering;
+      Alcotest.test_case "score ill-typed" `Quick test_score_ill_typed;
+      Alcotest.test_case "error_count collect" `Quick test_error_count_collect ]

@@ -1,0 +1,116 @@
+(* Differential testing: the machine's arithmetic against a reference
+   evaluator written directly in OCaml, over randomly generated expression
+   trees. Any divergence in wrapping, precedence handling, short-circuiting
+   or panic behaviour shows up here. *)
+
+type rexpr =
+  | R_int of int
+  | R_add of rexpr * rexpr
+  | R_sub of rexpr * rexpr
+  | R_mul of rexpr * rexpr
+  | R_and of rexpr * rexpr
+  | R_or of rexpr * rexpr
+  | R_xor of rexpr * rexpr
+
+(* reference semantics: exact 64-bit ops; operands are small enough that
+   overflow cannot occur *)
+let rec reval = function
+  | R_int n -> Int64.of_int n
+  | R_add (a, b) -> Int64.add (reval a) (reval b)
+  | R_sub (a, b) -> Int64.sub (reval a) (reval b)
+  | R_mul (a, b) -> Int64.mul (reval a) (reval b)
+  | R_and (a, b) -> Int64.logand (reval a) (reval b)
+  | R_or (a, b) -> Int64.logor (reval a) (reval b)
+  | R_xor (a, b) -> Int64.logxor (reval a) (reval b)
+
+let rec render = function
+  | R_int n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | R_add (a, b) -> Printf.sprintf "(%s + %s)" (render a) (render b)
+  | R_sub (a, b) -> Printf.sprintf "(%s - %s)" (render a) (render b)
+  | R_mul (a, b) -> Printf.sprintf "(%s * %s)" (render a) (render b)
+  | R_and (a, b) -> Printf.sprintf "(%s & %s)" (render a) (render b)
+  | R_or (a, b) -> Printf.sprintf "(%s | %s)" (render a) (render b)
+  | R_xor (a, b) -> Printf.sprintf "(%s ^ %s)" (render a) (render b)
+
+let gen_rexpr : rexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth <= 0 then int_range (-50) 50 >|= fun n -> R_int n
+      else
+        frequency
+          [ (2, int_range (-50) 50 >|= fun n -> R_int n);
+            (1, map2 (fun a b -> R_add (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> R_sub (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> R_mul (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> R_and (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> R_or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> R_xor (a, b)) (self (depth - 1)) (self (depth - 1))) ])
+    4
+
+let arbitrary_rexpr = QCheck.make ~print:render gen_rexpr
+
+(* |values| stay under ~50^16, far from overflow at depth 4 with *; actually
+   multiplication chains could reach 50^8 ~ 4e13, still < 2^62: no panics *)
+let prop_machine_matches_reference =
+  QCheck.Test.make ~name:"machine arithmetic = reference semantics" ~count:300
+    arbitrary_rexpr
+    (fun re ->
+      let src = Printf.sprintf "fn main() { print(%s); }" (render re) in
+      let r = Helpers.run src in
+      r.Miri.Machine.output = [ Int64.to_string (reval re) ])
+
+(* scheduler-seed independence for a race-free threaded program: the final
+   observable result must not depend on interleaving *)
+let prop_seed_independent_result =
+  QCheck.Test.make ~name:"race-free result is schedule-independent" ~count:30
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      let src =
+        Printf.sprintf
+          "static mut C: i64 = 0; fn w(n: i64) { let mut i = 0; while i < n { unsafe { \
+           atomic_add(&raw mut C, 1); } i = i + 1; } } fn main() { let a = spawn w(%d); \
+           let b = spawn w(%d); join(a); join(b); unsafe { print(atomic_load(&raw mut C)); } }"
+          n n
+      in
+      let r = Helpers.run ~seed src in
+      r.Miri.Machine.output = [ string_of_int (2 * n) ])
+
+(* a random well-typed program must never crash the machine: it finishes,
+   panics, reports UB or hits the step limit — OCaml exceptions escaping the
+   interpreter would show up here *)
+let prop_total_machine =
+  let gen_stmt_src : string QCheck.Gen.t =
+    let open QCheck.Gen in
+    let tmpl =
+      oneofl
+        [ "let mut a = [1, 2, 3]; print(a[input(0)]);";
+          "let mut x = input(0); print(x * x);";
+          "let mut x = input(0); print(100 / x);";
+          "unsafe { let mut p = alloc(8, 8) as *mut i64; *p = input(0); print(*p); \
+           dealloc(p as *mut i8, 8, 8); }";
+          "let mut x = input(0); let mut r = &mut x; *r = *r + 1; print(x);";
+          "unsafe { let mut a = [9, 8]; print(a.get_unchecked(input(0))); }";
+          "let mut i = 0; while i < input(0) { i = i + 1; } print(i);" ]
+    in
+    list_size (int_range 1 4) tmpl >|= fun stmts ->
+    "fn main() { " ^ String.concat " " stmts ^ " }"
+  in
+  QCheck.Test.make ~name:"machine is total on well-typed programs" ~count:200
+    (QCheck.make ~print:(fun (s, _) -> s) QCheck.Gen.(pair gen_stmt_src (int_range (-3) 9)))
+    (fun (src, input0) ->
+      let program = Minirust.Parser.parse src in
+      match Minirust.Typecheck.check program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok info ->
+        let config =
+          { Miri.Machine.default_config with Miri.Machine.inputs = [| Int64.of_int input0 |] }
+        in
+        let r = Miri.Machine.run ~config program info in
+        (* any outcome is fine; reaching here without an exception is the test *)
+        r.Miri.Machine.steps >= 0)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_machine_matches_reference;
+    QCheck_alcotest.to_alcotest prop_seed_independent_result;
+    QCheck_alcotest.to_alcotest prop_total_machine ]

@@ -1,0 +1,185 @@
+(* Structural edits: every action kind, error cases, id hygiene. *)
+
+open Minirust
+
+let program () =
+  Parser.parse
+    {|
+fn helper(x: i64) -> i64 {
+    return x + 1;
+}
+
+fn main() {
+    let mut a = 1;
+    let mut b = 2;
+    print(a + b);
+}
+|}
+
+let nth_stmt p fn_name i =
+  let f = Option.get (Ast.lookup_fn p fn_name) in
+  List.nth f.Ast.body i
+
+let body_src p fn_name =
+  Pretty.block (Option.get (Ast.lookup_fn p fn_name)).Ast.body
+
+let apply p actions = Edit.apply_exn { Edit.label = "test"; actions } p
+
+let test_replace_stmt () =
+  let p = program () in
+  let target = nth_stmt p "main" 2 in
+  let p' = apply p [ Edit.Replace_stmt (target.Ast.sid, [ Ast.print_s (Ast.int_e 9) ]) ] in
+  Alcotest.(check bool) "replaced" true
+    (Helpers.contains (body_src p' "main") "print(9i64);")
+
+let test_delete_stmt () =
+  let p = program () in
+  let target = nth_stmt p "main" 1 in
+  let p' = apply p [ Edit.Replace_stmt (target.Ast.sid, []) ] in
+  Alcotest.(check int) "one fewer statement" 2
+    (List.length (Option.get (Ast.lookup_fn p' "main")).Ast.body)
+
+let test_insert_before_after () =
+  let p = program () in
+  let target = nth_stmt p "main" 1 in
+  let p' =
+    apply p
+      [ Edit.Insert_before (target.Ast.sid, Ast.print_s (Ast.int_e 100));
+        Edit.Insert_after (target.Ast.sid, Ast.print_s (Ast.int_e 200)) ]
+  in
+  let body = (Option.get (Ast.lookup_fn p' "main")).Ast.body in
+  Alcotest.(check int) "two inserted" 5 (List.length body);
+  match (List.nth body 1).Ast.s, (List.nth body 3).Ast.s with
+  | Ast.S_print _, Ast.S_print _ -> ()
+  | _ -> Alcotest.fail "inserts landed in the wrong place"
+
+let test_replace_expr () =
+  let p = program () in
+  (* find the `a + b` expression *)
+  let target = ref None in
+  Visit.iter_exprs
+    (fun e -> match e.Ast.e with Ast.E_binop (Ast.Add, _, _) -> target := Some e | _ -> ())
+    p;
+  let e = Option.get !target in
+  let p' = apply p [ Edit.Replace_expr (e.Ast.eid, Ast.int_e 7) ] in
+  Alcotest.(check bool) "expr replaced" true
+    (Helpers.contains (body_src p' "main") "print(7i64);")
+
+let test_wrap_unsafe () =
+  let p = program () in
+  let target = nth_stmt p "main" 2 in
+  let p' = apply p [ Edit.Wrap_unsafe target.Ast.sid ] in
+  Alcotest.(check bool) "wrapped" true
+    (Helpers.contains (body_src p' "main") "unsafe {")
+
+let test_replace_fn_body () =
+  let p = program () in
+  let p' = apply p [ Edit.Replace_fn_body ("helper", [ Ast.return_s (Some (Ast.int_e 0)) ]) ] in
+  Alcotest.(check bool) "body replaced" true
+    (Helpers.contains (body_src p' "helper") "return 0i64;")
+
+let test_replace_fn_decl () =
+  let p = program () in
+  let decl =
+    { Ast.fname = "helper"; params = [ ("x", Ast.T_int Ast.I64); ("y", Ast.T_int Ast.I64) ];
+      ret = Ast.T_int Ast.I64; fn_unsafe = false;
+      body = [ Ast.return_s (Some (Ast.binop_e Ast.Add (Ast.var_e "x") (Ast.var_e "y"))) ] }
+  in
+  let p' = apply p [ Edit.Replace_fn_decl decl ] in
+  let f = Option.get (Ast.lookup_fn p' "helper") in
+  Alcotest.(check int) "params updated" 2 (List.length f.Ast.params)
+
+let test_add_remove_fn () =
+  let p = program () in
+  let decl =
+    { Ast.fname = "extra"; params = []; ret = Ast.T_unit; fn_unsafe = false; body = [] }
+  in
+  let p' = apply p [ Edit.Add_fn decl ] in
+  Alcotest.(check int) "added" 3 (List.length p'.Ast.funcs);
+  let p'' = apply p' [ Edit.Remove_fn "extra" ] in
+  Alcotest.(check int) "removed" 2 (List.length p''.Ast.funcs)
+
+let test_set_fn_unsafe () =
+  let p = program () in
+  let p' = apply p [ Edit.Set_fn_unsafe ("helper", true) ] in
+  Alcotest.(check bool) "flag set" true
+    (Option.get (Ast.lookup_fn p' "helper")).Ast.fn_unsafe
+
+let test_missing_target_fails () =
+  let p = program () in
+  match Edit.apply { Edit.label = "bad"; actions = [ Edit.Replace_stmt (999999, []) ] } p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "edit on a missing statement must fail"
+
+let test_original_untouched () =
+  let p = program () in
+  let before = Pretty.program p in
+  let target = nth_stmt p "main" 0 in
+  ignore (apply p [ Edit.Replace_stmt (target.Ast.sid, []) ]);
+  Alcotest.(check string) "input program not mutated" before (Pretty.program p)
+
+let test_refresh_ids_fresh () =
+  let p = program () in
+  let p' = Edit.refresh_ids p in
+  Alcotest.(check bool) "same source" true (Ast.equal_program p p');
+  let ids p =
+    let acc = ref [] in
+    Visit.iter_stmts (fun st -> acc := st.Ast.sid :: !acc) p;
+    Visit.iter_exprs (fun e -> acc := e.Ast.eid :: !acc) p;
+    !acc
+  in
+  let shared = List.filter (fun id -> List.mem id (ids p)) (ids p') in
+  Alcotest.(check int) "no shared node ids" 0 (List.length shared)
+
+let test_inserted_ids_fresh () =
+  let p = program () in
+  let stmt = Ast.print_s (Ast.int_e 1) in
+  let target = nth_stmt p "main" 0 in
+  let p' =
+    apply p
+      [ Edit.Insert_before (target.Ast.sid, stmt); Edit.Insert_before (target.Ast.sid, stmt) ]
+  in
+  (* the same statement inserted twice must get distinct ids *)
+  let print_ids = ref [] in
+  Visit.iter_stmts
+    (fun st -> match st.Ast.s with Ast.S_print _ -> print_ids := st.Ast.sid :: !print_ids | _ -> ())
+    p';
+  let uniq = List.sort_uniq compare !print_ids in
+  Alcotest.(check int) "distinct ids" (List.length !print_ids) (List.length uniq)
+
+let test_map_exprs_in_stmt () =
+  let st = List.hd (Parser.parse_block "{ print(1 + 2); }") in
+  let st', hits =
+    Edit.map_exprs_in_stmt
+      (fun e -> match e.Ast.e with Ast.E_int (1L, _) -> Some (Ast.int_e 10) | _ -> None)
+      st
+  in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check string) "rewritten" "print(10i64 + 2i64);" (Pretty.stmt st')
+
+let test_map_places_in_stmt () =
+  let st = List.hd (Parser.parse_block "{ x = a[i]; }") in
+  let st', hits =
+    Edit.map_places_in_stmt
+      (function Ast.P_index (b, i) -> Some (Ast.P_index_unchecked (b, i)) | _ -> None)
+      st
+  in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check string) "rewritten" "x = a.get_unchecked(i);" (Pretty.stmt st')
+
+let suite =
+  [ Alcotest.test_case "replace stmt" `Quick test_replace_stmt;
+    Alcotest.test_case "delete stmt" `Quick test_delete_stmt;
+    Alcotest.test_case "insert before/after" `Quick test_insert_before_after;
+    Alcotest.test_case "replace expr" `Quick test_replace_expr;
+    Alcotest.test_case "wrap unsafe" `Quick test_wrap_unsafe;
+    Alcotest.test_case "replace fn body" `Quick test_replace_fn_body;
+    Alcotest.test_case "replace fn decl" `Quick test_replace_fn_decl;
+    Alcotest.test_case "add/remove fn" `Quick test_add_remove_fn;
+    Alcotest.test_case "set fn unsafe" `Quick test_set_fn_unsafe;
+    Alcotest.test_case "missing target fails" `Quick test_missing_target_fails;
+    Alcotest.test_case "original untouched" `Quick test_original_untouched;
+    Alcotest.test_case "refresh_ids gives fresh ids" `Quick test_refresh_ids_fresh;
+    Alcotest.test_case "inserted ids fresh" `Quick test_inserted_ids_fresh;
+    Alcotest.test_case "map_exprs_in_stmt" `Quick test_map_exprs_in_stmt;
+    Alcotest.test_case "map_places_in_stmt" `Quick test_map_places_in_stmt ]

@@ -1,0 +1,141 @@
+(* Knowledge base: Algorithm-1 pruning, vectorization, retrieval. *)
+
+let program_with_noise =
+  Minirust.Parser.parse
+    {|
+fn irrelevant_math(a: i64) -> i64 {
+    let mut t = a * 2;
+    let mut u = t + 3;
+    return u;
+}
+
+fn main() {
+    let mut noise1 = 1;
+    let mut noise2 = noise1 + 2;
+    print(noise2);
+    let mut buf = 0 as *mut i64;
+    unsafe {
+        buf = alloc(8, 8) as *mut i64;
+        *buf = 5;
+        print(*buf);
+        dealloc(buf as *mut i8, 8, 8);
+    }
+}
+|}
+
+let test_prune_keeps_unsafe () =
+  let sketch = Knowledge.Prune.prune program_with_noise [] in
+  let rendered = Knowledge.Prune.render sketch in
+  Alcotest.(check bool) "keeps the alloc" true (Helpers.contains rendered "alloc(8i64, 8i64)");
+  Alcotest.(check bool) "keeps the dealloc" true (Helpers.contains rendered "dealloc");
+  Alcotest.(check bool) "drops pure-math noise" false (Helpers.contains rendered "noise2 + ")
+
+let test_prune_drops_counted () =
+  let sketch = Knowledge.Prune.prune program_with_noise [] in
+  Alcotest.(check bool) "something was dropped" true (sketch.Knowledge.Prune.dropped > 0)
+
+let test_prune_keeps_hinted () =
+  (* the statement a diagnostic points at is kept even if not unsafe *)
+  let target = ref (-1) in
+  Minirust.Visit.iter_stmts
+    (fun st ->
+      match st.Minirust.Ast.s with
+      | Minirust.Ast.S_print _ when !target < 0 -> target := st.Minirust.Ast.sid
+      | _ -> ())
+    program_with_noise;
+  let diag = { (Miri.Diag.make Miri.Diag.Validity "x") with Miri.Diag.stmt_hint = !target } in
+  let sketch = Knowledge.Prune.prune program_with_noise [ diag ] in
+  Alcotest.(check bool) "hinted stmt kept" true
+    (List.exists (fun st -> st.Minirust.Ast.sid = !target) sketch.Knowledge.Prune.kept_stmts)
+
+let test_prune_keeps_dependencies () =
+  (* `buf` is used by retained unsafe statements, so its definition stays *)
+  let sketch = Knowledge.Prune.prune program_with_noise [] in
+  let rendered = Knowledge.Prune.render sketch in
+  Alcotest.(check bool) "dependency definition kept" true
+    (Helpers.contains rendered "let mut buf")
+
+(* vectors *)
+
+let test_vector_normalized () =
+  let v = Knowledge.Featvec.of_program program_with_noise [] in
+  let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v) in
+  if abs_float (norm -. 1.0) > 1e-6 && norm <> 0.0 then Alcotest.failf "norm %f" norm
+
+let test_cosine_self () =
+  let v = Knowledge.Featvec.of_program program_with_noise [] in
+  Alcotest.(check (float 1e-6)) "self similarity" 1.0 (Knowledge.Featvec.cosine v v)
+
+let test_cosine_category_dominates () =
+  let d1 = Miri.Diag.make Miri.Diag.Alloc "a" in
+  let d2 = Miri.Diag.make Miri.Diag.Data_race "b" in
+  let same_cat_a = Knowledge.Featvec.of_program program_with_noise [ d1 ] in
+  let same_cat_b =
+    Knowledge.Featvec.of_program
+      (Minirust.Parser.parse "fn main() { unsafe { let mut p = alloc(8, 8); dealloc(p, 8, 8); } }")
+      [ d1 ]
+  in
+  let other_cat = Knowledge.Featvec.of_program program_with_noise [ d2 ] in
+  let same = Knowledge.Featvec.cosine same_cat_a same_cat_b in
+  let diff = Knowledge.Featvec.cosine same_cat_a other_cat in
+  if same <= diff then
+    Alcotest.failf "same-category similarity (%f) should beat cross-category (%f)" same diff
+
+(* store *)
+
+let test_store_topk () =
+  let store = Knowledge.Store.create () in
+  let unit_vec i = Array.init 4 (fun j -> if i = j then 1.0 else 0.0) in
+  List.iter (fun i -> Knowledge.Store.add store (unit_vec i) i) [ 0; 1; 2; 3 ];
+  let query = [| 0.9; 0.1; 0.0; 0.0 |] in
+  match Knowledge.Store.query store query ~k:2 with
+  | [ (s1, 0); (s2, 1) ] ->
+    Alcotest.(check bool) "ordered by similarity" true (s1 > s2)
+  | other -> Alcotest.failf "unexpected top-2: %d entries" (List.length other)
+
+let test_store_threshold () =
+  let store = Knowledge.Store.create () in
+  Knowledge.Store.add store [| 1.0; 0.0 |] "x";
+  Alcotest.(check int) "above" 1
+    (List.length (Knowledge.Store.query_above store [| 1.0; 0.0 |] ~threshold:0.9));
+  Alcotest.(check int) "below" 0
+    (List.length (Knowledge.Store.query_above store [| 0.0; 1.0 |] ~threshold:0.9))
+
+(* kb *)
+
+let test_kb_query_and_cost () =
+  let clock = Rb_util.Simclock.create () in
+  let kb = Knowledge.Kb.create ~clock () in
+  Knowledge.Kb.seed_default kb;
+  Alcotest.(check int) "seeded with 12 entries" 12 (Knowledge.Kb.size kb);
+  let vec = Knowledge.Featvec.of_program program_with_noise [ Miri.Diag.make Miri.Diag.Alloc "x" ] in
+  let before = Rb_util.Simclock.now clock in
+  let hits = Knowledge.Kb.query kb vec in
+  Alcotest.(check bool) "query costs time" true (Rb_util.Simclock.now clock > before);
+  (match hits with
+  | (_, e) :: _ -> Alcotest.(check bool) "top hit is alloc advice" true (e.Knowledge.Kb.category = Miri.Diag.Alloc)
+  | [] -> Alcotest.fail "expected at least one hit");
+  let bias = Knowledge.Kb.kind_bias hits in
+  Alcotest.(check bool) "bias non-empty" true (bias <> []);
+  Alcotest.(check bool) "hints render" true (String.length (Knowledge.Kb.hints_text hits) > 0)
+
+let test_kb_learning_grows () =
+  let clock = Rb_util.Simclock.create () in
+  let kb = Knowledge.Kb.create ~clock () in
+  let vec = Knowledge.Featvec.of_program program_with_noise [] in
+  Knowledge.Kb.learn kb vec
+    { Knowledge.Kb.category = Miri.Diag.Alloc; advice = "learned"; recommended = Repairs.Rule.Modify };
+  Alcotest.(check int) "size grew" 1 (Knowledge.Kb.size kb)
+
+let suite =
+  [ Alcotest.test_case "prune keeps unsafe" `Quick test_prune_keeps_unsafe;
+    Alcotest.test_case "prune drops noise" `Quick test_prune_drops_counted;
+    Alcotest.test_case "prune keeps hinted" `Quick test_prune_keeps_hinted;
+    Alcotest.test_case "prune keeps dependencies" `Quick test_prune_keeps_dependencies;
+    Alcotest.test_case "vector normalized" `Quick test_vector_normalized;
+    Alcotest.test_case "cosine self" `Quick test_cosine_self;
+    Alcotest.test_case "category dominates similarity" `Quick test_cosine_category_dominates;
+    Alcotest.test_case "store top-k" `Quick test_store_topk;
+    Alcotest.test_case "store threshold" `Quick test_store_threshold;
+    Alcotest.test_case "kb query and cost" `Quick test_kb_query_and_cost;
+    Alcotest.test_case "kb learning grows" `Quick test_kb_learning_grows ]

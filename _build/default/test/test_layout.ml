@@ -1,0 +1,79 @@
+(* Type layout: sizes, alignments, tuple offsets. *)
+
+open Minirust
+
+let empty_program = { Ast.unions = []; statics = []; funcs = [] }
+
+let with_union =
+  Parser.parse "union U { a: i64, b: i32, c: (i32, i32) } fn main() { }"
+
+let size ?(p = empty_program) t = Layout.size_of p t
+let align ?(p = empty_program) t = Layout.align_of p t
+
+let test_scalars () =
+  Alcotest.(check (list int)) "sizes"
+    [ 0; 1; 1; 2; 4; 8; 8 ]
+    (List.map size
+       [ Ast.T_unit; Ast.T_bool; Ast.T_int Ast.I8; Ast.T_int Ast.I16; Ast.T_int Ast.I32;
+         Ast.T_int Ast.I64; Ast.T_int Ast.Usize ]);
+  Alcotest.(check (list int)) "aligns"
+    [ 1; 1; 1; 2; 4; 8; 8 ]
+    (List.map align
+       [ Ast.T_unit; Ast.T_bool; Ast.T_int Ast.I8; Ast.T_int Ast.I16; Ast.T_int Ast.I32;
+         Ast.T_int Ast.I64; Ast.T_int Ast.Usize ])
+
+let test_pointers () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "ptr size" 8 (size t);
+      Alcotest.(check int) "ptr align" 8 (align t))
+    [ Ast.T_ref (Ast.Imm, Ast.T_bool); Ast.T_raw (Ast.Mut, Ast.T_int Ast.I64);
+      Ast.T_fn ([ Ast.T_int Ast.I64 ], Ast.T_unit); Ast.T_handle ]
+
+let test_arrays () =
+  Alcotest.(check int) "[i32; 5]" 20 (size (Ast.T_array (Ast.T_int Ast.I32, 5)));
+  Alcotest.(check int) "[i32; 5] align" 4 (align (Ast.T_array (Ast.T_int Ast.I32, 5)));
+  Alcotest.(check int) "[bool; 0]" 0 (size (Ast.T_array (Ast.T_bool, 0)))
+
+let test_tuple_padding () =
+  (* (i8, i64): i8 at 0, 7 bytes of padding, i64 at 8, total 16 aligned to 8 *)
+  let t = Ast.T_tuple [ Ast.T_int Ast.I8; Ast.T_int Ast.I64 ] in
+  Alcotest.(check int) "size" 16 (size t);
+  Alcotest.(check int) "align" 8 (align t);
+  Alcotest.(check (list int)) "offsets" [ 0; 8 ]
+    (Layout.tuple_offsets empty_program [ Ast.T_int Ast.I8; Ast.T_int Ast.I64 ])
+
+let test_tuple_tail_padding () =
+  (* (i64, i8): tail padding brings the size to a multiple of the align *)
+  let t = Ast.T_tuple [ Ast.T_int Ast.I64; Ast.T_int Ast.I8 ] in
+  Alcotest.(check int) "size" 16 (size t)
+
+let test_nested_tuple () =
+  let inner = Ast.T_tuple [ Ast.T_int Ast.I32; Ast.T_int Ast.I32 ] in
+  let t = Ast.T_tuple [ Ast.T_int Ast.I8; inner ] in
+  Alcotest.(check (list int)) "offsets" [ 0; 4 ]
+    (Layout.tuple_offsets empty_program [ Ast.T_int Ast.I8; inner ]);
+  Alcotest.(check int) "size" 12 (size t)
+
+let test_union_layout () =
+  let t = Ast.T_union "U" in
+  Alcotest.(check int) "union size = max field, rounded" 8 (size ~p:with_union t);
+  Alcotest.(check int) "union align = max field align" 8 (align ~p:with_union t)
+
+let test_unknown_union () =
+  Alcotest.(check int) "unknown union size 0" 0 (size (Ast.T_union "Nope"))
+
+let test_round_up () =
+  Alcotest.(check (list int)) "round_up" [ 0; 8; 8; 8; 16 ]
+    (List.map (fun n -> Layout.round_up n 8) [ 0; 1; 7; 8; 9 ])
+
+let suite =
+  [ Alcotest.test_case "scalar sizes/aligns" `Quick test_scalars;
+    Alcotest.test_case "pointer-like types" `Quick test_pointers;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "tuple padding" `Quick test_tuple_padding;
+    Alcotest.test_case "tuple tail padding" `Quick test_tuple_tail_padding;
+    Alcotest.test_case "nested tuple" `Quick test_nested_tuple;
+    Alcotest.test_case "union layout" `Quick test_union_layout;
+    Alcotest.test_case "unknown union" `Quick test_unknown_union;
+    Alcotest.test_case "round_up" `Quick test_round_up ]

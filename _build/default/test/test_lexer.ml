@@ -1,0 +1,97 @@
+(* Lexer: token streams, literals, comments, error reporting. *)
+
+let toks src = List.map fst (Minirust.Lexer.tokenize src)
+
+let count_tokens src = List.length (toks src) - 1 (* minus EOF *)
+
+let test_empty () = Alcotest.(check int) "only EOF" 0 (count_tokens "")
+
+let test_keywords () =
+  Alcotest.(check int) "12 keywords" 12
+    (count_tokens "fn let mut if else while unsafe static union return true false")
+
+let test_keyword_vs_ident () =
+  match toks "fnord letter" with
+  | [ Minirust.Token.IDENT "fnord"; Minirust.Token.IDENT "letter"; Minirust.Token.EOF ] -> ()
+  | _ -> Alcotest.fail "keyword prefixes must lex as identifiers"
+
+let test_int_plain () =
+  match toks "42" with
+  | [ Minirust.Token.INT (42L, None); Minirust.Token.EOF ] -> ()
+  | _ -> Alcotest.fail "plain integer"
+
+let test_int_suffixes () =
+  match toks "1i8 2i16 3i32 4i64 5usize" with
+  | [ Minirust.Token.INT (1L, Some Minirust.Ast.I8);
+      Minirust.Token.INT (2L, Some Minirust.Ast.I16);
+      Minirust.Token.INT (3L, Some Minirust.Ast.I32);
+      Minirust.Token.INT (4L, Some Minirust.Ast.I64);
+      Minirust.Token.INT (5L, Some Minirust.Ast.Usize);
+      Minirust.Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "suffixed integers"
+
+let test_bad_suffix () =
+  Alcotest.(check bool) "bad suffix raises" true
+    (try
+       ignore (toks "5i7");
+       false
+     with Minirust.Lexer.Lex_error _ -> true)
+
+let test_two_char_operators () =
+  Alcotest.(check int) "ops" 10 (count_tokens ":: -> && || << >> == != <= >=")
+
+let test_shift_vs_gt () =
+  match toks "a >> b > c" with
+  | [ Minirust.Token.IDENT "a"; Minirust.Token.SHR; Minirust.Token.IDENT "b";
+      Minirust.Token.GT; Minirust.Token.IDENT "c"; Minirust.Token.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "shift/gt disambiguation"
+
+let test_comment_skipped () =
+  Alcotest.(check int) "comment skipped" 2 (count_tokens "a // comment until eol\nb")
+
+let test_string_literal () =
+  match toks {|"hello world"|} with
+  | [ Minirust.Token.STRING "hello world"; Minirust.Token.EOF ] -> ()
+  | _ -> Alcotest.fail "string literal"
+
+let test_string_escapes () =
+  match toks {|"a\n\t\"\\"|} with
+  | [ Minirust.Token.STRING "a\n\t\"\\"; Minirust.Token.EOF ] -> ()
+  | _ -> Alcotest.fail "string escapes"
+
+let test_unterminated_string () =
+  Alcotest.(check bool) "unterminated raises" true
+    (try
+       ignore (toks "\"oops");
+       false
+     with Minirust.Lexer.Lex_error _ -> true)
+
+let test_line_numbers () =
+  let with_lines = Minirust.Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.filter_map (function Minirust.Token.IDENT _, l -> Some l | _ -> None) with_lines in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4 ] lines
+
+let test_unknown_char () =
+  Alcotest.(check bool) "unknown char raises" true
+    (try
+       ignore (toks "a @ b");
+       false
+     with Minirust.Lexer.Lex_error (_, 1) -> true)
+
+let suite =
+  [ Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "keyword vs ident" `Quick test_keyword_vs_ident;
+    Alcotest.test_case "plain int" `Quick test_int_plain;
+    Alcotest.test_case "int suffixes" `Quick test_int_suffixes;
+    Alcotest.test_case "bad suffix" `Quick test_bad_suffix;
+    Alcotest.test_case "two-char operators" `Quick test_two_char_operators;
+    Alcotest.test_case "shift vs gt" `Quick test_shift_vs_gt;
+    Alcotest.test_case "comments" `Quick test_comment_skipped;
+    Alcotest.test_case "string literal" `Quick test_string_literal;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "unknown char" `Quick test_unknown_char ]

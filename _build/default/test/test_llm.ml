@@ -1,0 +1,168 @@
+(* The LLM simulator: determinism, prompt-quality effects, temperature
+   effects, cost accounting. *)
+
+open Llm_sim
+
+let mk_client ?(model = Profile.Gpt4) ?(seed = 9) () =
+  let clock = Rb_util.Simclock.create () in
+  (Client.create ~seed ~clock (Profile.get model), clock)
+
+let candidates =
+  [ { Client.cand_id = 0; quality = 1.0; brief = "the right fix"; kind = "modify" };
+    { Client.cand_id = 1; quality = 0.2; brief = "wrong site"; kind = "modify" };
+    { Client.cand_id = 2; quality = 0.1; brief = "useless assert"; kind = "assert" };
+    { Client.cand_id = 3; quality = 0.15; brief = "wrong constant"; kind = "replace" } ]
+
+let rich_prompt =
+  Prompt.make
+    [ (Prompt.sec_code, "fn main() { }"); (Prompt.sec_error, "UB(alloc)");
+      (Prompt.sec_features, "..."); (Prompt.sec_pruned_ast, "...");
+      (Prompt.sec_kb_hints, "...") ]
+
+let bare_prompt = Prompt.make [ (Prompt.sec_code, "fn main() { }") ]
+
+let task ?(prompt = rich_prompt) ?(bias = []) () =
+  { Client.category = Miri.Diag.Alloc; prompt; candidates; kind_bias = bias }
+
+let sampling t = { Client.temperature = t }
+
+let pick_rate ?(model = Profile.Gpt4) ~prompt ~temp n =
+  let client, _ = mk_client ~model () in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    match Client.choose_repair client (sampling temp) (task ~prompt ()) with
+    | Some c when c.Client.chosen.Client.cand_id = 0 -> incr hits
+    | _ -> ()
+  done;
+  float_of_int !hits /. float_of_int n
+
+let test_determinism () =
+  let run () =
+    let client, _ = mk_client () in
+    List.init 20 (fun _ ->
+        match Client.choose_repair client (sampling 0.5) (task ()) with
+        | Some c -> (c.Client.chosen.Client.cand_id, c.Client.corrupted)
+        | None -> (-1, false))
+  in
+  Alcotest.(check bool) "same seed, same stream" true (run () = run ())
+
+let test_empty_task () =
+  let client, _ = mk_client () in
+  Alcotest.(check bool) "no candidates -> None" true
+    (Client.choose_repair client (sampling 0.5)
+       { Client.category = Miri.Diag.Alloc; prompt = bare_prompt; candidates = []; kind_bias = [] }
+    = None)
+
+let test_prompt_quality_helps () =
+  let rich = pick_rate ~prompt:rich_prompt ~temp:0.5 400 in
+  let bare = pick_rate ~prompt:bare_prompt ~temp:0.5 400 in
+  if rich <= bare +. 0.05 then
+    Alcotest.failf "rich prompt should beat bare prompt clearly: %.2f vs %.2f" rich bare
+
+let test_skill_matters () =
+  let strong = pick_rate ~model:Profile.Gpt_o1 ~prompt:rich_prompt ~temp:0.5 400 in
+  let weak = pick_rate ~model:Profile.Gpt35 ~prompt:rich_prompt ~temp:0.5 400 in
+  if strong <= weak then
+    Alcotest.failf "O1 should out-pick GPT-3.5: %.2f vs %.2f" strong weak
+
+let test_temperature_diversity () =
+  (* at very low temperature the same prompt gives an (almost) constant
+     answer; at high temperature the choices spread out *)
+  let spread temp =
+    let client, _ = mk_client () in
+    let seen = Hashtbl.create 4 in
+    for _ = 1 to 200 do
+      match Client.choose_repair client (sampling temp) (task ()) with
+      | Some c -> Hashtbl.replace seen c.Client.chosen.Client.cand_id ()
+      | None -> ()
+    done;
+    Hashtbl.length seen
+  in
+  let cold = spread 0.05 in
+  let hot = spread 1.5 in
+  if hot < cold then Alcotest.failf "diversity should grow with temperature (%d vs %d)" cold hot
+
+let test_hallucination_grows_with_temp () =
+  let corrupt_rate temp =
+    let client, _ = mk_client ~model:Profile.Gpt35 () in
+    let hits = ref 0 in
+    for _ = 1 to 500 do
+      match Client.choose_repair client (sampling temp) (task ~prompt:bare_prompt ()) with
+      | Some c when c.Client.corrupted -> incr hits
+      | _ -> ()
+    done;
+    float_of_int !hits /. 500.0
+  in
+  let low = corrupt_rate 0.1 in
+  let high = corrupt_rate 0.9 in
+  if high <= low then Alcotest.failf "hallucination should grow with temperature (%.2f vs %.2f)" low high
+
+let test_kind_bias () =
+  (* a strong bias toward "assert" pulls picks toward the assert candidate *)
+  let rate bias =
+    let client, _ = mk_client () in
+    let hits = ref 0 in
+    for _ = 1 to 400 do
+      match Client.choose_repair client (sampling 0.5) (task ~prompt:bare_prompt ~bias ()) with
+      | Some c when c.Client.chosen.Client.kind = "assert" -> incr hits
+      | _ -> ()
+    done;
+    float_of_int !hits /. 400.0
+  in
+  let unbiased = rate [] in
+  let biased = rate [ ("assert", 0.5) ] in
+  if biased <= unbiased then
+    Alcotest.failf "bias should raise assert picks (%.2f vs %.2f)" unbiased biased
+
+let test_cost_accounting () =
+  let client, clock = mk_client () in
+  let before = Rb_util.Simclock.now clock in
+  ignore (Client.choose_repair client (sampling 0.5) (task ()));
+  let after = Rb_util.Simclock.now clock in
+  Alcotest.(check bool) "latency charged" true (after > before);
+  let stats = Client.stats client in
+  Alcotest.(check int) "one call" 1 stats.Client.calls;
+  Alcotest.(check bool) "tokens counted" true (stats.Client.tokens_in > 0)
+
+let test_bigger_prompt_costs_more () =
+  let client, clock = mk_client () in
+  let small = Prompt.make [ (Prompt.sec_code, "x") ] in
+  let big = Prompt.make [ (Prompt.sec_code, String.concat " " (List.init 2000 string_of_int)) ] in
+  Client.charge_prompt client small;
+  let t1 = Rb_util.Simclock.now clock in
+  Client.charge_prompt client big;
+  let t2 = Rb_util.Simclock.now clock -. t1 in
+  Alcotest.(check bool) "long prompt slower" true (t2 > t1)
+
+let test_prompt_quality_monotone () =
+  Alcotest.(check bool) "rich > bare quality" true
+    (Prompt.quality rich_prompt > Prompt.quality bare_prompt);
+  Alcotest.(check bool) "quality bounded" true (Prompt.quality rich_prompt <= 1.0)
+
+let test_tokenizer () =
+  Alcotest.(check bool) "longer text, more tokens" true
+    (Tokenizer.count "a much longer sentence with many words here"
+     > Tokenizer.count "short");
+  Alcotest.(check bool) "non-empty has tokens" true (Tokenizer.count "x" >= 1)
+
+let test_profile_names () =
+  List.iter
+    (fun m ->
+      match Profile.of_name (Profile.name m) with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | None -> Alcotest.fail "profile name roundtrip")
+    Profile.all
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "empty task" `Quick test_empty_task;
+    Alcotest.test_case "prompt quality helps" `Quick test_prompt_quality_helps;
+    Alcotest.test_case "skill matters" `Quick test_skill_matters;
+    Alcotest.test_case "temperature raises diversity" `Quick test_temperature_diversity;
+    Alcotest.test_case "hallucination grows with temp" `Quick test_hallucination_grows_with_temp;
+    Alcotest.test_case "kind bias" `Quick test_kind_bias;
+    Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+    Alcotest.test_case "bigger prompt costs more" `Quick test_bigger_prompt_costs_more;
+    Alcotest.test_case "prompt quality monotone" `Quick test_prompt_quality_monotone;
+    Alcotest.test_case "tokenizer" `Quick test_tokenizer;
+    Alcotest.test_case "profile names" `Quick test_profile_names ]

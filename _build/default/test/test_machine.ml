@@ -1,0 +1,292 @@
+(* The abstract machine: language semantics and every UB family.
+
+   These are the machine's conformance tests: arithmetic and control flow
+   must behave like (debug-profile) Rust, and each of the twelve Table-I UB
+   categories must be detected with the right classification. *)
+
+open Helpers
+
+let k = Miri.Diag.Stack_borrow
+let _ = k
+
+(* -- defined behaviour ---------------------------------------------- *)
+
+let semantics =
+  [ ("arith", "fn main() { print(2 + 3 * 4 - 1); }", [ "13" ]);
+    ("division truncates", "fn main() { print(-7 / 2); print(-7 % 2); }", [ "-3"; "-1" ]);
+    ("comparison chain", "fn main() { print(3 < 4); print(4 <= 4); print(5 > 6); }",
+     [ "true"; "true"; "false" ]);
+    ("shorts-circuit and", "fn main() { let mut x = 0; if false && 1 / x == 0 { } print(7); }", [ "7" ]);
+    ("bitwise", "fn main() { print(12 & 10); print(12 | 3); print(12 ^ 10); print(1 << 4); print(-16 >> 2); }",
+     [ "8"; "15"; "6"; "16"; "-4" ]);
+    ("widths wrap via cast", "fn main() { print(300 as i8 as i64); }", [ "44" ]);
+    ("bool cast", "fn main() { print(true as i64 + true as i64); }", [ "2" ]);
+    ("while loop", "fn main() { let mut i = 0; let mut s = 0; while i < 5 { s = s + i; i = i + 1; } print(s); }",
+     [ "10" ]);
+    ("nested calls", "fn f(x: i64) -> i64 { return x * 2; } fn g(x: i64) -> i64 { return f(x) + 1; } fn main() { print(g(10)); }",
+     [ "21" ]);
+    ("recursion", "fn fib(n: i64) -> i64 { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); } fn main() { print(fib(10)); }",
+     [ "55" ]);
+    ("references", "fn main() { let mut x = 1; let mut r = &mut x; *r = *r + 41; print(x); }", [ "42" ]);
+    ("arrays", "fn main() { let mut a = [10, 20, 30]; a[1] = a[0] + a[2]; print(a[1]); print(a.len() as i64); }",
+     [ "40"; "3" ]);
+    ("repeat array", "fn main() { let mut a = [7; 4]; print(a[3]); }", [ "7" ]);
+    ("tuples", "fn main() { let mut t = (1, (2, 3)); t.1.0 = 9; print(t.0 + t.1.0 + t.1.1); }", [ "13" ]);
+    ("fn pointers", "fn inc(x: i64) -> i64 { return x + 1; } fn main() { let mut f = inc; print(f(41)); }",
+     [ "42" ]);
+    ("fn ptr in array", "fn a(x: i64) -> i64 { return x; } fn b(x: i64) -> i64 { return x * 2; } fn main() { let mut t = [a, b]; print(t[1](21)); }",
+     [ "42" ]);
+    ("raw pointers", "fn main() { let mut x = 5; let mut p = &raw mut x; unsafe { *p = *p * 2; print(*p); } }",
+     [ "10" ]);
+    ("heap", "fn main() { unsafe { let mut p = alloc(16, 8) as *mut i64; *p = 11; *p.offset(1) = 31; print(*p + *p.offset(1)); dealloc(p as *mut i8, 16, 8); } }",
+     [ "42" ]);
+    ("transmute int widths", "fn main() { unsafe { print(transmute::<i64>(-1)); } }", [ "-1" ]);
+    ("union pun", "union P { w: i64, b: i8 } fn main() { unsafe { let mut u = transmute::<P>(511); print(u.b as i64); } }",
+     [ "-1" ]);
+    ("ptr int roundtrip with expose", "fn main() { let mut x = 9; let mut a = &raw const x as usize; unsafe { print(*(a as *const i64)); } }",
+     [ "9" ]);
+    ("statics", "static mut COUNT: i64 = 10; fn main() { unsafe { COUNT = COUNT + 1; print(COUNT); } }",
+     [ "11" ]);
+    ("immutable static", "static BASE: i64 = 100; fn main() { print(BASE + 1); }", [ "101" ]);
+    ("block scoping", "fn main() { let mut x = 1; { let mut x = 2; print(x); } print(x); }", [ "2"; "1" ]);
+    ("inputs", "fn main() { print(input(0) + input(1)); print(input(9)); }", [ "30"; "0" ]);
+    ("spawn join value flow",
+     "static mut R: i64 = 0; fn w(n: i64) { unsafe { R = n * 2; } } fn main() { let h = spawn w(21); join(h); unsafe { print(R); } }",
+     [ "42" ]);
+    ("atomics",
+     "static mut F: i64 = 0; fn w() { unsafe { atomic_store(&raw mut F, 5); } } fn main() { let h = spawn w(); join(h); unsafe { print(atomic_load(&raw mut F)); } }",
+     [ "5" ]);
+    ("atomic_add returns old value",
+     "static mut C: i64 = 10; fn main() { unsafe { print(atomic_add(&raw mut C, 5)); print(atomic_load(&raw mut C)); } }",
+     [ "10"; "15" ]);
+    ("concurrent atomic_add linearizes",
+     "static mut C: i64 = 0; fn w(n: i64) { let mut i = 0; while i < n { unsafe { atomic_add(&raw mut C, 1); } i = i + 1; } } fn main() { let a = spawn w(25); let b = spawn w(25); join(a); join(b); unsafe { print(atomic_load(&raw mut C)); } }",
+     [ "50" ]) ]
+
+let semantics_cases =
+  List.map
+    (fun (name, src, expected) ->
+      let inputs = if name = "inputs" then [| 10L; 20L |] else [||] in
+      Alcotest.test_case name `Quick (expect_finished ~inputs src expected))
+    semantics
+
+(* -- panics (defined, not UB) ---------------------------------------- *)
+
+let panics =
+  [ ("add overflow", "fn main() { let mut x = 9223372036854775807; print(x + 1); }");
+    ("sub overflow", "fn main() { let mut x = -9223372036854775807; print(x - 2); }");
+    ("mul overflow", "fn main() { let mut x = 4611686018427387904; print(x * 2); }");
+    ("i8 overflow", "fn main() { let mut x = 127i8; print(x + 1i8); }");
+    ("div by zero", "fn main() { let mut z = 0; print(1 / z); }");
+    ("rem by zero", "fn main() { let mut z = 0; print(1 % z); }");
+    ("usize underflow", "fn main() { let mut z = 0usize; print((z - 1usize) as i64); }");
+    ("shift too far", "fn main() { let mut s = 64; print(1 << s); }");
+    ("checked index oob", "fn main() { let mut a = [1, 2]; print(a[5]); }");
+    ("negative index", "fn main() { let mut a = [1, 2]; let mut i = -1; print(a[i]); }");
+    ("explicit panic", "fn main() { panic(\"boom\"); }");
+    ("failed assert", "fn main() { assert(1 == 2, \"impossible\"); }") ]
+
+let panic_cases =
+  List.map (fun (name, src) -> Alcotest.test_case name `Quick (expect_panic src)) panics
+
+(* -- UB detection, one per family ------------------------------------ *)
+
+let ub_cases =
+  [ ("dangling: use after free",
+     "fn main() { unsafe { let mut p = alloc(8, 8) as *mut i64; *p = 1; dealloc(p as *mut i8, 8, 8); print(*p); } }",
+     Miri.Diag.Dangling_pointer);
+    ("dangling: dead local",
+     "fn f() -> *const i64 { let mut x = 3; return &raw const x; } fn main() { let mut p = f(); unsafe { print(*p); } }",
+     Miri.Diag.Dangling_pointer);
+    ("dangling: unchecked oob",
+     "fn main() { let mut a = [1, 2]; unsafe { print(a.get_unchecked(9)); } }",
+     Miri.Diag.Dangling_pointer);
+    ("alloc: double free",
+     "fn main() { unsafe { let mut p = alloc(8, 8); dealloc(p, 8, 8); dealloc(p, 8, 8); } }",
+     Miri.Diag.Alloc);
+    ("alloc: leak",
+     "fn main() { unsafe { let mut p = alloc(8, 8) as *mut i64; *p = 1; print(*p); } }",
+     Miri.Diag.Alloc);
+    ("alloc: wrong layout",
+     "fn main() { unsafe { let mut p = alloc(16, 8); dealloc(p, 8, 8); } }",
+     Miri.Diag.Alloc);
+    ("alloc: zero size", "fn main() { unsafe { let mut p = alloc(0, 8); } print(0); }",
+     Miri.Diag.Alloc);
+    ("unaligned: odd i64",
+     "fn main() { unsafe { let mut b = alloc(16, 8); let mut q = b.offset(3) as *mut i64; *q = 1; dealloc(b, 16, 8); } }",
+     Miri.Diag.Unaligned_pointer);
+    ("validity: uninit",
+     "fn main() { unsafe { let mut p = alloc(8, 8) as *mut i64; print(*p); dealloc(p as *mut i8, 8, 8); } }",
+     Miri.Diag.Validity);
+    ("validity: bad bool",
+     "fn main() { unsafe { let mut b = transmute::<bool>(7i8); if b { print(1); } } }",
+     Miri.Diag.Validity);
+    ("validity: null ref",
+     "fn main() { unsafe { let mut r = transmute::<&i64>(0); print(*r); } }",
+     Miri.Diag.Validity);
+    ("stack borrow: raw after retag",
+     "fn main() { let mut x = 1; let mut p = &mut x as *mut i64; let mut r = &mut x; *r = 2; unsafe { *p = 3; } }",
+     Miri.Diag.Stack_borrow);
+    ("both borrow: shared after mut",
+     "fn main() { let mut x = 1; let mut s = &x; let mut m = &mut x; *m = 2; print(*s); }",
+     Miri.Diag.Both_borrow);
+    ("both borrow: write through laundered &",
+     "fn main() { let mut x = 1; let mut p = &x as *const i64 as *mut i64; unsafe { *p = 2; } }",
+     Miri.Diag.Both_borrow);
+    ("provenance: transmute roundtrip",
+     "fn main() { let mut x = 1; unsafe { let mut a = transmute::<usize>(&raw const x); print(*(a as *const i64)); } }",
+     Miri.Diag.Provenance);
+    ("func pointer: wrong signature",
+     "fn f(x: i64) -> i64 { return x; } fn main() { unsafe { let mut g = transmute::<fn(i64, i64) -> i64>(f); print(g(1, 2)); } }",
+     Miri.Diag.Func_pointer);
+    ("func call: null",
+     "fn main() { unsafe { let mut g = transmute::<fn(i64) -> i64>(0); print(g(1)); } }",
+     Miri.Diag.Func_call);
+    ("func call: data pointer",
+     "fn main() { let mut x = 1; unsafe { let mut g = transmute::<fn(i64) -> i64>(&raw const x); print(g(1)); } }",
+     Miri.Diag.Func_call);
+    ("concurrency: leak",
+     "fn w() { } fn main() { let h = spawn w(); print(0); }",
+     Miri.Diag.Concurrency);
+    ("concurrency: double join",
+     "fn w() { } fn main() { let h = spawn w(); join(h); join(h); }",
+     Miri.Diag.Concurrency);
+    ("data race: static",
+     "static mut S: i64 = 0; fn w() { unsafe { S = 1; } } fn main() { let h = spawn w(); unsafe { S = 2; } join(h); }",
+     Miri.Diag.Data_race);
+    ("data race: non-atomic increments",
+     "static mut S: i64 = 0; fn w() { unsafe { S = S + 1; } } fn main() { let h = spawn w(); let g = spawn w(); join(h); join(g); unsafe { print(S); } }",
+     Miri.Diag.Data_race);
+    ("data race: write after release is unordered",
+     "static mut D: i64 = 0; static mut P: i64 = 0; fn w() { unsafe { atomic_store(&raw mut D, 1); P = 7; } } fn main() { let h = spawn w(); let mut s = true; while s { unsafe { if atomic_load(&raw mut D) == 1 { s = false; } } } unsafe { print(P); } join(h); }",
+     Miri.Diag.Data_race) ]
+
+let ub_tests =
+  List.map (fun (name, src, kind) -> Alcotest.test_case name `Quick (expect_ub src kind)) ub_cases
+
+(* -- machine mechanics ------------------------------------------------ *)
+
+let test_collect_mode () =
+  let r =
+    run ~mode:(Miri.Machine.Collect 10)
+      {|
+fn main() {
+    let mut a = [1, 2];
+    unsafe {
+        print(a.get_unchecked(7));
+        print(a.get_unchecked(8));
+        print(a.get_unchecked(9));
+    }
+}
+|}
+  in
+  Alcotest.(check int) "three diagnostics collected" 3 r.Miri.Machine.error_count;
+  Alcotest.(check (list string)) "recovery values printed" [ "0"; "0"; "0" ] r.Miri.Machine.output
+
+let test_collect_limit_stops () =
+  let r =
+    run ~mode:(Miri.Machine.Collect 2)
+      {|
+fn main() {
+    let mut a = [1, 2];
+    let mut i = 0;
+    while i < 10 {
+        unsafe { print(a.get_unchecked(i + 50)); }
+        i = i + 1;
+    }
+}
+|}
+  in
+  Alcotest.(check string) "stops at limit" "ub:dangling pointer" (outcome_kind r);
+  Alcotest.(check int) "exactly the limit" 2 (List.length r.Miri.Machine.diags)
+
+let test_step_limit () =
+  let r = run ~max_steps:500 "fn main() { while true { } }" in
+  Alcotest.(check string) "step limit" "step-limit" (outcome_kind r)
+
+let test_scheduler_determinism () =
+  let src =
+    {|
+static mut A: i64 = 0;
+fn w(n: i64) { unsafe { atomic_store(&raw mut A, n); } }
+fn main() {
+    let h1 = spawn w(1);
+    let h2 = spawn w(2);
+    join(h1);
+    join(h2);
+    unsafe { print(atomic_load(&raw mut A)); }
+}
+|}
+  in
+  let r1 = run ~seed:5 src in
+  let r2 = run ~seed:5 src in
+  Alcotest.(check (list string)) "same seed, same trace" r1.Miri.Machine.output r2.Miri.Machine.output
+
+let test_stmt_hint_present () =
+  let r = run "fn main() { let mut a = [1]; unsafe { print(a.get_unchecked(5)); } }" in
+  match Miri.Machine.first_ub r with
+  | Some d -> Alcotest.(check bool) "statement hint recorded" true (d.Miri.Diag.stmt_hint >= 0)
+  | None -> Alcotest.fail "expected a diagnostic"
+
+let test_is_clean () =
+  let r = run "fn main() { print(1); }" in
+  Alcotest.(check bool) "clean" true (Miri.Machine.is_clean r);
+  let r2 = run "fn main() { panic(\"x\"); }" in
+  Alcotest.(check bool) "panic is not clean" false (Miri.Machine.is_clean r2)
+
+let test_offset_out_of_bounds () =
+  let r =
+    run
+      "fn main() { unsafe { let mut p = alloc(8, 8); let mut q = p.offset(64); dealloc(p, 8, 8); } }"
+  in
+  Alcotest.(check string) "oob pointer arithmetic" "ub:dangling pointer" (outcome_kind r)
+
+let test_trace_events () =
+  let src =
+    "fn main() { let mut x = 1; let mut p = &mut x as *mut i64; let mut r = &mut x; *r = 2; unsafe { *p = 3; } }"
+  in
+  let with_trace =
+    run ~mode:Miri.Machine.Stop_first
+      ~max_steps:10_000
+      src
+  in
+  Alcotest.(check (list string)) "no events without the flag" [] with_trace.Miri.Machine.events;
+  let program = Minirust.Parser.parse src in
+  match
+    Miri.Machine.analyze
+      ~config:{ Miri.Machine.default_config with Miri.Machine.trace = true } program
+  with
+  | Miri.Machine.Compile_error _ -> Alcotest.fail "compiles"
+  | Miri.Machine.Ran r ->
+    Alcotest.(check bool) "retag events recorded" true
+      (List.exists (fun e -> Helpers.contains e "retag: new tag") r.Miri.Machine.events);
+    Alcotest.(check bool) "invalidation recorded" true
+      (List.exists (fun e -> Helpers.contains e "invalidated tag") r.Miri.Machine.events)
+
+let test_trace_alloc_events () =
+  let src =
+    "fn main() { unsafe { let mut p = alloc(8, 8) as *mut i64; *p = 1; print(*p); dealloc(p as *mut i8, 8, 8); } }"
+  in
+  match
+    Miri.Machine.analyze
+      ~config:{ Miri.Machine.default_config with Miri.Machine.trace = true }
+      (Minirust.Parser.parse src)
+  with
+  | Miri.Machine.Compile_error _ -> Alcotest.fail "compiles"
+  | Miri.Machine.Ran r ->
+    Alcotest.(check bool) "alloc event" true
+      (List.exists (fun e -> Helpers.contains e "alloc: allocation") r.Miri.Machine.events);
+    Alcotest.(check bool) "dealloc event" true
+      (List.exists (fun e -> Helpers.contains e "dealloc: freed") r.Miri.Machine.events)
+
+let suite =
+  semantics_cases @ panic_cases @ ub_tests
+  @ [ Alcotest.test_case "collect mode" `Quick test_collect_mode;
+      Alcotest.test_case "collect limit stops" `Quick test_collect_limit_stops;
+      Alcotest.test_case "step limit" `Quick test_step_limit;
+      Alcotest.test_case "scheduler determinism" `Quick test_scheduler_determinism;
+      Alcotest.test_case "diag statement hint" `Quick test_stmt_hint_present;
+      Alcotest.test_case "is_clean" `Quick test_is_clean;
+      Alcotest.test_case "offset out of bounds" `Quick test_offset_out_of_bounds;
+      Alcotest.test_case "borrow event trace" `Quick test_trace_events;
+      Alcotest.test_case "allocation event trace" `Quick test_trace_alloc_events ]

@@ -1,0 +1,193 @@
+(* Byte memory: encode/decode roundtrips, access validation, provenance. *)
+
+open Miri
+
+let empty_program = { Minirust.Ast.unions = []; statics = []; funcs = [] }
+
+let no_fn _ = Alcotest.fail "no function pointers in this test"
+
+let roundtrip ty v =
+  let bytes = Mem.encode empty_program ~fn_addr:no_fn ty v in
+  match Mem.decode empty_program ty bytes with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let check_roundtrip name ty v () =
+  let v' = roundtrip ty v in
+  if not (Value.equal v v') then
+    Alcotest.failf "%s: %s decoded as %s" name (Value.to_display v) (Value.to_display v')
+
+(* integer widths, including negatives and extremes *)
+let gen_width = QCheck.Gen.oneofl Minirust.Ast.[ I8; I16; I32; I64; Usize ]
+
+let bits_of = function
+  | Minirust.Ast.I8 -> 8
+  | Minirust.Ast.I16 -> 16
+  | Minirust.Ast.I32 -> 32
+  | Minirust.Ast.I64 | Minirust.Ast.Usize -> 64
+
+let prop_int_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      gen_width >>= fun w ->
+      let bits = bits_of w in
+      (if bits = 64 then ui64
+       else map Int64.of_int (int_range (-(1 lsl (bits - 1))) ((1 lsl (bits - 1)) - 1)))
+      >|= fun n -> (n, w))
+  in
+  QCheck.Test.make ~name:"int encode/decode roundtrip" ~count:500
+    (QCheck.make gen ~print:(fun (n, _) -> Int64.to_string n))
+    (fun (n, w) ->
+      match roundtrip (Minirust.Ast.T_int w) (Value.V_int (n, w)) with
+      | Value.V_int (n', _) -> Int64.equal n n'
+      | _ -> false)
+
+let ptr_value =
+  Value.V_ptr
+    ( { Value.prov = Value.P_alloc 3; addr = 4242; tag = Some 7 },
+      Minirust.Ast.T_raw (Minirust.Ast.Mut, Minirust.Ast.T_int Minirust.Ast.I64) )
+
+let test_pointer_roundtrip () =
+  let ty = Minirust.Ast.T_raw (Minirust.Ast.Mut, Minirust.Ast.T_int Minirust.Ast.I64) in
+  match roundtrip ty ptr_value with
+  | Value.V_ptr (p, _) ->
+    Alcotest.(check int) "addr" 4242 p.Value.addr;
+    Alcotest.(check bool) "provenance preserved" true (p.Value.prov = Value.P_alloc 3);
+    Alcotest.(check bool) "tag preserved" true (p.Value.tag = Some 7)
+  | v -> Alcotest.failf "decoded %s" (Value.to_display v)
+
+let test_pointer_as_int_loses_provenance () =
+  let pty = Minirust.Ast.T_raw (Minirust.Ast.Mut, Minirust.Ast.T_int Minirust.Ast.I64) in
+  let bytes = Mem.encode empty_program ~fn_addr:no_fn pty ptr_value in
+  (* read the pointer bytes at integer type: the address is visible *)
+  (match Mem.decode empty_program (Minirust.Ast.T_int Minirust.Ast.I64) bytes with
+  | Ok (Value.V_int (n, _)) -> Alcotest.(check int64) "address readable" 4242L n
+  | _ -> Alcotest.fail "int read of pointer bytes");
+  (* writing those ints back and reading as pointer gives a wildcard *)
+  match Mem.decode empty_program (Minirust.Ast.T_int Minirust.Ast.I64) bytes with
+  | Ok v ->
+    let int_bytes = Mem.encode empty_program ~fn_addr:no_fn (Minirust.Ast.T_int Minirust.Ast.I64) v in
+    (match Mem.decode empty_program pty int_bytes with
+    | Ok (Value.V_ptr (p, _)) ->
+      Alcotest.(check bool) "wildcard provenance" true (p.Value.prov = Value.P_wild)
+    | _ -> Alcotest.fail "pointer decode")
+  | _ -> Alcotest.fail "int decode"
+
+let test_uninit_read_rejected () =
+  match Mem.decode empty_program (Minirust.Ast.T_int Minirust.Ast.I32) (Array.make 4 Mem.B_uninit) with
+  | Error msg -> Alcotest.(check bool) "mentions uninitialized" true (Helpers.contains msg "uninitialized")
+  | Ok _ -> Alcotest.fail "uninit read must be rejected"
+
+let test_bool_validity () =
+  (match Mem.decode empty_program Minirust.Ast.T_bool [| Mem.B_int 1 |] with
+  | Ok (Value.V_bool true) -> ()
+  | _ -> Alcotest.fail "1 is true");
+  match Mem.decode empty_program Minirust.Ast.T_bool [| Mem.B_int 2 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "2 is not a valid bool"
+
+let test_null_ref_rejected () =
+  let ty = Minirust.Ast.T_ref (Minirust.Ast.Imm, Minirust.Ast.T_int Minirust.Ast.I64) in
+  let zeros = Array.make 8 (Mem.B_int 0) in
+  match Mem.decode empty_program ty zeros with
+  | Error msg -> Alcotest.(check bool) "mentions null" true (Helpers.contains msg "null")
+  | Ok _ -> Alcotest.fail "null reference must be invalid"
+
+let test_tuple_roundtrip =
+  check_roundtrip "tuple"
+    (Minirust.Ast.T_tuple [ Minirust.Ast.T_int Minirust.Ast.I8; Minirust.Ast.T_int Minirust.Ast.I64 ])
+    (Value.V_tuple [ Value.V_int (5L, Minirust.Ast.I8); Value.V_int (-9L, Minirust.Ast.I64) ])
+
+let test_array_roundtrip =
+  check_roundtrip "array"
+    (Minirust.Ast.T_array (Minirust.Ast.T_int Minirust.Ast.I16, 3))
+    (Value.V_array
+       [ Value.V_int (1L, Minirust.Ast.I16); Value.V_int (-2L, Minirust.Ast.I16);
+         Value.V_int (300L, Minirust.Ast.I16) ])
+
+(* access validation through a real memory *)
+let test_alloc_access () =
+  let mem = Mem.create () in
+  let a = Mem.allocate mem ~size:16 ~align:8 ~kind:Mem.Heap in
+  let ptr = { Value.prov = Value.P_alloc a.Mem.id; addr = a.Mem.base; tag = Some a.Mem.base_tag } in
+  (match Mem.check_access mem ~ptr ~len:8 ~align:8 ~write:true ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Ok (a', off, _popped) ->
+    Alcotest.(check int) "offset" 0 off;
+    Alcotest.(check int) "alloc" a.Mem.id a'.Mem.id
+  | Error _ -> Alcotest.fail "in-bounds access must succeed");
+  (* out of bounds *)
+  (match Mem.check_access mem ~ptr:{ ptr with Value.addr = a.Mem.base + 12 } ~len:8 ~align:1
+           ~write:false ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Error (Mem.Oob _) -> ()
+  | _ -> Alcotest.fail "oob must be flagged");
+  (* misaligned *)
+  (match Mem.check_access mem ~ptr:{ ptr with Value.addr = a.Mem.base + 1 } ~len:4 ~align:4
+           ~write:false ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Error (Mem.Misaligned _) -> ()
+  | _ -> Alcotest.fail "misalignment must be flagged");
+  (* dead after free *)
+  Mem.deallocate mem a;
+  match Mem.check_access mem ~ptr ~len:8 ~align:8 ~write:false ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Error (Mem.Dead _) -> ()
+  | _ -> Alcotest.fail "dead allocation must be flagged"
+
+let test_wildcard_needs_expose () =
+  let mem = Mem.create () in
+  let a = Mem.allocate mem ~size:8 ~align:8 ~kind:Mem.Stack in
+  let wild = { Value.prov = Value.P_wild; addr = a.Mem.base; tag = None } in
+  (match Mem.check_access mem ~ptr:wild ~len:8 ~align:1 ~write:false ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Error (Mem.Not_exposed _) -> ()
+  | _ -> Alcotest.fail "unexposed wildcard must be flagged");
+  Mem.expose mem { Value.prov = Value.P_alloc a.Mem.id; addr = a.Mem.base; tag = None };
+  match Mem.check_access mem ~ptr:wild ~len:8 ~align:1 ~write:false ~tid:0 ~clock:Vclock.empty ~atomic:false with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "exposed wildcard access must succeed"
+
+let test_null_access () =
+  let mem = Mem.create () in
+  match Mem.check_access mem ~ptr:Value.null_pointer ~len:8 ~align:1 ~write:false ~tid:0
+          ~clock:Vclock.empty ~atomic:false with
+  | Error (Mem.No_alloc msg) -> Alcotest.(check bool) "null named" true (Helpers.contains msg "null")
+  | _ -> Alcotest.fail "null access must be flagged"
+
+let test_race_detection () =
+  let mem = Mem.create () in
+  let a = Mem.allocate mem ~size:8 ~align:8 ~kind:Mem.Global in
+  let ptr = { Value.prov = Value.P_alloc a.Mem.id; addr = a.Mem.base; tag = Some a.Mem.base_tag } in
+  let c0 = Miri.Vclock.tick Vclock.empty 0 in
+  let c1 = Miri.Vclock.tick Vclock.empty 1 in
+  (* thread 0 writes *)
+  (match Mem.check_access mem ~ptr ~len:8 ~align:1 ~write:true ~tid:0 ~clock:c0 ~atomic:false with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first write fine");
+  (* unordered write by thread 1: race *)
+  (match Mem.check_access mem ~ptr ~len:8 ~align:1 ~write:true ~tid:1 ~clock:c1 ~atomic:false with
+  | Error (Mem.Race _) -> ()
+  | _ -> Alcotest.fail "unordered write must race");
+  (* ordered write (clock includes thread 0's epoch) is fine *)
+  let c1' = Miri.Vclock.merge c1 c0 in
+  match Mem.check_access mem ~ptr ~len:8 ~align:1 ~write:true ~tid:1 ~clock:c1' ~atomic:false with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "ordered write must not race"
+
+let test_guard_gap () =
+  let mem = Mem.create () in
+  let a = Mem.allocate mem ~size:8 ~align:8 ~kind:Mem.Heap in
+  let b = Mem.allocate mem ~size:8 ~align:8 ~kind:Mem.Heap in
+  Alcotest.(check bool) "allocations do not touch" true
+    (b.Mem.base > a.Mem.base + a.Mem.size)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_int_roundtrip;
+    Alcotest.test_case "pointer roundtrip" `Quick test_pointer_roundtrip;
+    Alcotest.test_case "ptr->int->ptr loses provenance" `Quick test_pointer_as_int_loses_provenance;
+    Alcotest.test_case "uninit read rejected" `Quick test_uninit_read_rejected;
+    Alcotest.test_case "bool validity" `Quick test_bool_validity;
+    Alcotest.test_case "null ref rejected" `Quick test_null_ref_rejected;
+    Alcotest.test_case "tuple roundtrip" `Quick test_tuple_roundtrip;
+    Alcotest.test_case "array roundtrip" `Quick test_array_roundtrip;
+    Alcotest.test_case "alloc access checks" `Quick test_alloc_access;
+    Alcotest.test_case "wildcard needs expose" `Quick test_wildcard_needs_expose;
+    Alcotest.test_case "null access" `Quick test_null_access;
+    Alcotest.test_case "race detection" `Quick test_race_detection;
+    Alcotest.test_case "guard gap" `Quick test_guard_gap ]

@@ -1,0 +1,173 @@
+(* Parser: construct coverage, precedence, place conversion, errors. *)
+
+open Minirust
+
+let expr src = Parser.parse_expr src
+
+let show e = Pretty.expr e
+
+let check_expr src expected () = Alcotest.(check string) src expected (show (expr src))
+
+(* precedence is checked through the printer: the printer adds parentheses
+   only where precedence demands them, so the rendered string reveals the
+   parsed tree shape *)
+let precedence_cases =
+  [ ("1 + 2 * 3", "1i64 + 2i64 * 3i64");
+    ("(1 + 2) * 3", "(1i64 + 2i64) * 3i64");
+    ("1 - 2 - 3", "1i64 - 2i64 - 3i64");
+    ("1 - (2 - 3)", "1i64 - (2i64 - 3i64)");
+    ("a && b || c && d", "a && b || c && d");
+    ("(a || b) && c", "(a || b) && c");
+    ("1 + 2 < 3 * 4", "1i64 + 2i64 < 3i64 * 4i64");
+    ("(1 < 2) == (3 < 4)", "(1i64 < 2i64) == (3i64 < 4i64)");
+    ("1 & 2 | 3 ^ 4", "1i64 & 2i64 | 3i64 ^ 4i64");
+    ("1 << 2 + 3", "1i64 << 2i64 + 3i64");
+    ("-x + 1", "-x + 1i64");
+    ("!(a && b)", "!(a && b)");
+    ("x as i32 as i64", "x as i32 as i64");
+    ("(x + 1) as usize", "(x + 1i64) as usize");
+    ("*p + 1", "*p + 1i64");
+    ("*p.offset(1)", "*p.offset(1i64)");
+    ("&mut x", "&mut x");
+    ("&raw const x", "&raw const x");
+    ("a[i][j]", "a[i][j]");
+    ("t.0", "t.0");
+    ("a.get_unchecked(i)", "a.get_unchecked(i)");
+    ("f(1, 2)", "f(1i64, 2i64)");
+    ("table[0](v)", "table[0i64](v)");
+    ("a.len() as i64", "a.len() as i64");
+    ("[1, 2, 3]", "[1i64, 2i64, 3i64]");
+    ("[0; 4]", "[0i64; 4]");
+    ("(1, true)", "(1i64, true)");
+    ("(1,)", "(1i64,)");
+    ("transmute::<bool>(x)", "transmute::<bool>(x)");
+    ("transmute::<*mut i64>(x)", "transmute::<*mut i64>(x)");
+    ("input(0)", "input(0i64)");
+    ("atomic_add(p, 1)", "atomic_add(p, 1i64)");
+    ("-5", "-5i64") ]
+
+let test_chained_comparison_rejected () =
+  Alcotest.(check bool) "a < b < c rejected" true
+    (try
+       ignore (expr "a < b < c");
+       false
+     with Parser.Parse_error _ -> true)
+
+let test_place_required () =
+  Alcotest.(check bool) "&(1+2) rejected" true
+    (try
+       ignore (expr "&(1 + 2)");
+       false
+     with Parser.Parse_error _ -> true)
+
+let test_fn_decl () =
+  let p = Parser.parse "unsafe fn read(p: *const i64) -> i64 { return *p; }" in
+  match p.Ast.funcs with
+  | [ f ] ->
+    Alcotest.(check string) "name" "read" f.Ast.fname;
+    Alcotest.(check bool) "unsafe" true f.Ast.fn_unsafe;
+    Alcotest.(check int) "params" 1 (List.length f.Ast.params);
+    Alcotest.(check bool) "ret i64" true (Ast.equal_ty f.Ast.ret (Ast.T_int Ast.I64))
+  | _ -> Alcotest.fail "one function expected"
+
+let test_union_decl () =
+  let p = Parser.parse "union U { a: i64, b: (i32, i32) } fn main() { }" in
+  match p.Ast.unions with
+  | [ u ] ->
+    Alcotest.(check string) "name" "U" u.Ast.uname;
+    Alcotest.(check int) "fields" 2 (List.length u.Ast.ufields)
+  | _ -> Alcotest.fail "one union expected"
+
+let test_static_decl () =
+  let p = Parser.parse "static mut S: i64 = 7; fn main() { }" in
+  match p.Ast.statics with
+  | [ s ] ->
+    Alcotest.(check bool) "mut" true s.Ast.smut;
+    Alcotest.(check string) "name" "S" s.Ast.sname
+  | _ -> Alcotest.fail "one static expected"
+
+let test_spawn_join () =
+  let p = Parser.parse "fn w() { } fn main() { let h = spawn w(); join(h); }" in
+  let main = Option.get (Ast.lookup_fn p "main") in
+  match main.Ast.body with
+  | [ { Ast.s = Ast.S_spawn ("h", "w", []); _ }; { Ast.s = Ast.S_join _; _ } ] -> ()
+  | _ -> Alcotest.fail "spawn/join statements expected"
+
+let test_else_if_chain () =
+  let b = Parser.parse_block "{ if a { } else if b { } else { } }" in
+  match b with
+  | [ { Ast.s = Ast.S_if (_, _, [ { Ast.s = Ast.S_if (_, _, _); _ } ]); _ } ] -> ()
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_loop_sugar () =
+  let b = Parser.parse_block "{ loop { print(1); } }" in
+  match b with
+  | [ { Ast.s = Ast.S_while ({ Ast.e = Ast.E_bool true; _ }, _); _ } ] -> ()
+  | _ -> Alcotest.fail "loop desugars to while true"
+
+let test_builtin_statements () =
+  let b =
+    Parser.parse_block
+      {|{
+        print(1);
+        assert(true, "msg");
+        panic("boom");
+        dealloc(p, 8, 8);
+        atomic_store(p, 1);
+      }|}
+  in
+  let kinds =
+    List.map
+      (fun st ->
+        match st.Ast.s with
+        | Ast.S_print _ -> "print"
+        | Ast.S_assert _ -> "assert"
+        | Ast.S_panic _ -> "panic"
+        | Ast.S_dealloc _ -> "dealloc"
+        | Ast.S_atomic_store _ -> "atomic_store"
+        | _ -> "?")
+      b
+  in
+  Alcotest.(check (list string)) "builtins"
+    [ "print"; "assert"; "panic"; "dealloc"; "atomic_store" ]
+    kinds
+
+let test_assignment_forms () =
+  let b = Parser.parse_block "{ x = 1; *p = 2; a[0] = 3; t.1 = 4; u.f = 5; }" in
+  Alcotest.(check int) "five assignments" 5
+    (List.length
+       (List.filter (fun st -> match st.Ast.s with Ast.S_assign _ -> true | _ -> false) b))
+
+let test_parse_error_line () =
+  try
+    ignore (Parser.parse "fn main() {\n  let x = ;\n}");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, line) -> Alcotest.(check int) "error line" 2 line
+
+let test_type_syntax () =
+  let p =
+    Parser.parse
+      "fn f(a: &mut [i64; 3], b: *const bool, c: (i64, handle), d: fn(i64) -> i64) { }"
+  in
+  let f = List.hd p.Ast.funcs in
+  let tys = List.map snd f.Ast.params in
+  Alcotest.(check (list string)) "types"
+    [ "&mut [i64; 3]"; "*const bool"; "(i64, handle)"; "fn(i64) -> i64" ]
+    (List.map Pretty.ty tys)
+
+let suite =
+  List.map
+    (fun (src, expected) -> Alcotest.test_case src `Quick (check_expr src expected))
+    precedence_cases
+  @ [ Alcotest.test_case "chained comparison rejected" `Quick test_chained_comparison_rejected;
+      Alcotest.test_case "ref needs place" `Quick test_place_required;
+      Alcotest.test_case "fn decl" `Quick test_fn_decl;
+      Alcotest.test_case "union decl" `Quick test_union_decl;
+      Alcotest.test_case "static decl" `Quick test_static_decl;
+      Alcotest.test_case "spawn/join" `Quick test_spawn_join;
+      Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+      Alcotest.test_case "loop sugar" `Quick test_loop_sugar;
+      Alcotest.test_case "builtin statements" `Quick test_builtin_statements;
+      Alcotest.test_case "assignment forms" `Quick test_assignment_forms;
+      Alcotest.test_case "parse error line" `Quick test_parse_error_line;
+      Alcotest.test_case "type syntax" `Quick test_type_syntax ]

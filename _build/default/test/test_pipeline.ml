@@ -1,0 +1,145 @@
+(* End-to-end pipeline and baselines. *)
+
+open Rustbrain
+
+let quick_cfg =
+  { Pipeline.default_config with Pipeline.max_solutions = 2; max_iters = 4 }
+
+let test_repair_easy_case () =
+  let session = Pipeline.create_session quick_cfg in
+  let case = Option.get (Dataset.Corpus.find "al_double_free") in
+  let report = Pipeline.repair session case in
+  Alcotest.(check bool) "passes" true report.Report.passed;
+  Alcotest.(check bool) "takes time" true (report.Report.seconds > 0.0);
+  Alcotest.(check bool) "made llm calls" true (report.Report.llm_calls > 0)
+
+let test_repair_deterministic () =
+  let case = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  let run () =
+    let session = Pipeline.create_session quick_cfg in
+    let r = Pipeline.repair session case in
+    (r.Report.passed, r.Report.semantic, r.Report.iterations, r.Report.seconds)
+  in
+  Alcotest.(check bool) "same config, same outcome" true (run () = run ())
+
+let test_seed_changes_path () =
+  let case = Option.get (Dataset.Corpus.find "va_uninit_read") in
+  let run seed =
+    let session = Pipeline.create_session { quick_cfg with Pipeline.seed } in
+    let r = Pipeline.repair session case in
+    (r.Report.iterations, r.Report.seconds)
+  in
+  let outcomes = List.map run [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "at least two distinct paths across seeds" true
+    (List.length (List.sort_uniq compare outcomes) >= 2)
+
+let test_disabled_agents_absent () =
+  let cfg =
+    { quick_cfg with
+      Pipeline.enable_replace = false;
+      enable_assert = false;
+      enable_abstract = false }
+  in
+  let session = Pipeline.create_session cfg in
+  let case = Option.get (Dataset.Corpus.find "dp_unchecked_index_oob") in
+  let report = Pipeline.repair session case in
+  List.iter
+    (fun line ->
+      if Helpers.contains line "[replace]" || Helpers.contains line "[assert]"
+         || Helpers.contains line "abstract reasoning"
+      then Alcotest.failf "disabled agent appears in trace: %s" line)
+    report.Report.trace
+
+let test_forced_solution () =
+  let session = Pipeline.create_session quick_cfg in
+  let case = Option.get (Dataset.Corpus.find "al_leak") in
+  let solution =
+    { Solution.sname = "only-modify"; origin = "forced";
+      steps = [ Solution.Fix Ub_class.C_modify; Solution.Fix Ub_class.C_modify ] }
+  in
+  let report = Pipeline.repair_with_solution session case solution in
+  Alcotest.(check (option string)) "winning solution name" (Some "only-modify")
+    report.Report.winning_solution
+
+let test_feedback_accelerates () =
+  (* with feedback on, repairing a batch of same-category cases gets hits *)
+  let cfg = { Pipeline.default_config with Pipeline.max_solutions = 3 } in
+  let cases = Dataset.Corpus.by_category Miri.Diag.Stack_borrow in
+  let reports = Pipeline.run_campaign cfg cases in
+  let hits = List.filter (fun r -> r.Report.feedback_hit) reports in
+  Alcotest.(check bool) "later cases recall feedback" true (List.length hits > 0);
+  (* and the recalled repairs must not be slower on average *)
+  match hits with
+  | [] -> ()
+  | _ ->
+    let avg sel =
+      let xs = List.filter sel reports in
+      Statkit.Stats.mean (List.map (fun r -> r.Report.seconds) xs)
+    in
+    let hit_time = avg (fun r -> r.Report.feedback_hit) in
+    let miss_time = avg (fun r -> not r.Report.feedback_hit) in
+    Alcotest.(check bool) "feedback repairs are not slower" true (hit_time <= miss_time *. 1.25)
+
+let test_campaign_rates_reasonable () =
+  (* a small mixed campaign: RustBrain should fix a clear majority *)
+  let cases =
+    List.filteri (fun i _ -> i mod 6 = 0) Dataset.Corpus.all
+  in
+  let reports = Pipeline.run_campaign Pipeline.default_config cases in
+  let pass = Statkit.Stats.proportion (fun r -> r.Report.passed) reports in
+  Alcotest.(check bool) "most cases pass" true (pass >= 0.7)
+
+(* baselines *)
+
+let test_llm_only_runs () =
+  let case = Option.get (Dataset.Corpus.find "al_double_free") in
+  let session = Baselines.Llm_only.create_session Baselines.Llm_only.default_config in
+  let report = Baselines.Llm_only.repair session case in
+  Alcotest.(check bool) "time consumed" true (report.Report.seconds > 0.0);
+  Alcotest.(check bool) "n sequence recorded" true (report.Report.n_sequence <> [])
+
+let test_rust_assistant_runs () =
+  let case = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  let session = Baselines.Rust_assistant.create_session Baselines.Rust_assistant.default_config in
+  let report = Baselines.Rust_assistant.repair session case in
+  Alcotest.(check (option string)) "labelled" (Some "fixed-pipeline") report.Report.winning_solution
+
+let test_human_expert_model () =
+  let cases = List.filteri (fun i _ -> i < 10) Dataset.Corpus.all in
+  let reports = Baselines.Human_expert.run_campaign Baselines.Human_expert.default_config cases in
+  List.iter
+    (fun (r : Report.t) ->
+      Alcotest.(check bool) "positive time" true (r.Report.seconds > 0.0);
+      let median = Baselines.Human_expert.median_seconds r.Report.category in
+      Alcotest.(check bool) "time in a plausible band" true
+        (r.Report.seconds > median /. 10.0 && r.Report.seconds < median *. 20.0))
+    reports
+
+let test_human_expert_succeeds_mostly () =
+  let reports =
+    Baselines.Human_expert.run_campaign Baselines.Human_expert.default_config Dataset.Corpus.all
+  in
+  let rate = Statkit.Stats.proportion (fun r -> r.Report.semantic) reports in
+  Alcotest.(check bool) "experts succeed on ~all cases" true (rate > 0.85)
+
+let test_rustbrain_beats_fixed_pipeline () =
+  (* the paper's central comparative claim, on a subset for speed *)
+  let cases = List.filteri (fun i _ -> i mod 3 = 0) Dataset.Corpus.all in
+  let rb = Pipeline.run_campaign Pipeline.default_config cases in
+  let ra = Baselines.Rust_assistant.run_campaign Baselines.Rust_assistant.default_config cases in
+  let rate reports = Statkit.Stats.proportion (fun r -> r.Report.passed) reports in
+  Alcotest.(check bool) "RustBrain >= RustAssistant on pass rate" true (rate rb >= rate ra)
+
+let suite =
+  [ Alcotest.test_case "repairs an easy case" `Quick test_repair_easy_case;
+    Alcotest.test_case "deterministic given config" `Quick test_repair_deterministic;
+    Alcotest.test_case "seed changes path" `Quick test_seed_changes_path;
+    Alcotest.test_case "disabled agents absent" `Quick test_disabled_agents_absent;
+    Alcotest.test_case "forced solution" `Quick test_forced_solution;
+    Alcotest.test_case "feedback accelerates" `Slow test_feedback_accelerates;
+    Alcotest.test_case "campaign rates reasonable" `Slow test_campaign_rates_reasonable;
+    Alcotest.test_case "llm-only baseline" `Quick test_llm_only_runs;
+    Alcotest.test_case "rust-assistant baseline" `Quick test_rust_assistant_runs;
+    Alcotest.test_case "human expert model" `Quick test_human_expert_model;
+    Alcotest.test_case "human experts mostly succeed" `Slow test_human_expert_succeeds_mostly;
+    Alcotest.test_case "rustbrain beats fixed pipeline" `Slow test_rustbrain_beats_fixed_pipeline ]

@@ -1,0 +1,93 @@
+(* Pretty-printer: parse/print fixpoint on the whole corpus and on randomly
+   generated expressions. *)
+
+open Minirust
+
+(* Random well-formed expression generator. It deliberately avoids the two
+   known non-canonical shapes (negative literals built as E_unop(Neg, lit)
+   and empty tuples), which the printers canonicalize by design. *)
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "count"; "ptr" ] >|= Ast.var_e in
+  let lit =
+    oneof
+      [ (int_range 0 1000 >|= fun n -> Ast.int_e n);
+        (int_range 0 100 >|= fun n -> Ast.int_e ~w:Ast.I32 n);
+        (bool >|= Ast.bool_e) ]
+  in
+  let binop =
+    oneofl
+      [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Bit_and; Ast.Bit_or; Ast.Bit_xor;
+        Ast.Shl; Ast.Shr ]
+  in
+  let cmp = oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  fix
+    (fun self depth ->
+      if depth <= 0 then oneof [ var; lit ]
+      else
+        frequency
+          [ (2, var);
+            (2, lit);
+            (3, map3 (fun op a b -> Ast.binop_e op a b) binop (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Ast.binop_e Ast.And (Ast.binop_e Ast.Lt a b) (Ast.binop_e Ast.Ge a b))
+                 (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun op a -> Ast.binop_e op a (Ast.int_e 1)) cmp (self (depth - 1)));
+            (1, self (depth - 1) >|= fun a -> Ast.unop_e Ast.Not a);
+            (1, self (depth - 1) >|= fun a -> Ast.cast_e a (Ast.T_int Ast.Usize));
+            (1, self (depth - 1) >|= fun a -> Ast.mk (Ast.E_tuple [ a; Ast.int_e 2 ]));
+            (1, self (depth - 1) >|= fun a -> Ast.mk (Ast.E_array [ a; a ]));
+            (1, self (depth - 1) >|= fun a -> Ast.call_e "f" [ a ]);
+            (1, self (depth - 1) >|= fun a -> Ast.mk (Ast.E_len a));
+            (1, var >|= fun v -> Ast.deref_e v) ])
+    4
+
+let arbitrary_expr = QCheck.make ~print:Pretty.expr gen_expr
+
+let roundtrip_expr =
+  QCheck.Test.make ~name:"expr print/parse roundtrip" ~count:500 arbitrary_expr
+    (fun e ->
+      let printed = Pretty.expr e in
+      let reparsed = Parser.parse_expr printed in
+      Ast.equal_expr e reparsed)
+
+let print_is_fixpoint =
+  QCheck.Test.make ~name:"printing is a fixpoint" ~count:500 arbitrary_expr
+    (fun e ->
+      let once = Pretty.expr e in
+      let twice = Pretty.expr (Parser.parse_expr once) in
+      String.equal once twice)
+
+(* every corpus program (buggy and fixed) must roundtrip *)
+let corpus_roundtrip (c : Dataset.Case.t) which src () =
+  let p1 = Parser.parse src in
+  let s1 = Pretty.program p1 in
+  let p2 = Parser.parse s1 in
+  if not (Ast.equal_program p1 p2) then
+    Alcotest.failf "%s/%s: reparse differs" c.Dataset.Case.name which;
+  Alcotest.(check string)
+    (c.Dataset.Case.name ^ "/" ^ which ^ " fixpoint")
+    s1
+    (Pretty.program p2)
+
+let corpus_cases =
+  List.concat_map
+    (fun (c : Dataset.Case.t) ->
+      [ Alcotest.test_case (c.Dataset.Case.name ^ " (buggy)") `Quick
+          (corpus_roundtrip c "buggy" c.Dataset.Case.buggy_src);
+        Alcotest.test_case (c.Dataset.Case.name ^ " (fixed)") `Quick
+          (corpus_roundtrip c "fixed" c.Dataset.Case.fixed_src) ])
+    Dataset.Corpus.all
+
+let test_string_escaping () =
+  let st = Ast.assert_s (Ast.bool_e true) "tricky \"quoted\" \\ and \n newline" in
+  let printed = Pretty.stmt st in
+  match Parser.parse_block ("{ " ^ printed ^ " }") with
+  | [ { Ast.s = Ast.S_assert (_, msg); _ } ] ->
+    Alcotest.(check string) "message survives" "tricky \"quoted\" \\ and \n newline" msg
+  | _ -> Alcotest.fail "assert did not reparse"
+
+let suite =
+  [ QCheck_alcotest.to_alcotest roundtrip_expr;
+    QCheck_alcotest.to_alcotest print_is_fixpoint;
+    Alcotest.test_case "string escaping" `Quick test_string_escaping ]
+  @ corpus_cases

@@ -1,0 +1,279 @@
+(* Repair rules, candidate enumeration, oracle scoring, corruption. *)
+
+let diag_of program inputs =
+  match
+    Miri.Machine.analyze ~config:{ Miri.Machine.default_config with Miri.Machine.inputs } program
+  with
+  | Miri.Machine.Ran r -> (
+    match r.Miri.Machine.outcome with
+    | Miri.Machine.Ub d -> (Some d, None)
+    | Miri.Machine.Panicked m -> (None, Some m)
+    | _ -> (None, None))
+  | Miri.Machine.Compile_error _ -> (None, None)
+
+let context_of ?(inputs = [||]) src =
+  let program = Minirust.Parser.parse src in
+  let diag, panicked = diag_of program inputs in
+  { Repairs.Rule.program; diag; panicked }
+
+let labels proposals =
+  List.map (fun p -> p.Repairs.Rule.edit.Minirust.Edit.label) proposals
+
+let has_label needle proposals =
+  List.exists (fun l -> Helpers.contains l needle) (labels proposals)
+
+let unchecked_src =
+  "fn main() { let mut a = [1, 2, 3]; let mut i = input(0); unsafe { print(a.get_unchecked(i)); } }"
+
+let test_checked_indexing_rule () =
+  let ctx = context_of ~inputs:[| 9L |] unchecked_src in
+  let proposals = Repairs.Rule.run_all ctx in
+  Alcotest.(check bool) "offers checked indexing" true (has_label "checked indexing" proposals);
+  Alcotest.(check bool) "offers bounds assert" true (has_label "assert index" proposals)
+
+let test_checked_indexing_fixes () =
+  let ctx = context_of ~inputs:[| 9L |] unchecked_src in
+  let proposals = Repairs.Rule.run_all ctx in
+  let checked =
+    List.find (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "checked indexing")
+      proposals
+  in
+  match Minirust.Edit.apply checked.Repairs.Rule.edit ctx.Repairs.Rule.program with
+  | Ok program' ->
+    let diag, panicked = diag_of program' [| 9L |] in
+    Alcotest.(check bool) "UB gone" true (diag = None);
+    Alcotest.(check bool) "panics instead" true (panicked <> None)
+  | Error msg -> Alcotest.failf "edit failed: %s" msg
+
+let test_remove_dealloc_rule () =
+  let ctx =
+    context_of
+      "fn main() { unsafe { let mut p = alloc(8, 8); dealloc(p, 8, 8); dealloc(p, 8, 8); } }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  Alcotest.(check bool) "offers dealloc removal" true (has_label "remove duplicate dealloc" proposals)
+
+let test_add_dealloc_rule () =
+  let ctx =
+    context_of "fn main() { unsafe { let mut p = alloc(8, 8) as *mut i64; *p = 1; print(*p); } }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  let free = List.find_opt (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "free p") proposals in
+  match free with
+  | None -> Alcotest.fail "no add-dealloc proposal"
+  | Some p -> (
+    match Minirust.Edit.apply p.Repairs.Rule.edit ctx.Repairs.Rule.program with
+    | Ok program' ->
+      let diag, _ = diag_of program' [||] in
+      Alcotest.(check bool) "leak fixed" true (diag = None)
+    | Error msg -> Alcotest.failf "edit failed: %s" msg)
+
+let test_rederive_pointer_rule () =
+  let src =
+    "fn main() { let mut x = 1; let mut p = &raw mut x; x = 2; unsafe { print(*p); } }"
+  in
+  let ctx = context_of src in
+  let proposals = Repairs.Rule.run_all ctx in
+  let rederive =
+    List.find_opt (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "re-derive") proposals
+  in
+  match rederive with
+  | None -> Alcotest.fail "no re-derive proposal"
+  | Some p -> (
+    match Minirust.Edit.apply p.Repairs.Rule.edit ctx.Repairs.Rule.program with
+    | Ok program' ->
+      let diag, _ = diag_of program' [||] in
+      Alcotest.(check bool) "stack-borrow fixed" true (diag = None)
+    | Error msg -> Alcotest.failf "edit failed: %s" msg)
+
+let test_atomicize_rule () =
+  let src =
+    "static mut S: i64 = 0; fn w() { unsafe { S = 1; } } fn main() { let h = spawn w(); unsafe { S = 2; } join(h); }"
+  in
+  let ctx = context_of src in
+  let proposals = Repairs.Rule.run_all ctx in
+  let atomic =
+    List.find_opt (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "atomic") proposals
+  in
+  match atomic with
+  | None -> Alcotest.fail "no atomicize proposal"
+  | Some p -> (
+    match Minirust.Edit.apply p.Repairs.Rule.edit ctx.Repairs.Rule.program with
+    | Ok program' ->
+      let diag, _ = diag_of program' [||] in
+      Alcotest.(check bool) "race fixed" true (diag = None)
+    | Error msg -> Alcotest.failf "edit failed: %s" msg)
+
+let test_fn_sig_rule () =
+  let src =
+    "fn f(x: i64) -> i64 { return x; } fn main() { unsafe { let mut g = transmute::<fn(i64, i64) -> i64>(f); print(g(1, 2)); } }"
+  in
+  let ctx = context_of src in
+  let proposals = Repairs.Rule.run_all ctx in
+  Alcotest.(check bool) "offers signature fix" true (has_label "signature" proposals);
+  Alcotest.(check bool) "offers direct use" true (has_label "directly" proposals)
+
+let test_panic_guard_rule () =
+  let ctx =
+    context_of ~inputs:[| 0L |]
+      "fn main() { let mut d = input(0); print(10 / d); }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  Alcotest.(check bool) "offers divisor guard" true (has_label "zero divisor" proposals)
+
+let test_fix_dealloc_layout_rule () =
+  let ctx =
+    context_of
+      "fn main() { unsafe { let mut p = alloc(16, 8) as *mut i64; *p = 1; print(*p); dealloc(p as *mut i8, 8, 8); } }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  let fix =
+    List.find_opt
+      (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "allocated layout")
+      proposals
+  in
+  match fix with
+  | None -> Alcotest.fail "no dealloc-layout proposal"
+  | Some p -> (
+    match Minirust.Edit.apply p.Repairs.Rule.edit ctx.Repairs.Rule.program with
+    | Ok program' ->
+      let diag, _ = diag_of program' [||] in
+      Alcotest.(check bool) "wrong-size free fixed" true (diag = None)
+    | Error msg -> Alcotest.failf "edit failed: %s" msg)
+
+let test_widen_alloc_rule () =
+  (* buffer too small: reading one element past a 16-byte block *)
+  let ctx =
+    context_of
+      "fn main() { unsafe { let mut p = alloc(16, 8) as *mut i64; *p = 1; *p.offset(1) = 2; print(*p.offset(2)); dealloc(p as *mut i8, 16, 8); } }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  let widen =
+    List.find_opt
+      (fun p -> Helpers.contains p.Repairs.Rule.edit.Minirust.Edit.label "double the allocation")
+      proposals
+  in
+  match widen with
+  | None -> Alcotest.fail "no widen proposal"
+  | Some p -> (
+    match Minirust.Edit.apply p.Repairs.Rule.edit ctx.Repairs.Rule.program with
+    | Ok program' -> (
+      (* the OOB is gone; the slot is merely uninitialized now, which is a
+         different (validity) diagnosis — widening did its part *)
+      match diag_of program' [||] with
+      | Some d, _ ->
+        Alcotest.(check bool) "no longer out-of-bounds" true
+          (d.Miri.Diag.kind <> Miri.Diag.Dangling_pointer && d.Miri.Diag.kind <> Miri.Diag.Alloc)
+      | None, _ -> ())
+    | Error msg -> Alcotest.failf "edit failed: %s" msg)
+
+let test_rules_only_fire_when_relevant () =
+  (* alloc-specific rules must not fire on a race diagnosis *)
+  let ctx =
+    context_of
+      "static mut S: i64 = 0; fn w() { unsafe { S = 1; } } fn main() { let h = spawn w(); unsafe { S = 2; } join(h); }"
+  in
+  let proposals = Repairs.Rule.run_all ctx in
+  Alcotest.(check bool) "no dealloc proposals on a race" false (has_label "dealloc" proposals)
+
+(* candidates *)
+
+let case = Option.get (Dataset.Corpus.find "al_double_free")
+
+let test_reference_candidate_scores_top () =
+  let buggy = Dataset.Case.buggy case in
+  let diag, panicked = diag_of buggy [| 5L |] in
+  let ctx = { Repairs.Rule.program = buggy; diag; panicked } in
+  let cands =
+    Repairs.Candidates.enumerate ~reference:(Dataset.Case.fixed case) ctx
+    |> Repairs.Candidates.score_all ~scorer:(Dataset.Semantic.score case) buggy
+  in
+  let best = List.fold_left (fun b c -> if c.Repairs.Candidates.quality > b.Repairs.Candidates.quality then c else b) (List.hd cands) cands in
+  Alcotest.(check (float 0.001)) "a perfect candidate exists" 1.0 best.Repairs.Candidates.quality
+
+let test_failing_candidates_score_low () =
+  let buggy = Dataset.Case.buggy case in
+  let diag, panicked = diag_of buggy [| 5L |] in
+  let ctx = { Repairs.Rule.program = buggy; diag; panicked } in
+  let cands =
+    Repairs.Candidates.enumerate ctx
+    |> Repairs.Candidates.score_all ~scorer:(Dataset.Semantic.score case) buggy
+  in
+  Alcotest.(check bool) "some candidate is imperfect" true
+    (List.exists (fun c -> c.Repairs.Candidates.quality < 0.9) cands)
+
+let test_reference_edit_reproduces_fix () =
+  List.iter
+    (fun (c : Dataset.Case.t) ->
+      let buggy = Dataset.Case.buggy c in
+      match Repairs.Candidates.reference_edit ~buggy ~fixed:(Dataset.Case.fixed c) with
+      | None -> Alcotest.failf "%s: no reference edit" c.Dataset.Case.name
+      | Some edit -> (
+        match Minirust.Edit.apply edit buggy with
+        | Error msg -> Alcotest.failf "%s: reference edit failed: %s" c.Dataset.Case.name msg
+        | Ok program' ->
+          let v = Dataset.Semantic.check c program' in
+          if not v.Dataset.Semantic.semantic then
+            Alcotest.failf "%s: reference edit is not semantically acceptable" c.Dataset.Case.name))
+    Dataset.Corpus.all
+
+let test_candidate_cap () =
+  let buggy = Dataset.Case.buggy case in
+  let diag, panicked = diag_of buggy [| 5L |] in
+  let ctx = { Repairs.Rule.program = buggy; diag; panicked } in
+  let cands = Repairs.Candidates.enumerate ~max_candidates:3 ctx in
+  Alcotest.(check bool) "capped" true (List.length cands <= 3)
+
+(* corruption *)
+
+let test_corrupt_still_applies =
+  (* corruption must never crash, and its targets must stay within the
+     program; a rare Error (e.g. a retarget landing on a statement another
+     action of the same edit just deleted) is acceptable and handled by the
+     agents, but it must be the exception, not the rule *)
+  QCheck.Test.make ~name:"corrupted edits apply or fail cleanly" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rb_util.Rng.create seed in
+      let buggy = Dataset.Case.buggy case in
+      let diag, panicked = diag_of buggy [| 5L |] in
+      let ctx = { Repairs.Rule.program = buggy; diag; panicked } in
+      let cands = Repairs.Candidates.enumerate ~reference:(Dataset.Case.fixed case) ctx in
+      let applied = ref 0 and failed = ref 0 in
+      List.iter
+        (fun c ->
+          let corrupted = Repairs.Corrupt.corrupt rng buggy c.Repairs.Candidates.edit in
+          match Minirust.Edit.apply corrupted buggy with
+          | Ok _ -> incr applied
+          | Error _ -> incr failed)
+        cands;
+      !applied > !failed)
+
+let test_corrupt_changes_label () =
+  let rng = Rb_util.Rng.create 4 in
+  let buggy = Dataset.Case.buggy case in
+  let edit =
+    Option.get (Repairs.Candidates.reference_edit ~buggy ~fixed:(Dataset.Case.fixed case))
+  in
+  let corrupted = Repairs.Corrupt.corrupt rng buggy edit in
+  Alcotest.(check bool) "marked as hallucinated" true
+    (Helpers.contains corrupted.Minirust.Edit.label "hallucinated")
+
+let suite =
+  [ Alcotest.test_case "checked indexing offered" `Quick test_checked_indexing_rule;
+    Alcotest.test_case "checked indexing fixes" `Quick test_checked_indexing_fixes;
+    Alcotest.test_case "remove dealloc offered" `Quick test_remove_dealloc_rule;
+    Alcotest.test_case "add dealloc fixes leak" `Quick test_add_dealloc_rule;
+    Alcotest.test_case "re-derive fixes stack borrow" `Quick test_rederive_pointer_rule;
+    Alcotest.test_case "atomicize fixes race" `Quick test_atomicize_rule;
+    Alcotest.test_case "fn signature fixes offered" `Quick test_fn_sig_rule;
+    Alcotest.test_case "panic guard offered" `Quick test_panic_guard_rule;
+    Alcotest.test_case "rules gated by category" `Quick test_rules_only_fire_when_relevant;
+    Alcotest.test_case "dealloc layout fix" `Quick test_fix_dealloc_layout_rule;
+    Alcotest.test_case "widen alloc" `Quick test_widen_alloc_rule;
+    Alcotest.test_case "reference candidate scores 1.0" `Quick test_reference_candidate_scores_top;
+    Alcotest.test_case "imperfect candidates exist" `Quick test_failing_candidates_score_low;
+    Alcotest.test_case "reference edit reproduces fix (all cases)" `Slow test_reference_edit_reproduces_fix;
+    Alcotest.test_case "candidate cap" `Quick test_candidate_cap;
+    QCheck_alcotest.to_alcotest test_corrupt_still_applies;
+    Alcotest.test_case "corrupt changes label" `Quick test_corrupt_changes_label ]

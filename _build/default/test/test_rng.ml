@@ -1,0 +1,103 @@
+(* Deterministic RNG: reproducibility and distribution sanity. *)
+
+let test_determinism () =
+  let a = Rb_util.Rng.create 42 in
+  let b = Rb_util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rb_util.Rng.int64 a) (Rb_util.Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rb_util.Rng.create 1 in
+  let b = Rb_util.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (not (Int64.equal (Rb_util.Rng.int64 a) (Rb_util.Rng.int64 b)))
+
+let test_split_independent () =
+  let parent = Rb_util.Rng.create 7 in
+  let child = Rb_util.Rng.split parent in
+  Alcotest.(check bool) "split diverges from parent" true
+    (not (Int64.equal (Rb_util.Rng.int64 parent) (Rb_util.Rng.int64 child)))
+
+let test_copy () =
+  let a = Rb_util.Rng.create 5 in
+  ignore (Rb_util.Rng.int64 a);
+  let b = Rb_util.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rb_util.Rng.int64 a)
+    (Rb_util.Rng.int64 b)
+
+let test_int_bounds () =
+  let rng = Rb_util.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rb_util.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of bounds: %d" v
+  done
+
+let test_int_bad_bound () =
+  let rng = Rb_util.Rng.create 3 in
+  Alcotest.check_raises "zero bound rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rb_util.Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rb_util.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rb_util.Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rb_util.Rng.create 9 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rb_util.Rng.bernoulli rng 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Rb_util.Rng.bernoulli rng 0.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rb_util.Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rb_util.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if rate < 0.28 || rate > 0.32 then Alcotest.failf "bernoulli(0.3) rate %f" rate
+
+let test_gaussian_moments () =
+  let rng = Rb_util.Rng.create 17 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Rb_util.Rng.gaussian rng ~mean:5.0 ~std:2.0) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  if abs_float (mean -. 5.0) > 0.1 then Alcotest.failf "gaussian mean %f" mean
+
+let test_pick_weighted () =
+  let rng = Rb_util.Rng.create 23 in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 10_000 do
+    match Rb_util.Rng.pick_weighted rng [ ("a", 3.0); ("b", 1.0) ] with
+    | "a" -> incr a
+    | _ -> incr b
+  done;
+  let ratio = float_of_int !a /. float_of_int !b in
+  if ratio < 2.5 || ratio > 3.6 then Alcotest.failf "weighted ratio %f (expected ~3)" ratio
+
+let test_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Rb_util.Rng.create seed in
+      let shuffled = Rb_util.Rng.shuffle rng xs in
+      List.sort compare shuffled = List.sort compare xs)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "pick_weighted ratio" `Quick test_pick_weighted;
+    QCheck_alcotest.to_alcotest test_shuffle_permutation ]

@@ -1,0 +1,78 @@
+(* Statistics toolkit. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Statkit.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  feq "mean empty" 0.0 (Statkit.Stats.mean [])
+
+let test_stddev () =
+  feq "stddev of constant" 0.0 (Statkit.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-6)) "known stddev" 1.0 (Statkit.Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  feq "stddev singleton" 0.0 (Statkit.Stats.stddev [ 1.0 ])
+
+let test_median_percentile () =
+  feq "median odd" 2.0 (Statkit.Stats.median [ 3.0; 1.0; 2.0 ]);
+  feq "median even" 2.5 (Statkit.Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  feq "p0" 1.0 (Statkit.Stats.percentile 0.0 [ 1.0; 2.0; 3.0 ]);
+  feq "p100" 3.0 (Statkit.Stats.percentile 100.0 [ 1.0; 2.0; 3.0 ])
+
+let test_wilson () =
+  (* 8/10 at 95%: the classical Wilson interval is about [0.49, 0.94] *)
+  let lo, hi = Statkit.Stats.wilson_ci ~successes:8 10 in
+  Alcotest.(check bool) "lo" true (lo > 0.45 && lo < 0.52);
+  Alcotest.(check bool) "hi" true (hi > 0.90 && hi < 0.97);
+  (* degenerate cases *)
+  let lo0, _ = Statkit.Stats.wilson_ci ~successes:0 10 in
+  feq "0 successes lo" 0.0 lo0;
+  let _, hi10 = Statkit.Stats.wilson_ci ~successes:10 10 in
+  Alcotest.(check bool) "all successes hi is 1" true (hi10 > 0.99);
+  let lo_e, hi_e = Statkit.Stats.wilson_ci ~successes:0 0 in
+  feq "empty lo" 0.0 lo_e;
+  feq "empty hi" 1.0 hi_e
+
+let test_wilson_narrows_with_n () =
+  let w n = Statkit.Stats.wilson_ci ~successes:(n / 2) n in
+  let lo1, hi1 = w 10 in
+  let lo2, hi2 = w 1000 in
+  Alcotest.(check bool) "more data, narrower interval" true (hi2 -. lo2 < hi1 -. lo1)
+
+let test_mean_ci_contains_mean () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let lo, hi = Statkit.Stats.mean_ci xs in
+  let m = Statkit.Stats.mean xs in
+  Alcotest.(check bool) "contains mean" true (lo <= m && m <= hi)
+
+let prop_bootstrap_contains_point =
+  QCheck.Test.make ~name:"bootstrap CI brackets the sample mean" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 5 30) (float_range 0.0 100.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let m = Statkit.Stats.mean xs in
+      let lo, hi = Statkit.Stats.bootstrap_ci ~seed:7 Statkit.Stats.mean xs in
+      lo <= m +. 1e-9 && m <= hi +. 1e-9)
+
+let test_proportion () =
+  feq "proportion" 0.25 (Statkit.Stats.proportion (fun x -> x > 3) [ 1; 2; 3; 4 ]);
+  feq "empty" 0.0 (Statkit.Stats.proportion (fun _ -> true) [])
+
+let test_table_render () =
+  let out =
+    Statkit.Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "has rule" true (Helpers.contains out "-----");
+  Alcotest.(check bool) "aligned columns" true (Helpers.contains out "alpha");
+  Alcotest.(check string) "pct" "94.3%" (Statkit.Table.pct 0.943);
+  Alcotest.(check string) "secs" "62.6" (Statkit.Table.secs 62.62)
+
+let suite =
+  [ Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+    Alcotest.test_case "wilson ci" `Quick test_wilson;
+    Alcotest.test_case "wilson narrows" `Quick test_wilson_narrows_with_n;
+    Alcotest.test_case "mean ci" `Quick test_mean_ci_contains_mean;
+    QCheck_alcotest.to_alcotest prop_bootstrap_contains_point;
+    Alcotest.test_case "proportion" `Quick test_proportion;
+    Alcotest.test_case "table render" `Quick test_table_render ]

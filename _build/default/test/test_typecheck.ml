@@ -1,0 +1,102 @@
+(* Typechecker: acceptance, rejection, and the unsafe-context (E0133) and
+   writability rules that mirror rustc. *)
+
+open Minirust
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check (Parser.parse src) with
+      | Ok _ -> ()
+      | Error es -> Alcotest.failf "unexpectedly rejected: %s" (Typecheck.errors_to_string es))
+
+let rejects name ?(needle = "") src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check (Parser.parse src) with
+      | Ok _ -> Alcotest.fail "unexpectedly accepted"
+      | Error es ->
+        let text = Typecheck.errors_to_string es in
+        let contains hay sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1)) in
+          n = 0 || go 0
+        in
+        if needle <> "" && not (contains text needle) then
+          Alcotest.failf "error %S does not mention %S" text needle)
+
+let suite =
+  [ accepts "minimal main" "fn main() { }";
+    accepts "arith and locals" "fn main() { let mut x = 1; x = x + 2 * 3; print(x); }";
+    accepts "refs and derefs" "fn main() { let mut x = 1; let mut r = &mut x; *r = 2; print(*r); }";
+    accepts "unsafe raw deref"
+      "fn main() { let mut x = 1; let mut p = &raw const x; unsafe { print(*p); } }";
+    accepts "call chain"
+      "fn add(a: i64, b: i64) -> i64 { return a + b; } fn main() { print(add(1, 2)); }";
+    accepts "fn pointer local"
+      "fn id(x: i64) -> i64 { return x; } fn main() { let mut f = id; print(f(3)); }";
+    accepts "unsafe fn called in unsafe block"
+      "unsafe fn danger() { } fn main() { unsafe { danger(); } }";
+    accepts "unsafe fn body is unsafe context"
+      "unsafe fn danger(p: *const i64) -> i64 { return *p; } fn main() { }";
+    accepts "union write is safe, read unsafe"
+      "union U { a: i64, b: i64 } fn main() { unsafe { let mut u = transmute::<U>(0); u.a = 1; print(u.b); } }";
+    accepts "threads" "fn w(n: i64) { print(n); } fn main() { let h = spawn w(1); join(h); }";
+    accepts "alloc/dealloc in unsafe"
+      "fn main() { unsafe { let mut p = alloc(8, 8); dealloc(p, 8, 8); } }";
+    accepts "static mut under unsafe"
+      "static mut S: i64 = 0; fn main() { unsafe { S = 1; print(S); } }";
+    accepts "immutable static read is safe"
+      "static LIMIT: i64 = 10; fn main() { print(LIMIT); }";
+    accepts "usize arithmetic" "fn main() { let mut a = [1, 2]; print((a.len() - 1usize) as i64); }";
+    accepts "atomic_add under unsafe"
+      "static mut C: i64 = 0; fn main() { unsafe { let mut old = atomic_add(&raw mut C, 2); print(old); } }";
+    (* rejections *)
+    rejects "raw deref outside unsafe" ~needle:"unsafe"
+      "fn main() { let mut x = 1; let mut p = &raw const x; print(*p); }";
+    rejects "get_unchecked outside unsafe" ~needle:"unsafe"
+      "fn main() { let mut a = [1, 2]; print(a.get_unchecked(0)); }";
+    rejects "union read outside unsafe" ~needle:"unsafe"
+      "union U { a: i64 } fn mk() -> U { unsafe { return transmute::<U>(0); } } fn main() { let mut u = mk(); print(u.a); }";
+    rejects "static mut outside unsafe" ~needle:"unsafe"
+      "static mut S: i64 = 0; fn main() { S = 1; }";
+    rejects "unsafe fn call outside unsafe" ~needle:"unsafe"
+      "unsafe fn danger() { } fn main() { danger(); }";
+    rejects "transmute outside unsafe" ~needle:"unsafe"
+      "fn main() { let mut b = transmute::<bool>(1i8); }";
+    rejects "alloc outside unsafe" ~needle:"unsafe" "fn main() { let mut p = alloc(8, 8); }";
+    rejects "atomic_add outside unsafe" ~needle:"unsafe"
+      "static mut C: i64 = 0; fn main() { let mut old = atomic_add(&raw mut C, 2); }";
+    rejects "atomic_add on const ptr" ~needle:"atomic_add"
+      "fn main() { let mut x = 1; unsafe { let mut old = atomic_add(&raw const x, 2); } }";
+    rejects "type mismatch in let" ~needle:"annotated"
+      "fn main() { let mut x: bool = 1; }";
+    rejects "arity mismatch" ~needle:"argument"
+      "fn f(a: i64) { } fn main() { f(1, 2); }";
+    rejects "arg type mismatch" ~needle:"type"
+      "fn f(a: bool) { } fn main() { f(1); }";
+    rejects "unknown variable" ~needle:"unknown" "fn main() { print(nope); }";
+    rejects "unknown function" ~needle:"unknown" "fn main() { nope(); }";
+    rejects "bad transmute size" ~needle:"sizes"
+      "fn main() { unsafe { let mut b = transmute::<bool>(1); } }";
+    rejects "missing return" ~needle:"return" "fn f() -> i64 { let mut x = 1; } fn main() { }";
+    rejects "return type mismatch" ~needle:"return"
+      "fn f() -> i64 { return true; } fn main() { }";
+    rejects "if condition not bool" ~needle:"bool" "fn main() { if 1 { } }";
+    rejects "mixed-width arithmetic" ~needle:"mismatched"
+      "fn main() { let mut x = 1i32 + 1i64; }";
+    rejects "write through shared ref" ~needle:"reference"
+      "fn main() { let mut x = 1; let mut r = &x; *r = 2; }";
+    rejects "write through *const" ~needle:"const"
+      "fn main() { let mut x = 1; let mut p = &raw const x; unsafe { *p = 2; } }";
+    rejects "write to immutable static" ~needle:"immutable"
+      "static LIMIT: i64 = 10; fn main() { LIMIT = 1; }";
+    rejects "duplicate function" ~needle:"duplicate" "fn f() { } fn f() { } fn main() { }";
+    rejects "invalid cast" ~needle:"cast" "fn main() { let mut x = true as *mut i64; }";
+    rejects "call non-function local" ~needle:"call"
+      "fn main() { let mut x = 1; x(2); }";
+    rejects "index non-array" ~needle:"index" "fn main() { let mut x = 1; print(x[0]); }";
+    rejects "spawn unknown fn" ~needle:"unknown" "fn main() { let h = spawn nope(); }";
+    rejects "join non-handle" ~needle:"handle" "fn main() { join(5); }";
+    rejects "print of pointer" ~needle:"print"
+      "fn main() { let mut x = 1; print(&x); }";
+    rejects "static initializer type" ~needle:"static"
+      "static S: i64 = true; fn main() { }" ]

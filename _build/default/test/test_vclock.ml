@@ -1,0 +1,57 @@
+(* Vector clocks: happens-before algebra. *)
+
+let gen_clock : Miri.Vclock.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  list_size (int_range 0 5) (pair (int_range 0 4) (int_range 1 20)) >|= fun entries ->
+  List.fold_left (fun c (tid, e) -> Miri.Vclock.set c tid e) Miri.Vclock.empty entries
+
+let arbitrary_clock = QCheck.make ~print:Miri.Vclock.to_string gen_clock
+
+let prop_leq_reflexive =
+  QCheck.Test.make ~name:"leq reflexive" ~count:300 arbitrary_clock (fun c ->
+      Miri.Vclock.leq c c)
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge is an upper bound" ~count:300
+    (QCheck.pair arbitrary_clock arbitrary_clock)
+    (fun (a, b) ->
+      let m = Miri.Vclock.merge a b in
+      Miri.Vclock.leq a m && Miri.Vclock.leq b m)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative" ~count:300
+    (QCheck.pair arbitrary_clock arbitrary_clock)
+    (fun (a, b) ->
+      let m1 = Miri.Vclock.merge a b in
+      let m2 = Miri.Vclock.merge b a in
+      Miri.Vclock.leq m1 m2 && Miri.Vclock.leq m2 m1)
+
+let prop_tick_advances =
+  QCheck.Test.make ~name:"tick strictly advances own component" ~count:300
+    (QCheck.pair arbitrary_clock (QCheck.int_range 0 4))
+    (fun (c, tid) ->
+      let c' = Miri.Vclock.tick c tid in
+      Miri.Vclock.get c' tid = Miri.Vclock.get c tid + 1 && Miri.Vclock.leq c c')
+
+let test_empty_bottom () =
+  let c = Miri.Vclock.set Miri.Vclock.empty 3 5 in
+  Alcotest.(check bool) "empty leq anything" true (Miri.Vclock.leq Miri.Vclock.empty c);
+  Alcotest.(check bool) "non-empty not leq empty" false (Miri.Vclock.leq c Miri.Vclock.empty)
+
+let test_incomparable () =
+  let a = Miri.Vclock.set Miri.Vclock.empty 0 2 in
+  let b = Miri.Vclock.set Miri.Vclock.empty 1 2 in
+  Alcotest.(check bool) "a not leq b" false (Miri.Vclock.leq a b);
+  Alcotest.(check bool) "b not leq a" false (Miri.Vclock.leq b a)
+
+let test_get_default () =
+  Alcotest.(check int) "missing tid is 0" 0 (Miri.Vclock.get Miri.Vclock.empty 9)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_leq_reflexive;
+    QCheck_alcotest.to_alcotest prop_merge_upper_bound;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_tick_advances;
+    Alcotest.test_case "empty is bottom" `Quick test_empty_bottom;
+    Alcotest.test_case "incomparable clocks" `Quick test_incomparable;
+    Alcotest.test_case "get default" `Quick test_get_default ]

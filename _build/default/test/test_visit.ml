@@ -1,0 +1,130 @@
+(* AST traversals: node enumeration, lookup, unsafe-context queries. *)
+
+open Minirust
+
+let program =
+  Parser.parse
+    {|
+unsafe fn wild(p: *const i64) -> i64 {
+    return *p;
+}
+
+fn main() {
+    let mut x = 1;
+    let mut total = 0;
+    unsafe {
+        let mut p = &raw const x;
+        total = *p;
+        if total > 0 {
+            print(total);
+        }
+    }
+    while x < 3 {
+        x = x + 1;
+    }
+    print(x);
+}
+|}
+
+let test_counts () =
+  (* enumerations must agree with themselves across runs *)
+  Alcotest.(check int) "stable stmt count" (Visit.count_stmts program)
+    (Visit.count_stmts program);
+  Alcotest.(check bool) "plausible sizes" true
+    (Visit.count_stmts program >= 10 && Visit.count_exprs program >= 15)
+
+let test_find_stmt () =
+  let ids = ref [] in
+  Visit.iter_stmts (fun st -> ids := st.Ast.sid :: !ids) program;
+  List.iter
+    (fun sid ->
+      match Visit.find_stmt program sid with
+      | Some st -> Alcotest.(check int) "found itself" sid st.Ast.sid
+      | None -> Alcotest.failf "statement %d not found" sid)
+    !ids;
+  Alcotest.(check bool) "missing id" true (Visit.find_stmt program 9999999 = None)
+
+let test_find_expr () =
+  let ids = ref [] in
+  Visit.iter_exprs (fun e -> ids := e.Ast.eid :: !ids) program;
+  Alcotest.(check bool) "non-empty" true (!ids <> []);
+  List.iter
+    (fun eid ->
+      match Visit.find_expr program eid with
+      | Some e -> Alcotest.(check int) "found itself" eid e.Ast.eid
+      | None -> Alcotest.failf "expression %d not found" eid)
+    !ids
+
+let stmt_matching pred =
+  let found = ref None in
+  Visit.iter_stmts (fun st -> if pred st && !found = None then found := Some st) program;
+  Option.get !found
+
+let test_unsafe_blocks () =
+  match Visit.unsafe_blocks program with
+  | [ (fn, _) ] -> Alcotest.(check string) "in main" "main" fn
+  | blocks -> Alcotest.failf "expected 1 unsafe block, got %d" (List.length blocks)
+
+let test_stmt_in_unsafe () =
+  (* a statement lexically inside the unsafe block *)
+  let inside =
+    stmt_matching (fun st ->
+        match st.Ast.s with
+        | Ast.S_assign (Ast.P_var "total", _) -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "assign inside unsafe" true
+    (Visit.stmt_in_unsafe program inside.Ast.sid);
+  (* nested inside an if inside the unsafe block *)
+  let nested =
+    stmt_matching (fun st ->
+        match st.Ast.s with
+        | Ast.S_print { Ast.e = Ast.E_place (Ast.P_var "total"); _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "nested print inside unsafe" true
+    (Visit.stmt_in_unsafe program nested.Ast.sid);
+  (* the trailing print(x) is outside *)
+  let outside =
+    stmt_matching (fun st ->
+        match st.Ast.s with
+        | Ast.S_print { Ast.e = Ast.E_place (Ast.P_var "x"); _ } -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "trailing print outside unsafe" false
+    (Visit.stmt_in_unsafe program outside.Ast.sid);
+  (* a statement in an unsafe fn body counts as unsafe context *)
+  let in_unsafe_fn =
+    stmt_matching (fun st -> match st.Ast.s with Ast.S_return _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "unsafe fn body" true
+    (Visit.stmt_in_unsafe program in_unsafe_fn.Ast.sid)
+
+let test_enclosing_fn () =
+  let ret =
+    stmt_matching (fun st -> match st.Ast.s with Ast.S_return _ -> true | _ -> false)
+  in
+  Alcotest.(check (option string)) "return lives in wild" (Some "wild")
+    (Visit.enclosing_fn_of_stmt program ret.Ast.sid);
+  let while_stmt =
+    stmt_matching (fun st -> match st.Ast.s with Ast.S_while _ -> true | _ -> false)
+  in
+  Alcotest.(check (option string)) "while lives in main" (Some "main")
+    (Visit.enclosing_fn_of_stmt program while_stmt.Ast.sid)
+
+let test_iter_visits_statics () =
+  let p = Parser.parse "static S: i64 = 40 + 2; fn main() { }" in
+  let saw_addition = ref false in
+  Visit.iter_exprs
+    (fun e -> match e.Ast.e with Ast.E_binop (Ast.Add, _, _) -> saw_addition := true | _ -> ())
+    p;
+  Alcotest.(check bool) "static initializers visited" true !saw_addition
+
+let suite =
+  [ Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "find_stmt total" `Quick test_find_stmt;
+    Alcotest.test_case "find_expr total" `Quick test_find_expr;
+    Alcotest.test_case "unsafe blocks" `Quick test_unsafe_blocks;
+    Alcotest.test_case "stmt_in_unsafe" `Quick test_stmt_in_unsafe;
+    Alcotest.test_case "enclosing fn" `Quick test_enclosing_fn;
+    Alcotest.test_case "statics visited" `Quick test_iter_visits_statics ]
