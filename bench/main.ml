@@ -5,7 +5,12 @@
    Usage:
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- fig8     # a single experiment
-   Experiments: fig5 fig7 fig8 fig9 fig10 fig11 fig12 table1 perf
+   Experiments: fig5 fig7 fig8 fig9 fig10 fig11 fig12 table1 ablate perf smoke
+
+   Every multi-seed campaign goes through the unified Exec runner API, so
+   backends are interchangeable and campaigns shard across domains; `perf`
+   additionally measures real wall-clock for the scheduler + verification
+   cache, and `smoke` is a fast determinism/cache gate wired into runtest.
 
    Reported times are *simulated* seconds (LLM latency + verification runs on
    the simulated clock); rates are measured by actually running each repaired
@@ -35,29 +40,26 @@ let rustbrain_cfg ?(kb = true) ?(feedback = true) ?(model = Llm_sim.Profile.Gpt4
     Rustbrain.Pipeline.model; temperature; use_kb = kb; use_feedback = feedback;
     rollback; seed }
 
+(* One generic multi-seed driver for every backend: pack the configured
+   backend once, let the scheduler re-seed it per campaign and shard the
+   campaigns over domains. *)
+let run_campaign runner cases = fst (Exec.Scheduler.run_seeded runner ~seeds cases)
+
 let run_rustbrain ?kb ?feedback ?model ?temperature ?rollback cases =
-  List.concat_map
-    (fun seed ->
-      Rustbrain.Pipeline.run_campaign
-        (rustbrain_cfg ?kb ?feedback ?model ?temperature ?rollback ~seed ())
-        cases)
-    seeds
+  run_campaign
+    (Exec.Backends.rustbrain
+       ~config:(rustbrain_cfg ?kb ?feedback ?model ?temperature ?rollback ~seed:1 ())
+       ())
+    cases
 
 let run_alone ?(model = Llm_sim.Profile.Gpt4) cases =
-  List.concat_map
-    (fun seed ->
-      Baselines.Llm_only.run_campaign
-        { Baselines.Llm_only.default_config with Baselines.Llm_only.model; seed }
-        cases)
-    seeds
+  run_campaign
+    (Exec.Backends.llm_only
+       ~config:{ Baselines.Llm_only.default_config with Baselines.Llm_only.model }
+       ())
+    cases
 
-let run_rust_assistant cases =
-  List.concat_map
-    (fun seed ->
-      Baselines.Rust_assistant.run_campaign
-        { Baselines.Rust_assistant.default_config with Baselines.Rust_assistant.seed }
-        cases)
-    seeds
+let run_rust_assistant cases = run_campaign (Exec.Backends.rust_assistant ()) cases
 
 (* -- Fig. 7 (RQ1, flexibility) --------------------------------------- *)
 
@@ -241,14 +243,7 @@ let table1 () =
   let no_kb = run_rustbrain ~kb:false ~feedback:false cases in
   let with_kb = run_rustbrain ~kb:true ~feedback:false cases in
   let with_fb = run_rustbrain ~kb:true ~feedback:true cases in
-  let human =
-    List.concat_map
-      (fun seed ->
-        Baselines.Human_expert.run_campaign
-          { Baselines.Human_expert.default_config with Baselines.Human_expert.seed }
-          cases)
-      seeds
-  in
+  let human = run_campaign (Exec.Backends.human_expert ()) cases in
   let rows =
     List.map
       (fun kind ->
@@ -359,7 +354,48 @@ let fig5 () =
     "(paper: error counts fluctuate under hallucination, e.g. N = {1, 3, 4, 6, 9};\n\
      adaptive rollback restarts each step from the best intermediate state)\n"
 
-(* -- Bechamel micro-benchmarks ----------------------------------------- *)
+(* -- perf: scheduler + cache wall-clock, then Bechamel micro-benchmarks -- *)
+
+let perf_campaign () =
+  section "Campaign scheduler + verification cache (real wall-clock)";
+  let cases = Dataset.Corpus.all in
+  let seeds = List.init 12 (fun i -> i + 1) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let nocache =
+    { Rustbrain.Pipeline.default_config with Rustbrain.Pipeline.use_cache = false }
+  in
+  let leg ~domains ~cache =
+    let runner =
+      if cache then Exec.Backends.rustbrain ()
+      else Exec.Backends.rustbrain ~config:nocache ()
+    in
+    time (fun () -> Exec.Scheduler.run_seeded ~domains runner ~seeds cases)
+  in
+  let (seq_off, _), t_seq_off = leg ~domains:1 ~cache:false in
+  let (seq_on, stats1), t_seq_on = leg ~domains:1 ~cache:true in
+  let (par_on, stats2), t_par_on = leg ~domains:2 ~cache:true in
+  let (_, _), t_par_off = leg ~domains:2 ~cache:false in
+  Printf.printf "campaign: rustbrain, %d case(s) x %d seed(s); %d core(s) available\n"
+    (List.length cases) (List.length seeds)
+    (Domain.recommended_domain_count ());
+  Printf.printf "  1 domain,  cache off   %6.3fs wall\n" t_seq_off;
+  Printf.printf "  1 domain,  cache on    %6.3fs wall  (hit-rate %.1f%%)\n" t_seq_on
+    (100.0 *. Exec.Runner.hit_rate stats1);
+  Printf.printf "  2 domains, cache off   %6.3fs wall\n" t_par_off;
+  Printf.printf "  2 domains, cache on    %6.3fs wall  (hit-rate %.1f%%, %d hits, %d misses)\n"
+    t_par_on
+    (100.0 *. Exec.Runner.hit_rate stats2)
+    stats2.Exec.Runner.cache_hits stats2.Exec.Runner.cache_misses;
+  Printf.printf "  cache speedup, 1 domain   %.2fx\n" (t_seq_off /. t_seq_on);
+  Printf.printf "  cache speedup, 2 domains  %.2fx\n" (t_par_off /. t_par_on);
+  Printf.printf "  2 domains cached vs sequential uncached  %.2fx\n"
+    (t_seq_off /. t_par_on);
+  Printf.printf "  reports byte-identical: cache on==off %b, parallel==sequential %b\n"
+    (seq_off = seq_on) (seq_on = par_on)
 
 let perf () =
   section "Substrate micro-benchmarks (Bechamel, real time)";
@@ -420,7 +456,37 @@ let perf () =
         [ name; Printf.sprintf "%.1f us" (est /. 1_000.0) ])
       tests
   in
-  print_string (Statkit.Table.render ~header:[ "operation"; "time/run" ] rows)
+  print_string (Statkit.Table.render ~header:[ "operation"; "time/run" ] rows);
+  perf_campaign ()
+
+(* -- smoke gate (dune runtest alias bench-smoke) ----------------------- *)
+
+let smoke () =
+  section "Smoke — scheduler determinism and cache effectiveness (tiny corpus)";
+  let cases = List.filteri (fun i _ -> i mod 8 = 0) Dataset.Corpus.all in
+  let failures = ref 0 in
+  let check runner =
+    let name = Exec.Runner.name runner in
+    let seq, _ = Exec.Scheduler.run_seeded ~domains:1 runner ~seeds:[ 1; 2 ] cases in
+    let par, stats = Exec.Scheduler.run_seeded ~domains:2 runner ~seeds:[ 1; 2 ] cases in
+    let same = seq = par in
+    Printf.printf "%-16s %3d report(s)  parallel==sequential:%b  cache hits:%d\n" name
+      (List.length par) same stats.Exec.Runner.cache_hits;
+    if not same then begin
+      Printf.eprintf "FAIL %s: parallel reports differ from sequential\n" name;
+      incr failures
+    end;
+    if stats.Exec.Runner.cache_hits = 0 then begin
+      (* every backend re-verifies candidates against the same references, so
+         zero hits means the cache is not wired in *)
+      Printf.eprintf "FAIL %s: verification cache never hit\n" name;
+      incr failures
+    end
+  in
+  check (Exec.Backends.rustbrain ());
+  check (Exec.Backends.llm_only ());
+  if !failures > 0 then exit 1;
+  print_endline "smoke ok"
 
 
 (* -- component ablation (DESIGN.md's starred design choices) ----------- *)
@@ -447,9 +513,7 @@ let ablate () =
   let rows =
     List.map
       (fun (name, cfg_of) ->
-        let reports =
-          List.concat_map (fun seed -> Rustbrain.Pipeline.run_campaign (cfg_of seed) cases) seeds
-        in
+        let reports = run_campaign (Exec.Backends.rustbrain ~config:(cfg_of 1) ()) cases in
         let r = rates_of reports in
         let iters =
           Statkit.Stats.mean
@@ -469,7 +533,7 @@ let ablate () =
 let experiments =
   [ ("fig5", fig5); ("fig7", fig7); ("fig8", fig89); ("fig9", fig89);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("table1", table1);
-    ("ablate", ablate); ("perf", perf) ]
+    ("ablate", ablate); ("perf", perf); ("smoke", smoke) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -5,6 +5,11 @@
    - `corpus`        list the benchmark corpus
    - `corpus-show`   print one case's buggy and reference sources
    - `corpus-fix`    run the full pipeline on one corpus case
+   - `campaign`      run any backend (pipeline or baseline) over the corpus,
+                     sharded across domains via the unified runner API
+
+   `fix`, `corpus-fix` and `campaign` take `--json` (and `campaign` also
+   `--csv`) for machine-readable reports.
 
    MiniRust sources conventionally use the .mrs extension; any path works. *)
 
@@ -101,7 +106,10 @@ let fix_cmd =
   in
   let temperature = Arg.(value & opt float 0.5 & info [ "temperature" ]) in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  let run file inputs model temperature seed =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
+  in
+  let run file inputs model temperature seed json =
     match load file with
     | Error msg ->
       prerr_endline msg;
@@ -130,7 +138,7 @@ let fix_cmd =
             sampling = { Llm_sim.Client.temperature };
             kb = Some kb; scorer; reference = None; probes = [ probe ];
             ref_panics = [ false ];
-            rng = Rb_util.Rng.create (seed * 31 + 7) }
+            rng = Rb_util.Rng.create (seed * 31 + 7); runner = None }
         in
         let solution =
           { Rustbrain.Solution.sname = "cli"; origin = "cli";
@@ -140,28 +148,63 @@ let fix_cmd =
                 Rustbrain.Solution.Fix Rustbrain.Ub_class.C_modify;
                 Rustbrain.Solution.Fix Rustbrain.Ub_class.C_assert ] }
         in
+        let category =
+          let config =
+            { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+              max_steps = 200_000; inputs = probe; trace = false }
+          in
+          match Miri.Machine.analyze ~config program with
+          | Miri.Machine.Ran r -> (
+            match Miri.Machine.first_ub r with
+            | Some d -> d.Miri.Diag.kind
+            | None -> Miri.Diag.Panic_bug)
+          | Miri.Machine.Compile_error _ -> Miri.Diag.Panic_bug
+        in
         let exec =
           Rustbrain.Slow_think.execute env ~program ~solution
             ~rollback:Rustbrain.Slow_think.Adaptive ~max_iters:10
         in
-        List.iter (fun line -> Printf.printf "  %s\n" line) exec.Rustbrain.Slow_think.trace;
-        Printf.printf "errors: %s\n"
-          (String.concat " -> " (List.map string_of_int exec.Rustbrain.Slow_think.n_sequence));
-        Printf.printf "simulated repair time: %.1fs\n" exec.Rustbrain.Slow_think.seconds;
-        if exec.Rustbrain.Slow_think.passed then begin
-          print_endline "repaired program:";
-          print_string (Minirust.Pretty.program exec.Rustbrain.Slow_think.final);
-          0
+        if json then begin
+          let stats = Llm_sim.Client.stats client in
+          let report =
+            { Rustbrain.Report.case_name = file;
+              category;
+              passed = exec.Rustbrain.Slow_think.passed;
+              semantic = false;  (* no developer reference to judge against *)
+              seconds = exec.Rustbrain.Slow_think.seconds;
+              llm_calls = stats.Llm_sim.Client.calls;
+              tokens = stats.Llm_sim.Client.tokens_in + stats.Llm_sim.Client.tokens_out;
+              iterations = exec.Rustbrain.Slow_think.iterations;
+              solutions_tried = 1;
+              rollbacks = exec.Rustbrain.Slow_think.rollbacks;
+              n_sequence = exec.Rustbrain.Slow_think.n_sequence;
+              winning_solution = Some "cli";
+              feedback_hit = false;
+              trace = exec.Rustbrain.Slow_think.trace }
+          in
+          print_endline (Rustbrain.Report.to_json report);
+          if exec.Rustbrain.Slow_think.passed then 0 else 1
         end
         else begin
-          Printf.printf "could not reach a clean program (%d residual error(s))\n"
-            exec.Rustbrain.Slow_think.errors;
-          1
+          List.iter (fun line -> Printf.printf "  %s\n" line) exec.Rustbrain.Slow_think.trace;
+          Printf.printf "errors: %s\n"
+            (String.concat " -> " (List.map string_of_int exec.Rustbrain.Slow_think.n_sequence));
+          Printf.printf "simulated repair time: %.1fs\n" exec.Rustbrain.Slow_think.seconds;
+          if exec.Rustbrain.Slow_think.passed then begin
+            print_endline "repaired program:";
+            print_string (Minirust.Pretty.program exec.Rustbrain.Slow_think.final);
+            0
+          end
+          else begin
+            Printf.printf "could not reach a clean program (%d residual error(s))\n"
+              exec.Rustbrain.Slow_think.errors;
+            1
+          end
         end)
   in
   Cmd.v
     (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
-    Term.(const run $ file $ inputs $ model $ temperature $ seed)
+    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json)
 
 (* -- corpus --------------------------------------------------------------- *)
 
@@ -203,7 +246,10 @@ let corpus_show_cmd =
 let corpus_fix_cmd =
   let case_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  let run name seed =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
+  in
+  let run name seed json =
     match Dataset.Corpus.find name with
     | None ->
       Printf.eprintf "unknown case %S\n" name;
@@ -214,13 +260,112 @@ let corpus_fix_cmd =
           { Rustbrain.Pipeline.default_config with Rustbrain.Pipeline.seed }
       in
       let r = Rustbrain.Pipeline.repair session case in
-      List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
-      print_endline (Rustbrain.Report.summary_line r);
+      if json then print_endline (Rustbrain.Report.to_json r)
+      else begin
+        List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
+        print_endline (Rustbrain.Report.summary_line r)
+      end;
       if r.Rustbrain.Report.passed then 0 else 1
   in
   Cmd.v
     (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
-    Term.(const run $ case_name $ seed)
+    Term.(const run $ case_name $ seed $ json)
+
+(* -- campaign ------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let backend =
+    Arg.(value & opt string "rustbrain" & info [ "backend" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf "Backend to run: %s."
+                   (String.concat ", " Exec.Backends.all_names)))
+  in
+  let seeds =
+    Arg.(value & opt string "1" & info [ "seeds" ] ~docv:"N,N,..."
+           ~doc:"Comma-separated campaign seeds; one campaign per seed.")
+  in
+  let domains =
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker-domain pool size (0 = recommended count).")
+  in
+  let cases =
+    Arg.(value & opt string "" & info [ "cases" ] ~docv:"NAME,NAME,..."
+           ~doc:"Restrict to these corpus cases (default: whole corpus).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per report.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows with a header line.")
+  in
+  let run backend seeds domains cases json csv =
+    match Exec.Backends.of_name backend with
+    | None ->
+      Printf.eprintf "unknown backend %S (known: %s)\n" backend
+        (String.concat ", " Exec.Backends.all_names);
+      1
+    | Some runner -> (
+      let seed_spec = seeds in
+      let seeds =
+        String.split_on_char ',' seeds
+        |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some (int_of_string_opt s))
+      in
+      match
+        if List.mem None seeds then Error `Bad
+        else match List.filter_map Fun.id seeds with
+          | [] -> Error `Empty
+          | seeds -> Ok seeds
+      with
+      | Error e ->
+        Printf.eprintf "--seeds %S: expected a %scomma-separated list of integers\n"
+          seed_spec (match e with `Empty -> "non-empty " | `Bad -> "");
+        1
+      | Ok seeds -> (
+      let case_filter =
+        String.split_on_char ',' cases
+        |> List.filter_map (fun s ->
+             let s = String.trim s in
+             if s = "" then None else Some s)
+      in
+      match
+        match case_filter with
+        | [] -> Ok Dataset.Corpus.all
+        | names ->
+          let missing =
+            List.filter (fun n -> Dataset.Corpus.find n = None) names
+          in
+          if missing <> [] then Error missing
+          else
+            Ok (List.filter_map Dataset.Corpus.find names)
+      with
+      | Error missing ->
+        Printf.eprintf "unknown case(s): %s\n" (String.concat ", " missing);
+        1
+      | Ok selected ->
+        let domains = if domains <= 0 then None else Some domains in
+        let reports, stats =
+          Exec.Scheduler.run_seeded ?domains runner ~seeds selected
+        in
+        if json then
+          List.iter (fun r -> print_endline (Rustbrain.Report.to_json r)) reports
+        else if csv then begin
+          print_endline Rustbrain.Report.csv_header;
+          List.iter (fun r -> print_endline (Rustbrain.Report.csv_row r)) reports
+        end
+        else begin
+          List.iter (fun r -> print_endline (Rustbrain.Report.summary_line r)) reports;
+          let passed = List.length (List.filter (fun r -> r.Rustbrain.Report.passed) reports) in
+          Printf.printf "passed %d/%d; verification cache hit-rate %.1f%%\n" passed
+            (List.length reports)
+            (100.0 *. Exec.Runner.hit_rate stats)
+        end;
+        if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a backend campaign over the corpus, sharded across domains.")
+    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -230,4 +375,5 @@ let () =
           (Cmd.info "rustbrain" ~version:"1.0.0"
              ~doc:"RustBrain reproduction: detect and repair UB in MiniRust programs.")
           ~default
-          [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd ]))
+          [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd;
+            campaign_cmd ]))

@@ -18,12 +18,22 @@ let median_seconds (k : Miri.Diag.ub_kind) =
   | Miri.Diag.Concurrency -> 144.0
   | Miri.Diag.Data_race -> 336.0
 
-type session = { cfg : config; rng : Rb_util.Rng.t; sclock : Rb_util.Simclock.t }
+type session = {
+  cfg : config;
+  rng : Rb_util.Rng.t;
+  sclock : Rb_util.Simclock.t;
+  cache : Miri.Machine.Cache.t;
+}
 
 let create_session cfg =
-  { cfg; rng = Rb_util.Rng.create (cfg.seed * 97 + 5); sclock = Rb_util.Simclock.create () }
+  { cfg; rng = Rb_util.Rng.create (cfg.seed * 97 + 5);
+    sclock = Rb_util.Simclock.create ();
+    cache = Miri.Machine.Cache.create () }
+
+let verification_cache s = s.cache
 
 let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  Minirust.Ast.scoped_ids @@ fun () ->
   let start = Rb_util.Simclock.now session.sclock in
   let median = median_seconds case.Dataset.Case.category in
   let seconds =
@@ -33,7 +43,9 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
   let succeeds = Rb_util.Rng.bernoulli session.rng session.cfg.success_rate in
   let passed, semantic =
     if succeeds then begin
-      let verdict = Dataset.Semantic.check case (Dataset.Case.fixed case) in
+      let verdict =
+        Dataset.Semantic.check ~cache:session.cache case (Dataset.Case.fixed case)
+      in
       (verdict.Dataset.Semantic.passes, verdict.Dataset.Semantic.semantic)
     end
     else (false, false)

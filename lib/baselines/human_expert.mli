@@ -23,6 +23,9 @@ type session
 
 val create_session : config -> session
 
+val verification_cache : session -> Miri.Machine.Cache.t
+(** Verification memo-cache shared across the session's repairs. *)
+
 val repair : session -> Dataset.Case.t -> Rustbrain.Report.t
 
 val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list

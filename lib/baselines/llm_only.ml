@@ -13,6 +13,7 @@ type session = {
   sclock : Rb_util.Simclock.t;
   client : Llm_sim.Client.t;
   rng : Rb_util.Rng.t;
+  cache : Miri.Machine.Cache.t;
 }
 
 let create_session cfg =
@@ -20,9 +21,11 @@ let create_session cfg =
   let client =
     Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
   in
-  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 17 + 3) }
+  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 17 + 3);
+    cache = Miri.Machine.Cache.create () }
 
 let clock s = s.sclock
+let verification_cache s = s.cache
 
 let cost_usd s = Llm_sim.Client.cost_usd s.client
 
@@ -43,11 +46,14 @@ let check_errors sclock program inputs =
       | _ -> None )
 
 let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  (* fixed id origin per repair: keeps reports byte-identical under the
+     Domain-parallel scheduler (see Pipeline.repair_common) *)
+  Minirust.Ast.scoped_ids @@ fun () ->
   let cfg = session.cfg in
   let start = Rb_util.Simclock.now session.sclock in
   let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
   let inputs = match case.Dataset.Case.probes with [] -> [||] | p :: _ -> p in
-  let scorer = Dataset.Semantic.score case in
+  let scorer = Dataset.Semantic.score ~cache:session.cache case in
   let reference = Dataset.Case.fixed case in
   let program = ref (Dataset.Case.buggy case) in
   let n_sequence = ref [] in
@@ -122,7 +128,7 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
     incr tries;
     attempt ()
   done;
-  let verdict = Dataset.Semantic.check case !program in
+  let verdict = Dataset.Semantic.check ~cache:session.cache case !program in
   List.iter
     (fun _ -> Rb_util.Simclock.charge session.sclock (Rustbrain.Env.verify_cost !program))
     case.Dataset.Case.probes;

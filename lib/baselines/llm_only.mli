@@ -21,6 +21,9 @@ val create_session : config -> session
 
 val clock : session -> Rb_util.Simclock.t
 
+val verification_cache : session -> Miri.Machine.Cache.t
+(** Verification memo-cache shared across the session's repairs. *)
+
 val cost_usd : session -> float
 (** Metered dollar cost of the session's LLM calls so far. *)
 

@@ -13,6 +13,7 @@ type session = {
   sclock : Rb_util.Simclock.t;
   client : Llm_sim.Client.t;
   rng : Rb_util.Rng.t;
+  cache : Miri.Machine.Cache.t;
 }
 
 let create_session cfg =
@@ -20,15 +21,20 @@ let create_session cfg =
   let client =
     Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
   in
-  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 13 + 11) }
+  { cfg; sclock; client; rng = Rb_util.Rng.create (cfg.seed * 13 + 11);
+    cache = Miri.Machine.Cache.create () }
 
 let clock s = s.sclock
+let verification_cache s = s.cache
 
 (* The fixed step order: the same for every error, every time. *)
 let fixed_steps =
   [ Rustbrain.Ub_class.C_replace; Rustbrain.Ub_class.C_assert; Rustbrain.Ub_class.C_modify ]
 
 let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
+  (* fixed id origin per repair: keeps reports byte-identical under the
+     Domain-parallel scheduler (see Pipeline.repair_common) *)
+  Minirust.Ast.scoped_ids @@ fun () ->
   let cfg = session.cfg in
   let start = Rb_util.Simclock.now session.sclock in
   let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
@@ -38,13 +44,15 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
       client = session.client;
       sampling = { Llm_sim.Client.temperature = cfg.temperature };
       kb = None;
-      scorer = Dataset.Semantic.score case;
+      scorer = Dataset.Semantic.score ~cache:session.cache case;
       reference = Some (Dataset.Case.fixed case);
       probes = case.Dataset.Case.probes;
       ref_panics =
-        Rustbrain.Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
-          ~probes:case.Dataset.Case.probes;
+        Rustbrain.Env.reference_panics ~cache:session.cache
+          ~reference:(Some (Dataset.Case.fixed case))
+          ~probes:case.Dataset.Case.probes ();
       rng = session.rng;
+      runner = None;
     }
   in
   let buggy = Dataset.Case.buggy case in
@@ -60,7 +68,9 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
           ignore (Rustbrain.Agent.run env state cls))
       fixed_steps
   done;
-  let verdict = Dataset.Semantic.check case state.Rustbrain.Env.program in
+  let verdict =
+    Dataset.Semantic.check ~cache:session.cache case state.Rustbrain.Env.program
+  in
   List.iter
     (fun _ ->
       Rb_util.Simclock.charge session.sclock

@@ -20,26 +20,36 @@ type t = {
       (** per probe: does the reference itself panic? A candidate panic on
           such a probe is a defined refusal, not an error to fix *)
   rng : Rb_util.Rng.t;  (* corruption and tie-breaking *)
+  runner :
+    (Minirust.Ast.program -> Minirust.Typecheck.info -> Miri.Machine.config ->
+     Miri.Machine.run_result)
+      option;
+      (** substitute for [Miri.Machine.run] in {!check}: lets the pipeline
+          memoize collect-mode verification of programs whose results are
+          known to be reproducible (e.g. the canonical buggy parse). [None]
+          runs the machine directly. *)
 }
 
 (* Reference panic profile for an env under construction. *)
-let reference_panics ~reference ~probes =
+let reference_panics ?cache ~reference ~probes () =
   match reference with
   | None -> List.map (fun _ -> false) probes
-  | Some reference -> (
-    match Minirust.Typecheck.check reference with
-    | Error _ -> List.map (fun _ -> false) probes
-    | Ok info ->
-      List.map
-        (fun inputs ->
-          let config =
-            { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
-              max_steps = 200_000; inputs; trace = false }
-          in
-          match (Miri.Machine.run ~config reference info).Miri.Machine.outcome with
-          | Miri.Machine.Panicked _ -> true
-          | _ -> false)
-        probes)
+  | Some reference ->
+    let fingerprint =
+      match cache with
+      | Some c when Miri.Machine.Cache.enabled c ->
+        Some (Minirust.Pretty.program reference)
+      | _ -> None
+    in
+    List.map
+      (fun inputs ->
+        let config =
+          { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+            max_steps = 200_000; inputs; trace = false }
+        in
+        let s = Miri.Machine.analyze_summary ?cache ?fingerprint ~config reference in
+        s.Miri.Machine.sm_panic <> None)
+      probes
 
 type state = {
   mutable program : Minirust.Ast.program;
@@ -85,7 +95,11 @@ let check env state =
           { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42;
             max_steps = 200_000; inputs; trace = false }
         in
-        let r = Miri.Machine.run ~config state.program info in
+        let r =
+          match env.runner with
+          | Some f -> f state.program info config
+          | None -> Miri.Machine.run ~config state.program info
+        in
         total := !total + List.length r.Miri.Machine.diags;
         (match r.Miri.Machine.outcome with
         | Miri.Machine.Panicked m ->

@@ -3,6 +3,7 @@ type config = {
   temperature : float;
   use_kb : bool;
   use_feedback : bool;
+  use_cache : bool;
   rollback : Slow_think.rollback_policy;
   enable_replace : bool;
   enable_assert : bool;
@@ -19,6 +20,7 @@ let default_config =
     temperature = 0.5;
     use_kb = true;
     use_feedback = true;
+    use_cache = true;
     rollback = Slow_think.Adaptive;
     enable_replace = true;
     enable_assert = true;
@@ -36,6 +38,7 @@ type session = {
   kb : Knowledge.Kb.t option;
   feedback : Feedback.t option;
   rng : Rb_util.Rng.t;
+  cache : Miri.Machine.Cache.t;
 }
 
 let create_session cfg =
@@ -52,11 +55,14 @@ let create_session cfg =
     else None
   in
   let feedback = if cfg.use_feedback then Some (Feedback.create ()) else None in
-  { cfg; sclock; client; kb; feedback; rng = Rb_util.Rng.create (cfg.seed * 31 + 7) }
+  { cfg; sclock; client; kb; feedback;
+    rng = Rb_util.Rng.create (cfg.seed * 31 + 7);
+    cache = Miri.Machine.Cache.create ~enabled:cfg.use_cache () }
 
 let clock s = s.sclock
 let config s = s.cfg
 let llm_stats s = Llm_sim.Client.stats s.client
+let verification_cache s = s.cache
 
 (* restrict a plan to the enabled agents *)
 let filter_solution cfg (solution : Solution.t) : Solution.t =
@@ -68,19 +74,64 @@ let filter_solution cfg (solution : Solution.t) : Solution.t =
   in
   { solution with Solution.steps = List.filter keep solution.Solution.steps }
 
-let make_env session (case : Dataset.Case.t) : Env.t =
+(* Domain-local memo of collect-mode runs of *canonical* buggy programs.
+   Node ids restart per repair (scoped_ids) and verification is id-neutral,
+   so the buggy parse of a given case carries identical ids in every
+   session: its run results are reproducible and safe to share across the
+   sessions a domain executes. Keyed on both sources (the reference is
+   parsed first and shifts the buggy parse's id origin) plus the run
+   config. *)
+let canonical_run_memo :
+    (string, Miri.Machine.run_result) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 128)
+
+let run_config_key (c : Miri.Machine.config) =
+  Printf.sprintf "%s|%d|%d|%b|%s"
+    (match c.Miri.Machine.mode with
+    | Miri.Machine.Stop_first -> "S"
+    | Miri.Machine.Collect n -> "C" ^ string_of_int n)
+    c.Miri.Machine.seed c.Miri.Machine.max_steps c.Miri.Machine.trace
+    (String.concat "," (Array.to_list (Array.map Int64.to_string c.Miri.Machine.inputs)))
+
+(* Memoizing stand-in for [Miri.Machine.run], valid only for the canonical
+   [buggy] parse of [case] (compared physically). *)
+let make_runner session (case : Dataset.Case.t) buggy program info config =
+  if program == buggy && Miri.Machine.Cache.enabled session.cache then begin
+    let tbl = Domain.DLS.get canonical_run_memo in
+    let key =
+      String.concat "\x00"
+        [ run_config_key config; case.Dataset.Case.fixed_src;
+          case.Dataset.Case.buggy_src ]
+    in
+    match Hashtbl.find_opt tbl key with
+    | Some r ->
+      Miri.Machine.Cache.record_hit session.cache;
+      r
+    | None ->
+      Miri.Machine.Cache.record_miss session.cache;
+      let r = Miri.Machine.run ~config program info in
+      Hashtbl.add tbl key r;
+      r
+  end
+  else Miri.Machine.run ~config program info
+
+let make_env session (case : Dataset.Case.t) ~buggy : Env.t =
   {
     Env.clock = session.sclock;
     client = session.client;
     sampling = { Llm_sim.Client.temperature = session.cfg.temperature };
     kb = session.kb;
-    scorer = Dataset.Semantic.score case;
+    scorer = Dataset.Semantic.score ~cache:session.cache case;
     reference = Some (Dataset.Case.fixed case);
     probes = case.Dataset.Case.probes;
     ref_panics =
-      Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
-        ~probes:case.Dataset.Case.probes;
+      (* the reference observations double as the panic profile, so a warm
+         cache skips the reference runs (and re-parses) entirely *)
+      List.map
+        (fun (o : Dataset.Semantic.observation) -> o.Dataset.Semantic.panicked)
+        (Dataset.Semantic.reference_observations ~cache:session.cache case);
     rng = session.rng;
+    runner = Some (make_runner session case buggy);
   }
 
 type attempt = {
@@ -90,33 +141,39 @@ type attempt = {
 }
 
 (* final verdict: full multi-probe pass/exec check, charged per probe *)
-let judge env (case : Dataset.Case.t) program =
+let judge session env (case : Dataset.Case.t) program =
   List.iter
     (fun _ -> Rb_util.Simclock.charge env.Env.clock (Env.verify_cost program))
     case.Dataset.Case.probes;
-  Dataset.Semantic.check case program
+  Dataset.Semantic.check ~cache:session.cache case program
 
 let repair_common session (case : Dataset.Case.t) (solutions_override : Solution.t list option) :
     Report.t =
+  (* Node ids restart at a fixed origin for every repair, so id-bearing
+     strings (edit labels, traces) — and therefore the whole Report — are
+     identical whether campaigns run sequentially or sharded across
+     domains. *)
+  Minirust.Ast.scoped_ids @@ fun () ->
   let cfg = session.cfg in
-  let env = make_env session case in
+  (* the buggy parse comes first, straight after the id reset: its node ids
+     are then a pure function of the case source — canonical per case — which
+     is what makes the cross-session run memo in [make_runner] sound *)
+  let buggy = Dataset.Case.buggy case in
+  let env = make_env session case ~buggy in
   let start = Rb_util.Simclock.now session.sclock in
   let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
-  let buggy = Dataset.Case.buggy case in
-  (* F1: detection *)
+  (* F1: detection — shares the canonical-run memo with the first slow-think
+     verification of every solution, which re-checks this same program *)
   Rb_util.Simclock.charge session.sclock (Env.verify_cost buggy);
   let inputs = match case.Dataset.Case.probes with [] -> [||] | p :: _ -> p in
-  let detect =
-    Miri.Machine.analyze
-      ~config:
-        { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
-          inputs; trace = false }
-      buggy
+  let detect_config =
+    { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
+      inputs; trace = false }
   in
   let run_result =
-    match detect with
-    | Miri.Machine.Ran r -> r
-    | Miri.Machine.Compile_error _ ->
+    match Minirust.Typecheck.check buggy with
+    | Ok info -> make_runner session case buggy buggy info detect_config
+    | Error _ ->
       (* corpus programs always compile; treat as an immediate failure *)
       { Miri.Machine.outcome = Miri.Machine.Step_limit; output = []; diags = [];
         steps = 0; error_count = 1; events = [] }
@@ -154,7 +211,7 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
           ~rollback:cfg.rollback ~max_iters:cfg.max_iters
       in
       let verdict =
-        if exec.Slow_think.passed then judge env case exec.Slow_think.final
+        if exec.Slow_think.passed then judge session env case exec.Slow_think.final
         else { Dataset.Semantic.passes = false; semantic = false; per_probe = [] }
       in
       let attempt =
@@ -183,7 +240,7 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
     match best with
     | None -> (false, false, None, [], 0, 0, [])
     | Some a ->
-      let v = judge env case a.at_exec.Slow_think.final in
+      let v = judge session env case a.at_exec.Slow_think.final in
       ( v.Dataset.Semantic.passes,
         v.Dataset.Semantic.semantic,
         Some a.at_solution.Solution.sname,

@@ -16,6 +16,9 @@ type config = {
   temperature : float;
   use_kb : bool;
   use_feedback : bool;
+  use_cache : bool;
+      (** memoize oracle verification runs (semantically transparent; see
+          {!Miri.Machine.Cache}) *)
   rollback : Slow_think.rollback_policy;
   enable_replace : bool;
   enable_assert : bool;
@@ -37,6 +40,10 @@ val create_session : config -> session
 val clock : session -> Rb_util.Simclock.t
 val config : session -> config
 val llm_stats : session -> Llm_sim.Client.stats
+
+val verification_cache : session -> Miri.Machine.Cache.t
+(** The session's verification memo-cache (hit/miss counters feed the
+    bench perf report; disabled when [config.use_cache] is false). *)
 
 val repair : session -> Dataset.Case.t -> Report.t
 (** Run the full pipeline on one case. *)

@@ -15,6 +15,73 @@ type t = {
   trace : string list;
 }
 
+(* -- machine-readable output ---------------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let field name v = Printf.sprintf "%s:%s" (json_string name) v in
+  let strings xs = "[" ^ String.concat "," (List.map json_string xs) ^ "]" in
+  let ints xs = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]" in
+  "{"
+  ^ String.concat ","
+      [ field "case" (json_string t.case_name);
+        field "category" (json_string (Miri.Diag.kind_name t.category));
+        field "passed" (string_of_bool t.passed);
+        field "semantic" (string_of_bool t.semantic);
+        field "seconds" (Printf.sprintf "%.6f" t.seconds);
+        field "llm_calls" (string_of_int t.llm_calls);
+        field "tokens" (string_of_int t.tokens);
+        field "iterations" (string_of_int t.iterations);
+        field "solutions_tried" (string_of_int t.solutions_tried);
+        field "rollbacks" (string_of_int t.rollbacks);
+        field "n_sequence" (ints t.n_sequence);
+        field "winning_solution"
+          (match t.winning_solution with Some s -> json_string s | None -> "null");
+        field "feedback_hit" (string_of_bool t.feedback_hit);
+        field "trace" (strings t.trace) ]
+  ^ "}"
+
+let csv_header =
+  "case,category,passed,semantic,seconds,llm_calls,tokens,iterations,\
+   solutions_tried,rollbacks,n_sequence,winning_solution,feedback_hit"
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_row t =
+  String.concat ","
+    [ csv_field t.case_name;
+      csv_field (Miri.Diag.kind_name t.category);
+      string_of_bool t.passed;
+      string_of_bool t.semantic;
+      Printf.sprintf "%.6f" t.seconds;
+      string_of_int t.llm_calls;
+      string_of_int t.tokens;
+      string_of_int t.iterations;
+      string_of_int t.solutions_tried;
+      string_of_int t.rollbacks;
+      csv_field (String.concat ";" (List.map string_of_int t.n_sequence));
+      csv_field (Option.value t.winning_solution ~default:"");
+      string_of_bool t.feedback_hit ]
+
 let summary_line t =
   Printf.sprintf "%-28s %-18s pass=%b exec=%b %6.1fs iters=%d sols=%d%s%s" t.case_name
     (Miri.Diag.kind_name t.category)

@@ -18,3 +18,13 @@ type t = {
 }
 
 val summary_line : t -> string
+
+val to_json : t -> string
+(** One self-contained JSON object per report (no trailing newline);
+    campaign output is a JSON array or one object per line. *)
+
+val csv_header : string
+(** Column names matching {!csv_row}; [n_sequence] is [;]-joined, [trace]
+    is omitted (use JSON for full traces). *)
+
+val csv_row : t -> string

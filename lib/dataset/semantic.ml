@@ -5,23 +5,33 @@ type observation = {
   errors : int;
 }
 
-let observe ?(seed = 42) ?(max_steps = 200_000) program inputs =
-  let config =
-    { Miri.Machine.mode = Miri.Machine.Stop_first; seed; max_steps; inputs;
-      trace = false }
-  in
-  match Miri.Machine.analyze ~config program with
-  | Miri.Machine.Compile_error _ ->
+let probe_config ~seed ~max_steps inputs =
+  { Miri.Machine.mode = Miri.Machine.Stop_first; seed; max_steps; inputs;
+    trace = false }
+
+let observation_of_summary (s : Miri.Machine.summary) =
+  if s.Miri.Machine.sm_compile_error then
     { finished = false; panicked = false; trace = []; errors = max_int }
-  | Miri.Machine.Ran r ->
-    let finished = Miri.Machine.is_clean r in
-    let panicked =
-      match r.Miri.Machine.outcome with Miri.Machine.Panicked _ -> true | _ -> false
-    in
-    (* [errors] counts UB diagnostics only; a panic is a defined outcome and
-       is judged via [panicked] *)
-    { finished; panicked; trace = r.Miri.Machine.output;
-      errors = List.length r.Miri.Machine.diags }
+  else
+    { finished = s.Miri.Machine.sm_clean;
+      panicked = s.Miri.Machine.sm_panic <> None;
+      trace = s.Miri.Machine.sm_output;
+      errors = s.Miri.Machine.sm_ub_count }
+
+(* roundtrip for cache storage: observations drop the panic message, so a
+   placeholder is enough to reconstruct [panicked] *)
+let summary_of_observation (o : observation) : Miri.Machine.summary =
+  { Miri.Machine.sm_compile_error = o.errors = max_int;
+    sm_clean = o.finished;
+    sm_panic = (if o.panicked then Some "" else None);
+    sm_output = o.trace;
+    sm_ub_count = (if o.errors = max_int then 0 else o.errors);
+    sm_error_count = 0 }
+
+let observe ?cache ?fingerprint ?(seed = 42) ?(max_steps = 200_000) program inputs =
+  let config = probe_config ~seed ~max_steps inputs in
+  observation_of_summary
+    (Miri.Machine.analyze_summary ?cache ?fingerprint ~config program)
 
 type verdict = {
   passes : bool;
@@ -35,13 +45,39 @@ let same_behaviour (a : observation) (b : observation) =
   && List.length a.trace = List.length b.trace
   && List.for_all2 String.equal a.trace b.trace
 
-let reference_observations (case : Case.t) =
-  let reference = Case.fixed case in
-  List.map (observe reference) case.Case.probes
+let probe_key inputs =
+  String.concat "," (Array.to_list (Array.map Int64.to_string inputs))
 
-let check (case : Case.t) candidate =
-  let refs = reference_observations case in
-  let cands = List.map (observe candidate) case.Case.probes in
+let reference_observations ?cache (case : Case.t) =
+  (* id-neutral: a cached hit skips even the reference parse, so the parse's
+     id consumption must be invisible either way *)
+  Minirust.Ast.id_preserving @@ fun () ->
+  match cache with
+  | None -> List.map (observe (Case.fixed case)) case.Case.probes
+  | Some c when not (Miri.Machine.Cache.enabled c) ->
+    List.map (observe (Case.fixed case)) case.Case.probes
+  | Some c ->
+    (* keyed by case name + probe: the corpus is immutable, so a hit skips
+       even re-parsing the reference source *)
+    let reference = lazy (Case.fixed case) in
+    List.map
+      (fun inputs ->
+        let key = Printf.sprintf "ref:%s:%s" case.Case.name (probe_key inputs) in
+        observation_of_summary
+          (Miri.Machine.Cache.memo c ~key (fun () ->
+               summary_of_observation (observe (Lazy.force reference) inputs))))
+      case.Case.probes
+
+let check ?cache (case : Case.t) candidate =
+  let refs = reference_observations ?cache case in
+  (* one pretty-print per candidate, shared across all probe lookups *)
+  let fingerprint =
+    match cache with
+    | Some c when Miri.Machine.Cache.enabled c ->
+      Some (Minirust.Pretty.program candidate)
+    | _ -> None
+  in
+  let cands = List.map (observe ?cache ?fingerprint candidate) case.Case.probes in
   let per_probe = List.combine cands refs in
   (* pass: no UB anywhere, and the candidate only panics where the reference
      itself panics (a clean panic on an input the developer fix also refuses
@@ -53,11 +89,11 @@ let check (case : Case.t) candidate =
   let semantic = passes && List.for_all (fun (c, r) -> same_behaviour c r) per_probe in
   { passes; semantic; per_probe }
 
-let score case candidate =
+let score ?cache case candidate =
   match Minirust.Typecheck.check candidate with
   | Error _ -> 0.02
   | Ok _ ->
-    let v = check case candidate in
+    let v = check ?cache case candidate in
     if v.semantic then 1.0
     else if v.passes then 0.7
     else begin

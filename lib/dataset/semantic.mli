@@ -21,9 +21,13 @@ type observation = {
 }
 
 val observe :
-  ?seed:int -> ?max_steps:int -> Minirust.Ast.program -> int64 array -> observation
+  ?cache:Miri.Machine.Cache.t -> ?fingerprint:string -> ?seed:int ->
+  ?max_steps:int -> Minirust.Ast.program -> int64 array -> observation
 (** Run one probe (stop-at-first-UB mode, fixed scheduler seed). A program
-    that fails to typecheck observes as [errors = max_int]. *)
+    that fails to typecheck observes as [errors = max_int]. With [cache],
+    the underlying machine run is memoized on the pretty-printed program
+    (or [fingerprint], if the caller already computed it) plus the probe
+    configuration; observations are id-free, so this is transparent. *)
 
 type verdict = {
   passes : bool;
@@ -31,13 +35,15 @@ type verdict = {
   per_probe : (observation * observation) list;  (** candidate, reference *)
 }
 
-val check : Case.t -> Minirust.Ast.program -> verdict
+val check : ?cache:Miri.Machine.Cache.t -> Case.t -> Minirust.Ast.program -> verdict
 (** Judge a candidate repair of the given case. *)
 
-val reference_observations : Case.t -> observation list
-(** The reference fix's behaviour on each probe (cached per call site). *)
+val reference_observations : ?cache:Miri.Machine.Cache.t -> Case.t -> observation list
+(** The reference fix's behaviour on each probe. With [cache], memoized
+    under a [case-name × probe] key — a hit skips even the reference
+    re-parse, which is the oracle-scoring hot path. *)
 
-val score : Case.t -> Minirust.Ast.program -> float
+val score : ?cache:Miri.Machine.Cache.t -> Case.t -> Minirust.Ast.program -> float
 (** Oracle quality in [0,1]: 1.0 = passes and semantically acceptable,
     0.7 = passes, below that scaled by the fraction of clean probes;
     ill-typed candidates score 0.02. *)

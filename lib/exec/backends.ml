@@ -1,0 +1,77 @@
+let stats_of_cache cache =
+  let s = Miri.Machine.Cache.stats cache in
+  { Runner.cache_hits = s.Miri.Machine.Cache.hits;
+    cache_misses = s.Miri.Machine.Cache.misses }
+
+module Rustbrain_pipeline = struct
+  type config = Rustbrain.Pipeline.config
+
+  let name = "rustbrain"
+  let default_config = Rustbrain.Pipeline.default_config
+  let with_seed cfg seed = { cfg with Rustbrain.Pipeline.seed }
+
+  let run_campaign cfg cases =
+    let session = Rustbrain.Pipeline.create_session cfg in
+    let reports = List.map (Rustbrain.Pipeline.repair session) cases in
+    (reports, stats_of_cache (Rustbrain.Pipeline.verification_cache session))
+end
+
+module Llm_alone = struct
+  type config = Baselines.Llm_only.config
+
+  let name = "llm-only"
+  let default_config = Baselines.Llm_only.default_config
+  let with_seed cfg seed = { cfg with Baselines.Llm_only.seed }
+
+  let run_campaign cfg cases =
+    let session = Baselines.Llm_only.create_session cfg in
+    let reports = List.map (Baselines.Llm_only.repair session) cases in
+    (reports, stats_of_cache (Baselines.Llm_only.verification_cache session))
+end
+
+module Fixed_assistant = struct
+  type config = Baselines.Rust_assistant.config
+
+  let name = "rust-assistant"
+  let default_config = Baselines.Rust_assistant.default_config
+  let with_seed cfg seed = { cfg with Baselines.Rust_assistant.seed }
+
+  let run_campaign cfg cases =
+    let session = Baselines.Rust_assistant.create_session cfg in
+    let reports = List.map (Baselines.Rust_assistant.repair session) cases in
+    (reports, stats_of_cache (Baselines.Rust_assistant.verification_cache session))
+end
+
+module Human = struct
+  type config = Baselines.Human_expert.config
+
+  let name = "human-expert"
+  let default_config = Baselines.Human_expert.default_config
+  let with_seed cfg seed = { cfg with Baselines.Human_expert.seed }
+
+  let run_campaign cfg cases =
+    let session = Baselines.Human_expert.create_session cfg in
+    let reports = List.map (Baselines.Human_expert.repair session) cases in
+    (reports, stats_of_cache (Baselines.Human_expert.verification_cache session))
+end
+
+let rustbrain ?(config = Rustbrain_pipeline.default_config) () =
+  Runner.pack (module Rustbrain_pipeline) config
+
+let llm_only ?(config = Llm_alone.default_config) () =
+  Runner.pack (module Llm_alone) config
+
+let rust_assistant ?(config = Fixed_assistant.default_config) () =
+  Runner.pack (module Fixed_assistant) config
+
+let human_expert ?(config = Human.default_config) () =
+  Runner.pack (module Human) config
+
+let all_names = [ "rustbrain"; "llm-only"; "rust-assistant"; "human-expert" ]
+
+let of_name = function
+  | "rustbrain" -> Some (rustbrain ())
+  | "llm-only" -> Some (llm_only ())
+  | "rust-assistant" -> Some (rust_assistant ())
+  | "human-expert" -> Some (human_expert ())
+  | _ -> None

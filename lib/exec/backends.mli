@@ -1,0 +1,23 @@
+(** The four campaign backends adapted to {!Runner.S}.
+
+    [Rustbrain_pipeline] is the paper's full system; [Llm_alone] the
+    "model alone" baseline; [Fixed_assistant] the RustAssistant-style fixed
+    pipeline; [Human] the stochastic human-expert time model. The
+    constructors below pack each with a config (default when omitted) for
+    generic drivers; {!of_name} resolves the CLI/bench spelling. *)
+
+module Rustbrain_pipeline : Runner.S with type config = Rustbrain.Pipeline.config
+module Llm_alone : Runner.S with type config = Baselines.Llm_only.config
+module Fixed_assistant : Runner.S with type config = Baselines.Rust_assistant.config
+module Human : Runner.S with type config = Baselines.Human_expert.config
+
+val rustbrain : ?config:Rustbrain.Pipeline.config -> unit -> Runner.packed
+val llm_only : ?config:Baselines.Llm_only.config -> unit -> Runner.packed
+val rust_assistant : ?config:Baselines.Rust_assistant.config -> unit -> Runner.packed
+val human_expert : ?config:Baselines.Human_expert.config -> unit -> Runner.packed
+
+val all_names : string list
+
+val of_name : string -> Runner.packed option
+(** Default-config backend by name: "rustbrain", "llm-only",
+    "rust-assistant", "human-expert". *)

@@ -1,0 +1,30 @@
+type stats = { cache_hits : int; cache_misses : int }
+
+let no_stats = { cache_hits = 0; cache_misses = 0 }
+
+let add_stats a b =
+  { cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses }
+
+let hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+module type S = sig
+  type config
+
+  val name : string
+  val default_config : config
+  val with_seed : config -> int -> config
+  val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list * stats
+end
+
+type packed = Packed : (module S with type config = 'c) * 'c -> packed
+
+let pack (type c) (m : (module S with type config = c)) (cfg : c) = Packed (m, cfg)
+
+let name (Packed ((module M), _)) = M.name
+
+let with_seed (Packed ((module M), cfg)) seed = Packed ((module M), M.with_seed cfg seed)
+
+let run (Packed ((module M), cfg)) cases = M.run_campaign cfg cases

@@ -1,0 +1,54 @@
+(** The unified campaign-runner API.
+
+    The pipeline and every baseline expose the same repair-campaign shape —
+    build a session from a config, repair each case in order, return one
+    {!Rustbrain.Report.t} per case — but historically through three
+    incompatible [run_campaign] entry points that bench and the CLI each
+    re-wrapped by hand. {!S} names that shape once; a backend is a
+    first-class module implementing it, and {!packed} pairs the module with
+    a concrete config so heterogeneous backends can ride in one list, one
+    scheduler queue, one CLI flag.
+
+    Campaign state (simulated clock, LLM client, KB/feedback, verification
+    cache) lives inside the backend's session, created fresh per
+    [run_campaign] call: a packed runner is therefore safe to run on any
+    domain, and running it twice gives byte-identical reports. *)
+
+type stats = {
+  cache_hits : int;    (** verification memo-cache hits *)
+  cache_misses : int;
+}
+
+val no_stats : stats
+val add_stats : stats -> stats -> stats
+
+val hit_rate : stats -> float
+(** Hits over total lookups; 0 when the campaign never consulted a cache. *)
+
+module type S = sig
+  type config
+
+  val name : string
+  (** Stable backend identifier ("rustbrain", "llm-only", ...). *)
+
+  val default_config : config
+
+  val with_seed : config -> int -> config
+  (** The one config field every backend shares; lets generic drivers fan a
+      campaign out across seeds without knowing the config's shape. *)
+
+  val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list * stats
+  (** Fresh session, repair each case in order, report verification-cache
+      traffic. Deterministic: equal configs and cases give byte-identical
+      reports. *)
+end
+
+type packed = Packed : (module S with type config = 'c) * 'c -> packed
+(** A backend together with the config it will run; the existential keeps
+    per-backend config types out of generic driver code. *)
+
+val pack : (module S with type config = 'c) -> 'c -> packed
+
+val name : packed -> string
+val with_seed : packed -> int -> packed
+val run : packed -> Dataset.Case.t list -> Rustbrain.Report.t list * stats

@@ -1,0 +1,66 @@
+type job = {
+  label : string;
+  runner : Runner.packed;
+  cases : Dataset.Case.t list;
+}
+
+type result = {
+  job : job;
+  reports : Rustbrain.Report.t list;
+  stats : Runner.stats;
+}
+
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run_jobs ?(domains = default_domains ()) jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let exec i =
+    let job = jobs.(i) in
+    match Runner.run job.runner job.cases with
+    | reports, stats -> results.(i) <- Some (Ok { job; reports; stats })
+    | exception e -> results.(i) <- Some (Error e)
+  in
+  let workers = min domains n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    (* fixed worker pool over an atomic job queue: campaigns are
+       independent, so claiming indices is the only synchronization needed,
+       and each result slot is written by exactly one worker (publication
+       ordered by Domain.join) *)
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        exec i;
+        worker ()
+      end
+    in
+    let pool = List.init workers (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join pool
+  end;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok r) -> r
+       | Some (Error e) -> raise e
+       | None -> assert false)
+
+let run_seeded ?domains ?label runner ~seeds cases =
+  let label_of seed =
+    match label with
+    | Some l -> Printf.sprintf "%s/seed%d" l seed
+    | None -> Printf.sprintf "%s/seed%d" (Runner.name runner) seed
+  in
+  let jobs =
+    List.map
+      (fun seed ->
+        { label = label_of seed; runner = Runner.with_seed runner seed; cases })
+      seeds
+  in
+  let results = run_jobs ?domains jobs in
+  ( List.concat_map (fun r -> r.reports) results,
+    List.fold_left (fun acc r -> Runner.add_stats acc r.stats) Runner.no_stats results )

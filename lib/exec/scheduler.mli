@@ -1,0 +1,42 @@
+(** Domain-parallel campaign scheduler.
+
+    A campaign — one [(backend, config, seed)] triple over a case list — is
+    the unit of parallelism: KB and feedback accumulation must stay
+    sequential {e within} a session, but distinct campaigns share no state
+    (each owns its seeded RNG, simulated clock and verification cache), so
+    a fixed pool of OCaml 5 domains can shard them freely.
+
+    Determinism is the contract: results come back in job-list order and
+    every report is byte-identical to what a sequential run produces,
+    whatever the domain count or work-stealing interleaving. Node-id and
+    borrow-tag numbering is domain-local and re-anchored per repair
+    ([Minirust.Ast.scoped_ids], [Miri.Borrow.reset_tags]) precisely so this
+    holds. *)
+
+type job = {
+  label : string;
+  runner : Runner.packed;
+  cases : Dataset.Case.t list;
+}
+
+type result = {
+  job : job;
+  reports : Rustbrain.Report.t list;
+  stats : Runner.stats;
+}
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1, 8]. *)
+
+val run_jobs : ?domains:int -> job list -> result list
+(** Run every job on a pool of at most [domains] workers (default
+    {!default_domains}; [domains <= 1] runs inline with no spawning).
+    Results are returned in job order. If a job raises, the remaining jobs
+    still run and the first exception is re-raised afterwards. *)
+
+val run_seeded :
+  ?domains:int -> ?label:string -> Runner.packed -> seeds:int list ->
+  Dataset.Case.t list -> Rustbrain.Report.t list * Runner.stats
+(** One campaign per seed, sharded across domains; reports concatenated in
+    seed order with cache stats summed — the shape every bench experiment
+    uses. *)

@@ -111,11 +111,35 @@ type program = {
 (* ------------------------------------------------------------------ *)
 (* Node ids and constructors                                           *)
 
-let id_counter = ref 0
+(* Node ids come from a domain-local counter: parallel campaign workers
+   (lib/exec) each number their own ASTs without racing. [scoped_ids]
+   renumbers from a fixed origin so that id-bearing strings (edit labels,
+   repair traces) do not depend on how much parsing happened before — a
+   repair produces byte-identical output whether it runs first, last, or on
+   another domain. *)
+let id_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_id () =
-  incr id_counter;
-  !id_counter
+  let r = Domain.DLS.get id_counter in
+  incr r;
+  !r
+
+let scoped_ids f =
+  let r = Domain.DLS.get id_counter in
+  let saved = !r in
+  r := 0;
+  (* restore to the high-water mark: ids handed out inside the scope must not
+     be reissued to nodes created after it *)
+  Fun.protect ~finally:(fun () -> r := max saved !r) f
+
+(* Id-neutral scope for verification-only work (reference parses, analysis
+   runs): the counter is restored exactly, so skipping the work — e.g. on a
+   verification-cache hit — leaves later id-bearing labels unchanged. Only
+   safe when no AST built inside outlives the scope. *)
+let id_preserving f =
+  let r = Domain.DLS.get id_counter in
+  let saved = !r in
+  Fun.protect ~finally:(fun () -> r := saved) f
 
 let mk e = { eid = fresh_id (); e }
 let mks s = { sid = fresh_id (); s }

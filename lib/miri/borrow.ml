@@ -15,11 +15,18 @@ type t = {
       (** every tag ever created on this stack, for violation classification *)
 }
 
-let tag_counter = ref 0
+(* Domain-local so parallel campaign workers (lib/exec) never race on tag
+   allocation; Machine.run resets it so tags — which appear in diagnostic
+   text — are a deterministic function of the program under test, not of
+   how many runs happened before. *)
+let tag_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_tag () =
-  incr tag_counter;
-  !tag_counter
+  let r = Domain.DLS.get tag_counter in
+  incr r;
+  !r
+
+let reset_tags () = Domain.DLS.get tag_counter := 0
 
 let create ~base_tag =
   let created = Hashtbl.create 8 in

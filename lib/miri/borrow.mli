@@ -29,7 +29,13 @@ val create : base_tag:int -> t
 (** Fresh stack containing only the allocation's base tag (Unique). *)
 
 val fresh_tag : unit -> int
-(** Globally unique tags (also used by the allocator for base tags). *)
+(** Domain-locally unique tags (also used by the allocator for base tags). *)
+
+val reset_tags : unit -> unit
+(** Reset the current domain's tag counter. [Machine.run] calls this on
+    entry so the tags embedded in diagnostic text are a deterministic
+    function of the program under test, independent of prior runs or of
+    which domain executes the run. *)
 
 val retag : t -> parent:int option -> perm -> (int * (int * perm) list, violation) result
 (** Derive a new pointer with permission [perm] from [parent]. Performs the

@@ -955,6 +955,9 @@ type pending = { p_tid : int; run : unit -> unit }
 
 let run ?(config = default_config) (program : Ast.program) (info : Typecheck.info) :
     run_result =
+  (* deterministic tags per run: diagnostics mention tag numbers, and repair
+     traces built from them must not depend on how many runs came before *)
+  Borrow.reset_tags ();
   let st =
     {
       config;
@@ -1184,3 +1187,111 @@ let analyze ?(config = default_config) program =
 let is_clean r = r.outcome = Finished && r.diags = []
 
 let first_ub (r : run_result) = match r.diags with [] -> None | d :: _ -> Some d
+
+(* ------------------------------------------------------------------ *)
+(* Verification memo-cache *)
+
+(* An id-free digest of an analysis: everything the oracle scoring needs
+   (outcome class, print trace, error counts) and nothing that embeds node
+   ids or borrow tags, so a digest computed for one parse of a program is
+   valid for any structurally identical parse. *)
+type summary = {
+  sm_compile_error : bool;
+  sm_clean : bool;
+  sm_panic : string option;
+  sm_output : string list;
+  sm_ub_count : int;      (* UB diagnostics recorded *)
+  sm_error_count : int;   (* the paper's n_i; type-error count if ill-typed *)
+}
+
+let summarize = function
+  | Compile_error msg ->
+    { sm_compile_error = true; sm_clean = false; sm_panic = None; sm_output = [];
+      sm_ub_count = 0;
+      sm_error_count =
+        (* one reported line per type error *)
+        max 1 (List.length (String.split_on_char '\n' (String.trim msg))) }
+  | Ran r ->
+    { sm_compile_error = false;
+      sm_clean = is_clean r;
+      sm_panic = (match r.outcome with Panicked m -> Some m | _ -> None);
+      sm_output = r.output;
+      sm_ub_count = List.length r.diags;
+      sm_error_count = r.error_count }
+
+module Cache = struct
+  type stats = { hits : int; misses : int }
+
+  type t = {
+    table : (string, summary) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+    enabled : bool;
+  }
+
+  let create ?(enabled = true) () =
+    { table = Hashtbl.create 256; hits = 0; misses = 0; enabled }
+
+  let enabled t = t.enabled
+  let stats t = { hits = t.hits; misses = t.misses }
+
+  let hit_rate t =
+    let total = t.hits + t.misses in
+    if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+  let reset_stats t =
+    t.hits <- 0;
+    t.misses <- 0
+
+  (* external memo layers (e.g. the pipeline's canonical-program run memo)
+     report into the same counters so hit_rate covers all verification
+     caching *)
+  let record_hit t = t.hits <- t.hits + 1
+  let record_miss t = t.misses <- t.misses + 1
+
+  let clear t =
+    Hashtbl.reset t.table;
+    reset_stats t
+
+  let memo t ~key compute =
+    if not t.enabled then compute ()
+    else
+      match Hashtbl.find_opt t.table key with
+      | Some s ->
+        t.hits <- t.hits + 1;
+        s
+      | None ->
+        t.misses <- t.misses + 1;
+        let s = compute () in
+        Hashtbl.add t.table key s;
+        s
+end
+
+let config_key config =
+  Printf.sprintf "%s|%d|%d|%b|%s"
+    (match config.mode with Stop_first -> "S" | Collect n -> "C" ^ string_of_int n)
+    config.seed config.max_steps config.trace
+    (String.concat "," (Array.to_list (Array.map Int64.to_string config.inputs)))
+
+let analyze_summary ?cache ?fingerprint ?(config = default_config) program =
+  (* id-neutral so a cache hit (which skips compute entirely) and every
+     uncached path consume identical node-id space — labels printed after a
+     verification can not depend on whether it was cached *)
+  let compute () =
+    Minirust.Ast.id_preserving @@ fun () ->
+    match Typecheck.check program with
+    | Error errors ->
+      { sm_compile_error = true; sm_clean = false; sm_panic = None; sm_output = [];
+        sm_ub_count = 0; sm_error_count = List.length errors }
+    | Ok info -> summarize (Ran (run ~config program info))
+  in
+  match cache with
+  | None -> compute ()
+  | Some c when not (Cache.enabled c) -> compute ()
+  | Some c ->
+    let fp =
+      match fingerprint with
+      | Some fp -> fp
+      | None -> Minirust.Pretty.program program
+    in
+    Cache.memo c ~key:(config_key config ^ "\n" ^ fp) compute

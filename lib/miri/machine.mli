@@ -61,3 +61,64 @@ val is_clean : run_result -> bool
 (** No UB and no panic: the program "passes Miri". *)
 
 val first_ub : run_result -> Diag.t option
+
+(** {2 Verification memo-cache}
+
+    Oracle candidate scoring re-analyzes structurally identical programs
+    over and over (every candidate is judged against the same reference on
+    the same probes, and rollback re-checks restored snapshots). The cache
+    memoizes an {e id-free} digest of an analysis keyed on the pretty-printed
+    program plus the full machine configuration (mode, scheduler seed, step
+    budget, probe inputs), so a hit is valid for any parse of the same
+    source. Hit/miss counters feed the bench harness's perf report.
+
+    The cache is intentionally transparent: it stores only behaviour that is
+    independent of node ids and borrow tags, so cached and uncached runs
+    produce byte-identical results. It is not thread-safe; give each
+    campaign session its own instance (lib/exec does). *)
+
+type summary = {
+  sm_compile_error : bool;
+  sm_clean : bool;             (** no UB, no panic *)
+  sm_panic : string option;
+  sm_output : string list;     (** chronological [print] trace *)
+  sm_ub_count : int;           (** UB diagnostics recorded *)
+  sm_error_count : int;        (** the paper's n_i; type-error count if ill-typed *)
+}
+
+val summarize : analysis -> summary
+
+module Cache : sig
+  type t
+
+  type stats = { hits : int; misses : int }
+
+  val create : ?enabled:bool -> unit -> t
+  (** [enabled:false] makes a pass-through cache: every lookup recomputes
+      and no entry is stored (for A/B-testing cache transparency). *)
+
+  val enabled : t -> bool
+  val stats : t -> stats
+  val hit_rate : t -> float
+  val reset_stats : t -> unit
+
+  val record_hit : t -> unit
+  (** Credit a hit from an external memo layer (e.g. the pipeline's
+      canonical-program run memo) so {!hit_rate} covers all verification
+      caching. *)
+
+  val record_miss : t -> unit
+  val clear : t -> unit
+
+  val memo : t -> key:string -> (unit -> summary) -> summary
+  (** Generic memoized lookup; used by [Dataset.Semantic] to cache
+      reference observations under case-name keys (skipping even the
+      reference re-parse on a hit). *)
+end
+
+val analyze_summary :
+  ?cache:Cache.t -> ?fingerprint:string -> ?config:config ->
+  Minirust.Ast.program -> summary
+(** [analyze] reduced to its id-free digest, memoized when [cache] is given.
+    [fingerprint] overrides the pretty-printed-program cache key component
+    when the caller already computed it. *)

@@ -22,8 +22,8 @@ let make_env ?(kb = false) ?(temperature = 0.5) () =
     probes = case.Dataset.Case.probes;
     ref_panics =
       Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
-        ~probes:case.Dataset.Case.probes;
-    rng = Rb_util.Rng.create 17 }
+        ~probes:case.Dataset.Case.probes ();
+    rng = Rb_util.Rng.create 17; runner = None }
 
 (* classification *)
 

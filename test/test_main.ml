@@ -23,4 +23,5 @@ let () =
       ("repairs", Test_repairs.suite);
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
+      ("exec", Test_exec.suite);
       ("stats", Test_stats.suite) ]
