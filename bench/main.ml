@@ -6,6 +6,7 @@
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- fig8     # a single experiment
    Experiments: fig5 fig7 fig8 fig9 fig10 fig11 fig12 table1 ablate perf smoke
+                resilience resilience-smoke
 
    Every multi-seed campaign goes through the unified Exec runner API, so
    backends are interchangeable and campaigns shard across domains; `perf`
@@ -20,6 +21,11 @@ let seeds = [ 1; 2; 3 ]
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let contains hay sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1)) in
+  n = 0 || go 0
 
 (* -- aggregation ----------------------------------------------------- *)
 
@@ -488,6 +494,116 @@ let smoke () =
   if !failures > 0 then exit 1;
   print_endline "smoke ok"
 
+(* -- resilience: fault-rate sweep (pass-rate degradation curve) -------- *)
+
+let resilience () =
+  section "Resilience — pass-rate degradation under injected LLM-API faults";
+  let cases = List.filteri (fun i _ -> i mod 4 = 0) Dataset.Corpus.all in
+  let fault_rates = [ 0.0; 0.05; 0.1; 0.2; 0.35; 0.5 ] in
+  let rows =
+    List.map
+      (fun fault_rate ->
+        let cfg =
+          { (rustbrain_cfg ~seed:1 ()) with
+            Rustbrain.Pipeline.fault_rate; max_retries = 3 }
+        in
+        let reports = run_campaign (Exec.Backends.rustbrain ~config:cfg ()) cases in
+        let r = rates_of reports in
+        let sum f =
+          List.fold_left (fun a (rep : Rustbrain.Report.t) -> a + f rep) 0 reports
+        in
+        let count p =
+          List.length (List.filter (fun (rep : Rustbrain.Report.t) -> p rep) reports)
+        in
+        [ Printf.sprintf "%.2f" fault_rate;
+          Statkit.Table.pct r.pass; Statkit.Table.pct r.exec;
+          string_of_int (sum (fun rep -> rep.Rustbrain.Report.faults));
+          string_of_int (sum (fun rep -> rep.Rustbrain.Report.retries));
+          string_of_int (sum (fun rep -> rep.Rustbrain.Report.breaker_trips));
+          Printf.sprintf "%d/%d" (count (fun rep -> rep.Rustbrain.Report.degraded)) r.n;
+          string_of_int (count (fun rep -> rep.Rustbrain.Report.gave_up));
+          Statkit.Table.secs r.mean_seconds ])
+      fault_rates
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:
+         [ "fault rate"; "pass"; "exec"; "faults"; "retries"; "trips";
+           "degraded"; "gave-up"; "time(s)" ]
+       rows);
+  print_endline
+    "(retries absorb low fault rates; at high rates the breaker trips and the\n\
+     GPT-3.5 fallback keeps campaigns finishing, degraded rather than aborted)"
+
+(* -- resilience smoke gate (dune runtest alias resilience-smoke) ------- *)
+
+let resilience_smoke () =
+  section "Resilience smoke — fault-rate-0 byte-identity, faulted determinism, crash isolation";
+  let cases = List.filteri (fun i _ -> i mod 8 = 0) Dataset.Corpus.all in
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL %s\n" s; incr failures) fmt in
+  let render cfg domains =
+    let reports, _ =
+      Exec.Scheduler.run_seeded ~domains
+        (Exec.Backends.rustbrain ~config:cfg ())
+        ~seeds:[ 1; 2 ] cases
+    in
+    List.map Rustbrain.Report.to_json reports
+  in
+  (* leg 1: with every fault rate zero, the resilience knobs are invisible —
+     reports byte-identical to the default config, at any domain count *)
+  let plain = render (rustbrain_cfg ~seed:1 ()) 1 in
+  let knobbed =
+    { (rustbrain_cfg ~seed:1 ()) with
+      Rustbrain.Pipeline.fault_rate = 0.0; max_retries = 9;
+      deadline = Some 1.0e9 }
+  in
+  if render knobbed 1 <> plain then fail "fault-rate 0 not byte-identical (1 domain)";
+  if render knobbed 2 <> plain then fail "fault-rate 0 not byte-identical (2 domains)";
+  Printf.printf "fault-rate 0 byte-identity: %d report(s) checked\n" (List.length plain);
+  (* leg 2: a faulted campaign is same-seed deterministic across runs and
+     domain counts, and actually injects faults *)
+  let faulted = { (rustbrain_cfg ~seed:1 ()) with Rustbrain.Pipeline.fault_rate = 0.3 } in
+  let f1 = render faulted 1 in
+  if render faulted 1 <> f1 then fail "faulted campaign differs between runs";
+  if render faulted 2 <> f1 then fail "faulted campaign differs across domain counts";
+  if not (List.exists (fun j -> not (contains j "\"faults\":0,")) f1) then
+    fail "fault rate 0.3 injected nothing";
+  Printf.printf "faulted campaign (rate 0.3): deterministic over %d report(s)\n"
+    (List.length f1);
+  (* leg 3: a crashing campaign never poisons its siblings *)
+  let module Crashy = struct
+    type config = int
+
+    let name = "crashy"
+    let default_config = 0
+    let with_seed _ seed = seed
+
+    let run_campaign _ _ : Rustbrain.Report.t list * Exec.Runner.stats =
+      failwith "injected crash"
+  end in
+  let job runner = { Exec.Scheduler.label = Exec.Runner.name runner; runner; cases } in
+  let results =
+    Exec.Scheduler.run_jobs ~domains:2
+      [ job (Exec.Backends.human_expert ());
+        job (Exec.Runner.pack (module Crashy) 0);
+        job (Exec.Backends.human_expert ()) ]
+  in
+  (match List.map (fun r -> r.Exec.Scheduler.failure <> None) results with
+  | [ false; true; false ] -> ()
+  | _ -> fail "crash isolation: expected exactly the crashy job to fail");
+  List.iteri
+    (fun i r ->
+      if i <> 1 && List.length r.Exec.Scheduler.reports <> List.length cases then
+        fail "crash isolation: sibling job lost reports")
+    results;
+  Printf.printf "crash isolation: 1 crash contained, %d sibling report(s) intact\n"
+    (List.fold_left
+       (fun a r -> a + List.length r.Exec.Scheduler.reports)
+       0 results);
+  if !failures > 0 then exit 1;
+  print_endline "resilience smoke ok"
+
 
 (* -- component ablation (DESIGN.md's starred design choices) ----------- *)
 
@@ -533,7 +649,8 @@ let ablate () =
 let experiments =
   [ ("fig5", fig5); ("fig7", fig7); ("fig8", fig89); ("fig9", fig89);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("table1", table1);
-    ("ablate", ablate); ("perf", perf); ("smoke", smoke) ]
+    ("ablate", ablate); ("perf", perf); ("smoke", smoke);
+    ("resilience", resilience); ("resilience-smoke", resilience_smoke) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -43,9 +43,30 @@ let report_outcome (r : Miri.Machine.run_result) =
   | Miri.Machine.Finished -> print_endline "outcome: finished cleanly"
   | Miri.Machine.Panicked msg -> Printf.printf "outcome: panicked: %s\n" msg
   | Miri.Machine.Ub d -> Printf.printf "outcome: %s\n" (Miri.Diag.to_string d)
-  | Miri.Machine.Step_limit -> print_endline "outcome: step limit exhausted");
+  | Miri.Machine.Step_limit -> print_endline "outcome: step limit exhausted"
+  | Miri.Machine.Resource_limit m -> Printf.printf "outcome: resource limit: %s\n" m);
   List.iter (fun d -> Printf.printf "  diag: %s\n" (Miri.Diag.to_string d)) r.Miri.Machine.diags;
   Printf.printf "steps: %d, errors: %d\n" r.Miri.Machine.steps r.Miri.Machine.error_count
+
+(* resilience flags shared by fix / corpus-fix / campaign *)
+
+let fault_rate_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"R"
+         ~doc:"Inject simulated LLM API faults (timeouts, rate limits, transient \
+               5xx, truncated/malformed replies) at total rate $(docv) in [0,1], \
+               scheduled deterministically from the seed. 0 disables injection.")
+
+let retries_arg =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Retries per faulted LLM call (with clock-charged exponential \
+               backoff) before degrading to the fallback profile.")
+
+let deadline_arg =
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Per-repair watchdog budget in simulated milliseconds; past it the \
+               repair stops starting new work. 0 = unlimited.")
+
+let deadline_of_ms ms = if ms > 0 then Some (float_of_int ms /. 1000.0) else None
 
 (* -- check -------------------------------------------------------------- *)
 
@@ -74,8 +95,9 @@ let check_cmd =
         if collect > 0 then Miri.Machine.Collect collect else Miri.Machine.Stop_first
       in
       let config =
-        { Miri.Machine.mode; seed; max_steps = 1_000_000; inputs = parse_inputs inputs;
-          trace }
+        { Miri.Machine.default_config with
+          Miri.Machine.mode; seed; max_steps = 1_000_000;
+          inputs = parse_inputs inputs; trace }
       in
       match Miri.Machine.analyze ~config program with
       | Miri.Machine.Compile_error msg ->
@@ -109,7 +131,7 @@ let fix_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run file inputs model temperature seed json =
+  let run file inputs model temperature seed json fault_rate retries deadline_ms =
     match load file with
     | Error msg ->
       prerr_endline msg;
@@ -123,7 +145,26 @@ let fix_cmd =
       | Some model ->
         let probe = parse_inputs inputs in
         let clock = Rb_util.Simclock.create () in
-        let client = Llm_sim.Client.create ~seed ~clock (Llm_sim.Profile.get model) in
+        let faults =
+          if fault_rate > 0.0 then
+            Some (Llm_sim.Faults.create ~seed:((seed * 7919) + 13)
+                    (Llm_sim.Faults.uniform fault_rate))
+          else None
+        in
+        let client =
+          Llm_sim.Client.create ~seed ?faults ~clock (Llm_sim.Profile.get model)
+        in
+        let fallback =
+          Llm_sim.Client.create ~seed:((seed * 13) + 5) ~clock
+            (Llm_sim.Profile.get Llm_sim.Profile.Gpt35)
+        in
+        let resilient =
+          Llm_sim.Resilient.create ~seed:((seed * 17) + 29)
+            ~config:{ Llm_sim.Resilient.default_config with
+                      Llm_sim.Resilient.max_retries = retries;
+                      deadline = deadline_of_ms deadline_ms }
+            ~fallback client
+        in
         let kb = Knowledge.Kb.create ~clock () in
         Knowledge.Kb.seed_default kb;
         let scorer p =
@@ -138,8 +179,10 @@ let fix_cmd =
             sampling = { Llm_sim.Client.temperature };
             kb = Some kb; scorer; reference = None; probes = [ probe ];
             ref_panics = [ false ];
-            rng = Rb_util.Rng.create (seed * 31 + 7); runner = None }
+            rng = Rb_util.Rng.create (seed * 31 + 7);
+            resilient = Some resilient; runner = None }
         in
+        Llm_sim.Resilient.start_repair resilient;
         let solution =
           { Rustbrain.Solution.sname = "cli"; origin = "cli";
             steps =
@@ -150,7 +193,8 @@ let fix_cmd =
         in
         let category =
           let config =
-            { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+            { Miri.Machine.default_config with
+              Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
               max_steps = 200_000; inputs = probe; trace = false }
           in
           match Miri.Machine.analyze ~config program with
@@ -166,6 +210,7 @@ let fix_cmd =
         in
         if json then begin
           let stats = Llm_sim.Client.stats client in
+          let rstats = Llm_sim.Resilient.stats resilient in
           let report =
             { Rustbrain.Report.case_name = file;
               category;
@@ -180,6 +225,13 @@ let fix_cmd =
               n_sequence = exec.Rustbrain.Slow_think.n_sequence;
               winning_solution = Some "cli";
               feedback_hit = false;
+              retries = rstats.Llm_sim.Resilient.retries;
+              faults = rstats.Llm_sim.Resilient.faults;
+              breaker_trips = rstats.Llm_sim.Resilient.breaker_trips;
+              degraded = Llm_sim.Resilient.degraded resilient;
+              gave_up =
+                Llm_sim.Resilient.gave_up resilient
+                && not exec.Rustbrain.Slow_think.passed;
               trace = exec.Rustbrain.Slow_think.trace }
           in
           print_endline (Rustbrain.Report.to_json report);
@@ -204,7 +256,8 @@ let fix_cmd =
   in
   Cmd.v
     (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
-    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json)
+    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json
+          $ fault_rate_arg $ retries_arg $ deadline_arg)
 
 (* -- corpus --------------------------------------------------------------- *)
 
@@ -249,7 +302,7 @@ let corpus_fix_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run name seed json =
+  let run name seed json fault_rate retries deadline_ms =
     match Dataset.Corpus.find name with
     | None ->
       Printf.eprintf "unknown case %S\n" name;
@@ -257,7 +310,9 @@ let corpus_fix_cmd =
     | Some case ->
       let session =
         Rustbrain.Pipeline.create_session
-          { Rustbrain.Pipeline.default_config with Rustbrain.Pipeline.seed }
+          { Rustbrain.Pipeline.default_config with
+            Rustbrain.Pipeline.seed; fault_rate; max_retries = retries;
+            deadline = deadline_of_ms deadline_ms }
       in
       let r = Rustbrain.Pipeline.repair session case in
       if json then print_endline (Rustbrain.Report.to_json r)
@@ -269,7 +324,8 @@ let corpus_fix_cmd =
   in
   Cmd.v
     (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
-    Term.(const run $ case_name $ seed $ json)
+    Term.(const run $ case_name $ seed $ json
+          $ fault_rate_arg $ retries_arg $ deadline_arg)
 
 (* -- campaign ------------------------------------------------------------- *)
 
@@ -297,8 +353,28 @@ let campaign_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows with a header line.")
   in
-  let run backend seeds domains cases json csv =
-    match Exec.Backends.of_name backend with
+  let run backend seeds domains cases json csv fault_rate retries deadline_ms =
+    let resilience_overridden =
+      fault_rate > 0.0 || retries <> 3 || deadline_ms > 0
+    in
+    match
+      (* the fault model targets the pipeline under study; baselines keep
+         their raw oracle clients *)
+      if backend = "rustbrain" then
+        Some
+          (Exec.Backends.rustbrain
+             ~config:{ Rustbrain.Pipeline.default_config with
+                       Rustbrain.Pipeline.fault_rate; max_retries = retries;
+                       deadline = deadline_of_ms deadline_ms }
+             ())
+      else if resilience_overridden then None
+      else Exec.Backends.of_name backend
+    with
+    | None when resilience_overridden && backend <> "rustbrain"
+                && Exec.Backends.of_name backend <> None ->
+      Printf.eprintf
+        "--fault-rate/--retries/--deadline-ms only apply to the rustbrain backend\n";
+      1
     | None ->
       Printf.eprintf "unknown backend %S (known: %s)\n" backend
         (String.concat ", " Exec.Backends.all_names);
@@ -344,8 +420,23 @@ let campaign_cmd =
         1
       | Ok selected ->
         let domains = if domains <= 0 then None else Some domains in
-        let reports, stats =
-          Exec.Scheduler.run_seeded ?domains runner ~seeds selected
+        let results =
+          Exec.Scheduler.run_jobs ?domains
+            (Exec.Scheduler.seeded_jobs runner ~seeds selected)
+        in
+        let crashed = Exec.Scheduler.failures results in
+        List.iter
+          (fun ((job : Exec.Scheduler.job), (f : Exec.Scheduler.failure)) ->
+            Printf.eprintf "campaign job %s crashed: %s\n%s%!" job.Exec.Scheduler.label
+              f.Exec.Scheduler.exn f.Exec.Scheduler.backtrace)
+          crashed;
+        let reports =
+          List.concat_map (fun r -> r.Exec.Scheduler.reports) results
+        in
+        let stats =
+          List.fold_left
+            (fun acc r -> Exec.Runner.add_stats acc r.Exec.Scheduler.stats)
+            Exec.Runner.no_stats results
         in
         if json then
           List.iter (fun r -> print_endline (Rustbrain.Report.to_json r)) reports
@@ -360,12 +451,15 @@ let campaign_cmd =
             (List.length reports)
             (100.0 *. Exec.Runner.hit_rate stats)
         end;
-        if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0 else 1))
+        if crashed <> [] then 2
+        else if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0
+        else 1))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a backend campaign over the corpus, sharded across domains.")
-    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv)
+    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv
+          $ fault_rate_arg $ retries_arg $ deadline_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

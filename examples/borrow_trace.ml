@@ -31,7 +31,8 @@ let () =
     | Miri.Machine.Ub d -> Printf.printf "\n=> %s\n" (Miri.Diag.to_string d)
     | Miri.Machine.Finished -> print_endline "\n=> finished (unexpected for this demo)"
     | Miri.Machine.Panicked m -> Printf.printf "\n=> panic: %s\n" m
-    | Miri.Machine.Step_limit -> print_endline "\n=> step limit");
+    | Miri.Machine.Step_limit -> print_endline "\n=> step limit"
+    | Miri.Machine.Resource_limit m -> Printf.printf "\n=> resource limit: %s\n" m);
     print_endline
       "\nReading the trace: `auditor` gets a SharedRW tag; creating `teller`\n\
        (a &mut) performs a write-like retag through the base tag, which pops\n\

@@ -64,6 +64,11 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
     n_sequence = [];
     winning_solution = Some "human";
     feedback_hit = false;
+    retries = 0;
+    faults = 0;
+    breaker_trips = 0;
+    degraded = false;
+    gave_up = false;
     trace = [];
   }
 

@@ -35,7 +35,8 @@ let check_errors sclock program inputs =
   | Error errors -> (List.length errors, [], None)
   | Ok info ->
     let config =
-      { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
+      { Miri.Machine.default_config with
+        Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
         inputs; trace = false }
     in
     let r = Miri.Machine.run ~config program info in
@@ -147,6 +148,13 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
     n_sequence = List.rev !n_sequence;
     winning_solution = Some "single-shot";
     feedback_hit = false;
+    (* baselines talk to a raw, un-faulted client: the fault model targets
+       the pipeline under study *)
+    retries = 0;
+    faults = 0;
+    breaker_trips = 0;
+    degraded = false;
+    gave_up = false;
     trace = [];
   }
 

@@ -52,6 +52,7 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
           ~reference:(Some (Dataset.Case.fixed case))
           ~probes:case.Dataset.Case.probes ();
       rng = session.rng;
+      resilient = None;
       runner = None;
     }
   in
@@ -91,6 +92,11 @@ let repair session (case : Dataset.Case.t) : Rustbrain.Report.t =
     n_sequence = List.rev state.Rustbrain.Env.n_sequence;
     winning_solution = Some "fixed-pipeline";
     feedback_hit = false;
+    retries = 0;
+    faults = 0;
+    breaker_trips = 0;
+    degraded = false;
+    gave_up = false;
     trace = List.rev state.Rustbrain.Env.trace;
   }
 

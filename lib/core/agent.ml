@@ -56,7 +56,7 @@ let run (env : Env.t) (state : Env.state) (cls : Ub_class.repair_class) : outcom
           candidates = Repairs.Candidates.to_llm_candidates scored;
           kind_bias = state.Env.kind_bias }
       in
-      (match Llm_sim.Client.choose_repair env.Env.client env.Env.sampling task with
+      (match Env.choose_repair env env.Env.sampling task with
       | None -> No_candidates
       | Some choice ->
         let candidate =

@@ -12,7 +12,7 @@ let run (env : Env.t) (state : Env.state) : outcome =
   let sketch_prompt =
     Llm_sim.Prompt.make [ (Llm_sim.Prompt.sec_code, Knowledge.Prune.render sketch) ]
   in
-  Llm_sim.Client.charge_prompt env.Env.client sketch_prompt;
+  Env.charge_prompt env sketch_prompt;
   let kb_hits =
     match env.Env.kb with
     | None -> 0

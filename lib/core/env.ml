@@ -20,6 +20,10 @@ type t = {
       (** per probe: does the reference itself panic? A candidate panic on
           such a probe is a defined refusal, not an error to fix *)
   rng : Rb_util.Rng.t;  (* corruption and tie-breaking *)
+  resilient : Llm_sim.Resilient.t option;
+      (** when set, LLM calls go through the retry/breaker wrapper (see
+          {!choose_repair} etc.); [None] talks to the raw client, which is
+          what every pre-resilience call path did *)
   runner :
     (Minirust.Ast.program -> Minirust.Typecheck.info -> Miri.Machine.config ->
      Miri.Machine.run_result)
@@ -44,7 +48,8 @@ let reference_panics ?cache ~reference ~probes () =
     List.map
       (fun inputs ->
         let config =
-          { Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+          { Miri.Machine.default_config with
+            Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
             max_steps = 200_000; inputs; trace = false }
         in
         let s = Miri.Machine.analyze_summary ?cache ?fingerprint ~config reference in
@@ -92,7 +97,8 @@ let check env state =
       (fun inputs ref_panics_here ->
         Rb_util.Simclock.charge env.clock (verify_cost state.program);
         let config =
-          { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42;
+          { Miri.Machine.default_config with
+            Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42;
             max_steps = 200_000; inputs; trace = false }
         in
         let r =
@@ -108,6 +114,10 @@ let check env state =
             total := !total + 1;
             if !first_panic = None then first_panic := Some m
           end
+        | Miri.Machine.Resource_limit _ ->
+          (* exhausted allocation fuel is unconditionally an error: no
+             reference blows the (generous) budgets *)
+          total := !total + 1
         | _ -> ());
         if !first_diags = [] then first_diags := r.Miri.Machine.diags)
       probes ref_panics;
@@ -136,3 +146,21 @@ let best_snapshot state =
     (fun (bp, be) (p, e) -> if e < be then (p, e) else (bp, be))
     (state.program, state.errors)
     state.history
+
+(* LLM dispatch: agents call the model through these so a single [resilient]
+   field decides whether calls are guarded (retry/backoff/breaker) or raw. *)
+
+let choose_repair env sampling task =
+  match env.resilient with
+  | Some r -> Llm_sim.Resilient.choose_repair r sampling task
+  | None -> Llm_sim.Client.choose_repair env.client sampling task
+
+let complete env sampling prompt =
+  match env.resilient with
+  | Some r -> Llm_sim.Resilient.complete r sampling prompt
+  | None -> Llm_sim.Client.complete env.client sampling prompt
+
+let charge_prompt env prompt =
+  match env.resilient with
+  | Some r -> Llm_sim.Resilient.charge_prompt r prompt
+  | None -> Llm_sim.Client.charge_prompt env.client prompt

@@ -34,7 +34,7 @@ let generate (env : Env.t) ~program ~(features : Features.t) ~feedback ~abstract
     Llm_sim.Prompt.make
       [ (Llm_sim.Prompt.sec_features, Features.to_prompt_section features) ]
   in
-  ignore (Llm_sim.Client.complete env.Env.client env.Env.sampling prompt);
+  ignore (Env.complete env env.Env.sampling prompt);
   let hit =
     match feedback with
     | None -> None

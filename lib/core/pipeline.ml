@@ -12,6 +12,9 @@ type config = {
   max_solutions : int;
   max_iters : int;
   seed : int;
+  fault_rate : float;       (* total injected-LLM-fault rate, 0 = oracle API *)
+  max_retries : int;        (* retries per faulted call before degrading *)
+  deadline : float option;  (* per-repair simulated-seconds budget *)
 }
 
 let default_config =
@@ -29,12 +32,16 @@ let default_config =
     max_solutions = 3;
     max_iters = 6;
     seed = 1;
+    fault_rate = 0.0;
+    max_retries = 3;
+    deadline = None;
   }
 
 type session = {
   cfg : config;
   sclock : Rb_util.Simclock.t;
   client : Llm_sim.Client.t;
+  resilient : Llm_sim.Resilient.t;
   kb : Knowledge.Kb.t option;
   feedback : Feedback.t option;
   rng : Rb_util.Rng.t;
@@ -43,8 +50,34 @@ type session = {
 
 let create_session cfg =
   let sclock = Rb_util.Simclock.create () in
+  (* the fault plan (when any) owns its RNG and is seeded off the session
+     seed, so a campaign's fault schedule is as reproducible as its choices *)
+  let faults =
+    if cfg.fault_rate > 0.0 then
+      Some
+        (Llm_sim.Faults.create
+           ~seed:((cfg.seed * 7919) + 13)
+           (Llm_sim.Faults.uniform cfg.fault_rate))
+    else None
+  in
   let client =
-    Llm_sim.Client.create ~seed:cfg.seed ~clock:sclock (Llm_sim.Profile.get cfg.model)
+    Llm_sim.Client.create ~seed:cfg.seed ?faults ~clock:sclock
+      (Llm_sim.Profile.get cfg.model)
+  in
+  (* graceful degradation target: the cheapest profile, sharing the clock
+     but fault-free (a different provider does not share the outage) *)
+  let fallback =
+    Llm_sim.Client.create ~seed:((cfg.seed * 13) + 5) ~clock:sclock
+      (Llm_sim.Profile.get Llm_sim.Profile.Gpt35)
+  in
+  let resilient =
+    Llm_sim.Resilient.create
+      ~seed:((cfg.seed * 17) + 29)
+      ~config:
+        { Llm_sim.Resilient.default_config with
+          Llm_sim.Resilient.max_retries = cfg.max_retries;
+          deadline = cfg.deadline }
+      ~fallback client
   in
   let kb =
     if cfg.use_kb then begin
@@ -55,13 +88,14 @@ let create_session cfg =
     else None
   in
   let feedback = if cfg.use_feedback then Some (Feedback.create ()) else None in
-  { cfg; sclock; client; kb; feedback;
+  { cfg; sclock; client; resilient; kb; feedback;
     rng = Rb_util.Rng.create (cfg.seed * 31 + 7);
     cache = Miri.Machine.Cache.create ~enabled:cfg.use_cache () }
 
 let clock s = s.sclock
 let config s = s.cfg
 let llm_stats s = Llm_sim.Client.stats s.client
+let resilience s = s.resilient
 let verification_cache s = s.cache
 
 (* restrict a plan to the enabled agents *)
@@ -86,11 +120,12 @@ let canonical_run_memo :
   Domain.DLS.new_key (fun () -> Hashtbl.create 128)
 
 let run_config_key (c : Miri.Machine.config) =
-  Printf.sprintf "%s|%d|%d|%b|%s"
+  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s"
     (match c.Miri.Machine.mode with
     | Miri.Machine.Stop_first -> "S"
     | Miri.Machine.Collect n -> "C" ^ string_of_int n)
     c.Miri.Machine.seed c.Miri.Machine.max_steps c.Miri.Machine.trace
+    c.Miri.Machine.max_allocs c.Miri.Machine.max_alloc_bytes
     (String.concat "," (Array.to_list (Array.map Int64.to_string c.Miri.Machine.inputs)))
 
 (* Memoizing stand-in for [Miri.Machine.run], valid only for the canonical
@@ -131,6 +166,7 @@ let make_env session (case : Dataset.Case.t) ~buggy : Env.t =
         (fun (o : Dataset.Semantic.observation) -> o.Dataset.Semantic.panicked)
         (Dataset.Semantic.reference_observations ~cache:session.cache case);
     rng = session.rng;
+    resilient = Some session.resilient;
     runner = Some (make_runner session case buggy);
   }
 
@@ -160,6 +196,13 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
      is what makes the cross-session run memo in [make_runner] sound *)
   let buggy = Dataset.Case.buggy case in
   let env = make_env session case ~buggy in
+  (* open the per-repair deadline window and clear the degradation flags;
+     resilience stats are cumulative per session, so deltas are taken *)
+  Llm_sim.Resilient.start_repair session.resilient;
+  let rstats = Llm_sim.Resilient.stats session.resilient in
+  let retries0 = rstats.Llm_sim.Resilient.retries in
+  let faults0 = rstats.Llm_sim.Resilient.faults in
+  let trips0 = rstats.Llm_sim.Resilient.breaker_trips in
   let start = Rb_util.Simclock.now session.sclock in
   let calls0 = (Llm_sim.Client.stats session.client).Llm_sim.Client.calls in
   (* F1: detection — shares the canonical-run memo with the first slow-think
@@ -167,7 +210,8 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
   Rb_util.Simclock.charge session.sclock (Env.verify_cost buggy);
   let inputs = match case.Dataset.Case.probes with [] -> [||] | p :: _ -> p in
   let detect_config =
-    { Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
+    { Miri.Machine.default_config with
+      Miri.Machine.mode = Miri.Machine.Collect 25; seed = 42; max_steps = 200_000;
       inputs; trace = false }
   in
   let run_result =
@@ -205,6 +249,11 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
   in
   let rec try_solutions acc = function
     | [] -> acc
+    | _ :: _ when Llm_sim.Resilient.deadline_exceeded session.resilient ->
+      (* watchdog: the repair budget is gone — skip the remaining
+         slow-thinking iterations instead of burning simulated hours *)
+      Llm_sim.Resilient.note_deadline_skip session.resilient;
+      acc
     | solution :: rest ->
       let exec =
         Slow_think.execute ~prompt_extras:base_extras env ~program:buggy ~solution
@@ -276,6 +325,11 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
     n_sequence;
     winning_solution = winning;
     feedback_hit = generation.Fast_think.feedback_hit <> None;
+    retries = rstats.Llm_sim.Resilient.retries - retries0;
+    faults = rstats.Llm_sim.Resilient.faults - faults0;
+    breaker_trips = rstats.Llm_sim.Resilient.breaker_trips - trips0;
+    degraded = Llm_sim.Resilient.degraded session.resilient;
+    gave_up = Llm_sim.Resilient.gave_up session.resilient && not passed;
     trace;
   }
 

@@ -27,11 +27,18 @@ type config = {
   max_solutions : int;  (** fast-thinking solutions to try (paper: up to 10) *)
   max_iters : int;      (** slow-thinking agent attempts per solution *)
   seed : int;
+  fault_rate : float;
+      (** total injected LLM-API fault rate in [0,1], spread uniformly over
+          timeout / rate-limit / 5xx / truncated / malformed; [0.] leaves the
+          client a perfect oracle and every report byte-identical to a
+          pre-resilience run *)
+  max_retries : int;        (** retries per faulted call before degrading *)
+  deadline : float option;  (** per-repair simulated-seconds watchdog budget *)
 }
 
 val default_config : config
 (** GPT-4, temperature 0.5, all agents, adaptive rollback, KB and feedback
-    on, 3 solutions x 6 iterations, seed 1. *)
+    on, 3 solutions x 6 iterations, seed 1, no faults. *)
 
 type session
 
@@ -40,6 +47,10 @@ val create_session : config -> session
 val clock : session -> Rb_util.Simclock.t
 val config : session -> config
 val llm_stats : session -> Llm_sim.Client.stats
+
+val resilience : session -> Llm_sim.Resilient.t
+(** The session's retry/breaker wrapper (cumulative stats; reports carry
+    per-repair deltas). *)
 
 val verification_cache : session -> Miri.Machine.Cache.t
 (** The session's verification memo-cache (hit/miss counters feed the

@@ -12,6 +12,11 @@ type t = {
   n_sequence : int list;
   winning_solution : string option;
   feedback_hit : bool;
+  retries : int;
+  faults : int;
+  breaker_trips : int;
+  degraded : bool;
+  gave_up : bool;
   trace : string list;
 }
 
@@ -54,12 +59,18 @@ let to_json t =
         field "winning_solution"
           (match t.winning_solution with Some s -> json_string s | None -> "null");
         field "feedback_hit" (string_of_bool t.feedback_hit);
+        field "retries" (string_of_int t.retries);
+        field "faults" (string_of_int t.faults);
+        field "breaker_trips" (string_of_int t.breaker_trips);
+        field "degraded" (string_of_bool t.degraded);
+        field "gave_up" (string_of_bool t.gave_up);
         field "trace" (strings t.trace) ]
   ^ "}"
 
 let csv_header =
   "case,category,passed,semantic,seconds,llm_calls,tokens,iterations,\
-   solutions_tried,rollbacks,n_sequence,winning_solution,feedback_hit"
+   solutions_tried,rollbacks,n_sequence,winning_solution,feedback_hit,\
+   retries,faults,breaker_trips,degraded,gave_up"
 
 let csv_field s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
@@ -80,11 +91,18 @@ let csv_row t =
       string_of_int t.rollbacks;
       csv_field (String.concat ";" (List.map string_of_int t.n_sequence));
       csv_field (Option.value t.winning_solution ~default:"");
-      string_of_bool t.feedback_hit ]
+      string_of_bool t.feedback_hit;
+      string_of_int t.retries;
+      string_of_int t.faults;
+      string_of_int t.breaker_trips;
+      string_of_bool t.degraded;
+      string_of_bool t.gave_up ]
 
 let summary_line t =
-  Printf.sprintf "%-28s %-18s pass=%b exec=%b %6.1fs iters=%d sols=%d%s%s" t.case_name
+  Printf.sprintf "%-28s %-18s pass=%b exec=%b %6.1fs iters=%d sols=%d%s%s%s%s" t.case_name
     (Miri.Diag.kind_name t.category)
     t.passed t.semantic t.seconds t.iterations t.solutions_tried
     (if t.feedback_hit then " [feedback]" else "")
+    (if t.degraded then Printf.sprintf " [degraded r=%d f=%d]" t.retries t.faults else "")
+    (if t.gave_up then " [gave-up]" else "")
     (match t.winning_solution with Some s -> " <" ^ s ^ ">" | None -> "")

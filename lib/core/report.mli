@@ -14,6 +14,11 @@ type t = {
   n_sequence : int list;  (** error counts of the winning solution *)
   winning_solution : string option;
   feedback_hit : bool;
+  retries : int;       (** LLM calls retried after an injected fault *)
+  faults : int;        (** injected API faults observed during this repair *)
+  breaker_trips : int; (** circuit-breaker Closed->Open transitions *)
+  degraded : bool;     (** the repair used the fallback path / lost a call / hit its deadline *)
+  gave_up : bool;      (** resilience gave up at least one call and the case failed *)
   trace : string list;
 }
 

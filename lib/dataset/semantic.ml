@@ -6,7 +6,8 @@ type observation = {
 }
 
 let probe_config ~seed ~max_steps inputs =
-  { Miri.Machine.mode = Miri.Machine.Stop_first; seed; max_steps; inputs;
+  { Miri.Machine.default_config with
+    Miri.Machine.mode = Miri.Machine.Stop_first; seed; max_steps; inputs;
     trace = false }
 
 let observation_of_summary (s : Miri.Machine.summary) =
@@ -16,7 +17,12 @@ let observation_of_summary (s : Miri.Machine.summary) =
     { finished = s.Miri.Machine.sm_clean;
       panicked = s.Miri.Machine.sm_panic <> None;
       trace = s.Miri.Machine.sm_output;
-      errors = s.Miri.Machine.sm_ub_count }
+      (* a blown allocation budget is a behavioural error, not a silent
+         non-termination like a step-limit stop: without the extra count a
+         resource-bombed candidate would probe as clean *)
+      errors =
+        s.Miri.Machine.sm_ub_count
+        + (if s.Miri.Machine.sm_resource <> None then 1 else 0) }
 
 (* roundtrip for cache storage: observations drop the panic message, so a
    placeholder is enough to reconstruct [panicked] *)
@@ -26,7 +32,8 @@ let summary_of_observation (o : observation) : Miri.Machine.summary =
     sm_panic = (if o.panicked then Some "" else None);
     sm_output = o.trace;
     sm_ub_count = (if o.errors = max_int then 0 else o.errors);
-    sm_error_count = 0 }
+    sm_error_count = 0;
+    sm_resource = None }
 
 let observe ?cache ?fingerprint ?(seed = 42) ?(max_steps = 200_000) program inputs =
   let config = probe_config ~seed ~max_steps inputs in
@@ -112,7 +119,8 @@ let error_count ?(collect_limit = 25) program inputs =
   | Error errors -> List.length errors
   | Ok info ->
     let config =
-      { Miri.Machine.mode = Miri.Machine.Collect collect_limit; seed = 42;
+      { Miri.Machine.default_config with
+        Miri.Machine.mode = Miri.Machine.Collect collect_limit; seed = 42;
         max_steps = 200_000; inputs; trace = false }
     in
     let r = Miri.Machine.run ~config program info in

@@ -4,10 +4,13 @@ type job = {
   cases : Dataset.Case.t list;
 }
 
+type failure = { exn : string; backtrace : string }
+
 type result = {
   job : job;
   reports : Rustbrain.Report.t list;
   stats : Runner.stats;
+  failure : failure option;
 }
 
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
@@ -16,11 +19,22 @@ let run_jobs ?(domains = default_domains ()) jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let results = Array.make n None in
+  (* Per-job crash isolation: an exception escaping a campaign is captured
+     with its backtrace as that job's outcome — it can never poison the
+     pool or erase sibling results. *)
   let exec i =
     let job = jobs.(i) in
     match Runner.run job.runner job.cases with
-    | reports, stats -> results.(i) <- Some (Ok { job; reports; stats })
-    | exception e -> results.(i) <- Some (Error e)
+    | reports, stats -> results.(i) <- Some { job; reports; stats; failure = None }
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      results.(i) <-
+        Some
+          { job; reports = []; stats = Runner.no_stats;
+            failure =
+              Some
+                { exn = Printexc.to_string e;
+                  backtrace = Printexc.raw_backtrace_to_string bt } }
   in
   let workers = min domains n in
   if workers <= 1 then
@@ -40,27 +54,51 @@ let run_jobs ?(domains = default_domains ()) jobs =
         worker ()
       end
     in
-    let pool = List.init workers (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join pool
+    (* Supervisor: [exec] never raises, but a domain can still die outside
+       it (Out_of_memory in queue bookkeeping, a signal). While work
+       remains, a dead worker is replaced — bounded so a worker that dies
+       instantly on every job cannot respawn forever. *)
+    let restarts = ref (2 * workers) in
+    let rec supervise = function
+      | [] -> ()
+      | d :: rest -> (
+        match Domain.join d with
+        | () -> supervise rest
+        | exception _ when !restarts > 0 && Atomic.get next < n ->
+          decr restarts;
+          supervise (rest @ [ Domain.spawn worker ])
+        | exception _ -> supervise rest)
+    in
+    supervise (List.init workers (fun _ -> Domain.spawn worker))
   end;
+  (* a job claimed by a dead worker may have been left without an outcome:
+     finish those inline so every job reports exactly once, in order *)
+  Array.iteri (fun i r -> if r = None then exec i) results;
   Array.to_list results
-  |> List.map (function
-       | Some (Ok r) -> r
-       | Some (Error e) -> raise e
-       | None -> assert false)
+  |> List.map (function Some r -> r | None -> assert false)
 
-let run_seeded ?domains ?label runner ~seeds cases =
+let failures results =
+  List.filter_map
+    (fun r -> match r.failure with Some f -> Some (r.job, f) | None -> None)
+    results
+
+let seeded_jobs ?label runner ~seeds cases =
   let label_of seed =
     match label with
     | Some l -> Printf.sprintf "%s/seed%d" l seed
     | None -> Printf.sprintf "%s/seed%d" (Runner.name runner) seed
   in
-  let jobs =
-    List.map
-      (fun seed ->
-        { label = label_of seed; runner = Runner.with_seed runner seed; cases })
-      seeds
-  in
-  let results = run_jobs ?domains jobs in
+  List.map
+    (fun seed ->
+      { label = label_of seed; runner = Runner.with_seed runner seed; cases })
+    seeds
+
+let run_seeded ?domains ?label runner ~seeds cases =
+  let results = run_jobs ?domains (seeded_jobs ?label runner ~seeds cases) in
+  List.iter
+    (fun (job, f) ->
+      Printf.eprintf "scheduler: job %s crashed: %s\n%s%!" job.label f.exn
+        f.backtrace)
+    (failures results);
   ( List.concat_map (fun r -> r.reports) results,
     List.fold_left (fun acc r -> Runner.add_stats acc r.stats) Runner.no_stats results )

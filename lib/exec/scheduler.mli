@@ -19,10 +19,16 @@ type job = {
   cases : Dataset.Case.t list;
 }
 
+type failure = {
+  exn : string;        (** [Printexc.to_string] of the escaping exception *)
+  backtrace : string;  (** raw backtrace captured at the crash site *)
+}
+
 type result = {
   job : job;
-  reports : Rustbrain.Report.t list;
+  reports : Rustbrain.Report.t list;  (** empty when [failure] is set *)
   stats : Runner.stats;
+  failure : failure option;
 }
 
 val default_domains : unit -> int
@@ -31,12 +37,27 @@ val default_domains : unit -> int
 val run_jobs : ?domains:int -> job list -> result list
 (** Run every job on a pool of at most [domains] workers (default
     {!default_domains}; [domains <= 1] runs inline with no spawning).
-    Results are returned in job order. If a job raises, the remaining jobs
-    still run and the first exception is re-raised afterwards. *)
+    Results are returned in job order and this function never raises on a
+    job's behalf: a crashing campaign is isolated as its own [failure]
+    (with backtrace) while every sibling job still completes. Worker
+    domains that die outside job isolation are restarted by a supervisor
+    (bounded), and any job orphaned by a dead worker is finished inline. *)
+
+val failures : result list -> (job * failure) list
+(** Every failed job with its captured failure, in result order. *)
+
+val seeded_jobs :
+  ?label:string -> Runner.packed -> seeds:int list -> Dataset.Case.t list ->
+  job list
+(** One job per seed ([with_seed] applied), labelled ["name/seedN"] — the
+    job list {!run_seeded} executes; exposed so callers needing per-job
+    failures can run {!run_jobs} themselves. *)
 
 val run_seeded :
   ?domains:int -> ?label:string -> Runner.packed -> seeds:int list ->
   Dataset.Case.t list -> Rustbrain.Report.t list * Runner.stats
 (** One campaign per seed, sharded across domains; reports concatenated in
     seed order with cache stats summed — the shape every bench experiment
-    uses. *)
+    uses. Partial on crash rather than raising: a failed seed contributes
+    no reports and is described on stderr. Use {!seeded_jobs} +
+    {!run_jobs} to inspect failures programmatically. *)

@@ -13,20 +13,36 @@ type choice = { chosen : candidate; corrupted : bool; confidence : float }
 
 type stats = { mutable calls : int; mutable tokens_in : int; mutable tokens_out : int }
 
+type api_error =
+  | Timeout
+  | Rate_limited of float
+  | Server_error
+  | Truncated
+  | Malformed
+
+let api_error_name = function
+  | Timeout -> "timeout"
+  | Rate_limited _ -> "rate-limited"
+  | Server_error -> "server-error"
+  | Truncated -> "truncated"
+  | Malformed -> "malformed"
+
 type t = {
   profile : Profile.t;
   rng : Rb_util.Rng.t;
   clock : Rb_util.Simclock.t;
   stats : stats;
   salt : int;  (* per-client idiosyncrasy for the sticky prior *)
+  faults : Faults.t option;
 }
 
-let create ?(seed = 7) ~clock profile =
+let create ?(seed = 7) ?faults ~clock profile =
   { profile; rng = Rb_util.Rng.create seed; clock;
-    stats = { calls = 0; tokens_in = 0; tokens_out = 0 }; salt = seed }
+    stats = { calls = 0; tokens_in = 0; tokens_out = 0 }; salt = seed; faults }
 
 let profile t = t.profile
 let stats t = t.stats
+let clock t = t.clock
 
 let charge t ~tokens_in ~tokens_out =
   t.stats.calls <- t.stats.calls + 1;
@@ -112,3 +128,51 @@ let complete t _sampling prompt =
      real output in this reproduction is structural, not textual *)
   Printf.sprintf "[%s] analysis of %d prompt tokens: acknowledged."
     t.profile.Profile.name (Prompt.tokens prompt)
+
+(* Fault injection. A faulted call is still metered like the real thing:
+   a timeout hangs for the full timeout window with the prompt already
+   sent; a rate limit is rejected cheaply before the prompt is processed;
+   a 5xx burns the prompt tokens; truncated/malformed responses are paid
+   for in full and only then discovered to be useless. Crucially none of
+   these paths touches [t.rng], so the choice stream is exactly the one
+   an un-faulted client would consume. *)
+let inject t prompt =
+  match t.faults with
+  | None -> None
+  | Some plan ->
+      (match Faults.draw plan with
+      | None -> None
+      | Some f ->
+          let tokens_in = Prompt.tokens prompt in
+          (match f.Faults.kind with
+          | Faults.Timeout ->
+              t.stats.calls <- t.stats.calls + 1;
+              t.stats.tokens_in <- t.stats.tokens_in + tokens_in;
+              Rb_util.Simclock.charge t.clock f.Faults.wait;
+              Some Timeout
+          | Faults.Rate_limit ->
+              t.stats.calls <- t.stats.calls + 1;
+              Rb_util.Simclock.charge t.clock t.profile.Profile.latency_base;
+              Some (Rate_limited f.Faults.wait)
+          | Faults.Server_error ->
+              t.stats.calls <- t.stats.calls + 1;
+              t.stats.tokens_in <- t.stats.tokens_in + tokens_in;
+              Rb_util.Simclock.charge t.clock t.profile.Profile.latency_base;
+              Some Server_error
+          | Faults.Truncated ->
+              charge t ~tokens_in
+                ~tokens_out:(t.profile.Profile.completion_tokens / 2);
+              Some Truncated
+          | Faults.Malformed ->
+              charge t ~tokens_in ~tokens_out:t.profile.Profile.completion_tokens;
+              Some Malformed))
+
+let choose_repair_result t sampling task =
+  match inject t task.prompt with
+  | Some e -> Error e
+  | None -> Ok (choose_repair t sampling task)
+
+let complete_result t sampling prompt =
+  match inject t prompt with
+  | Some e -> Error e
+  | None -> Ok (complete t sampling prompt)

@@ -43,15 +43,36 @@ type stats = {
   mutable tokens_out : int;
 }
 
+type api_error =
+  | Timeout            (** the call hung for the full timeout window *)
+  | Rate_limited of float  (** rejected; carries the suggested retry-after *)
+  | Server_error       (** transient 5xx *)
+  | Truncated          (** response cut off mid-payload *)
+  | Malformed          (** response arrived but cannot be parsed *)
+
+val api_error_name : api_error -> string
+
 type t
 
-val create : ?seed:int -> clock:Rb_util.Simclock.t -> Profile.t -> t
+val create : ?seed:int -> ?faults:Faults.t -> clock:Rb_util.Simclock.t -> Profile.t -> t
+(** [faults] attaches a fault plan consulted only by the [_result] calls
+    below; the plain calls below it stay fault-blind, so existing users
+    are untouched. *)
 
 val profile : t -> Profile.t
 val stats : t -> stats
+val clock : t -> Rb_util.Simclock.t
 
 val choose_repair : t -> sampling -> task -> choice option
 (** [None] when the task has no candidates. *)
+
+val choose_repair_result : t -> sampling -> task -> (choice option, api_error) result
+(** Like {!choose_repair}, but first consults the fault plan. A faulted
+    call is metered (calls/tokens/latency) per fault kind but never
+    advances the choice RNG: a retry that succeeds returns exactly what
+    the un-faulted call would have. *)
+
+val complete_result : t -> sampling -> Prompt.t -> (string, api_error) result
 
 val complete : t -> sampling -> Prompt.t -> string
 (** Generic text completion (used for feature extraction / AST sketching):

@@ -1,0 +1,106 @@
+(* Seeded fault plans for the simulated LLM API. The plan owns its RNG:
+   fault decisions never touch the client's choice stream, which is what
+   makes a retried call land on the same answer the un-faulted call would
+   have produced, and a zero-rate plan injectively invisible. *)
+
+type kind = Timeout | Rate_limit | Server_error | Truncated | Malformed
+
+type fault = { kind : kind; wait : float }
+
+type config = {
+  timeout_rate : float;
+  rate_limit_rate : float;
+  server_error_rate : float;
+  truncated_rate : float;
+  malformed_rate : float;
+  timeout_latency : float;
+  retry_after : float;
+}
+
+let none =
+  { timeout_rate = 0.0;
+    rate_limit_rate = 0.0;
+    server_error_rate = 0.0;
+    truncated_rate = 0.0;
+    malformed_rate = 0.0;
+    timeout_latency = 30.0;
+    retry_after = 5.0 }
+
+let uniform rate =
+  let r = Float.max 0.0 (Float.min 1.0 rate) /. 5.0 in
+  { none with
+    timeout_rate = r;
+    rate_limit_rate = r;
+    server_error_rate = r;
+    truncated_rate = r;
+    malformed_rate = r }
+
+let total_rate c =
+  c.timeout_rate +. c.rate_limit_rate +. c.server_error_rate
+  +. c.truncated_rate +. c.malformed_rate
+
+let kinds = [ Timeout; Rate_limit; Server_error; Truncated; Malformed ]
+
+let kind_index = function
+  | Timeout -> 0
+  | Rate_limit -> 1
+  | Server_error -> 2
+  | Truncated -> 3
+  | Malformed -> 4
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Rate_limit -> "rate-limit"
+  | Server_error -> "server-error"
+  | Truncated -> "truncated"
+  | Malformed -> "malformed"
+
+type plan =
+  | Seeded of config * Rb_util.Rng.t
+  | Scripted of fault option array * int ref
+
+type t = { plan : plan; counts : int array }
+
+let create ?(seed = 17) config =
+  { plan = Seeded (config, Rb_util.Rng.create seed); counts = Array.make 5 0 }
+
+let scripted schedule =
+  { plan = Scripted (Array.of_list schedule, ref 0); counts = Array.make 5 0 }
+
+let record t fault =
+  let i = kind_index fault.kind in
+  t.counts.(i) <- t.counts.(i) + 1;
+  Some fault
+
+let draw t =
+  match t.plan with
+  | Scripted (arr, cursor) ->
+      if !cursor >= Array.length arr then None
+      else begin
+        let f = arr.(!cursor) in
+        incr cursor;
+        match f with None -> None | Some f -> record t f
+      end
+  | Seeded (c, rng) ->
+      if total_rate c <= 0.0 then None
+      else begin
+        (* exactly one draw per call keeps the schedule independent of
+           which kinds have non-zero rates *)
+        let u = Rb_util.Rng.float rng in
+        let pick kind wait = record t { kind; wait } in
+        let t1 = c.timeout_rate in
+        let t2 = t1 +. c.rate_limit_rate in
+        let t3 = t2 +. c.server_error_rate in
+        let t4 = t3 +. c.truncated_rate in
+        let t5 = t4 +. c.malformed_rate in
+        if u < t1 then pick Timeout c.timeout_latency
+        else if u < t2 then pick Rate_limit c.retry_after
+        else if u < t3 then pick Server_error 0.0
+        else if u < t4 then pick Truncated 0.0
+        else if u < t5 then pick Malformed 0.0
+        else None
+      end
+
+let injected t = Array.fold_left ( + ) 0 t.counts
+
+let by_kind t = List.map (fun k -> (k, t.counts.(kind_index k))) kinds

@@ -1,0 +1,60 @@
+(** Deterministic fault injection for the simulated LLM API.
+
+    Real commercial endpoints time out, rate-limit, return transient 5xx
+    responses, and occasionally emit truncated or malformed payloads. A
+    fault plan decides, per guarded API call, whether that call fails and
+    how — from its {e own} seeded generator, so the client's choice stream
+    is untouched: a faulted call, once retried successfully, returns
+    exactly what the un-faulted call would have, and a plan with every rate
+    at zero is bit-for-bit invisible.
+
+    Same seed and same call sequence give the same fault schedule, across
+    runs and across scheduler domain counts. *)
+
+type kind = Timeout | Rate_limit | Server_error | Truncated | Malformed
+
+type fault = {
+  kind : kind;
+  wait : float;
+      (** simulated seconds tied to the fault: how long a timeout hung, or
+          the retry-after a rate limit suggests; [0] for payload faults *)
+}
+
+type config = {
+  timeout_rate : float;
+  rate_limit_rate : float;
+  server_error_rate : float;
+  truncated_rate : float;
+  malformed_rate : float;
+  timeout_latency : float;  (** seconds a timed-out call hangs before failing *)
+  retry_after : float;      (** wait a rate-limit response suggests *)
+}
+
+val none : config
+(** Every rate zero: [draw] always succeeds. *)
+
+val uniform : float -> config
+(** [uniform r] spreads a total fault rate [r] (clamped to [0,1]) evenly
+    over the five fault kinds, with default timeout/retry-after latencies. *)
+
+val total_rate : config -> float
+
+type t
+
+val create : ?seed:int -> config -> t
+(** A seeded plan: one uniform draw per {!draw} call decides the outcome. *)
+
+val scripted : fault option list -> t
+(** A fixed schedule for tests: the nth [draw] returns the nth element
+    ([None] = the call succeeds); past the end every call succeeds. *)
+
+val draw : t -> fault option
+(** Consult the plan for the next guarded API call. *)
+
+val injected : t -> int
+(** Total faults injected so far. *)
+
+val by_kind : t -> (kind * int) list
+(** Injection counts in declaration order of {!kind}. *)
+
+val kind_name : kind -> string

@@ -1,0 +1,201 @@
+(* Retry + backoff + circuit breaker over the simulated client. All waits
+   are charged to the shared simulated clock; all randomness (jitter) comes
+   from the wrapper's own seeded RNG. With no fault plan attached to the
+   primary the guarded calls take the success path on the first attempt,
+   draw nothing and charge nothing extra — the wrapper is bit-for-bit
+   invisible at fault rate zero. *)
+
+type config = {
+  max_retries : int;
+  backoff_base : float;
+  backoff_factor : float;
+  backoff_max : float;
+  jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  deadline : float option;
+}
+
+let default_config =
+  { max_retries = 3;
+    backoff_base = 1.0;
+    backoff_factor = 2.0;
+    backoff_max = 30.0;
+    jitter = 0.25;
+    breaker_threshold = 5;
+    breaker_cooldown = 120.0;
+    deadline = None }
+
+type breaker = Closed | Open | Half_open
+
+type stats = {
+  mutable requests : int;
+  mutable retries : int;
+  mutable faults : int;
+  mutable breaker_trips : int;
+  mutable breaker_recoveries : int;
+  mutable fallback_calls : int;
+  mutable give_ups : int;
+  mutable deadline_hits : int;
+}
+
+type t = {
+  prim : Client.t;
+  fallback : Client.t option;
+  cfg : config;
+  rng : Rb_util.Rng.t;
+  stats : stats;
+  mutable breaker : breaker;
+  mutable consecutive : int;
+  mutable open_until : float;
+  mutable repair_start : float;
+  mutable repair_degraded : bool;
+  mutable repair_gave_up : bool;
+  mutable repair_deadline_hit : bool;
+}
+
+let now t = Rb_util.Simclock.now (Client.clock t.prim)
+
+let create ?(seed = 11) ?(config = default_config) ?fallback prim =
+  let t =
+    { prim; fallback; cfg = config;
+      rng = Rb_util.Rng.create seed;
+      stats =
+        { requests = 0; retries = 0; faults = 0; breaker_trips = 0;
+          breaker_recoveries = 0; fallback_calls = 0; give_ups = 0;
+          deadline_hits = 0 };
+      breaker = Closed; consecutive = 0; open_until = 0.0;
+      repair_start = 0.0; repair_degraded = false; repair_gave_up = false;
+      repair_deadline_hit = false }
+  in
+  t.repair_start <- now t;
+  t
+
+let config t = t.cfg
+let stats t = t.stats
+let breaker_state t = t.breaker
+let primary t = t.prim
+let degraded t = t.repair_degraded
+let gave_up t = t.repair_gave_up
+
+let start_repair t =
+  t.repair_start <- now t;
+  t.repair_degraded <- false;
+  t.repair_gave_up <- false;
+  t.repair_deadline_hit <- false
+
+let deadline_exceeded t =
+  match t.cfg.deadline with
+  | None -> false
+  | Some d -> now t -. t.repair_start >= d
+
+let note_deadline_hit t =
+  if not t.repair_deadline_hit then begin
+    t.repair_deadline_hit <- true;
+    t.stats.deadline_hits <- t.stats.deadline_hits + 1
+  end;
+  t.repair_degraded <- true
+
+let note_deadline_skip t =
+  note_deadline_hit t;
+  t.repair_gave_up <- true
+
+let trip t =
+  t.breaker <- Open;
+  t.open_until <- now t +. t.cfg.breaker_cooldown;
+  t.stats.breaker_trips <- t.stats.breaker_trips + 1;
+  t.consecutive <- 0
+
+let note_failure t ~was_half_open =
+  if was_half_open then trip t (* the trial call failed: straight back open *)
+  else begin
+    t.consecutive <- t.consecutive + 1;
+    if t.breaker = Closed && t.consecutive >= t.cfg.breaker_threshold then trip t
+  end
+
+let note_success t =
+  if t.breaker = Half_open then
+    t.stats.breaker_recoveries <- t.stats.breaker_recoveries + 1;
+  t.breaker <- Closed;
+  t.consecutive <- 0
+
+let backoff_delay t attempt fault =
+  let base =
+    t.cfg.backoff_base *. (t.cfg.backoff_factor ** float_of_int attempt)
+  in
+  let capped = Float.min t.cfg.backoff_max base in
+  let jittered =
+    if t.cfg.jitter <= 0.0 then capped
+    else
+      capped
+      *. (1.0 +. (t.cfg.jitter *. ((2.0 *. Rb_util.Rng.float t.rng) -. 1.0)))
+  in
+  (* a rate limit's suggested retry-after is a floor, not a suggestion *)
+  match fault with
+  | Client.Rate_limited wait -> Float.max jittered wait
+  | _ -> jittered
+
+let give_up t degrade =
+  t.stats.give_ups <- t.stats.give_ups + 1;
+  t.repair_gave_up <- true;
+  t.repair_degraded <- true;
+  degrade ()
+
+let use_fallback t run degrade =
+  match t.fallback with
+  | None -> give_up t degrade
+  | Some fb -> (
+      t.stats.fallback_calls <- t.stats.fallback_calls + 1;
+      t.repair_degraded <- true;
+      match run fb with Ok v -> v | Error _ -> give_up t degrade)
+
+(* One guarded API call. [run] performs the metered call against whichever
+   client it is handed; [degrade] produces the answer of last resort. *)
+let guarded :
+    'a. t -> (Client.t -> ('a, Client.api_error) result) -> (unit -> 'a) -> 'a
+    =
+ fun t run degrade ->
+  t.stats.requests <- t.stats.requests + 1;
+  if deadline_exceeded t then begin
+    note_deadline_hit t;
+    t.repair_gave_up <- true;
+    degrade ()
+  end
+  else begin
+    if t.breaker = Open && now t >= t.open_until then t.breaker <- Half_open;
+    match t.breaker with
+    | Open -> use_fallback t run degrade
+    | Closed | Half_open ->
+        let rec attempt n =
+          let was_half_open = t.breaker = Half_open in
+          match run t.prim with
+          | Ok v ->
+              note_success t;
+              v
+          | Error fault ->
+              t.stats.faults <- t.stats.faults + 1;
+              note_failure t ~was_half_open;
+              if t.breaker = Open || n >= t.cfg.max_retries
+                 || deadline_exceeded t
+              then use_fallback t run degrade
+              else begin
+                Rb_util.Simclock.charge (Client.clock t.prim)
+                  (backoff_delay t n fault);
+                t.stats.retries <- t.stats.retries + 1;
+                attempt (n + 1)
+              end
+        in
+        attempt 0
+  end
+
+let choose_repair t sampling task =
+  guarded t
+    (fun c -> Client.choose_repair_result c sampling task)
+    (fun () -> None)
+
+let complete t sampling prompt =
+  guarded t
+    (fun c -> Client.complete_result c sampling prompt)
+    (fun () -> "[degraded] completion unavailable")
+
+let charge_prompt t prompt = Client.charge_prompt t.prim prompt

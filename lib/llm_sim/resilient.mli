@@ -1,0 +1,82 @@
+(** Resilient wrapper around {!Client}: retry with exponential backoff and
+    deterministic jitter, per-repair deadline budgets, and a circuit
+    breaker that degrades gracefully instead of aborting.
+
+    Every delay (backoff, retry-after) is charged to the client's simulated
+    clock, and the jitter comes from the wrapper's own seeded generator, so
+    the whole recovery schedule is reproducible: same seed, same faults,
+    same retries, same simulated seconds.
+
+    Breaker protocol: [Closed] passes calls through with retries. After
+    [breaker_threshold] consecutive failed calls it trips [Open]: calls skip
+    the primary entirely and degrade (to the fallback client — a cheaper
+    model profile — or a give-up answer) until [breaker_cooldown] simulated
+    seconds elapse, when one trial call is allowed ([Half_open]); success
+    re-closes it, failure re-opens it. *)
+
+type config = {
+  max_retries : int;        (** retries per call before degrading *)
+  backoff_base : float;     (** first backoff delay, seconds *)
+  backoff_factor : float;   (** exponential growth per retry *)
+  backoff_max : float;      (** delay cap before jitter *)
+  jitter : float;           (** +- fraction of the delay, seeded *)
+  breaker_threshold : int;  (** consecutive failures that trip the breaker *)
+  breaker_cooldown : float; (** simulated seconds Open before Half_open *)
+  deadline : float option;  (** per-repair budget, simulated seconds *)
+}
+
+val default_config : config
+
+type breaker = Closed | Open | Half_open
+
+type stats = {
+  mutable requests : int;
+  mutable retries : int;
+  mutable faults : int;
+  mutable breaker_trips : int;
+  mutable breaker_recoveries : int;
+  mutable fallback_calls : int;
+  mutable give_ups : int;
+  mutable deadline_hits : int;
+}
+
+type t
+
+val create : ?seed:int -> ?config:config -> ?fallback:Client.t -> Client.t -> t
+(** [fallback] is consulted when the primary is degraded (breaker open or
+    retries exhausted); typically a cheaper profile sharing the same clock. *)
+
+val config : t -> config
+val stats : t -> stats
+val breaker_state : t -> breaker
+val primary : t -> Client.t
+
+val start_repair : t -> unit
+(** Begin a per-repair deadline window and clear the per-repair
+    [degraded]/[gave_up] flags. *)
+
+val deadline_exceeded : t -> bool
+(** The current repair has used up its simulated-seconds budget. *)
+
+val note_deadline_skip : t -> unit
+(** Record that the caller's watchdog skipped work because the deadline
+    passed (counted once per repair). *)
+
+val degraded : t -> bool
+(** The current repair used the fallback, gave up a call, or hit its
+    deadline. *)
+
+val gave_up : t -> bool
+(** The current repair had at least one call answered with the degrade
+    value (no primary, no fallback). *)
+
+val choose_repair : t -> Client.sampling -> Client.task -> Client.choice option
+(** Guarded {!Client.choose_repair_result}: retries faulted calls with
+    clock-charged backoff; degrades to the fallback or [None] when the
+    breaker is open, retries are exhausted, or the deadline has passed. *)
+
+val complete : t -> Client.sampling -> Prompt.t -> string
+
+val charge_prompt : t -> Prompt.t -> unit
+(** Fire-and-forget accounting; never faulted, passes through to the
+    primary. *)

@@ -8,12 +8,22 @@ type config = {
   max_steps : int;
   inputs : int64 array;
   trace : bool;  (* record allocation/retag/invalidation events *)
+  max_allocs : int;       (* allocation-count fuel *)
+  max_alloc_bytes : int;  (* cumulative allocated-byte fuel *)
 }
 
 let default_config =
-  { mode = Stop_first; seed = 1; max_steps = 200_000; inputs = [||]; trace = false }
+  { mode = Stop_first; seed = 1; max_steps = 200_000; inputs = [||]; trace = false;
+    (* generous enough that no legitimate corpus program comes near them;
+       they exist to turn an allocation bomb into a diagnosis *)
+    max_allocs = 4_000_000; max_alloc_bytes = 64 * 1024 * 1024 }
 
-type outcome = Finished | Panicked of string | Ub of Diag.t | Step_limit
+type outcome =
+  | Finished
+  | Panicked of string
+  | Ub of Diag.t
+  | Step_limit
+  | Resource_limit of string  (* allocation fuel exhausted: diagnosed, not hung *)
 
 type run_result = {
   outcome : outcome;
@@ -51,6 +61,8 @@ type state = {
   mutable stop : outcome option;  (* set when the run must end *)
   sched_rng : Rb_util.Rng.t;
   mutable cur_stmt : int;         (* node id of the statement being executed *)
+  mutable allocs : int;           (* allocations performed so far *)
+  mutable alloc_bytes : int;      (* cumulative bytes allocated *)
 }
 
 (* Execution context of one thread: the stack of lexical scopes of the
@@ -64,7 +76,27 @@ type ctx = { st : state; tid : int; mutable scopes : scope list }
 exception Panic_exc of string
 exception Ub_fatal of Diag.t
 exception Step_limit_exc
+exception Resource_exc of string
 exception Return_exc of Value.t
+
+(* Every machine allocation funnels through here so the fuel caps are
+   checked *before* memory is created: an allocation bomb fails cleanly
+   instead of first materialising a huge block. *)
+let tracked_allocate (st : state) ~size ~align ~kind =
+  if st.allocs >= st.config.max_allocs then
+    raise
+      (Resource_exc
+         (Printf.sprintf "allocation budget exhausted (%d allocations)"
+            st.config.max_allocs));
+  if st.alloc_bytes + size > st.config.max_alloc_bytes then
+    raise
+      (Resource_exc
+         (Printf.sprintf
+            "allocation-byte budget exhausted (%d bytes requested, cap %d)"
+            (st.alloc_bytes + size) st.config.max_alloc_bytes));
+  st.allocs <- st.allocs + 1;
+  st.alloc_bytes <- st.alloc_bytes + size;
+  Mem.allocate st.mem ~size ~align ~kind
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostics *)
@@ -573,7 +605,7 @@ and eval_alloc ctx size_e align_e =
   else if align <= 0 || align land (align - 1) <> 0 then
     bad (Printf.sprintf "alloc with invalid alignment %d" align)
   else begin
-    let a = Mem.allocate ctx.st.mem ~size ~align ~kind:Mem.Heap in
+    let a = tracked_allocate ctx.st ~size ~align ~kind:Mem.Heap in
     trace_event ctx.st "alloc: allocation %d (%d bytes, align %d, base tag %d)"
       a.Mem.id size align a.Mem.base_tag;
     Value.V_ptr (base_pointer a, Ast.T_raw (Ast.Mut, Ast.T_int Ast.I8))
@@ -665,7 +697,7 @@ and call_fn ctx (f : Ast.fn_decl) (args : Value.t list) : Value.t =
       (fun (pname, pty) v ->
         let size = Layout.size_of st.program pty in
         let align = max 1 (Layout.align_of st.program pty) in
-        let a = Mem.allocate st.mem ~size ~align ~kind:Mem.Stack in
+        let a = tracked_allocate st ~size ~align ~kind:Mem.Stack in
         typed_write callee_ctx (base_pointer a) pty v ~atomic:false;
         scope := (pname, { l_alloc = a; l_ty = pty }) :: !scope)
       f.Ast.params args;
@@ -794,7 +826,7 @@ and exec_stmt (ctx : ctx) (stmt : Ast.stmt) : unit =
     in
     let size = Layout.size_of ctx.st.program ty in
     let align = max 1 (Layout.align_of ctx.st.program ty) in
-    let a = Mem.allocate ctx.st.mem ~size ~align ~kind:Mem.Stack in
+    let a = tracked_allocate ctx.st ~size ~align ~kind:Mem.Stack in
     typed_write ctx (base_pointer a) ty v ~atomic:false;
     (match ctx.scopes with
     | scope :: _ -> scope := (name, { l_alloc = a; l_ty = ty }) :: !scope
@@ -899,7 +931,7 @@ and exec_spawn ctx handle fname args =
     let tid = Effect.perform (Spawn_eff body) in
     (* bind the handle as a local *)
     let ty = Ast.T_handle in
-    let a = Mem.allocate st.mem ~size:8 ~align:8 ~kind:Mem.Stack in
+    let a = tracked_allocate st ~size:8 ~align:8 ~kind:Mem.Stack in
     typed_write ctx (base_pointer a) ty (Value.V_handle tid) ~atomic:false;
     (match ctx.scopes with
     | scope :: _ -> scope := (handle, { l_alloc = a; l_ty = ty }) :: !scope
@@ -975,6 +1007,8 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
       stop = None;
       sched_rng = Rb_util.Rng.create (config.seed * 2 + 1);
       cur_stmt = -1;
+      allocs = 0;
+      alloc_bytes = 0;
     }
   in
   let runnable : pending list ref = ref [] in
@@ -1026,6 +1060,7 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
             | Panic_exc msg -> record_stop (Panicked msg)
             | Ub_fatal d -> record_stop (Ub d)
             | Step_limit_exc -> record_stop Step_limit
+            | Resource_exc msg -> record_stop (Resource_limit msg)
             | e -> raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -1081,7 +1116,7 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
         let ty = s.Ast.sty in
         let size = Layout.size_of program ty in
         let align = max 1 (Layout.align_of program ty) in
-        let a = Mem.allocate st.mem ~size ~align ~kind:Mem.Global in
+        let a = tracked_allocate st ~size ~align ~kind:Mem.Global in
         Hashtbl.replace st.statics_tbl s.Ast.sname (a, ty);
         let v = eval_expr ctx s.Ast.sinit in
         typed_write ctx (base_pointer a) ty v ~atomic:false)
@@ -1097,7 +1132,8 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
   let main_tid =
     spawn_thread None (fun tid ->
         (try init_statics tid
-         with (Panic_exc _ | Ub_fatal _ | Step_limit_exc) as e -> static_error := Some e);
+         with (Panic_exc _ | Ub_fatal _ | Step_limit_exc | Resource_exc _) as e ->
+           static_error := Some e);
         main_body tid)
   in
   (* scheduler loop *)
@@ -1167,13 +1203,16 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
         | Collect _ -> if !final_diags <> [] then Ub (List.hd !final_diags) else Finished))
   in
   let diags = List.rev st.diags in
-  let panicked = match outcome with Panicked _ -> true | _ -> false in
+  (* a panic or a blown resource budget each count as one error on top of
+     the recorded UB diagnostics; a step-limit stop stays cost-free, as it
+     always has (spin loops are scored by their diagnostics alone) *)
+  let aborted = match outcome with Panicked _ | Resource_limit _ -> true | _ -> false in
   {
     outcome;
     output = List.rev st.outputs;
     diags;
     steps = st.steps;
-    error_count = List.length diags + (if panicked then 1 else 0);
+    error_count = List.length diags + (if aborted then 1 else 0);
     events = List.rev st.events;
   }
 
@@ -1202,6 +1241,7 @@ type summary = {
   sm_output : string list;
   sm_ub_count : int;      (* UB diagnostics recorded *)
   sm_error_count : int;   (* the paper's n_i; type-error count if ill-typed *)
+  sm_resource : string option;  (* the run blew an allocation budget *)
 }
 
 let summarize = function
@@ -1210,14 +1250,16 @@ let summarize = function
       sm_ub_count = 0;
       sm_error_count =
         (* one reported line per type error *)
-        max 1 (List.length (String.split_on_char '\n' (String.trim msg))) }
+        max 1 (List.length (String.split_on_char '\n' (String.trim msg)));
+      sm_resource = None }
   | Ran r ->
     { sm_compile_error = false;
       sm_clean = is_clean r;
       sm_panic = (match r.outcome with Panicked m -> Some m | _ -> None);
       sm_output = r.output;
       sm_ub_count = List.length r.diags;
-      sm_error_count = r.error_count }
+      sm_error_count = r.error_count;
+      sm_resource = (match r.outcome with Resource_limit m -> Some m | _ -> None) }
 
 module Cache = struct
   type stats = { hits : int; misses : int }
@@ -1268,9 +1310,10 @@ module Cache = struct
 end
 
 let config_key config =
-  Printf.sprintf "%s|%d|%d|%b|%s"
+  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s"
     (match config.mode with Stop_first -> "S" | Collect n -> "C" ^ string_of_int n)
     config.seed config.max_steps config.trace
+    config.max_allocs config.max_alloc_bytes
     (String.concat "," (Array.to_list (Array.map Int64.to_string config.inputs)))
 
 let analyze_summary ?cache ?fingerprint ?(config = default_config) program =
@@ -1282,7 +1325,7 @@ let analyze_summary ?cache ?fingerprint ?(config = default_config) program =
     match Typecheck.check program with
     | Error errors ->
       { sm_compile_error = true; sm_clean = false; sm_panic = None; sm_output = [];
-        sm_ub_count = 0; sm_error_count = List.length errors }
+        sm_ub_count = 0; sm_error_count = List.length errors; sm_resource = None }
     | Ok info -> summarize (Ran (run ~config program info))
   in
   match cache with

@@ -26,22 +26,29 @@ type config = {
   max_steps : int;       (** statement budget before [Step_limit] *)
   inputs : int64 array;  (** values returned by [input(i)] *)
   trace : bool;          (** record allocation/retag/invalidation events *)
+  max_allocs : int;      (** allocation-count fuel before [Resource_limit] *)
+  max_alloc_bytes : int; (** cumulative allocated-byte fuel *)
 }
 
 val default_config : config
+(** Allocation fuel defaults are generous (4M allocations, 64 MiB): no
+    legitimate corpus program approaches them, so they only ever convert a
+    pathological repaired candidate (an allocation bomb) into a diagnosed
+    verdict instead of an effectively hung verification. *)
 
 type outcome =
   | Finished
   | Panicked of string
   | Ub of Diag.t         (** fatal diagnostic ([Stop_first], or collect overflow) *)
   | Step_limit
+  | Resource_limit of string  (** allocation fuel exhausted; message says which cap *)
 
 type run_result = {
   outcome : outcome;
   output : string list;  (** chronological [print] trace *)
   diags : Diag.t list;   (** all recorded diagnostics, chronological *)
   steps : int;
-  error_count : int;     (** |diags| + 1 if panicked — the paper's n_i *)
+  error_count : int;     (** |diags| + 1 if panicked or resource-limited — the paper's n_i *)
   events : string list;
       (** chronological borrow/allocation event trace — Miri's pointer-tag
           tracking equivalent; empty unless [config.trace] *)
@@ -84,6 +91,7 @@ type summary = {
   sm_output : string list;     (** chronological [print] trace *)
   sm_ub_count : int;           (** UB diagnostics recorded *)
   sm_error_count : int;        (** the paper's n_i; type-error count if ill-typed *)
+  sm_resource : string option; (** set when the run blew an allocation budget *)
 }
 
 val summarize : analysis -> summary

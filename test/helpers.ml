@@ -7,11 +7,16 @@ let contains hay sub =
 
 (* Run a source program through the machine with a fixed configuration. *)
 let run ?(inputs = [||]) ?(mode = Miri.Machine.Stop_first) ?(seed = 1)
-    ?(max_steps = 200_000) src =
+    ?(max_steps = 200_000)
+    ?(max_allocs = Miri.Machine.default_config.Miri.Machine.max_allocs)
+    ?(max_alloc_bytes = Miri.Machine.default_config.Miri.Machine.max_alloc_bytes)
+    src =
   let program = Minirust.Parser.parse src in
   match
     Miri.Machine.analyze
-      ~config:{ Miri.Machine.mode; seed; max_steps; inputs; trace = false } program
+      ~config:{ Miri.Machine.mode; seed; max_steps; inputs; trace = false;
+                max_allocs; max_alloc_bytes }
+      program
   with
   | Miri.Machine.Compile_error msg -> Alcotest.failf "compile error: %s" msg
   | Miri.Machine.Ran r -> r
@@ -22,6 +27,7 @@ let outcome_kind (r : Miri.Machine.run_result) =
   | Miri.Machine.Panicked _ -> "panic"
   | Miri.Machine.Ub d -> "ub:" ^ Miri.Diag.kind_name d.Miri.Diag.kind
   | Miri.Machine.Step_limit -> "step-limit"
+  | Miri.Machine.Resource_limit _ -> "resource-limit"
 
 let expect_ub ?(inputs = [||]) src kind () =
   let r = run ~inputs src in

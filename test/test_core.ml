@@ -23,7 +23,7 @@ let make_env ?(kb = false) ?(temperature = 0.5) () =
     ref_panics =
       Env.reference_panics ~reference:(Some (Dataset.Case.fixed case))
         ~probes:case.Dataset.Case.probes ();
-    rng = Rb_util.Rng.create 17; runner = None }
+    rng = Rb_util.Rng.create 17; resilient = None; runner = None }
 
 (* classification *)
 

@@ -23,7 +23,8 @@ let buggy_exhibits (c : Dataset.Case.t) () =
           | Miri.Machine.Ub d -> Some (Miri.Diag.kind_name d.Miri.Diag.kind)
           | Miri.Machine.Panicked _ -> Some "panic"
           | Miri.Machine.Finished -> None
-          | Miri.Machine.Step_limit -> Some "step-limit")
+          | Miri.Machine.Step_limit -> Some "step-limit"
+          | Miri.Machine.Resource_limit _ -> Some "resource-limit")
         | Miri.Machine.Compile_error m -> Some ("compile-error: " ^ m))
       c.Dataset.Case.probes
   in
@@ -44,7 +45,8 @@ let fixed_clean (c : Dataset.Case.t) () =
         match r.Miri.Machine.outcome with
         | Miri.Machine.Finished | Miri.Machine.Panicked _ -> ()
         | Miri.Machine.Ub d -> Alcotest.failf "fixed has UB: %s" (Miri.Diag.to_string d)
-        | Miri.Machine.Step_limit -> Alcotest.fail "fixed hit the step limit")
+        | Miri.Machine.Step_limit -> Alcotest.fail "fixed hit the step limit"
+        | Miri.Machine.Resource_limit m -> Alcotest.failf "fixed hit a resource limit: %s" m)
       | Miri.Machine.Compile_error m -> Alcotest.failf "fixed does not compile: %s" m)
     c.Dataset.Case.probes
 

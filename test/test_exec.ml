@@ -83,6 +83,95 @@ let test_run_seeded_order () =
   Alcotest.(check bool) "matches inline per-seed runs" true
     (reports = List.concat_map inline [ 1; 2; 3 ])
 
+(* -- Crash isolation --------------------------------------------------- *)
+
+(* a backend whose campaign always raises: the scheduler must capture it as
+   that job's failure without disturbing sibling jobs *)
+module Crashy = struct
+  type config = int
+
+  let name = "crashy"
+  let default_config = 0
+  let with_seed _cfg seed = seed
+  let run_campaign _cfg _cases : Rustbrain.Report.t list * Exec.Runner.stats =
+    failwith "boom"
+end
+
+let mixed_jobs cases =
+  [ { Exec.Scheduler.label = "good1";
+      runner = Exec.Runner.with_seed (Exec.Backends.human_expert ()) 1;
+      cases };
+    { Exec.Scheduler.label = "crashy";
+      runner = Exec.Runner.pack (module Crashy) 0;
+      cases };
+    { Exec.Scheduler.label = "good2";
+      runner = Exec.Runner.with_seed (Exec.Backends.human_expert ()) 2;
+      cases } ]
+
+let test_crash_isolated () =
+  let cases = [ case () ] in
+  List.iter
+    (fun domains ->
+      let results = Exec.Scheduler.run_jobs ~domains (mixed_jobs cases) in
+      Alcotest.(check int) "every job reports" 3 (List.length results);
+      Alcotest.(check (list string)) "job order preserved"
+        [ "good1"; "crashy"; "good2" ]
+        (List.map
+           (fun (r : Exec.Scheduler.result) -> r.Exec.Scheduler.job.Exec.Scheduler.label)
+           results);
+      let ok, failed =
+        List.partition
+          (fun (r : Exec.Scheduler.result) -> r.Exec.Scheduler.failure = None)
+          results
+      in
+      Alcotest.(check int) "siblings completed" 2 (List.length ok);
+      List.iter
+        (fun (r : Exec.Scheduler.result) ->
+          Alcotest.(check int) "sibling produced its report" 1
+            (List.length r.Exec.Scheduler.reports))
+        ok;
+      match failed with
+      | [ f ] ->
+        Alcotest.(check string) "the crashing job failed" "crashy"
+          f.Exec.Scheduler.job.Exec.Scheduler.label;
+        Alcotest.(check bool) "reports dropped" true (f.Exec.Scheduler.reports = []);
+        (match f.Exec.Scheduler.failure with
+        | None -> Alcotest.fail "expected a captured failure"
+        | Some fl ->
+          Alcotest.(check bool) "exception preserved" true
+            (Helpers.contains fl.Exec.Scheduler.exn "boom"))
+      | _ -> Alcotest.failf "expected exactly one failure, got %d" (List.length failed))
+    [ 1; 2 ]
+
+let test_every_failure_preserved () =
+  (* the old scheduler re-raised only the first exception; now every crash
+     is kept, each with its own job *)
+  let cases = [ case () ] in
+  let jobs =
+    List.map
+      (fun i ->
+        { Exec.Scheduler.label = Printf.sprintf "crashy%d" i;
+          runner = Exec.Runner.pack (module Crashy) i;
+          cases })
+      [ 1; 2; 3 ]
+  in
+  let results = Exec.Scheduler.run_jobs ~domains:2 jobs in
+  let failures = Exec.Scheduler.failures results in
+  Alcotest.(check (list string)) "all three failures, in order"
+    [ "crashy1"; "crashy2"; "crashy3" ]
+    (List.map (fun ((j : Exec.Scheduler.job), _) -> j.Exec.Scheduler.label) failures)
+
+let test_run_seeded_partial () =
+  let cases = [ case () ] in
+  (* run_seeded must not raise on a crashing campaign: it reports partial
+     results (none here) instead *)
+  let reports, _ =
+    Exec.Scheduler.run_seeded ~domains:2
+      (Exec.Runner.pack (module Crashy) 0)
+      ~seeds:[ 1; 2 ] cases
+  in
+  Alcotest.(check int) "partial results surfaced" 0 (List.length reports)
+
 (* -- Verification cache ------------------------------------------------ *)
 
 let test_cache_hits_on_repeat () =
@@ -152,14 +241,15 @@ let test_report_json () =
     (fun field -> Alcotest.(check bool) ("field " ^ field) true (has ("\"" ^ field ^ "\"")))
     [ "case"; "category"; "passed"; "semantic"; "seconds"; "llm_calls"; "tokens";
       "iterations"; "solutions_tried"; "rollbacks"; "n_sequence"; "winning_solution";
-      "feedback_hit"; "trace" ];
+      "feedback_hit"; "retries"; "faults"; "breaker_trips"; "degraded"; "gave_up";
+      "trace" ];
   Alcotest.(check bool) "case name embedded" true
     (has (Printf.sprintf "%S" r.Rustbrain.Report.case_name))
 
 let test_report_csv () =
   let r = sample_report () in
   let header_cols = String.split_on_char ',' Rustbrain.Report.csv_header in
-  Alcotest.(check int) "13 columns" 13 (List.length header_cols);
+  Alcotest.(check int) "18 columns" 18 (List.length header_cols);
   (* a row with no quoted fields has exactly as many columns as the header;
      the sample corpus names contain no commas *)
   let row = Rustbrain.Report.csv_row r in
@@ -171,6 +261,9 @@ let suite =
     Alcotest.test_case "with_seed repacks" `Quick test_with_seed_repacks;
     Alcotest.test_case "parallel == sequential" `Slow test_parallel_equals_sequential;
     Alcotest.test_case "run_seeded order" `Quick test_run_seeded_order;
+    Alcotest.test_case "crash isolated per job" `Quick test_crash_isolated;
+    Alcotest.test_case "every failure preserved" `Quick test_every_failure_preserved;
+    Alcotest.test_case "run_seeded partial on crash" `Quick test_run_seeded_partial;
     Alcotest.test_case "cache hits on repeat" `Quick test_cache_hits_on_repeat;
     Alcotest.test_case "cache transparent" `Slow test_cache_transparent;
     Alcotest.test_case "cache disabled counts nothing" `Quick test_cache_disabled_no_counting;

@@ -24,4 +24,5 @@ let () =
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
       ("exec", Test_exec.suite);
+      ("resilience", Test_resilience.suite);
       ("stats", Test_stats.suite) ]

@@ -1,0 +1,316 @@
+(* The resilience layer: deterministic fault plans, retry/backoff/circuit
+   breaker over the simulated client, interpreter allocation fuel, and the
+   pipeline-level guarantees (fault rate zero is byte-for-byte invisible;
+   any fault rate is same-seed deterministic). *)
+
+open Llm_sim
+
+(* ---- shared fixtures (mirrors test_llm.ml) ---- *)
+
+let mk_client ?faults ?(seed = 9) ?(model = Profile.Gpt4) () =
+  let clock = Rb_util.Simclock.create () in
+  (Client.create ~seed ?faults ~clock (Profile.get model), clock)
+
+let candidates =
+  [ { Client.cand_id = 0; quality = 1.0; brief = "the right fix"; kind = "modify" };
+    { Client.cand_id = 1; quality = 0.2; brief = "wrong site"; kind = "modify" };
+    { Client.cand_id = 2; quality = 0.1; brief = "useless assert"; kind = "assert" } ]
+
+let prompt =
+  Prompt.make [ (Prompt.sec_code, "fn main() { }"); (Prompt.sec_error, "UB(alloc)") ]
+
+let task () =
+  { Client.category = Miri.Diag.Alloc; prompt; candidates; kind_bias = [] }
+
+let sampling = { Client.temperature = 0.5 }
+
+let flt ?(wait = 0.0) kind = Some { Faults.kind; wait }
+
+(* ---- fault plans ---- *)
+
+let test_plan_same_seed () =
+  let schedule seed =
+    let plan = Faults.create ~seed (Faults.uniform 0.4) in
+    List.init 300 (fun _ -> Faults.draw plan)
+  in
+  Alcotest.(check bool) "same seed, same schedule" true
+    (schedule 5 = schedule 5);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (schedule 5 <> schedule 6)
+
+let test_plan_counts () =
+  let plan = Faults.create ~seed:3 (Faults.uniform 0.5) in
+  for _ = 1 to 400 do ignore (Faults.draw plan) done;
+  let injected = Faults.injected plan in
+  Alcotest.(check bool) "roughly half the draws fault" true
+    (injected > 100 && injected < 300);
+  let sum = List.fold_left (fun a (_, n) -> a + n) 0 (Faults.by_kind plan) in
+  Alcotest.(check int) "by_kind sums to injected" injected sum
+
+let test_zero_rate_never_faults () =
+  Alcotest.(check (float 1e-9)) "none has rate 0" 0.0 (Faults.total_rate Faults.none);
+  let plan = Faults.create ~seed:1 Faults.none in
+  for _ = 1 to 300 do
+    if Faults.draw plan <> None then Alcotest.fail "zero-rate plan injected a fault"
+  done;
+  Alcotest.(check int) "injected 0" 0 (Faults.injected plan)
+
+(* ---- faulted client ---- *)
+
+let test_scripted_errors_surface () =
+  let faults =
+    Faults.scripted
+      [ flt ~wait:30.0 Faults.Timeout; flt ~wait:7.0 Faults.Rate_limit;
+        flt Faults.Server_error; flt Faults.Truncated; flt Faults.Malformed;
+        None ]
+  in
+  let client, clock = mk_client ~faults () in
+  let call () = Client.choose_repair_result client sampling (task ()) in
+  (match call () with
+  | Error Client.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout");
+  Alcotest.(check bool) "timeout hangs the simulated clock" true
+    (Rb_util.Simclock.now clock >= 30.0);
+  (match call () with
+  | Error (Client.Rate_limited w) ->
+      Alcotest.(check (float 1e-9)) "retry-after carried" 7.0 w
+  | _ -> Alcotest.fail "expected Rate_limited");
+  (match call () with
+  | Error Client.Server_error -> ()
+  | _ -> Alcotest.fail "expected Server_error");
+  (match call () with
+  | Error Client.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  (match call () with
+  | Error Client.Malformed -> ()
+  | _ -> Alcotest.fail "expected Malformed");
+  (match call () with
+  | Ok (Some _) -> ()
+  | _ -> Alcotest.fail "past the script every call succeeds");
+  Alcotest.(check int) "every attempt metered" 6 (Client.stats client).Client.calls
+
+let test_retry_returns_oracle_answer () =
+  (* a faulted call never advances the choice stream: the retry answers
+     exactly what the un-faulted call would have *)
+  let pristine, _ = mk_client () in
+  let expected = Client.choose_repair pristine sampling (task ()) in
+  let faulted, _ =
+    mk_client ~faults:(Faults.scripted [ flt Faults.Server_error; None ]) ()
+  in
+  (match Client.choose_repair_result faulted sampling (task ()) with
+  | Error Client.Server_error -> ()
+  | _ -> Alcotest.fail "first attempt should fault");
+  match Client.choose_repair_result faulted sampling (task ()) with
+  | Ok got ->
+      Alcotest.(check bool) "retry matches un-faulted answer" true (got = expected)
+  | Error _ -> Alcotest.fail "second attempt should succeed"
+
+(* ---- resilient wrapper ---- *)
+
+let mk_resilient ?(seed = 11) ?(config = Resilient.default_config) ?fallback
+    ~script () =
+  let client, clock = mk_client ~faults:(Faults.scripted script) () in
+  let fallback =
+    match fallback with
+    | Some true -> Some (Client.create ~seed:41 ~clock (Profile.get Profile.Gpt35))
+    | _ -> None
+  in
+  (Resilient.create ~seed ~config ?fallback client, clock)
+
+let test_retry_recovers_deterministically () =
+  let run () =
+    let r, clock =
+      mk_resilient
+        ~script:[ flt Faults.Server_error; flt Faults.Server_error; None ] ()
+    in
+    let choice = Resilient.choose_repair r sampling (task ()) in
+    let st = Resilient.stats r in
+    (choice, st.Resilient.retries, st.Resilient.faults,
+     Rb_util.Simclock.now clock)
+  in
+  let (choice, retries, faults, elapsed) = run () in
+  Alcotest.(check bool) "recovered an answer" true (choice <> None);
+  Alcotest.(check int) "two retries" 2 retries;
+  Alcotest.(check int) "two faults" 2 faults;
+  Alcotest.(check bool) "backoff charged to the clock" true (elapsed > 0.0);
+  Alcotest.(check bool) "same seed, same recovery schedule" true (run () = run ())
+
+let test_rate_limit_floors_backoff () =
+  let config = { Resilient.default_config with Resilient.jitter = 0.0 } in
+  let r, clock =
+    mk_resilient ~config ~script:[ flt ~wait:50.0 Faults.Rate_limit; None ] ()
+  in
+  ignore (Resilient.choose_repair r sampling (task ()));
+  Alcotest.(check bool) "waited at least the suggested retry-after" true
+    (Rb_util.Simclock.now clock >= 50.0)
+
+let trip_config =
+  { Resilient.default_config with
+    Resilient.max_retries = 0; breaker_threshold = 3; jitter = 0.0 }
+
+let test_breaker_trips () =
+  let script = List.init 8 (fun _ -> flt Faults.Server_error) in
+  let r, _ = mk_resilient ~config:trip_config ~script () in
+  Alcotest.(check bool) "starts closed" true (Resilient.breaker_state r = Resilient.Closed);
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "no fallback: degrades to None" true
+      (Resilient.choose_repair r sampling (task ()) = None)
+  done;
+  Alcotest.(check bool) "three consecutive failures trip it" true
+    (Resilient.breaker_state r = Resilient.Open);
+  let st = Resilient.stats r in
+  Alcotest.(check int) "one trip" 1 st.Resilient.breaker_trips;
+  Alcotest.(check bool) "degraded and gave up" true
+    (Resilient.degraded r && Resilient.gave_up r);
+  Alcotest.(check string) "completion degrades to a marker"
+    "[degraded] completion unavailable"
+    (Resilient.complete r sampling prompt)
+
+let test_breaker_half_open_recovers () =
+  let script = List.init 3 (fun _ -> flt Faults.Server_error) @ [ None ] in
+  let r, clock = mk_resilient ~config:trip_config ~script () in
+  for _ = 1 to 3 do ignore (Resilient.choose_repair r sampling (task ())) done;
+  Alcotest.(check bool) "open after threshold" true
+    (Resilient.breaker_state r = Resilient.Open);
+  Rb_util.Simclock.charge clock (trip_config.Resilient.breaker_cooldown +. 1.0);
+  let choice = Resilient.choose_repair r sampling (task ()) in
+  Alcotest.(check bool) "trial call answered" true (choice <> None);
+  Alcotest.(check bool) "recovered to closed" true
+    (Resilient.breaker_state r = Resilient.Closed);
+  Alcotest.(check int) "one recovery" 1 (Resilient.stats r).Resilient.breaker_recoveries
+
+let test_open_breaker_uses_fallback () =
+  let script = List.init 8 (fun _ -> flt Faults.Server_error) in
+  let config = { trip_config with Resilient.breaker_threshold = 2 } in
+  let r, _ = mk_resilient ~config ~fallback:true ~script () in
+  let answers = List.init 3 (fun _ -> Resilient.choose_repair r sampling (task ())) in
+  Alcotest.(check bool) "every call still answered (by the fallback)" true
+    (List.for_all (fun a -> a <> None) answers);
+  Alcotest.(check bool) "breaker open" true (Resilient.breaker_state r = Resilient.Open);
+  let st = Resilient.stats r in
+  Alcotest.(check int) "three fallback calls" 3 st.Resilient.fallback_calls;
+  Alcotest.(check int) "no give-ups with a fallback" 0 st.Resilient.give_ups;
+  Alcotest.(check bool) "degraded, not gave up" true
+    (Resilient.degraded r && not (Resilient.gave_up r))
+
+let test_deadline_budget () =
+  let config = { Resilient.default_config with Resilient.deadline = Some 10.0 } in
+  let r, clock = mk_resilient ~config ~script:[] () in
+  Resilient.start_repair r;
+  Alcotest.(check bool) "fresh repair inside budget" false (Resilient.deadline_exceeded r);
+  Rb_util.Simclock.charge clock 20.0;
+  Alcotest.(check bool) "budget spent" true (Resilient.deadline_exceeded r);
+  Alcotest.(check bool) "call degrades" true
+    (Resilient.choose_repair r sampling (task ()) = None);
+  let st = Resilient.stats r in
+  Alcotest.(check int) "deadline hit recorded once" 1 st.Resilient.deadline_hits;
+  ignore (Resilient.choose_repair r sampling (task ()));
+  Alcotest.(check int) "still once per repair" 1 st.Resilient.deadline_hits;
+  Resilient.start_repair r;
+  Alcotest.(check bool) "next repair gets a fresh window" false
+    (Resilient.deadline_exceeded r);
+  Alcotest.(check bool) "flags reset" false (Resilient.degraded r || Resilient.gave_up r)
+
+(* ---- interpreter allocation fuel ---- *)
+
+let alloc_bomb =
+  "fn main() { let mut i = 0; while i < 1000 { unsafe { let mut p = alloc(16, 8); \
+   dealloc(p, 16, 8); } i = i + 1; } print(0); }"
+
+let resource_message r =
+  match r.Miri.Machine.outcome with
+  | Miri.Machine.Resource_limit m -> m
+  | _ -> Alcotest.failf "expected resource-limit, got %s" (Helpers.outcome_kind r)
+
+let test_alloc_count_fuel () =
+  let r = Helpers.run ~max_allocs:16 alloc_bomb in
+  Alcotest.(check bool) "diagnosed as allocation-budget exhaustion" true
+    (Helpers.contains (resource_message r) "allocation budget")
+
+let test_alloc_bytes_fuel () =
+  let r = Helpers.run ~max_alloc_bytes:256 alloc_bomb in
+  Alcotest.(check bool) "diagnosed as byte-budget exhaustion" true
+    (Helpers.contains (resource_message r) "allocation-byte budget")
+
+let test_default_caps_untouched () =
+  let r = Helpers.run "fn main() { unsafe { let mut p = alloc(64, 8); dealloc(p, 64, 8); } print(7); }" in
+  Alcotest.(check string) "normal programs never see the fuel" "finished"
+    (Helpers.outcome_kind r)
+
+(* ---- pipeline-level guarantees ---- *)
+
+open Rustbrain
+
+let quick_cfg =
+  { Pipeline.default_config with Pipeline.max_solutions = 2; max_iters = 4 }
+
+let test_fault_rate_zero_invisible () =
+  (* with every rate at zero, the whole resilience apparatus — retry knobs,
+     deadline watchdog, fallback client — must be bit-for-bit invisible *)
+  let case = Option.get (Dataset.Corpus.find "al_double_free") in
+  let render cfg =
+    let session = Pipeline.create_session cfg in
+    Report.to_json (Pipeline.repair session case)
+  in
+  let plain = render quick_cfg in
+  let knobbed =
+    render
+      { quick_cfg with
+        Pipeline.fault_rate = 0.0; max_retries = 9; deadline = Some 1.0e9 }
+  in
+  Alcotest.(check string) "reports byte-identical" plain knobbed;
+  Alcotest.(check bool) "no resilience activity recorded" true
+    (Helpers.contains plain "\"retries\":0"
+    && Helpers.contains plain "\"faults\":0"
+    && Helpers.contains plain "\"degraded\":false")
+
+let test_faulted_repair_deterministic () =
+  let case = Option.get (Dataset.Corpus.find "dp_use_after_free_read") in
+  let cfg = { quick_cfg with Pipeline.fault_rate = 0.5; max_retries = 2; seed = 3 } in
+  let run () =
+    let session = Pipeline.create_session cfg in
+    let r = Pipeline.repair session case in
+    (Report.to_json r, r.Report.faults, r.Report.retries)
+  in
+  let (json, faults, retries) = run () in
+  Alcotest.(check bool) "faults actually injected" true (faults > 0);
+  Alcotest.(check bool) "retries recorded" true (retries >= 0);
+  Alcotest.(check bool) "report carries resilience fields" true
+    (Helpers.contains json "\"breaker_trips\"" && Helpers.contains json "\"gave_up\"");
+  Alcotest.(check bool) "same seed, same faulted run" true (run () = run ())
+
+let test_faulted_campaign_across_domains () =
+  let cases =
+    List.filter_map Dataset.Corpus.find [ "al_double_free"; "va_uninit_read" ]
+  in
+  let backend =
+    Exec.Backends.rustbrain
+      ~config:{ quick_cfg with Pipeline.fault_rate = 0.3 } ()
+  in
+  let render domains =
+    let reports, _ = Exec.Scheduler.run_seeded ~domains backend ~seeds:[ 1; 2 ] cases in
+    List.map Report.to_json reports
+  in
+  let seq = render 1 in
+  Alcotest.(check bool) "faulted campaign identical at any domain count" true
+    (seq = render 2);
+  Alcotest.(check int) "all reports present" 4 (List.length seq)
+
+let suite =
+  [ Alcotest.test_case "fault plan: same seed same schedule" `Quick test_plan_same_seed;
+    Alcotest.test_case "fault plan: counts" `Quick test_plan_counts;
+    Alcotest.test_case "fault plan: zero rate never faults" `Quick test_zero_rate_never_faults;
+    Alcotest.test_case "client: scripted errors surface" `Quick test_scripted_errors_surface;
+    Alcotest.test_case "client: retry returns oracle answer" `Quick test_retry_returns_oracle_answer;
+    Alcotest.test_case "resilient: deterministic recovery" `Quick test_retry_recovers_deterministically;
+    Alcotest.test_case "resilient: rate-limit floors backoff" `Quick test_rate_limit_floors_backoff;
+    Alcotest.test_case "breaker: trips at threshold" `Quick test_breaker_trips;
+    Alcotest.test_case "breaker: half-open recovery" `Quick test_breaker_half_open_recovers;
+    Alcotest.test_case "breaker: open uses fallback" `Quick test_open_breaker_uses_fallback;
+    Alcotest.test_case "deadline: per-repair budget" `Quick test_deadline_budget;
+    Alcotest.test_case "fuel: allocation count cap" `Quick test_alloc_count_fuel;
+    Alcotest.test_case "fuel: allocation byte cap" `Quick test_alloc_bytes_fuel;
+    Alcotest.test_case "fuel: defaults invisible" `Quick test_default_caps_untouched;
+    Alcotest.test_case "pipeline: fault rate 0 invisible" `Quick test_fault_rate_zero_invisible;
+    Alcotest.test_case "pipeline: faulted repair deterministic" `Quick test_faulted_repair_deterministic;
+    Alcotest.test_case "campaign: faulted run domain-invariant" `Slow test_faulted_campaign_across_domains ]
