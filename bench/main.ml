@@ -6,7 +6,7 @@
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- fig8     # a single experiment
    Experiments: fig5 fig7 fig8 fig9 fig10 fig11 fig12 table1 ablate perf smoke
-                resilience resilience-smoke
+                resilience resilience-smoke chaos resume-smoke
 
    Every multi-seed campaign goes through the unified Exec runner API, so
    backends are interchangeable and campaigns shard across domains; `perf`
@@ -574,16 +574,19 @@ let resilience_smoke () =
   (* leg 3: a crashing campaign never poisons its siblings *)
   let module Crashy = struct
     type config = int
+    type session = unit
 
     let name = "crashy"
     let default_config = 0
     let with_seed _ seed = seed
+    let seed cfg = cfg
+    let create_session _ = ()
 
-    let run_campaign _ _ : Rustbrain.Report.t list * Exec.Runner.stats =
-      failwith "injected crash"
+    let repair_case () _ : Rustbrain.Report.t = failwith "injected crash"
+    let session_stats () = Exec.Runner.no_stats
   end in
   let job runner = { Exec.Scheduler.label = Exec.Runner.name runner; runner; cases } in
-  let results =
+  let results, _ =
     Exec.Scheduler.run_jobs ~domains:2
       [ job (Exec.Backends.human_expert ());
         job (Exec.Runner.pack (module Crashy) 0);
@@ -604,6 +607,147 @@ let resilience_smoke () =
   if !failures > 0 then exit 1;
   print_endline "resilience smoke ok"
 
+
+(* -- chaos: kill-and-resume byte-identity ------------------------------ *)
+
+let with_journal_dir f =
+  (* temp_file reserves a unique name; reuse it as a directory *)
+  let dir = Filename.temp_file "rustbrain-journal" "" in
+  Sys.remove dir;
+  Rb_util.Fsfile.mkdir_p dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* Kill a journaled campaign after [kill] durable records, resume it, and
+   demand the stitched reports render byte-identically (JSON and CSV) to an
+   uninterrupted unjournaled run — with zero re-verification of journaled
+   cases. Returns the number of (kill, domains) scenarios exercised. *)
+let chaos_check ~cases ~seeds ~kill_points ~domain_counts ~fail =
+  let runner = Exec.Backends.rustbrain () in
+  let jobs () = Exec.Scheduler.seeded_jobs runner ~seeds cases in
+  let render results =
+    let reports = List.concat_map (fun r -> r.Exec.Scheduler.reports) results in
+    (List.map Rustbrain.Report.to_json reports,
+     List.map Rustbrain.Report.csv_row reports)
+  in
+  let baseline =
+    let results, _ = Exec.Scheduler.run_jobs ~domains:1 (jobs ()) in
+    render results
+  in
+  let total = List.length seeds * List.length cases in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun kill ->
+          with_journal_dir (fun dir ->
+              let o1 =
+                Exec.Checkpoint.run ~domains ~kill_after:kill ~dir
+                  ~mode:Exec.Checkpoint.Fresh (jobs ())
+              in
+              if kill < total
+                 && Exec.Scheduler.failures o1.Exec.Checkpoint.results = []
+              then
+                fail (Printf.sprintf "chaos kill@%d/%d domains=%d: no job died" kill total domains);
+              let o2 =
+                Exec.Checkpoint.run ~domains ~dir ~mode:Exec.Checkpoint.Resume
+                  (jobs ())
+              in
+              if Exec.Scheduler.failures o2.Exec.Checkpoint.results <> [] then
+                fail (Printf.sprintf "chaos kill@%d domains=%d: resume crashed" kill domains);
+              if render o2.Exec.Checkpoint.results <> baseline then
+                fail
+                  (Printf.sprintf
+                     "chaos kill@%d domains=%d: stitched reports not byte-identical"
+                     kill domains);
+              let expected_replay = min kill total in
+              if o2.Exec.Checkpoint.replayed <> expected_replay then
+                fail
+                  (Printf.sprintf
+                     "chaos kill@%d domains=%d: replayed %d of %d journaled \
+                      case(s) (journaled work re-verified)"
+                     kill domains o2.Exec.Checkpoint.replayed expected_replay);
+              if o2.Exec.Checkpoint.replayed + o2.Exec.Checkpoint.recomputed
+                 <> total
+              then
+                fail
+                  (Printf.sprintf
+                     "chaos kill@%d domains=%d: replay %d + recompute %d <> %d"
+                     kill domains o2.Exec.Checkpoint.replayed
+                     o2.Exec.Checkpoint.recomputed total)))
+        kill_points)
+    domain_counts;
+  (* a journal for different jobs must be refused, not replayed *)
+  with_journal_dir (fun dir ->
+      let _ =
+        Exec.Checkpoint.run ~domains:1 ~kill_after:1 ~dir
+          ~mode:Exec.Checkpoint.Fresh (jobs ())
+      in
+      match
+        Exec.Checkpoint.run ~domains:1 ~dir ~mode:Exec.Checkpoint.Resume
+          (Exec.Scheduler.seeded_jobs runner ~seeds:[ 4242 ] cases)
+      with
+      | _ -> fail "chaos: foreign journal was not refused"
+      | exception Exec.Checkpoint.Fingerprint_mismatch _ -> ());
+  (total, List.length kill_points * List.length domain_counts)
+
+let chaos () =
+  section "Chaos — kill at seeded record boundaries, resume, byte-identical reports";
+  let cases = List.filteri (fun i _ -> i mod 4 = 0) Dataset.Corpus.all in
+  let failures = ref 0 in
+  let fail s =
+    Printf.eprintf "FAIL %s\n" s;
+    incr failures
+  in
+  let total, scenarios =
+    chaos_check ~cases ~seeds:[ 1; 2 ] ~kill_points:[ 0; 1; 2; 5; 9; 14; 19 ]
+      ~domain_counts:[ 1; 2; 4 ] ~fail
+  in
+  (* a resume of an already-complete journal replays everything and runs
+     nothing *)
+  with_journal_dir (fun dir ->
+      let runner = Exec.Backends.rustbrain () in
+      let jobs = Exec.Scheduler.seeded_jobs runner ~seeds:[ 1; 2 ] cases in
+      let _ =
+        Exec.Checkpoint.run ~domains:2 ~dir ~mode:Exec.Checkpoint.Fresh jobs
+      in
+      let o = Exec.Checkpoint.run ~domains:2 ~dir ~mode:Exec.Checkpoint.Resume jobs in
+      if o.Exec.Checkpoint.recomputed <> 0 || o.Exec.Checkpoint.replayed <> total
+      then
+        fail
+          (Printf.sprintf "chaos: complete journal still recomputed %d case(s)"
+             o.Exec.Checkpoint.recomputed));
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "chaos ok: %d kill/resume scenario(s) over %d case-repairs, all stitched \
+     reports byte-identical, zero journaled re-verification\n"
+    scenarios total
+
+(* -- resume smoke gate (dune runtest alias resume-smoke) --------------- *)
+
+let resume_smoke () =
+  section "Resume smoke — crash at a record boundary, resume, byte-identity";
+  let cases = List.filteri (fun i _ -> i mod 8 = 0) Dataset.Corpus.all in
+  let failures = ref 0 in
+  let fail s =
+    Printf.eprintf "FAIL %s\n" s;
+    incr failures
+  in
+  let total, scenarios =
+    chaos_check ~cases ~seeds:[ 1; 2 ] ~kill_points:[ 0; 3; 7 ]
+      ~domain_counts:[ 1; 2 ] ~fail
+  in
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "resume smoke ok: %d scenario(s) over %d case-repairs byte-identical after \
+     kill+resume\n"
+    scenarios total
 
 (* -- component ablation (DESIGN.md's starred design choices) ----------- *)
 
@@ -650,7 +794,8 @@ let experiments =
   [ ("fig5", fig5); ("fig7", fig7); ("fig8", fig89); ("fig9", fig89);
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("table1", table1);
     ("ablate", ablate); ("perf", perf); ("smoke", smoke);
-    ("resilience", resilience); ("resilience-smoke", resilience_smoke) ]
+    ("resilience", resilience); ("resilience-smoke", resilience_smoke);
+    ("chaos", chaos); ("resume-smoke", resume_smoke) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -68,6 +68,61 @@ let deadline_arg =
 
 let deadline_of_ms ms = if ms > 0 then Some (float_of_int ms /. 1000.0) else None
 
+(* durability flags shared by corpus-fix / campaign *)
+
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+         ~doc:"Write-ahead journal directory: every completed repair is made \
+               durable as it lands, so a killed run can be resumed with \
+               $(b,--resume) and produce byte-identical reports.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Replay the journal in $(b,--journal) $(i,DIR), re-running only \
+               what is missing. Refused (exit 2) if the journal belongs to a \
+               different campaign or build.")
+
+let fresh_arg =
+  Arg.(value & flag & info [ "fresh" ]
+         ~doc:"Discard any journal in $(b,--journal) $(i,DIR) and start over.")
+
+(* Decide what to do with the journal directory, if any: [Ok None] = run
+   unjournaled, [Ok (Some (dir, mode))] = run under Checkpoint, [Error] =
+   refuse (exit 2). An existing journal is never overwritten implicitly. *)
+let journal_mode ~dir ~resume ~fresh =
+  match dir with
+  | None ->
+    if resume || fresh then Error "--resume/--fresh require --journal DIR"
+    else Ok None
+  | Some dir ->
+    if resume && fresh then Error "pass at most one of --resume and --fresh"
+    else if Exec.Journal.exists ~dir && not (resume || fresh) then
+      Error
+        (Printf.sprintf
+           "journal %s already exists; pass --resume to continue it or --fresh \
+            to discard it" dir)
+    else
+      Ok (Some (dir, if fresh then Exec.Checkpoint.Fresh else Exec.Checkpoint.Resume))
+
+(* Run the jobs, through Checkpoint when a journal is in play. Returns the
+   results, the scheduler's supervision counters, and the checkpoint
+   outcome when journaled. *)
+let run_with_journal ?domains ~journal jobs =
+  match journal with
+  | None ->
+    let results, sup = Exec.Scheduler.run_jobs ?domains jobs in
+    Ok (results, sup, None)
+  | Some (dir, mode) -> (
+    match Exec.Checkpoint.run ?domains ~dir ~mode jobs with
+    | o -> Ok (o.Exec.Checkpoint.results, o.Exec.Checkpoint.supervision, Some o)
+    | exception Exec.Checkpoint.Fingerprint_mismatch { expected; found } ->
+      Error
+        (Printf.sprintf
+           "journal %s belongs to a different campaign or build\n\
+           \  (manifest fingerprint %s, this run %s)\n\
+            pass --fresh to discard it" dir found expected)
+    | exception Failure msg -> Error msg)
+
 (* -- check -------------------------------------------------------------- *)
 
 let check_cmd =
@@ -302,30 +357,51 @@ let corpus_fix_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run name seed json fault_rate retries deadline_ms =
+  let run name seed json fault_rate retries deadline_ms journal resume fresh =
     match Dataset.Corpus.find name with
     | None ->
       Printf.eprintf "unknown case %S\n" name;
       1
-    | Some case ->
-      let session =
-        Rustbrain.Pipeline.create_session
-          { Rustbrain.Pipeline.default_config with
-            Rustbrain.Pipeline.seed; fault_rate; max_retries = retries;
-            deadline = deadline_of_ms deadline_ms }
+    | Some case -> (
+      let config =
+        { Rustbrain.Pipeline.default_config with
+          Rustbrain.Pipeline.seed; fault_rate; max_retries = retries;
+          deadline = deadline_of_ms deadline_ms }
       in
-      let r = Rustbrain.Pipeline.repair session case in
-      if json then print_endline (Rustbrain.Report.to_json r)
-      else begin
-        List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
-        print_endline (Rustbrain.Report.summary_line r)
-      end;
-      if r.Rustbrain.Report.passed then 0 else 1
+      match
+        match journal_mode ~dir:journal ~resume ~fresh with
+        | Error _ as e -> e
+        | Ok journal ->
+          run_with_journal ~domains:1 ~journal
+            [ { Exec.Scheduler.label = Printf.sprintf "corpus-fix/seed%d" seed;
+                runner = Exec.Backends.rustbrain ~config ();
+                cases = [ case ] } ]
+      with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok (results, _, _) -> (
+        match results with
+        | [ { Exec.Scheduler.reports = [ r ]; failure = None; _ } ] ->
+          if json then print_endline (Rustbrain.Report.to_json r)
+          else begin
+            List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
+            print_endline (Rustbrain.Report.summary_line r)
+          end;
+          if r.Rustbrain.Report.passed then 0 else 1
+        | [ { Exec.Scheduler.failure = Some f; _ } ] ->
+          Printf.eprintf "corpus-fix crashed: %s\n%s%!" f.Exec.Scheduler.exn
+            f.Exec.Scheduler.backtrace;
+          2
+        | _ ->
+          prerr_endline "corpus-fix: unexpected scheduler result";
+          2))
   in
   Cmd.v
     (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
     Term.(const run $ case_name $ seed $ json
-          $ fault_rate_arg $ retries_arg $ deadline_arg)
+          $ fault_rate_arg $ retries_arg $ deadline_arg
+          $ journal_arg $ resume_arg $ fresh_arg)
 
 (* -- campaign ------------------------------------------------------------- *)
 
@@ -353,7 +429,14 @@ let campaign_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows with a header line.")
   in
-  let run backend seeds domains cases json csv fault_rate retries deadline_ms =
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the reports to $(docv) (JSON lines, or CSV under \
+                 $(b,--csv)), via a crash-safe atomic replace: readers see \
+                 either the complete old file or the complete new one.")
+  in
+  let run backend seeds domains cases json csv out journal resume fresh
+      fault_rate retries deadline_ms =
     let resilience_overridden =
       fault_rate > 0.0 || retries <> 3 || deadline_ms > 0
     in
@@ -418,47 +501,74 @@ let campaign_cmd =
       | Error missing ->
         Printf.eprintf "unknown case(s): %s\n" (String.concat ", " missing);
         1
-      | Ok selected ->
+      | Ok selected -> (
         let domains = if domains <= 0 then None else Some domains in
-        let results =
-          Exec.Scheduler.run_jobs ?domains
-            (Exec.Scheduler.seeded_jobs runner ~seeds selected)
-        in
-        let crashed = Exec.Scheduler.failures results in
-        List.iter
-          (fun ((job : Exec.Scheduler.job), (f : Exec.Scheduler.failure)) ->
-            Printf.eprintf "campaign job %s crashed: %s\n%s%!" job.Exec.Scheduler.label
-              f.Exec.Scheduler.exn f.Exec.Scheduler.backtrace)
-          crashed;
-        let reports =
-          List.concat_map (fun r -> r.Exec.Scheduler.reports) results
-        in
-        let stats =
-          List.fold_left
-            (fun acc r -> Exec.Runner.add_stats acc r.Exec.Scheduler.stats)
-            Exec.Runner.no_stats results
-        in
-        if json then
-          List.iter (fun r -> print_endline (Rustbrain.Report.to_json r)) reports
-        else if csv then begin
-          print_endline Rustbrain.Report.csv_header;
-          List.iter (fun r -> print_endline (Rustbrain.Report.csv_row r)) reports
-        end
-        else begin
-          List.iter (fun r -> print_endline (Rustbrain.Report.summary_line r)) reports;
-          let passed = List.length (List.filter (fun r -> r.Rustbrain.Report.passed) reports) in
-          Printf.printf "passed %d/%d; verification cache hit-rate %.1f%%\n" passed
-            (List.length reports)
-            (100.0 *. Exec.Runner.hit_rate stats)
-        end;
-        if crashed <> [] then 2
-        else if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0
-        else 1))
+        match
+          match journal_mode ~dir:journal ~resume ~fresh with
+          | Error _ as e -> e
+          | Ok journal ->
+            run_with_journal ?domains ~journal
+              (Exec.Scheduler.seeded_jobs runner ~seeds selected)
+        with
+        | Error msg ->
+          prerr_endline msg;
+          2
+        | Ok (results, sup, ckpt) ->
+          let crashed = Exec.Scheduler.failures results in
+          List.iter
+            (fun ((job : Exec.Scheduler.job), (f : Exec.Scheduler.failure)) ->
+              Printf.eprintf "campaign job %s crashed: %s\n%s%!" job.Exec.Scheduler.label
+                f.Exec.Scheduler.exn f.Exec.Scheduler.backtrace)
+            crashed;
+          let reports =
+            List.concat_map (fun r -> r.Exec.Scheduler.reports) results
+          in
+          let stats =
+            List.fold_left
+              (fun acc r -> Exec.Runner.add_stats acc r.Exec.Scheduler.stats)
+              Exec.Runner.no_stats results
+          in
+          (match out with
+          | Some path ->
+            Rb_util.Fsfile.write_channel path (fun oc ->
+                if csv then Rustbrain.Report.emit_csv oc (List.to_seq reports)
+                else Rustbrain.Report.emit_jsonl oc (List.to_seq reports))
+          | None -> ());
+          (match ckpt with
+          | Some o ->
+            (* stdout may be machine-read under --json/--csv *)
+            Printf.eprintf "journal: %d replayed, %d recomputed%s\n%!"
+              o.Exec.Checkpoint.replayed o.Exec.Checkpoint.recomputed
+              (if o.Exec.Checkpoint.dropped > 0 then
+                 Printf.sprintf ", %d corrupt record(s) dropped"
+                   o.Exec.Checkpoint.dropped
+               else "")
+          | None -> ());
+          if json then
+            List.iter (fun r -> print_endline (Rustbrain.Report.to_json r)) reports
+          else if csv then begin
+            print_endline Rustbrain.Report.csv_header;
+            List.iter (fun r -> print_endline (Rustbrain.Report.csv_row r)) reports
+          end
+          else begin
+            List.iter (fun r -> print_endline (Rustbrain.Report.summary_line r)) reports;
+            let passed = List.length (List.filter (fun r -> r.Rustbrain.Report.passed) reports) in
+            Printf.printf
+              "passed %d/%d; verification cache hit-rate %.1f%%; supervisor \
+               restarts %d, orphaned jobs %d\n"
+              passed (List.length reports)
+              (100.0 *. Exec.Runner.hit_rate stats)
+              sup.Exec.Scheduler.restarts sup.Exec.Scheduler.orphaned_jobs
+          end;
+          if crashed <> [] then 2
+          else if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0
+          else 1)))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a backend campaign over the corpus, sharded across domains.")
-    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv
+    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv $ out
+          $ journal_arg $ resume_arg $ fresh_arg
           $ fault_rate_arg $ retries_arg $ deadline_arg)
 
 let () =

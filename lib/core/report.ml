@@ -67,6 +67,72 @@ let to_json t =
         field "trace" (strings t.trace) ]
   ^ "}"
 
+(* Replay path: the durability journal stores each report as its [to_json]
+   line and must reconstruct the value after a crash. Field lookups are
+   total — a torn tail segment surfaces as [Error], never an exception. *)
+let of_json line =
+  let ( let* ) r f = Result.bind r f in
+  let open Rb_util.Json in
+  let* json = parse line in
+  let field name conv =
+    match Option.bind (member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "report field %S missing or mistyped" name)
+  in
+  let* case_name = field "case" to_str in
+  let* category_name = field "category" to_str in
+  let* category =
+    match Miri.Diag.kind_of_name category_name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown UB category %S" category_name)
+  in
+  let* passed = field "passed" to_bool in
+  let* semantic = field "semantic" to_bool in
+  let* seconds = field "seconds" to_float in
+  let* llm_calls = field "llm_calls" to_int in
+  let* tokens = field "tokens" to_int in
+  let* iterations = field "iterations" to_int in
+  let* solutions_tried = field "solutions_tried" to_int in
+  let* rollbacks = field "rollbacks" to_int in
+  let ints_of name =
+    let* xs = field name to_list in
+    List.fold_right
+      (fun x acc ->
+        let* acc = acc in
+        match to_int x with
+        | Some i -> Ok (i :: acc)
+        | None -> Error (Printf.sprintf "non-integer in %S" name))
+      xs (Ok [])
+  in
+  let strings_of name =
+    let* xs = field name to_list in
+    List.fold_right
+      (fun x acc ->
+        let* acc = acc in
+        match to_str x with
+        | Some s -> Ok (s :: acc)
+        | None -> Error (Printf.sprintf "non-string in %S" name))
+      xs (Ok [])
+  in
+  let* n_sequence = ints_of "n_sequence" in
+  let* winning_solution =
+    match member "winning_solution" json with
+    | Some Rb_util.Json.Null -> Ok None
+    | Some (Rb_util.Json.Str s) -> Ok (Some s)
+    | _ -> Error "report field \"winning_solution\" missing or mistyped"
+  in
+  let* feedback_hit = field "feedback_hit" to_bool in
+  let* retries = field "retries" to_int in
+  let* faults = field "faults" to_int in
+  let* breaker_trips = field "breaker_trips" to_int in
+  let* degraded = field "degraded" to_bool in
+  let* gave_up = field "gave_up" to_bool in
+  let* trace = strings_of "trace" in
+  Ok
+    { case_name; category; passed; semantic; seconds; llm_calls; tokens;
+      iterations; solutions_tried; rollbacks; n_sequence; winning_solution;
+      feedback_hit; retries; faults; breaker_trips; degraded; gave_up; trace }
+
 let csv_header =
   "case,category,passed,semantic,seconds,llm_calls,tokens,iterations,\
    solutions_tried,rollbacks,n_sequence,winning_solution,feedback_hit,\
@@ -97,6 +163,22 @@ let csv_row t =
       string_of_int t.breaker_trips;
       string_of_bool t.degraded;
       string_of_bool t.gave_up ]
+
+let emit_jsonl oc reports =
+  Seq.iter
+    (fun r ->
+      output_string oc (to_json r);
+      output_char oc '\n')
+    reports
+
+let emit_csv oc reports =
+  output_string oc csv_header;
+  output_char oc '\n';
+  Seq.iter
+    (fun r ->
+      output_string oc (csv_row r);
+      output_char oc '\n')
+    reports
 
 let summary_line t =
   Printf.sprintf "%-28s %-18s pass=%b exec=%b %6.1fs iters=%d sols=%d%s%s%s%s" t.case_name

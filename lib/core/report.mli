@@ -28,6 +28,21 @@ val to_json : t -> string
 (** One self-contained JSON object per report (no trailing newline);
     campaign output is a JSON array or one object per line. *)
 
+val of_json : string -> (t, string) result
+(** Inverse of {!to_json}, used by the write-ahead journal to replay
+    completed repairs after a crash. Round trip is render-exact:
+    [to_json r' = to_json r] and [csv_row r' = csv_row r] for
+    [Ok r' = of_json (to_json r)] ([seconds] is re-read from its 6-decimal
+    rendering, so the float may differ in bits the renderings never show).
+    Never raises; a torn or corrupted journal line is an [Error]. *)
+
+val emit_jsonl : out_channel -> t Seq.t -> unit
+(** Stream reports as JSON lines (one {!to_json} object plus ['\n'] each),
+    without materialising the rendered campaign in memory. *)
+
+val emit_csv : out_channel -> t Seq.t -> unit
+(** Stream {!csv_header} then one {!csv_row} per report. *)
+
 val csv_header : string
 (** Column names matching {!csv_row}; [n_sequence] is [;]-joined, [trace]
     is omitted (use JSON for full traces). *)

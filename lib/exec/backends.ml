@@ -1,58 +1,60 @@
 let stats_of_cache cache =
   let s = Miri.Machine.Cache.stats cache in
   { Runner.cache_hits = s.Miri.Machine.Cache.hits;
-    cache_misses = s.Miri.Machine.Cache.misses }
+    cache_misses = s.Miri.Machine.Cache.misses;
+    restarts = 0;
+    orphaned_jobs = 0 }
 
 module Rustbrain_pipeline = struct
   type config = Rustbrain.Pipeline.config
+  type session = Rustbrain.Pipeline.session
 
   let name = "rustbrain"
   let default_config = Rustbrain.Pipeline.default_config
   let with_seed cfg seed = { cfg with Rustbrain.Pipeline.seed }
-
-  let run_campaign cfg cases =
-    let session = Rustbrain.Pipeline.create_session cfg in
-    let reports = List.map (Rustbrain.Pipeline.repair session) cases in
-    (reports, stats_of_cache (Rustbrain.Pipeline.verification_cache session))
+  let seed cfg = cfg.Rustbrain.Pipeline.seed
+  let create_session = Rustbrain.Pipeline.create_session
+  let repair_case = Rustbrain.Pipeline.repair
+  let session_stats s = stats_of_cache (Rustbrain.Pipeline.verification_cache s)
 end
 
 module Llm_alone = struct
   type config = Baselines.Llm_only.config
+  type session = Baselines.Llm_only.session
 
   let name = "llm-only"
   let default_config = Baselines.Llm_only.default_config
   let with_seed cfg seed = { cfg with Baselines.Llm_only.seed }
-
-  let run_campaign cfg cases =
-    let session = Baselines.Llm_only.create_session cfg in
-    let reports = List.map (Baselines.Llm_only.repair session) cases in
-    (reports, stats_of_cache (Baselines.Llm_only.verification_cache session))
+  let seed cfg = cfg.Baselines.Llm_only.seed
+  let create_session = Baselines.Llm_only.create_session
+  let repair_case = Baselines.Llm_only.repair
+  let session_stats s = stats_of_cache (Baselines.Llm_only.verification_cache s)
 end
 
 module Fixed_assistant = struct
   type config = Baselines.Rust_assistant.config
+  type session = Baselines.Rust_assistant.session
 
   let name = "rust-assistant"
   let default_config = Baselines.Rust_assistant.default_config
   let with_seed cfg seed = { cfg with Baselines.Rust_assistant.seed }
-
-  let run_campaign cfg cases =
-    let session = Baselines.Rust_assistant.create_session cfg in
-    let reports = List.map (Baselines.Rust_assistant.repair session) cases in
-    (reports, stats_of_cache (Baselines.Rust_assistant.verification_cache session))
+  let seed cfg = cfg.Baselines.Rust_assistant.seed
+  let create_session = Baselines.Rust_assistant.create_session
+  let repair_case = Baselines.Rust_assistant.repair
+  let session_stats s = stats_of_cache (Baselines.Rust_assistant.verification_cache s)
 end
 
 module Human = struct
   type config = Baselines.Human_expert.config
+  type session = Baselines.Human_expert.session
 
   let name = "human-expert"
   let default_config = Baselines.Human_expert.default_config
   let with_seed cfg seed = { cfg with Baselines.Human_expert.seed }
-
-  let run_campaign cfg cases =
-    let session = Baselines.Human_expert.create_session cfg in
-    let reports = List.map (Baselines.Human_expert.repair session) cases in
-    (reports, stats_of_cache (Baselines.Human_expert.verification_cache session))
+  let seed cfg = cfg.Baselines.Human_expert.seed
+  let create_session = Baselines.Human_expert.create_session
+  let repair_case = Baselines.Human_expert.repair
+  let session_stats s = stats_of_cache (Baselines.Human_expert.verification_cache s)
 end
 
 let rustbrain ?(config = Rustbrain_pipeline.default_config) () =

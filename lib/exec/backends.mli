@@ -6,10 +6,25 @@
     constructors below pack each with a config (default when omitted) for
     generic drivers; {!of_name} resolves the CLI/bench spelling. *)
 
-module Rustbrain_pipeline : Runner.S with type config = Rustbrain.Pipeline.config
-module Llm_alone : Runner.S with type config = Baselines.Llm_only.config
-module Fixed_assistant : Runner.S with type config = Baselines.Rust_assistant.config
-module Human : Runner.S with type config = Baselines.Human_expert.config
+module Rustbrain_pipeline :
+  Runner.S
+    with type config = Rustbrain.Pipeline.config
+     and type session = Rustbrain.Pipeline.session
+
+module Llm_alone :
+  Runner.S
+    with type config = Baselines.Llm_only.config
+     and type session = Baselines.Llm_only.session
+
+module Fixed_assistant :
+  Runner.S
+    with type config = Baselines.Rust_assistant.config
+     and type session = Baselines.Rust_assistant.session
+
+module Human :
+  Runner.S
+    with type config = Baselines.Human_expert.config
+     and type session = Baselines.Human_expert.session
 
 val rustbrain : ?config:Rustbrain.Pipeline.config -> unit -> Runner.packed
 val llm_only : ?config:Baselines.Llm_only.config -> unit -> Runner.packed

@@ -1,0 +1,58 @@
+(** Checkpoint/resume orchestration over the write-ahead {!Journal}.
+
+    {!run} executes a {!Scheduler} job list under a journal directory.
+    On a fresh start it records the campaign {!fingerprint} in the
+    manifest and journals every completed case; on resume it replays the
+    journaled reports, restores each job's session snapshot, and re-runs
+    only the remainder — the stitched report list is byte-identical (as
+    rendered by [Report.to_json]/[csv_row]) to the uninterrupted run, for
+    any kill point at a record boundary and any domain count.
+
+    The fingerprint digests the code version (executable digest), every
+    job's label, its runner fingerprint (backend name + config), its seed
+    and its case-name list. Anything that could change a report changes
+    the fingerprint, and a journal whose manifest disagrees is refused
+    ({!Fingerprint_mismatch}) rather than silently replayed into a lying
+    result.
+
+    Recovery is conservative where the journal is imperfect: a snapshot
+    that is missing, digest-corrupt, or out of step with the surviving
+    records for its job (e.g. after a truncated tail) costs a recompute
+    of that whole job from a fresh session — already-journaled cases are
+    re-run without being re-appended, so determinism keeps the journal
+    and the reports consistent. *)
+
+type mode =
+  | Fresh   (** discard any existing journal and start over *)
+  | Resume  (** replay an existing journal; start fresh when none exists *)
+
+exception Fingerprint_mismatch of { expected : string; found : string }
+(** The journal on disk belongs to a different campaign (or a different
+    build). [expected] is this run's fingerprint, [found] the manifest's. *)
+
+type outcome = {
+  results : Scheduler.result list;
+      (** job order, replayed prefix stitched before recomputed reports *)
+  supervision : Scheduler.supervision;
+  replayed : int;    (** reports taken from the journal, not re-run *)
+  recomputed : int;  (** cases scheduled for (re-)execution this run *)
+  dropped : int;     (** corrupt tail records the journal loader discarded *)
+}
+
+val fingerprint : Scheduler.job list -> string
+(** The campaign fingerprint {!run} will stamp into (and demand from) the
+    journal manifest. *)
+
+val run :
+  ?domains:int ->
+  ?kill_after:int ->
+  dir:string ->
+  mode:mode ->
+  Scheduler.job list ->
+  outcome
+(** Execute the jobs journaled under [dir]. [kill_after n] arms the chaos
+    self-abort: the journal persists [n] more records, then every job dies
+    with [Journal.Killed] (isolated per job by the scheduler — inspect
+    [Scheduler.failures], discard the results, and {!run} again with
+    [mode = Resume] to recover). Raises {!Fingerprint_mismatch} on a
+    foreign journal and [Failure] on an unreadable one. *)

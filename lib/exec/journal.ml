@@ -1,0 +1,266 @@
+exception Killed
+
+type manifest = {
+  version : int;
+  fingerprint : string;
+  jobs : string list;
+  cases : string list;
+}
+
+type record = {
+  job : string;
+  backend : string;
+  seed : int;
+  case : string;
+  cache_hits : int;
+  cache_misses : int;
+  report : Rustbrain.Report.t;
+}
+
+let version = 1
+
+(* -- layout ------------------------------------------------------------ *)
+
+let manifest_path dir = Filename.concat dir "MANIFEST.json"
+let rec_name idx = Printf.sprintf "rec-%06d.json" idx
+let rec_path dir idx = Filename.concat dir (rec_name idx)
+let snap_path dir slot = Filename.concat dir (Printf.sprintf "snap-%03d.bin" slot)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_journal_file f =
+  f = "MANIFEST.json" || starts_with "rec-" f || starts_with "snap-" f
+
+(* record segments present on disk, sorted by index *)
+let record_files dir =
+  (match Sys.readdir dir with
+  | files -> Array.to_list files
+  | exception Sys_error _ -> [])
+  |> List.filter_map (fun f ->
+       if starts_with "rec-" f && Filename.check_suffix f ".json" then
+         Option.map
+           (fun i -> (i, f))
+           (int_of_string_opt (String.sub f 4 (String.length f - 9)))
+       else None)
+  |> List.sort compare
+
+(* -- manifest ---------------------------------------------------------- *)
+
+let render_manifest m =
+  Rb_util.Json.(
+    to_string
+      (Obj
+         [ ("version", Num (float_of_int m.version));
+           ("fingerprint", Str m.fingerprint);
+           ("jobs", List (List.map (fun s -> Str s) m.jobs));
+           ("cases", List (List.map (fun s -> Str s) m.cases)) ]))
+
+let parse_manifest s =
+  match Rb_util.Json.parse s with
+  | Error e -> Error e
+  | Ok j ->
+    let open Rb_util.Json in
+    let strings k =
+      match Option.bind (member k j) to_list with
+      | None -> None
+      | Some xs ->
+        List.fold_right
+          (fun x acc ->
+            match (to_str x, acc) with
+            | Some s, Some a -> Some (s :: a)
+            | _ -> None)
+          xs (Some [])
+    in
+    (match
+       ( Option.bind (member "version" j) to_int,
+         Option.bind (member "fingerprint" j) to_str,
+         strings "jobs",
+         strings "cases" )
+     with
+    | Some v, _, _, _ when v <> version ->
+      Error (Printf.sprintf "unsupported journal version %d" v)
+    | Some v, Some fingerprint, Some jobs, Some cases ->
+      Ok { version = v; fingerprint; jobs; cases }
+    | _ -> Error "missing manifest field")
+
+(* -- records ----------------------------------------------------------- *)
+
+(* The report is spliced in verbatim from [Report.to_json]; the embedded
+   [idx] ties the segment to its filename so a renamed or shuffled file
+   cannot masquerade as a valid prefix member. *)
+let render_record ~idx (r : record) =
+  Printf.sprintf
+    {|{"idx":%d,"job":%s,"backend":%s,"seed":%d,"case":%s,"cache_hits":%d,"cache_misses":%d,"report":%s}|}
+    idx (Rb_util.Json.escape r.job)
+    (Rb_util.Json.escape r.backend)
+    r.seed
+    (Rb_util.Json.escape r.case)
+    r.cache_hits r.cache_misses
+    (Rustbrain.Report.to_json r.report)
+
+let parse_record s =
+  match Rb_util.Json.parse s with
+  | Error e -> Error e
+  | Ok j ->
+    let open Rb_util.Json in
+    let str k = Option.bind (member k j) to_str in
+    let int k = Option.bind (member k j) to_int in
+    (match
+       ( int "idx", str "job", str "backend", int "seed", str "case",
+         int "cache_hits", int "cache_misses", member "report" j )
+     with
+    | ( Some idx, Some job, Some backend, Some seed, Some case,
+        Some cache_hits, Some cache_misses, Some rep ) -> (
+      match Rustbrain.Report.of_json (to_string rep) with
+      | Ok report ->
+        Ok (idx, { job; backend; seed; case; cache_hits; cache_misses; report })
+      | Error e -> Error e)
+    | _ -> Error "missing record field")
+
+(* -- snapshots --------------------------------------------------------- *)
+
+(* One header line — magic, cases covered, payload digest — then raw
+   marshaled session bytes. The count lets {!Checkpoint} detect a snapshot
+   that outran the surviving records (crash between the two writes of an
+   append, or a hand-truncated tail) and fall back to recomputing the job. *)
+let render_snapshot ~count payload =
+  Printf.sprintf "RBSNAP1 %d %s\n%s" count
+    (Digest.to_hex (Digest.string payload))
+    payload
+
+let read_snapshot dir slot =
+  match Rb_util.Fsfile.read (snap_path dir slot) with
+  | None -> None
+  | Some s -> (
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub s 0 nl in
+      let payload = String.sub s (nl + 1) (String.length s - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ "RBSNAP1"; count; digest ]
+        when Digest.to_hex (Digest.string payload) = digest ->
+        Option.map (fun c -> (c, payload)) (int_of_string_opt count)
+      | _ -> None))
+
+(* -- loading ----------------------------------------------------------- *)
+
+type loaded = {
+  manifest : manifest;
+  records : record list;
+  snapshots : (string * (int * string)) list;
+  dropped : int;
+}
+
+let exists ~dir = Sys.file_exists (manifest_path dir)
+
+let load ~dir =
+  match Rb_util.Fsfile.read (manifest_path dir) with
+  | None -> Error (Printf.sprintf "journal: no manifest in %s" dir)
+  | Some s -> (
+    match parse_manifest s with
+    | Error e -> Error ("journal: bad manifest: " ^ e)
+    | Ok manifest ->
+      (* the valid prefix is contiguous from 0 with matching embedded
+         indices; the first gap, unreadable or unparseable segment starts
+         the dropped tail *)
+      let rec take expected = function
+        | [] -> ([], 0)
+        | (i, f) :: rest when i = expected -> (
+          match
+            Option.map parse_record (Rb_util.Fsfile.read (Filename.concat dir f))
+          with
+          | Some (Ok (idx, r)) when idx = i ->
+            let tail, dropped = take (expected + 1) rest in
+            (r :: tail, dropped)
+          | _ -> ([], 1 + List.length rest))
+        | remaining -> ([], List.length remaining)
+      in
+      let records, dropped = take 0 (record_files dir) in
+      let snapshots =
+        List.mapi (fun slot label -> (slot, label)) manifest.jobs
+        |> List.filter_map (fun (slot, label) ->
+             Option.map (fun snap -> (label, snap)) (read_snapshot dir slot))
+      in
+      Ok { manifest; records; snapshots; dropped })
+
+let wipe ~dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if is_journal_file f then
+          Rb_util.Fsfile.remove_if_exists (Filename.concat dir f))
+      (Sys.readdir dir)
+
+(* -- writer ------------------------------------------------------------ *)
+
+type t = {
+  dir : string;
+  manifest : manifest;
+  slots : (string, int) Hashtbl.t;     (* job label -> snapshot slot *)
+  counts : (string, int) Hashtbl.t;    (* job label -> records journaled *)
+  mutex : Mutex.t;
+  mutable next_idx : int;
+  mutable kill_budget : int option;
+  mutable dead : bool;
+}
+
+let make_writer ~dir manifest ~next_idx ~counts =
+  let slots = Hashtbl.create 8 in
+  List.iteri (fun slot label -> Hashtbl.replace slots label slot) manifest.jobs;
+  { dir; manifest; slots; counts; mutex = Mutex.create (); next_idx;
+    kill_budget = None; dead = false }
+
+let create ~dir manifest =
+  Rb_util.Fsfile.mkdir_p dir;
+  wipe ~dir;
+  Rb_util.Fsfile.write_atomic (manifest_path dir) (render_manifest manifest);
+  make_writer ~dir manifest ~next_idx:0 ~counts:(Hashtbl.create 8)
+
+let attach ~dir =
+  match load ~dir with
+  | Error _ as e -> e
+  | Ok l ->
+    let valid = List.length l.records in
+    (* clear the corrupt tail so fresh appends land on clean indices *)
+    List.iter
+      (fun (i, f) ->
+        if i >= valid then Rb_util.Fsfile.remove_if_exists (Filename.concat dir f))
+      (record_files dir);
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        Hashtbl.replace counts r.job
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts r.job)))
+      l.records;
+    Ok (make_writer ~dir l.manifest ~next_idx:valid ~counts)
+
+let manifest_of t = t.manifest
+
+let kill_after t n =
+  Mutex.protect t.mutex (fun () -> t.kill_budget <- Some n)
+
+let append t record ~snapshot =
+  Mutex.protect t.mutex (fun () ->
+      if t.dead then raise Killed;
+      (match t.kill_budget with
+      | Some 0 ->
+        t.dead <- true;
+        raise Killed
+      | Some n -> t.kill_budget <- Some (n - 1)
+      | None -> ());
+      let idx = t.next_idx in
+      Rb_util.Fsfile.write_atomic (rec_path t.dir idx)
+        (render_record ~idx record);
+      t.next_idx <- idx + 1;
+      let count =
+        1 + Option.value ~default:0 (Hashtbl.find_opt t.counts record.job)
+      in
+      Hashtbl.replace t.counts record.job count;
+      match Hashtbl.find_opt t.slots record.job with
+      | Some slot ->
+        Rb_util.Fsfile.write_atomic (snap_path t.dir slot)
+          (render_snapshot ~count snapshot)
+      | None -> ())

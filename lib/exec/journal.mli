@@ -1,0 +1,93 @@
+(** Write-ahead journal for crash-safe campaigns.
+
+    A campaign run owns a journal directory. Before any work starts, a
+    {!manifest} — version, campaign fingerprint, job labels, case names —
+    is written atomically; every completed (job, case) repair is then
+    appended as its own record segment ([rec-%06d.json], one JSON object
+    per file, written tmp → fsync → rename) together with a fresh session
+    snapshot for that job ([snap-%03d.bin]). One append is one durable
+    unit: a process killed at any record boundary leaves a journal whose
+    records and snapshots agree exactly, so a resume replays the journaled
+    reports and recomputes nothing that was already verified.
+
+    A crash {e inside} an append can at worst leave a stale temporary file
+    (ignored) or a snapshot one case ahead of the records (detected by the
+    per-snapshot case count and discarded, costing a recompute of that job
+    — never a wrong report). {!load} treats any unparseable or
+    out-of-sequence record as the start of a corrupt tail: the tail is
+    dropped and counted, not fatal.
+
+    The writer is mutex-serialized so domain-parallel jobs can append
+    concurrently; {!kill_after} arms a deterministic self-abort used by
+    the chaos harness to kill the run at a chosen record boundary. *)
+
+exception Killed
+(** Raised by {!append} once an armed {!kill_after} budget is exhausted —
+    the simulated crash. Once raised, every later append on the same
+    writer raises again (the "process" is dead). *)
+
+type manifest = {
+  version : int;        (** journal format version ({!version}) *)
+  fingerprint : string; (** campaign fingerprint — see {!Checkpoint} *)
+  jobs : string list;   (** job labels, scheduler order *)
+  cases : string list;  (** case names, campaign order *)
+}
+
+type record = {
+  job : string;      (** job label (manifest member) *)
+  backend : string;  (** runner name, for human inspection *)
+  seed : int;
+  case : string;     (** case name *)
+  cache_hits : int;  (** session cache stats after this case *)
+  cache_misses : int;
+  report : Rustbrain.Report.t;
+}
+
+type t
+(** A serialized journal writer. *)
+
+val version : int
+
+val exists : dir:string -> bool
+(** A manifest is present in [dir]. *)
+
+val create : dir:string -> manifest -> t
+(** Start a fresh journal: create [dir] if needed, remove any previous
+    records/snapshots, durably write the manifest. *)
+
+val attach : dir:string -> (t, string) result
+(** Open an existing journal for appending. Record numbering continues
+    after the last valid record; a corrupt tail is deleted so new appends
+    never collide with garbage. [Error] when no valid manifest exists. *)
+
+val manifest_of : t -> manifest
+
+val kill_after : t -> int -> unit
+(** [kill_after t n] lets [n] more appends complete, then makes the next
+    one raise {!Killed} without persisting anything — a deterministic
+    crash at a record boundary. *)
+
+val append : t -> record -> snapshot:string -> unit
+(** Durably persist one completed case: the record segment first, then
+    the owning job's session snapshot (atomic overwrite, digest-guarded,
+    tagged with that job's record count). Thread-safe. Raises {!Killed}
+    when armed by {!kill_after}; any other I/O failure propagates. *)
+
+type loaded = {
+  manifest : manifest;
+  records : record list;  (** valid prefix, journal (append) order *)
+  snapshots : (string * (int * string)) list;
+      (** job label → (cases covered, marshaled session bytes); absent or
+          digest-invalid snapshots are omitted *)
+  dropped : int;  (** corrupt/out-of-sequence tail records discarded *)
+}
+
+val load : dir:string -> (loaded, string) result
+(** Read everything {!append} made durable. Never raises on corrupt
+    content: bad records end the valid prefix ([dropped] counts the
+    rest), bad snapshots are omitted. [Error] only when the manifest
+    itself is missing or unreadable. *)
+
+val wipe : dir:string -> unit
+(** Remove manifest, records and snapshots (for [--fresh]). The directory
+    itself is kept. *)

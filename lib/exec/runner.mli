@@ -9,14 +9,23 @@
     a concrete config so heterogeneous backends can ride in one list, one
     scheduler queue, one CLI flag.
 
+    Since the durability layer, {!S} exposes the campaign at *case*
+    granularity: a session is created once, then stepped one repair at a
+    time. That is what lets the write-ahead journal record every completed
+    (job, case) pair as it lands, and lets {!Checkpoint} snapshot the
+    session between cases and fast-forward a resumed campaign past the work
+    a killed process already finished.
+
     Campaign state (simulated clock, LLM client, KB/feedback, verification
-    cache) lives inside the backend's session, created fresh per
-    [run_campaign] call: a packed runner is therefore safe to run on any
-    domain, and running it twice gives byte-identical reports. *)
+    cache) lives inside the backend's session, created fresh per campaign: a
+    packed runner is therefore safe to run on any domain, and running it
+    twice gives byte-identical reports. *)
 
 type stats = {
   cache_hits : int;    (** verification memo-cache hits *)
   cache_misses : int;
+  restarts : int;      (** supervisor-replaced worker domains (scheduler) *)
+  orphaned_jobs : int; (** jobs a dead worker left behind, finished inline *)
 }
 
 val no_stats : stats
@@ -28,6 +37,11 @@ val hit_rate : stats -> float
 module type S = sig
   type config
 
+  type session
+  (** All mutable campaign state. Must be a marshalable value (closures
+      allowed — snapshots never cross binaries; the campaign fingerprint's
+      code-version component rejects them first). *)
+
   val name : string
   (** Stable backend identifier ("rustbrain", "llm-only", ...). *)
 
@@ -37,10 +51,17 @@ module type S = sig
   (** The one config field every backend shares; lets generic drivers fan a
       campaign out across seeds without knowing the config's shape. *)
 
-  val run_campaign : config -> Dataset.Case.t list -> Rustbrain.Report.t list * stats
-  (** Fresh session, repair each case in order, report verification-cache
-      traffic. Deterministic: equal configs and cases give byte-identical
-      reports. *)
+  val seed : config -> int
+  (** Read the seed back (journal records carry it). *)
+
+  val create_session : config -> session
+
+  val repair_case : session -> Dataset.Case.t -> Rustbrain.Report.t
+  (** One repair; session state (KB, feedback, RNG streams, clock)
+      accumulates across calls, in case order. *)
+
+  val session_stats : session -> stats
+  (** Cumulative verification-cache traffic so far. *)
 end
 
 type packed = Packed : (module S with type config = 'c) * 'c -> packed
@@ -50,5 +71,53 @@ type packed = Packed : (module S with type config = 'c) * 'c -> packed
 val pack : (module S with type config = 'c) -> 'c -> packed
 
 val name : packed -> string
+val seed : packed -> int
 val with_seed : packed -> int -> packed
+
+val fingerprint : packed -> string
+(** Hex digest of the backend name and its exact config value; equal
+    configs give equal fingerprints within one build of the code. The
+    journal manifest combines these with the case list and the code version
+    to decide whether a journal may be resumed. *)
+
 val run : packed -> Dataset.Case.t list -> Rustbrain.Report.t list * stats
+(** Fresh session, repair each case in order, report verification-cache
+    traffic. Deterministic: equal configs and cases give byte-identical
+    reports. *)
+
+(** {2 Stepped execution}
+
+    A campaign in flight: the packed module together with its live session.
+    This is the granularity the journal and the chaos harness work at. *)
+
+type running =
+  | Running :
+      (module S with type config = 'c and type session = 's) * 's
+      -> running
+
+val start : packed -> running
+val step : running -> Dataset.Case.t -> Rustbrain.Report.t
+val running_stats : running -> stats
+
+val snapshot : running -> string
+(** Marshal the session (with closures; same-binary only — see {!S}). *)
+
+val restore : packed -> string -> running
+(** Rebuild a {!running} campaign from {!snapshot} bytes. The caller must
+    guarantee the bytes were produced by the same packed backend in the
+    same binary (the journal fingerprint enforces this); feeding foreign
+    bytes is undefined. *)
+
+val instrumented :
+  packed ->
+  restore:string option ->
+  observe:
+    (Dataset.Case.t -> Rustbrain.Report.t -> stats -> snapshot:string -> unit) ->
+  packed
+(** A runner that behaves exactly like [packed] except that (1) its session
+    starts from the marshaled [restore] bytes when given (same contract as
+    {!restore}), and (2) after every repaired case it calls [observe] with
+    the report, the cumulative session stats and a fresh session snapshot —
+    the hook {!Checkpoint} uses to journal each case as it completes. An
+    exception from [observe] propagates out of the repair (this is how the
+    chaos harness simulates a crash mid-campaign). *)

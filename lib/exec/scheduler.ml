@@ -13,6 +13,10 @@ type result = {
   failure : failure option;
 }
 
+type supervision = { restarts : int; orphaned_jobs : int }
+
+let no_supervision = { restarts = 0; orphaned_jobs = 0 }
+
 let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
 
 let run_jobs ?(domains = default_domains ()) jobs =
@@ -37,6 +41,7 @@ let run_jobs ?(domains = default_domains ()) jobs =
                   backtrace = Printexc.raw_backtrace_to_string bt } }
   in
   let workers = min domains n in
+  let restarted = ref 0 in
   if workers <= 1 then
     for i = 0 to n - 1 do
       exec i
@@ -66,6 +71,7 @@ let run_jobs ?(domains = default_domains ()) jobs =
         | () -> supervise rest
         | exception _ when !restarts > 0 && Atomic.get next < n ->
           decr restarts;
+          incr restarted;
           supervise (rest @ [ Domain.spawn worker ])
         | exception _ -> supervise rest)
     in
@@ -73,9 +79,17 @@ let run_jobs ?(domains = default_domains ()) jobs =
   end;
   (* a job claimed by a dead worker may have been left without an outcome:
      finish those inline so every job reports exactly once, in order *)
-  Array.iteri (fun i r -> if r = None then exec i) results;
-  Array.to_list results
-  |> List.map (function Some r -> r | None -> assert false)
+  let orphaned = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r = None then begin
+        incr orphaned;
+        exec i
+      end)
+    results;
+  ( Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false),
+    { restarts = !restarted; orphaned_jobs = !orphaned } )
 
 let failures results =
   List.filter_map
@@ -94,11 +108,16 @@ let seeded_jobs ?label runner ~seeds cases =
     seeds
 
 let run_seeded ?domains ?label runner ~seeds cases =
-  let results = run_jobs ?domains (seeded_jobs ?label runner ~seeds cases) in
+  let results, sup = run_jobs ?domains (seeded_jobs ?label runner ~seeds cases) in
   List.iter
     (fun (job, f) ->
       Printf.eprintf "scheduler: job %s crashed: %s\n%s%!" job.label f.exn
         f.backtrace)
     (failures results);
+  let stats =
+    List.fold_left (fun acc r -> Runner.add_stats acc r.stats) Runner.no_stats results
+  in
   ( List.concat_map (fun r -> r.reports) results,
-    List.fold_left (fun acc r -> Runner.add_stats acc r.stats) Runner.no_stats results )
+    { stats with
+      Runner.restarts = stats.Runner.restarts + sup.restarts;
+      orphaned_jobs = stats.Runner.orphaned_jobs + sup.orphaned_jobs } )

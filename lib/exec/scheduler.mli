@@ -31,17 +31,27 @@ type result = {
   failure : failure option;
 }
 
+type supervision = {
+  restarts : int;       (** worker domains the supervisor replaced *)
+  orphaned_jobs : int;  (** jobs left unfinished by a dead worker, redone inline *)
+}
+(** Supervisor activity during one {!run_jobs} call — all zeros on a
+    healthy run; chaos and preemption make them visible. *)
+
+val no_supervision : supervision
+
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], clamped to [1, 8]. *)
 
-val run_jobs : ?domains:int -> job list -> result list
+val run_jobs : ?domains:int -> job list -> result list * supervision
 (** Run every job on a pool of at most [domains] workers (default
     {!default_domains}; [domains <= 1] runs inline with no spawning).
     Results are returned in job order and this function never raises on a
     job's behalf: a crashing campaign is isolated as its own [failure]
     (with backtrace) while every sibling job still completes. Worker
     domains that die outside job isolation are restarted by a supervisor
-    (bounded), and any job orphaned by a dead worker is finished inline. *)
+    (bounded), and any job orphaned by a dead worker is finished inline;
+    both events are counted in the returned {!supervision}. *)
 
 val failures : result list -> (job * failure) list
 (** Every failed job with its captured failure, in result order. *)
@@ -58,6 +68,7 @@ val run_seeded :
   Dataset.Case.t list -> Rustbrain.Report.t list * Runner.stats
 (** One campaign per seed, sharded across domains; reports concatenated in
     seed order with cache stats summed — the shape every bench experiment
-    uses. Partial on crash rather than raising: a failed seed contributes
-    no reports and is described on stderr. Use {!seeded_jobs} +
-    {!run_jobs} to inspect failures programmatically. *)
+    uses. Supervisor activity is folded into the returned stats
+    ([restarts]/[orphaned_jobs]). Partial on crash rather than raising: a
+    failed seed contributes no reports and is described on stderr. Use
+    {!seeded_jobs} + {!run_jobs} to inspect failures programmatically. *)

@@ -1,0 +1,53 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Directory-entry durability: after renaming into [dir], fsync the
+   directory so the rename itself is on stable storage. Not every
+   filesystem supports fsync on a directory fd; failure is non-fatal. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_channel path emit =
+  mkdir_p (Filename.dirname path);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (match emit oc with
+  | () ->
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
+    close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let write_atomic path contents =
+  write_channel path (fun oc -> output_string oc contents)
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+    match really_input_string ic (in_channel_length ic) with
+    | s ->
+      close_in ic;
+      Some s
+    | exception End_of_file ->
+      close_in_noerr ic;
+      None
+    | exception Sys_error _ ->
+      close_in_noerr ic;
+      None)
+
+let remove_if_exists path =
+  try Sys.remove path with Sys_error _ -> ()

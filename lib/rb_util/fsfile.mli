@@ -1,0 +1,29 @@
+(** Crash-safe file output: write to a temporary sibling, fsync, atomic
+    rename.
+
+    A report file that a crash can leave half-written is worse than no file:
+    downstream tooling reads a torn JSON array or a truncated CSV without
+    noticing. Every file this repository produces therefore goes through
+    [write_atomic]/[write_lines]: the content lands in [<path>.tmp.<pid>],
+    is fsynced, and is renamed over [path] in one atomic step — a reader
+    observes either the complete old file or the complete new one, never a
+    mixture. The containing directory is fsynced after the rename (best
+    effort) so the new directory entry itself survives power loss. *)
+
+val mkdir_p : string -> unit
+(** Create the directory and any missing parents (mode 0o755); existing
+    directories are fine. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] durably replaces [path] with [contents]. *)
+
+val write_channel : string -> (out_channel -> unit) -> unit
+(** [write_channel path emit] like {!write_atomic} but streams through an
+    [out_channel], so a large report never has to be concatenated in
+    memory; [emit] writes the content, the helper fsyncs and renames. If
+    [emit] raises, the temporary file is removed and [path] is untouched. *)
+
+val read : string -> string option
+(** Whole-file read; [None] when the file does not exist or is unreadable. *)
+
+val remove_if_exists : string -> unit

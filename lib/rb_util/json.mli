@@ -1,0 +1,42 @@
+(** Minimal JSON: a value type, a strict recursive-descent parser, and a
+    printer.
+
+    The durability layer stores campaign records as JSON lines (one
+    self-contained object per line) and must read them back after a crash,
+    possibly finding a torn or corrupted tail. The parser therefore never
+    raises on bad input — every failure is an [Error] with a position — so
+    callers can treat "does not parse" as "discard this segment" rather
+    than as a fatal condition.
+
+    Numbers are represented as [float]; every integer the reproduction
+    emits is far below 2^53, so round-tripping through [Num] is exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed); trailing
+    garbage is an error. Never raises. *)
+
+val to_string : t -> string
+(** Compact one-line rendering; strings are escaped as in
+    {!Rustbrain.Report.to_json} (control characters as [\u00XX]). *)
+
+val escape : string -> string
+(** The quoted, escaped form of a string literal. *)
+
+(** Accessors: total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the field in an [Obj]. *)
+
+val to_str : t -> string option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

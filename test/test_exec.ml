@@ -53,8 +53,8 @@ let jobs cases =
 
 let test_parallel_equals_sequential () =
   let cases = small_corpus () in
-  let seq = Exec.Scheduler.run_jobs ~domains:1 (jobs cases) in
-  let par = Exec.Scheduler.run_jobs ~domains:3 (jobs cases) in
+  let seq, _ = Exec.Scheduler.run_jobs ~domains:1 (jobs cases) in
+  let par, _ = Exec.Scheduler.run_jobs ~domains:3 (jobs cases) in
   Alcotest.(check int) "job count" (List.length seq) (List.length par);
   List.iter2
     (fun (s : Exec.Scheduler.result) (p : Exec.Scheduler.result) ->
@@ -89,12 +89,15 @@ let test_run_seeded_order () =
    that job's failure without disturbing sibling jobs *)
 module Crashy = struct
   type config = int
+  type session = unit
 
   let name = "crashy"
   let default_config = 0
   let with_seed _cfg seed = seed
-  let run_campaign _cfg _cases : Rustbrain.Report.t list * Exec.Runner.stats =
-    failwith "boom"
+  let seed cfg = cfg
+  let create_session _cfg = ()
+  let repair_case () _case : Rustbrain.Report.t = failwith "boom"
+  let session_stats () = Exec.Runner.no_stats
 end
 
 let mixed_jobs cases =
@@ -112,7 +115,7 @@ let test_crash_isolated () =
   let cases = [ case () ] in
   List.iter
     (fun domains ->
-      let results = Exec.Scheduler.run_jobs ~domains (mixed_jobs cases) in
+      let results, _ = Exec.Scheduler.run_jobs ~domains (mixed_jobs cases) in
       Alcotest.(check int) "every job reports" 3 (List.length results);
       Alcotest.(check (list string)) "job order preserved"
         [ "good1"; "crashy"; "good2" ]
@@ -155,7 +158,7 @@ let test_every_failure_preserved () =
           cases })
       [ 1; 2; 3 ]
   in
-  let results = Exec.Scheduler.run_jobs ~domains:2 jobs in
+  let results, _ = Exec.Scheduler.run_jobs ~domains:2 jobs in
   let failures = Exec.Scheduler.failures results in
   Alcotest.(check (list string)) "all three failures, in order"
     [ "crashy1"; "crashy2"; "crashy3" ]

@@ -24,5 +24,6 @@ let () =
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
       ("exec", Test_exec.suite);
+      ("journal", Test_journal.suite);
       ("resilience", Test_resilience.suite);
       ("stats", Test_stats.suite) ]

@@ -179,6 +179,55 @@ let test_breaker_half_open_recovers () =
     (Resilient.breaker_state r = Resilient.Closed);
   Alcotest.(check int) "one recovery" 1 (Resilient.stats r).Resilient.breaker_recoveries
 
+let test_breaker_failed_probe_reopens () =
+  (* a failing half-open trial must re-open the breaker with a *fresh*
+     cooldown, not leave it half-open or silently closed *)
+  let script =
+    List.init 4 (fun _ -> flt Faults.Server_error) @ [ None; None ]
+  in
+  let r, clock = mk_resilient ~config:trip_config ~script () in
+  for _ = 1 to 3 do ignore (Resilient.choose_repair r sampling (task ())) done;
+  Alcotest.(check bool) "open after threshold" true
+    (Resilient.breaker_state r = Resilient.Open);
+  Rb_util.Simclock.charge clock (trip_config.Resilient.breaker_cooldown +. 1.0);
+  (* trial call: consumes the fourth scripted fault and fails *)
+  Alcotest.(check bool) "failed probe degrades" true
+    (Resilient.choose_repair r sampling (task ()) = None);
+  Alcotest.(check bool) "straight back to open" true
+    (Resilient.breaker_state r = Resilient.Open);
+  Alcotest.(check int) "re-trip counted" 2 (Resilient.stats r).Resilient.breaker_trips;
+  (* fresh cooldown: with no time passed, the next call must NOT be a
+     trial — it degrades without touching the primary (script untouched) *)
+  Alcotest.(check bool) "cooldown restarted, no early trial" true
+    (Resilient.choose_repair r sampling (task ()) = None);
+  Alcotest.(check bool) "still open" true
+    (Resilient.breaker_state r = Resilient.Open);
+  (* after the restarted cooldown, the next trial consumes the scripted
+     success and recovers *)
+  Rb_util.Simclock.charge clock (trip_config.Resilient.breaker_cooldown +. 1.0);
+  Alcotest.(check bool) "second probe answered" true
+    (Resilient.choose_repair r sampling (task ()) <> None);
+  Alcotest.(check bool) "recovered to closed" true
+    (Resilient.breaker_state r = Resilient.Closed);
+  Alcotest.(check int) "one recovery" 1
+    (Resilient.stats r).Resilient.breaker_recoveries
+
+let test_fault_metering_survives_resume () =
+  (* the journal snapshots sessions mid-campaign; the fault plan inside —
+     RNG stream and per-kind meters — must marshal and resume bit-exactly *)
+  let plan = Faults.create ~seed:7 (Faults.uniform 0.4) in
+  let _prefix = List.init 100 (fun _ -> Faults.draw plan) in
+  let bytes = Marshal.to_string plan [ Marshal.Closures ] in
+  let resumed : Faults.t = Marshal.from_string bytes 0 in
+  let live_rest = List.init 150 (fun _ -> Faults.draw plan) in
+  let resumed_rest = List.init 150 (fun _ -> Faults.draw resumed) in
+  Alcotest.(check bool) "draws continue identically after restore" true
+    (live_rest = resumed_rest);
+  Alcotest.(check int) "injected meter agrees" (Faults.injected plan)
+    (Faults.injected resumed);
+  Alcotest.(check bool) "per-kind meters agree" true
+    (Faults.by_kind plan = Faults.by_kind resumed)
+
 let test_open_breaker_uses_fallback () =
   let script = List.init 8 (fun _ -> flt Faults.Server_error) in
   let config = { trip_config with Resilient.breaker_threshold = 2 } in
@@ -306,6 +355,10 @@ let suite =
     Alcotest.test_case "resilient: rate-limit floors backoff" `Quick test_rate_limit_floors_backoff;
     Alcotest.test_case "breaker: trips at threshold" `Quick test_breaker_trips;
     Alcotest.test_case "breaker: half-open recovery" `Quick test_breaker_half_open_recovers;
+    Alcotest.test_case "breaker: failed probe reopens, fresh cooldown" `Quick
+      test_breaker_failed_probe_reopens;
+    Alcotest.test_case "faults: metering survives resume" `Quick
+      test_fault_metering_survives_resume;
     Alcotest.test_case "breaker: open uses fallback" `Quick test_open_breaker_uses_fallback;
     Alcotest.test_case "deadline: per-repair budget" `Quick test_deadline_budget;
     Alcotest.test_case "fuel: allocation count cap" `Quick test_alloc_count_fuel;
