@@ -749,6 +749,331 @@ let resume_smoke () =
      kill+resume\n"
     scenarios total
 
+(* -- interp: interpreter hot-path microbenchmarks ---------------------- *)
+
+(* Every candidate repair is re-verified by running the program under
+   lib/miri, so interpreter throughput bounds the whole system. The
+   workloads are MiniRust *programs*, which makes the benchmark
+   representation-agnostic: it times whatever `lib/miri` currently does,
+   so numbers recorded before and after a memory-core change are directly
+   comparable. `interp` writes machine-readable results to
+   BENCH_interp.json, preserving the first recorded run as the baseline so
+   the repo accumulates a perf trajectory. *)
+
+(* Allocation-heavy: a tight loop of heap alloc / write / read / free plus
+   per-iteration stack locals — stresses allocation setup cost and the
+   typed encode/decode path through P_alloc pointers. *)
+let interp_alloc_src ~blocks =
+  Printf.sprintf
+    {|
+fn main() {
+    let mut i = 0;
+    let mut acc = 0;
+    while i < %d {
+        unsafe {
+            let mut p = alloc(64, 8) as *mut i64;
+            let mut j = 0;
+            while j < 8 {
+                *p.offset(j) = i + j;
+                j = j + 1;
+            }
+            acc = acc + *p.offset(7);
+            dealloc(p as *mut i8, 64, 8);
+        }
+        i = i + 1;
+    }
+    print(acc);
+}
+|}
+    blocks
+
+(* Pointer-chasing: a linked list threaded through integer-stored addresses,
+   so every hop is a wildcard (exposed-provenance) access that must resolve
+   its address to an allocation — the address-resolution hot path. *)
+let interp_chase_src ~nodes ~rounds =
+  Printf.sprintf
+    {|
+fn main() {
+    unsafe {
+        let mut head = 0;
+        let mut i = 0;
+        while i < %d {
+            let mut p = alloc(16, 8) as *mut i64;
+            *p = head;
+            *p.offset(1) = i;
+            head = p as i64;
+            i = i + 1;
+        }
+        let mut round = 0;
+        let mut acc = 0;
+        while round < %d {
+            let mut cur = head;
+            while cur != 0 {
+                let mut q = cur as *mut i64;
+                acc = acc + *q.offset(1);
+                cur = *q;
+            }
+            round = round + 1;
+        }
+        let mut cur = head;
+        while cur != 0 {
+            let mut q = cur as *mut i64;
+            let mut next = *q;
+            dealloc(q as *mut i8, 16, 8);
+            cur = next;
+        }
+        print(acc);
+    }
+}
+|}
+    nodes rounds
+
+(* Race-check: three workers hammer an atomic counter and their own private
+   statics — every access runs the vector-clock race machinery, no race is
+   ever reported, and the scheduler interleaves deterministically. *)
+let interp_race_src ~iters =
+  Printf.sprintf
+    {|
+static mut TOTAL: i64 = 0;
+static mut W0: i64 = 0;
+static mut W1: i64 = 0;
+static mut W2: i64 = 0;
+
+fn worker(p: *mut i64, k: i64) {
+    unsafe {
+        let mut i = 0;
+        while i < k {
+            atomic_add(&raw mut TOTAL, 1);
+            *p = *p + 1;
+            i = i + 1;
+        }
+    }
+}
+
+fn main() {
+    unsafe {
+        let h0 = spawn worker(&raw mut W0, %d);
+        let h1 = spawn worker(&raw mut W1, %d);
+        let h2 = spawn worker(&raw mut W2, %d);
+        join(h0);
+        join(h1);
+        join(h2);
+        print(atomic_load(&raw mut TOTAL) + W0 + W1 + W2);
+    }
+}
+|}
+    iters iters iters
+
+(* Call/locals churn: many short calls each binding a handful of locals —
+   stresses frame setup and local-variable lookup in the machine. *)
+let interp_calls_src ~calls =
+  Printf.sprintf
+    {|
+fn leaf(a: i64, b: i64) -> i64 {
+    let mut x = a + b;
+    let mut y = x * 2;
+    let mut z = y - a;
+    let mut w = z + x;
+    return w - y;
+}
+
+fn main() {
+    let mut i = 0;
+    let mut acc = 0;
+    while i < %d {
+        let mut t = leaf(i, acc);
+        acc = acc + t - t + 1;
+        i = i + 1;
+    }
+    print(acc);
+}
+|}
+    calls
+
+let interp_workloads =
+  [ ("alloc-heavy", interp_alloc_src ~blocks:3000);
+    ("pointer-chase", interp_chase_src ~nodes:250 ~rounds:40);
+    ("race-check", interp_race_src ~iters:1200);
+    ("call-locals", interp_calls_src ~calls:4000) ]
+
+let interp_run ?(seed = 1) src =
+  let program = Minirust.Parser.parse src in
+  match Minirust.Typecheck.check program with
+  | Error errs ->
+    failwith ("interp workload does not typecheck: " ^ Minirust.Typecheck.errors_to_string errs)
+  | Ok info ->
+    let config =
+      { Miri.Machine.default_config with Miri.Machine.seed; max_steps = 500_000_000 }
+    in
+    Miri.Machine.run ~config program info
+
+let bench_file = "BENCH_interp.json"
+
+let interp () =
+  section "interp — interpreter hot-path microbenchmarks (real wall-clock)";
+  let measure src =
+    (* warm once, then best-of-3: the interpreter is deterministic, so min
+       wall-clock is the least noisy estimator *)
+    ignore (interp_run src);
+    let times =
+      List.init 3 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          let r = interp_run src in
+          (Unix.gettimeofday () -. t0, r))
+    in
+    let best = List.fold_left (fun a (t, _) -> min a t) infinity (List.map Fun.id times) in
+    let _, r = List.hd times in
+    (best, r)
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let t, r = measure src in
+        (name, t, r.Miri.Machine.steps))
+      interp_workloads
+  in
+  (* preserve the first recorded run as the baseline forever: the committed
+     file carries the before/after trajectory of the memory-core overhauls *)
+  let open Rb_util.Json in
+  let previous =
+    if Sys.file_exists bench_file then
+      let ic = open_in_bin bench_file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Result.to_option (parse s)
+    else None
+  in
+  let baseline =
+    match previous with
+    | Some j -> (
+      match member "baseline" j with
+      | Some (Obj _ as b) -> Some b
+      | _ -> member "current" j)
+    | None -> None
+  in
+  let current =
+    Obj
+      (List.map
+         (fun (name, t, steps) ->
+           (name, Obj [ ("ms", Num (1000.0 *. t)); ("steps", Num (float_of_int steps)) ]))
+         rows)
+  in
+  let speedup =
+    match baseline with
+    | Some b ->
+      let ratios =
+        List.filter_map
+          (fun (name, t, _) ->
+            match Option.bind (member name b) (member "ms") with
+            | Some (Num before_ms) when t > 0.0 ->
+              Some (name, Num (before_ms /. (1000.0 *. t)))
+            | _ -> None)
+          rows
+      in
+      if ratios = [] then [] else [ ("speedup", Obj ratios) ]
+    | None -> []
+  in
+  let doc =
+    Obj
+      ((("campaign", Str "interp")
+        :: (match baseline with Some b -> [ ("baseline", b) ] | None -> []))
+      @ [ ("current", current) ]
+      @ speedup)
+  in
+  Rb_util.Fsfile.write_atomic bench_file (to_string doc ^ "\n");
+  let fmt_speedup name =
+    match speedup with
+    | [ (_, Obj ratios) ] -> (
+      match List.assoc_opt name ratios with
+      | Some (Num x) -> Printf.sprintf "%.2fx" x
+      | _ -> "-")
+    | _ -> "-"
+  in
+  print_string
+    (Statkit.Table.render
+       ~header:[ "workload"; "time(ms)"; "steps"; "speedup vs baseline" ]
+       (List.map
+          (fun (name, t, steps) ->
+            [ name; Printf.sprintf "%.1f" (1000.0 *. t); string_of_int steps;
+              fmt_speedup name ])
+          rows));
+  Printf.printf "\nresults written to %s\n" bench_file
+
+(* -- interp smoke gate (dune runtest alias interp-smoke) ---------------- *)
+
+(* Tiny fixed-seed versions of the interp workloads plus one UB probe,
+   asserting exact outcomes, print traces, step counts and diagnostic
+   strings — a representation-change tripwire, not a timing test. The
+   expected strings below were recorded from the pre-overhaul interpreter
+   and are part of the diagnostics-stability contract. *)
+
+let interp_smoke_expect =
+  [ ("alloc-smoke", interp_alloc_src ~blocks:40,
+     "finished", [ "1060" ], 1325);
+    ("chase-smoke", interp_chase_src ~nodes:12 ~rounds:4,
+     "finished", [ "264" ], 357);
+    ("race-smoke", interp_race_src ~iters:50,
+     "finished", [ "300" ], 620);
+    ("calls-smoke", interp_calls_src ~calls:60,
+     "finished", [ "60" ], 545) ]
+
+let interp_smoke_ub_src =
+  {|
+fn main() {
+    unsafe {
+        let mut p = alloc(8, 8) as *mut i64;
+        *p = 7;
+        let mut a = p as i64;
+        dealloc(p as *mut i8, 8, 8);
+        let mut q = a as *mut i64;
+        print(*q);
+    }
+}
+|}
+
+let interp_smoke_ub_expect =
+  "UB(dangling pointer) in thread 0: use of deallocated memory (allocation 1 at address 4104)"
+
+let interp_smoke () =
+  section "Interp smoke — fixed-seed workload outcomes and diagnostics";
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL %s\n" s; incr failures) fmt in
+  List.iter
+    (fun (name, src, want_outcome, want_output, want_steps) ->
+      let r = interp_run src in
+      let outcome =
+        match r.Miri.Machine.outcome with
+        | Miri.Machine.Finished -> "finished"
+        | Miri.Machine.Panicked m -> "panicked: " ^ m
+        | Miri.Machine.Ub d -> Miri.Diag.to_string d
+        | Miri.Machine.Step_limit -> "step limit"
+        | Miri.Machine.Resource_limit m -> "resource limit: " ^ m
+      in
+      if outcome <> want_outcome then
+        fail "%s: outcome %S (want %S)" name outcome want_outcome;
+      if r.Miri.Machine.output <> want_output then
+        fail "%s: output [%s] (want [%s])" name
+          (String.concat "; " r.Miri.Machine.output)
+          (String.concat "; " want_output);
+      if r.Miri.Machine.diags <> [] then
+        fail "%s: unexpected diagnostics" name;
+      if r.Miri.Machine.steps <> want_steps then
+        fail "%s: steps %d (want %d)" name r.Miri.Machine.steps want_steps;
+      Printf.printf "%-14s %s output=[%s] steps=%d\n" name outcome
+        (String.concat "; " r.Miri.Machine.output) r.Miri.Machine.steps)
+    interp_smoke_expect;
+  (let r = interp_run interp_smoke_ub_src in
+   match r.Miri.Machine.outcome with
+   | Miri.Machine.Ub d ->
+     let got = Miri.Diag.to_string d in
+     if got <> interp_smoke_ub_expect then
+       fail "ub-smoke: diag %S (want %S)" got interp_smoke_ub_expect;
+     Printf.printf "%-14s %s\n" "ub-smoke" got
+   | _ -> fail "ub-smoke: expected a UB outcome");
+  if !failures > 0 then exit 1;
+  print_endline "interp smoke ok"
+
 (* -- component ablation (DESIGN.md's starred design choices) ----------- *)
 
 let ablate () =
@@ -795,7 +1120,8 @@ let experiments =
     ("fig10", fig10); ("fig11", fig11); ("fig12", fig12); ("table1", table1);
     ("ablate", ablate); ("perf", perf); ("smoke", smoke);
     ("resilience", resilience); ("resilience-smoke", resilience_smoke);
-    ("chaos", chaos); ("resume-smoke", resume_smoke) ]
+    ("chaos", chaos); ("resume-smoke", resume_smoke);
+    ("interp", interp); ("interp-smoke", interp_smoke) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

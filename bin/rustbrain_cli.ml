@@ -186,10 +186,33 @@ let fix_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run file inputs model temperature seed json fault_rate retries deadline_ms =
-    match load file with
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print per-phase wall time (parse, typecheck, interpret, repair, \
+                 re-verify) to stderr.")
+  in
+  let run file inputs model temperature seed json profile fault_rate retries deadline_ms =
+    (* phase timings land on stderr so --json output stays parseable *)
+    let phases = ref [] in
+    let timed name f =
+      if not profile then f ()
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        phases := (name, (Unix.gettimeofday () -. t0) *. 1000.0) :: !phases;
+        r
+      end
+    in
+    let emit_profile () =
+      if profile then
+        List.iter
+          (fun (name, ms) -> Printf.eprintf "profile: %-9s %8.2f ms\n%!" name ms)
+          (List.rev !phases)
+    in
+    match timed "parse" (fun () -> load file) with
     | Error msg ->
       prerr_endline msg;
+      emit_profile ();
       1
     | Ok program -> (
       match Llm_sim.Profile.of_name model with
@@ -222,6 +245,11 @@ let fix_cmd =
         in
         let kb = Knowledge.Kb.create ~clock () in
         Knowledge.Kb.seed_default kb;
+        (* timing-only when --profile: the pipeline re-typechecks every
+           candidate itself, so a failure here must not change control flow *)
+        ignore
+          (timed "typecheck" (fun () -> Minirust.Typecheck.check program)
+            : (Minirust.Typecheck.info, Minirust.Typecheck.error list) result);
         let scorer p =
           match Minirust.Typecheck.check p with
           | Error _ -> 0.02
@@ -246,13 +274,16 @@ let fix_cmd =
                 Rustbrain.Solution.Fix Rustbrain.Ub_class.C_modify;
                 Rustbrain.Solution.Fix Rustbrain.Ub_class.C_assert ] }
         in
+        let machine_config =
+          { Miri.Machine.default_config with
+            Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
+            max_steps = 200_000; inputs = probe; trace = false }
+        in
         let category =
-          let config =
-            { Miri.Machine.default_config with
-              Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
-              max_steps = 200_000; inputs = probe; trace = false }
-          in
-          match Miri.Machine.analyze ~config program with
+          match
+            timed "interpret" (fun () ->
+                Miri.Machine.analyze ~config:machine_config program)
+          with
           | Miri.Machine.Ran r -> (
             match Miri.Machine.first_ub r with
             | Some d -> d.Miri.Diag.kind
@@ -260,9 +291,18 @@ let fix_cmd =
           | Miri.Machine.Compile_error _ -> Miri.Diag.Panic_bug
         in
         let exec =
-          Rustbrain.Slow_think.execute env ~program ~solution
-            ~rollback:Rustbrain.Slow_think.Adaptive ~max_iters:10
+          timed "repair" (fun () ->
+              Rustbrain.Slow_think.execute env ~program ~solution
+                ~rollback:Rustbrain.Slow_think.Adaptive ~max_iters:10)
         in
+        (* the pipeline already verified the winner internally; the re-verify
+           phase times one standalone confirmation run on the final program *)
+        if profile then
+          ignore
+            (timed "re-verify" (fun () ->
+                 Miri.Machine.analyze ~config:machine_config
+                   exec.Rustbrain.Slow_think.final)
+              : Miri.Machine.analysis);
         if json then begin
           let stats = Llm_sim.Client.stats client in
           let rstats = Llm_sim.Resilient.stats resilient in
@@ -290,6 +330,7 @@ let fix_cmd =
               trace = exec.Rustbrain.Slow_think.trace }
           in
           print_endline (Rustbrain.Report.to_json report);
+          emit_profile ();
           if exec.Rustbrain.Slow_think.passed then 0 else 1
         end
         else begin
@@ -297,6 +338,7 @@ let fix_cmd =
           Printf.printf "errors: %s\n"
             (String.concat " -> " (List.map string_of_int exec.Rustbrain.Slow_think.n_sequence));
           Printf.printf "simulated repair time: %.1fs\n" exec.Rustbrain.Slow_think.seconds;
+          emit_profile ();
           if exec.Rustbrain.Slow_think.passed then begin
             print_endline "repaired program:";
             print_string (Minirust.Pretty.program exec.Rustbrain.Slow_think.final);
@@ -311,7 +353,7 @@ let fix_cmd =
   in
   Cmd.v
     (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
-    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json
+    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json $ profile
           $ fault_rate_arg $ retries_arg $ deadline_arg)
 
 (* -- corpus --------------------------------------------------------------- *)

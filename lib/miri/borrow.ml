@@ -46,14 +46,27 @@ let find_index t tag =
   go 0 t.stack
 
 let missing t tag =
-  let perm = Option.value (Hashtbl.find_opt t.created tag) ~default:Unique in
-  {
-    missing_tag = tag;
-    missing_perm = perm;
-    write_through_ro = false;
-    detail =
-      Printf.sprintf "tag %d (%s) is no longer on the borrow stack" tag (perm_name perm);
-  }
+  match Hashtbl.find_opt t.created tag with
+  | Some perm ->
+    {
+      missing_tag = tag;
+      missing_perm = perm;
+      write_through_ro = false;
+      detail =
+        Printf.sprintf "tag %d (%s) is no longer on the borrow stack" tag
+          (perm_name perm);
+    }
+  | None ->
+    (* The tag never existed on this stack: the pointer was forged or carried
+       over from another allocation. Calling it a popped Unique borrow (the
+       old default) misdescribes the failure. *)
+    {
+      missing_tag = tag;
+      missing_perm = Unique;
+      write_through_ro = false;
+      detail =
+        Printf.sprintf "tag %d is unknown to this allocation's borrow stack" tag;
+    }
 
 (* Keep only items at or below position [idx], except that a read access
    keeps non-Unique items above (reads only invalidate unique borrows).
@@ -76,6 +89,12 @@ let truncate_for_access t idx ~write =
 let access t ~tag ~write =
   match tag with
   | None -> Ok []  (* wildcard: bounds/expose checks happen in the memory layer *)
+  | Some tag when
+      (match t.stack with
+       | top :: _ -> top.tag = tag && not (write && top.perm = Shared_ro)
+       | [] -> false) ->
+    (* hot path: access through the innermost borrow pops nothing *)
+    Ok []
   | Some tag -> (
     match find_index t tag with
     | None -> Error (missing t tag)

@@ -17,7 +17,9 @@ type perm =
 
 type violation = {
   missing_tag : int;
-  missing_perm : perm;        (** permission the tag had when created *)
+  missing_perm : perm;
+      (** permission the tag had when created on this stack; [Unique] for a
+          tag this stack never created (the [detail] says so distinctly) *)
   write_through_ro : bool;    (** write attempted through a live [Shared_ro] *)
   detail : string;
 }

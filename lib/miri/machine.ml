@@ -51,6 +51,7 @@ type state = {
   info : Typecheck.info;
   mem : Mem.t;
   fn_table : Ast.fn_decl array;
+  fn_index_tbl : (string, int) Hashtbl.t;  (* first index of each name *)
   statics_tbl : (string, Mem.allocation * Ast.ty) Hashtbl.t;
   threads : (int, thread) Hashtbl.t;
   mutable next_tid : int;
@@ -71,7 +72,38 @@ type local = { l_alloc : Mem.allocation; l_ty : Ast.ty }
 
 type scope = (string * local) list ref
 
-type ctx = { st : state; tid : int; mutable scopes : scope list }
+(* [locals] is the flat name->local view of [scopes], exploiting
+   [Hashtbl.add]'s shadowing semantics: an inner binding is added after (and
+   removed before) an outer one of the same name, so [Hashtbl.find_opt]
+   always sees the innermost binding — what the old scope-list walk computed
+   in O(depth). The scope lists survive solely to drive deallocation and
+   table cleanup at scope exit. *)
+type ctx = {
+  st : state;
+  tid : int;
+  thread : thread;
+      (** cached [threads] entry for [tid]: the record is created once per
+          thread and only ever mutated, so every ctx of the thread can share
+          it without a per-access table lookup *)
+  mutable scopes : scope list;
+  locals : (string, local) Hashtbl.t;
+}
+
+let make_ctx st tid =
+  { st; tid; thread = Hashtbl.find st.threads tid; scopes = [];
+    locals = Hashtbl.create 16 }
+
+let bind_local ctx scope name local =
+  scope := (name, local) :: !scope;
+  Hashtbl.add ctx.locals name local
+
+let close_scope ctx scope =
+  (* newest-first, so a same-name shadow's Hashtbl entries pop in order *)
+  List.iter
+    (fun (name, l) ->
+      Hashtbl.remove ctx.locals name;
+      Mem.deallocate ctx.st.mem l.l_alloc)
+    !scope
 
 exception Panic_exc of string
 exception Ub_fatal of Diag.t
@@ -127,7 +159,11 @@ let classify_access_error (err : Mem.access_error) : Diag.ub_kind * string =
     (kind, v.Borrow.detail)
 
 let trace_event (st : state) fmt =
-  Printf.ksprintf (fun s -> if st.config.trace then st.events <- s :: st.events) fmt
+  (* test [trace] before formatting: with tracing off (benchmarks, campaign
+     sweeps) the hot path must not pay for sprintf *)
+  if st.config.trace then
+    Printf.ksprintf (fun s -> st.events <- s :: st.events) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
 
 let perm_name = function
   | Borrow.Unique -> "Unique"
@@ -146,13 +182,7 @@ let trace_popped (st : state) what popped =
 
 let fn_addr_base = 0x7F00_0000_0000
 
-let fn_index st name =
-  let rec go i =
-    if i >= Array.length st.fn_table then None
-    else if String.equal st.fn_table.(i).Ast.fname name then Some i
-    else go (i + 1)
-  in
-  go 0
+let fn_index st name = Hashtbl.find_opt st.fn_index_tbl name
 
 let fn_pointer st name : Value.pointer =
   match fn_index st name with
@@ -164,15 +194,9 @@ let fn_sig (f : Ast.fn_decl) = Ast.T_fn (List.map snd f.Ast.params, f.Ast.ret)
 (* ------------------------------------------------------------------ *)
 (* Locals and statics *)
 
-let lookup_local ctx name : local option =
-  let rec go = function
-    | [] -> None
-    | scope :: rest -> (
-      match List.assoc_opt name !scope with Some l -> Some l | None -> go rest)
-  in
-  go ctx.scopes
+let lookup_local ctx name : local option = Hashtbl.find_opt ctx.locals name
 
-let thread_of ctx = Hashtbl.find ctx.st.threads ctx.tid
+let thread_of ctx = ctx.thread
 
 (* ------------------------------------------------------------------ *)
 (* Typed memory access *)
@@ -195,14 +219,14 @@ let typed_read ctx (ptr : Value.pointer) (ty : Ast.ty) ~atomic : Value.t =
       let kind, msg = classify_access_error err in
       report ctx kind msg ~recover:(fun () -> Value.zero st.program ty)
     | Ok (alloc, offset, popped) -> (
-      trace_popped st (Printf.sprintf "read of alloc %d" alloc.Mem.id) popped;
+      if st.config.trace then
+        trace_popped st (Printf.sprintf "read of alloc %d" alloc.Mem.id) popped;
       if atomic then begin
         (* acquire: merge the location's release clock into this thread *)
         let sync = Mem.sync_clock_of st.mem alloc offset in
         thread.clock <- Vclock.merge thread.clock sync
       end;
-      let bytes = Mem.read_bytes alloc ~offset ~len in
-      match Mem.decode st.program ty bytes with
+      match Mem.read_value st.program alloc ~offset ty with
       | Ok v -> v
       | Error msg ->
         report ctx Diag.Validity msg ~recover:(fun () -> Value.zero st.program ty))
@@ -223,9 +247,9 @@ let typed_write ctx (ptr : Value.pointer) (ty : Ast.ty) (v : Value.t) ~atomic : 
       let kind, msg = classify_access_error err in
       report ctx kind msg ~recover:(fun () -> ())
     | Ok (alloc, offset, popped) ->
-      trace_popped st (Printf.sprintf "write to alloc %d" alloc.Mem.id) popped;
-      let bytes = Mem.encode st.program ~fn_addr:(fn_pointer st) ty v in
-      Mem.write_bytes alloc ~offset bytes;
+      if st.config.trace then
+        trace_popped st (Printf.sprintf "write to alloc %d" alloc.Mem.id) popped;
+      Mem.write_value st.program ~fn_addr:(fn_pointer st) alloc ~offset ty v;
       if atomic then
         (* release: later writes by this thread must not appear ordered
            before the release an acquirer synchronized with *)
@@ -506,10 +530,12 @@ and eval_binop ctx op a b =
 and retag_pointer ctx (ptr : Value.pointer) (perm : Borrow.perm) : Value.pointer =
   match Mem.retag ctx.st.mem ~ptr ~perm with
   | Ok (p, popped) ->
-    trace_event ctx.st "retag: new tag %s (%s) at addr %d"
-      (match p.Value.tag with Some t -> string_of_int t | None -> "?")
-      (perm_name perm) p.Value.addr;
-    trace_popped ctx.st "retag" popped;
+    if ctx.st.config.trace then begin
+      trace_event ctx.st "retag: new tag %s (%s) at addr %d"
+        (match p.Value.tag with Some t -> string_of_int t | None -> "?")
+        (perm_name perm) p.Value.addr;
+      trace_popped ctx.st "retag" popped
+    end;
     p
   | Error err ->
     let kind, msg = classify_access_error err in
@@ -690,7 +716,7 @@ and call_fn ctx (f : Ast.fn_decl) (args : Value.t list) : Value.t =
          (List.length args) (List.length f.Ast.params))
       ~recover:(fun () -> Value.zero st.program f.Ast.ret)
   else begin
-    let callee_ctx = { st; tid = ctx.tid; scopes = [] } in
+    let callee_ctx = make_ctx st ctx.tid in
     let scope : scope = ref [] in
     callee_ctx.scopes <- [ scope ];
     List.iter2
@@ -699,11 +725,11 @@ and call_fn ctx (f : Ast.fn_decl) (args : Value.t list) : Value.t =
         let align = max 1 (Layout.align_of st.program pty) in
         let a = tracked_allocate st ~size ~align ~kind:Mem.Stack in
         typed_write callee_ctx (base_pointer a) pty v ~atomic:false;
-        scope := (pname, { l_alloc = a; l_ty = pty }) :: !scope)
+        bind_local callee_ctx scope pname { l_alloc = a; l_ty = pty })
       f.Ast.params args;
     let finish () =
       (* leaving the function kills its parameter slots *)
-      List.iter (fun (_, l) -> Mem.deallocate st.mem l.l_alloc) !scope
+      close_scope callee_ctx scope
     in
     match exec_block callee_ctx f.Ast.body with
     | () ->
@@ -829,7 +855,7 @@ and exec_stmt (ctx : ctx) (stmt : Ast.stmt) : unit =
     let a = tracked_allocate ctx.st ~size ~align ~kind:Mem.Stack in
     typed_write ctx (base_pointer a) ty v ~atomic:false;
     (match ctx.scopes with
-    | scope :: _ -> scope := (name, { l_alloc = a; l_ty = ty }) :: !scope
+    | scope :: _ -> bind_local ctx scope name { l_alloc = a; l_ty = ty }
     | [] -> invalid_arg "Machine: let outside any scope")
   | Ast.S_assign (p, e) ->
     let v = eval_expr ctx e in
@@ -925,7 +951,7 @@ and exec_spawn ctx handle fname args =
   | Some f ->
     let arg_vals = List.map (eval_expr ctx) args in
     let body tid =
-      let child_ctx = { st; tid; scopes = [] } in
+      let child_ctx = make_ctx st tid in
       ignore (call_fn child_ctx f arg_vals)
     in
     let tid = Effect.perform (Spawn_eff body) in
@@ -934,7 +960,7 @@ and exec_spawn ctx handle fname args =
     let a = tracked_allocate st ~size:8 ~align:8 ~kind:Mem.Stack in
     typed_write ctx (base_pointer a) ty (Value.V_handle tid) ~atomic:false;
     (match ctx.scopes with
-    | scope :: _ -> scope := (handle, { l_alloc = a; l_ty = ty }) :: !scope
+    | scope :: _ -> bind_local ctx scope handle { l_alloc = a; l_ty = ty }
     | [] -> invalid_arg "Machine: spawn outside any scope")
 
 and exec_join ctx e =
@@ -971,7 +997,7 @@ and exec_block (ctx : ctx) (b : Ast.block) : unit =
   ctx.scopes <- scope :: ctx.scopes;
   let cleanup () =
     (* locals die at scope exit; pointers to them become dangling *)
-    List.iter (fun (_, l) -> Mem.deallocate ctx.st.mem l.l_alloc) !scope;
+    close_scope ctx scope;
     ctx.scopes <- (match ctx.scopes with [] -> [] | _ :: rest -> rest)
   in
   match List.iter (exec_stmt ctx) b with
@@ -990,13 +1016,22 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
   (* deterministic tags per run: diagnostics mention tag numbers, and repair
      traces built from them must not depend on how many runs came before *)
   Borrow.reset_tags ();
+  let fn_table = Array.of_list program.Ast.funcs in
+  let fn_index_tbl = Hashtbl.create (Array.length fn_table) in
+  Array.iteri
+    (fun i (f : Ast.fn_decl) ->
+      (* first declaration wins, as the linear scan it replaces did *)
+      if not (Hashtbl.mem fn_index_tbl f.Ast.fname) then
+        Hashtbl.add fn_index_tbl f.Ast.fname i)
+    fn_table;
   let st =
     {
       config;
       program;
       info;
       mem = Mem.create ();
-      fn_table = Array.of_list program.Ast.funcs;
+      fn_table;
+      fn_index_tbl;
       statics_tbl = Hashtbl.create 8;
       threads = Hashtbl.create 8;
       next_tid = 0;
@@ -1110,7 +1145,8 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
   (* initialize statics *)
   let static_error = ref None in
   let init_statics main_tid =
-    let ctx = { st; tid = main_tid; scopes = [ ref [] ] } in
+    let ctx = make_ctx st main_tid in
+    ctx.scopes <- [ ref [] ];
     List.iter
       (fun (s : Ast.static_decl) ->
         let ty = s.Ast.sty in
@@ -1124,7 +1160,7 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
   in
   let main_body tid =
     (match !static_error with Some e -> raise e | None -> ());
-    let ctx = { st; tid; scopes = [] } in
+    let ctx = make_ctx st tid in
     match Ast.lookup_fn program "main" with
     | Some f -> ignore (call_fn ctx f [])
     | None -> invalid_arg "Machine: program has no main function"

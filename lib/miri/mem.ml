@@ -12,6 +12,28 @@ type bucket = {
   mutable sync : Vclock.t;
 }
 
+(* Packed per-allocation contents. The payload always holds the concrete
+   byte value — for a stored pointer fragment that is the corresponding
+   address byte, matching what [byte_as_int] reports for [B_frag] — so the
+   integer decode path never consults the fragment table. The bitmap tracks
+   initialization (bit set = initialized, [uninit_count] makes the
+   all-initialized fast path O(1)), and the sparse fragment table carries
+   provenance for stored pointer bytes ([frag_count] = 0 means no lookup on
+   reads). Race buckets live here too, one lazily-created bucket per 8-byte
+   granule, so race checks are a plain array index instead of a tuple-keyed
+   hash probe. *)
+type store = {
+  mutable data : Bytes.t;
+  mutable initmap : Bytes.t;
+  mutable uninit_count : int;
+  mutable frag_ptr : Value.pointer array;
+      (* parallel to [data]; entry meaningful only where [frag_idx] <> 255.
+         [||] until the first pointer is stored in this allocation. *)
+  mutable frag_idx : Bytes.t;  (* fragment index per byte; '\255' = none *)
+  mutable frag_count : int;
+  mutable buckets : bucket option array;
+}
+
 type allocation = {
   id : int;
   base : int;
@@ -19,7 +41,7 @@ type allocation = {
   align : int;
   kind : alloc_kind;
   mutable live : bool;
-  data : byte array;
+  store : store;
   borrows : Borrow.t;
   base_tag : int;
   mutable exposed : bool;
@@ -34,19 +56,44 @@ type access_error =
   | Race of string
   | Not_exposed of string
 
+(* Allocations are indexed two ways: by id (hash), and by base address in a
+   growable array that stays sorted for free because [allocate] hands out
+   monotonically increasing addresses and never reuses a range. Address
+   resolution (wildcard pointers) is a binary search instead of the previous
+   linear scan over every allocation ever made. Dead allocations stay in
+   both indexes so use-after-free keeps its precise diagnostic. *)
 type t = {
   mutable next_addr : int;
   mutable next_id : int;
   allocs : (int, allocation) Hashtbl.t;
-  buckets : (int * int, bucket) Hashtbl.t;  (* (alloc id, bucket index) *)
-  mutable order : allocation list;  (* for address lookup, newest first *)
+  mutable index : allocation array;  (* sorted by base; length [index_len] *)
+  mutable index_len : int;
 }
 
 let create () =
   { next_addr = 0x1001; next_id = 1; allocs = Hashtbl.create 64;
-    buckets = Hashtbl.create 64; order = [] }
+    index = [||]; index_len = 0 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let fresh_store size =
+  { data = Bytes.create size;
+    initmap = Bytes.make ((size + 7) / 8) '\000';
+    uninit_count = size;
+    frag_ptr = [||];
+    frag_idx = Bytes.empty;
+    frag_count = 0;
+    buckets = [||] }
+
+let index_append t a =
+  let cap = Array.length t.index in
+  if t.index_len = cap then begin
+    let bigger = Array.make (max 64 (2 * cap)) a in
+    Array.blit t.index 0 bigger 0 t.index_len;
+    t.index <- bigger
+  end;
+  t.index.(t.index_len) <- a;
+  t.index_len <- t.index_len + 1
 
 let allocate t ~size ~align ~kind =
   if size < 0 then invalid_arg "Mem.allocate: negative size";
@@ -61,95 +108,219 @@ let allocate t ~size ~align ~kind =
   let base_tag = Borrow.fresh_tag () in
   let a =
     { id; base; size; align; kind; live = true;
-      data = Array.make size B_uninit;
+      store = fresh_store size;
       borrows = Borrow.create ~base_tag; base_tag; exposed = false }
   in
   Hashtbl.replace t.allocs id a;
-  t.order <- a :: t.order;
+  index_append t a;
   a
 
-let deallocate _t a = a.live <- false
+let deallocate _t a =
+  a.live <- false;
+  (* Dead allocations are unreachable for every further access (the Dead
+     check fires before any race/borrow/data consultation), so their race
+     metadata would only leak across a campaign. Drop it now. *)
+  a.store.buckets <- [||]
 
 let find_alloc t id = Hashtbl.find_opt t.allocs id
 
 let alloc_containing t addr =
-  List.find_opt (fun a -> addr >= a.base && addr < a.base + max a.size 1) t.order
+  (* Greatest base <= addr, then the containment check. Ranges are disjoint
+     (guard gaps, addresses never reused), so this finds the unique candidate
+     the old newest-first linear scan would have found. Zero-size allocations
+     claim one byte ([max size 1]) exactly as before. *)
+  let arr = t.index in
+  let n = t.index_len in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref n in
+    (* invariant: arr.(i).base <= addr for i < lo; > addr for i >= hi *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid).base <= addr then lo := mid + 1 else hi := mid
+    done;
+    if !lo = 0 then None
+    else
+      let a = arr.(!lo - 1) in
+      if addr < a.base + max a.size 1 then Some a else None
+  end
 
 let live_heap_allocations t =
-  List.filter (fun a -> a.live && a.kind = Heap) t.order
+  (* newest-first, as the leak check's diagnostic order depends on it *)
+  let out = ref [] in
+  for i = 0 to t.index_len - 1 do
+    let a = t.index.(i) in
+    if a.live && a.kind = Heap then out := a :: !out
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Packed-store primitives *)
+
+let init_get s i =
+  Char.code (Bytes.unsafe_get s.initmap (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_init s i =
+  let j = i lsr 3 in
+  let m = 1 lsl (i land 7) in
+  let c = Char.code (Bytes.unsafe_get s.initmap j) in
+  if c land m = 0 then begin
+    Bytes.unsafe_set s.initmap j (Char.unsafe_chr (c lor m));
+    s.uninit_count <- s.uninit_count - 1
+  end
+
+let clear_init s i =
+  let j = i lsr 3 in
+  let m = 1 lsl (i land 7) in
+  let c = Char.code (Bytes.unsafe_get s.initmap j) in
+  if c land m <> 0 then begin
+    Bytes.unsafe_set s.initmap j (Char.unsafe_chr (c land lnot m));
+    s.uninit_count <- s.uninit_count + 1
+  end
+
+let popcount8 n =
+  let n = n - ((n lsr 1) land 0x55) in
+  let n = (n land 0x33) + ((n lsr 2) land 0x33) in
+  (n + (n lsr 4)) land 0x0F
+
+let set_init_range s ~offset ~len =
+  if s.uninit_count > 0 then
+    if len = 8 && offset land 7 = 0 then begin
+      (* whole bitmap byte: the overwhelmingly common 8-byte aligned store *)
+      let j = offset lsr 3 in
+      let c = Char.code (Bytes.unsafe_get s.initmap j) in
+      if c <> 0xFF then begin
+        Bytes.unsafe_set s.initmap j '\xFF';
+        s.uninit_count <- s.uninit_count - popcount8 (0xFF lxor c)
+      end
+    end
+    else for i = offset to offset + len - 1 do set_init s i done
+
+let range_fully_init s ~offset ~len =
+  s.uninit_count = 0
+  || (len = 8 && offset land 7 = 0
+      && Char.code (Bytes.unsafe_get s.initmap (offset lsr 3)) = 0xFF)
+  ||
+  let rec go i = i >= offset + len || (init_get s i && go (i + 1)) in
+  go offset
+
+let no_frag = '\255'
+
+let ensure_frags s =
+  if Array.length s.frag_ptr = 0 then begin
+    let size = Bytes.length s.data in
+    s.frag_ptr <- Array.make size Value.null_pointer;
+    s.frag_idx <- Bytes.make size no_frag
+  end
+
+let frag_at s i =
+  if s.frag_count = 0 then None
+  else
+    let c = Bytes.unsafe_get s.frag_idx i in
+    if c = no_frag then None else Some (s.frag_ptr.(i), Char.code c)
+
+let frag_remove s i =
+  if s.frag_count > 0 && Bytes.unsafe_get s.frag_idx i <> no_frag then begin
+    Bytes.unsafe_set s.frag_idx i no_frag;
+    s.frag_count <- s.frag_count - 1
+  end
+
+let frag_set s i p idx =
+  ensure_frags s;
+  if Bytes.unsafe_get s.frag_idx i = no_frag then s.frag_count <- s.frag_count + 1;
+  Bytes.unsafe_set s.frag_idx i (Char.unsafe_chr idx);
+  s.frag_ptr.(i) <- p
+
+let clear_frags_range s ~offset ~len =
+  if s.frag_count > 0 then
+    for i = offset to offset + len - 1 do frag_remove s i done
 
 (* ------------------------------------------------------------------ *)
 (* Race metadata *)
 
-let bucket_of t a idx =
-  match Hashtbl.find_opt t.buckets (a.id, idx) with
+let fresh_bucket () =
+  { na_write = Vclock.empty; na_read = Vclock.empty; at_write = Vclock.empty;
+    at_read = Vclock.empty; sync = Vclock.empty }
+
+let bucket_of a idx =
+  let s = a.store in
+  let n = Array.length s.buckets in
+  if idx >= n then begin
+    (* grow once to the allocation's full granule count: sizes are small and
+       this keeps every later access a plain array index *)
+    let needed = max (idx + 1) ((a.size + 7) / 8) in
+    let bigger = Array.make needed None in
+    Array.blit s.buckets 0 bigger 0 n;
+    s.buckets <- bigger
+  end;
+  match s.buckets.(idx) with
   | Some b -> b
   | None ->
-    let b =
-      { na_write = Vclock.empty; na_read = Vclock.empty; at_write = Vclock.empty;
-        at_read = Vclock.empty; sync = Vclock.empty }
-    in
-    Hashtbl.replace t.buckets (a.id, idx) b;
+    let b = fresh_bucket () in
+    s.buckets.(idx) <- Some b;
     b
 
-let bucket_range ~offset ~len =
-  if len <= 0 then [] else List.init (((offset + len - 1) / 8) - (offset / 8) + 1)
-                             (fun i -> (offset / 8) + i)
+(* Top-level (not nested in [race_check]) so the per-access hot path does
+   not allocate closure blocks. *)
+let conflict vc ~clock ~tid ~write what =
+  if not (Vclock.leq vc clock) then
+    Some (Printf.sprintf
+            "conflicting %s: earlier access %s not ordered before thread %d's %s"
+            what (Vclock.to_string vc) tid
+            (if write then "write" else "read"))
+  else None
 
-let race_check t a ~offset ~len ~tid ~clock ~write ~atomic =
-  let check_bucket idx =
-    let b = bucket_of t a idx in
-    let conflict vc what =
-      if not (Vclock.leq vc clock) then
-        Some (Printf.sprintf
-                "conflicting %s: earlier access %s not ordered before thread %d's %s"
-                what (Vclock.to_string vc) tid
-                (if write then "write" else "read"))
-      else None
-    in
-    let issue =
-      if atomic then
-        if write then
-          match conflict b.na_write "non-atomic write vs atomic write" with
-          | Some _ as s -> s
-          | None -> conflict b.na_read "non-atomic read vs atomic write"
-        else conflict b.na_write "non-atomic write vs atomic read"
-      else if write then
-        match conflict b.na_write "write-after-write" with
+let check_bucket b ~tid ~clock ~write ~atomic =
+  let issue =
+    if atomic then
+      if write then
+        match conflict b.na_write ~clock ~tid ~write "non-atomic write vs atomic write" with
+        | Some _ as s -> s
+        | None -> conflict b.na_read ~clock ~tid ~write "non-atomic read vs atomic write"
+      else conflict b.na_write ~clock ~tid ~write "non-atomic write vs atomic read"
+    else if write then
+      match conflict b.na_write ~clock ~tid ~write "write-after-write" with
+      | Some _ as s -> s
+      | None -> (
+        match conflict b.na_read ~clock ~tid ~write "write-after-read" with
         | Some _ as s -> s
         | None -> (
-          match conflict b.na_read "write-after-read" with
+          match conflict b.at_write ~clock ~tid ~write "write vs atomic write" with
           | Some _ as s -> s
-          | None -> (
-            match conflict b.at_write "write vs atomic write" with
-            | Some _ as s -> s
-            | None -> conflict b.at_read "write vs atomic read"))
-      else
-        match conflict b.na_write "read-after-write" with
-        | Some _ as s -> s
-        | None -> conflict b.at_write "read vs atomic write"
-    in
-    match issue with
-    | Some msg -> Error msg
-    | None ->
-      let mark vc = Vclock.set vc tid (Vclock.get clock tid) in
-      (if atomic then
-         if write then begin
-           b.at_write <- mark b.at_write;
-           b.sync <- Vclock.merge b.sync clock
-         end
-         else b.at_read <- mark b.at_read
-       else if write then b.na_write <- mark b.na_write
-       else b.na_read <- mark b.na_read);
-      Ok ()
+          | None -> conflict b.at_read ~clock ~tid ~write "write vs atomic read"))
+    else
+      match conflict b.na_write ~clock ~tid ~write "read-after-write" with
+      | Some _ as s -> s
+      | None -> conflict b.at_write ~clock ~tid ~write "read vs atomic write"
   in
-  let rec go = function
-    | [] -> Ok ()
-    | idx :: rest -> ( match check_bucket idx with Ok () -> go rest | Error _ as e -> e)
-  in
-  go (bucket_range ~offset ~len)
+  match issue with
+  | Some msg -> Error msg
+  | None ->
+    (* [Vclock.set] with an unchanged epoch returns the map unchanged
+       (physically), so steady-state marking does not allocate *)
+    let epoch = Vclock.get clock tid in
+    (if atomic then
+       if write then begin
+         b.at_write <- Vclock.set b.at_write tid epoch;
+         b.sync <- Vclock.merge b.sync clock
+       end
+       else b.at_read <- Vclock.set b.at_read tid epoch
+     else if write then b.na_write <- Vclock.set b.na_write tid epoch
+     else b.na_read <- Vclock.set b.na_read tid epoch);
+    Ok ()
 
-let sync_clock_of t a offset = (bucket_of t a (offset / 8)).sync
+let rec check_buckets a idx last ~tid ~clock ~write ~atomic =
+  if idx > last then Ok ()
+  else
+    match check_bucket (bucket_of a idx) ~tid ~clock ~write ~atomic with
+    | Ok () -> check_buckets a (idx + 1) last ~tid ~clock ~write ~atomic
+    | Error _ as e -> e
+
+let race_check _t a ~offset ~len ~tid ~clock ~write ~atomic =
+  if len <= 0 then Ok ()
+  else check_buckets a (offset / 8) ((offset + len - 1) / 8) ~tid ~clock ~write ~atomic
+
+let sync_clock_of _t a offset = (bucket_of a (offset / 8)).sync
 
 (* ------------------------------------------------------------------ *)
 (* Access validation *)
@@ -210,10 +381,33 @@ let check_access t ~ptr ~len ~align ~write ~tid ~clock ~atomic =
           | Ok () -> Ok (a, offset, popped))
     end
 
-let read_bytes a ~offset ~len = Array.sub a.data offset len
+(* ------------------------------------------------------------------ *)
+(* Byte view (tests, transmute boundary) *)
+
+let byte_at s i =
+  if not (init_get s i) then B_uninit
+  else
+    match frag_at s i with
+    | Some (p, idx) -> B_frag (p, idx)
+    | None -> B_int (Char.code (Bytes.get s.data i))
+
+let write_byte s i = function
+  | B_uninit ->
+    frag_remove s i;
+    clear_init s i
+  | B_int n ->
+    frag_remove s i;
+    Bytes.set s.data i (Char.chr (n land 0xFF));
+    set_init s i
+  | B_frag ((p : Value.pointer), idx) ->
+    Bytes.set s.data i (Char.chr ((p.Value.addr lsr (8 * idx)) land 0xFF));
+    frag_set s i p idx;
+    set_init s i
+
+let read_bytes a ~offset ~len = Array.init len (fun i -> byte_at a.store (offset + i))
 
 let write_bytes a ~offset bytes =
-  Array.blit bytes 0 a.data offset (Array.length bytes)
+  Array.iteri (fun i b -> write_byte a.store (offset + i) b) bytes
 
 let expose t (ptr : Value.pointer) =
   match ptr.prov with
@@ -251,7 +445,7 @@ let retag t ~(ptr : Value.pointer) ~perm =
   | P_none -> Error (No_alloc "retag of a pointer without provenance")
 
 (* ------------------------------------------------------------------ *)
-(* Typed encoding *)
+(* Typed encoding — pure byte-array form (transmute, tests) *)
 
 let encode_int64 value len =
   Array.init len (fun i ->
@@ -415,3 +609,190 @@ let rec decode program (ty : Ast.ty) (bytes : byte array) :
     go ts offsets []
   | Ast.T_union _ ->
     Ok (V_bytes (Array.map byte_as_int bytes))
+
+(* ------------------------------------------------------------------ *)
+(* Typed access straight on the packed store — the interpreter hot path.
+   These must produce exactly the values and error strings the byte-array
+   [encode]/[decode] pair would: the golden-corpus test holds them to it. *)
+
+let read_raw_int s ~offset ~len =
+  if range_fully_init s ~offset ~len then
+    if len = 8 then Some (Bytes.get_int64_le s.data offset)
+    else begin
+      let rec go i acc =
+        if i >= len then acc
+        else
+          go (i + 1)
+            (Int64.logor acc
+               (Int64.shift_left
+                  (Int64.of_int (Char.code (Bytes.unsafe_get s.data (offset + i))))
+                  (8 * i)))
+      in
+      Some (go 0 0L)
+    end
+  else None
+
+let read_raw_wildcard s ~offset =
+  match read_raw_int s ~offset ~len:8 with
+  | None -> Error "read of uninitialized memory"
+  | Some addr -> Ok Value.{ prov = P_wild; addr = Int64.to_int addr; tag = None }
+
+let read_raw_pointer s ~offset =
+  (* Mirrors [decode_pointer]: provenance survives only when all 8 bytes are
+     consecutive fragments of one pointer; otherwise the payload bytes (which
+     for fragments are exactly the address bytes) rebuild a wildcard. The
+     common case — a pointer stored whole, read whole — is 8 unhashed array
+     probes and one physical-equality chain. *)
+  if s.frag_count >= 8 && Bytes.unsafe_get s.frag_idx offset = '\000' then begin
+    let p0 = s.frag_ptr.(offset) in
+    let rec all i =
+      i >= 8
+      || (Char.code (Bytes.unsafe_get s.frag_idx (offset + i)) = i
+          && (let p = s.frag_ptr.(offset + i) in
+              p == p0 || p = p0)
+          && all (i + 1))
+    in
+    if all 1 then Ok p0 else read_raw_wildcard s ~offset
+  end
+  else read_raw_wildcard s ~offset
+
+let rec read_value program (a : allocation) ~offset (ty : Ast.ty) :
+    (Value.t, string) result =
+  let open Value in
+  let s = a.store in
+  match ty with
+  | Ast.T_unit -> Ok V_unit
+  | Ast.T_bool ->
+    if not (init_get s offset) then Error "read of uninitialized memory at type bool"
+    else (
+      match Char.code (Bytes.unsafe_get s.data offset) with
+      | 0 -> Ok (V_bool false)
+      | 1 -> Ok (V_bool true)
+      | n -> Error (Printf.sprintf "invalid bool byte %d (must be 0 or 1)" n))
+  | Ast.T_int w -> (
+    let len = width_len w in
+    match read_raw_int s ~offset ~len with
+    | None -> Error "read of uninitialized memory"
+    | Some raw ->
+      let v = match w with Ast.Usize -> raw | _ -> sign_extend raw (8 * len) in
+      Ok (V_int (v, w)))
+  | Ast.T_raw _ -> (
+    match read_raw_pointer s ~offset with
+    | Error e -> Error e
+    | Ok p -> Ok (V_ptr (p, ty)))
+  | Ast.T_ref _ -> (
+    match read_raw_pointer s ~offset with
+    | Error e -> Error e
+    | Ok p ->
+      if p.addr = 0 then Error "constructed an invalid value: null reference"
+      else Ok (V_ptr (p, ty)))
+  | Ast.T_fn _ -> (
+    match read_raw_pointer s ~offset with
+    | Error e -> Error e
+    | Ok p -> Ok (V_ptr (p, ty)))
+  | Ast.T_handle -> (
+    match read_raw_int s ~offset ~len:8 with
+    | None -> Error "read of uninitialized memory"
+    | Some raw -> Ok (V_handle (Int64.to_int raw)))
+  | Ast.T_array (elem, n) ->
+    let elem_size = Layout.size_of program elem in
+    let rec go i acc =
+      if i >= n then Ok (V_array (List.rev acc))
+      else
+        match read_value program a ~offset:(offset + (i * elem_size)) elem with
+        | Error e -> Error e
+        | Ok v -> go (i + 1) (v :: acc)
+    in
+    go 0 []
+  | Ast.T_tuple ts ->
+    let offsets = Layout.tuple_offsets program ts in
+    let rec go ts offs acc =
+      match (ts, offs) with
+      | [], [] -> Ok (V_tuple (List.rev acc))
+      | t :: ts', off :: offs' -> (
+        match read_value program a ~offset:(offset + off) t with
+        | Error e -> Error e
+        | Ok v -> go ts' offs' (v :: acc))
+      | _ -> Error "internal: tuple arity mismatch"
+    in
+    go ts offsets []
+  | Ast.T_union _ ->
+    let size = Layout.size_of program ty in
+    Ok
+      (V_bytes
+         (Array.init size (fun i ->
+              if init_get s (offset + i) then
+                Some (Char.code (Bytes.get s.data (offset + i)))
+              else None)))
+
+let write_raw_int s ~offset ~len v =
+  clear_frags_range s ~offset ~len;
+  if len = 8 then Bytes.set_int64_le s.data offset v
+  else
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set s.data (offset + i)
+        (Char.unsafe_chr
+           (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done;
+  set_init_range s ~offset ~len
+
+let write_raw_pointer s ~offset (p : Value.pointer) =
+  ensure_frags s;
+  (* the payload of a stored pointer is its address bytes, so integer reads
+     of pointer memory never need the fragment table *)
+  Bytes.set_int64_le s.data offset (Int64.of_int p.Value.addr);
+  for i = 0 to 7 do
+    let j = offset + i in
+    if Bytes.unsafe_get s.frag_idx j = no_frag then
+      s.frag_count <- s.frag_count + 1;
+    Bytes.unsafe_set s.frag_idx j (Char.unsafe_chr i);
+    s.frag_ptr.(j) <- p
+  done;
+  set_init_range s ~offset ~len:8
+
+let mark_uninit_range s ~offset ~len =
+  clear_frags_range s ~offset ~len;
+  for i = offset to offset + len - 1 do clear_init s i done
+
+let rec write_value program ~fn_addr (a : allocation) ~offset (ty : Ast.ty)
+    (v : Value.t) : unit =
+  let open Value in
+  let s = a.store in
+  match (ty, v) with
+  | Ast.T_unit, _ -> ()
+  | Ast.T_bool, V_bool b -> write_raw_int s ~offset ~len:1 (if b then 1L else 0L)
+  | Ast.T_int w, V_int (n, _) -> write_raw_int s ~offset ~len:(width_len w) n
+  | (Ast.T_ref _ | Ast.T_raw _), V_ptr (p, _) -> write_raw_pointer s ~offset p
+  | Ast.T_fn _, V_ptr (p, _) -> write_raw_pointer s ~offset p
+  | Ast.T_fn _, V_fn (name, _) -> write_raw_pointer s ~offset (fn_addr name)
+  | Ast.T_handle, V_handle h -> write_raw_int s ~offset ~len:8 (Int64.of_int h)
+  | Ast.T_array (elem, n), V_array vs ->
+    let elem_size = Layout.size_of program elem in
+    (* the byte-array encoder starts from all-uninit, so missing/padding
+       bytes must end up uninitialized here too *)
+    mark_uninit_range s ~offset ~len:(elem_size * n);
+    List.iteri
+      (fun i v -> write_value program ~fn_addr a ~offset:(offset + (i * elem_size)) elem v)
+      vs
+  | Ast.T_tuple ts, V_tuple vs ->
+    mark_uninit_range s ~offset ~len:(Layout.size_of program ty);
+    List.iter2
+      (fun (t, off) v -> write_value program ~fn_addr a ~offset:(offset + off) t v)
+      (List.combine ts (Layout.tuple_offsets program ts))
+      vs
+  | Ast.T_union _, V_bytes bytes ->
+    Array.iteri
+      (fun i ob ->
+        match ob with
+        | Some n ->
+          frag_remove s (offset + i);
+          Bytes.set s.data (offset + i) (Char.chr (n land 0xFF));
+          set_init s (offset + i)
+        | None ->
+          frag_remove s (offset + i);
+          clear_init s (offset + i))
+      bytes
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Mem.encode: cannot encode %s at type %s" (Value.to_display v)
+         (Pretty.ty ty))

@@ -2,10 +2,20 @@
     happens-before race metadata.
 
     Every allocation (heap block, stack slot of a local, global static) gets
-    an absolute address range, a byte array, one borrow stack and per-8-byte
-    race buckets. Pointer-typed values are stored as 8 provenance-carrying
-    fragments, so transmuting or byte-copying a pointer preserves (or
-    deliberately destroys) provenance exactly as in Miri's model. *)
+    an absolute address range, a packed byte store, one borrow stack and
+    per-8-byte race buckets. Pointer-typed values are stored as 8
+    provenance-carrying fragments, so transmuting or byte-copying a pointer
+    preserves (or deliberately destroys) provenance exactly as in Miri's
+    model.
+
+    Representation: allocation contents live in a packed [Bytes.t] payload
+    plus an initialization bitmap and a sparse side table of pointer
+    fragments, rather than one boxed variant per byte; the payload byte of a
+    stored fragment is the corresponding address byte, so integer reads
+    never consult the side table. Address resolution for wildcard pointers
+    is a binary search over a base-sorted dynamic array of every allocation
+    ever made (dead ones stay visible for use-after-free diagnostics). See
+    DESIGN.md "Interpreter memory representation". *)
 
 type alloc_kind = Heap | Stack | Global
 
@@ -14,6 +24,11 @@ type byte =
   | B_int of int                               (** 0..255 *)
   | B_frag of Value.pointer * int              (** fragment [i] of a stored pointer *)
 
+type store
+(** Packed contents of one allocation: payload bytes, init bitmap, sparse
+    pointer-fragment table, race buckets. Only this module reads or writes
+    it; the [byte] view above is reconstructed on demand. *)
+
 type allocation = {
   id : int;
   base : int;
@@ -21,7 +36,7 @@ type allocation = {
   align : int;
   kind : alloc_kind;
   mutable live : bool;
-  data : byte array;
+  store : store;
   borrows : Borrow.t;
   base_tag : int;
   mutable exposed : bool;  (** some pointer to this allocation was cast to an integer *)
@@ -44,17 +59,20 @@ val allocate : t -> size:int -> align:int -> kind:alloc_kind -> allocation
 (** Fresh live allocation; [align] must be a positive power of two. *)
 
 val deallocate : t -> allocation -> unit
-(** Mark dead. The address range is never reused, so dangling accesses are
-    reliably detected. *)
+(** Mark dead and drop the allocation's race metadata (a dead allocation can
+    never pass the access checks again, so no live clock can reference it).
+    The address range is never reused, so dangling accesses are reliably
+    detected. *)
 
 val find_alloc : t -> int -> allocation option
 (** Allocation by id (dead or alive). *)
 
 val alloc_containing : t -> int -> allocation option
-(** Live-or-dead allocation whose range contains the address. *)
+(** Live-or-dead allocation whose range contains the address (O(log n)
+    binary search; a zero-size allocation claims one byte). *)
 
 val live_heap_allocations : t -> allocation list
-(** For the leak check at program exit. *)
+(** For the leak check at program exit; newest allocation first. *)
 
 val check_access :
   t ->
@@ -76,7 +94,12 @@ val sync_clock_of : t -> allocation -> int -> Vclock.t
     into the reading thread's clock). *)
 
 val read_bytes : allocation -> offset:int -> len:int -> byte array
+(** Byte view of a range, reconstructed from the packed store (tests and
+    debugging; the interpreter reads via [read_value]). *)
+
 val write_bytes : allocation -> offset:int -> byte array -> unit
+(** Store a byte-array image (tests and debugging; the interpreter writes
+    via [write_value]). *)
 
 val expose : t -> Value.pointer -> unit
 (** Record that the pointed-to allocation had its address observed as an
@@ -94,8 +117,10 @@ val retag :
 val encode :
   Minirust.Ast.program -> fn_addr:(string -> Value.pointer) -> Minirust.Ast.ty ->
   Value.t -> byte array
-(** Serialize a value at a type. [fn_addr] maps a named function to its
-    function-table pointer. *)
+(** Serialize a value at a type into a byte array. [fn_addr] maps a named
+    function to its function-table pointer. Used by transmute (which works
+    on detached byte images) and tests; typed memory writes go through
+    [write_value]. *)
 
 val decode :
   Minirust.Ast.program -> Minirust.Ast.ty -> byte array -> (Value.t, string) result
@@ -103,3 +128,18 @@ val decode :
     (uninitialized read, invalid bool, null reference...). Function-pointer
     bytes decode to a [V_ptr] carrying the *claimed* type; the machine checks
     claimed-vs-actual signatures at call time. *)
+
+val read_value :
+  Minirust.Ast.program -> allocation -> offset:int -> Minirust.Ast.ty ->
+  (Value.t, string) result
+(** Decode a typed value straight from the packed store — semantically
+    identical to [decode] over [read_bytes], without materializing the byte
+    array. Error strings match [decode] exactly. *)
+
+val write_value :
+  Minirust.Ast.program -> fn_addr:(string -> Value.pointer) -> allocation ->
+  offset:int -> Minirust.Ast.ty -> Value.t -> unit
+(** Encode a typed value straight into the packed store — semantically
+    identical to [write_bytes] of [encode], without the intermediate array.
+    Aggregate padding/missing bytes become uninitialized, as [encode]'s
+    all-uninit starting image guarantees. *)

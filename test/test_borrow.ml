@@ -82,6 +82,29 @@ let test_missing_perm_recorded () =
       (v.Borrow.missing_perm = Borrow.Shared_ro)
   | Ok _ -> Alcotest.fail "expected violation"
 
+let test_unknown_tag_classified () =
+  (* a tag this stack never created (forged, or carried over from another
+     allocation) must not be misreported as a popped Unique borrow *)
+  let stack, _base = fresh () in
+  let foreign = Borrow.fresh_tag () in
+  match Borrow.access stack ~tag:(Some foreign) ~write:false with
+  | Error v ->
+    Alcotest.(check int) "tag recorded" foreign v.Borrow.missing_tag;
+    Alcotest.(check bool) "detail says unknown" true
+      (Helpers.contains v.Borrow.detail "unknown to this allocation's borrow stack")
+  | Ok _ -> Alcotest.fail "unknown tag must be a violation"
+
+let test_popped_tag_keeps_old_wording () =
+  (* a tag the stack did create keeps the popped-from-stack diagnostic *)
+  let stack, base = fresh () in
+  let u = ok_retag (Borrow.retag stack ~parent:(Some base) Borrow.Unique) in
+  ok_access (Borrow.access stack ~tag:(Some base) ~write:true);
+  match Borrow.access stack ~tag:(Some u) ~write:false with
+  | Error v ->
+    Alcotest.(check bool) "says no longer on stack" true
+      (Helpers.contains v.Borrow.detail "no longer on the borrow stack")
+  | Ok _ -> Alcotest.fail "expected violation"
+
 let test_retag_from_wildcard_parent () =
   let stack, _base = fresh () in
   let t = ok_retag (Borrow.retag stack ~parent:None Borrow.Shared_rw) in
@@ -105,5 +128,7 @@ let suite =
     Alcotest.test_case "SharedRW can write" `Quick test_shared_rw_can_write;
     Alcotest.test_case "wildcard access" `Quick test_wildcard_access_is_free;
     Alcotest.test_case "missing perm recorded" `Quick test_missing_perm_recorded;
+    Alcotest.test_case "unknown tag classified" `Quick test_unknown_tag_classified;
+    Alcotest.test_case "popped tag keeps old wording" `Quick test_popped_tag_keeps_old_wording;
     Alcotest.test_case "retag from wildcard parent" `Quick test_retag_from_wildcard_parent;
     Alcotest.test_case "items order" `Quick test_items_order ]

@@ -1,0 +1,124 @@
+(* Golden-corpus diagnostics test.
+
+   Runs every corpus case (buggy and fixed source) under the interpreter in
+   both Stop_first and Collect modes with event tracing on, renders every
+   observable — outcome, print trace, diagnostic strings (addresses, tags,
+   messages), borrow/allocation events, step and error counts — and compares
+   the result byte-for-byte against the checked-in
+   [test/golden_diags.expected]. Any change to allocation addresses, borrow
+   tags, scheduling, or diagnostic wording shows up here, which is what makes
+   memory-representation swaps provably observation-preserving.
+
+   Regenerate after an *intentional* observable change with:
+     GOLDEN_REGEN=$PWD/test/golden_diags.expected dune exec test/test_main.exe -- test golden
+*)
+
+let render_result (r : Miri.Machine.run_result) =
+  let b = Buffer.create 256 in
+  let outcome =
+    match r.Miri.Machine.outcome with
+    | Miri.Machine.Finished -> "finished"
+    | Miri.Machine.Panicked m -> "panicked: " ^ m
+    | Miri.Machine.Ub d -> "ub: " ^ Miri.Diag.to_string d
+    | Miri.Machine.Step_limit -> "step-limit"
+    | Miri.Machine.Resource_limit m -> "resource-limit: " ^ m
+  in
+  Buffer.add_string b (Printf.sprintf "outcome: %s\n" outcome);
+  Buffer.add_string b
+    (Printf.sprintf "steps: %d errors: %d\n" r.Miri.Machine.steps
+       r.Miri.Machine.error_count);
+  List.iter
+    (fun s -> Buffer.add_string b (Printf.sprintf "out: %s\n" s))
+    r.Miri.Machine.output;
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Printf.sprintf "diag: %s\n" (Miri.Diag.to_string d)))
+    r.Miri.Machine.diags;
+  List.iter
+    (fun e -> Buffer.add_string b (Printf.sprintf "event: %s\n" e))
+    r.Miri.Machine.events;
+  Buffer.contents b
+
+let run_one src ~mode ~inputs =
+  let program = Minirust.Parser.parse src in
+  match Minirust.Typecheck.check program with
+  | Error errs -> "typecheck-error: " ^ Minirust.Typecheck.errors_to_string errs ^ "\n"
+  | Ok info ->
+    let config =
+      { Miri.Machine.default_config with
+        Miri.Machine.mode;
+        seed = 1;
+        trace = true;
+        inputs }
+    in
+    render_result (Miri.Machine.run ~config program info)
+
+let generate () =
+  let b = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (c : Dataset.Case.t) ->
+      let inputs = match c.Dataset.Case.probes with p :: _ -> p | [] -> [||] in
+      List.iter
+        (fun (variant, src) ->
+          List.iter
+            (fun (mode_name, mode) ->
+              Buffer.add_string b
+                (Printf.sprintf "=== %s/%s/%s ===\n" c.Dataset.Case.name variant
+                   mode_name);
+              Buffer.add_string b (run_one src ~mode ~inputs))
+            [ ("stop-first", Miri.Machine.Stop_first);
+              ("collect-5", Miri.Machine.Collect 5) ])
+        [ ("buggy", c.Dataset.Case.buggy_src);
+          ("fixed", c.Dataset.Case.fixed_src) ])
+    Dataset.Corpus.all;
+  Buffer.contents b
+
+(* Under `dune runtest` the cwd is the sandboxed test dir (where the (deps)
+   copy lives); under `dune exec` from the repo root it is the root. *)
+let expected_file () =
+  let candidates =
+    [ "golden_diags.expected"; "test/golden_diags.expected";
+      Filename.concat (Filename.dirname Sys.executable_name) "golden_diags.expected" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "golden_diags.expected not found; regenerate with GOLDEN_REGEN"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Point at the first differing line, not a megabyte Alcotest string diff. *)
+let first_divergence want got =
+  let wl = String.split_on_char '\n' want and gl = String.split_on_char '\n' got in
+  let rec go i = function
+    | w :: ws, g :: gs -> if w = g then go (i + 1) (ws, gs) else (i, w, g)
+    | w :: _, [] -> (i, w, "<end of generated output>")
+    | [], g :: _ -> (i, "<end of expected file>", g)
+    | [], [] -> (i, "", "")
+  in
+  go 1 (wl, gl)
+
+let test_golden_corpus () =
+  let got = generate () in
+  match Sys.getenv_opt "GOLDEN_REGEN" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc got;
+    close_out oc;
+    Printf.printf "regenerated %s (%d bytes)\n" path (String.length got)
+  | None ->
+    let want = read_file (expected_file ()) in
+    if want <> got then begin
+      let line, w, g = first_divergence want got in
+      Alcotest.failf
+        "golden corpus diagnostics diverge at line %d\n  expected: %s\n  got:      %s"
+        line w g
+    end
+
+let suite =
+  [ Alcotest.test_case "golden corpus diagnostics byte-identical" `Quick
+      test_golden_corpus ]

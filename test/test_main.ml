@@ -16,6 +16,7 @@ let () =
       ("borrow", Test_borrow.suite);
       ("mem", Test_mem.suite);
       ("machine", Test_machine.suite);
+      ("golden", Test_golden.suite);
       ("differential", Test_differential.suite);
       ("dataset", Test_dataset.suite);
       ("llm", Test_llm.suite);

@@ -177,6 +177,146 @@ let test_guard_gap () =
   Alcotest.(check bool) "allocations do not touch" true
     (b.Mem.base > a.Mem.base + a.Mem.size)
 
+(* -- packed-store round-trips --------------------------------------------
+   [write_value]/[read_value] operate on the packed representation (payload
+   bytes + init bitmap + pointer-fragment side table) directly. These
+   properties pin it to the byte-array encoder: whatever [encode]/[decode]
+   say about a value, the packed store must say too. *)
+
+module A = Minirust.Ast
+
+let ptr_ty = A.T_raw (A.Mut, A.T_int A.I64)
+
+let gen_pointer =
+  QCheck.Gen.(
+    int_range 1 64 >>= fun id ->
+    bool >>= fun wild ->
+    int_range 1 0xFFFF_FFFF >>= fun addr ->
+    opt (int_range 1 1000) >|= fun tag ->
+    { Value.prov = (if wild then Value.P_wild else Value.P_alloc id); addr; tag })
+
+let rec gen_ty depth =
+  QCheck.Gen.(
+    let leaf = oneofl [ A.T_bool; A.T_int A.I8; A.T_int A.I16; A.T_int A.I64; ptr_ty ] in
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (3, leaf);
+          (1, list_size (int_range 1 3) (gen_ty (depth - 1)) >|= fun ts -> A.T_tuple ts);
+          (1, pair (gen_ty (depth - 1)) (int_range 1 3) >|= fun (t, n) -> A.T_array (t, n)) ])
+
+let rec gen_value_of_ty ty =
+  QCheck.Gen.(
+    match ty with
+    | A.T_bool -> map (fun b -> Value.V_bool b) bool
+    | A.T_int w ->
+      let bits = bits_of w in
+      (if bits = 64 then ui64
+       else map Int64.of_int (int_range (-(1 lsl (bits - 1))) ((1 lsl (bits - 1)) - 1)))
+      >|= fun n -> Value.V_int (n, w)
+    | A.T_raw _ -> map (fun p -> Value.V_ptr (p, ty)) gen_pointer
+    | A.T_tuple ts -> flatten_l (List.map gen_value_of_ty ts) >|= fun vs -> Value.V_tuple vs
+    | A.T_array (t, n) -> flatten_l (List.init n (fun _ -> gen_value_of_ty t)) >|= fun vs -> Value.V_array vs
+    | _ -> assert false)
+
+let prop_packed_int_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      gen_width >>= fun w ->
+      let bits = bits_of w in
+      (if bits = 64 then ui64
+       else map Int64.of_int (int_range (-(1 lsl (bits - 1))) ((1 lsl (bits - 1)) - 1)))
+      >|= fun n -> (n, w))
+  in
+  QCheck.Test.make ~name:"packed store: int write/read roundtrip" ~count:500
+    (QCheck.make gen ~print:(fun (n, _) -> Int64.to_string n))
+    (fun (n, w) ->
+      let ty = A.T_int w in
+      let mem = Mem.create () in
+      let a = Mem.allocate mem ~size:16 ~align:8 ~kind:Mem.Heap in
+      Mem.write_value empty_program ~fn_addr:no_fn a ~offset:8 ty (Value.V_int (n, w));
+      match Mem.read_value empty_program a ~offset:8 ty with
+      | Ok (Value.V_int (n', _)) -> Int64.equal n n'
+      | _ -> false)
+
+let prop_packed_pointer_roundtrip =
+  QCheck.Test.make ~name:"packed store: pointer keeps provenance and tag" ~count:500
+    (QCheck.make gen_pointer ~print:(fun p -> Printf.sprintf "ptr@%d" p.Value.addr))
+    (fun p ->
+      let mem = Mem.create () in
+      let a = Mem.allocate mem ~size:24 ~align:8 ~kind:Mem.Heap in
+      Mem.write_value empty_program ~fn_addr:no_fn a ~offset:8 ptr_ty
+        (Value.V_ptr (p, ptr_ty));
+      match Mem.read_value empty_program a ~offset:8 ptr_ty with
+      | Ok (Value.V_ptr (q, _)) ->
+        q.Value.prov = p.Value.prov && q.Value.addr = p.Value.addr
+        && q.Value.tag = p.Value.tag
+      | _ -> false)
+
+let prop_packed_equals_byte_encoder =
+  let gen = QCheck.Gen.(gen_ty 2 >>= fun ty -> gen_value_of_ty ty >|= fun v -> (ty, v)) in
+  QCheck.Test.make ~name:"packed store agrees with encode/decode" ~count:300
+    (QCheck.make gen ~print:(fun (_, v) -> Value.to_display v))
+    (fun (ty, v) ->
+      let size = Minirust.Layout.size_of empty_program ty in
+      let mem = Mem.create () in
+      (* path A: packed write, packed read *)
+      let a = Mem.allocate mem ~size:(size + 16) ~align:8 ~kind:Mem.Heap in
+      Mem.write_value empty_program ~fn_addr:no_fn a ~offset:8 ty v;
+      let va = Mem.read_value empty_program a ~offset:8 ty in
+      (* path B: packed write, byte view into the standalone decoder *)
+      let vb = Mem.decode empty_program ty (Mem.read_bytes a ~offset:8 ~len:size) in
+      (* path C: standalone encoder, byte-view write, packed read *)
+      let b = Mem.allocate mem ~size:(size + 16) ~align:8 ~kind:Mem.Heap in
+      Mem.write_bytes b ~offset:8 (Mem.encode empty_program ~fn_addr:no_fn ty v);
+      let vc = Mem.read_value empty_program b ~offset:8 ty in
+      match (va, vb, vc) with
+      | Ok va, Ok vb, Ok vc ->
+        Value.equal v va && Value.equal v vb && Value.equal v vc
+      | _ -> false)
+
+let union_program =
+  { A.unions = [ { A.uname = "U"; ufields = [ ("n", A.T_int A.I64) ] } ];
+    statics = []; funcs = [] }
+
+let prop_packed_union_roundtrip =
+  let gen = QCheck.Gen.(array_size (return 8) (opt (int_range 0 255))) in
+  QCheck.Test.make ~name:"packed store: union bytes roundtrip over old pointer" ~count:300
+    (QCheck.make gen ~print:(fun b ->
+         String.concat ","
+           (Array.to_list
+              (Array.map (function Some n -> string_of_int n | None -> "_") b))))
+    (fun bytes ->
+      let ty = A.T_union "U" in
+      let mem = Mem.create () in
+      let a = Mem.allocate mem ~size:24 ~align:8 ~kind:Mem.Heap in
+      (* a pointer previously lived here: the union write must clear its
+         fragments and uninit-holes byte by byte *)
+      Mem.write_value union_program ~fn_addr:no_fn a ~offset:8 ptr_ty
+        (Value.V_ptr ({ Value.prov = Value.P_alloc 1; addr = 4242; tag = None }, ptr_ty));
+      Mem.write_value union_program ~fn_addr:no_fn a ~offset:8 ty (Value.V_bytes bytes);
+      match Mem.read_value union_program a ~offset:8 ty with
+      | Ok (Value.V_bytes out) -> out = bytes
+      | _ -> false)
+
+let test_partial_overwrite_wildcards_pointer () =
+  (* clobbering one fragment of a stored pointer must degrade a later
+     pointer-typed read to a wildcard built from the raw address bytes *)
+  let mem = Mem.create () in
+  let a = Mem.allocate mem ~size:16 ~align:8 ~kind:Mem.Heap in
+  let p = { Value.prov = Value.P_alloc 9; addr = 0x0102_0304; tag = Some 5 } in
+  Mem.write_value empty_program ~fn_addr:no_fn a ~offset:0 ptr_ty (Value.V_ptr (p, ptr_ty));
+  Mem.write_value empty_program ~fn_addr:no_fn a ~offset:3 (A.T_int A.I8)
+    (Value.V_int (0L, A.I8));
+  match Mem.read_value empty_program a ~offset:0 ptr_ty with
+  | Ok (Value.V_ptr (q, _)) ->
+    Alcotest.(check bool) "wildcard provenance" true (q.Value.prov = Value.P_wild);
+    Alcotest.(check int) "address from raw bytes" (0x0102_0304 land lnot 0xFF00_0000)
+      q.Value.addr;
+    Alcotest.(check bool) "no tag" true (q.Value.tag = None)
+  | Ok v -> Alcotest.failf "decoded %s" (Value.to_display v)
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_int_roundtrip;
     Alcotest.test_case "pointer roundtrip" `Quick test_pointer_roundtrip;
@@ -190,4 +330,10 @@ let suite =
     Alcotest.test_case "wildcard needs expose" `Quick test_wildcard_needs_expose;
     Alcotest.test_case "null access" `Quick test_null_access;
     Alcotest.test_case "race detection" `Quick test_race_detection;
-    Alcotest.test_case "guard gap" `Quick test_guard_gap ]
+    Alcotest.test_case "guard gap" `Quick test_guard_gap;
+    QCheck_alcotest.to_alcotest prop_packed_int_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packed_pointer_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packed_equals_byte_encoder;
+    QCheck_alcotest.to_alcotest prop_packed_union_roundtrip;
+    Alcotest.test_case "partial pointer overwrite wildcards" `Quick
+      test_partial_overwrite_wildcards_pointer ]
