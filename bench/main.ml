@@ -1074,6 +1074,194 @@ let interp_smoke () =
   if !failures > 0 then exit 1;
   print_endline "interp smoke ok"
 
+(* -- trace smoke gate (dune runtest alias trace-smoke) ------------------ *)
+
+(* Determinism contract of the observability layer: a seeded campaign's
+   JSONL trace is byte-identical run to run (simulated timestamps only,
+   per-job buffers folded in job order), and turning tracing on changes
+   no report. Exercised at domains=2 so the per-domain buffer fold and the
+   cross-session memo suppression are actually in play. *)
+let trace_smoke () =
+  section "Trace smoke — deterministic campaign traces; tracing invisible to reports";
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL %s\n" s; incr failures) fmt in
+  let cases = List.filteri (fun i _ -> i mod 8 = 0) Dataset.Corpus.all in
+  let runner = Exec.Backends.rustbrain () in
+  let traced () =
+    let tmp = Filename.temp_file "rb-trace" ".jsonl" in
+    let sink = Obs.Trace.file tmp in
+    let reports, _ =
+      Exec.Scheduler.run_seeded ~domains:2 ~trace:sink runner ~seeds:[ 1; 2 ]
+        cases
+    in
+    Obs.Trace.close sink;
+    let contents = Option.value ~default:"" (Rb_util.Fsfile.read tmp) in
+    Sys.remove tmp;
+    (contents, List.map Rustbrain.Report.to_json reports)
+  in
+  let t1, r1 = traced () in
+  let t2, r2 = traced () in
+  if t1 = "" then fail "trace file empty";
+  if t1 <> t2 then fail "trace not byte-identical across identical seeded runs";
+  if r1 <> r2 then fail "reports differ between traced runs";
+  let plain, _ =
+    Exec.Scheduler.run_seeded ~domains:2 runner ~seeds:[ 1; 2 ] cases
+  in
+  if List.map Rustbrain.Report.to_json plain <> r1 then
+    fail "tracing changed the reports";
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' t1) in
+  let parsed =
+    List.filter_map
+      (fun l ->
+        match Obs.Trace.of_jsonl l with
+        | Ok r -> Some r
+        | Error e ->
+          fail "unparseable trace line (%s): %s" e l;
+          None)
+      lines
+  in
+  List.iter
+    (fun want ->
+      if
+        not
+          (List.exists
+             (fun (r : Obs.Trace.record) -> r.Obs.Trace.name = want)
+             parsed)
+      then fail "no %S record in the trace" want)
+    [ "campaign-start"; "job-start"; "parse"; "typecheck"; "interpret";
+      "fast-think"; "slow-think"; "re-verify"; "llm-call"; "interp";
+      "repair"; "job-end"; "scheduler" ];
+  if !failures > 0 then exit 1;
+  Printf.printf "trace smoke ok (%d records, %d cases x 2 seeds)\n"
+    (List.length parsed) (List.length cases)
+
+(* -- obs-overhead (BENCH_obs.json, committed before/after) -------------- *)
+
+let obs_bench_file = "BENCH_obs.json"
+
+(* Wall-clock cost of the observability layer on the interp workloads.
+   "off" is the shipping configuration — no ambient sink, every in_span /
+   note gate resolving to a DLS read and a None match — and is held
+   against the PR-4 interpreter numbers (seeded from BENCH_interp.json's
+   current run the first time this is recorded; target < 2% regression).
+   "live" attaches an in-memory ring sink to bound the worst case. *)
+let obs_overhead () =
+  section "obs-overhead — observability cost on the interp workloads (real wall-clock)";
+  (* Interleave the off/live timings round by round (same warm state, same
+     GC phase) and keep the per-variant minimum — min-of-n is robust to the
+     one-sided noise of a shared container. *)
+  let time f =
+    Gc.minor ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let run_off () = interp_run src in
+        let run_live () =
+          let sink, _ = Obs.Trace.memory ~ring:4096 () in
+          Obs.Trace.with_ambient sink (fun () -> interp_run src)
+        in
+        ignore (run_off ());
+        ignore (run_live ());
+        let off = ref infinity and live = ref infinity in
+        for _ = 1 to 7 do
+          off := min !off (time run_off);
+          live := min !live (time run_live)
+        done;
+        (name, !off, !live))
+      interp_workloads
+  in
+  let open Rb_util.Json in
+  let read_json path =
+    if Sys.file_exists path then
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Result.to_option (parse s)
+    else None
+  in
+  let baseline =
+    match read_json obs_bench_file with
+    | Some j -> (
+      match member "baseline" j with
+      | Some (Obj _ as b) -> Some b
+      | _ -> member "current" j)
+    | None -> (
+      (* first recording: the pre-obs interpreter numbers are the baseline *)
+      match Option.bind (read_json bench_file) (member "current") with
+      | Some (Obj entries) ->
+        Some
+          (Obj
+             (List.filter_map
+                (fun (name, v) ->
+                  Option.map
+                    (fun ms -> (name, Obj [ ("off_ms", ms) ]))
+                    (member "ms" v))
+                entries))
+      | _ -> None)
+  in
+  let current =
+    Obj
+      (List.map
+         (fun (name, off, live) ->
+           ( name,
+             Obj
+               [ ("off_ms", Num (1000.0 *. off));
+                 ("live_ms", Num (1000.0 *. live));
+                 ( "live_overhead_pct",
+                   Num
+                     (if off > 0.0 then 100.0 *. (live -. off) /. off else 0.0)
+                 ) ] ))
+         rows)
+  in
+  let regression_of name off =
+    match
+      Option.bind baseline (fun b ->
+          Option.bind (member name b) (member "off_ms"))
+    with
+    | Some (Num before_ms) when before_ms > 0.0 ->
+      Some (100.0 *. (((1000.0 *. off) -. before_ms) /. before_ms))
+    | _ -> None
+  in
+  let regression =
+    let rs =
+      List.filter_map
+        (fun (name, off, _) ->
+          Option.map (fun p -> (name, Num p)) (regression_of name off))
+        rows
+    in
+    if rs = [] then [] else [ ("off_regression_pct", Obj rs) ]
+  in
+  let doc =
+    Obj
+      ((("campaign", Str "obs-overhead")
+        :: (match baseline with Some b -> [ ("baseline", b) ] | None -> []))
+      @ [ ("current", current) ]
+      @ regression)
+  in
+  Rb_util.Fsfile.write_atomic obs_bench_file (to_string doc ^ "\n");
+  print_string
+    (Statkit.Table.render
+       ~header:
+         [ "workload"; "off(ms)"; "live(ms)"; "live overhead"; "off vs baseline" ]
+       (List.map
+          (fun (name, off, live) ->
+            [ name;
+              Printf.sprintf "%.1f" (1000.0 *. off);
+              Printf.sprintf "%.1f" (1000.0 *. live);
+              Printf.sprintf "%+.1f%%"
+                (if off > 0.0 then 100.0 *. (live -. off) /. off else 0.0);
+              (match regression_of name off with
+              | Some p -> Printf.sprintf "%+.1f%%" p
+              | None -> "-") ])
+          rows));
+  Printf.printf "\nresults written to %s (target: off within 2%% of baseline)\n"
+    obs_bench_file
+
 (* -- component ablation (DESIGN.md's starred design choices) ----------- *)
 
 let ablate () =
@@ -1121,7 +1309,8 @@ let experiments =
     ("ablate", ablate); ("perf", perf); ("smoke", smoke);
     ("resilience", resilience); ("resilience-smoke", resilience_smoke);
     ("chaos", chaos); ("resume-smoke", resume_smoke);
-    ("interp", interp); ("interp-smoke", interp_smoke) ]
+    ("interp", interp); ("interp-smoke", interp_smoke);
+    ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -68,6 +68,26 @@ let deadline_arg =
 
 let deadline_of_ms ms = if ms > 0 then Some (float_of_int ms /. 1000.0) else None
 
+(* observability flags shared by fix / corpus-fix / campaign *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a structured JSONL trace (pipeline phase spans, LLM \
+               calls/faults/retries, interpreter runs, scheduler and journal \
+               events) to $(docv), written atomically on completion. Campaign \
+               traces carry simulated timestamps only, so a seeded run's trace \
+               is byte-identical across invocations. Render it with \
+               $(b,trace-summary).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the metrics registry (counters, gauges, histograms; \
+               merged across worker domains) to stderr after the run.")
+
+let print_metrics = function
+  | None -> ()
+  | Some reg -> prerr_string (Obs.Metrics.render reg)
+
 (* durability flags shared by corpus-fix / campaign *)
 
 let journal_arg =
@@ -107,13 +127,13 @@ let journal_mode ~dir ~resume ~fresh =
 (* Run the jobs, through Checkpoint when a journal is in play. Returns the
    results, the scheduler's supervision counters, and the checkpoint
    outcome when journaled. *)
-let run_with_journal ?domains ~journal jobs =
+let run_with_journal ?domains ?trace ?metrics ~journal jobs =
   match journal with
   | None ->
-    let results, sup = Exec.Scheduler.run_jobs ?domains jobs in
+    let results, sup = Exec.Scheduler.run_jobs ?domains ?trace ?metrics jobs in
     Ok (results, sup, None)
   | Some (dir, mode) -> (
-    match Exec.Checkpoint.run ?domains ~dir ~mode jobs with
+    match Exec.Checkpoint.run ?domains ?trace ?metrics ~dir ~mode jobs with
     | o -> Ok (o.Exec.Checkpoint.results, o.Exec.Checkpoint.supervision, Some o)
     | exception Exec.Checkpoint.Fingerprint_mismatch { expected; found } ->
       Error
@@ -191,28 +211,27 @@ let fix_cmd =
            ~doc:"Print per-phase wall time (parse, typecheck, interpret, repair, \
                  re-verify) to stderr.")
   in
-  let run file inputs model temperature seed json profile fault_rate retries deadline_ms =
-    (* phase timings land on stderr so --json output stays parseable *)
-    let phases = ref [] in
-    let timed name f =
-      if not profile then f ()
-      else begin
-        let t0 = Unix.gettimeofday () in
-        let r = f () in
-        phases := (name, (Unix.gettimeofday () -. t0) *. 1000.0) :: !phases;
-        r
-      end
+  let profile_phases = [ "parse"; "typecheck"; "interpret"; "repair"; "re-verify" ] in
+  let run file inputs model temperature seed json profile fault_rate retries
+      deadline_ms trace_out metrics_on =
+    (* --profile is spans under the hood: the same records a --trace file
+       gets also land in a wall-enabled memory sink, and the familiar
+       stderr lines are rendered from it after the run — one source of
+       truth for phase timings, and --json stdout stays parseable *)
+    let file_sink = Option.map (fun p -> Obs.Trace.file ~wall:true p) trace_out in
+    let prof = if profile then Some (Obs.Trace.memory ~wall:true ()) else None in
+    let sink =
+      match (file_sink, prof) with
+      | None, None -> None
+      | Some f, None -> Some f
+      | None, Some (m, _) -> Some m
+      | Some f, Some (m, _) -> Some (Obs.Trace.tee f m)
     in
-    let emit_profile () =
-      if profile then
-        List.iter
-          (fun (name, ms) -> Printf.eprintf "profile: %-9s %8.2f ms\n%!" name ms)
-          (List.rev !phases)
-    in
-    match timed "parse" (fun () -> load file) with
+    let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
+    let body () =
+    match Obs.Trace.in_span "parse" (fun () -> load file) with
     | Error msg ->
       prerr_endline msg;
-      emit_profile ();
       1
     | Ok program -> (
       match Llm_sim.Profile.of_name model with
@@ -223,6 +242,7 @@ let fix_cmd =
       | Some model ->
         let probe = parse_inputs inputs in
         let clock = Rb_util.Simclock.create () in
+        Obs.Trace.set_ambient_time_source (fun () -> Rb_util.Simclock.now clock);
         let faults =
           if fault_rate > 0.0 then
             Some (Llm_sim.Faults.create ~seed:((seed * 7919) + 13)
@@ -248,7 +268,7 @@ let fix_cmd =
         (* timing-only when --profile: the pipeline re-typechecks every
            candidate itself, so a failure here must not change control flow *)
         ignore
-          (timed "typecheck" (fun () -> Minirust.Typecheck.check program)
+          (Obs.Trace.in_span "typecheck" (fun () -> Minirust.Typecheck.check program)
             : (Minirust.Typecheck.info, Minirust.Typecheck.error list) result);
         let scorer p =
           match Minirust.Typecheck.check p with
@@ -281,7 +301,7 @@ let fix_cmd =
         in
         let category =
           match
-            timed "interpret" (fun () ->
+            Obs.Trace.in_span "interpret" (fun () ->
                 Miri.Machine.analyze ~config:machine_config program)
           with
           | Miri.Machine.Ran r -> (
@@ -291,7 +311,7 @@ let fix_cmd =
           | Miri.Machine.Compile_error _ -> Miri.Diag.Panic_bug
         in
         let exec =
-          timed "repair" (fun () ->
+          Obs.Trace.in_span "repair" (fun () ->
               Rustbrain.Slow_think.execute env ~program ~solution
                 ~rollback:Rustbrain.Slow_think.Adaptive ~max_iters:10)
         in
@@ -299,7 +319,7 @@ let fix_cmd =
            phase times one standalone confirmation run on the final program *)
         if profile then
           ignore
-            (timed "re-verify" (fun () ->
+            (Obs.Trace.in_span "re-verify" (fun () ->
                  Miri.Machine.analyze ~config:machine_config
                    exec.Rustbrain.Slow_think.final)
               : Miri.Machine.analysis);
@@ -330,7 +350,6 @@ let fix_cmd =
               trace = exec.Rustbrain.Slow_think.trace }
           in
           print_endline (Rustbrain.Report.to_json report);
-          emit_profile ();
           if exec.Rustbrain.Slow_think.passed then 0 else 1
         end
         else begin
@@ -338,7 +357,6 @@ let fix_cmd =
           Printf.printf "errors: %s\n"
             (String.concat " -> " (List.map string_of_int exec.Rustbrain.Slow_think.n_sequence));
           Printf.printf "simulated repair time: %.1fs\n" exec.Rustbrain.Slow_think.seconds;
-          emit_profile ();
           if exec.Rustbrain.Slow_think.passed then begin
             print_endline "repaired program:";
             print_string (Minirust.Pretty.program exec.Rustbrain.Slow_think.final);
@@ -350,11 +368,38 @@ let fix_cmd =
             1
           end
         end)
+    in
+    let with_metrics () =
+      match registry with
+      | None -> body ()
+      | Some reg -> Obs.Metrics.with_registry reg body
+    in
+    let code =
+      match sink with
+      | None -> with_metrics ()
+      | Some tr -> Obs.Trace.with_ambient tr with_metrics
+    in
+    (match prof with
+    | None -> ()
+    | Some (_, recorded) ->
+      List.iter
+        (fun (r : Obs.Trace.record) ->
+          if
+            r.Obs.Trace.kind = Obs.Trace.Span
+            && List.mem r.Obs.Trace.name profile_phases
+          then
+            Printf.eprintf "profile: %-9s %8.2f ms\n%!" r.Obs.Trace.name
+              r.Obs.Trace.wall_ms)
+        (recorded ()));
+    Option.iter Obs.Trace.close file_sink;
+    print_metrics registry;
+    code
   in
   Cmd.v
     (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
     Term.(const run $ file $ inputs $ model $ temperature $ seed $ json $ profile
-          $ fault_rate_arg $ retries_arg $ deadline_arg)
+          $ fault_rate_arg $ retries_arg $ deadline_arg
+          $ trace_out_arg $ metrics_arg)
 
 (* -- corpus --------------------------------------------------------------- *)
 
@@ -399,7 +444,8 @@ let corpus_fix_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run name seed json fault_rate retries deadline_ms journal resume fresh =
+  let run name seed json fault_rate retries deadline_ms journal resume fresh
+      trace_out metrics_on =
     match Dataset.Corpus.find name with
     | None ->
       Printf.eprintf "unknown case %S\n" name;
@@ -410,11 +456,14 @@ let corpus_fix_cmd =
           Rustbrain.Pipeline.seed; fault_rate; max_retries = retries;
           deadline = deadline_of_ms deadline_ms }
       in
+      let trace_sink = Option.map Obs.Trace.file trace_out in
+      let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
       match
         match journal_mode ~dir:journal ~resume ~fresh with
         | Error _ as e -> e
         | Ok journal ->
-          run_with_journal ~domains:1 ~journal
+          run_with_journal ~domains:1 ?trace:trace_sink ?metrics:registry
+            ~journal
             [ { Exec.Scheduler.label = Printf.sprintf "corpus-fix/seed%d" seed;
                 runner = Exec.Backends.rustbrain ~config ();
                 cases = [ case ] } ]
@@ -423,6 +472,8 @@ let corpus_fix_cmd =
         prerr_endline msg;
         2
       | Ok (results, _, _) -> (
+        Option.iter Obs.Trace.close trace_sink;
+        print_metrics registry;
         match results with
         | [ { Exec.Scheduler.reports = [ r ]; failure = None; _ } ] ->
           if json then print_endline (Rustbrain.Report.to_json r)
@@ -443,7 +494,8 @@ let corpus_fix_cmd =
     (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
     Term.(const run $ case_name $ seed $ json
           $ fault_rate_arg $ retries_arg $ deadline_arg
-          $ journal_arg $ resume_arg $ fresh_arg)
+          $ journal_arg $ resume_arg $ fresh_arg
+          $ trace_out_arg $ metrics_arg)
 
 (* -- campaign ------------------------------------------------------------- *)
 
@@ -459,7 +511,7 @@ let campaign_cmd =
   in
   let domains =
     Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
-           ~doc:"Worker-domain pool size (0 = recommended count).")
+           ~doc:"Worker-domain pool size. 0 = the recommended count capped at                  8; an explicit value is honored as given, above 8 included.")
   in
   let cases =
     Arg.(value & opt string "" & info [ "cases" ] ~docv:"NAME,NAME,..."
@@ -478,7 +530,7 @@ let campaign_cmd =
                  either the complete old file or the complete new one.")
   in
   let run backend seeds domains cases json csv out journal resume fresh
-      fault_rate retries deadline_ms =
+      fault_rate retries deadline_ms trace_out metrics_on =
     let resilience_overridden =
       fault_rate > 0.0 || retries <> 3 || deadline_ms > 0
     in
@@ -545,17 +597,21 @@ let campaign_cmd =
         1
       | Ok selected -> (
         let domains = if domains <= 0 then None else Some domains in
+        let trace_sink = Option.map Obs.Trace.file trace_out in
+        let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
         match
           match journal_mode ~dir:journal ~resume ~fresh with
           | Error _ as e -> e
           | Ok journal ->
-            run_with_journal ?domains ~journal
+            run_with_journal ?domains ?trace:trace_sink ?metrics:registry
+              ~journal
               (Exec.Scheduler.seeded_jobs runner ~seeds selected)
         with
         | Error msg ->
           prerr_endline msg;
           2
         | Ok (results, sup, ckpt) ->
+          Option.iter Obs.Trace.close trace_sink;
           let crashed = Exec.Scheduler.failures results in
           List.iter
             (fun ((job : Exec.Scheduler.job), (f : Exec.Scheduler.failure)) ->
@@ -602,6 +658,7 @@ let campaign_cmd =
               (100.0 *. Exec.Runner.hit_rate stats)
               sup.Exec.Scheduler.restarts sup.Exec.Scheduler.orphaned_jobs
           end;
+          print_metrics registry;
           if crashed <> [] then 2
           else if List.for_all (fun r -> r.Rustbrain.Report.passed) reports then 0
           else 1)))
@@ -611,7 +668,74 @@ let campaign_cmd =
        ~doc:"Run a backend campaign over the corpus, sharded across domains.")
     Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv $ out
           $ journal_arg $ resume_arg $ fresh_arg
-          $ fault_rate_arg $ retries_arg $ deadline_arg)
+          $ fault_rate_arg $ retries_arg $ deadline_arg
+          $ trace_out_arg $ metrics_arg)
+
+(* -- trace-summary -------------------------------------------------------- *)
+
+let trace_summary_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let run file =
+    match Rb_util.Fsfile.read file with
+    | None ->
+      Printf.eprintf "cannot read %s\n" file;
+      1
+    | Some content ->
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (* aggregate per record name, keeping first-appearance order so the
+         table reads in pipeline order (parse before typecheck before ...) *)
+      let order = ref [] in
+      let tbl = Hashtbl.create 16 in
+      let bad = ref 0 in
+      List.iter
+        (fun line ->
+          match Obs.Trace.of_jsonl line with
+          | Error _ -> incr bad
+          | Ok r ->
+            let name = r.Obs.Trace.name in
+            let slot =
+              match Hashtbl.find_opt tbl name with
+              | Some s -> s
+              | None ->
+                let s = (ref 0, ref 0.0, ref 0.0) in
+                Hashtbl.add tbl name s;
+                order := name :: !order;
+                s
+            in
+            let n, sim, wall = slot in
+            incr n;
+            sim := !sim +. r.Obs.Trace.dur;
+            wall := !wall +. r.Obs.Trace.wall_ms)
+        lines;
+      if Hashtbl.length tbl = 0 then begin
+        Printf.eprintf "%s: no trace records\n" file;
+        1
+      end
+      else begin
+        let rows =
+          List.rev_map
+            (fun name ->
+              let n, sim, wall = Hashtbl.find tbl name in
+              [ name; string_of_int !n; Printf.sprintf "%.3f" !sim;
+                Printf.sprintf "%.2f" !wall ])
+            !order
+        in
+        print_string
+          (Statkit.Table.render
+             ~aligns:[ Statkit.Table.Left; Statkit.Table.Right;
+                       Statkit.Table.Right; Statkit.Table.Right ]
+             ~header:[ "phase"; "count"; "sim s"; "wall ms" ] rows);
+        if !bad > 0 then Printf.eprintf "%d unparseable line(s) skipped\n" !bad;
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Render a per-phase count/time table from a JSONL trace recorded              with --trace. Wall-clock totals (fix traces) reproduce the              fix --profile figures; campaign traces total simulated time.")
+    Term.(const run $ file)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -622,4 +746,4 @@ let () =
              ~doc:"RustBrain reproduction: detect and repair UB in MiniRust programs.")
           ~default
           [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd;
-            campaign_cmd ]))
+            campaign_cmd; trace_summary_cmd ]))

@@ -144,7 +144,16 @@ let make_runner session (case : Dataset.Case.t) buggy program info config =
       r
     | None ->
       Miri.Machine.Cache.record_miss session.cache;
-      let r = Miri.Machine.run ~config program info in
+      (* whether this miss happens at all depends on which jobs this
+         domain executed before (the memo outlives sessions), so the run
+         must not emit trace events or metrics: campaign traces stay
+         byte-identical whatever the job/domain interleaving. The
+         enclosing "interpret" span still accounts for detection. *)
+      let r =
+        Obs.Trace.without_ambient (fun () ->
+            Obs.Metrics.with_registry (Obs.Metrics.create ()) (fun () ->
+                Miri.Machine.run ~config program info))
+      in
       Hashtbl.add tbl key r;
       r
   end
@@ -178,10 +187,17 @@ type attempt = {
 
 (* final verdict: full multi-probe pass/exec check, charged per probe *)
 let judge session env (case : Dataset.Case.t) program =
-  List.iter
-    (fun _ -> Rb_util.Simclock.charge env.Env.clock (Env.verify_cost program))
-    case.Dataset.Case.probes;
-  Dataset.Semantic.check ~cache:session.cache case program
+  Obs.Trace.in_span "re-verify"
+    ~attrs:(fun () ->
+      [ ("probes", Obs.Trace.I (List.length case.Dataset.Case.probes)) ])
+    ~post:(fun (v : Dataset.Semantic.verdict) ->
+      [ ("passes", Obs.Trace.B v.Dataset.Semantic.passes);
+        ("semantic", Obs.Trace.B v.Dataset.Semantic.semantic) ])
+    (fun () ->
+      List.iter
+        (fun _ -> Rb_util.Simclock.charge env.Env.clock (Env.verify_cost program))
+        case.Dataset.Case.probes;
+      Dataset.Semantic.check ~cache:session.cache case program)
 
 let repair_common session (case : Dataset.Case.t) (solutions_override : Solution.t list option) :
     Report.t =
@@ -191,10 +207,18 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
      domains. *)
   Minirust.Ast.scoped_ids @@ fun () ->
   let cfg = session.cfg in
+  (* trace timestamps follow this session's simulated clock; installed per
+     repair so Marshal-restored (resumed) sessions re-anchor correctly *)
+  Obs.Trace.set_ambient_time_source (fun () ->
+      Rb_util.Simclock.now session.sclock);
   (* the buggy parse comes first, straight after the id reset: its node ids
      are then a pure function of the case source — canonical per case — which
      is what makes the cross-session run memo in [make_runner] sound *)
-  let buggy = Dataset.Case.buggy case in
+  let buggy =
+    Obs.Trace.in_span "parse"
+      ~attrs:(fun () -> [ ("case", Obs.Trace.S case.Dataset.Case.name) ])
+      (fun () -> Dataset.Case.buggy case)
+  in
   let env = make_env session case ~buggy in
   (* open the per-repair deadline window and clear the degradation flags;
      resilience stats are cumulative per session, so deltas are taken *)
@@ -215,8 +239,13 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
       inputs; trace = false }
   in
   let run_result =
-    match Minirust.Typecheck.check buggy with
-    | Ok info -> make_runner session case buggy buggy info detect_config
+    match Obs.Trace.in_span "typecheck" (fun () -> Minirust.Typecheck.check buggy) with
+    | Ok info ->
+      Obs.Trace.in_span "interpret"
+        ~post:(fun (r : Miri.Machine.run_result) ->
+          [ ("steps", Obs.Trace.I r.Miri.Machine.steps);
+            ("errors", Obs.Trace.I r.Miri.Machine.error_count) ])
+        (fun () -> make_runner session case buggy buggy info detect_config)
     | Error _ ->
       (* corpus programs always compile; treat as an immediate failure *)
       { Miri.Machine.outcome = Miri.Machine.Step_limit; output = []; diags = [];
@@ -228,8 +257,14 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
     match solutions_override with
     | Some solutions -> { Fast_think.solutions; feedback_hit = None }
     | None ->
-      Fast_think.generate env ~program:buggy ~features ~feedback:session.feedback
-        ~abstract_enabled:cfg.enable_abstract ~count:cfg.max_solutions
+      Obs.Trace.in_span "fast-think"
+        ~post:(fun (g : Fast_think.generation) ->
+          [ ("solutions", Obs.Trace.I (List.length g.Fast_think.solutions));
+            ("feedback_hit", Obs.Trace.B (g.Fast_think.feedback_hit <> None)) ])
+        (fun () ->
+          Fast_think.generate env ~program:buggy ~features
+            ~feedback:session.feedback ~abstract_enabled:cfg.enable_abstract
+            ~count:cfg.max_solutions)
   in
   let solutions =
     List.filter
@@ -256,8 +291,17 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
       acc
     | solution :: rest ->
       let exec =
-        Slow_think.execute ~prompt_extras:base_extras env ~program:buggy ~solution
-          ~rollback:cfg.rollback ~max_iters:cfg.max_iters
+        Obs.Trace.in_span "slow-think"
+          ~attrs:(fun () ->
+            [ ("solution", Obs.Trace.S solution.Solution.sname) ])
+          ~post:(fun (e : Slow_think.execution) ->
+            [ ("passed", Obs.Trace.B e.Slow_think.passed);
+              ("iterations", Obs.Trace.I e.Slow_think.iterations);
+              ("rollbacks", Obs.Trace.I e.Slow_think.rollbacks);
+              ("errors", Obs.Trace.I e.Slow_think.errors) ])
+          (fun () ->
+            Slow_think.execute ~prompt_extras:base_extras env ~program:buggy
+              ~solution ~rollback:cfg.rollback ~max_iters:cfg.max_iters)
       in
       let verdict =
         if exec.Slow_think.passed then judge session env case exec.Slow_think.final
@@ -311,6 +355,7 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
       { Feedback.category = case.Dataset.Case.category; plan = a.at_solution; winning_class }
   | _ -> ());
   let stats = Llm_sim.Client.stats session.client in
+  let report =
   {
     Report.case_name = case.Dataset.Case.name;
     category = case.Dataset.Case.category;
@@ -332,6 +377,24 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
     gave_up = Llm_sim.Resilient.gave_up session.resilient && not passed;
     trace;
   }
+  in
+  Obs.Metrics.inc "repairs.total";
+  if report.Report.passed then Obs.Metrics.inc "repairs.passed";
+  if report.Report.semantic then Obs.Metrics.inc "repairs.semantic";
+  if report.Report.degraded then Obs.Metrics.inc "repairs.degraded";
+  if report.Report.gave_up then Obs.Metrics.inc "repairs.gave_up";
+  Obs.Metrics.inc ~by:report.Report.llm_calls "repairs.llm_calls";
+  Obs.Metrics.inc ~by:report.Report.retries "repairs.retries";
+  Obs.Metrics.inc ~by:report.Report.faults "repairs.faults";
+  Obs.Metrics.observe_s "repair.seconds" report.Report.seconds;
+  Obs.Trace.note "repair" (fun () ->
+      [ ("case", Obs.Trace.S report.Report.case_name);
+        ("passed", Obs.Trace.B report.Report.passed);
+        ("semantic", Obs.Trace.B report.Report.semantic);
+        ("seconds", Obs.Trace.F report.Report.seconds);
+        ("llm_calls", Obs.Trace.I report.Report.llm_calls);
+        ("solutions", Obs.Trace.I report.Report.solutions_tried) ]);
+  report
 
 let repair session case = repair_common session case None
 

@@ -138,9 +138,13 @@ let csv_header =
    solutions_tried,rollbacks,n_sequence,winning_solution,feedback_hit,\
    retries,faults,breaker_trips,degraded,gave_up"
 
+(* RFC 4180: a field containing a comma, double quote, CR or LF is wrapped
+   in double quotes with embedded quotes doubled. CR matters: a bare \r in
+   an unquoted field is read back as a line break by strict parsers, which
+   shifts every subsequent column. *)
 let csv_field s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
 let csv_row t =

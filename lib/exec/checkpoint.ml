@@ -111,7 +111,7 @@ let plan_job journal ~records ~snapshots (job : Scheduler.job) =
     prefix;
     planned_recompute = List.length remainder }
 
-let run ?domains ?kill_after ~dir ~mode (jobs : Scheduler.job list) =
+let run ?domains ?trace ?metrics ?kill_after ~dir ~mode (jobs : Scheduler.job list) =
   let fp = fingerprint jobs in
   let manifest =
     { Journal.version = Journal.version;
@@ -145,8 +145,30 @@ let run ?domains ?kill_after ~dir ~mode (jobs : Scheduler.job list) =
   let snapshots = match prior with Some l -> l.Journal.snapshots | None -> [] in
   let dropped = match prior with Some l -> l.Journal.dropped | None -> 0 in
   let plans = List.map (plan_job journal ~records ~snapshots) jobs in
+  let replayed = List.fold_left (fun n p -> n + List.length p.prefix) 0 plans in
+  let planned = List.fold_left (fun n p -> n + p.planned_recompute) 0 plans in
+  (* the recovery decision is per-campaign state settled before any domain
+     runs, so it is emitted straight to the caller's sink, ahead of the
+     folded per-job streams *)
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Obs.Trace.event sink
+      ~attrs:
+        [ ("mode", Obs.Trace.S (match mode with Fresh -> "fresh" | Resume -> "resume"));
+          ("replayed", Obs.Trace.I replayed);
+          ("recompute", Obs.Trace.I planned);
+          ("dropped", Obs.Trace.I dropped) ]
+      "checkpoint");
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+    Obs.Metrics.(incr ~by:replayed (counter reg "checkpoint.replayed"));
+    Obs.Metrics.(incr ~by:planned (counter reg "checkpoint.recomputed"));
+    Obs.Metrics.(incr ~by:dropped (counter reg "checkpoint.dropped")));
   let results, supervision =
-    Scheduler.run_jobs ?domains (List.map (fun p -> p.sched_job) plans)
+    Scheduler.run_jobs ?domains ?trace ?metrics
+      (List.map (fun p -> p.sched_job) plans)
   in
   let results =
     List.map2
@@ -156,6 +178,6 @@ let run ?domains ?kill_after ~dir ~mode (jobs : Scheduler.job list) =
   in
   { results;
     supervision;
-    replayed = List.fold_left (fun n p -> n + List.length p.prefix) 0 plans;
-    recomputed = List.fold_left (fun n p -> n + p.planned_recompute) 0 plans;
+    replayed;
+    recomputed = planned;
     dropped }

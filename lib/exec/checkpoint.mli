@@ -45,6 +45,8 @@ val fingerprint : Scheduler.job list -> string
 
 val run :
   ?domains:int ->
+  ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.registry ->
   ?kill_after:int ->
   dir:string ->
   mode:mode ->

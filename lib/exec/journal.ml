@@ -259,8 +259,19 @@ let append t record ~snapshot =
         1 + Option.value ~default:0 (Hashtbl.find_opt t.counts record.job)
       in
       Hashtbl.replace t.counts record.job count;
+      (* [count] is per-job, so the attrs are the same whatever order the
+         domains interleaved their appends — unlike the global [idx] *)
+      Obs.Metrics.inc "journal.appends";
+      Obs.Trace.note "journal-append" (fun () ->
+          [ ("job", Obs.Trace.S record.job);
+            ("case", Obs.Trace.S record.case);
+            ("count", Obs.Trace.I count) ]);
       match Hashtbl.find_opt t.slots record.job with
       | Some slot ->
         Rb_util.Fsfile.write_atomic (snap_path t.dir slot)
-          (render_snapshot ~count snapshot)
+          (render_snapshot ~count snapshot);
+        Obs.Metrics.inc "journal.snapshots";
+        Obs.Trace.note "journal-snapshot" (fun () ->
+            [ ("job", Obs.Trace.S record.job);
+              ("count", Obs.Trace.I count) ])
       | None -> ())

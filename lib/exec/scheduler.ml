@@ -17,16 +17,33 @@ type supervision = { restarts : int; orphaned_jobs : int }
 
 let no_supervision = { restarts = 0; orphaned_jobs = 0 }
 
-let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+let default_domain_cap = 8
 
-let run_jobs ?(domains = default_domains ()) jobs =
+let default_domains ?(cap = default_domain_cap) () =
+  max 1 (min cap (Domain.recommended_domain_count ()))
+
+let run_jobs ?(domains = default_domains ()) ?trace ?metrics jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let results = Array.make n None in
+  (* One private trace buffer / metrics registry per job: workers record
+     with zero cross-domain contention, and the caller's sink/registry is
+     fed once after every join, in job order — so the folded trace is
+     byte-identical whatever the domain interleaving was. *)
+  let job_traces =
+    match trace with
+    | None -> [||]
+    | Some _ -> Array.init n (fun _ -> Obs.Trace.memory ())
+  in
+  let job_metrics =
+    match metrics with
+    | None -> [||]
+    | Some _ -> Array.init n (fun _ -> Obs.Metrics.create ())
+  in
   (* Per-job crash isolation: an exception escaping a campaign is captured
      with its backtrace as that job's outcome — it can never poison the
      pool or erase sibling results. *)
-  let exec i =
+  let exec_job i =
     let job = jobs.(i) in
     match Runner.run job.runner job.cases with
     | reports, stats -> results.(i) <- Some { job; reports; stats; failure = None }
@@ -39,6 +56,37 @@ let run_jobs ?(domains = default_domains ()) jobs =
               Some
                 { exn = Printexc.to_string e;
                   backtrace = Printexc.raw_backtrace_to_string bt } }
+  in
+  let exec i =
+    let body () =
+      if Array.length job_metrics = 0 then exec_job i
+      else Obs.Metrics.with_registry job_metrics.(i) (fun () -> exec_job i)
+    in
+    if Array.length job_traces = 0 then body ()
+    else begin
+      let tr, _ = job_traces.(i) in
+      Obs.Trace.with_ambient tr (fun () ->
+          Obs.Trace.event tr
+            ~attrs:
+              [ ("job", Obs.Trace.S jobs.(i).label);
+                ("cases", Obs.Trace.I (List.length jobs.(i).cases)) ]
+            "job-start";
+          body ();
+          match results.(i) with
+          | Some { failure = Some f; _ } ->
+            Obs.Trace.event tr
+              ~attrs:
+                [ ("job", Obs.Trace.S jobs.(i).label);
+                  ("exn", Obs.Trace.S f.exn) ]
+              "job-crash"
+          | Some { reports; _ } ->
+            Obs.Trace.event tr
+              ~attrs:
+                [ ("job", Obs.Trace.S jobs.(i).label);
+                  ("reports", Obs.Trace.I (List.length reports)) ]
+              "job-end"
+          | None -> ())
+    end
   in
   let workers = min domains n in
   let restarted = ref 0 in
@@ -72,7 +120,9 @@ let run_jobs ?(domains = default_domains ()) jobs =
         | exception _ when !restarts > 0 && Atomic.get next < n ->
           decr restarts;
           incr restarted;
-          supervise (rest @ [ Domain.spawn worker ])
+          (* prepend, not append: joining order is irrelevant and the
+             append re-walked the whole list on every respawn *)
+          supervise (Domain.spawn worker :: rest)
         | exception _ -> supervise rest)
     in
     supervise (List.init workers (fun _ -> Domain.spawn worker))
@@ -87,6 +137,24 @@ let run_jobs ?(domains = default_domains ()) jobs =
         exec i
       end)
     results;
+  (match trace with
+  | None -> ()
+  | Some sink ->
+    Obs.Trace.event sink
+      ~attrs:[ ("jobs", Obs.Trace.I n); ("workers", Obs.Trace.I workers) ]
+      "campaign-start";
+    Array.iter
+      (fun (_, recorded) -> List.iter (Obs.Trace.emit sink) (recorded ()))
+      job_traces;
+    Obs.Trace.event sink
+      ~attrs:
+        [ ("restarts", Obs.Trace.I !restarted);
+          ("orphaned", Obs.Trace.I !orphaned) ]
+      "scheduler");
+  (match metrics with
+  | None -> ()
+  | Some into ->
+    Array.iter (fun reg -> Obs.Metrics.merge_into ~into reg) job_metrics);
   ( Array.to_list results
     |> List.map (function Some r -> r | None -> assert false),
     { restarts = !restarted; orphaned_jobs = !orphaned } )
@@ -107,8 +175,10 @@ let seeded_jobs ?label runner ~seeds cases =
       { label = label_of seed; runner = Runner.with_seed runner seed; cases })
     seeds
 
-let run_seeded ?domains ?label runner ~seeds cases =
-  let results, sup = run_jobs ?domains (seeded_jobs ?label runner ~seeds cases) in
+let run_seeded ?domains ?trace ?metrics ?label runner ~seeds cases =
+  let results, sup =
+    run_jobs ?domains ?trace ?metrics (seeded_jobs ?label runner ~seeds cases)
+  in
   List.iter
     (fun (job, f) ->
       Printf.eprintf "scheduler: job %s crashed: %s\n%s%!" job.label f.exn

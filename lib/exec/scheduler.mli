@@ -40,10 +40,19 @@ type supervision = {
 
 val no_supervision : supervision
 
-val default_domains : unit -> int
-(** [Domain.recommended_domain_count], clamped to [1, 8]. *)
+val default_domain_cap : int
+(** Default clamp for {!default_domains} (8): campaigns are verification
+    bound and past this width the shared memory bus wins. An explicit
+    [--domains]/[?domains] value is always honored, above the cap
+    included. *)
 
-val run_jobs : ?domains:int -> job list -> result list * supervision
+val default_domains : ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count], clamped to [1, cap] (default
+    {!default_domain_cap}). *)
+
+val run_jobs :
+  ?domains:int -> ?trace:Obs.Trace.t -> ?metrics:Obs.Metrics.registry ->
+  job list -> result list * supervision
 (** Run every job on a pool of at most [domains] workers (default
     {!default_domains}; [domains <= 1] runs inline with no spawning).
     Results are returned in job order and this function never raises on a
@@ -51,7 +60,14 @@ val run_jobs : ?domains:int -> job list -> result list * supervision
     (with backtrace) while every sibling job still completes. Worker
     domains that die outside job isolation are restarted by a supervisor
     (bounded), and any job orphaned by a dead worker is finished inline;
-    both events are counted in the returned {!supervision}. *)
+    both events are counted in the returned {!supervision}.
+
+    [trace]: each job records into a private in-memory buffer installed as
+    its worker's ambient sink; after all joins the buffers are folded into
+    [trace] in job order (between a ["campaign-start"] header and a
+    ["scheduler"] summary event), so the emitted stream is deterministic
+    whatever the interleaving. [metrics]: same shape — per-job registries
+    installed ambiently and merged into [metrics] at join. *)
 
 val failures : result list -> (job * failure) list
 (** Every failed job with its captured failure, in result order. *)
@@ -64,7 +80,8 @@ val seeded_jobs :
     failures can run {!run_jobs} themselves. *)
 
 val run_seeded :
-  ?domains:int -> ?label:string -> Runner.packed -> seeds:int list ->
+  ?domains:int -> ?trace:Obs.Trace.t -> ?metrics:Obs.Metrics.registry ->
+  ?label:string -> Runner.packed -> seeds:int list ->
   Dataset.Case.t list -> Rustbrain.Report.t list * Runner.stats
 (** One campaign per seed, sharded across domains; reports concatenated in
     seed order with cache stats summed — the shape every bench experiment

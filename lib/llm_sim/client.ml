@@ -50,7 +50,13 @@ let charge t ~tokens_in ~tokens_out =
   t.stats.tokens_out <- t.stats.tokens_out + tokens_out;
   let total = float_of_int (tokens_in + tokens_out) in
   Rb_util.Simclock.charge t.clock
-    (t.profile.Profile.latency_base +. (total /. 1000.0 *. t.profile.Profile.latency_per_1k))
+    (t.profile.Profile.latency_base +. (total /. 1000.0 *. t.profile.Profile.latency_per_1k));
+  Obs.Metrics.inc "llm.calls";
+  Obs.Metrics.inc ~by:(tokens_in + tokens_out) "llm.tokens";
+  Obs.Trace.note "llm-call" (fun () ->
+      [ ("model", Obs.Trace.S t.profile.Profile.name);
+        ("tokens_in", Obs.Trace.I tokens_in);
+        ("tokens_out", Obs.Trace.I tokens_out) ])
 
 let charge_prompt t prompt =
   charge t ~tokens_in:(Prompt.tokens prompt) ~tokens_out:t.profile.Profile.completion_tokens
@@ -136,7 +142,7 @@ let complete t _sampling prompt =
    for in full and only then discovered to be useless. Crucially none of
    these paths touches [t.rng], so the choice stream is exactly the one
    an un-faulted client would consume. *)
-let inject t prompt =
+let inject_raw t prompt =
   match t.faults with
   | None -> None
   | Some plan ->
@@ -166,6 +172,15 @@ let inject t prompt =
           | Faults.Malformed ->
               charge t ~tokens_in ~tokens_out:t.profile.Profile.completion_tokens;
               Some Malformed))
+
+let inject t prompt =
+  match inject_raw t prompt with
+  | None -> None
+  | Some e ->
+    Obs.Metrics.inc "llm.faults";
+    Obs.Trace.note "llm-fault" (fun () ->
+        [ ("fault", Obs.Trace.S (api_error_name e)) ]);
+    Some e
 
 let choose_repair_result t sampling task =
   match inject t task.prompt with

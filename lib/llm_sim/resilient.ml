@@ -92,7 +92,10 @@ let deadline_exceeded t =
 let note_deadline_hit t =
   if not t.repair_deadline_hit then begin
     t.repair_deadline_hit <- true;
-    t.stats.deadline_hits <- t.stats.deadline_hits + 1
+    t.stats.deadline_hits <- t.stats.deadline_hits + 1;
+    Obs.Metrics.inc "llm.deadline_hits";
+    Obs.Trace.note "deadline-hit" (fun () ->
+        [ ("elapsed", Obs.Trace.F (now t -. t.repair_start)) ])
   end;
   t.repair_degraded <- true
 
@@ -104,7 +107,10 @@ let trip t =
   t.breaker <- Open;
   t.open_until <- now t +. t.cfg.breaker_cooldown;
   t.stats.breaker_trips <- t.stats.breaker_trips + 1;
-  t.consecutive <- 0
+  t.consecutive <- 0;
+  Obs.Metrics.inc "llm.breaker_trips";
+  Obs.Trace.note "breaker-trip" (fun () ->
+      [ ("cooldown", Obs.Trace.F t.cfg.breaker_cooldown) ])
 
 let note_failure t ~was_half_open =
   if was_half_open then trip t (* the trial call failed: straight back open *)
@@ -114,8 +120,11 @@ let note_failure t ~was_half_open =
   end
 
 let note_success t =
-  if t.breaker = Half_open then
+  if t.breaker = Half_open then begin
     t.stats.breaker_recoveries <- t.stats.breaker_recoveries + 1;
+    Obs.Metrics.inc "llm.breaker_recoveries";
+    Obs.Trace.note "breaker-recovery" (fun () -> [])
+  end;
   t.breaker <- Closed;
   t.consecutive <- 0
 
@@ -139,6 +148,8 @@ let give_up t degrade =
   t.stats.give_ups <- t.stats.give_ups + 1;
   t.repair_gave_up <- true;
   t.repair_degraded <- true;
+  Obs.Metrics.inc "llm.give_ups";
+  Obs.Trace.note "llm-give-up" (fun () -> []);
   degrade ()
 
 let use_fallback t run degrade =
@@ -147,6 +158,9 @@ let use_fallback t run degrade =
   | Some fb -> (
       t.stats.fallback_calls <- t.stats.fallback_calls + 1;
       t.repair_degraded <- true;
+      Obs.Metrics.inc "llm.fallback_calls";
+      Obs.Trace.note "llm-fallback" (fun () ->
+          [ ("model", Obs.Trace.S (Client.profile fb).Profile.name) ]);
       match run fb with Ok v -> v | Error _ -> give_up t degrade)
 
 (* One guarded API call. [run] performs the metered call against whichever
@@ -179,9 +193,14 @@ let guarded :
                  || deadline_exceeded t
               then use_fallback t run degrade
               else begin
-                Rb_util.Simclock.charge (Client.clock t.prim)
-                  (backoff_delay t n fault);
+                let delay = backoff_delay t n fault in
+                Rb_util.Simclock.charge (Client.clock t.prim) delay;
                 t.stats.retries <- t.stats.retries + 1;
+                Obs.Metrics.inc "llm.retries";
+                Obs.Trace.note "llm-retry" (fun () ->
+                    [ ("attempt", Obs.Trace.I (n + 1));
+                      ("fault", Obs.Trace.S (Client.api_error_name fault));
+                      ("backoff", Obs.Trace.F delay) ]);
                 attempt (n + 1)
               end
         in

@@ -1243,14 +1243,35 @@ let run ?(config = default_config) (program : Ast.program) (info : Typecheck.inf
      the recorded UB diagnostics; a step-limit stop stays cost-free, as it
      always has (spin loops are scored by their diagnostics alone) *)
   let aborted = match outcome with Panicked _ | Resource_limit _ -> true | _ -> false in
-  {
-    outcome;
-    output = List.rev st.outputs;
-    diags;
-    steps = st.steps;
-    error_count = List.length diags + (if aborted then 1 else 0);
-    events = List.rev st.events;
-  }
+  let result =
+    {
+      outcome;
+      output = List.rev st.outputs;
+      diags;
+      steps = st.steps;
+      error_count = List.length diags + (if aborted then 1 else 0);
+      events = List.rev st.events;
+    }
+  in
+  (* one event per run, never per step: the interpreter hot loop stays
+     untouched and the counters ride along for free *)
+  Obs.Trace.note "interp" (fun () ->
+      [ ("steps", Obs.Trace.I st.steps);
+        ("allocs", Obs.Trace.I st.allocs);
+        ("alloc_bytes", Obs.Trace.I st.alloc_bytes);
+        ("diags", Obs.Trace.I (List.length diags));
+        ( "outcome",
+          Obs.Trace.S
+            (match outcome with
+            | Finished -> "finished"
+            | Panicked _ -> "panicked"
+            | Ub _ -> "ub"
+            | Step_limit -> "step-limit"
+            | Resource_limit _ -> "resource-limit") ) ]);
+  Obs.Metrics.inc "interp.runs";
+  Obs.Metrics.inc ~by:st.steps "interp.steps";
+  Obs.Metrics.inc ~by:st.allocs "interp.allocs";
+  result
 
 type analysis = Compile_error of string | Ran of run_result
 

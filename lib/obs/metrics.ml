@@ -1,0 +1,144 @@
+type counter = int ref
+type gauge = float ref
+
+type histogram = {
+  buckets : float array;
+  counts : int array; (* length = Array.length buckets + 1; last = overflow *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type registry = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histos : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    histos = Hashtbl.create 8 }
+
+let find_or_add tbl name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add tbl name v;
+    v
+
+let counter reg name = find_or_add reg.counters name (fun () -> ref 0)
+let incr ?(by = 1) c = c := !c + by
+let counter_value c = !c
+
+let gauge reg name = find_or_add reg.gauges name (fun () -> ref 0.)
+let set g v = g := v
+let gauge_value g = !g
+
+let default_buckets = [| 0.01; 0.1; 1.; 10.; 60.; 300.; 1800. |]
+
+let histogram ?(buckets = default_buckets) reg name =
+  find_or_add reg.histos name (fun () ->
+      { buckets = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        sum = 0.;
+        n = 0 })
+
+let bucket_index buckets v =
+  let n = Array.length buckets in
+  let i = ref 0 in
+  while !i < n && v > buckets.(!i) do
+    Stdlib.incr i
+  done;
+  !i
+
+let observe h v =
+  h.counts.(bucket_index h.buckets v) <- h.counts.(bucket_index h.buckets v) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let merge_into ~into src =
+  Hashtbl.iter (fun name c -> incr ~by:!c (counter into name)) src.counters;
+  Hashtbl.iter
+    (fun name g ->
+      let dst = gauge into name in
+      if !g > !dst then dst := !g)
+    src.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt into.histos name with
+      | None ->
+        Hashtbl.add into.histos name
+          { h with buckets = Array.copy h.buckets; counts = Array.copy h.counts }
+      | Some dst when dst.buckets = h.buckets ->
+        Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+        dst.sum <- dst.sum +. h.sum;
+        dst.n <- dst.n + h.n
+      | Some _ -> (* bucket mismatch: keep the destination untouched *) ())
+    src.histos
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json reg =
+  let open Rb_util.Json in
+  Obj
+    [ ( "counters",
+        Obj
+          (List.map (fun (k, c) -> (k, Num (float_of_int !c)))
+             (sorted_bindings reg.counters)) );
+      ( "gauges",
+        Obj (List.map (fun (k, g) -> (k, Num !g)) (sorted_bindings reg.gauges)) );
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (k, h) ->
+               ( k,
+                 Obj
+                   [ ( "buckets",
+                       List
+                         (Array.to_list (Array.map (fun b -> Num b) h.buckets))
+                     );
+                     ( "counts",
+                       List
+                         (Array.to_list
+                            (Array.map (fun c -> Num (float_of_int c)) h.counts))
+                     );
+                     ("sum", Num h.sum);
+                     ("count", Num (float_of_int h.n)) ] ))
+             (sorted_bindings reg.histos)) ) ]
+
+let render reg =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (k, c) -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" k !c))
+    (sorted_bindings reg.counters);
+  List.iter
+    (fun (k, g) -> Buffer.add_string b (Printf.sprintf "%-32s %.3f\n" k !g))
+    (sorted_bindings reg.gauges);
+  List.iter
+    (fun (k, h) ->
+      let mean = if h.n = 0 then 0. else h.sum /. float_of_int h.n in
+      Buffer.add_string b
+        (Printf.sprintf "%-32s n=%d sum=%.3f mean=%.3f\n" k h.n h.sum mean))
+    (sorted_bindings reg.histos);
+  Buffer.contents b
+
+let ambient_key : registry ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (create ()))
+
+let ambient () = !(Domain.DLS.get ambient_key)
+
+let with_registry reg f =
+  let cell = Domain.DLS.get ambient_key in
+  let prev = !cell in
+  cell := reg;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+let inc ?by name = incr ?by (counter (ambient ()) name)
+let set_gauge name v = set (gauge (ambient ()) name) v
+let observe_s name v = observe (histogram (ambient ()) name) v

@@ -1,0 +1,69 @@
+(** Counters, gauges, and fixed-bucket histograms in a registry.
+
+    Hot paths touch only their domain's ambient registry (plain [Hashtbl]
+    plus [int ref]/[float ref] cells — no atomics, no locks); the
+    scheduler gives each job a fresh registry and folds them into the
+    caller's at join, so cross-domain merging happens exactly once per
+    job, off the hot path.
+
+    Unlike tracing, the ambient registry always exists (counting is cheap
+    and unconditional); it only becomes visible when a caller installs a
+    registry it intends to read ({!with_registry}) or asks the scheduler
+    to merge per-job registries. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+(** {1 Instruments} *)
+
+val counter : registry -> string -> counter
+(** Find-or-create by name. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : registry -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_buckets : float array
+(** Simulated-seconds scale: [0.01; 0.1; 1; 10; 60; 300; 1800]. *)
+
+val histogram : ?buckets:float array -> registry -> string -> histogram
+(** Find-or-create; [buckets] must be sorted ascending and is fixed at
+    first creation (later calls reuse the existing instrument). *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Aggregation} *)
+
+val merge_into : into:registry -> registry -> unit
+(** Counters add, gauges keep the max, histograms with identical buckets
+    add bucket-wise (a histogram absent from [into] is copied). *)
+
+val to_json : registry -> Rb_util.Json.t
+(** [{"counters":{..},"gauges":{..},"histograms":{..}}] with every name
+    sorted, so output is deterministic. *)
+
+val render : registry -> string
+(** Plain aligned table for terminals, names sorted; empty string for an
+    empty registry. *)
+
+(** {1 Ambient registry} *)
+
+val ambient : unit -> registry
+val with_registry : registry -> (unit -> 'a) -> 'a
+(** Install [registry] as this domain's ambient registry for the call. *)
+
+val inc : ?by:int -> string -> unit
+(** Bump a counter in the ambient registry. *)
+
+val set_gauge : string -> float -> unit
+val observe_s : string -> float -> unit
+(** Observe into an ambient histogram with {!default_buckets}. *)

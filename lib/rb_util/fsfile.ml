@@ -18,17 +18,26 @@ let write_channel path emit =
   mkdir_p (Filename.dirname path);
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out_bin tmp in
-  (match emit oc with
-  | () ->
-    flush oc;
-    (try Unix.fsync (Unix.descr_of_out_channel oc)
-     with Unix.Unix_error _ -> ());
-    close_out oc
+  (* Any failure before the rename — the writer itself, but also flush,
+     close or the rename (ENOSPC, EROFS, quota) — must not leave the tmp
+     file beside the target; remove it and re-raise the original. *)
+  (match
+     emit oc;
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
+     close_out oc
+   with
+  | () -> ()
   | exception e ->
     close_out_noerr oc;
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
-  Sys.rename tmp path;
+  (match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
   fsync_dir (Filename.dirname path)
 
 let write_atomic path contents =

@@ -27,4 +27,5 @@ let () =
       ("exec", Test_exec.suite);
       ("journal", Test_journal.suite);
       ("resilience", Test_resilience.suite);
-      ("stats", Test_stats.suite) ]
+      ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite) ]
