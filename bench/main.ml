@@ -1301,6 +1301,300 @@ let ablate () =
        ~header:[ "variant"; "pass"; "exec"; "time(s)"; "mean iters" ]
        rows)
 
+(* -- serve: campaign-as-a-service smoke + load bench -------------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* serve state nests (queue/, results/, jobs/job-N/), so the flat
+   with_journal_dir cleanup is not enough *)
+let with_serve_dir f =
+  let dir = Filename.temp_file "rustbrain-serve" "" in
+  Sys.remove dir;
+  Rb_util.Fsfile.mkdir_p dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* The bench binary re-execs itself as the server process ("serve-child"
+   argv mode, dispatched in the driver below) so the smoke gate can
+   kill -9 a real server process mid-campaign — the crash the durable
+   admission contract is written against, not a simulated one. *)
+let spawn_server ~socket ~state ~runners =
+  Unix.create_process Sys.executable_name
+    [| Sys.executable_name; "serve-child"; socket; state;
+       string_of_int runners |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let serve_child ~socket ~state ~runners =
+  let cfg =
+    { Serve.Server.default_config with
+      Serve.Server.socket; state_dir = state; runners; tick_s = 0.002 }
+  in
+  ignore (Serve.Server.run cfg : Serve.Server.summary)
+
+let wait_exit pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill_server pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  wait_exit pid
+
+let serve_smoke_cases = List.filteri (fun i _ -> i mod 5 = 0) Dataset.Corpus.all
+
+let serve_smoke_opts =
+  { Exec.Campaign_opts.default with Exec.Campaign_opts.seeds = [ 1; 2 ] }
+
+let serve_smoke () =
+  section
+    "Serve smoke — durable admission, kill -9 mid-campaign, byte-identical resume";
+  let failures = ref 0 in
+  let failf fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "FAIL %s\n" s;
+        incr failures)
+      fmt
+  in
+  let names =
+    List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) serve_smoke_cases
+  in
+  let total = List.length names * 2 in
+  (* 1. reference: the same job on an uninterrupted server *)
+  let reference =
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let pid = spawn_server ~socket ~state ~runners:1 in
+        Fun.protect ~finally:(fun () -> kill_server pid)
+          (fun () ->
+            match Serve.Client.connect socket with
+            | Error e ->
+              failf "reference connect: %s" e;
+              None
+            | Ok c ->
+              let out =
+                match
+                  Serve.Client.run_job c ~tenant:"smoke" ~backend:"rustbrain"
+                    ~cases:(Some names) ~opts:(Some serve_smoke_opts)
+                with
+                | Error e ->
+                  failf "reference job: %s" e;
+                  None
+                | Ok ((cases, _passed, failed), frames) ->
+                  (match failed with
+                  | Some m -> failf "reference job failed: %s" m
+                  | None -> ());
+                  if cases <> total then
+                    failf "reference: %d case(s), want %d" cases total;
+                  if List.length frames <> total then
+                    failf "reference: %d CASE frame(s), want %d"
+                      (List.length frames) total;
+                  let store = Serve.Store.open_dir ~dir:state in
+                  Rb_util.Fsfile.read (Serve.Store.results_path store 0)
+              in
+              ignore
+                (Serve.Client.request c Serve.Wire.Shutdown
+                  : (Serve.Wire.response, string) result);
+              Serve.Client.close c;
+              out))
+  in
+  (match reference with
+  | None -> failf "no reference results"
+  | Some ref_bytes ->
+    (* 2. same job, server killed -9 mid-campaign, restarted on the same
+       state dir: the accepted job must finish with byte-identical stitched
+       results *)
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let pid = spawn_server ~socket ~state ~runners:1 in
+        let killed =
+          Fun.protect ~finally:(fun () -> kill_server pid)
+            (fun () ->
+              match Serve.Client.connect socket with
+              | Error e ->
+                failf "kill-run connect: %s" e;
+                false
+              | Ok c ->
+                Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                  (fun () ->
+                    match
+                      Serve.Client.request c
+                        (Serve.Wire.Submit
+                           { tenant = "smoke"; backend = "rustbrain";
+                             cases = Some names;
+                             opts = Some serve_smoke_opts })
+                    with
+                    | Ok (Serve.Wire.Accepted { id = 0; _ }) ->
+                      (* ACCEPTED means durable: the record must already be
+                         scannable on disk *)
+                      let store = Serve.Store.open_dir ~dir:state in
+                      (match Serve.Store.pending store with
+                      | [ s ] when s.Serve.Store.id = 0 -> ()
+                      | _ -> failf "accepted job not durable at ACCEPTED time");
+                      (* kill once at least two repairs are journaled but the
+                         job is still in flight *)
+                      let rec wait_mid tries =
+                        if tries <= 0 then false
+                        else if Serve.Store.progress store 0 >= 2 then true
+                        else begin
+                          Unix.sleepf 0.002;
+                          wait_mid (tries - 1)
+                        end
+                      in
+                      if not (wait_mid 10_000) then begin
+                        failf "no journal progress before the kill window";
+                        false
+                      end
+                      else begin
+                        Unix.kill pid Sys.sigkill;
+                        wait_exit pid;
+                        if Serve.Store.progress store 0 >= total then
+                          print_endline
+                            "note: job already complete at kill time";
+                        true
+                      end
+                    | Ok r ->
+                      failf "kill-run submit: unexpected %s"
+                        (Serve.Wire.response_to_string r);
+                      false
+                    | Error e ->
+                      failf "kill-run submit: %s" e;
+                      false))
+        in
+        if killed then begin
+          let pid2 = spawn_server ~socket ~state ~runners:1 in
+          Fun.protect ~finally:(fun () -> kill_server pid2)
+            (fun () ->
+              match Serve.Client.connect socket with
+              | Error e -> failf "restart connect: %s" e
+              | Ok c ->
+                Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                  (fun () ->
+                    let rec poll tries =
+                      if tries <= 0 then failf "resumed job never finished"
+                      else
+                        match
+                          Serve.Client.request c (Serve.Wire.Status (Some 0))
+                        with
+                        | Ok
+                            (Serve.Wire.Job
+                               { state =
+                                   Serve.Wire.Finished { cases; failed; _ };
+                                 _ }) ->
+                          (match failed with
+                          | Some m -> failf "resumed job failed: %s" m
+                          | None -> ());
+                          if cases <> total then
+                            failf "resumed: %d case(s), want %d" cases total
+                        | Ok _ ->
+                          Unix.sleepf 0.01;
+                          poll (tries - 1)
+                        | Error e -> failf "restart status: %s" e
+                    in
+                    poll 6000;
+                    let store = Serve.Store.open_dir ~dir:state in
+                    (match
+                       Rb_util.Fsfile.read (Serve.Store.results_path store 0)
+                     with
+                    | Some bytes when String.equal bytes ref_bytes -> ()
+                    | Some _ ->
+                      failf
+                        "resumed stitched results differ from the \
+                         uninterrupted run"
+                    | None -> failf "resumed results file missing");
+                    (* RESULTS must re-stream the durable reports *)
+                    (match Serve.Client.request c (Serve.Wire.Results 0) with
+                    | Ok (Serve.Wire.Case _) ->
+                      let rec drain n =
+                        match Serve.Client.recv c with
+                        | Ok (Serve.Wire.Case _) -> drain (n + 1)
+                        | Ok (Serve.Wire.Done _) -> n
+                        | Ok r ->
+                          failf "RESULTS drain: unexpected %s"
+                            (Serve.Wire.response_to_string r);
+                          n
+                        | Error e ->
+                          failf "RESULTS drain: %s" e;
+                          n
+                      in
+                      let n = drain 1 in
+                      if n <> total then
+                        failf "RESULTS streamed %d frame(s), want %d" n total
+                    | Ok r ->
+                      failf "RESULTS: unexpected %s"
+                        (Serve.Wire.response_to_string r)
+                    | Error e -> failf "RESULTS: %s" e);
+                    ignore
+                      (Serve.Client.request c Serve.Wire.Shutdown
+                        : (Serve.Wire.response, string) result)))
+        end));
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "serve smoke ok: %d case-repairs accepted durably, killed -9 mid-campaign, \
+     resumed byte-identical\n"
+    total
+
+(* -- serve-bench (BENCH_serve.json, committed) -------------------------- *)
+
+let serve_bench_file = "BENCH_serve.json"
+
+let serve_bench () =
+  section "Serve load — sustained multi-tenant throughput over the socket";
+  with_serve_dir (fun dir ->
+      let socket = Filename.concat dir "sock" in
+      let state = Filename.concat dir "state" in
+      let runners = 4 in
+      let pid = spawn_server ~socket ~state ~runners in
+      Fun.protect ~finally:(fun () -> kill_server pid)
+        (fun () ->
+          let cfg =
+            { Serve.Load.default_config with
+              Serve.Load.socket; tenants = 4; jobs_per_tenant = 8;
+              cases_per_job = 3 }
+          in
+          let o = Serve.Load.run cfg in
+          (match Serve.Client.connect ~retries:1 socket with
+          | Ok c ->
+            ignore
+              (Serve.Client.request c Serve.Wire.Shutdown
+                : (Serve.Wire.response, string) result);
+            Serve.Client.close c
+          | Error _ -> ());
+          wait_exit pid;
+          if o.Serve.Load.errors > 0 then begin
+            Printf.eprintf "serve bench: %d error(s)\n" o.Serve.Load.errors;
+            exit 1
+          end;
+          let json =
+            Rb_util.Json.to_string
+              (Rb_util.Json.Obj
+                 [ ( "config",
+                     Rb_util.Json.Obj
+                       [ ("runners", Rb_util.Json.Num (float_of_int runners));
+                         ("tenants",
+                          Rb_util.Json.Num (float_of_int cfg.Serve.Load.tenants));
+                         ("jobs_per_tenant",
+                          Rb_util.Json.Num
+                            (float_of_int cfg.Serve.Load.jobs_per_tenant));
+                         ("cases_per_job",
+                          Rb_util.Json.Num
+                            (float_of_int cfg.Serve.Load.cases_per_job));
+                         ("backend",
+                          Rb_util.Json.Str cfg.Serve.Load.backend) ]);
+                   ("outcome", Serve.Load.outcome_to_json o) ])
+          in
+          Rb_util.Fsfile.write_atomic serve_bench_file (json ^ "\n");
+          Printf.printf
+            "%d/%d jobs (%d cases) in %.2fs — %.2f jobs/s, %.1f cases/s, busy \
+             %d -> %s\n"
+            o.Serve.Load.completed o.Serve.Load.submitted
+            o.Serve.Load.cases_done o.Serve.Load.wall_s o.Serve.Load.jobs_per_s
+            o.Serve.Load.cases_per_s o.Serve.Load.busy serve_bench_file))
+
 (* -- driver ------------------------------------------------------------ *)
 
 let experiments =
@@ -1310,11 +1604,14 @@ let experiments =
     ("resilience", resilience); ("resilience-smoke", resilience_smoke);
     ("chaos", chaos); ("resume-smoke", resume_smoke);
     ("interp", interp); ("interp-smoke", interp_smoke);
-    ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead) ]
+    ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead);
+    ("serve-smoke", serve_smoke); ("serve-bench", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
+  | [ "serve-child"; socket; state; runners ] ->
+    serve_child ~socket ~state ~runners:(int_of_string runners)
   | [] ->
     Printf.printf "RustBrain reproduction benchmark harness (simulated clock; see DESIGN.md)\n";
     fig7 ();

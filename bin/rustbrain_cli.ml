@@ -7,9 +7,14 @@
    - `corpus-fix`    run the full pipeline on one corpus case
    - `campaign`      run any backend (pipeline or baseline) over the corpus,
                      sharded across domains via the unified runner API
+   - `serve`         run the event-driven repair server on a Unix socket
+   - `serve-load`    drive a running server with synthetic multi-tenant load
+   - `trace-summary` render a per-phase table from a --trace JSONL file
 
-   `fix`, `corpus-fix` and `campaign` take `--json` (and `campaign` also
-   `--csv`) for machine-readable reports.
+   `fix`, `corpus-fix`, `campaign` and `serve` share one campaign-options
+   vocabulary (seeds, domains, fault injection, retries, deadline, journal,
+   trace, metrics, out) built from a single Cmdliner term over
+   [Exec.Campaign_opts] — the same record the serve wire protocol carries.
 
    MiniRust sources conventionally use the .mrs extension; any path works. *)
 
@@ -48,7 +53,17 @@ let report_outcome (r : Miri.Machine.run_result) =
   List.iter (fun d -> Printf.printf "  diag: %s\n" (Miri.Diag.to_string d)) r.Miri.Machine.diags;
   Printf.printf "steps: %d, errors: %d\n" r.Miri.Machine.steps r.Miri.Machine.error_count
 
-(* resilience flags shared by fix / corpus-fix / campaign *)
+(* -- the shared campaign-options term ------------------------------------ *)
+
+let seeds_arg =
+  Arg.(value & opt string "1" & info [ "seed"; "seeds" ] ~docv:"N,N,..."
+         ~doc:"Campaign seed, or a comma-separated list for one campaign per \
+               seed (single-repair commands require exactly one).")
+
+let domains_arg =
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker-domain pool size. 0 = the recommended count capped at \
+               8; an explicit value is honored as given, above 8 included.")
 
 let fault_rate_arg =
   Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"R"
@@ -66,30 +81,6 @@ let deadline_arg =
          ~doc:"Per-repair watchdog budget in simulated milliseconds; past it the \
                repair stops starting new work. 0 = unlimited.")
 
-let deadline_of_ms ms = if ms > 0 then Some (float_of_int ms /. 1000.0) else None
-
-(* observability flags shared by fix / corpus-fix / campaign *)
-
-let trace_out_arg =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Record a structured JSONL trace (pipeline phase spans, LLM \
-               calls/faults/retries, interpreter runs, scheduler and journal \
-               events) to $(docv), written atomically on completion. Campaign \
-               traces carry simulated timestamps only, so a seeded run's trace \
-               is byte-identical across invocations. Render it with \
-               $(b,trace-summary).")
-
-let metrics_arg =
-  Arg.(value & flag & info [ "metrics" ]
-         ~doc:"Print the metrics registry (counters, gauges, histograms; \
-               merged across worker domains) to stderr after the run.")
-
-let print_metrics = function
-  | None -> ()
-  | Some reg -> prerr_string (Obs.Metrics.render reg)
-
-(* durability flags shared by corpus-fix / campaign *)
-
 let journal_arg =
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
          ~doc:"Write-ahead journal directory: every completed repair is made \
@@ -106,23 +97,75 @@ let fresh_arg =
   Arg.(value & flag & info [ "fresh" ]
          ~doc:"Discard any journal in $(b,--journal) $(i,DIR) and start over.")
 
-(* Decide what to do with the journal directory, if any: [Ok None] = run
-   unjournaled, [Ok (Some (dir, mode))] = run under Checkpoint, [Error] =
-   refuse (exit 2). An existing journal is never overwritten implicitly. *)
-let journal_mode ~dir ~resume ~fresh =
-  match dir with
-  | None ->
-    if resume || fresh then Error "--resume/--fresh require --journal DIR"
-    else Ok None
-  | Some dir ->
-    if resume && fresh then Error "pass at most one of --resume and --fresh"
-    else if Exec.Journal.exists ~dir && not (resume || fresh) then
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a structured JSONL trace (pipeline phase spans, LLM \
+               calls/faults/retries, interpreter runs, scheduler and journal \
+               events) to $(docv), written atomically on completion. Campaign \
+               traces carry simulated timestamps only, so a seeded run's trace \
+               is byte-identical across invocations. Render it with \
+               $(b,trace-summary).")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Print the metrics registry (counters, gauges, histograms; \
+               merged across worker domains) to stderr after the run.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also write the reports to $(docv) (JSON lines, or CSV under \
+               $(b,--csv) where supported), via a crash-safe atomic replace: \
+               readers see either the complete old file or the complete new \
+               one.")
+
+let parse_seeds spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.filter_map (fun s ->
+         let s = String.trim s in
+         if s = "" then None else Some (int_of_string_opt s))
+  in
+  if List.mem None parts then
+    Error
+      (Printf.sprintf "--seeds %S: expected a comma-separated list of integers"
+         spec)
+  else
+    match List.filter_map Fun.id parts with
+    | [] ->
       Error
         (Printf.sprintf
-           "journal %s already exists; pass --resume to continue it or --fresh \
-            to discard it" dir)
-    else
-      Ok (Some (dir, if fresh then Exec.Checkpoint.Fresh else Exec.Checkpoint.Resume))
+           "--seeds %S: expected a non-empty comma-separated list of integers"
+           spec)
+    | seeds -> Ok seeds
+
+let opts_term =
+  let build seeds domains fault_rate retries deadline_ms journal resume fresh
+      trace metrics out =
+    match parse_seeds seeds with
+    | Error _ as e -> e
+    | Ok seeds ->
+      Exec.Campaign_opts.validate
+        { Exec.Campaign_opts.seeds;
+          domains = (if domains <= 0 then None else Some domains);
+          fault_rate; retries; deadline_ms; journal; resume; fresh; trace;
+          metrics; out }
+  in
+  Term.(const build $ seeds_arg $ domains_arg $ fault_rate_arg $ retries_arg
+        $ deadline_arg $ journal_arg $ resume_arg $ fresh_arg $ trace_out_arg
+        $ metrics_arg $ out_arg)
+
+(* Single-repair commands take the shared vocabulary but can honor only a
+   slice of it; anything they would silently ignore is refused instead. *)
+let single_seed ~cmd (o : Exec.Campaign_opts.t) =
+  match o.Exec.Campaign_opts.seeds with
+  | [ s ] -> Ok s
+  | _ ->
+    Error
+      (Printf.sprintf "%s runs one repair; use campaign for seed sweeps" cmd)
+
+let print_metrics = function
+  | None -> ()
+  | Some reg -> prerr_string (Obs.Metrics.render reg)
 
 (* Run the jobs, through Checkpoint when a journal is in play. Returns the
    results, the scheduler's supervision counters, and the checkpoint
@@ -202,7 +245,6 @@ let fix_cmd =
     Arg.(value & opt string "GPT-4" & info [ "model" ] ~doc:"Simulated model profile.")
   in
   let temperature = Arg.(value & opt float 0.5 & info [ "temperature" ]) in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
@@ -212,13 +254,37 @@ let fix_cmd =
                  re-verify) to stderr.")
   in
   let profile_phases = [ "parse"; "typecheck"; "interpret"; "repair"; "re-verify" ] in
-  let run file inputs model temperature seed json profile fault_rate retries
-      deadline_ms trace_out metrics_on =
+  let run file inputs model temperature json profile opts =
+    match
+      match opts with
+      | Error _ as e -> e
+      | Ok (o : Exec.Campaign_opts.t) ->
+        if o.Exec.Campaign_opts.journal <> None || o.resume || o.fresh then
+          Error "fix does not journal; --journal/--resume/--fresh apply to \
+                 corpus-fix and campaign"
+        else if o.domains <> None then
+          Error "fix repairs one file on one domain; --domains applies to \
+                 campaign and serve"
+        else if o.out <> None then
+          Error "fix prints its report; --out applies to corpus-fix, campaign \
+                 and serve-load"
+        else
+          Result.map (fun seed -> (o, seed)) (single_seed ~cmd:"fix" o)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok ((opts : Exec.Campaign_opts.t), seed) ->
+    let fault_rate = opts.Exec.Campaign_opts.fault_rate in
+    let retries = opts.Exec.Campaign_opts.retries in
     (* --profile is spans under the hood: the same records a --trace file
        gets also land in a wall-enabled memory sink, and the familiar
        stderr lines are rendered from it after the run — one source of
        truth for phase timings, and --json stdout stays parseable *)
-    let file_sink = Option.map (fun p -> Obs.Trace.file ~wall:true p) trace_out in
+    let file_sink =
+      Option.map (fun p -> Obs.Trace.file ~wall:true p)
+        opts.Exec.Campaign_opts.trace
+    in
     let prof = if profile then Some (Obs.Trace.memory ~wall:true ()) else None in
     let sink =
       match (file_sink, prof) with
@@ -227,7 +293,10 @@ let fix_cmd =
       | None, Some (m, _) -> Some m
       | Some f, Some (m, _) -> Some (Obs.Trace.tee f m)
     in
-    let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
+    let registry =
+      if opts.Exec.Campaign_opts.metrics then Some (Obs.Metrics.create ())
+      else None
+    in
     let body () =
     match Obs.Trace.in_span "parse" (fun () -> load file) with
     | Error msg ->
@@ -260,7 +329,7 @@ let fix_cmd =
           Llm_sim.Resilient.create ~seed:((seed * 17) + 29)
             ~config:{ Llm_sim.Resilient.default_config with
                       Llm_sim.Resilient.max_retries = retries;
-                      deadline = deadline_of_ms deadline_ms }
+                      deadline = Exec.Campaign_opts.deadline opts }
             ~fallback client
         in
         let kb = Knowledge.Kb.create ~clock () in
@@ -397,9 +466,8 @@ let fix_cmd =
   in
   Cmd.v
     (Cmd.info "fix" ~doc:"Repair a MiniRust file with the RustBrain pipeline.")
-    Term.(const run $ file $ inputs $ model $ temperature $ seed $ json $ profile
-          $ fault_rate_arg $ retries_arg $ deadline_arg
-          $ trace_out_arg $ metrics_arg)
+    Term.(const run $ file $ inputs $ model $ temperature $ json $ profile
+          $ opts_term)
 
 (* -- corpus --------------------------------------------------------------- *)
 
@@ -440,32 +508,44 @@ let corpus_show_cmd =
 
 let corpus_fix_cmd =
   let case_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the repair report as JSON.")
   in
-  let run name seed json fault_rate retries deadline_ms journal resume fresh
-      trace_out metrics_on =
+  let run name json opts =
+    match
+      match opts with
+      | Error _ as e -> e
+      | Ok o ->
+        Result.map (fun seed -> (o, seed)) (single_seed ~cmd:"corpus-fix" o)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok ((opts : Exec.Campaign_opts.t), seed) -> (
     match Dataset.Corpus.find name with
     | None ->
       Printf.eprintf "unknown case %S\n" name;
       1
     | Some case -> (
-      let config =
-        { Rustbrain.Pipeline.default_config with
-          Rustbrain.Pipeline.seed; fault_rate; max_retries = retries;
-          deadline = deadline_of_ms deadline_ms }
+      let runner =
+        match Exec.Campaign_opts.runner opts ~backend:"rustbrain" with
+        | Ok r -> Exec.Runner.with_seed r seed
+        | Error msg -> failwith msg (* rustbrain always resolves *)
       in
-      let trace_sink = Option.map Obs.Trace.file trace_out in
-      let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
+      let trace_sink = Option.map Obs.Trace.file opts.Exec.Campaign_opts.trace in
+      let registry =
+        if opts.Exec.Campaign_opts.metrics then Some (Obs.Metrics.create ())
+        else None
+      in
       match
-        match journal_mode ~dir:journal ~resume ~fresh with
+        match Exec.Campaign_opts.journal_mode opts with
         | Error _ as e -> e
         | Ok journal ->
-          run_with_journal ~domains:1 ?trace:trace_sink ?metrics:registry
-            ~journal
+          run_with_journal
+            ~domains:(Option.value ~default:1 opts.Exec.Campaign_opts.domains)
+            ?trace:trace_sink ?metrics:registry ~journal
             [ { Exec.Scheduler.label = Printf.sprintf "corpus-fix/seed%d" seed;
-                runner = Exec.Backends.rustbrain ~config ();
+                runner;
                 cases = [ case ] } ]
       with
       | Error msg ->
@@ -476,6 +556,11 @@ let corpus_fix_cmd =
         print_metrics registry;
         match results with
         | [ { Exec.Scheduler.reports = [ r ]; failure = None; _ } ] ->
+          (match opts.Exec.Campaign_opts.out with
+          | Some path ->
+            Rb_util.Fsfile.write_channel path (fun oc ->
+                Rustbrain.Report.emit_jsonl oc (List.to_seq [ r ]))
+          | None -> ());
           if json then print_endline (Rustbrain.Report.to_json r)
           else begin
             List.iter (fun line -> Printf.printf "  %s\n" line) r.Rustbrain.Report.trace;
@@ -488,14 +573,11 @@ let corpus_fix_cmd =
           2
         | _ ->
           prerr_endline "corpus-fix: unexpected scheduler result";
-          2))
+          2)))
   in
   Cmd.v
     (Cmd.info "corpus-fix" ~doc:"Run the full pipeline on one corpus case.")
-    Term.(const run $ case_name $ seed $ json
-          $ fault_rate_arg $ retries_arg $ deadline_arg
-          $ journal_arg $ resume_arg $ fresh_arg
-          $ trace_out_arg $ metrics_arg)
+    Term.(const run $ case_name $ json $ opts_term)
 
 (* -- campaign ------------------------------------------------------------- *)
 
@@ -504,14 +586,6 @@ let campaign_cmd =
     Arg.(value & opt string "rustbrain" & info [ "backend" ] ~docv:"NAME"
            ~doc:(Printf.sprintf "Backend to run: %s."
                    (String.concat ", " Exec.Backends.all_names)))
-  in
-  let seeds =
-    Arg.(value & opt string "1" & info [ "seeds" ] ~docv:"N,N,..."
-           ~doc:"Comma-separated campaign seeds; one campaign per seed.")
-  in
-  let domains =
-    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N"
-           ~doc:"Worker-domain pool size. 0 = the recommended count capped at                  8; an explicit value is honored as given, above 8 included.")
   in
   let cases =
     Arg.(value & opt string "" & info [ "cases" ] ~docv:"NAME,NAME,..."
@@ -523,58 +597,17 @@ let campaign_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows with a header line.")
   in
-  let out =
-    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
-           ~doc:"Also write the reports to $(docv) (JSON lines, or CSV under \
-                 $(b,--csv)), via a crash-safe atomic replace: readers see \
-                 either the complete old file or the complete new one.")
-  in
-  let run backend seeds domains cases json csv out journal resume fresh
-      fault_rate retries deadline_ms trace_out metrics_on =
-    let resilience_overridden =
-      fault_rate > 0.0 || retries <> 3 || deadline_ms > 0
-    in
-    match
-      (* the fault model targets the pipeline under study; baselines keep
-         their raw oracle clients *)
-      if backend = "rustbrain" then
-        Some
-          (Exec.Backends.rustbrain
-             ~config:{ Rustbrain.Pipeline.default_config with
-                       Rustbrain.Pipeline.fault_rate; max_retries = retries;
-                       deadline = deadline_of_ms deadline_ms }
-             ())
-      else if resilience_overridden then None
-      else Exec.Backends.of_name backend
-    with
-    | None when resilience_overridden && backend <> "rustbrain"
-                && Exec.Backends.of_name backend <> None ->
-      Printf.eprintf
-        "--fault-rate/--retries/--deadline-ms only apply to the rustbrain backend\n";
+  let run backend cases json csv opts =
+    match opts with
+    | Error msg ->
+      prerr_endline msg;
       1
-    | None ->
-      Printf.eprintf "unknown backend %S (known: %s)\n" backend
-        (String.concat ", " Exec.Backends.all_names);
+    | Ok (opts : Exec.Campaign_opts.t) -> (
+    match Exec.Campaign_opts.runner opts ~backend with
+    | Error msg ->
+      prerr_endline msg;
       1
-    | Some runner -> (
-      let seed_spec = seeds in
-      let seeds =
-        String.split_on_char ',' seeds
-        |> List.filter_map (fun s ->
-             let s = String.trim s in
-             if s = "" then None else Some (int_of_string_opt s))
-      in
-      match
-        if List.mem None seeds then Error `Bad
-        else match List.filter_map Fun.id seeds with
-          | [] -> Error `Empty
-          | seeds -> Ok seeds
-      with
-      | Error e ->
-        Printf.eprintf "--seeds %S: expected a %scomma-separated list of integers\n"
-          seed_spec (match e with `Empty -> "non-empty " | `Bad -> "");
-        1
-      | Ok seeds -> (
+    | Ok runner -> (
       let case_filter =
         String.split_on_char ',' cases
         |> List.filter_map (fun s ->
@@ -596,16 +629,21 @@ let campaign_cmd =
         Printf.eprintf "unknown case(s): %s\n" (String.concat ", " missing);
         1
       | Ok selected -> (
-        let domains = if domains <= 0 then None else Some domains in
-        let trace_sink = Option.map Obs.Trace.file trace_out in
-        let registry = if metrics_on then Some (Obs.Metrics.create ()) else None in
+        let trace_sink =
+          Option.map Obs.Trace.file opts.Exec.Campaign_opts.trace
+        in
+        let registry =
+          if opts.Exec.Campaign_opts.metrics then Some (Obs.Metrics.create ())
+          else None
+        in
         match
-          match journal_mode ~dir:journal ~resume ~fresh with
+          match Exec.Campaign_opts.journal_mode opts with
           | Error _ as e -> e
           | Ok journal ->
-            run_with_journal ?domains ?trace:trace_sink ?metrics:registry
-              ~journal
-              (Exec.Scheduler.seeded_jobs runner ~seeds selected)
+            run_with_journal ?domains:opts.Exec.Campaign_opts.domains
+              ?trace:trace_sink ?metrics:registry ~journal
+              (Exec.Scheduler.seeded_jobs runner
+                 ~seeds:opts.Exec.Campaign_opts.seeds selected)
         with
         | Error msg ->
           prerr_endline msg;
@@ -626,7 +664,7 @@ let campaign_cmd =
               (fun acc r -> Exec.Runner.add_stats acc r.Exec.Scheduler.stats)
               Exec.Runner.no_stats results
           in
-          (match out with
+          (match opts.Exec.Campaign_opts.out with
           | Some path ->
             Rb_util.Fsfile.write_channel path (fun oc ->
                 if csv then Rustbrain.Report.emit_csv oc (List.to_seq reports)
@@ -666,10 +704,218 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a backend campaign over the corpus, sharded across domains.")
-    Term.(const run $ backend $ seeds $ domains $ cases $ json $ csv $ out
-          $ journal_arg $ resume_arg $ fresh_arg
-          $ fault_rate_arg $ retries_arg $ deadline_arg
-          $ trace_out_arg $ metrics_arg)
+    Term.(const run $ backend $ cases $ json $ csv $ opts_term)
+
+(* -- serve ---------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "rustbrain.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path.")
+
+let parse_weights spec =
+  if String.trim spec = "" then Ok []
+  else
+    String.split_on_char ',' spec
+    |> List.map (fun part ->
+         match String.index_opt part '=' with
+         | Some i ->
+           let tenant = String.trim (String.sub part 0 i) in
+           let w =
+             String.trim (String.sub part (i + 1) (String.length part - i - 1))
+           in
+           (match (tenant, int_of_string_opt w) with
+           | "", _ | _, None ->
+             Error (Printf.sprintf "--weights: bad entry %S" part)
+           | t, Some w -> Ok (t, w))
+         | None -> Error (Printf.sprintf "--weights: bad entry %S" part))
+    |> List.fold_left
+         (fun acc r ->
+           match (acc, r) with
+           | Error _, _ -> acc
+           | _, Error e -> Error e
+           | Ok ws, Ok w -> Ok (w :: ws))
+         (Ok [])
+    |> Result.map List.rev
+
+let serve_cmd =
+  let state_dir =
+    Arg.(value & opt string "serve-state" & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Durable server state: the fsynced accepted-jobs queue, one \
+                 write-ahead journal per job, and stitched result files. A \
+                 server restarted on the same directory re-enqueues every \
+                 accepted-but-unfinished job and replays journaled repairs.")
+  in
+  let runners =
+    Arg.(value & opt int 2 & info [ "runners" ] ~docv:"N"
+           ~doc:"Concurrent job slots; each job is internally domain-parallel \
+                 per its own opts (or $(b,--domains) as the default).")
+  in
+  let max_queue =
+    Arg.(value & opt int 128 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Bounded inbound queue; past it submissions get an explicit \
+                 BUSY with a retry-after hint instead of buffering.")
+  in
+  let quota =
+    Arg.(value & opt int 64 & info [ "quota" ] ~docv:"N"
+           ~doc:"Max queued jobs per tenant.")
+  in
+  let weights =
+    Arg.(value & opt string "" & info [ "weights" ] ~docv:"TENANT=W,..."
+           ~doc:"Weighted-fair-queue weights; unlisted tenants weigh 1.")
+  in
+  let run socket state_dir runners max_queue quota weights opts =
+    match
+      match opts with
+      | Error _ as e -> e
+      | Ok (o : Exec.Campaign_opts.t) ->
+        if o.Exec.Campaign_opts.journal <> None || o.resume || o.fresh then
+          Error "the server journals every job itself under --state-dir; \
+                 --journal/--resume/--fresh do not apply"
+        else if o.out <> None then
+          Error "the server stores results under --state-dir; --out does not \
+                 apply"
+        else Result.map (fun ws -> (o, ws)) (parse_weights weights)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok ((opts : Exec.Campaign_opts.t), weights) ->
+      if runners < 1 || max_queue < 1 || quota < 1 then begin
+        prerr_endline "--runners/--max-queue/--quota must be at least 1";
+        1
+      end
+      else begin
+        let trace_sink =
+          Option.map (fun p -> Obs.Trace.file ~wall:true p)
+            opts.Exec.Campaign_opts.trace
+        in
+        let registry =
+          if opts.Exec.Campaign_opts.metrics then Some (Obs.Metrics.create ())
+          else None
+        in
+        let default_opts =
+          { opts with
+            Exec.Campaign_opts.journal = None; resume = false; fresh = false;
+            trace = None; metrics = false; out = None }
+        in
+        let cfg =
+          { Serve.Server.default_config with
+            Serve.Server.socket; state_dir; runners;
+            domains_per_job = opts.Exec.Campaign_opts.domains;
+            max_queue; quota; weights; default_opts;
+            trace = trace_sink; metrics = registry }
+        in
+        let s =
+          Serve.Server.run
+            ~on_ready:(fun p -> Printf.printf "serve: listening on %s\n%!" p)
+            cfg
+        in
+        Option.iter Obs.Trace.close trace_sink;
+        print_metrics registry;
+        Printf.printf
+          "serve: accepted %d, completed %d, failed %d, cancelled %d, busy %d, \
+           rejected %d, resumed %d, left queued %d\n"
+          s.Serve.Server.accepted s.Serve.Server.completed s.Serve.Server.failed
+          s.Serve.Server.cancelled s.Serve.Server.busy s.Serve.Server.rejected
+          s.Serve.Server.resumed s.Serve.Server.left_queued;
+        if s.Serve.Server.failed > 0 then 1 else 0
+      end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the event-driven repair server: durable admission, per-tenant \
+             weighted fair queuing, per-case report streaming, kill-safe \
+             resume. Stops on a SHUTDOWN frame.")
+    Term.(const run $ socket_arg $ state_dir $ runners $ max_queue $ quota
+          $ weights $ opts_term)
+
+let serve_load_cmd =
+  let tenants =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N"
+           ~doc:"Concurrent client domains, one connection each.")
+  in
+  let jobs =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Jobs submitted per tenant, back to back.")
+  in
+  let cases_per_job =
+    Arg.(value & opt int 2 & info [ "cases-per-job" ] ~docv:"N"
+           ~doc:"Corpus cases per job (rotating through the corpus).")
+  in
+  let backend =
+    Arg.(value & opt string "llm-only" & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Backend each submission requests.")
+  in
+  let timeout =
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"S"
+           ~doc:"Per-receive patience in seconds.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Send SHUTDOWN to the server after the load completes.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the outcome as JSON.")
+  in
+  let run socket tenants jobs cases_per_job backend timeout shutdown json opts =
+    match
+      match opts with
+      | Error _ as e -> e
+      | Ok (o : Exec.Campaign_opts.t) ->
+        if o.Exec.Campaign_opts.journal <> None || o.resume || o.fresh
+           || o.trace <> None || o.metrics
+        then
+          Error "--journal/--resume/--fresh/--trace/--metrics are server-side; \
+                 pass them to serve"
+        else Ok o
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok (opts : Exec.Campaign_opts.t) ->
+      let wire_opts =
+        { opts with
+          Exec.Campaign_opts.journal = None; resume = false; fresh = false;
+          trace = None; metrics = false; out = None }
+      in
+      let cfg =
+        { Serve.Load.socket; tenants; jobs_per_tenant = jobs; cases_per_job;
+          backend;
+          opts =
+            (if wire_opts = Exec.Campaign_opts.default then None
+             else Some wire_opts);
+          timeout_s = timeout }
+      in
+      let o = Serve.Load.run cfg in
+      if shutdown then begin
+        match Serve.Client.connect ~retries:1 socket with
+        | Error e -> Printf.eprintf "serve-load: shutdown: %s\n" e
+        | Ok c ->
+          (match Serve.Client.request c Serve.Wire.Shutdown with
+          | Ok _ -> ()
+          | Error e -> Printf.eprintf "serve-load: shutdown: %s\n" e);
+          Serve.Client.close c
+      end;
+      let rendered = Rb_util.Json.to_string (Serve.Load.outcome_to_json o) in
+      (match opts.Exec.Campaign_opts.out with
+      | Some path -> Rb_util.Fsfile.write_atomic path (rendered ^ "\n")
+      | None -> ());
+      if json then print_endline rendered
+      else
+        Printf.printf
+          "serve-load: %d/%d jobs completed (%d cases) in %.2fs — %.2f jobs/s, \
+           %.1f cases/s; busy %d, errors %d\n"
+          o.Serve.Load.completed o.Serve.Load.submitted o.Serve.Load.cases_done
+          o.Serve.Load.wall_s o.Serve.Load.jobs_per_s o.Serve.Load.cases_per_s
+          o.Serve.Load.busy o.Serve.Load.errors;
+      if o.Serve.Load.errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "serve-load"
+       ~doc:"Drive a running repair server with synthetic multi-tenant load \
+             and report sustained jobs/sec (honoring BUSY backoff).")
+    Term.(const run $ socket_arg $ tenants $ jobs $ cases_per_job $ backend
+          $ timeout $ shutdown $ json $ opts_term)
 
 (* -- trace-summary -------------------------------------------------------- *)
 
@@ -746,4 +992,4 @@ let () =
              ~doc:"RustBrain reproduction: detect and repair UB in MiniRust programs.")
           ~default
           [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd;
-            campaign_cmd; trace_summary_cmd ]))
+            campaign_cmd; serve_cmd; serve_load_cmd; trace_summary_cmd ]))

@@ -39,13 +39,22 @@ let json_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* The report schema is versioned explicitly so every surface that carries
+   a rendered report — journal record segments, --out JSONL files, the
+   serve wire protocol — shares one codec whose evolution is detectable:
+   a reader confronted with a future schema refuses instead of silently
+   misreading renamed fields. Historical v-less lines (PR 3..5 journals)
+   are accepted as version 1. *)
+let codec_version = 1
+
 let to_json t =
   let field name v = Printf.sprintf "%s:%s" (json_string name) v in
   let strings xs = "[" ^ String.concat "," (List.map json_string xs) ^ "]" in
   let ints xs = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]" in
   "{"
   ^ String.concat ","
-      [ field "case" (json_string t.case_name);
+      [ field "v" (string_of_int codec_version);
+        field "case" (json_string t.case_name);
         field "category" (json_string (Miri.Diag.kind_name t.category));
         field "passed" (string_of_bool t.passed);
         field "semantic" (string_of_bool t.semantic);
@@ -78,6 +87,15 @@ let of_json line =
     match Option.bind (member name json) conv with
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "report field %S missing or mistyped" name)
+  in
+  let* () =
+    match member "v" json with
+    | None -> Ok ()  (* v-less lines predate the version field: schema v1 *)
+    | Some v -> (
+      match to_int v with
+      | Some v when v = codec_version -> Ok ()
+      | Some v -> Error (Printf.sprintf "unsupported report schema version %d" v)
+      | None -> Error "report field \"v\" mistyped")
   in
   let* case_name = field "case" to_str in
   let* category_name = field "category" to_str in

@@ -24,9 +24,17 @@ type t = {
 
 val summary_line : t -> string
 
+val codec_version : int
+(** Schema version stamped into every rendered report as its ["v"] field.
+    The journal's record segments, [--out] JSONL files and the serve wire
+    protocol all carry reports through this one codec; {!of_json} accepts
+    a line with no ["v"] as version 1 (journals written before the field
+    existed) and refuses any other version rather than misreading it. *)
+
 val to_json : t -> string
-(** One self-contained JSON object per report (no trailing newline);
-    campaign output is a JSON array or one object per line. *)
+(** One self-contained JSON object per report (no trailing newline),
+    leading with ["v"]:{!codec_version}; campaign output is a JSON array
+    or one object per line. *)
 
 val of_json : string -> (t, string) result
 (** Inverse of {!to_json}, used by the write-ahead journal to replay

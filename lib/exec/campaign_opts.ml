@@ -1,0 +1,147 @@
+type t = {
+  seeds : int list;
+  domains : int option;
+  fault_rate : float;
+  retries : int;
+  deadline_ms : int;
+  journal : string option;
+  resume : bool;
+  fresh : bool;
+  trace : string option;
+  metrics : bool;
+  out : string option;
+}
+
+let default =
+  { seeds = [ 1 ];
+    domains = None;
+    fault_rate = 0.0;
+    retries = 3;
+    deadline_ms = 0;
+    journal = None;
+    resume = false;
+    fresh = false;
+    trace = None;
+    metrics = false;
+    out = None }
+
+let seed t = match t.seeds with s :: _ -> s | [] -> 1
+
+let deadline t =
+  if t.deadline_ms > 0 then Some (float_of_int t.deadline_ms /. 1000.0) else None
+
+let resilience_overridden t =
+  t.fault_rate > 0.0 || t.retries <> default.retries || t.deadline_ms > 0
+
+let validate t =
+  if t.seeds = [] then Error "at least one seed is required"
+  else if t.fault_rate < 0.0 || t.fault_rate > 1.0 then
+    Error "fault rate must lie in [0,1]"
+  else if t.retries < 0 then Error "retries must be non-negative"
+  else if t.deadline_ms < 0 then Error "deadline must be non-negative"
+  else if (match t.domains with Some d -> d < 1 | None -> false) then
+    Error "domain count must be at least 1"
+  else Ok t
+
+let pipeline_config ?(base = Rustbrain.Pipeline.default_config) t =
+  { base with
+    Rustbrain.Pipeline.fault_rate = t.fault_rate;
+    max_retries = t.retries;
+    deadline = deadline t }
+
+(* The fault model targets the pipeline under study; baselines keep their
+   raw oracle clients, so resilience flags on a baseline are a user error,
+   not a silent no-op. *)
+let runner t ~backend =
+  if backend = Backends.Rustbrain_pipeline.name then
+    Ok (Backends.rustbrain ~config:(pipeline_config t) ())
+  else
+    match Backends.of_name backend with
+    | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (known: %s)" backend
+           (String.concat ", " Backends.all_names))
+    | Some _ when resilience_overridden t ->
+      Error
+        "--fault-rate/--retries/--deadline-ms only apply to the rustbrain \
+         backend"
+    | Some r -> Ok r
+
+(* Decide what to do with the journal directory, if any: [Ok None] = run
+   unjournaled, [Ok (Some (dir, mode))] = run under Checkpoint, [Error] =
+   refuse. An existing journal is never overwritten implicitly. *)
+let journal_mode t =
+  match t.journal with
+  | None ->
+    if t.resume || t.fresh then Error "--resume/--fresh require --journal DIR"
+    else Ok None
+  | Some dir ->
+    if t.resume && t.fresh then Error "pass at most one of --resume and --fresh"
+    else if Journal.exists ~dir && not (t.resume || t.fresh) then
+      Error
+        (Printf.sprintf
+           "journal %s already exists; pass --resume to continue it or --fresh \
+            to discard it" dir)
+    else Ok (Some (dir, if t.fresh then Checkpoint.Fresh else Checkpoint.Resume))
+
+(* -- wire/durable subset ------------------------------------------------ *)
+
+(* Only the fields that shape a repair job travel over the wire or into the
+   serve store: seeds, domains, fault_rate, retries, deadline_ms. The rest
+   (journal/trace/metrics/out) are local-process plumbing — a remote client
+   has no business pointing the server at files. The codec is total both
+   ways and rebuilds a value that produces a byte-identical runner config,
+   which is what lets a restarted server resume a stored job under the same
+   campaign fingerprint. *)
+
+let to_wire_json t =
+  Rb_util.Json.Obj
+    (List.concat
+       [ [ ("seeds", Rb_util.Json.List
+              (List.map (fun s -> Rb_util.Json.Num (float_of_int s)) t.seeds)) ];
+         (match t.domains with
+         | None -> []
+         | Some d -> [ ("domains", Rb_util.Json.Num (float_of_int d)) ]);
+         [ ("fault_rate", Rb_util.Json.Num t.fault_rate);
+           ("retries", Rb_util.Json.Num (float_of_int t.retries));
+           ("deadline_ms", Rb_util.Json.Num (float_of_int t.deadline_ms)) ] ])
+
+let of_wire_json json =
+  let open Rb_util.Json in
+  let ( let* ) r f = Result.bind r f in
+  let int_field name fallback =
+    match member name json with
+    | None -> Ok fallback
+    | Some v -> (
+      match to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "opts field %S mistyped" name))
+  in
+  let* seeds =
+    match member "seeds" json with
+    | None -> Ok default.seeds
+    | Some v -> (
+      match Option.map (List.map to_int) (to_list v) with
+      | Some ints when not (List.mem None ints) && ints <> [] ->
+        Ok (List.filter_map Fun.id ints)
+      | _ -> Error "opts field \"seeds\" must be a non-empty integer list")
+  in
+  let* domains =
+    match member "domains" json with
+    | None -> Ok None
+    | Some v -> (
+      match to_int v with
+      | Some d -> Ok (Some d)
+      | None -> Error "opts field \"domains\" mistyped")
+  in
+  let* fault_rate =
+    match member "fault_rate" json with
+    | None -> Ok default.fault_rate
+    | Some v -> (
+      match to_float v with
+      | Some f -> Ok f
+      | None -> Error "opts field \"fault_rate\" mistyped")
+  in
+  let* retries = int_field "retries" default.retries in
+  let* deadline_ms = int_field "deadline_ms" default.deadline_ms in
+  validate { default with seeds; domains; fault_rate; retries; deadline_ms }

@@ -12,16 +12,29 @@ type outcome = {
 
 (* Snapshots marshal closures, so they are only meaningful inside the
    binary that wrote them; digesting the executable makes a rebuilt binary
-   a different campaign. *)
-let code_version =
-  lazy
-    (match Digest.file Sys.executable_name with
-    | d -> Digest.to_hex d
-    | exception _ -> "unknown-binary")
+   a different campaign. Memoized under a mutex, not [lazy]: the serve
+   runner slots call [run] from several domains at once, and concurrent
+   [Lazy.force] of one shared suspension raises [CamlinternalLazy.Undefined]
+   in every domain that loses the race. *)
+let code_version_mx = Mutex.create ()
+let code_version_memo = ref None
+
+let code_version () =
+  Mutex.protect code_version_mx (fun () ->
+      match !code_version_memo with
+      | Some v -> v
+      | None ->
+        let v =
+          match Digest.file Sys.executable_name with
+          | d -> Digest.to_hex d
+          | exception _ -> "unknown-binary"
+        in
+        code_version_memo := Some v;
+        v)
 
 let fingerprint (jobs : Scheduler.job list) =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Lazy.force code_version);
+  Buffer.add_string buf (code_version ());
   List.iter
     (fun (j : Scheduler.job) ->
       Buffer.add_string buf "\x00job\x00";

@@ -1,18 +1,25 @@
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-(* Directory-entry durability: after renaming into [dir], fsync the
-   directory so the rename itself is on stable storage. Not every
-   filesystem supports fsync on a directory fd; failure is non-fatal. *)
+(* Directory-entry durability: after renaming into [dir] (or creating a
+   child directory), fsync the directory so the new entry itself is on
+   stable storage. Not every filesystem supports fsync on a directory fd;
+   failure is non-fatal. *)
 let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
   | fd ->
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
     Unix.close fd
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    match Unix.mkdir dir 0o755 with
+    | () ->
+      (* a freshly created directory is itself a new entry in its parent:
+         without this fsync a crash can lose the whole directory — and with
+         it every file later fsynced inside it *)
+      fsync_dir (Filename.dirname dir)
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
 
 let write_channel path emit =
   mkdir_p (Filename.dirname path);

@@ -12,7 +12,16 @@
 
 val mkdir_p : string -> unit
 (** Create the directory and any missing parents (mode 0o755); existing
-    directories are fine. *)
+    directories are fine. Each newly created directory's parent is fsynced
+    ({!fsync_dir}) so the directory entry itself survives power loss — a
+    journal or server state directory that exists in memory only is a
+    durability lie. *)
+
+val fsync_dir : string -> unit
+(** Flush a directory's entry table to stable storage (best effort: some
+    filesystems refuse fsync on a directory fd, which is non-fatal). Called
+    automatically after every {!write_atomic}/{!write_channel} rename and
+    by {!mkdir_p}; exposed for callers that rename files themselves. *)
 
 val write_atomic : string -> string -> unit
 (** [write_atomic path contents] durably replaces [path] with [contents]. *)

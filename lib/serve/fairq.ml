@@ -1,0 +1,94 @@
+type reject =
+  | Queue_full of { depth : int; limit : int }
+  | Quota_exceeded of { tenant : string; queued : int; quota : int }
+
+let reject_reason = function
+  | Queue_full { depth; limit } ->
+    Printf.sprintf "queue-full (%d/%d jobs queued)" depth limit
+  | Quota_exceeded { tenant; queued; quota } ->
+    Printf.sprintf "quota (%s has %d/%d jobs queued)" tenant queued quota
+
+type 'a tenant_q = {
+  name : string;
+  weight : int;
+  jobs : (int * 'a) Queue.t;  (* cost, payload *)
+  mutable pass : float;       (* stride virtual time; lower = runs sooner *)
+}
+
+type 'a t = {
+  max_queue : int;
+  quota : int;
+  weights : (string * int) list;
+  tenants : (string, 'a tenant_q) Hashtbl.t;
+  mutable depth : int;
+  mutable vtime : float;  (* pass of the last dispatch *)
+}
+
+let create ?(max_queue = 128) ?(quota = 64) ?(weights = []) () =
+  { max_queue; quota; weights; tenants = Hashtbl.create 8; depth = 0;
+    vtime = 0.0 }
+
+let depth t = t.depth
+
+let tenant_depths t =
+  Hashtbl.fold
+    (fun name q acc ->
+      if Queue.is_empty q.jobs then acc else (name, Queue.length q.jobs) :: acc)
+    t.tenants []
+  |> List.sort compare
+
+let tenant_q t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some q -> q
+  | None ->
+    let weight =
+      max 1 (Option.value ~default:1 (List.assoc_opt name t.weights))
+    in
+    (* a tenant (re)joining starts at the current virtual time, not at 0:
+       an old pass would let it drain a backlog of "credit" and starve
+       everyone else, which is exactly what fair queuing exists to stop *)
+    let q = { name; weight; jobs = Queue.create (); pass = t.vtime } in
+    Hashtbl.replace t.tenants name q;
+    q
+
+let admit ?(force = false) t ~tenant ~cost payload =
+  if (not force) && t.depth >= t.max_queue then
+    Error (Queue_full { depth = t.depth; limit = t.max_queue })
+  else begin
+    let q = tenant_q t tenant in
+    let queued = Queue.length q.jobs in
+    if (not force) && queued >= t.quota then
+      Error (Quota_exceeded { tenant; queued; quota = t.quota })
+    else begin
+      (* a tenant whose queue had drained rejoins at current vtime *)
+      if Queue.is_empty q.jobs then q.pass <- max q.pass t.vtime;
+      Queue.add (max 1 cost, payload) q.jobs;
+      t.depth <- t.depth + 1;
+      Ok t.depth
+    end
+  end
+
+(* Stride scheduling: dispatch the non-empty tenant with the least pass,
+   then advance its pass by cost/weight. Cost-aware — a tenant submitting
+   100-case jobs advances 50x faster than one submitting 2-case jobs, so
+   service time (not job count) is what ends up weighted. Ties break on
+   tenant name, which keeps dispatch order deterministic for tests. *)
+let next t =
+  let best =
+    Hashtbl.fold
+      (fun _ q acc ->
+        if Queue.is_empty q.jobs then acc
+        else
+          match acc with
+          | Some b when (b.pass, b.name) <= (q.pass, q.name) -> acc
+          | _ -> Some q)
+      t.tenants None
+  in
+  match best with
+  | None -> None
+  | Some q ->
+    let cost, payload = Queue.take q.jobs in
+    t.depth <- t.depth - 1;
+    t.vtime <- q.pass;
+    q.pass <- q.pass +. (float_of_int cost /. float_of_int q.weight);
+    Some (q.name, payload)

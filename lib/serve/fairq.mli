@@ -1,0 +1,51 @@
+(** Multi-tenant weighted fair queue with admission control.
+
+    The inbound job queue is where a repair service either stays fair under
+    pressure or collapses into head-of-line blocking for whichever tenant
+    floods it first. This queue does three things:
+
+    - {b Bounded admission}: at most [max_queue] jobs total; past that,
+      {!admit} rejects with {!Queue_full} and the server turns it into an
+      explicit BUSY + retry-after instead of buffering unboundedly.
+    - {b Per-tenant quotas}: at most [quota] queued jobs per tenant, so one
+      tenant cannot occupy the whole bounded queue.
+    - {b Weighted fairness}: dispatch is stride scheduling over per-tenant
+      FIFOs. Each tenant carries a virtual-time [pass]; {!next} picks the
+      lowest pass and advances it by [cost/weight]. Cost is the job's
+      case-repair count, so fairness is over service time, not job count;
+      a weight-2 tenant receives twice the throughput of a weight-1 tenant
+      under saturation. A tenant that was idle rejoins at the current
+      virtual time — sleeping never banks credit.
+
+    Deterministic: equal admission sequences give equal dispatch sequences
+    (ties break on tenant name), which the unit tests rely on. Not
+    thread-safe; the single-threaded server event loop is the only
+    caller. *)
+
+type reject =
+  | Queue_full of { depth : int; limit : int }
+  | Quota_exceeded of { tenant : string; queued : int; quota : int }
+
+val reject_reason : reject -> string
+
+type 'a t
+
+val create : ?max_queue:int -> ?quota:int -> ?weights:(string * int) list ->
+  unit -> 'a t
+(** Defaults: [max_queue] 128, [quota] 64 per tenant, weight 1 for any
+    tenant not listed in [weights] (listed weights are clamped to >= 1). *)
+
+val admit :
+  ?force:bool -> 'a t -> tenant:string -> cost:int -> 'a -> (int, reject) result
+(** Enqueue one job of [cost] case-repairs; [Ok depth] is the queue depth
+    after admission. [force] (restart re-enqueue of jobs that were already
+    durably accepted) bypasses the bound and quota — an accepted job is
+    never dropped by its own server's admission control. *)
+
+val next : 'a t -> (string * 'a) option
+(** Dispatch the fairest next job, or [None] when idle. *)
+
+val depth : 'a t -> int
+
+val tenant_depths : 'a t -> (string * int) list
+(** Tenants with queued jobs, name-sorted. *)

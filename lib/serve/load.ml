@@ -1,0 +1,128 @@
+type config = {
+  socket : string;
+  tenants : int;
+  jobs_per_tenant : int;
+  cases_per_job : int;
+  backend : string;
+  opts : Exec.Campaign_opts.t option;
+  timeout_s : float;
+}
+
+let default_config =
+  { socket = "rustbrain.sock";
+    tenants = 4;
+    jobs_per_tenant = 4;
+    cases_per_job = 2;
+    backend = "llm-only";
+    opts = None;
+    timeout_s = 120.0 }
+
+type outcome = {
+  submitted : int;
+  completed : int;
+  busy : int;          (** BUSY responses absorbed (each one retried) *)
+  errors : int;
+  cases_done : int;
+  wall_s : float;
+  jobs_per_s : float;
+  cases_per_s : float;
+  per_tenant : (string * int) list;  (** tenant -> completed jobs *)
+}
+
+let outcome_to_json o =
+  let open Rb_util.Json in
+  let num i = Num (float_of_int i) in
+  Obj
+    [ ("submitted", num o.submitted);
+      ("completed", num o.completed);
+      ("busy", num o.busy);
+      ("errors", num o.errors);
+      ("cases_done", num o.cases_done);
+      ("wall_s", Num o.wall_s);
+      ("jobs_per_s", Num o.jobs_per_s);
+      ("cases_per_s", Num o.cases_per_s);
+      ("per_tenant", Obj (List.map (fun (t, n) -> (t, num n)) o.per_tenant)) ]
+
+(* Per-tenant worker result, computed on its own domain. *)
+type tenant_result = {
+  t_name : string;
+  t_completed : int;
+  t_busy : int;
+  t_errors : int;
+  t_cases : int;
+}
+
+(* One tenant = one domain = one connection, submitting jobs back to back
+   and honoring BUSY retry-after like a well-behaved client. Case lists
+   rotate through the corpus so tenants do not all hit the same case. *)
+let tenant_worker cfg ~index =
+  let t_name = Printf.sprintf "tenant-%d" index in
+  let corpus = Dataset.Corpus.all in
+  let ncorpus = List.length corpus in
+  let case_at i =
+    (List.nth corpus ((i : int) mod ncorpus)).Dataset.Case.name
+  in
+  match Client.connect cfg.socket with
+  | Error _ ->
+    { t_name; t_completed = 0; t_busy = 0; t_errors = cfg.jobs_per_tenant;
+      t_cases = 0 }
+  | Ok client ->
+    let completed = ref 0 and busy = ref 0 and errors = ref 0 in
+    let cases_done = ref 0 in
+    for j = 0 to cfg.jobs_per_tenant - 1 do
+      let cases =
+        List.init cfg.cases_per_job (fun k ->
+            case_at ((index * 37) + (j * cfg.cases_per_job) + k))
+      in
+      (* retry BUSY with the server's own backoff advice, bounded *)
+      let rec attempt tries =
+        match
+          Client.request ~timeout_s:cfg.timeout_s client
+            (Wire.Submit
+               { tenant = t_name; backend = cfg.backend; cases = Some cases;
+                 opts = cfg.opts })
+        with
+        | Ok (Wire.Accepted { id; _ }) -> (
+          let rec wait () =
+            match Client.recv ~timeout_s:cfg.timeout_s client with
+            | Ok (Wire.Case { id = cid; _ }) when cid = id ->
+              incr cases_done;
+              wait ()
+            | Ok (Wire.Done { id = did; failed; _ }) when did = id ->
+              if failed = None then incr completed else incr errors
+            | Ok _ -> wait ()
+            | Error _ -> incr errors
+          in
+          wait ())
+        | Ok (Wire.Busy { retry_after_ms; _ }) when tries > 0 ->
+          incr busy;
+          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.0);
+          attempt (tries - 1)
+        | Ok _ | Error _ -> incr errors
+      in
+      attempt 50
+    done;
+    Client.close client;
+    { t_name; t_completed = !completed; t_busy = !busy; t_errors = !errors;
+      t_cases = !cases_done }
+
+let run cfg =
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init cfg.tenants (fun i ->
+        Domain.spawn (fun () -> tenant_worker cfg ~index:i))
+  in
+  let results = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let completed = List.fold_left (fun a r -> a + r.t_completed) 0 results in
+  let cases_done = List.fold_left (fun a r -> a + r.t_cases) 0 results in
+  { submitted = cfg.tenants * cfg.jobs_per_tenant;
+    completed;
+    busy = List.fold_left (fun a r -> a + r.t_busy) 0 results;
+    errors = List.fold_left (fun a r -> a + r.t_errors) 0 results;
+    cases_done;
+    wall_s;
+    jobs_per_s = (if wall_s > 0.0 then float_of_int completed /. wall_s else 0.0);
+    cases_per_s =
+      (if wall_s > 0.0 then float_of_int cases_done /. wall_s else 0.0);
+    per_tenant = List.map (fun r -> (r.t_name, r.t_completed)) results }

@@ -1,0 +1,38 @@
+(** Synthetic many-client load driver for the repair server.
+
+    Spawns one domain per simulated tenant, each holding its own
+    connection and submitting jobs back to back; BUSY responses are
+    honored by sleeping the server's advised retry-after and resubmitting,
+    so a saturated server is exercised through its admission control
+    rather than around it. Produces the sustained jobs/sec and cases/sec
+    numbers committed in [BENCH_serve.json]. *)
+
+type config = {
+  socket : string;
+  tenants : int;           (** concurrent client domains *)
+  jobs_per_tenant : int;
+  cases_per_job : int;
+  backend : string;
+  opts : Exec.Campaign_opts.t option;  (** [None] = server defaults *)
+  timeout_s : float;       (** per-receive patience *)
+}
+
+val default_config : config
+(** 4 tenants x 4 jobs x 2 cases against ["llm-only"], 120s timeout. *)
+
+type outcome = {
+  submitted : int;
+  completed : int;
+  busy : int;          (** BUSY responses absorbed (each one retried) *)
+  errors : int;
+  cases_done : int;
+  wall_s : float;
+  jobs_per_s : float;
+  cases_per_s : float;
+  per_tenant : (string * int) list;  (** tenant -> completed jobs *)
+}
+
+val outcome_to_json : outcome -> Rb_util.Json.t
+
+val run : config -> outcome
+(** Blocks until every tenant finishes its submissions. *)

@@ -1,0 +1,712 @@
+type config = {
+  socket : string;
+  state_dir : string;
+  runners : int;
+  domains_per_job : int option;
+  max_queue : int;
+  quota : int;
+  weights : (string * int) list;
+  default_opts : Exec.Campaign_opts.t;
+  tick_s : float;
+  trace : Obs.Trace.t option;
+  metrics : Obs.Metrics.registry option;
+}
+
+let default_config =
+  { socket = "rustbrain.sock";
+    state_dir = "serve-state";
+    runners = 2;
+    domains_per_job = None;
+    max_queue = 128;
+    quota = 64;
+    weights = [];
+    default_opts = Exec.Campaign_opts.default;
+    tick_s = 0.02;
+    trace = None;
+    metrics = None }
+
+type summary = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  busy : int;
+  rejected : int;
+  resumed : int;     (** jobs re-enqueued from the store at startup *)
+  left_queued : int; (** still-durable jobs left for the next start *)
+}
+
+(* -- job execution on a runner-slot domain ------------------------------ *)
+
+(* What a finished slot hands back to the event loop. Reports are in job
+   (seed-major, case-minor) order — exactly the stitched order the durable
+   results file stores. *)
+type job_outcome = {
+  reports : Rustbrain.Report.t list;
+  job_failed : string option;
+  replayed : int;
+}
+
+type slot = {
+  sub : Store.submission;
+  total_cases : int;
+  started_at : float;
+  stream : (int * string * int * string) Queue.t;
+      (* seq, case name, seed, rendered report — filled by the runner
+         domain as cases complete, drained by the event loop *)
+  stream_mx : Mutex.t;
+  finished : bool Atomic.t;
+  domain : (job_outcome, string) result Domain.t;
+}
+
+(* The slot domain runs the whole job: seed fan-out through the
+   domain-parallel scheduler, under the job's own write-ahead journal so a
+   killed server resumes it. Durable results are written here (before the
+   loop marks the job done); the event loop only does bookkeeping. *)
+let start_job (cfg : config) store (sub : Store.submission) =
+  let stream = Queue.create () in
+  let stream_mx = Mutex.create () in
+  let finished = Atomic.make false in
+  let total_cases = List.length sub.cases * List.length sub.opts.seeds in
+  let domain =
+    Domain.spawn (fun () ->
+        let result =
+          try
+          let runner =
+            match Exec.Campaign_opts.runner sub.opts ~backend:sub.backend with
+            | Ok r -> r
+            | Error e -> failwith e
+          in
+          let cases =
+            List.map
+              (fun n ->
+                match Dataset.Corpus.find n with
+                | Some c -> c
+                | None -> failwith (Printf.sprintf "unknown case %S" n))
+              sub.cases
+          in
+          let case_index = Hashtbl.create 16 in
+          List.iteri
+            (fun i (c : Dataset.Case.t) ->
+              Hashtbl.replace case_index c.Dataset.Case.name i)
+            cases;
+          let ncases = List.length cases in
+          let label = Printf.sprintf "serve/job-%06d" sub.id in
+          let jobs =
+            Exec.Scheduler.seeded_jobs ~label runner ~seeds:sub.opts.seeds cases
+          in
+          (* Streaming wrapper under the journal wrapper Checkpoint adds:
+             the case is pushed when repaired, then journaled. A crash
+             between the two can re-send a case after resume (at-least-once
+             streaming); the durable results file is exactly-once. Seq is
+             derived from the case's position, not a counter, so resumed
+             remainders keep their absolute positions. *)
+          let jobs =
+            List.mapi
+              (fun ji (j : Exec.Scheduler.job) ->
+                let seed = Exec.Runner.seed j.Exec.Scheduler.runner in
+                let base = ji * ncases in
+                let observe (case : Dataset.Case.t) report _stats ~snapshot:_ =
+                  let seq =
+                    base
+                    + Option.value ~default:0
+                        (Hashtbl.find_opt case_index case.Dataset.Case.name)
+                  in
+                  Mutex.protect stream_mx (fun () ->
+                      Queue.add
+                        ( seq, case.Dataset.Case.name, seed,
+                          Rustbrain.Report.to_json report )
+                        stream)
+                in
+                { j with
+                  Exec.Scheduler.runner =
+                    Exec.Runner.instrumented j.Exec.Scheduler.runner
+                      ~restore:None ~observe })
+              jobs
+          in
+          let dir = Store.journal_dir store sub.id in
+          let domains =
+            match sub.opts.domains with
+            | Some _ as d -> d
+            | None -> cfg.domains_per_job
+          in
+          let run mode = Exec.Checkpoint.run ?domains ~dir ~mode jobs in
+          let outcome =
+            try run Exec.Checkpoint.Resume
+            with Exec.Checkpoint.Fingerprint_mismatch _ ->
+              (* journal from another build or a changed corpus: recompute
+                 rather than refuse — the accepted job must still finish *)
+              run Exec.Checkpoint.Fresh
+          in
+          let reports =
+            List.concat_map
+              (fun r -> r.Exec.Scheduler.reports)
+              outcome.Exec.Checkpoint.results
+          in
+          Store.write_results store sub.id reports;
+          let job_failed =
+            match Exec.Scheduler.failures outcome.Exec.Checkpoint.results with
+            | [] -> None
+            | (j, f) :: _ ->
+              Some (Printf.sprintf "%s: %s" j.Exec.Scheduler.label f.Exec.Scheduler.exn)
+          in
+            Ok { reports; job_failed; replayed = outcome.Exec.Checkpoint.replayed }
+          with e -> Error (Printexc.to_string e)
+        in
+        (* set last: once observed true, [Domain.join] returns promptly *)
+        Atomic.set finished true;
+        result)
+  in
+  { sub; total_cases; started_at = Unix.gettimeofday (); stream; stream_mx;
+    finished; domain }
+
+let slot_finished s = Atomic.get s.finished
+
+(* -- connections -------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  dec : Wire.decoder;
+  mutable out : string;           (* bytes accepted but not yet written *)
+  mutable close_after_flush : bool;
+  mutable closed : bool;
+}
+
+let send conn resp =
+  if not conn.closed then
+    conn.out <- conn.out ^ Wire.encode (Wire.response_to_string resp)
+
+(* -- server state -------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  queue : Store.submission Fairq.t;
+  conns : (int, conn) Hashtbl.t;
+  subscribers : (int, int) Hashtbl.t;  (* job id -> conn id *)
+  mutable slots : slot list;
+  mutable shutting_down : bool;
+  mutable next_cid : int;
+  mutable service_ewma_ms : float;  (* per-job wall service time estimate *)
+  mutable accepted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable cancelled : int;
+  mutable busy : int;
+  mutable rejected : int;
+  mutable resumed : int;
+}
+
+let trace_event t name attrs =
+  match t.cfg.trace with
+  | None -> ()
+  | Some sink -> Obs.Trace.event sink ~attrs name
+
+let metric_inc t name =
+  match t.cfg.metrics with
+  | None -> ()
+  | Some reg -> Obs.Metrics.(incr (counter reg name))
+
+let metric_gauge t name v =
+  match t.cfg.metrics with
+  | None -> ()
+  | Some reg -> Obs.Metrics.(set (gauge reg name) v)
+
+let metric_observe t name v =
+  match t.cfg.metrics with
+  | None -> ()
+  | Some reg ->
+    Obs.Metrics.(
+      observe
+        (histogram
+           ~buckets:[| 10.; 100.; 1000.; 5000.; 20000.; 60000.; 300000. |]
+           reg name)
+        v)
+
+(* Backpressure advice: how long a rejected client should wait before
+   retrying. Scales with how much service time is queued ahead of it
+   divided by the slots that will drain it; clamped so a cold server never
+   says 0 and a drowning one never says "come back in an hour". *)
+let retry_after_ms t =
+  let queued = float_of_int (Fairq.depth t.queue + List.length t.slots) in
+  let per_slot = queued /. float_of_int (max 1 t.cfg.runners) in
+  int_of_float (Float.min 30000. (Float.max 50. (t.service_ewma_ms *. per_slot)))
+
+let job_cost (sub : Store.submission) =
+  List.length sub.cases * List.length sub.opts.seeds
+
+let running_ids t = List.map (fun s -> s.sub.Store.id) t.slots
+
+let is_running t id = List.mem id (running_ids t)
+
+(* -- request handling ---------------------------------------------------- *)
+
+let corpus_names () =
+  List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) Dataset.Corpus.all
+
+let handle_submit t conn ~tenant ~backend ~cases ~opts =
+  if t.shutting_down then begin
+    t.busy <- t.busy + 1;
+    metric_inc t "serve.busy";
+    send conn
+      (Wire.Busy { reason = "shutting-down"; retry_after_ms = retry_after_ms t })
+  end
+  else begin
+    let opts = Option.value ~default:t.cfg.default_opts opts in
+    let case_names = Option.value ~default:(corpus_names ()) cases in
+    let unknown =
+      List.filter (fun n -> Dataset.Corpus.find n = None) case_names
+    in
+    match Exec.Campaign_opts.validate opts with
+    | Error reason ->
+      t.rejected <- t.rejected + 1;
+      metric_inc t "serve.rejected";
+      send conn (Wire.Rejected { reason })
+    | Ok opts ->
+      if case_names = [] then begin
+        t.rejected <- t.rejected + 1;
+        metric_inc t "serve.rejected";
+        send conn (Wire.Rejected { reason = "empty case list" })
+      end
+      else if unknown <> [] then begin
+        t.rejected <- t.rejected + 1;
+        metric_inc t "serve.rejected";
+        send conn
+          (Wire.Rejected
+             { reason =
+                 Printf.sprintf "unknown case(s): %s"
+                   (String.concat ", " unknown) })
+      end
+      else begin
+        match Exec.Campaign_opts.runner opts ~backend with
+        | Error reason ->
+          t.rejected <- t.rejected + 1;
+          metric_inc t "serve.rejected";
+          send conn (Wire.Rejected { reason })
+        | Ok _ ->
+          let cost = List.length case_names * List.length opts.seeds in
+          (* admission-control decision first: only an admitted job is
+             made durable, so BUSY never leaks a state file *)
+          let decision =
+            if Fairq.depth t.queue >= t.cfg.max_queue then
+              Error
+                (Fairq.Queue_full
+                   { depth = Fairq.depth t.queue; limit = t.cfg.max_queue })
+            else Ok ()
+          in
+          (match decision with
+          | Error reject ->
+            t.busy <- t.busy + 1;
+            metric_inc t "serve.busy";
+            trace_event t "serve-busy"
+              [ ("tenant", Obs.Trace.S tenant);
+                ("reason", Obs.Trace.S (Fairq.reject_reason reject)) ];
+            send conn
+              (Wire.Busy
+                 { reason = Fairq.reject_reason reject;
+                   retry_after_ms = retry_after_ms t })
+          | Ok () -> (
+            (* durable admission: the store record lands (fsynced) before
+               ACCEPTED is even queued for write *)
+            let sub =
+              Store.admit t.store ~tenant ~backend ~cases:case_names ~opts
+            in
+            match Fairq.admit t.queue ~tenant ~cost sub with
+            | Error reject ->
+              (* quota rejection after the durable write would strand the
+                 record; cancel it durably so the store stays truthful *)
+              ignore (Store.cancel t.store sub.Store.id);
+              t.busy <- t.busy + 1;
+              metric_inc t "serve.busy";
+              send conn
+                (Wire.Busy
+                   { reason = Fairq.reject_reason reject;
+                     retry_after_ms = retry_after_ms t })
+            | Ok depth ->
+              t.accepted <- t.accepted + 1;
+              metric_inc t "serve.accepted";
+              metric_gauge t "serve.queue_depth" (float_of_int depth);
+              Hashtbl.replace t.subscribers sub.Store.id conn.cid;
+              trace_event t "serve-admit"
+                [ ("id", Obs.Trace.I sub.Store.id);
+                  ("tenant", Obs.Trace.S tenant);
+                  ("cost", Obs.Trace.I cost);
+                  ("depth", Obs.Trace.I depth) ];
+              send conn (Wire.Accepted { id = sub.Store.id; queued = depth })))
+      end
+  end
+
+let queued_position t id =
+  (* jobs still queued ahead of [id], by admission order — approximate
+     (fair queuing may dispatch a later tenant first) but monotone *)
+  List.length
+    (List.filter
+       (fun (s : Store.submission) ->
+         s.Store.id < id && not (is_running t s.Store.id))
+       (Store.pending t.store))
+
+let job_status t id =
+  match Store.status t.store id with
+  | None -> None
+  | Some (Store.Done c) ->
+    Some
+      (Wire.Finished
+         { cases = c.Store.cases; passed = c.Store.passed;
+           failed = c.Store.failed })
+  | Some Store.Cancelled -> Some Wire.Cancelled
+  | Some Store.Queued ->
+    if is_running t id then
+      let total =
+        match Store.submission t.store id with
+        | Some sub -> job_cost sub
+        | None -> 0
+      in
+      Some
+        (Wire.Running
+           { done_cases = Store.progress t.store id; total_cases = total })
+    else Some (Wire.Queued { position = queued_position t id })
+
+let handle_status t conn = function
+  | Some id -> (
+    match job_status t id with
+    | Some state -> send conn (Wire.Job { id; state })
+    | None ->
+      send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
+  | None ->
+    let queued, completed, cancelled = Store.counts t.store in
+    let running = List.length t.slots in
+    send conn
+      (Wire.Server
+         { queued = max 0 (queued - running);
+           running;
+           completed;
+           cancelled;
+           tenants = Fairq.tenant_depths t.queue })
+
+let handle_cancel t conn id =
+  if is_running t id then
+    send conn (Wire.Rejected { reason = Printf.sprintf "job %d is running" id })
+  else if Store.cancel t.store id then begin
+    t.cancelled <- t.cancelled + 1;
+    metric_inc t "serve.cancelled";
+    trace_event t "serve-cancel" [ ("id", Obs.Trace.I id) ];
+    send conn (Wire.Job { id; state = Wire.Cancelled })
+  end
+  else
+    send conn
+      (Wire.Rejected { reason = Printf.sprintf "job %d not cancellable" id })
+
+let handle_results t conn id =
+  match (Store.status t.store id, Store.submission t.store id) with
+  | Some (Store.Done c), Some sub -> (
+    match Store.read_results t.store id with
+    | None -> send conn (Wire.Error_msg "results file missing")
+    | Some text ->
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+      in
+      let ncases = max 1 (List.length sub.Store.cases) in
+      List.iteri
+        (fun seq line ->
+          let case =
+            match Rb_util.Json.parse line with
+            | Ok j ->
+              Option.value ~default:""
+                (Option.bind (Rb_util.Json.member "case" j) Rb_util.Json.to_str)
+            | Error _ -> ""
+          in
+          let seed =
+            match List.nth_opt sub.Store.opts.Exec.Campaign_opts.seeds (seq / ncases) with
+            | Some s -> s
+            | None -> 0
+          in
+          send conn (Wire.Case { id; seq; case; seed; report_json = line }))
+        lines;
+      send conn
+        (Wire.Done
+           { id; cases = c.Store.cases; passed = c.Store.passed;
+             failed = c.Store.failed }))
+  | Some state, _ -> (
+    ignore state;
+    match job_status t id with
+    | Some s -> send conn (Wire.Job { id; state = s })
+    | None -> send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
+  | None, _ ->
+    send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id))
+
+let handle_request t conn = function
+  | Wire.Submit { tenant; backend; cases; opts } ->
+    handle_submit t conn ~tenant ~backend ~cases ~opts
+  | Wire.Status id -> handle_status t conn id
+  | Wire.Cancel id -> handle_cancel t conn id
+  | Wire.Results id -> handle_results t conn id
+  | Wire.Shutdown ->
+    t.shutting_down <- true;
+    trace_event t "serve-shutdown"
+      [ ("active", Obs.Trace.I (List.length t.slots));
+        ("queued", Obs.Trace.I (Fairq.depth t.queue)) ];
+    send conn
+      (Wire.Shutting_down
+         { active = List.length t.slots; queued = Fairq.depth t.queue })
+
+(* -- slot lifecycle ------------------------------------------------------ *)
+
+let subscriber_conn t id =
+  Option.bind (Hashtbl.find_opt t.subscribers id) (fun cid ->
+      match Hashtbl.find_opt t.conns cid with
+      | Some c when not c.closed -> Some c
+      | _ -> None)
+
+let drain_stream t slot =
+  let items =
+    Mutex.protect slot.stream_mx (fun () ->
+        let xs = List.of_seq (Queue.to_seq slot.stream) in
+        Queue.clear slot.stream;
+        xs)
+  in
+  match subscriber_conn t slot.sub.Store.id with
+  | None -> ()
+  | Some conn ->
+    List.iter
+      (fun (seq, case, seed, report_json) ->
+        metric_inc t "serve.cases.streamed";
+        send conn
+          (Wire.Case { id = slot.sub.Store.id; seq; case; seed; report_json }))
+      items
+
+let dispatch t =
+  let continue = ref true in
+  while !continue && List.length t.slots < t.cfg.runners do
+    match Fairq.next t.queue with
+    | None -> continue := false
+    | Some (_tenant, sub) -> (
+      match Store.status t.store sub.Store.id with
+      | Some Store.Queued ->
+        trace_event t "serve-dispatch"
+          [ ("id", Obs.Trace.I sub.Store.id);
+            ("tenant", Obs.Trace.S sub.Store.tenant) ];
+        t.slots <- t.slots @ [ start_job t.cfg t.store sub ]
+      | _ -> () (* cancelled while queued: drained, never started *))
+  done;
+  metric_gauge t "serve.queue_depth" (float_of_int (Fairq.depth t.queue));
+  metric_gauge t "serve.active" (float_of_int (List.length t.slots))
+
+let finalize_slot t slot =
+  let outcome = Domain.join slot.domain in
+  let service_ms = (Unix.gettimeofday () -. slot.started_at) *. 1000.0 in
+  t.service_ewma_ms <- (0.7 *. t.service_ewma_ms) +. (0.3 *. service_ms);
+  metric_observe t "serve.service_ms" service_ms;
+  metric_observe t
+    (Printf.sprintf "serve.service_ms.%s" slot.sub.Store.tenant)
+    service_ms;
+  let id = slot.sub.Store.id in
+  let completion =
+    match outcome with
+    | Ok o ->
+      let passed =
+        List.length
+          (List.filter (fun (r : Rustbrain.Report.t) -> r.Rustbrain.Report.passed) o.reports)
+      in
+      if o.replayed > 0 then metric_inc t "serve.jobs.resumed";
+      { Store.cases = List.length o.reports; passed; failed = o.job_failed }
+    | Error msg -> { Store.cases = 0; passed = 0; failed = Some msg }
+  in
+  (match outcome with
+  | Error msg ->
+    (* even a crashed job leaves durable (empty) results so RESULTS is
+       well-defined *)
+    Store.write_results t.store id [];
+    ignore msg
+  | Ok _ -> ());
+  Store.complete t.store id completion;
+  (match completion.Store.failed with
+  | None ->
+    t.completed <- t.completed + 1;
+    metric_inc t "serve.completed"
+  | Some _ ->
+    t.failed <- t.failed + 1;
+    metric_inc t "serve.failed");
+  trace_event t "serve-job-done"
+    [ ("id", Obs.Trace.I id);
+      ("cases", Obs.Trace.I completion.Store.cases);
+      ("passed", Obs.Trace.I completion.Store.passed);
+      ("failed", Obs.Trace.B (completion.Store.failed <> None)) ];
+  (match subscriber_conn t id with
+  | None -> ()
+  | Some conn ->
+    send conn
+      (Wire.Done
+         { id; cases = completion.Store.cases;
+           passed = completion.Store.passed;
+           failed = completion.Store.failed }));
+  Hashtbl.remove t.subscribers id
+
+let poll_slots t =
+  let done_, live = List.partition slot_finished t.slots in
+  t.slots <- live;
+  List.iter (drain_stream t) live;
+  (* drain once more after the finished flag so every case frame precedes
+     the job's Done frame *)
+  List.iter (fun s -> drain_stream t s; finalize_slot t s) done_
+
+(* -- socket plumbing ----------------------------------------------------- *)
+
+let try_flush conn =
+  if (not conn.closed) && conn.out <> "" then begin
+    let b = Bytes.unsafe_of_string conn.out in
+    match Unix.write conn.fd b 0 (Bytes.length b) with
+    | n ->
+      conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      conn.closed <- true
+  end
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end
+  else (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove t.conns conn.cid
+
+let read_conn t conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn t conn
+    | n -> (
+      metric_inc t "serve.frames.fed";
+      match Wire.feed conn.dec buf 0 n with
+      | Ok frames ->
+        List.iter
+          (fun payload ->
+            match Wire.parse_request payload with
+            | Ok req -> handle_request t conn req
+            | Error e ->
+              metric_inc t "serve.protocol_errors";
+              send conn (Wire.Error_msg e))
+          frames;
+        go ()
+      | Error e ->
+        (* framing violation: this connection is unrecoverable, the loop
+           is not — answer, flush, drop *)
+        metric_inc t "serve.protocol_errors";
+        trace_event t "serve-protocol-error" [ ("err", Obs.Trace.S e) ];
+        send conn (Wire.Error_msg e);
+        conn.close_after_flush <- true)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  in
+  go ()
+
+(* -- main loop ----------------------------------------------------------- *)
+
+let run ?(on_ready = fun (_ : string) -> ()) cfg =
+  (* a dead client mid-write must be an EPIPE error, not a process kill *)
+  let previous_sigpipe =
+    match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+    | s -> Some s
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let store = Store.open_dir ~dir:cfg.state_dir in
+  let queue =
+    Fairq.create ~max_queue:cfg.max_queue ~quota:cfg.quota ~weights:cfg.weights ()
+  in
+  let t =
+    { cfg; store; queue; conns = Hashtbl.create 16;
+      subscribers = Hashtbl.create 16; slots = []; shutting_down = false;
+      next_cid = 0; service_ewma_ms = 1000.0; accepted = 0; completed = 0;
+      failed = 0; cancelled = 0; busy = 0; rejected = 0; resumed = 0 }
+  in
+  (match cfg.trace with
+  | None -> ()
+  | Some sink -> Obs.Trace.set_time_source sink Unix.gettimeofday);
+  (* durable resume: everything accepted and unfinished before the last
+     kill re-enters the queue, before the socket even opens *)
+  List.iter
+    (fun (sub : Store.submission) ->
+      t.resumed <- t.resumed + 1;
+      metric_inc t "serve.jobs.requeued";
+      ignore
+        (Fairq.admit ~force:true t.queue ~tenant:sub.Store.tenant
+           ~cost:(job_cost sub) sub))
+    (Store.pending t.store);
+  trace_event t "serve-start"
+    [ ("resumed", Obs.Trace.I t.resumed);
+      ("runners", Obs.Trace.I cfg.runners) ];
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Rb_util.Fsfile.remove_if_exists cfg.socket;
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  on_ready cfg.socket;
+  let accept_new () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        Hashtbl.replace t.conns cid
+          { fd; cid; dec = Wire.decoder (); out = ""; close_after_flush = false;
+            closed = false };
+        metric_inc t "serve.connections";
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let conn_list () = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let finished () =
+    t.shutting_down && t.slots = []
+    && List.for_all (fun c -> c.out = "") (conn_list ())
+  in
+  while not (finished ()) do
+    let conns = conn_list () in
+    let rds = listen_fd :: List.map (fun c -> c.fd) conns in
+    let wrs =
+      List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) conns
+    in
+    (match Unix.select rds wrs [] cfg.tick_s with
+    | rd, wr, _ ->
+      if List.mem listen_fd rd then accept_new ();
+      List.iter
+        (fun c -> if (not c.closed) && List.mem c.fd rd then read_conn t c)
+        conns;
+      List.iter
+        (fun c -> if (not c.closed) && List.mem c.fd wr then try_flush c)
+        conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if not t.shutting_down then dispatch t;
+    poll_slots t;
+    if t.shutting_down then
+      (* still drain finished work, but start nothing new *)
+      metric_gauge t "serve.active" (float_of_int (List.length t.slots));
+    (* eager flush: a response written this tick should not wait for the
+       next select round trip *)
+    List.iter (fun c -> if not c.closed then try_flush c) (conn_list ());
+    List.iter
+      (fun c ->
+        if c.closed || (c.close_after_flush && c.out = "") then close_conn t c)
+      (conn_list ())
+  done;
+  List.iter (fun c -> close_conn t c) (conn_list ());
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Rb_util.Fsfile.remove_if_exists cfg.socket;
+  (match previous_sigpipe with
+  | Some s -> (try Sys.set_signal Sys.sigpipe s with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  let queued, _, _ = Store.counts t.store in
+  { accepted = t.accepted;
+    completed = t.completed;
+    failed = t.failed;
+    cancelled = t.cancelled;
+    busy = t.busy;
+    rejected = t.rejected;
+    resumed = t.resumed;
+    left_queued = queued }

@@ -1,0 +1,60 @@
+(** Event-driven repair campaign server.
+
+    One single-threaded [Unix.select] event loop owns the listening
+    Unix-domain socket, every client connection, the {!Fairq} admission
+    queue and the durable {!Store}; repair jobs themselves run on
+    runner-slot domains (at most [runners] concurrent jobs, each internally
+    domain-parallel via [Exec.Checkpoint.run]). The loop never blocks on a
+    job: slots signal completion through an atomic flag the loop polls each
+    tick, and stream per-case reports through a mutex-guarded queue the
+    loop drains into CASE frames.
+
+    Durability contract: a job is ACCEPTED only after its submission record
+    is fsynced into the store, each job runs under its own write-ahead
+    journal, and a server restarted on the same state directory re-enqueues
+    every accepted-but-unfinished job before opening its socket — repairs
+    already journaled are replayed, not recomputed, and the stitched
+    results file is byte-identical to an uninterrupted run's.
+
+    Admission control: a full queue or an over-quota tenant gets an
+    explicit BUSY frame carrying a retry-after hint derived from an EWMA of
+    per-job service time scaled by the backlog — callers are told to back
+    off instead of being buffered unboundedly or silently dropped. *)
+
+type config = {
+  socket : string;           (** Unix-domain socket path to bind *)
+  state_dir : string;        (** {!Store} root; survives restarts *)
+  runners : int;             (** concurrent job slots (domains) *)
+  domains_per_job : int option;
+      (** scheduler width for jobs whose opts leave [domains] unset *)
+  max_queue : int;           (** bounded inbound queue (jobs) *)
+  quota : int;               (** max queued jobs per tenant *)
+  weights : (string * int) list;  (** fair-queue tenant weights *)
+  default_opts : Exec.Campaign_opts.t;
+      (** applied when SUBMIT carries no opts *)
+  tick_s : float;            (** select timeout; slot-poll cadence *)
+  trace : Obs.Trace.t option;
+  metrics : Obs.Metrics.registry option;
+}
+
+val default_config : config
+(** socket ["rustbrain.sock"], state dir ["serve-state"], 2 runners,
+    queue bound 128, quota 64, 20ms tick, no trace/metrics. *)
+
+type summary = {
+  accepted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  busy : int;        (** submissions turned away with BUSY *)
+  rejected : int;    (** submissions refused as invalid *)
+  resumed : int;     (** jobs re-enqueued from the store at startup *)
+  left_queued : int; (** still-durable jobs left for the next start *)
+}
+
+val run : ?on_ready:(string -> unit) -> config -> summary
+(** Run the server until a SHUTDOWN frame arrives and in-flight jobs have
+    drained (queued-but-unstarted jobs stay durable for the next start).
+    [on_ready] is called with the socket path once it is bound and
+    listening — the hook tests and the smoke gate use to know when to
+    connect. Installs a [SIGPIPE] ignore handler for the duration. *)

@@ -1,0 +1,219 @@
+type submission = {
+  id : int;
+  tenant : string;
+  backend : string;
+  cases : string list;
+  opts : Exec.Campaign_opts.t;
+}
+
+type completion = { cases : int; passed : int; failed : string option }
+
+type status = Queued | Done of completion | Cancelled
+
+type t = {
+  dir : string;
+  queue_dir : string;
+  results_dir : string;
+  jobs_dir : string;
+  statuses : (int, status) Hashtbl.t;
+  subs : (int, submission) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let job_file t id = Filename.concat t.queue_dir (Printf.sprintf "job-%06d.json" id)
+let done_file t id = Filename.concat t.queue_dir (Printf.sprintf "done-%06d.json" id)
+
+let cancelled_file t id =
+  Filename.concat t.queue_dir (Printf.sprintf "cancelled-%06d.json" id)
+
+let results_path t id =
+  Filename.concat t.results_dir (Printf.sprintf "job-%06d.jsonl" id)
+
+let journal_dir t id = Filename.concat t.jobs_dir (Printf.sprintf "job-%06d" id)
+
+(* -- submission codec --------------------------------------------------- *)
+
+let render_submission s =
+  Rb_util.Json.(
+    to_string
+      (Obj
+         [ ("id", Num (float_of_int s.id));
+           ("tenant", Str s.tenant);
+           ("backend", Str s.backend);
+           ("cases", List (List.map (fun c -> Str c) s.cases));
+           ("opts", Exec.Campaign_opts.to_wire_json s.opts) ]))
+
+let parse_submission text =
+  let ( let* ) r f = Result.bind r f in
+  let open Rb_util.Json in
+  let* json = parse text in
+  let field name conv =
+    match Option.bind (member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "submission field %S missing or mistyped" name)
+  in
+  let* id = field "id" to_int in
+  let* tenant = field "tenant" to_str in
+  let* backend = field "backend" to_str in
+  let* cases = field "cases" to_list in
+  let* cases =
+    List.fold_right
+      (fun c acc ->
+        let* acc = acc in
+        match to_str c with
+        | Some s -> Ok (s :: acc)
+        | None -> Error "non-string case name")
+      cases (Ok [])
+  in
+  let* opts =
+    match member "opts" json with
+    | Some o -> Exec.Campaign_opts.of_wire_json o
+    | None -> Ok Exec.Campaign_opts.default
+  in
+  Ok { id; tenant; backend; cases; opts }
+
+let render_completion id c =
+  Rb_util.Json.(
+    to_string
+      (Obj
+         ([ ("id", Num (float_of_int id));
+            ("cases", Num (float_of_int c.cases));
+            ("passed", Num (float_of_int c.passed)) ]
+         @ match c.failed with None -> [] | Some m -> [ ("failed", Str m) ])))
+
+let parse_completion text =
+  match Rb_util.Json.parse text with
+  | Error _ -> None
+  | Ok j ->
+    let open Rb_util.Json in
+    let int name = Option.bind (member name j) to_int in
+    (match (int "cases", int "passed") with
+    | Some cases, Some passed ->
+      Some { cases; passed; failed = Option.bind (member "failed" j) to_str }
+    | _ -> None)
+
+(* -- scan / open -------------------------------------------------------- *)
+
+let scan_ids dir prefix =
+  (match Sys.readdir dir with
+  | files -> Array.to_list files
+  | exception Sys_error _ -> [])
+  |> List.filter_map (fun f ->
+       let pn = String.length prefix in
+       if
+         String.length f = pn + 11
+         && String.sub f 0 pn = prefix
+         && Filename.check_suffix f ".json"
+       then int_of_string_opt (String.sub f pn 6)
+       else None)
+
+let open_dir ~dir =
+  let t =
+    { dir;
+      queue_dir = Filename.concat dir "queue";
+      results_dir = Filename.concat dir "results";
+      jobs_dir = Filename.concat dir "jobs";
+      statuses = Hashtbl.create 64;
+      subs = Hashtbl.create 64;
+      next_id = 0 }
+  in
+  Rb_util.Fsfile.mkdir_p t.queue_dir;
+  Rb_util.Fsfile.mkdir_p t.results_dir;
+  Rb_util.Fsfile.mkdir_p t.jobs_dir;
+  (* Admission records are the source of truth; markers refine them. An
+     unparseable admission record (torn by a crash mid-write is impossible
+     — writes are atomic — but disks rot) is skipped, not fatal. *)
+  List.iter
+    (fun id ->
+      match Option.map parse_submission (Rb_util.Fsfile.read (job_file t id)) with
+      | Some (Ok sub) ->
+        Hashtbl.replace t.subs id sub;
+        Hashtbl.replace t.statuses id Queued
+      | Some (Error _) | None -> ())
+    (List.sort compare (scan_ids t.queue_dir "job-"));
+  List.iter
+    (fun id ->
+      if Hashtbl.mem t.subs id then
+        match
+          Option.bind (Rb_util.Fsfile.read (done_file t id)) parse_completion
+        with
+        | Some c -> Hashtbl.replace t.statuses id (Done c)
+        | None -> ())
+    (scan_ids t.queue_dir "done-");
+  List.iter
+    (fun id ->
+      if Hashtbl.mem t.subs id then Hashtbl.replace t.statuses id Cancelled)
+    (scan_ids t.queue_dir "cancelled-");
+  t.next_id <-
+    1 + Hashtbl.fold (fun id _ acc -> max id acc) t.subs (-1);
+  t
+
+let dir t = t.dir
+
+let submission t id = Hashtbl.find_opt t.subs id
+
+let status t id = Hashtbl.find_opt t.statuses id
+
+let pending t =
+  Hashtbl.fold
+    (fun id s acc -> match s with Queued -> id :: acc | _ -> acc)
+    t.statuses []
+  |> List.sort compare
+  |> List.map (fun id -> Hashtbl.find t.subs id)
+
+let counts t =
+  Hashtbl.fold
+    (fun _ s (q, d, c) ->
+      match s with
+      | Queued -> (q + 1, d, c)
+      | Done _ -> (q, d + 1, c)
+      | Cancelled -> (q, d, c + 1))
+    t.statuses (0, 0, 0)
+
+(* -- transitions (each durable before it is acknowledged) ---------------- *)
+
+let admit t ~tenant ~backend ~cases ~opts =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let sub = { id; tenant; backend; cases; opts } in
+  (* write_atomic fsyncs the record and its directory entry: once this
+     returns, a kill -9 cannot lose the acceptance we are about to send *)
+  Rb_util.Fsfile.write_atomic (job_file t id) (render_submission sub);
+  Hashtbl.replace t.subs id sub;
+  Hashtbl.replace t.statuses id Queued;
+  sub
+
+let cancel t id =
+  match Hashtbl.find_opt t.statuses id with
+  | Some Queued ->
+    Rb_util.Fsfile.write_atomic (cancelled_file t id)
+      (Printf.sprintf {|{"id":%d}|} id);
+    Hashtbl.replace t.statuses id Cancelled;
+    true
+  | _ -> false
+
+let write_results t id reports =
+  Rb_util.Fsfile.write_channel (results_path t id) (fun oc ->
+      Rustbrain.Report.emit_jsonl oc (List.to_seq reports))
+
+let complete t id completion =
+  Rb_util.Fsfile.write_atomic (done_file t id) (render_completion id completion);
+  Hashtbl.replace t.statuses id (Done completion)
+
+let read_results t id = Rb_util.Fsfile.read (results_path t id)
+
+(* Journaled case-repairs for a running job — progress visible across a
+   kill because each record segment is its own durable file. *)
+let progress t id =
+  match Sys.readdir (journal_dir t id) with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if
+          String.length f > 4
+          && String.sub f 0 4 = "rec-"
+          && Filename.check_suffix f ".json"
+        then n + 1
+        else n)
+      0 files

@@ -1,0 +1,80 @@
+(** Durable accepted-jobs store: the server's source of truth on disk.
+
+    The admission contract is: a job id is sent back as ACCEPTED only
+    after its submission record is durable. Every transition is its own
+    atomically-written file (via {!Rb_util.Fsfile}, which fsyncs both the
+    file and its directory entry), so a server killed with [kill -9] at
+    any instant restarts into a consistent state and {!pending} returns
+    exactly the accepted-but-unfinished jobs, in admission order.
+
+    Layout under the state directory:
+    {v
+    queue/job-NNNNNN.json        durable admission record (id, tenant,
+                                 backend, case names, wire opts)
+    queue/done-NNNNNN.json       completion marker (cases/passed/failed)
+    queue/cancelled-NNNNNN.json  cancellation marker
+    results/job-NNNNNN.jsonl     stitched per-case reports, one
+                                 Report.to_json line per case
+    jobs/job-NNNNNN/             that job's Exec.Journal directory
+    v}
+
+    Crash windows are all safe: killed after admission → the job re-runs
+    from its journal; killed after results but before the done marker →
+    the re-run fully replays from the journal and rewrites byte-identical
+    results; markers and results are never ambiguous because each is one
+    atomic rename. *)
+
+type submission = {
+  id : int;
+  tenant : string;
+  backend : string;
+  cases : string list;          (** resolved case names, campaign order *)
+  opts : Exec.Campaign_opts.t;  (** wire subset *)
+}
+
+type completion = { cases : int; passed : int; failed : string option }
+
+type status = Queued | Done of completion | Cancelled
+
+type t
+
+val open_dir : dir:string -> t
+(** Create/scan the state directory; in-memory status mirrors disk. *)
+
+val dir : t -> string
+
+val admit :
+  t -> tenant:string -> backend:string -> cases:string list ->
+  opts:Exec.Campaign_opts.t -> submission
+(** Assign the next id and durably record the submission before returning
+    — the caller may acknowledge ACCEPTED the moment this returns. *)
+
+val pending : t -> submission list
+(** Accepted-but-unfinished jobs, admission order. On a fresh {!open_dir}
+    this is the restart work list. *)
+
+val submission : t -> int -> submission option
+val status : t -> int -> status option
+
+val counts : t -> int * int * int
+(** (queued-or-running, completed, cancelled). *)
+
+val cancel : t -> int -> bool
+(** Durably cancel a still-queued job; [false] if unknown or past that. *)
+
+val write_results : t -> int -> Rustbrain.Report.t list -> unit
+(** Atomically (re)write the stitched results JSONL. *)
+
+val complete : t -> int -> completion -> unit
+(** Durably mark the job finished; call after {!write_results}. *)
+
+val read_results : t -> int -> string option
+
+val results_path : t -> int -> string
+
+val journal_dir : t -> int -> string
+(** Where this job's {!Exec.Checkpoint} write-ahead journal lives. *)
+
+val progress : t -> int -> int
+(** Journaled case-repairs so far (counts the job journal's record
+    segments) — live progress that survives a kill. *)

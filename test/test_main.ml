@@ -28,4 +28,5 @@ let () =
       ("journal", Test_journal.suite);
       ("resilience", Test_resilience.suite);
       ("stats", Test_stats.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite) ]

@@ -1,0 +1,620 @@
+(* The serving layer's pure parts: wire framing and message codecs, the
+   weighted fair queue's admission control and dispatch order, the durable
+   accepted-jobs store's crash-visible transitions, the campaign-options
+   wire subset, and the versioned report codec the wire splices through. *)
+
+module Wire = Serve.Wire
+module Fairq = Serve.Fairq
+module Store = Serve.Store
+module Opts = Exec.Campaign_opts
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Store state directories nest (queue/ results/ jobs/), so cleanup is
+   recursive, unlike test_journal's flat [with_dir]. *)
+let with_dir f =
+  let dir = Filename.temp_file "rustbrain-test-serve" "" in
+  Sys.remove dir;
+  Rb_util.Fsfile.mkdir_p dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let mk_report ?(name = "case-a") ?(passed = true) () =
+  { Rustbrain.Report.case_name = name;
+    category = Miri.Diag.Validity;
+    passed;
+    semantic = false;
+    seconds = 12.5;
+    llm_calls = 3;
+    tokens = 1234;
+    iterations = 2;
+    solutions_tried = 1;
+    rollbacks = 0;
+    n_sequence = [ 3; 1; 0 ];
+    winning_solution = Some "s1";
+    feedback_hit = false;
+    retries = 1;
+    faults = 2;
+    breaker_trips = 0;
+    degraded = false;
+    gave_up = false;
+    trace = [ "line one"; "line \"two\"\twith\\escapes" ] }
+
+(* -- framing ------------------------------------------------------------ *)
+
+let feed_string d s =
+  Wire.feed d (Bytes.of_string s) 0 (String.length s)
+
+let check_frames msg expected = function
+  | Ok frames -> Alcotest.(check (list string)) msg expected frames
+  | Error e -> Alcotest.failf "%s: unexpected violation: %s" msg e
+
+let test_framing_roundtrip () =
+  let payloads = [ "hello"; "{}"; String.make 4096 'x'; "{\"type\":\"shutdown\"}" ] in
+  let stream = String.concat "" (List.map Wire.encode payloads) in
+  let d = Wire.decoder () in
+  check_frames "one chunk" payloads (feed_string d stream);
+  Alcotest.(check int) "nothing buffered" 0 (Wire.buffered d)
+
+let test_framing_byte_at_a_time () =
+  let payloads = [ "a"; "bb"; "ccc" ] in
+  let stream = String.concat "" (List.map Wire.encode payloads) in
+  let d = Wire.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      match feed_string d (String.make 1 c) with
+      | Ok fs -> got := !got @ fs
+      | Error e -> Alcotest.failf "byte feed: %s" e)
+    stream;
+  Alcotest.(check (list string)) "same frames any split" payloads !got;
+  Alcotest.(check int) "drained" 0 (Wire.buffered d)
+
+let test_framing_torn () =
+  let frame = Wire.encode "torn-frame-payload" in
+  let d = Wire.decoder () in
+  (* header only *)
+  check_frames "header only" [] (feed_string d (String.sub frame 0 3));
+  Alcotest.(check int) "3 buffered" 3 (Wire.buffered d);
+  (* header + part of payload *)
+  check_frames "mid payload" []
+    (feed_string d (String.sub frame 3 7));
+  Alcotest.(check int) "10 buffered" 10 (Wire.buffered d);
+  check_frames "completion" [ "torn-frame-payload" ]
+    (feed_string d (String.sub frame 10 (String.length frame - 10)))
+
+let test_framing_oversized () =
+  let d = Wire.decoder ~max_frame:16 () in
+  (match feed_string d (Wire.encode (String.make 17 'y')) with
+  | Error e ->
+    Alcotest.(check bool) "names the limit" true
+      (String.length e > 0 && String.exists (fun c -> c = '1') e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* poisoned: even a well-formed frame now errors *)
+  match feed_string d (Wire.encode "ok") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder not poisoned after violation"
+
+let test_framing_nonpositive () =
+  let bad = Bytes.make 4 '\000' in
+  let d = Wire.decoder () in
+  (match Wire.feed d bad 0 4 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero-length frame accepted");
+  let d2 = Wire.decoder () in
+  Bytes.set_int32_be bad 0 (-5l);
+  match Wire.feed d2 bad 0 4 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative-length frame accepted"
+
+let test_framing_frames_before_violation () =
+  let good = Wire.encode "good" in
+  let bad = Bytes.make 4 '\000' in
+  let chunk = good ^ Bytes.to_string bad in
+  let d = Wire.decoder () in
+  (* frames completed before the bad header are delivered exactly once... *)
+  check_frames "pre-violation frame" [ "good" ] (feed_string d chunk);
+  (* ...and the poisoning surfaces on the next feed *)
+  match feed_string d (Wire.encode "after") with
+  | Error _ -> ()
+  | Ok fs ->
+    Alcotest.failf "poisoned decoder yielded %d frames" (List.length fs)
+
+(* -- message codecs ----------------------------------------------------- *)
+
+let wire_opts =
+  { Opts.default with
+    seeds = [ 3; 4 ];
+    domains = Some 2;
+    fault_rate = 0.25;
+    retries = 5;
+    deadline_ms = 1000 }
+
+let test_request_roundtrip () =
+  let requests =
+    [ Wire.Submit
+        { tenant = "acme"; backend = "rustbrain";
+          cases = Some [ "c1"; "c2" ]; opts = Some wire_opts };
+      Wire.Submit
+        { tenant = "default"; backend = "llm-only"; cases = None; opts = None };
+      Wire.Status None;
+      Wire.Status (Some 7);
+      Wire.Cancel 3;
+      Wire.Results 9;
+      Wire.Shutdown ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.parse_request (Wire.request_to_string r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "request round-trips: %s" (Wire.request_to_string r))
+          true (r = r')
+      | Error e -> Alcotest.failf "request rejected: %s" e)
+    requests
+
+let test_response_roundtrip () =
+  (* a report member built through the canonical Json renderer round-trips
+     byte-exactly; real CASE frames splice Report.to_json, tested below *)
+  let report_json =
+    Rb_util.Json.(to_string (Obj [ ("v", Num 1.0); ("case", Str "x") ]))
+  in
+  let responses =
+    [ Wire.Accepted { id = 4; queued = 2 };
+      Wire.Busy { reason = "queue-full (128/128 jobs queued)"; retry_after_ms = 250 };
+      Wire.Rejected { reason = "unknown case" };
+      Wire.Job { id = 1; state = Wire.Queued { position = 3 } };
+      Wire.Job { id = 1; state = Wire.Running { done_cases = 2; total_cases = 9 } };
+      Wire.Job
+        { id = 1; state = Wire.Finished { cases = 9; passed = 8; failed = None } };
+      Wire.Job
+        { id = 2;
+          state = Wire.Finished { cases = 1; passed = 0; failed = Some "boom" } };
+      Wire.Job { id = 5; state = Wire.Cancelled };
+      Wire.Server
+        { queued = 3; running = 2; completed = 7; cancelled = 1;
+          tenants = [ ("acme", 2); ("beta", 1) ] };
+      Wire.Case { id = 0; seq = 2; case = "c\"x"; seed = 42; report_json };
+      Wire.Done { id = 0; cases = 4; passed = 4; failed = None };
+      Wire.Shutting_down { active = 1; queued = 0 };
+      Wire.Error_msg "bad frame length 0" ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.parse_response (Wire.response_to_string r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "response round-trips: %s" (Wire.response_to_string r))
+          true (r = r')
+      | Error e -> Alcotest.failf "response rejected: %s" e)
+    responses
+
+let test_case_frame_verbatim () =
+  (* the CASE frame's report member is the exact Report.to_json bytes —
+     the same bytes the durable results file stores *)
+  let report_json = Rustbrain.Report.to_json (mk_report ()) in
+  let rendered =
+    Wire.response_to_string
+      (Wire.Case { id = 1; seq = 0; case = "case-a"; seed = 7; report_json })
+  in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "splices report verbatim" true
+    (contains ~needle:(Printf.sprintf "\"report\":%s" report_json) rendered);
+  match Wire.parse_response rendered with
+  | Ok (Wire.Case { report_json = rj; _ }) -> (
+    (* parse side re-renders through Json.t; the report must survive *)
+    match Rustbrain.Report.of_json rj with
+    | Ok r -> Alcotest.(check string) "report intact" report_json
+                (Rustbrain.Report.to_json r)
+    | Error e -> Alcotest.failf "re-rendered report unreadable: %s" e)
+  | Ok _ -> Alcotest.fail "case frame parsed as something else"
+  | Error e -> Alcotest.failf "case frame rejected: %s" e
+
+let test_malformed_requests () =
+  let bad =
+    [ "not json at all";
+      "{}";                                      (* no type *)
+      {|{"type":"warp"}|};                       (* unknown type *)
+      {|{"type":"cancel"}|};                     (* cancel needs an id *)
+      {|{"type":"submit","cases":"c1"}|};        (* cases must be a list *)
+      {|{"type":"submit","opts":{"seeds":"1"}}|} (* mistyped opts *) ]
+  in
+  List.iter
+    (fun s ->
+      match Wire.parse_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed request: %s" s)
+    bad
+
+(* -- campaign options wire subset --------------------------------------- *)
+
+let test_opts_wire_roundtrip () =
+  (* local plumbing must not travel: journal/trace/out stay behind *)
+  let local =
+    { wire_opts with
+      journal = Some "j"; resume = true; trace = Some "t.jsonl";
+      metrics = true; out = Some "o.jsonl" }
+  in
+  match Opts.of_wire_json (Opts.to_wire_json local) with
+  | Error e -> Alcotest.failf "wire round-trip rejected: %s" e
+  | Ok got ->
+    Alcotest.(check bool) "wire fields survive, local fields dropped" true
+      (got = wire_opts)
+
+let test_opts_wire_defaults_and_rejects () =
+  (match Opts.of_wire_json (Rb_util.Json.Obj []) with
+  | Ok o -> Alcotest.(check bool) "empty object = defaults" true (o = Opts.default)
+  | Error e -> Alcotest.failf "empty opts rejected: %s" e);
+  let reject label json =
+    match Opts.of_wire_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" label
+  in
+  Rb_util.Json.(
+    reject "mistyped seeds" (Obj [ ("seeds", Str "1") ]);
+    reject "empty seeds" (Obj [ ("seeds", List []) ]);
+    reject "out-of-range fault rate" (Obj [ ("fault_rate", Num 1.5) ]);
+    reject "negative retries" (Obj [ ("retries", Num (-1.0)) ]);
+    reject "zero domains" (Obj [ ("domains", Num 0.0) ]))
+
+let test_opts_validate () =
+  let bad l o =
+    match Opts.validate o with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "validate accepted %s" l
+  in
+  bad "empty seeds" { Opts.default with seeds = [] };
+  bad "fault rate 2.0" { Opts.default with fault_rate = 2.0 };
+  bad "negative deadline" { Opts.default with deadline_ms = -1 };
+  bad "zero domains" { Opts.default with domains = Some 0 };
+  match Opts.validate wire_opts with
+  | Ok o -> Alcotest.(check bool) "valid opts pass unchanged" true (o = wire_opts)
+  | Error e -> Alcotest.failf "valid opts rejected: %s" e
+
+let test_opts_journal_mode () =
+  (match Opts.journal_mode Opts.default with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "default opts should run unjournaled"
+  | Error e -> Alcotest.failf "default journal mode rejected: %s" e);
+  let bad l o =
+    match Opts.journal_mode o with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "journal_mode accepted %s" l
+  in
+  bad "resume without journal" { Opts.default with resume = true };
+  bad "fresh without journal" { Opts.default with fresh = true };
+  bad "resume+fresh"
+    { Opts.default with journal = Some "j"; resume = true; fresh = true }
+
+let test_opts_runner () =
+  (match Opts.runner Opts.default ~backend:"no-such-backend" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend resolved");
+  (match
+     Opts.runner { Opts.default with fault_rate = 0.5 } ~backend:"llm-only"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resilience flags accepted on a baseline backend");
+  match Opts.runner Opts.default ~backend:"rustbrain" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rustbrain backend rejected: %s" e
+
+(* -- fair queue --------------------------------------------------------- *)
+
+let drain q n =
+  List.init n (fun _ ->
+      match Fairq.next q with
+      | Some (tenant, _) -> tenant
+      | None -> Alcotest.fail "queue drained early")
+
+let test_fairq_fifo () =
+  let q = Fairq.create () in
+  List.iter
+    (fun p -> ignore (Result.get_ok (Fairq.admit q ~tenant:"t" ~cost:1 p)))
+    [ 1; 2; 3; 4 ];
+  let got = List.init 4 (fun _ -> snd (Option.get (Fairq.next q))) in
+  Alcotest.(check (list int)) "FIFO within a tenant" [ 1; 2; 3; 4 ] got;
+  Alcotest.(check bool) "then idle" true (Fairq.next q = None)
+
+let test_fairq_weighted_share () =
+  let q = Fairq.create ~weights:[ ("a", 2) ] () in
+  List.iter
+    (fun t ->
+      for i = 0 to 11 do
+        ignore (Result.get_ok (Fairq.admit q ~tenant:t ~cost:1 i))
+      done)
+    [ "a"; "b" ];
+  let first = drain q 12 in
+  let count t = List.length (List.filter (String.equal t) first) in
+  (* stride scheduling: weight-2 tenant gets exactly 2/3 of dispatches
+     under saturation *)
+  Alcotest.(check int) "weight-2 tenant share" 8 (count "a");
+  Alcotest.(check int) "weight-1 tenant share" 4 (count "b")
+
+let test_fairq_cost_aware () =
+  let q = Fairq.create () in
+  for i = 0 to 1 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"big" ~cost:10 i))
+  done;
+  for i = 0 to 11 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"small" ~cost:1 i))
+  done;
+  let order = drain q 12 in
+  Alcotest.(check string) "tie at vtime 0 breaks on name" "big" (List.hd order);
+  (* the 10-case job charges 10 virtual time units, so the 1-case tenant
+     gets ten dispatches before big's second job *)
+  Alcotest.(check (list string)) "small runs while big pays its cost"
+    (List.init 10 (fun _ -> "small"))
+    (List.filteri (fun i _ -> i >= 1 && i <= 10) order)
+
+let test_fairq_bounded () =
+  let q = Fairq.create ~max_queue:3 () in
+  for i = 0 to 2 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"t" ~cost:1 i))
+  done;
+  (match Fairq.admit q ~tenant:"other" ~cost:1 99 with
+  | Error (Fairq.Queue_full { depth = 3; limit = 3 }) -> ()
+  | Error r -> Alcotest.failf "wrong reject: %s" (Fairq.reject_reason r)
+  | Ok _ -> Alcotest.fail "admitted past the bound");
+  Alcotest.(check int) "depth unchanged" 3 (Fairq.depth q)
+
+let test_fairq_quota () =
+  let q = Fairq.create ~quota:2 () in
+  for i = 0 to 1 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"greedy" ~cost:1 i))
+  done;
+  (match Fairq.admit q ~tenant:"greedy" ~cost:1 2 with
+  | Error (Fairq.Quota_exceeded { tenant = "greedy"; queued = 2; quota = 2 }) -> ()
+  | Error r -> Alcotest.failf "wrong reject: %s" (Fairq.reject_reason r)
+  | Ok _ -> Alcotest.fail "quota not enforced");
+  (* the queue still has room for everyone else *)
+  match Fairq.admit q ~tenant:"patient" ~cost:1 0 with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "other tenant rejected: %s" (Fairq.reject_reason r)
+
+let test_fairq_force () =
+  let q = Fairq.create ~max_queue:1 ~quota:1 () in
+  ignore (Result.get_ok (Fairq.admit q ~tenant:"t" ~cost:1 0));
+  (* restart re-enqueue: durably accepted jobs bypass bound and quota *)
+  (match Fairq.admit ~force:true q ~tenant:"t" ~cost:1 1 with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "force rejected: %s" (Fairq.reject_reason r));
+  Alcotest.(check int) "both queued" 2 (Fairq.depth q);
+  Alcotest.(check (list (pair string int)))
+    "tenant depths" [ ("t", 2) ] (Fairq.tenant_depths q)
+
+let test_fairq_rejoin_no_credit () =
+  let q = Fairq.create () in
+  for i = 0 to 3 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"a" ~cost:1 i))
+  done;
+  ignore (drain q 4);
+  (* "b" was asleep the whole time; it rejoins at current virtual time and
+     must interleave with "a", not drain banked credit first *)
+  for i = 0 to 1 do
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"b" ~cost:1 i));
+    ignore (Result.get_ok (Fairq.admit q ~tenant:"a" ~cost:1 (10 + i)))
+  done;
+  Alcotest.(check (list string))
+    "rejoining tenant interleaves" [ "b"; "a"; "b"; "a" ] (drain q 4)
+
+let test_fairq_deterministic () =
+  let run () =
+    let q = Fairq.create ~weights:[ ("w", 3) ] () in
+    List.iteri
+      (fun i (t, c) -> ignore (Result.get_ok (Fairq.admit q ~tenant:t ~cost:c i)))
+      [ ("w", 2); ("x", 1); ("y", 5); ("w", 1); ("x", 3); ("y", 1); ("w", 4) ];
+    drain q 7
+  in
+  Alcotest.(check (list string)) "equal admissions, equal dispatches"
+    (run ()) (run ())
+
+(* -- durable store ------------------------------------------------------ *)
+
+let test_store_admit_durable () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir in
+      let s0 =
+        Store.admit store ~tenant:"acme" ~backend:"rustbrain"
+          ~cases:[ "c1"; "c2" ] ~opts:wire_opts
+      in
+      let s1 =
+        Store.admit store ~tenant:"beta" ~backend:"llm-only" ~cases:[ "c3" ]
+          ~opts:Opts.default
+      in
+      Alcotest.(check (list int)) "sequential ids" [ 0; 1 ] [ s0.id; s1.id ];
+      (* durability-at-ACCEPTED: a second open of the same directory — the
+         restart path — sees both submissions, in admission order *)
+      let reopened = Store.open_dir ~dir in
+      let pending = Store.pending reopened in
+      Alcotest.(check (list int)) "restart scan finds accepted jobs" [ 0; 1 ]
+        (List.map (fun (s : Store.submission) -> s.id) pending);
+      let p0 = List.hd pending in
+      Alcotest.(check string) "tenant survives" "acme" p0.tenant;
+      Alcotest.(check string) "backend survives" "rustbrain" p0.backend;
+      Alcotest.(check (list string)) "cases survive" [ "c1"; "c2" ] p0.cases;
+      Alcotest.(check bool) "wire opts survive" true (p0.opts = wire_opts);
+      Alcotest.(check int) "numbering continues after restart" 2
+        (Store.admit reopened ~tenant:"t" ~backend:"b" ~cases:[]
+           ~opts:Opts.default)
+          .id)
+
+let test_store_cancel () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
+          ~opts:Opts.default
+      in
+      Alcotest.(check bool) "cancel queued" true (Store.cancel store s.id);
+      Alcotest.(check bool) "cancel is terminal" false (Store.cancel store s.id);
+      Alcotest.(check bool) "unknown id" false (Store.cancel store 99);
+      Alcotest.(check (list int)) "not pending" []
+        (List.map (fun (s : Store.submission) -> s.id) (Store.pending store));
+      (* and durably so *)
+      let reopened = Store.open_dir ~dir in
+      (match Store.status reopened s.id with
+      | Some Store.Cancelled -> ()
+      | _ -> Alcotest.fail "cancellation lost across reopen");
+      Alcotest.(check (pair (pair int int) int)) "counts" ((0, 0), 1)
+        (let q, d, c = Store.counts reopened in
+         ((q, d), c)))
+
+let test_store_results_complete () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"rustbrain"
+          ~cases:[ "case-a"; "case-b" ] ~opts:Opts.default
+      in
+      let reports =
+        [ mk_report (); mk_report ~name:"case-b" ~passed:false () ]
+      in
+      Store.write_results store s.id reports;
+      let expect =
+        String.concat ""
+          (List.map (fun r -> Rustbrain.Report.to_json r ^ "\n") reports)
+      in
+      (match Store.read_results store s.id with
+      | Some got -> Alcotest.(check string) "results round-trip" expect got
+      | None -> Alcotest.fail "results missing");
+      Store.complete store s.id { Store.cases = 2; passed = 1; failed = None };
+      (match Store.status store s.id with
+      | Some (Store.Done { cases = 2; passed = 1; failed = None }) -> ()
+      | _ -> Alcotest.fail "completion not recorded");
+      Alcotest.(check bool) "done jobs cannot be cancelled" false
+        (Store.cancel store s.id);
+      (* the done marker survives a restart, so the job is not re-run *)
+      let reopened = Store.open_dir ~dir in
+      Alcotest.(check (list int)) "done job not pending" []
+        (List.map (fun (s : Store.submission) -> s.id) (Store.pending reopened));
+      match Store.status reopened s.id with
+      | Some (Store.Done { cases = 2; passed = 1; failed = None }) -> ()
+      | _ -> Alcotest.fail "completion lost across reopen")
+
+let test_store_progress () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir in
+      Alcotest.(check int) "no journal yet" 0 (Store.progress store 0);
+      (* progress counts the journal's record segments *)
+      let jdir = Store.journal_dir store 0 in
+      Rb_util.Fsfile.mkdir_p jdir;
+      Rb_util.Fsfile.write_atomic (Filename.concat jdir "rec-000000.json") "{}";
+      Rb_util.Fsfile.write_atomic (Filename.concat jdir "rec-000001.json") "{}";
+      Rb_util.Fsfile.write_atomic (Filename.concat jdir "manifest.json") "{}";
+      Alcotest.(check int) "two journaled repairs" 2 (Store.progress store 0))
+
+(* -- versioned report codec (wire + journal + --out) -------------------- *)
+
+let test_report_version_stamped () =
+  let line = Rustbrain.Report.to_json (mk_report ()) in
+  let prefix = Printf.sprintf "{\"v\":%d," Rustbrain.Report.codec_version in
+  Alcotest.(check string) "v leads every rendered report" prefix
+    (String.sub line 0 (String.length prefix));
+  match Rustbrain.Report.of_json line with
+  | Ok r -> Alcotest.(check string) "render-exact" line (Rustbrain.Report.to_json r)
+  | Error e -> Alcotest.failf "own rendering rejected: %s" e
+
+let test_report_version_legacy () =
+  (* journals written before the field existed have no "v": accepted as v1 *)
+  let line = Rustbrain.Report.to_json (mk_report ()) in
+  let prefix = Printf.sprintf "{\"v\":%d," Rustbrain.Report.codec_version in
+  let legacy = "{" ^ String.sub line (String.length prefix)
+                       (String.length line - String.length prefix)
+  in
+  match Rustbrain.Report.of_json legacy with
+  | Ok r ->
+    Alcotest.(check string) "legacy line re-renders versioned" line
+      (Rustbrain.Report.to_json r)
+  | Error e -> Alcotest.failf "legacy line rejected: %s" e
+
+let test_report_version_rejected () =
+  let line = Rustbrain.Report.to_json (mk_report ()) in
+  let swap needle replacement =
+    let n = String.length needle in
+    "{" ^ replacement ^ String.sub line (1 + n) (String.length line - 1 - n)
+  in
+  let v1 = Printf.sprintf "\"v\":%d" Rustbrain.Report.codec_version in
+  (match Rustbrain.Report.of_json (swap v1 "\"v\":2") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "future schema version accepted");
+  match Rustbrain.Report.of_json (swap v1 "\"v\":\"1\"") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mistyped schema version accepted"
+
+(* -- directory-entry durability (Fsfile) -------------------------------- *)
+
+let test_fsfile_mkdir_p_nested () =
+  with_dir (fun dir ->
+      let deep = Filename.concat dir "a/b/c" in
+      Rb_util.Fsfile.mkdir_p deep;
+      Alcotest.(check bool) "creates the whole chain" true (Sys.is_directory deep);
+      (* idempotent, including on the existing prefix *)
+      Rb_util.Fsfile.mkdir_p deep;
+      let f = Filename.concat deep "x.json" in
+      Rb_util.Fsfile.write_atomic f "{}";
+      Alcotest.(check (option string)) "file lands inside" (Some "{}")
+        (Rb_util.Fsfile.read f);
+      (* fsync_dir is best-effort: a missing path must not raise *)
+      Rb_util.Fsfile.fsync_dir (Filename.concat dir "no-such-dir"))
+
+let suite =
+  [ Alcotest.test_case "wire: framing round-trip" `Quick test_framing_roundtrip;
+    Alcotest.test_case "wire: byte-at-a-time feed" `Quick
+      test_framing_byte_at_a_time;
+    Alcotest.test_case "wire: torn frames buffer" `Quick test_framing_torn;
+    Alcotest.test_case "wire: oversized frame poisons" `Quick
+      test_framing_oversized;
+    Alcotest.test_case "wire: non-positive length rejected" `Quick
+      test_framing_nonpositive;
+    Alcotest.test_case "wire: frames before violation delivered once" `Quick
+      test_framing_frames_before_violation;
+    Alcotest.test_case "wire: request codec round-trip" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "wire: response codec round-trip" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "wire: case frame splices report verbatim" `Quick
+      test_case_frame_verbatim;
+    Alcotest.test_case "wire: malformed requests rejected" `Quick
+      test_malformed_requests;
+    Alcotest.test_case "opts: wire subset round-trip" `Quick
+      test_opts_wire_roundtrip;
+    Alcotest.test_case "opts: wire defaults and rejections" `Quick
+      test_opts_wire_defaults_and_rejects;
+    Alcotest.test_case "opts: validate ranges" `Quick test_opts_validate;
+    Alcotest.test_case "opts: journal-mode policy" `Quick test_opts_journal_mode;
+    Alcotest.test_case "opts: backend resolution" `Quick test_opts_runner;
+    Alcotest.test_case "fairq: FIFO within tenant" `Quick test_fairq_fifo;
+    Alcotest.test_case "fairq: weighted share" `Quick test_fairq_weighted_share;
+    Alcotest.test_case "fairq: cost-aware virtual time" `Quick
+      test_fairq_cost_aware;
+    Alcotest.test_case "fairq: bounded admission" `Quick test_fairq_bounded;
+    Alcotest.test_case "fairq: per-tenant quota" `Quick test_fairq_quota;
+    Alcotest.test_case "fairq: force bypass for restart" `Quick test_fairq_force;
+    Alcotest.test_case "fairq: rejoin banks no credit" `Quick
+      test_fairq_rejoin_no_credit;
+    Alcotest.test_case "fairq: deterministic dispatch" `Quick
+      test_fairq_deterministic;
+    Alcotest.test_case "store: admission durable at ACCEPTED" `Quick
+      test_store_admit_durable;
+    Alcotest.test_case "store: cancel transitions" `Quick test_store_cancel;
+    Alcotest.test_case "store: results and completion" `Quick
+      test_store_results_complete;
+    Alcotest.test_case "store: journal progress" `Quick test_store_progress;
+    Alcotest.test_case "report: codec version stamped" `Quick
+      test_report_version_stamped;
+    Alcotest.test_case "report: legacy lines accepted as v1" `Quick
+      test_report_version_legacy;
+    Alcotest.test_case "report: wrong version refused" `Quick
+      test_report_version_rejected;
+    Alcotest.test_case "fsfile: mkdir_p durability chain" `Quick
+      test_fsfile_mkdir_p_nested ]
