@@ -1392,7 +1392,7 @@ let serve_smoke () =
                   if List.length frames <> total then
                     failf "reference: %d CASE frame(s), want %d"
                       (List.length frames) total;
-                  let store = Serve.Store.open_dir ~dir:state in
+                  let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
                   Rb_util.Fsfile.read (Serve.Store.results_path store 0)
               in
               ignore
@@ -1431,7 +1431,7 @@ let serve_smoke () =
                     | Ok (Serve.Wire.Accepted { id = 0; _ }) ->
                       (* ACCEPTED means durable: the record must already be
                          scannable on disk *)
-                      let store = Serve.Store.open_dir ~dir:state in
+                      let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
                       (match Serve.Store.pending store with
                       | [ s ] when s.Serve.Store.id = 0 -> ()
                       | _ -> failf "accepted job not durable at ACCEPTED time");
@@ -1496,7 +1496,7 @@ let serve_smoke () =
                         | Error e -> failf "restart status: %s" e
                     in
                     poll 6000;
-                    let store = Serve.Store.open_dir ~dir:state in
+                    let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
                     (match
                        Rb_util.Fsfile.read (Serve.Store.results_path store 0)
                      with
@@ -1537,6 +1537,453 @@ let serve_smoke () =
     "serve smoke ok: %d case-repairs accepted durably, killed -9 mid-campaign, \
      resumed byte-identical\n"
     total
+
+(* -- chaos-serve gate (dune runtest alias chaos-serve) ------------------ *)
+
+(* The chaos child is a real server process with the poison hook armed: one
+   named case reliably kills the whole process ("exit") or hangs its runner
+   domain forever ("hang") — the two crash vectors the supervision layer
+   must survive end to end. Everything else is the production
+   configuration; only the watchdog clocks are scaled down for the hang
+   scenario so the abandon ladder runs in test time. *)
+let chaos_child ~socket ~state ~runners ~poison_case ~mode =
+  let pmode =
+    match mode with
+    | "exit" -> Serve.Server.Poison_exit
+    | "hang" -> Serve.Server.Poison_hang
+    | _ -> Serve.Server.Poison_raise
+  in
+  (* hang mode shortens the watchdog clocks so the abandon ladder runs in
+     test time — but the stall deadline must still clear a real case
+     repair with margin, or the watchdog kills honest jobs *)
+  let stall, grace = if mode = "hang" then (2.0, 0.2) else (300.0, 1.0) in
+  let cfg =
+    { Serve.Server.default_config with
+      Serve.Server.socket; state_dir = state; runners; tick_s = 0.002;
+      stall_timeout_s = stall; abandon_grace_s = grace;
+      poison =
+        Some
+          (fun case ->
+            if String.equal case poison_case then Some pmode else None) }
+  in
+  ignore (Serve.Server.run cfg : Serve.Server.summary)
+
+let spawn_chaos ~socket ~state ~runners ~poison_case ~mode =
+  Unix.create_process Sys.executable_name
+    [| Sys.executable_name; "chaos-child"; socket; state;
+       string_of_int runners; poison_case; mode |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+(* WNOHANG poll with a deadline, so a wedged server fails the gate instead
+   of hanging runtest *)
+let wait_status ~timeout_s pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then None
+      else begin
+        Unix.sleepf 0.01;
+        go ()
+      end
+    | _, st -> Some st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let chaos_serve () =
+  section
+    "Chaos serve — seeded client faults, kill -9 matrix, poison quarantine, \
+     clean drain";
+  let failures = ref 0 in
+  let failf fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "FAIL %s\n" s;
+        incr failures)
+      fmt
+  in
+  let names =
+    List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) serve_smoke_cases
+  in
+  if List.length names < 5 then failf "corpus too small for the chaos gate";
+  let nth = List.nth names in
+  let poison_case = nth 0 in
+  let normal_jobs = [ [ nth 1; nth 2 ]; [ nth 3; nth 4 ] ] in
+  let opts =
+    { Exec.Campaign_opts.default with Exec.Campaign_opts.seeds = [ 1 ] }
+  in
+  let max_crashes = Serve.Server.default_config.Serve.Server.max_crashes in
+  (* 1. reference bytes for each normal job on an untouched server: the
+     chaos run's non-poisoned results must be byte-identical to these *)
+  let reference =
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let pid = spawn_server ~socket ~state ~runners:1 in
+        Fun.protect ~finally:(fun () -> kill_server pid)
+          (fun () ->
+            match Serve.Client.connect socket with
+            | Error e ->
+              failf "chaos reference connect: %s" e;
+              []
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                (fun () ->
+                  let bytes =
+                    List.mapi
+                      (fun i cases ->
+                        match
+                          Serve.Client.run_job c ~tenant:"chaos"
+                            ~backend:"rustbrain" ~cases:(Some cases)
+                            ~opts:(Some opts)
+                        with
+                        | Error e ->
+                          failf "chaos reference job %d: %s" i e;
+                          None
+                        | Ok ((_, _, failed), _) ->
+                          (match failed with
+                          | Some m ->
+                            failf "chaos reference job %d failed: %s" i m
+                          | None -> ());
+                          let store =
+                            Serve.Store.open_dir ~scrub:false ~dir:state ()
+                          in
+                          Rb_util.Fsfile.read
+                            (Serve.Store.results_path store i))
+                      normal_jobs
+                  in
+                  ignore
+                    (Serve.Client.request c Serve.Wire.Shutdown
+                      : (Serve.Wire.response, string) result);
+                  bytes)))
+  in
+  (* 2. the kill matrix: two normal jobs and one poison job on a server
+     whose poison case _exit(66)s the whole process mid-case, plus one
+     external kill -9 while a normal job is mid-journal. With one runner
+     at most one attempt is open per kill, so only the poison job can
+     spend the crash budget; the normal jobs must resume to byte-identical
+     results, and the poison job must be quarantined after exactly
+     [max_crashes] crashes. *)
+  with_serve_dir (fun dir ->
+      let socket = Filename.concat dir "sock" in
+      let state = Filename.concat dir "state" in
+      let spawn () =
+        spawn_chaos ~socket ~state ~runners:1 ~poison_case ~mode:"exit"
+      in
+      let pid0 = spawn () in
+      let submitted =
+        match Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 socket with
+        | Error e ->
+          failf "chaos submit connect: %s" e;
+          kill_server pid0;
+          false
+        | Ok c ->
+          Fun.protect ~finally:(fun () -> Serve.Client.close c)
+            (fun () ->
+              let submit i cases =
+                match
+                  Serve.Client.request c
+                    (Serve.Wire.Submit
+                       { tenant = "chaos"; backend = "rustbrain";
+                         cases = Some cases; opts = Some opts })
+                with
+                | Ok (Serve.Wire.Accepted { id; _ }) when id = i -> true
+                | Ok r ->
+                  failf "chaos submit %d: unexpected %s" i
+                    (Serve.Wire.response_to_string r);
+                  false
+                | Error e ->
+                  failf "chaos submit %d: %s" i e;
+                  false
+              in
+              List.for_all Fun.id (List.mapi submit normal_jobs)
+              && submit 2 [ poison_case ])
+      in
+      if submitted then begin
+        (* external SIGKILL point: once at least one case of job 0 is
+           journaled, kill -9 the whole server *)
+        let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
+        let rec wait_mid tries =
+          if tries <= 0 then false
+          else if Serve.Store.progress store 0 >= 1 then true
+          else begin
+            Unix.sleepf 0.002;
+            wait_mid (tries - 1)
+          end
+        in
+        if not (wait_mid 20_000) then
+          failf "chaos: no journal progress before the kill window";
+        (try Unix.kill pid0 Sys.sigkill with Unix.Unix_error _ -> ());
+        (match wait_status ~timeout_s:30.0 pid0 with
+        | Some (Unix.WSIGNALED _) -> ()
+        | Some _ | None -> failf "chaos: kill -9 did not take");
+        (* restart loop: each dispatch of the poison job _exit(66)s the
+           server; after [max_crashes] the startup scrub quarantines it
+           and the server finally stays up with every job terminal *)
+        let rec drive restarts pid =
+          if restarts > max_crashes + 3 then begin
+            failf "chaos: %d restarts without quarantine convergence"
+              restarts;
+            kill_server pid;
+            None
+          end
+          else begin
+            let deadline = Unix.gettimeofday () +. 120.0 in
+            let rec poll () =
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ ->
+                let st = Serve.Store.open_dir ~scrub:false ~dir:state () in
+                let terminal id =
+                  match Serve.Store.status st id with
+                  | Some (Serve.Store.Done _) | Some (Serve.Store.Quarantined _)
+                    ->
+                    true
+                  | _ -> false
+                in
+                if terminal 0 && terminal 1 && terminal 2 then `Done
+                else if Unix.gettimeofday () > deadline then `Stuck
+                else begin
+                  Unix.sleepf 0.02;
+                  poll ()
+                end
+              | _, Unix.WEXITED 66 -> `Died
+              | _, _ -> `Bad
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
+            in
+            match poll () with
+            | `Done -> Some pid
+            | `Died -> drive (restarts + 1) (spawn ())
+            | `Stuck ->
+              failf "chaos: jobs never reached a terminal state";
+              kill_server pid;
+              None
+            | `Bad ->
+              failf "chaos: server died outside the poison exit";
+              None
+          end
+        in
+        match drive 0 (spawn ()) with
+        | None -> ()
+        | Some pid ->
+          let reaped = ref false in
+          Fun.protect
+            ~finally:(fun () -> if not !reaped then kill_server pid)
+            (fun () ->
+              (* seeded client-fault plan against the survivor: after every
+                 fault a fresh connection must still get a clean STATUS *)
+              let seed = 0xC040 in
+              let steps = 12 in
+              Printf.printf "chaos plan (seed %#x): %s\n" seed
+                (String.concat " "
+                   (List.map Serve.Chaos.fault_label
+                      (Serve.Chaos.plan ~seed ~steps)));
+              let outcome = Serve.Chaos.run ~socket ~seed ~steps () in
+              List.iter
+                (fun (r : Serve.Chaos.step_result) ->
+                  if not r.Serve.Chaos.probe_ok then
+                    failf "chaos step %d (%s: %s): server stopped answering"
+                      r.Serve.Chaos.step
+                      (Serve.Chaos.fault_label r.Serve.Chaos.fault)
+                      r.Serve.Chaos.detail)
+                outcome.Serve.Chaos.steps;
+              (* durable claims *)
+              let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
+              (match Serve.Store.quarantined store with
+              | [ (2, q) ] ->
+                if q.Serve.Store.crashes <> max_crashes then
+                  failf
+                    "chaos: quarantined after %d crash(es), want exactly %d"
+                    q.Serve.Store.crashes max_crashes
+              | l ->
+                failf "chaos: %d quarantine record(s), want exactly 1 (job 2)"
+                  (List.length l));
+              List.iteri
+                (fun i ref_bytes ->
+                  match
+                    ( ref_bytes,
+                      Rb_util.Fsfile.read (Serve.Store.results_path store i) )
+                  with
+                  | Some a, Some b when String.equal a b -> ()
+                  | Some _, Some _ ->
+                    failf
+                      "chaos: job %d results differ from the uninterrupted \
+                       run"
+                      i
+                  | Some _, None -> failf "chaos: job %d results missing" i
+                  | None, _ -> ())
+                reference;
+              (* wire-level claims on a clean connection, then a drain the
+                 server must finish by exiting 0 on its own *)
+              (match Serve.Client.connect socket with
+              | Error e -> failf "chaos verify connect: %s" e
+              | Ok c ->
+                Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                  (fun () ->
+                    (match
+                       Serve.Client.request c (Serve.Wire.Status (Some 2))
+                     with
+                    | Ok
+                        (Serve.Wire.Job
+                           { state = Serve.Wire.Quarantined { crashes; _ };
+                             _ }) ->
+                      if crashes <> max_crashes then
+                        failf "chaos STATUS: %d crash(es) reported, want %d"
+                          crashes max_crashes
+                    | Ok r ->
+                      failf "chaos STATUS 2: unexpected %s"
+                        (Serve.Wire.response_to_string r)
+                    | Error e -> failf "chaos STATUS 2: %s" e);
+                    (match Serve.Client.request c (Serve.Wire.Results 2) with
+                    | Ok
+                        (Serve.Wire.Quarantined_result { id = 2; crashes; _ })
+                      ->
+                      if crashes <> max_crashes then
+                        failf
+                          "chaos RESULTS terminator: %d crash(es), want %d"
+                          crashes max_crashes
+                    | Ok r ->
+                      failf "chaos RESULTS 2: unexpected %s"
+                        (Serve.Wire.response_to_string r)
+                    | Error e -> failf "chaos RESULTS 2: %s" e);
+                    (match Serve.Client.request c Serve.Wire.Health with
+                    | Ok
+                        (Serve.Wire.Health
+                           { queued; running; quarantined; _ }) ->
+                      if queued <> 0 || running <> 0 then
+                        failf "chaos HEALTH: %d queued / %d running, want idle"
+                          queued running;
+                      if quarantined <> 1 then
+                        failf "chaos HEALTH: %d quarantined, want 1"
+                          quarantined
+                    | Ok r ->
+                      failf "chaos HEALTH: unexpected %s"
+                        (Serve.Wire.response_to_string r)
+                    | Error e -> failf "chaos HEALTH: %s" e);
+                    (match Serve.Client.request c Serve.Wire.Drain with
+                    | Ok (Serve.Wire.Draining { active = 0; queued = 0 }) ->
+                      ()
+                    | Ok (Serve.Wire.Draining { active; queued }) ->
+                      failf
+                        "chaos DRAIN: %d active / %d queued at drain time, \
+                         want none"
+                        active queued
+                    | Ok r ->
+                      failf "chaos DRAIN: unexpected %s"
+                        (Serve.Wire.response_to_string r)
+                    | Error e -> failf "chaos DRAIN: %s" e)));
+              (match wait_status ~timeout_s:30.0 pid with
+              | Some (Unix.WEXITED 0) -> reaped := true
+              | Some _ ->
+                reaped := true;
+                failf "chaos: drained server exited abnormally"
+              | None -> failf "chaos: drained server never exited");
+              (* after kills, crashes and quarantine the state dir must
+                 scan clean: the startup scrubs healed everything healable
+                 and nothing unreadable remains in the live tree *)
+              let report = Serve.Store.fsck ~heal:false ~dir:state () in
+              if Serve.Store.fsck_count `Corrupt report > 0 then
+                failf "chaos fsck: %d corrupt record(s)"
+                  (Serve.Store.fsck_count `Corrupt report);
+              if Serve.Store.fsck_count `Torn report > 0 then
+                failf "chaos fsck: %d torn record(s)"
+                  (Serve.Store.fsck_count `Torn report))
+      end);
+  (* 3. watchdog scenario: a case that hangs its runner domain forever.
+     Only the stall watchdog and the abandon ladder can reclaim the slot;
+     after [max_crashes] abandonments the job must be quarantined without
+     the server ever dying, and a normal job queued behind it must still
+     finish. *)
+  with_serve_dir (fun dir ->
+      let socket = Filename.concat dir "sock" in
+      let state = Filename.concat dir "state" in
+      let pid =
+        spawn_chaos ~socket ~state ~runners:1 ~poison_case ~mode:"hang"
+      in
+      Fun.protect ~finally:(fun () -> kill_server pid)
+        (fun () ->
+          match
+            Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 socket
+          with
+          | Error e -> failf "hang connect: %s" e
+          | Ok sub_c ->
+            (* submit on its own connection and close it: a submitting
+               connection is subscribed to its jobs' streams, and CASE/DONE
+               frames interleaving with STATUS replies would confuse the
+               polling loop below *)
+            Fun.protect ~finally:(fun () -> Serve.Client.close sub_c)
+              (fun () ->
+                let submit cases =
+                  match
+                    Serve.Client.request sub_c
+                      (Serve.Wire.Submit
+                         { tenant = "chaos"; backend = "rustbrain";
+                           cases = Some cases; opts = Some opts })
+                  with
+                  | Ok (Serve.Wire.Accepted _) -> ()
+                  | Ok r ->
+                    failf "hang submit: unexpected %s"
+                      (Serve.Wire.response_to_string r)
+                  | Error e -> failf "hang submit: %s" e
+                in
+                (* poison first so it takes the slot, then a normal job
+                   that must finish behind the hang-abandon cycles *)
+                submit [ poison_case ];
+                submit [ nth 1; nth 2 ]);
+            (match Serve.Client.connect socket with
+            | Error e -> failf "hang poll connect: %s" e
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                (fun () ->
+                  let deadline = Unix.gettimeofday () +. 60.0 in
+                  let rec poll id =
+                    match
+                      Serve.Client.request c (Serve.Wire.Status (Some id))
+                    with
+                    | Ok
+                        (Serve.Wire.Job
+                           { state =
+                               Serve.Wire.Quarantined { crashes; reason; _ };
+                             _ }) ->
+                      if id <> 0 then
+                        failf "hang: job %d quarantined after %d: %s" id
+                          crashes reason
+                      else if crashes <> max_crashes then
+                        failf
+                          "hang: quarantined after %d abandonment(s), want %d"
+                          crashes max_crashes
+                    | Ok
+                        (Serve.Wire.Job
+                           { state = Serve.Wire.Finished { failed; _ }; _ })
+                      ->
+                      if id = 0 then
+                        failf "hang: poison job finished normally"
+                      else (
+                        match failed with
+                        | Some m -> failf "hang: normal job failed: %s" m
+                        | None -> ())
+                    | Ok r ->
+                      if Unix.gettimeofday () < deadline then begin
+                        Unix.sleepf 0.05;
+                        poll id
+                      end
+                      else
+                        failf "hang: job %d never terminal (last: %s)" id
+                          (Serve.Wire.response_to_string r)
+                    | Error e -> failf "hang: STATUS %d: %s" id e
+                  in
+                  poll 0;
+                  poll 1;
+                  ignore
+                    (Serve.Client.request c Serve.Wire.Shutdown
+                      : (Serve.Wire.response, string) result)))));
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "chaos serve ok: %d seeded client faults survived, poison job \
+     quarantined after exactly %d crashes (exit and hang vectors), normal \
+     jobs byte-identical, drain exited clean, fsck clean\n"
+    12 max_crashes
 
 (* -- serve-bench (BENCH_serve.json, committed) -------------------------- *)
 
@@ -1605,13 +2052,17 @@ let experiments =
     ("chaos", chaos); ("resume-smoke", resume_smoke);
     ("interp", interp); ("interp-smoke", interp_smoke);
     ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead);
-    ("serve-smoke", serve_smoke); ("serve-bench", serve_bench) ]
+    ("serve-smoke", serve_smoke); ("chaos-serve", chaos_serve);
+    ("serve-bench", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "serve-child"; socket; state; runners ] ->
     serve_child ~socket ~state ~runners:(int_of_string runners)
+  | [ "chaos-child"; socket; state; runners; poison_case; mode ] ->
+    chaos_child ~socket ~state ~runners:(int_of_string runners) ~poison_case
+      ~mode
   | [] ->
     Printf.printf "RustBrain reproduction benchmark harness (simulated clock; see DESIGN.md)\n";
     fig7 ();

@@ -763,7 +763,33 @@ let serve_cmd =
     Arg.(value & opt string "" & info [ "weights" ] ~docv:"TENANT=W,..."
            ~doc:"Weighted-fair-queue weights; unlisted tenants weigh 1.")
   in
-  let run socket state_dir runners max_queue quota weights opts =
+  let max_crashes =
+    Arg.(value & opt int 3 & info [ "max-crashes" ] ~docv:"N"
+           ~doc:"Crash budget per job: a job whose attempts crash a runner \
+                 (or the whole server — counted durably across restarts) \
+                 this many times is quarantined as poison instead of being \
+                 retried forever.")
+  in
+  let stall_timeout =
+    Arg.(value & opt float 300.0 & info [ "stall-timeout" ] ~docv:"SECONDS"
+           ~doc:"Watchdog: abort a running job that completes no case for \
+                 this long (cooperative at the next case boundary; a runner \
+                 hung inside a case is abandoned and the job requeued at \
+                 its journal frontier).")
+  in
+  let job_timeout =
+    Arg.(value & opt float 3600.0 & info [ "job-timeout" ] ~docv:"SECONDS"
+           ~doc:"Watchdog: wall-clock ceiling for a single job attempt.")
+  in
+  let evict_idle =
+    Arg.(value & opt float 30.0 & info [ "evict-idle" ] ~docv:"SECONDS"
+           ~doc:"Evict a connection with pending output whose socket has \
+                 accepted nothing for this long (slowloris reader). The \
+                 durable results file makes eviction safe: re-fetch with \
+                 RESULTS.")
+  in
+  let run socket state_dir runners max_queue quota weights max_crashes
+      stall_timeout job_timeout evict_idle opts =
     match
       match opts with
       | Error _ as e -> e
@@ -782,6 +808,16 @@ let serve_cmd =
     | Ok ((opts : Exec.Campaign_opts.t), weights) ->
       if runners < 1 || max_queue < 1 || quota < 1 then begin
         prerr_endline "--runners/--max-queue/--quota must be at least 1";
+        1
+      end
+      else if max_crashes < 1 then begin
+        prerr_endline "--max-crashes must be at least 1";
+        1
+      end
+      else if stall_timeout <= 0.0 || job_timeout <= 0.0 || evict_idle <= 0.0
+      then begin
+        prerr_endline
+          "--stall-timeout/--job-timeout/--evict-idle must be positive";
         1
       end
       else begin
@@ -803,6 +839,8 @@ let serve_cmd =
             Serve.Server.socket; state_dir; runners;
             domains_per_job = opts.Exec.Campaign_opts.domains;
             max_queue; quota; weights; default_opts;
+            max_crashes; stall_timeout_s = stall_timeout;
+            job_timeout_s = job_timeout; evict_idle_s = evict_idle;
             trace = trace_sink; metrics = registry }
         in
         let s =
@@ -814,10 +852,13 @@ let serve_cmd =
         print_metrics registry;
         Printf.printf
           "serve: accepted %d, completed %d, failed %d, cancelled %d, busy %d, \
-           rejected %d, resumed %d, left queued %d\n"
+           rejected %d, resumed %d, left queued %d, quarantined %d, requeued \
+           %d, evicted %d\n"
           s.Serve.Server.accepted s.Serve.Server.completed s.Serve.Server.failed
           s.Serve.Server.cancelled s.Serve.Server.busy s.Serve.Server.rejected
-          s.Serve.Server.resumed s.Serve.Server.left_queued;
+          s.Serve.Server.resumed s.Serve.Server.left_queued
+          s.Serve.Server.quarantined s.Serve.Server.requeued
+          s.Serve.Server.evicted;
         if s.Serve.Server.failed > 0 then 1 else 0
       end
   in
@@ -825,9 +866,157 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the event-driven repair server: durable admission, per-tenant \
              weighted fair queuing, per-case report streaming, kill-safe \
-             resume. Stops on a SHUTDOWN frame.")
+             resume, watchdog supervision and poison-job quarantine. Stops on \
+             a SHUTDOWN frame or after a DRAIN wind-down.")
     Term.(const run $ socket_arg $ state_dir $ runners $ max_queue $ quota
-          $ weights $ opts_term)
+          $ weights $ max_crashes $ stall_timeout $ job_timeout $ evict_idle
+          $ opts_term)
+
+(* -- serve-fsck ----------------------------------------------------------- *)
+
+let serve_fsck_cmd =
+  let state_dir =
+    Arg.(value & opt string "serve-state" & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"The server state directory to scan.")
+  in
+  let dry_run =
+    Arg.(value & flag & info [ "dry-run" ]
+           ~doc:"Classify and report only; heal nothing, move nothing.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run state_dir dry_run json =
+    if not (Sys.file_exists state_dir) then begin
+      Printf.eprintf "serve-fsck: no state directory at %s\n" state_dir;
+      1
+    end
+    else begin
+      let report = Serve.Store.fsck ~heal:(not dry_run) ~dir:state_dir () in
+      if json then
+        print_endline
+          (Rb_util.Json.to_string (Serve.Store.fsck_report_to_json report))
+      else begin
+        Printf.printf
+          "serve-fsck%s: %d records scanned — %d intact, %d legacy, %d \
+           healed, %d torn, %d corrupt\n"
+          (if dry_run then " (dry run)" else "")
+          report.Serve.Store.scanned report.Serve.Store.intact
+          report.Serve.Store.legacy
+          (Serve.Store.fsck_count `Healed report)
+          (Serve.Store.fsck_count `Torn report)
+          (Serve.Store.fsck_count `Corrupt report);
+        List.iter
+          (fun (i : Serve.Store.fsck_issue) ->
+            Printf.printf "  [%s] %s: %s — %s\n"
+              (Serve.Store.severity_label i.Serve.Store.severity)
+              i.Serve.Store.rel_path i.Serve.Store.detail i.Serve.Store.action)
+          report.Serve.Store.issues
+      end;
+      (* torn and corrupt records mean data needed attention; healed and
+         legacy are routine *)
+      if
+        Serve.Store.fsck_count `Corrupt report > 0
+        || Serve.Store.fsck_count `Torn report > 0
+      then 1
+      else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve-fsck"
+       ~doc:"Scan (and heal) a repair-server state directory: classify every \
+             durable record as intact / legacy / healed / torn / corrupt, \
+             drop torn tails, remove stale temp files, and set unreadable \
+             records aside under quarantined/corrupt/ with their bytes \
+             preserved. The server runs the same scrub at startup; this \
+             command is the offline/ops entry point. Exits 1 if anything \
+             was torn or corrupt.")
+    Term.(const run $ state_dir $ dry_run $ json)
+
+(* -- serve-ctl ------------------------------------------------------------ *)
+
+let serve_ctl_cmd =
+  let action =
+    let parse = function
+      | "health" -> Ok `Health
+      | "drain" -> Ok `Drain
+      | "status" -> Ok `Status
+      | "shutdown" -> Ok `Shutdown
+      | s -> Error (`Msg (Printf.sprintf "unknown action %S" s))
+    in
+    let print ppf a =
+      Format.pp_print_string ppf
+        (match a with
+        | `Health -> "health"
+        | `Drain -> "drain"
+        | `Status -> "status"
+        | `Shutdown -> "shutdown")
+    in
+    Arg.(required
+         & pos 0 (some (conv (parse, print))) None
+         & info [] ~docv:"ACTION" ~doc:"health | drain | status | shutdown")
+  in
+  let run socket action =
+    match Serve.Client.connect socket with
+    | Error e ->
+      Printf.eprintf "serve-ctl: %s\n" e;
+      1
+    | Ok c ->
+      let req : Serve.Wire.request =
+        match action with
+        | `Health -> Serve.Wire.Health
+        | `Drain -> Serve.Wire.Drain
+        | `Status -> Serve.Wire.Status None
+        | `Shutdown -> Serve.Wire.Shutdown
+      in
+      let code =
+        match Serve.Client.request c req with
+        | Error e ->
+          Printf.eprintf "serve-ctl: %s\n" e;
+          1
+        | Ok (Serve.Wire.Health { queued; running; quarantined; draining; slots })
+          ->
+          Printf.printf "health: queued %d, running %d, quarantined %d%s\n"
+            queued running quarantined
+            (if draining then ", draining" else "");
+          List.iter
+            (fun (i, s) -> Printf.printf "  slot %d: %s\n" i s)
+            slots;
+          0
+        | Ok (Serve.Wire.Draining { active; queued }) ->
+          Printf.printf "draining: %d active, %d queued will finish\n" active
+            queued;
+          0
+        | Ok (Serve.Wire.Shutting_down { active; queued }) ->
+          Printf.printf "shutting down: %d active finishing, %d left queued\n"
+            active queued;
+          0
+        | Ok (Serve.Wire.Server { queued; running; completed; cancelled;
+                                  quarantined; tenants }) ->
+          Printf.printf
+            "server: queued %d, running %d, completed %d, cancelled %d, \
+             quarantined %d\n"
+            queued running completed cancelled quarantined;
+          List.iter
+            (fun (t, n) -> Printf.printf "  tenant %s: %d queued\n" t n)
+            tenants;
+          0
+        | Ok (Serve.Wire.Error_msg m) ->
+          Printf.eprintf "serve-ctl: server error: %s\n" m;
+          1
+        | Ok _ ->
+          Printf.eprintf "serve-ctl: unexpected reply\n";
+          1
+      in
+      Serve.Client.close c;
+      code
+  in
+  Cmd.v
+    (Cmd.info "serve-ctl"
+       ~doc:"Operate on a running repair server: $(b,health) (queue depth, \
+             slot states, quarantine count), $(b,drain) (stop admitting, \
+             finish everything, flush, exit), $(b,status), $(b,shutdown).")
+    Term.(const run $ socket_arg $ action)
 
 let serve_load_cmd =
   let tenants =
@@ -992,4 +1181,5 @@ let () =
              ~doc:"RustBrain reproduction: detect and repair UB in MiniRust programs.")
           ~default
           [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd;
-            campaign_cmd; serve_cmd; serve_load_cmd; trace_summary_cmd ]))
+            campaign_cmd; serve_cmd; serve_fsck_cmd; serve_ctl_cmd;
+            serve_load_cmd; trace_summary_cmd ]))

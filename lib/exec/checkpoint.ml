@@ -124,7 +124,8 @@ let plan_job journal ~records ~snapshots (job : Scheduler.job) =
     prefix;
     planned_recompute = List.length remainder }
 
-let run ?domains ?trace ?metrics ?kill_after ~dir ~mode (jobs : Scheduler.job list) =
+let run ?domains ?cancel ?trace ?metrics ?kill_after ~dir ~mode
+    (jobs : Scheduler.job list) =
   let fp = fingerprint jobs in
   let manifest =
     { Journal.version = Journal.version;
@@ -180,7 +181,7 @@ let run ?domains ?trace ?metrics ?kill_after ~dir ~mode (jobs : Scheduler.job li
     Obs.Metrics.(incr ~by:planned (counter reg "checkpoint.recomputed"));
     Obs.Metrics.(incr ~by:dropped (counter reg "checkpoint.dropped")));
   let results, supervision =
-    Scheduler.run_jobs ?domains ?trace ?metrics
+    Scheduler.run_jobs ?domains ?cancel ?trace ?metrics
       (List.map (fun p -> p.sched_job) plans)
   in
   let results =

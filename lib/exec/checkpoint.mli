@@ -45,6 +45,7 @@ val fingerprint : Scheduler.job list -> string
 
 val run :
   ?domains:int ->
+  ?cancel:(unit -> bool) ->
   ?trace:Obs.Trace.t ->
   ?metrics:Obs.Metrics.registry ->
   ?kill_after:int ->
@@ -52,7 +53,10 @@ val run :
   mode:mode ->
   Scheduler.job list ->
   outcome
-(** Execute the jobs journaled under [dir]. [kill_after n] arms the chaos
+(** Execute the jobs journaled under [dir]. [cancel] is the scheduler's
+    cooperative stop (see [Scheduler.run_jobs]) — under a watchdog abort
+    the journal keeps every case already appended, so a later [Resume]
+    continues from the same frontier. [kill_after n] arms the chaos
     self-abort: the journal persists [n] more records, then every job dies
     with [Journal.Killed] (isolated per job by the scheduler — inspect
     [Scheduler.failures], discard the results, and {!run} again with

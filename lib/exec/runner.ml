@@ -91,6 +91,27 @@ let instrumented (Packed ((module M), cfg)) ~restore ~observe =
   end in
   Packed ((module W), cfg)
 
+exception Aborted of string
+
+let guarded (Packed ((module M), cfg)) ~before =
+  let module W = struct
+    type config = M.config
+    type session = M.session
+
+    let name = M.name
+    let default_config = M.default_config
+    let with_seed = M.with_seed
+    let seed = M.seed
+    let create_session = M.create_session
+
+    let repair_case s case =
+      before case;
+      M.repair_case s case
+
+    let session_stats = M.session_stats
+  end in
+  Packed ((module W), cfg)
+
 let run packed cases =
   let running = start packed in
   let reports = List.map (step running) cases in

@@ -121,3 +121,16 @@ val instrumented :
     the hook {!Checkpoint} uses to journal each case as it completes. An
     exception from [observe] propagates out of the repair (this is how the
     chaos harness simulates a crash mid-campaign). *)
+
+exception Aborted of string
+(** Raised by watchdog-guarded runners (see {!guarded}) to stop a campaign
+    at a case boundary; the scheduler's crash isolation records it as the
+    job's failure, leaving already-journaled cases intact. *)
+
+val guarded : packed -> before:(Dataset.Case.t -> unit) -> packed
+(** A runner that behaves exactly like [packed] except that [before] runs
+    ahead of every case repair. A [before] that raises (conventionally
+    {!Aborted}) cancels the job at the case boundary — the cooperative
+    half of the serve layer's runner watchdog: a runner that is slow
+    *between* cases is stopped cleanly here; only one hung *inside* a case
+    must be abandoned wholesale. *)

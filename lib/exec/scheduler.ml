@@ -22,7 +22,8 @@ let default_domain_cap = 8
 let default_domains ?(cap = default_domain_cap) () =
   max 1 (min cap (Domain.recommended_domain_count ()))
 
-let run_jobs ?(domains = default_domains ()) ?trace ?metrics jobs =
+let run_jobs ?(domains = default_domains ()) ?(cancel = fun () -> false) ?trace
+    ?metrics jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let results = Array.make n None in
@@ -92,7 +93,7 @@ let run_jobs ?(domains = default_domains ()) ?trace ?metrics jobs =
   let restarted = ref 0 in
   if workers <= 1 then
     for i = 0 to n - 1 do
-      exec i
+      if not (cancel ()) then exec i
     done
   else begin
     (* fixed worker pool over an atomic job queue: campaigns are
@@ -101,10 +102,12 @@ let run_jobs ?(domains = default_domains ()) ?trace ?metrics jobs =
        ordered by Domain.join) *)
     let next = Atomic.make 0 in
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        exec i;
-        worker ()
+      if not (cancel ()) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          exec i;
+          worker ()
+        end
       end
     in
     (* Supervisor: [exec] never raises, but a domain can still die outside
@@ -128,14 +131,23 @@ let run_jobs ?(domains = default_domains ()) ?trace ?metrics jobs =
     supervise (List.init workers (fun _ -> Domain.spawn worker))
   end;
   (* a job claimed by a dead worker may have been left without an outcome:
-     finish those inline so every job reports exactly once, in order *)
+     finish those inline so every job reports exactly once, in order. Under
+     a cancel the unrun jobs are recorded as cancelled failures instead —
+     a watchdog that fired must not be answered by running more work. *)
   let orphaned = ref 0 in
   Array.iteri
     (fun i r ->
-      if r = None then begin
-        incr orphaned;
-        exec i
-      end)
+      if r = None then
+        if cancel () then
+          results.(i) <-
+            Some
+              { job = jobs.(i); reports = []; stats = Runner.no_stats;
+                failure =
+                  Some { exn = "cancelled before start"; backtrace = "" } }
+        else begin
+          incr orphaned;
+          exec i
+        end)
     results;
   (match trace with
   | None -> ()

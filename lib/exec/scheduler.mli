@@ -51,8 +51,8 @@ val default_domains : ?cap:int -> unit -> int
     {!default_domain_cap}). *)
 
 val run_jobs :
-  ?domains:int -> ?trace:Obs.Trace.t -> ?metrics:Obs.Metrics.registry ->
-  job list -> result list * supervision
+  ?domains:int -> ?cancel:(unit -> bool) -> ?trace:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.registry -> job list -> result list * supervision
 (** Run every job on a pool of at most [domains] workers (default
     {!default_domains}; [domains <= 1] runs inline with no spawning).
     Results are returned in job order and this function never raises on a
@@ -61,6 +61,12 @@ val run_jobs :
     domains that die outside job isolation are restarted by a supervisor
     (bounded), and any job orphaned by a dead worker is finished inline;
     both events are counted in the returned {!supervision}.
+
+    [cancel] is polled (cheaply — it should be an atomic read) before each
+    job claim; once it returns [true] no further job starts, and jobs never
+    started are recorded as ["cancelled before start"] failures rather than
+    run. In-flight jobs are not interrupted here — pair with
+    [Runner.guarded] for case-boundary cancellation inside a job.
 
     [trace]: each job records into a private in-memory buffer installed as
     its worker's ambient sink; after all joins the buffers are folded into

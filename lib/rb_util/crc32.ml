@@ -1,0 +1,41 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the same
+   checksum gzip and PNG stamp on their members, chosen here because a
+   torn or bit-flipped store record must be *detected*, not silently
+   parsed into a wrong submission. Table-driven, one table shared by all
+   domains: the table is written once before any reader can exist
+   (top-level initialization runs before [Domain.spawn] is reachable). *)
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      c :=
+        if Int32.logand !c 1l <> 0l then
+          Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+        else Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let update crc s pos len =
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string s = update 0l s 0 (String.length s)
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    (* Int32.of_string reads "0x…" as unsigned, so crcs with the top bit
+       set round-trip *)
+    try Some (Int32.of_string ("0x" ^ s)) with Failure _ -> None

@@ -1,0 +1,17 @@
+(** CRC-32 (IEEE, the gzip/PNG polynomial) for store-record integrity.
+
+    Fast enough for small durable records, and — unlike a truncated
+    digest of [Digest] — standard enough that an operator can verify a
+    record header with [crc32] from coreutils-adjacent tooling. *)
+
+val string : string -> int32
+(** CRC-32 of the whole string. *)
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] over [s.[pos .. pos+len-1]]. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase 8-hex-digit rendering. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex digits. *)

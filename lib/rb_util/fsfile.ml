@@ -67,3 +67,65 @@ let read path =
 
 let remove_if_exists path =
   try Sys.remove path with Sys_error _ -> ()
+
+(* -- checksummed records ------------------------------------------------- *)
+
+(* One header line — magic+version, payload length, payload CRC-32 — then
+   the payload verbatim. The length makes a torn tail distinguishable from
+   a bit flip: a short payload is truncation (heal-or-quarantine by policy),
+   a full-length payload with a wrong CRC is corruption; extra bytes after
+   the declared length are a healable appended tail. Records written
+   before this format (no magic) are legacy and accepted as-is. *)
+
+let checked_magic = "%RB1"
+
+type checked =
+  | Intact of string       (* header present, length and CRC both check out *)
+  | Legacy of string       (* pre-checksum record: no magic header *)
+  | Healed of string       (* declared prefix intact; trailing junk dropped *)
+  | Torn                   (* payload shorter than declared *)
+  | Corrupt of string      (* full-length payload, CRC mismatch (reason) *)
+  | Missing
+
+let render_checked payload =
+  Printf.sprintf "%s %d %s\n%s" checked_magic (String.length payload)
+    (Crc32.to_hex (Crc32.string payload))
+    payload
+
+let write_checked path payload = write_atomic path (render_checked payload)
+
+let classify_checked s =
+  let starts_with_magic =
+    String.length s >= String.length checked_magic
+    && String.sub s 0 (String.length checked_magic) = checked_magic
+  in
+  if not starts_with_magic then Legacy s
+  else
+    match String.index_opt s '\n' with
+    | None -> Torn (* header itself truncated *)
+    | Some nl -> (
+      let header = String.sub s 0 nl in
+      let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ magic; len; crc ] when magic = checked_magic -> (
+        match (int_of_string_opt len, Crc32.of_hex crc) with
+        | Some len, Some crc when len >= 0 ->
+          let have = String.length body in
+          if have < len then Torn
+          else
+            let payload = String.sub body 0 len in
+            if Crc32.string payload <> crc then
+              Corrupt "checksum mismatch"
+            else if have = len then Intact payload
+            else Healed payload
+        | _ -> Corrupt "unparseable record header")
+      | _ -> Corrupt "unparseable record header")
+
+let read_checked path =
+  match read path with
+  | None -> Missing
+  | Some s -> classify_checked s
+
+let checked_payload = function
+  | Intact p | Legacy p | Healed p -> Some p
+  | Torn | Corrupt _ | Missing -> None

@@ -36,3 +36,34 @@ val read : string -> string option
 (** Whole-file read; [None] when the file does not exist or is unreadable. *)
 
 val remove_if_exists : string -> unit
+
+(** {2 Checksummed records}
+
+    Small durable state records (the repair server's admission queue and
+    markers) are wrapped in a one-line header — magic+version, payload
+    length, payload CRC-32 — so a later fsck can tell an intact record
+    from a torn tail from a bit flip instead of feeding rotted bytes to a
+    JSON parser and hoping. Records written before the header existed are
+    classified [Legacy] and accepted unchanged. *)
+
+type checked =
+  | Intact of string   (** header present; length and CRC both verify *)
+  | Legacy of string   (** no header: a pre-checksum record, trusted as-is *)
+  | Healed of string
+      (** declared prefix verifies; junk bytes after it were dropped *)
+  | Torn               (** payload shorter than the header declares *)
+  | Corrupt of string  (** full-length payload failing its CRC (reason) *)
+  | Missing            (** file absent or unreadable *)
+
+val write_checked : string -> string -> unit
+(** [write_checked path payload] durably writes [payload] under a
+    [%RB1 <len> <crc32>] header (atomic, fsynced like {!write_atomic}). *)
+
+val read_checked : string -> checked
+(** Read and classify; never raises. *)
+
+val classify_checked : string -> checked
+(** Classify already-read bytes (never returns [Missing]). *)
+
+val checked_payload : checked -> string option
+(** The usable payload of [Intact]/[Legacy]/[Healed]; [None] otherwise. *)

@@ -1,0 +1,16 @@
+(* EINTR is not an error: a signal (SIGCHLD from a reaped runner process,
+   a profiler's SIGPROF, a debugger attach) delivered during a blocking
+   syscall makes it return early with nothing done. Every select/read/
+   write/accept in the event loop and the blocking client must restart,
+   or a stray signal tears down a healthy connection — or the whole
+   server loop. *)
+let rec on_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> on_eintr f
+
+let rec on_eintr_opt ~deadline f =
+  match f () with
+  | v -> Some v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    if Unix.gettimeofday () >= deadline then None else on_eintr_opt ~deadline f

@@ -1,0 +1,17 @@
+(** Retry-on-EINTR for blocking syscalls.
+
+    POSIX lets any blocking call return [EINTR] when a signal arrives;
+    without a uniform restart wrapper each call site either forgets the
+    case (and a signal during [select] raises out of the server's event
+    loop) or hand-rolls its own loop. All serve-layer syscalls go through
+    {!on_eintr}. *)
+
+val on_eintr : (unit -> 'a) -> 'a
+(** Run [f], restarting it as long as it raises
+    [Unix.Unix_error (EINTR, _, _)]. Every other outcome — value or
+    exception — passes through untouched. *)
+
+val on_eintr_opt : deadline:float -> (unit -> 'a) -> 'a option
+(** Like {!on_eintr}, but gives up with [None] once
+    [Unix.gettimeofday () >= deadline] — for timeout-bounded waits where
+    a signal storm must not extend the wait forever. *)

@@ -1,0 +1,207 @@
+(* Every fault here is something a real client (or a real network) does to
+   a real server: writes split at arbitrary byte boundaries, connections
+   dying mid-frame, headers that lie, readers that stop reading, churn.
+   The harness drives them against a live server socket in a seeded,
+   reproducible order, and after every fault proves the event loop is
+   still answering with a clean probe round-trip — the property under
+   test is not "the fault is handled" but "the blast radius is one
+   connection". *)
+
+type fault =
+  | Split_write
+  | Mid_frame_disconnect
+  | Garbage_frame
+  | Slowloris
+  | Churn
+
+let fault_label = function
+  | Split_write -> "split-write"
+  | Mid_frame_disconnect -> "mid-frame-disconnect"
+  | Garbage_frame -> "garbage-frame"
+  | Slowloris -> "slowloris"
+  | Churn -> "churn"
+
+let all_faults =
+  [ Split_write; Mid_frame_disconnect; Garbage_frame; Slowloris; Churn ]
+
+type step_result = {
+  step : int;
+  fault : fault;
+  detail : string;
+  probe_ok : bool;  (* did a fresh connection get a clean STATUS reply? *)
+}
+
+type outcome = {
+  steps : step_result list;
+  survived : bool;  (* every probe answered: the loop outlived every fault *)
+}
+
+let plan ~seed ~steps =
+  let rng = Rb_util.Rng.create seed in
+  List.init steps (fun _ -> Rb_util.Rng.pick rng all_faults)
+
+(* -- raw socket helpers (the point is byte-level control, so no Client) -- *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect_raw socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Rb_util.Retry.on_eintr (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket))
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    close_quiet fd;
+    Error (Unix.error_message e)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match
+        Rb_util.Retry.on_eintr (fun () ->
+            Unix.write_substring fd s off (n - off))
+      with
+      | w -> go (off + w)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let status_frame = Wire.encode (Wire.request_to_string (Wire.Status None))
+
+(* A full valid frame written in seeded dribbles: the decoder must yield
+   the same frames for any split of the byte stream, and the reply must
+   still arrive. *)
+let do_split_write rng socket =
+  match connect_raw socket with
+  | Error e -> Printf.sprintf "connect failed: %s" e
+  | Ok fd ->
+    let n = String.length status_frame in
+    let cuts = ref 0 in
+    let off = ref 0 in
+    while !off < n do
+      let step = 1 + Rb_util.Rng.int rng 3 in
+      let len = min step (n - !off) in
+      write_all fd (String.sub status_frame !off len);
+      incr cuts;
+      off := !off + len
+    done;
+    (* wait for any reply bytes so the server demonstrably decoded it *)
+    let buf = Bytes.create 256 in
+    let got =
+      match
+        Rb_util.Retry.on_eintr (fun () ->
+            Unix.read fd buf 0 (Bytes.length buf))
+      with
+      | k -> k
+      | exception Unix.Unix_error _ -> 0
+    in
+    close_quiet fd;
+    Printf.sprintf "%d writes, %d reply bytes" !cuts got
+
+(* Declared length bigger than the bytes that follow, then close: the
+   server holds a partial frame forever on a dead connection and must
+   just reap it. *)
+let do_mid_frame_disconnect rng socket =
+  match connect_raw socket with
+  | Error e -> Printf.sprintf "connect failed: %s" e
+  | Ok fd ->
+    let keep = 4 + Rb_util.Rng.int rng (max 1 (String.length status_frame - 4))
+    in
+    write_all fd (String.sub status_frame 0 keep);
+    close_quiet fd;
+    Printf.sprintf "sent %d of %d bytes" keep (String.length status_frame)
+
+(* A header the framing layer must refuse: zero length, a length past the
+   frame bound, or plain junk. The connection is forfeit; the server is
+   not. *)
+let do_garbage_frame rng socket =
+  match connect_raw socket with
+  | Error e -> Printf.sprintf "connect failed: %s" e
+  | Ok fd ->
+    let variant = Rb_util.Rng.int rng 3 in
+    let payload =
+      match variant with
+      | 0 ->
+        let b = Bytes.make 8 '\000' in
+        Bytes.set_int32_be b 0 0l;  (* declared length 0 *)
+        Bytes.unsafe_to_string b
+      | 1 ->
+        let b = Bytes.make 8 'x' in
+        Bytes.set_int32_be b 0 (Int32.of_int (1 lsl 30));  (* over bound *)
+        Bytes.unsafe_to_string b
+      | _ -> String.init 16 (fun _ -> Char.chr (Rb_util.Rng.int rng 256))
+    in
+    write_all fd payload;
+    (* the server answers with an error frame and/or drops us; either way
+       the read returning (bytes or EOF) means it processed the garbage *)
+    let buf = Bytes.create 256 in
+    (match
+       Rb_util.Retry.on_eintr (fun () -> Unix.read fd buf 0 (Bytes.length buf))
+     with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ());
+    close_quiet fd;
+    Printf.sprintf "variant %d" variant
+
+(* Ask for output, then refuse to read it for a moment: the reply must sit
+   in the server's bounded outbound buffer, not block its loop. *)
+let do_slowloris rng socket =
+  match connect_raw socket with
+  | Error e -> Printf.sprintf "connect failed: %s" e
+  | Ok fd ->
+    let asks = 1 + Rb_util.Rng.int rng 4 in
+    for _ = 1 to asks do
+      write_all fd status_frame
+    done;
+    Unix.sleepf 0.05;
+    close_quiet fd;
+    Printf.sprintf "%d unread replies" asks
+
+(* Connections that come and go without a useful byte. *)
+let do_churn rng socket =
+  let n = 2 + Rb_util.Rng.int rng 4 in
+  let opened = ref 0 in
+  for _ = 1 to n do
+    match connect_raw socket with
+    | Ok fd ->
+      incr opened;
+      close_quiet fd
+    | Error _ -> ()
+  done;
+  Printf.sprintf "%d/%d connections" !opened n
+
+let apply rng socket = function
+  | Split_write -> do_split_write rng socket
+  | Mid_frame_disconnect -> do_mid_frame_disconnect rng socket
+  | Garbage_frame -> do_garbage_frame rng socket
+  | Slowloris -> do_slowloris rng socket
+  | Churn -> do_churn rng socket
+
+(* A fresh, well-behaved connection getting a clean STATUS reply is the
+   survival predicate: whatever the fault broke, it was not the loop. *)
+let probe ?(timeout_s = 10.0) socket =
+  match Client.connect ~retries:20 ~retry_delay_s:0.05 socket with
+  | Error _ -> false
+  | Ok c ->
+    let ok =
+      match Client.request ~timeout_s c (Wire.Status None) with
+      | Ok (Wire.Server _) -> true
+      | Ok _ | Error _ -> false
+    in
+    Client.close c;
+    ok
+
+let run ?(probe_timeout_s = 10.0) ~socket ~seed ~steps () =
+  let rng = Rb_util.Rng.create seed in
+  let faults = plan ~seed ~steps in
+  let results =
+    List.mapi
+      (fun i fault ->
+        let detail = apply rng socket fault in
+        { step = i; fault; detail;
+          probe_ok = probe ~timeout_s:probe_timeout_s socket })
+      faults
+  in
+  { steps = results; survived = List.for_all (fun r -> r.probe_ok) results }

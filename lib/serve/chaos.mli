@@ -1,0 +1,48 @@
+(** Seeded socket chaos harness for the repair server.
+
+    Drives a live server socket through the faults real clients and real
+    networks produce — writes split at arbitrary byte boundaries,
+    connections dying mid-frame, framing headers that lie, readers that
+    stop reading, connection churn — in a reproducible seeded order.
+    After every fault a fresh well-behaved connection must get a clean
+    STATUS reply: the property under test is that a fault's blast radius
+    is one connection, never the event loop.
+
+    In-process and deterministic by construction: the fault sequence and
+    every size/variant choice comes from {!Rb_util.Rng}, so a failing
+    seed is a repro, not an anecdote. *)
+
+type fault =
+  | Split_write           (** valid frame, written in 1–3-byte dribbles *)
+  | Mid_frame_disconnect  (** partial frame, then close *)
+  | Garbage_frame         (** zero/oversized declared length, or junk *)
+  | Slowloris             (** request replies, never read them *)
+  | Churn                 (** connections opened and closed idle *)
+
+val fault_label : fault -> string
+
+val all_faults : fault list
+
+val plan : seed:int -> steps:int -> fault list
+(** The fault sequence a given seed produces (same RNG as {!run}). *)
+
+type step_result = {
+  step : int;
+  fault : fault;
+  detail : string;   (** what the fault concretely did *)
+  probe_ok : bool;   (** did the post-fault STATUS probe round-trip? *)
+}
+
+type outcome = {
+  steps : step_result list;
+  survived : bool;  (** every probe answered *)
+}
+
+val probe : ?timeout_s:float -> string -> bool
+(** One clean STATUS round-trip on a fresh connection. *)
+
+val run :
+  ?probe_timeout_s:float -> socket:string -> seed:int -> steps:int -> unit ->
+  outcome
+(** Execute [steps] seeded faults against the server listening on
+    [socket], probing after each. *)

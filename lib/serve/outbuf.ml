@@ -1,0 +1,49 @@
+(* Chunks are kept whole and consumed from the front with an offset, so a
+   slow reader costs O(bytes) total — never the O(n^2) of repeatedly
+   re-concatenating a shrinking string. *)
+
+type t = {
+  limit : int;
+  chunks : string Queue.t;
+  mutable head_off : int;
+  mutable length : int;
+}
+
+let create ~limit = { limit; chunks = Queue.create (); head_off = 0; length = 0 }
+
+let length t = t.length
+
+let is_empty t = t.length = 0
+
+let add t s =
+  let n = String.length s in
+  if n = 0 then true
+  else if t.length + n > t.limit then false
+  else begin
+    Queue.add s t.chunks;
+    t.length <- t.length + n;
+    true
+  end
+
+let peek t =
+  match Queue.peek_opt t.chunks with
+  | None -> None
+  | Some chunk -> Some (chunk, t.head_off)
+
+let consume t n =
+  let n = min n t.length in
+  t.length <- t.length - n;
+  let rec go n =
+    if n > 0 then
+      match Queue.peek_opt t.chunks with
+      | None -> ()
+      | Some chunk ->
+        let left = String.length chunk - t.head_off in
+        if n >= left then begin
+          ignore (Queue.pop t.chunks);
+          t.head_off <- 0;
+          go (n - left)
+        end
+        else t.head_off <- t.head_off + n
+  in
+  go n

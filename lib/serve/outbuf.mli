@@ -1,0 +1,31 @@
+(** Bounded per-connection outbound buffer.
+
+    The server's event loop must never block on a write, so every byte a
+    connection has been promised sits here until the socket will take it.
+    Unbounded, that is a memory-exhaustion attack: a client that submits a
+    large job and then stops reading (slowloris) grows the buffer forever.
+    So the buffer is bounded — {!add} refuses past the limit and the
+    server's policy is to evict the connection (the durable results file
+    is the source of truth; a dropped stream costs the client a RESULTS
+    re-fetch, not data). *)
+
+type t
+
+val create : limit:int -> t
+(** [limit] is the maximum buffered (unwritten) byte count. *)
+
+val add : t -> string -> bool
+(** Append a fully-rendered frame; [false] means it would exceed the
+    limit and nothing was buffered — evict the connection. *)
+
+val length : t -> int
+(** Bytes buffered and not yet consumed. *)
+
+val is_empty : t -> bool
+
+val peek : t -> (string * int) option
+(** Front chunk and the offset of its first unwritten byte; [None] when
+    empty. Write from here, then {!consume} what the socket took. *)
+
+val consume : t -> int -> unit
+(** Mark [n] bytes written (clamped to what is buffered). *)

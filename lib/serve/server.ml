@@ -1,3 +1,12 @@
+(* Deterministic fault injection for the chaos harness: the hook fires at
+   every case boundary inside the runner domain, so a test can make one
+   named case reliably kill the process, hang the domain, or fail the
+   job — the three crash vectors the supervision layer must survive. *)
+type poison_mode =
+  | Poison_exit   (* [Unix._exit]: the whole server dies mid-case *)
+  | Poison_hang   (* sleep forever: only the watchdog can reclaim the slot *)
+  | Poison_raise  (* ordinary exception: isolated as a job failure *)
+
 type config = {
   socket : string;
   state_dir : string;
@@ -8,6 +17,13 @@ type config = {
   weights : (string * int) list;
   default_opts : Exec.Campaign_opts.t;
   tick_s : float;
+  max_crashes : int;
+  stall_timeout_s : float;
+  job_timeout_s : float;
+  abandon_grace_s : float;
+  out_limit : int;
+  evict_idle_s : float;
+  poison : (string -> poison_mode option) option;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }
@@ -22,6 +38,13 @@ let default_config =
     weights = [];
     default_opts = Exec.Campaign_opts.default;
     tick_s = 0.02;
+    max_crashes = 3;
+    stall_timeout_s = 300.0;
+    job_timeout_s = 3600.0;
+    abandon_grace_s = 1.0;
+    out_limit = 8 * 1024 * 1024;
+    evict_idle_s = 30.0;
+    poison = None;
     trace = None;
     metrics = None }
 
@@ -34,6 +57,9 @@ type summary = {
   rejected : int;
   resumed : int;     (** jobs re-enqueued from the store at startup *)
   left_queued : int; (** still-durable jobs left for the next start *)
+  quarantined : int; (** jobs moved to quarantine this run *)
+  requeued : int;    (** watchdog/crash requeues this run *)
+  evicted : int;     (** connections dropped for slow reading or overflow *)
 }
 
 (* -- job execution on a runner-slot domain ------------------------------ *)
@@ -56,8 +82,16 @@ type slot = {
          domain as cases complete, drained by the event loop *)
   stream_mx : Mutex.t;
   finished : bool Atomic.t;
+  cancel : bool Atomic.t;
+      (* watchdog -> runner: checked at every case boundary and before
+         every scheduler job claim; the cooperative half of the abort *)
+  mutable last_progress : float;
+      (* wall time the event loop last saw a case come off this slot *)
+  mutable abort_at : float;  (* when the watchdog fired; 0.0 = it has not *)
   domain : (job_outcome, string) result Domain.t;
 }
+
+let slot_aborted s = s.abort_at > 0.0
 
 (* The slot domain runs the whole job: seed fan-out through the
    domain-parallel scheduler, under the job's own write-ahead journal so a
@@ -67,7 +101,25 @@ let start_job (cfg : config) store (sub : Store.submission) =
   let stream = Queue.create () in
   let stream_mx = Mutex.create () in
   let finished = Atomic.make false in
+  let cancel = Atomic.make false in
   let total_cases = List.length sub.cases * List.length sub.opts.seeds in
+  (* case-boundary guard: poison injection (chaos harness) and the
+     watchdog's cooperative abort both live here, inside the runner
+     domain, so neither can fire mid-case *)
+  let before (case : Dataset.Case.t) =
+    (match cfg.poison with
+    | None -> ()
+    | Some hook -> (
+      match hook case.Dataset.Case.name with
+      | None -> ()
+      | Some Poison_exit -> Unix._exit 66
+      | Some Poison_hang ->
+        while true do
+          Unix.sleepf 3600.0
+        done
+      | Some Poison_raise -> raise (Exec.Runner.Aborted "poisoned case")));
+    if Atomic.get cancel then raise (Exec.Runner.Aborted "watchdog abort")
+  in
   let domain =
     Domain.spawn (fun () ->
         let result =
@@ -120,7 +172,8 @@ let start_job (cfg : config) store (sub : Store.submission) =
                 in
                 { j with
                   Exec.Scheduler.runner =
-                    Exec.Runner.instrumented j.Exec.Scheduler.runner
+                    Exec.Runner.instrumented
+                      (Exec.Runner.guarded j.Exec.Scheduler.runner ~before)
                       ~restore:None ~observe })
               jobs
           in
@@ -130,7 +183,11 @@ let start_job (cfg : config) store (sub : Store.submission) =
             | Some _ as d -> d
             | None -> cfg.domains_per_job
           in
-          let run mode = Exec.Checkpoint.run ?domains ~dir ~mode jobs in
+          let run mode =
+            Exec.Checkpoint.run ?domains
+              ~cancel:(fun () -> Atomic.get cancel)
+              ~dir ~mode jobs
+          in
           let outcome =
             try run Exec.Checkpoint.Resume
             with Exec.Checkpoint.Fingerprint_mismatch _ ->
@@ -157,8 +214,9 @@ let start_job (cfg : config) store (sub : Store.submission) =
         Atomic.set finished true;
         result)
   in
-  { sub; total_cases; started_at = Unix.gettimeofday (); stream; stream_mx;
-    finished; domain }
+  let now = Unix.gettimeofday () in
+  { sub; total_cases; started_at = now; stream; stream_mx; finished; cancel;
+    last_progress = now; abort_at = 0.0; domain }
 
 let slot_finished s = Atomic.get s.finished
 
@@ -168,14 +226,11 @@ type conn = {
   fd : Unix.file_descr;
   cid : int;
   dec : Wire.decoder;
-  mutable out : string;           (* bytes accepted but not yet written *)
+  out : Outbuf.t;                 (* bytes accepted but not yet written *)
+  mutable last_flush : float;     (* last time the socket took any bytes *)
   mutable close_after_flush : bool;
   mutable closed : bool;
 }
-
-let send conn resp =
-  if not conn.closed then
-    conn.out <- conn.out ^ Wire.encode (Wire.response_to_string resp)
 
 (* -- server state -------------------------------------------------------- *)
 
@@ -186,7 +241,12 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   subscribers : (int, int) Hashtbl.t;  (* job id -> conn id *)
   mutable slots : slot list;
+  mutable zombies : slot list;
+      (* abandoned hung runner domains: OCaml domains cannot be killed, so
+         they are parked here and reaped (joined) only once their finished
+         flag flips — the slot itself was reclaimed long ago *)
   mutable shutting_down : bool;
+  mutable draining : bool;
   mutable next_cid : int;
   mutable service_ewma_ms : float;  (* per-job wall service time estimate *)
   mutable accepted : int;
@@ -196,7 +256,23 @@ type t = {
   mutable busy : int;
   mutable rejected : int;
   mutable resumed : int;
+  mutable quarantined_n : int;
+  mutable requeued : int;
+  mutable evicted : int;
 }
+
+(* Every reply — results streams, error replies, BUSY — goes through the
+   connection's bounded outbound buffer; a client the buffer cannot absorb
+   is evicted rather than allowed to wedge or balloon the server. The
+   durable results file makes that safe: eviction costs the client a
+   RESULTS re-fetch, never data. *)
+let send t conn resp =
+  if not conn.closed then
+    if not (Outbuf.add conn.out (Wire.encode (Wire.response_to_string resp)))
+    then begin
+      t.evicted <- t.evicted + 1;
+      conn.closed <- true
+    end
 
 let trace_event t name attrs =
   match t.cfg.trace with
@@ -246,11 +322,13 @@ let corpus_names () =
   List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) Dataset.Corpus.all
 
 let handle_submit t conn ~tenant ~backend ~cases ~opts =
-  if t.shutting_down then begin
+  if t.shutting_down || t.draining then begin
     t.busy <- t.busy + 1;
     metric_inc t "serve.busy";
-    send conn
-      (Wire.Busy { reason = "shutting-down"; retry_after_ms = retry_after_ms t })
+    send t conn
+      (Wire.Busy
+         { reason = (if t.draining then "draining" else "shutting-down");
+           retry_after_ms = retry_after_ms t })
   end
   else begin
     let opts = Option.value ~default:t.cfg.default_opts opts in
@@ -262,17 +340,17 @@ let handle_submit t conn ~tenant ~backend ~cases ~opts =
     | Error reason ->
       t.rejected <- t.rejected + 1;
       metric_inc t "serve.rejected";
-      send conn (Wire.Rejected { reason })
+      send t conn (Wire.Rejected { reason })
     | Ok opts ->
       if case_names = [] then begin
         t.rejected <- t.rejected + 1;
         metric_inc t "serve.rejected";
-        send conn (Wire.Rejected { reason = "empty case list" })
+        send t conn (Wire.Rejected { reason = "empty case list" })
       end
       else if unknown <> [] then begin
         t.rejected <- t.rejected + 1;
         metric_inc t "serve.rejected";
-        send conn
+        send t conn
           (Wire.Rejected
              { reason =
                  Printf.sprintf "unknown case(s): %s"
@@ -283,7 +361,7 @@ let handle_submit t conn ~tenant ~backend ~cases ~opts =
         | Error reason ->
           t.rejected <- t.rejected + 1;
           metric_inc t "serve.rejected";
-          send conn (Wire.Rejected { reason })
+          send t conn (Wire.Rejected { reason })
         | Ok _ ->
           let cost = List.length case_names * List.length opts.seeds in
           (* admission-control decision first: only an admitted job is
@@ -302,7 +380,7 @@ let handle_submit t conn ~tenant ~backend ~cases ~opts =
             trace_event t "serve-busy"
               [ ("tenant", Obs.Trace.S tenant);
                 ("reason", Obs.Trace.S (Fairq.reject_reason reject)) ];
-            send conn
+            send t conn
               (Wire.Busy
                  { reason = Fairq.reject_reason reject;
                    retry_after_ms = retry_after_ms t })
@@ -319,7 +397,7 @@ let handle_submit t conn ~tenant ~backend ~cases ~opts =
               ignore (Store.cancel t.store sub.Store.id);
               t.busy <- t.busy + 1;
               metric_inc t "serve.busy";
-              send conn
+              send t conn
                 (Wire.Busy
                    { reason = Fairq.reject_reason reject;
                      retry_after_ms = retry_after_ms t })
@@ -333,7 +411,7 @@ let handle_submit t conn ~tenant ~backend ~cases ~opts =
                   ("tenant", Obs.Trace.S tenant);
                   ("cost", Obs.Trace.I cost);
                   ("depth", Obs.Trace.I depth) ];
-              send conn (Wire.Accepted { id = sub.Store.id; queued = depth })))
+              send t conn (Wire.Accepted { id = sub.Store.id; queued = depth })))
       end
   end
 
@@ -355,6 +433,11 @@ let job_status t id =
          { cases = c.Store.cases; passed = c.Store.passed;
            failed = c.Store.failed })
   | Some Store.Cancelled -> Some Wire.Cancelled
+  | Some (Store.Quarantined q) ->
+    Some
+      (Wire.Quarantined
+         { crashes = q.Store.crashes; reason = q.Store.reason;
+           last_case = q.Store.last_case })
   | Some Store.Queued ->
     if is_running t id then
       let total =
@@ -370,38 +453,46 @@ let job_status t id =
 let handle_status t conn = function
   | Some id -> (
     match job_status t id with
-    | Some state -> send conn (Wire.Job { id; state })
+    | Some state -> send t conn (Wire.Job { id; state })
     | None ->
-      send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
+      send t conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
   | None ->
-    let queued, completed, cancelled = Store.counts t.store in
+    let queued, completed, cancelled, quarantined = Store.counts t.store in
     let running = List.length t.slots in
-    send conn
+    send t conn
       (Wire.Server
          { queued = max 0 (queued - running);
            running;
            completed;
            cancelled;
+           quarantined;
            tenants = Fairq.tenant_depths t.queue })
 
 let handle_cancel t conn id =
   if is_running t id then
-    send conn (Wire.Rejected { reason = Printf.sprintf "job %d is running" id })
+    send t conn (Wire.Rejected { reason = Printf.sprintf "job %d is running" id })
   else if Store.cancel t.store id then begin
     t.cancelled <- t.cancelled + 1;
     metric_inc t "serve.cancelled";
     trace_event t "serve-cancel" [ ("id", Obs.Trace.I id) ];
-    send conn (Wire.Job { id; state = Wire.Cancelled })
+    send t conn (Wire.Job { id; state = Wire.Cancelled })
   end
   else
-    send conn
+    send t conn
       (Wire.Rejected { reason = Printf.sprintf "job %d not cancellable" id })
 
 let handle_results t conn id =
   match (Store.status t.store id, Store.submission t.store id) with
+  | Some (Store.Quarantined q), _ ->
+    (* terminator, not an error: the job is poison, no reports will ever
+       come — the client should stop waiting and a human should triage *)
+    send t conn
+      (Wire.Quarantined_result
+         { id; crashes = q.Store.crashes; reason = q.Store.reason;
+           last_case = q.Store.last_case })
   | Some (Store.Done c), Some sub -> (
     match Store.read_results t.store id with
-    | None -> send conn (Wire.Error_msg "results file missing")
+    | None -> send t conn (Wire.Error_msg "results file missing")
     | Some text ->
       let lines =
         String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
@@ -421,19 +512,32 @@ let handle_results t conn id =
             | Some s -> s
             | None -> 0
           in
-          send conn (Wire.Case { id; seq; case; seed; report_json = line }))
+          send t conn (Wire.Case { id; seq; case; seed; report_json = line }))
         lines;
-      send conn
+      send t conn
         (Wire.Done
            { id; cases = c.Store.cases; passed = c.Store.passed;
              failed = c.Store.failed }))
   | Some state, _ -> (
     ignore state;
     match job_status t id with
-    | Some s -> send conn (Wire.Job { id; state = s })
-    | None -> send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
+    | Some s -> send t conn (Wire.Job { id; state = s })
+    | None -> send t conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
   | None, _ ->
-    send conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id))
+    send t conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id))
+
+let slot_states t =
+  let running =
+    List.mapi
+      (fun i s ->
+        ( i,
+          Printf.sprintf "%s job %d"
+            (if slot_aborted s then "hung" else "running")
+            s.sub.Store.id ))
+      t.slots
+  in
+  let n = List.length running in
+  running @ List.init (max 0 (t.cfg.runners - n)) (fun i -> (n + i, "idle"))
 
 let handle_request t conn = function
   | Wire.Submit { tenant; backend; cases; opts } ->
@@ -441,12 +545,29 @@ let handle_request t conn = function
   | Wire.Status id -> handle_status t conn id
   | Wire.Cancel id -> handle_cancel t conn id
   | Wire.Results id -> handle_results t conn id
+  | Wire.Health ->
+    let _, _, _, quarantined = Store.counts t.store in
+    send t conn
+      (Wire.Health
+         { queued = Fairq.depth t.queue;
+           running = List.length t.slots;
+           quarantined;
+           draining = t.draining;
+           slots = slot_states t })
+  | Wire.Drain ->
+    t.draining <- true;
+    trace_event t "serve-drain"
+      [ ("active", Obs.Trace.I (List.length t.slots));
+        ("queued", Obs.Trace.I (Fairq.depth t.queue)) ];
+    send t conn
+      (Wire.Draining
+         { active = List.length t.slots; queued = Fairq.depth t.queue })
   | Wire.Shutdown ->
     t.shutting_down <- true;
     trace_event t "serve-shutdown"
       [ ("active", Obs.Trace.I (List.length t.slots));
         ("queued", Obs.Trace.I (Fairq.depth t.queue)) ];
-    send conn
+    send t conn
       (Wire.Shutting_down
          { active = List.length t.slots; queued = Fairq.depth t.queue })
 
@@ -465,15 +586,56 @@ let drain_stream t slot =
         Queue.clear slot.stream;
         xs)
   in
+  if items <> [] then slot.last_progress <- Unix.gettimeofday ();
   match subscriber_conn t slot.sub.Store.id with
   | None -> ()
   | Some conn ->
     List.iter
       (fun (seq, case, seed, report_json) ->
         metric_inc t "serve.cases.streamed";
-        send conn
+        send t conn
           (Wire.Case { id = slot.sub.Store.id; seq; case; seed; report_json }))
       items
+
+(* Durably mark the job poison and tell whoever is waiting. From here the
+   job never runs again: excluded from pending/dispatch, its journal and
+   crash record preserved under the state dir for triage. *)
+let quarantine_job t (sub : Store.submission) ~reason ~backtrace =
+  let id = sub.Store.id in
+  let q = Store.quarantine t.store id ~reason ~backtrace in
+  t.quarantined_n <- t.quarantined_n + 1;
+  metric_inc t "serve.quarantined";
+  trace_event t "serve-quarantine"
+    [ ("id", Obs.Trace.I id);
+      ("crashes", Obs.Trace.I q.Store.crashes);
+      ("reason", Obs.Trace.S reason) ];
+  (match subscriber_conn t id with
+  | None -> ()
+  | Some conn ->
+    send t conn
+      (Wire.Quarantined_result
+         { id; crashes = q.Store.crashes; reason = q.Store.reason;
+           last_case = q.Store.last_case }));
+  Hashtbl.remove t.subscribers id
+
+(* A job whose attempt ended in a crash (dead runner domain, watchdog
+   abandonment) either re-enters the queue — resuming at its journal
+   frontier, so completed cases are never redone — or, past the crash
+   budget, is quarantined as poison. *)
+let requeue_or_quarantine t (sub : Store.submission) ~reason ~backtrace =
+  if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes then
+    quarantine_job t sub ~reason ~backtrace
+  else begin
+    t.requeued <- t.requeued + 1;
+    metric_inc t "serve.jobs.requeued";
+    trace_event t "serve-requeue"
+      [ ("id", Obs.Trace.I sub.Store.id);
+        ("crashes", Obs.Trace.I (Store.crash_count t.store sub.Store.id));
+        ("reason", Obs.Trace.S reason) ];
+    ignore
+      (Fairq.admit ~force:true t.queue ~tenant:sub.Store.tenant
+         ~cost:(job_cost sub) sub)
+  end
 
 let dispatch t =
   let continue = ref true in
@@ -483,17 +645,60 @@ let dispatch t =
     | Some (_tenant, sub) -> (
       match Store.status t.store sub.Store.id with
       | Some Store.Queued ->
-        trace_event t "serve-dispatch"
-          [ ("id", Obs.Trace.I sub.Store.id);
-            ("tenant", Obs.Trace.S sub.Store.tenant) ];
-        t.slots <- t.slots @ [ start_job t.cfg t.store sub ]
+        if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes then
+          (* the crash budget can be exhausted while the job sits queued —
+             e.g. counted across whole-server kills — never hand it to
+             another runner *)
+          quarantine_job t sub
+            ~reason:
+              (Printf.sprintf "crashed its runner %d times"
+                 (Store.crash_count t.store sub.Store.id))
+            ~backtrace:""
+        else begin
+          trace_event t "serve-dispatch"
+            [ ("id", Obs.Trace.I sub.Store.id);
+              ("tenant", Obs.Trace.S sub.Store.tenant) ];
+          (* durable before the spawn: if this attempt dies with the whole
+             process, the next start still counts it *)
+          Store.begin_attempt t.store sub.Store.id;
+          t.slots <- t.slots @ [ start_job t.cfg t.store sub ]
+        end
       | _ -> () (* cancelled while queued: drained, never started *))
   done;
   metric_gauge t "serve.queue_depth" (float_of_int (Fairq.depth t.queue));
   metric_gauge t "serve.active" (float_of_int (List.length t.slots))
 
 let finalize_slot t slot =
-  let outcome = Domain.join slot.domain in
+  (* a slot domain that died hard (its own catch-all never ran: stack
+     overflow, OOM) surfaces here as a join exception — a crashed runner,
+     not a server crash: the slot is restarted by requeue and the crash
+     counts toward the job's quarantine budget *)
+  let outcome =
+    match Domain.join slot.domain with
+    | r -> `Joined r
+    | exception e -> `Crashed (Printexc.to_string e)
+  in
+  let watchdog_kill =
+    slot_aborted slot
+    &&
+    match outcome with
+    | `Joined (Ok o) -> o.job_failed <> None
+    | `Joined (Error _) | `Crashed _ -> true
+  in
+  match outcome with
+  | `Crashed msg ->
+    metric_inc t "serve.runner_crashes";
+    trace_event t "serve-runner-crash"
+      [ ("id", Obs.Trace.I slot.sub.Store.id); ("exn", Obs.Trace.S msg) ];
+    requeue_or_quarantine t slot.sub
+      ~reason:(Printf.sprintf "runner domain died: %s" msg)
+      ~backtrace:msg
+  | `Joined _ when watchdog_kill ->
+    (* the cooperative abort landed at a case boundary: the journal holds
+       every completed case, the attempt itself was a watchdog kill *)
+    requeue_or_quarantine t slot.sub ~reason:"aborted by watchdog"
+      ~backtrace:""
+  | `Joined outcome ->
   let service_ms = (Unix.gettimeofday () -. slot.started_at) *. 1000.0 in
   t.service_ewma_ms <- (0.7 *. t.service_ewma_ms) +. (0.3 *. service_ms);
   metric_observe t "serve.service_ms" service_ms;
@@ -535,7 +740,7 @@ let finalize_slot t slot =
   (match subscriber_conn t id with
   | None -> ()
   | Some conn ->
-    send conn
+    send t conn
       (Wire.Done
          { id; cases = completion.Store.cases;
            passed = completion.Store.passed;
@@ -543,24 +748,84 @@ let finalize_slot t slot =
   Hashtbl.remove t.subscribers id
 
 let poll_slots t =
+  let now = Unix.gettimeofday () in
+  (* watchdog: a slot with no case progress for [stall_timeout_s], or past
+     the [job_timeout_s] wall ceiling, gets the cooperative abort — the
+     runner raises at its next case boundary and the journal keeps every
+     completed case *)
+  List.iter
+    (fun s ->
+      if (not (slot_aborted s)) && not (slot_finished s) then begin
+        let stalled = now -. s.last_progress > t.cfg.stall_timeout_s in
+        let over = now -. s.started_at > t.cfg.job_timeout_s in
+        if stalled || over then begin
+          s.abort_at <- now;
+          Atomic.set s.cancel true;
+          metric_inc t "serve.watchdog.fired";
+          trace_event t "serve-watchdog"
+            [ ("id", Obs.Trace.I s.sub.Store.id);
+              ("why", Obs.Trace.S (if stalled then "stalled" else "over-budget")) ]
+        end
+      end)
+    t.slots;
   let done_, live = List.partition slot_finished t.slots in
+  (* a slot still not finished [abandon_grace_s] after its abort is hung
+     inside a case — OCaml domains cannot be killed, so the domain is
+     parked as a zombie (reaped if it ever dies) and the slot is reclaimed
+     now; the job itself requeues at its journal frontier *)
+  let abandoned, live =
+    List.partition
+      (fun s -> slot_aborted s && now -. s.abort_at > t.cfg.abandon_grace_s)
+      live
+  in
   t.slots <- live;
   List.iter (drain_stream t) live;
+  List.iter
+    (fun s ->
+      drain_stream t s;
+      t.zombies <- s :: t.zombies;
+      metric_inc t "serve.slots.abandoned";
+      trace_event t "serve-abandon" [ ("id", Obs.Trace.I s.sub.Store.id) ];
+      requeue_or_quarantine t s.sub
+        ~reason:"hung runner abandoned by watchdog" ~backtrace:"")
+    abandoned;
   (* drain once more after the finished flag so every case frame precedes
      the job's Done frame *)
-  List.iter (fun s -> drain_stream t s; finalize_slot t s) done_
+  List.iter (fun s -> drain_stream t s; finalize_slot t s) done_;
+  (* reap zombies whose domains eventually died; never block on live ones *)
+  let dead, still = List.partition slot_finished t.zombies in
+  List.iter
+    (fun z -> match Domain.join z.domain with _ -> () | exception _ -> ())
+    dead;
+  t.zombies <- still
 
 (* -- socket plumbing ----------------------------------------------------- *)
 
 let try_flush conn =
-  if (not conn.closed) && conn.out <> "" then begin
-    let b = Bytes.unsafe_of_string conn.out in
-    match Unix.write conn.fd b 0 (Bytes.length b) with
-    | n ->
-      conn.out <- String.sub conn.out n (String.length conn.out - n)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error _ ->
-      conn.closed <- true
+  if (not conn.closed) && not (Outbuf.is_empty conn.out) then begin
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      match Outbuf.peek conn.out with
+      | None -> continue := false
+      | Some (chunk, off) -> (
+        let len = String.length chunk - off in
+        match
+          Rb_util.Retry.on_eintr (fun () ->
+              Unix.write_substring conn.fd chunk off len)
+        with
+        | 0 -> continue := false
+        | n ->
+          progressed := true;
+          Outbuf.consume conn.out n;
+          if n < len then continue := false
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+        | exception Unix.Unix_error _ ->
+          conn.closed <- true;
+          continue := false)
+    done;
+    if !progressed then conn.last_flush <- Unix.gettimeofday ()
   end
 
 let close_conn t conn =
@@ -574,7 +839,10 @@ let close_conn t conn =
 let read_conn t conn =
   let buf = Bytes.create 65536 in
   let rec go () =
-    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    match
+      Rb_util.Retry.on_eintr (fun () ->
+          Unix.read conn.fd buf 0 (Bytes.length buf))
+    with
     | 0 -> close_conn t conn
     | n -> (
       metric_inc t "serve.frames.fed";
@@ -586,7 +854,7 @@ let read_conn t conn =
             | Ok req -> handle_request t conn req
             | Error e ->
               metric_inc t "serve.protocol_errors";
-              send conn (Wire.Error_msg e))
+              send t conn (Wire.Error_msg e))
           frames;
         go ()
       | Error e ->
@@ -594,7 +862,7 @@ let read_conn t conn =
            is not — answer, flush, drop *)
         metric_inc t "serve.protocol_errors";
         trace_event t "serve-protocol-error" [ ("err", Obs.Trace.S e) ];
-        send conn (Wire.Error_msg e);
+        send t conn (Wire.Error_msg e);
         conn.close_after_flush <- true)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
@@ -611,28 +879,43 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     | s -> Some s
     | exception (Invalid_argument _ | Sys_error _) -> None
   in
-  let store = Store.open_dir ~dir:cfg.state_dir in
+  (* open_dir runs the fsck scrub first: a state dir that survived kill -9
+     or rot comes up with damage classified and contained, never fatal *)
+  let store = Store.open_dir ~dir:cfg.state_dir () in
   let queue =
     Fairq.create ~max_queue:cfg.max_queue ~quota:cfg.quota ~weights:cfg.weights ()
   in
   let t =
     { cfg; store; queue; conns = Hashtbl.create 16;
-      subscribers = Hashtbl.create 16; slots = []; shutting_down = false;
+      subscribers = Hashtbl.create 16; slots = []; zombies = [];
+      shutting_down = false; draining = false;
       next_cid = 0; service_ewma_ms = 1000.0; accepted = 0; completed = 0;
-      failed = 0; cancelled = 0; busy = 0; rejected = 0; resumed = 0 }
+      failed = 0; cancelled = 0; busy = 0; rejected = 0; resumed = 0;
+      quarantined_n = 0; requeued = 0; evicted = 0 }
   in
   (match cfg.trace with
   | None -> ()
   | Some sink -> Obs.Trace.set_time_source sink Unix.gettimeofday);
   (* durable resume: everything accepted and unfinished before the last
-     kill re-enters the queue, before the socket even opens *)
+     kill re-enters the queue, before the socket even opens. A job whose
+     crash WAL already shows the budget spent — it kept killing the whole
+     server — is quarantined here instead of being requeued to kill it
+     again. *)
   List.iter
     (fun (sub : Store.submission) ->
-      t.resumed <- t.resumed + 1;
-      metric_inc t "serve.jobs.requeued";
-      ignore
-        (Fairq.admit ~force:true t.queue ~tenant:sub.Store.tenant
-           ~cost:(job_cost sub) sub))
+      if Store.crash_count t.store sub.Store.id >= cfg.max_crashes then
+        quarantine_job t sub
+          ~reason:
+            (Printf.sprintf "crashed the server or its runner %d times"
+               (Store.crash_count t.store sub.Store.id))
+          ~backtrace:""
+      else begin
+        t.resumed <- t.resumed + 1;
+        metric_inc t "serve.jobs.requeued";
+        ignore
+          (Fairq.admit ~force:true t.queue ~tenant:sub.Store.tenant
+             ~cost:(job_cost sub) sub)
+      end)
     (Store.pending t.store);
   trace_event t "serve-start"
     [ ("resumed", Obs.Trace.I t.resumed);
@@ -645,43 +928,50 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
   on_ready cfg.socket;
   let accept_new () =
     let rec go () =
-      match Unix.accept listen_fd with
+      match Rb_util.Retry.on_eintr (fun () -> Unix.accept listen_fd) with
       | fd, _ ->
         Unix.set_nonblock fd;
         let cid = t.next_cid in
         t.next_cid <- cid + 1;
         Hashtbl.replace t.conns cid
-          { fd; cid; dec = Wire.decoder (); out = ""; close_after_flush = false;
+          { fd; cid; dec = Wire.decoder ();
+            out = Outbuf.create ~limit:cfg.out_limit;
+            last_flush = Unix.gettimeofday (); close_after_flush = false;
             closed = false };
         metric_inc t "serve.connections";
         go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error _ -> ()
     in
     go ()
   in
   let conn_list () = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let all_flushed () =
+    List.for_all (fun c -> Outbuf.is_empty c.out) (conn_list ())
+  in
   let finished () =
-    t.shutting_down && t.slots = []
-    && List.for_all (fun c -> c.out = "") (conn_list ())
+    (t.shutting_down && t.slots = [] && all_flushed ())
+    || (t.draining && t.slots = [] && Fairq.depth t.queue = 0 && all_flushed ())
   in
   while not (finished ()) do
     let conns = conn_list () in
     let rds = listen_fd :: List.map (fun c -> c.fd) conns in
     let wrs =
-      List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) conns
-    in
-    (match Unix.select rds wrs [] cfg.tick_s with
-    | rd, wr, _ ->
-      if List.mem listen_fd rd then accept_new ();
-      List.iter
-        (fun c -> if (not c.closed) && List.mem c.fd rd then read_conn t c)
-        conns;
-      List.iter
-        (fun c -> if (not c.closed) && List.mem c.fd wr then try_flush c)
+      List.filter_map
+        (fun c -> if not (Outbuf.is_empty c.out) then Some c.fd else None)
         conns
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    in
+    let rd, wr, _ =
+      Rb_util.Retry.on_eintr (fun () -> Unix.select rds wrs [] cfg.tick_s)
+    in
+    if List.mem listen_fd rd then accept_new ();
+    List.iter
+      (fun c -> if (not c.closed) && List.mem c.fd rd then read_conn t c)
+      conns;
+    List.iter
+      (fun c -> if (not c.closed) && List.mem c.fd wr then try_flush c)
+      conns;
+    (* draining still dispatches — the point is to finish the queue *)
     if not t.shutting_down then dispatch t;
     poll_slots t;
     if t.shutting_down then
@@ -690,9 +980,27 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     (* eager flush: a response written this tick should not wait for the
        next select round trip *)
     List.iter (fun c -> if not c.closed then try_flush c) (conn_list ());
+    (* idle-reader eviction: pending output and a socket that has taken
+       nothing for evict_idle_s — a slowloris reader holding buffer memory
+       hostage. The durable results file makes dropping it safe. *)
+    let now = Unix.gettimeofday () in
     List.iter
       (fun c ->
-        if c.closed || (c.close_after_flush && c.out = "") then close_conn t c)
+        if
+          (not c.closed)
+          && (not (Outbuf.is_empty c.out))
+          && now -. c.last_flush > cfg.evict_idle_s
+        then begin
+          t.evicted <- t.evicted + 1;
+          metric_inc t "serve.evicted";
+          trace_event t "serve-evict" [ ("cid", Obs.Trace.I c.cid) ];
+          c.closed <- true
+        end)
+      (conn_list ());
+    List.iter
+      (fun c ->
+        if c.closed || (c.close_after_flush && Outbuf.is_empty c.out) then
+          close_conn t c)
       (conn_list ())
   done;
   List.iter (fun c -> close_conn t c) (conn_list ());
@@ -701,7 +1009,7 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
   (match previous_sigpipe with
   | Some s -> (try Sys.set_signal Sys.sigpipe s with Invalid_argument _ | Sys_error _ -> ())
   | None -> ());
-  let queued, _, _ = Store.counts t.store in
+  let queued, _, _, _ = Store.counts t.store in
   { accepted = t.accepted;
     completed = t.completed;
     failed = t.failed;
@@ -709,4 +1017,7 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     busy = t.busy;
     rejected = t.rejected;
     resumed = t.resumed;
-    left_queued = queued }
+    left_queued = queued;
+    quarantined = t.quarantined_n;
+    requeued = t.requeued;
+    evicted = t.evicted }

@@ -14,12 +14,33 @@
     journal, and a server restarted on the same state directory re-enqueues
     every accepted-but-unfinished job before opening its socket — repairs
     already journaled are replayed, not recomputed, and the stitched
-    results file is byte-identical to an uninterrupted run's.
+    results file is byte-identical to an uninterrupted run's. Startup runs
+    the {!Store.fsck} scrub, so a damaged state dir degrades to classified,
+    contained damage — never a failure to boot.
+
+    Supervision: a per-slot watchdog aborts jobs that stall past
+    [stall_timeout_s] without completing a case or run past the
+    [job_timeout_s] wall ceiling — cooperatively at the next case boundary
+    when possible, by abandoning the hung domain (OCaml domains cannot be
+    killed) when not. A crashed or abandoned attempt requeues the job at
+    its journal frontier; a job that spends its [max_crashes] budget —
+    counted durably, across whole-server kills — is quarantined as poison
+    with its journal and backtrace preserved for triage.
 
     Admission control: a full queue or an over-quota tenant gets an
     explicit BUSY frame carrying a retry-after hint derived from an EWMA of
     per-job service time scaled by the backlog — callers are told to back
-    off instead of being buffered unboundedly or silently dropped. *)
+    off instead of being buffered unboundedly or silently dropped. Every
+    reply goes through a bounded per-connection outbound buffer; a client
+    that stops reading (slowloris) or overflows the bound is evicted — the
+    durable results file makes that safe. *)
+
+(** Deterministic fault injection for the chaos harness: fires at every
+    case boundary inside the runner domain. *)
+type poison_mode =
+  | Poison_exit   (** [Unix._exit]: the whole server dies mid-case *)
+  | Poison_hang   (** sleep forever: only the watchdog reclaims the slot *)
+  | Poison_raise  (** ordinary exception: isolated as a job failure *)
 
 type config = {
   socket : string;           (** Unix-domain socket path to bind *)
@@ -33,13 +54,29 @@ type config = {
   default_opts : Exec.Campaign_opts.t;
       (** applied when SUBMIT carries no opts *)
   tick_s : float;            (** select timeout; slot-poll cadence *)
+  max_crashes : int;
+      (** crash budget before a job is quarantined as poison *)
+  stall_timeout_s : float;
+      (** watchdog: max wall seconds between completed cases *)
+  job_timeout_s : float;     (** watchdog: wall ceiling per job attempt *)
+  abandon_grace_s : float;
+      (** wall seconds after the cooperative abort before a hung runner
+          domain is abandoned as a zombie and its slot reclaimed *)
+  out_limit : int;           (** per-connection outbound buffer bound, bytes *)
+  evict_idle_s : float;
+      (** evict a connection with pending output whose socket has taken
+          nothing for this long *)
+  poison : (string -> poison_mode option) option;
+      (** chaos hook, called with each case name at its case boundary *)
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }
 
 val default_config : config
 (** socket ["rustbrain.sock"], state dir ["serve-state"], 2 runners,
-    queue bound 128, quota 64, 20ms tick, no trace/metrics. *)
+    queue bound 128, quota 64, 20ms tick; crash budget 3, 5min stall /
+    1h job watchdog, 8 MiB outbound bound, 30s eviction; no poison,
+    no trace/metrics. *)
 
 type summary = {
   accepted : int;
@@ -50,11 +87,17 @@ type summary = {
   rejected : int;    (** submissions refused as invalid *)
   resumed : int;     (** jobs re-enqueued from the store at startup *)
   left_queued : int; (** still-durable jobs left for the next start *)
+  quarantined : int; (** jobs moved to quarantine this run *)
+  requeued : int;    (** watchdog/crash requeues this run *)
+  evicted : int;     (** connections dropped for slow reading or overflow *)
 }
 
 val run : ?on_ready:(string -> unit) -> config -> summary
 (** Run the server until a SHUTDOWN frame arrives and in-flight jobs have
-    drained (queued-but-unstarted jobs stay durable for the next start).
-    [on_ready] is called with the socket path once it is bound and
-    listening — the hook tests and the smoke gate use to know when to
-    connect. Installs a [SIGPIPE] ignore handler for the duration. *)
+    drained (queued-but-unstarted jobs stay durable for the next start),
+    or until a DRAIN frame's graceful wind-down completes: admission
+    closes, the queue and in-flight slots finish, every connection is
+    flushed, then the loop exits. [on_ready] is called with the socket
+    path once it is bound and listening — the hook tests and the smoke
+    gate use to know when to connect. Installs a [SIGPIPE] ignore handler
+    for the duration. *)

@@ -80,12 +80,15 @@ type request =
   | Cancel of int
   | Results of int
   | Shutdown
+  | Drain
+  | Health
 
 type job_state =
   | Queued of { position : int }
   | Running of { done_cases : int; total_cases : int }
   | Finished of { cases : int; passed : int; failed : string option }
   | Cancelled
+  | Quarantined of { crashes : int; reason : string; last_case : string option }
 
 type response =
   | Accepted of { id : int; queued : int }
@@ -97,6 +100,7 @@ type response =
       running : int;
       completed : int;
       cancelled : int;
+      quarantined : int;
       tenants : (string * int) list;  (** tenant -> queued jobs *)
     }
   | Case of {
@@ -107,7 +111,22 @@ type response =
       report_json : string;  (** one [Report.to_json] object, verbatim *)
     }
   | Done of { id : int; cases : int; passed : int; failed : string option }
+  | Quarantined_result of {
+      id : int;
+      crashes : int;
+      reason : string;
+      last_case : string option;
+    }  (** RESULTS terminator for a poison job: no reports will ever come *)
   | Shutting_down of { active : int; queued : int }
+  | Draining of { active : int; queued : int }
+      (** admission is closed but in-flight and queued work will finish *)
+  | Health of {
+      queued : int;
+      running : int;
+      quarantined : int;
+      draining : bool;
+      slots : (int * string) list;  (** slot index -> state label *)
+    }
   | Error_msg of string
 
 open Rb_util.Json
@@ -131,6 +150,8 @@ let request_to_json = function
   | Cancel id -> Obj [ ("type", Str "cancel"); ("id", num id) ]
   | Results id -> Obj [ ("type", Str "results"); ("id", num id) ]
   | Shutdown -> Obj [ ("type", Str "shutdown") ]
+  | Drain -> Obj [ ("type", Str "drain") ]
+  | Health -> Obj [ ("type", Str "health") ]
 
 let request_of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -184,6 +205,8 @@ let request_of_json json =
     let* id = id () in
     Ok (Results id)
   | "shutdown" -> Ok Shutdown
+  | "drain" -> Ok Drain
+  | "health" -> Ok Health
   | t -> Error (Printf.sprintf "unknown request type %S" t)
 
 let state_to_fields = function
@@ -195,6 +218,10 @@ let state_to_fields = function
     [ ("state", Str "done"); ("cases", num cases); ("passed", num passed) ]
     @ (match failed with None -> [] | Some m -> [ ("failed", Str m) ])
   | Cancelled -> [ ("state", Str "cancelled") ]
+  | Quarantined { crashes; reason; last_case } ->
+    [ ("state", Str "quarantined"); ("crashes", num crashes);
+      ("reason", Str reason) ]
+    @ (match last_case with None -> [] | Some c -> [ ("last_case", Str c) ])
 
 (* [Case] splices the already-rendered report in verbatim rather than
    re-rendering through [Json.t]: the bytes a client sees are exactly the
@@ -218,21 +245,43 @@ let response_to_string = function
         Obj [ ("type", Str "rejected"); ("reason", Str reason) ]
       | Job { id; state } ->
         Obj (( "type", Str "job") :: ("id", num id) :: state_to_fields state)
-      | Server { queued; running; completed; cancelled; tenants } ->
+      | Server { queued; running; completed; cancelled; quarantined; tenants } ->
         Obj
           [ ("type", Str "server"); ("queued", num queued);
             ("running", num running); ("completed", num completed);
-            ("cancelled", num cancelled);
+            ("cancelled", num cancelled); ("quarantined", num quarantined);
             ("tenants", Obj (List.map (fun (t, n) -> (t, num n)) tenants)) ]
       | Done { id; cases; passed; failed } ->
         Obj
           ([ ("type", Str "done"); ("id", num id); ("cases", num cases);
              ("passed", num passed) ]
           @ match failed with None -> [] | Some m -> [ ("failed", Str m) ])
+      | Quarantined_result { id; crashes; reason; last_case } ->
+        Obj
+          ([ ("type", Str "quarantined"); ("id", num id);
+             ("crashes", num crashes); ("reason", Str reason) ]
+          @
+          match last_case with
+          | None -> []
+          | Some c -> [ ("last_case", Str c) ])
       | Shutting_down { active; queued } ->
         Obj
           [ ("type", Str "shutting-down"); ("active", num active);
             ("queued", num queued) ]
+      | Draining { active; queued } ->
+        Obj
+          [ ("type", Str "draining"); ("active", num active);
+            ("queued", num queued) ]
+      | Health { queued; running; quarantined; draining; slots } ->
+        Obj
+          [ ("type", Str "health"); ("queued", num queued);
+            ("running", num running); ("quarantined", num quarantined);
+            ("draining", Bool draining);
+            ( "slots",
+              List
+                (List.map
+                   (fun (i, s) -> Obj [ ("slot", num i); ("state", Str s) ])
+                   slots) ) ]
       | Error_msg msg -> Obj [ ("type", Str "error"); ("msg", Str msg) ])
 
 let response_of_json json =
@@ -278,6 +327,13 @@ let response_of_json json =
         let* passed = int "passed" in
         Ok (Finished { cases; passed; failed = failed () })
       | "cancelled" -> Ok Cancelled
+      | "quarantined" ->
+        let* crashes = int "crashes" in
+        let* reason = str "reason" in
+        Ok
+          (Quarantined
+             { crashes; reason;
+               last_case = Option.bind (member "last_case" json) to_str })
       | s -> Error (Printf.sprintf "unknown job state %S" s)
     in
     Ok (Job { id; state })
@@ -286,6 +342,10 @@ let response_of_json json =
     let* running = int "running" in
     let* completed = int "completed" in
     let* cancelled = int "cancelled" in
+    (* absent on pre-quarantine servers *)
+    let quarantined =
+      Option.value ~default:0 (Option.bind (member "quarantined" json) to_int)
+    in
     let* tenants =
       match member "tenants" json with
       | Some (Obj fields) ->
@@ -298,7 +358,7 @@ let response_of_json json =
           fields (Ok [])
       | _ -> Error "response: missing \"tenants\""
     in
-    Ok (Server { queued; running; completed; cancelled; tenants })
+    Ok (Server { queued; running; completed; cancelled; quarantined; tenants })
   | "case" ->
     let* id = int "id" in
     let* seq = int "seq" in
@@ -315,10 +375,45 @@ let response_of_json json =
     let* cases = int "cases" in
     let* passed = int "passed" in
     Ok (Done { id; cases; passed; failed = failed () })
+  | "quarantined" ->
+    let* id = int "id" in
+    let* crashes = int "crashes" in
+    let* reason = str "reason" in
+    Ok
+      (Quarantined_result
+         { id; crashes; reason;
+           last_case = Option.bind (member "last_case" json) to_str })
   | "shutting-down" ->
     let* active = int "active" in
     let* queued = int "queued" in
     Ok (Shutting_down { active; queued })
+  | "draining" ->
+    let* active = int "active" in
+    let* queued = int "queued" in
+    Ok (Draining { active; queued })
+  | "health" ->
+    let* queued = int "queued" in
+    let* running = int "running" in
+    let* quarantined = int "quarantined" in
+    let draining =
+      Option.value ~default:false
+        (Option.bind (member "draining" json) to_bool)
+    in
+    let slots =
+      match Option.bind (member "slots" json) to_list with
+      | None -> []
+      | Some l ->
+        List.filter_map
+          (fun s ->
+            match
+              ( Option.bind (member "slot" s) to_int,
+                Option.bind (member "state" s) to_str )
+            with
+            | Some i, Some st -> Some (i, st)
+            | _ -> None)
+          l
+    in
+    Ok (Health { queued; running; quarantined; draining; slots })
   | "error" ->
     let* msg = str "msg" in
     Ok (Error_msg msg)

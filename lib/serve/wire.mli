@@ -15,6 +15,7 @@
     request  := {"type":"submit","tenant":T,"backend":B,"cases":[..]?,"opts":{..}}
               | {"type":"status","id":N?} | {"type":"cancel","id":N}
               | {"type":"results","id":N} | {"type":"shutdown"}
+              | {"type":"drain"} | {"type":"health"}
     response := {"type":"accepted","id":N,"queued":Q}
               | {"type":"busy","reason":R,"retry_after_ms":MS}
               | {"type":"rejected","reason":R}
@@ -22,7 +23,11 @@
               | {"type":"server","queued":..,"running":..,...}
               | {"type":"case","id":N,"seq":K,"case":C,"seed":S,"report":{..}}
               | {"type":"done","id":N,"cases":C,"passed":P,"failed":M?}
+              | {"type":"quarantined","id":N,"crashes":K,"reason":R,"last_case":C?}
               | {"type":"shutting-down","active":A,"queued":Q}
+              | {"type":"draining","active":A,"queued":Q}
+              | {"type":"health","queued":..,"running":..,"quarantined":..,
+                 "draining":B,"slots":[{"slot":I,"state":S},..]}
               | {"type":"error","msg":M}
     v}
     The ["report"] member of a [case] frame is a verbatim
@@ -65,12 +70,21 @@ type request =
   | Cancel of int
   | Results of int        (** re-stream a finished job's durable reports *)
   | Shutdown
+  | Drain
+      (** stop admitting, finish everything queued and in flight, flush
+          every connection, then exit — the graceful fleet-rotation verb
+          ({!Shutdown} by contrast leaves queued jobs durable for the next
+          process) *)
+  | Health
+      (** liveness probe: queue depth, slot states, quarantine count —
+          answerable even while every runner slot is busy *)
 
 type job_state =
   | Queued of { position : int }
   | Running of { done_cases : int; total_cases : int }
   | Finished of { cases : int; passed : int; failed : string option }
   | Cancelled
+  | Quarantined of { crashes : int; reason : string; last_case : string option }
 
 type response =
   | Accepted of { id : int; queued : int }
@@ -82,6 +96,7 @@ type response =
       running : int;
       completed : int;
       cancelled : int;
+      quarantined : int;  (** 0 when talking to a pre-quarantine server *)
       tenants : (string * int) list;
     }
   | Case of {
@@ -92,7 +107,24 @@ type response =
       report_json : string;
     }
   | Done of { id : int; cases : int; passed : int; failed : string option }
+  | Quarantined_result of {
+      id : int;
+      crashes : int;
+      reason : string;
+      last_case : string option;
+    }
+      (** RESULTS terminator for a quarantined job: the job is poison and
+          no reports will ever come — triage the journal instead *)
   | Shutting_down of { active : int; queued : int }
+  | Draining of { active : int; queued : int }
+  | Health of {
+      queued : int;
+      running : int;
+      quarantined : int;
+      draining : bool;
+      slots : (int * string) list;
+          (** slot index -> ["idle" | "running job N" | "hung job N"] *)
+    }
   | Error_msg of string
 
 val request_to_string : request -> string

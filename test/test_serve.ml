@@ -176,12 +176,24 @@ let test_response_roundtrip () =
         { id = 2;
           state = Wire.Finished { cases = 1; passed = 0; failed = Some "boom" } };
       Wire.Job { id = 5; state = Wire.Cancelled };
+      Wire.Job
+        { id = 6;
+          state =
+            Wire.Quarantined
+              { crashes = 3; reason = "crashed its runner 3 times";
+                last_case = Some "case-b" } };
       Wire.Server
         { queued = 3; running = 2; completed = 7; cancelled = 1;
-          tenants = [ ("acme", 2); ("beta", 1) ] };
+          quarantined = 1; tenants = [ ("acme", 2); ("beta", 1) ] };
       Wire.Case { id = 0; seq = 2; case = "c\"x"; seed = 42; report_json };
       Wire.Done { id = 0; cases = 4; passed = 4; failed = None };
+      Wire.Quarantined_result
+        { id = 6; crashes = 3; reason = "poison"; last_case = None };
       Wire.Shutting_down { active = 1; queued = 0 };
+      Wire.Draining { active = 1; queued = 2 };
+      Wire.Health
+        { queued = 2; running = 1; quarantined = 1; draining = false;
+          slots = [ (0, "running job 4"); (1, "idle") ] };
       Wire.Error_msg "bad frame length 0" ]
   in
   List.iter
@@ -422,7 +434,7 @@ let test_fairq_deterministic () =
 
 let test_store_admit_durable () =
   with_dir (fun dir ->
-      let store = Store.open_dir ~dir in
+      let store = Store.open_dir ~dir () in
       let s0 =
         Store.admit store ~tenant:"acme" ~backend:"rustbrain"
           ~cases:[ "c1"; "c2" ] ~opts:wire_opts
@@ -434,7 +446,7 @@ let test_store_admit_durable () =
       Alcotest.(check (list int)) "sequential ids" [ 0; 1 ] [ s0.id; s1.id ];
       (* durability-at-ACCEPTED: a second open of the same directory — the
          restart path — sees both submissions, in admission order *)
-      let reopened = Store.open_dir ~dir in
+      let reopened = Store.open_dir ~dir () in
       let pending = Store.pending reopened in
       Alcotest.(check (list int)) "restart scan finds accepted jobs" [ 0; 1 ]
         (List.map (fun (s : Store.submission) -> s.id) pending);
@@ -450,7 +462,7 @@ let test_store_admit_durable () =
 
 let test_store_cancel () =
   with_dir (fun dir ->
-      let store = Store.open_dir ~dir in
+      let store = Store.open_dir ~dir () in
       let s =
         Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
           ~opts:Opts.default
@@ -461,17 +473,18 @@ let test_store_cancel () =
       Alcotest.(check (list int)) "not pending" []
         (List.map (fun (s : Store.submission) -> s.id) (Store.pending store));
       (* and durably so *)
-      let reopened = Store.open_dir ~dir in
+      let reopened = Store.open_dir ~dir () in
       (match Store.status reopened s.id with
       | Some Store.Cancelled -> ()
       | _ -> Alcotest.fail "cancellation lost across reopen");
-      Alcotest.(check (pair (pair int int) int)) "counts" ((0, 0), 1)
-        (let q, d, c = Store.counts reopened in
-         ((q, d), c)))
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        "counts" ((0, 0), (1, 0))
+        (let q, d, c, z = Store.counts reopened in
+         ((q, d), (c, z))))
 
 let test_store_results_complete () =
   with_dir (fun dir ->
-      let store = Store.open_dir ~dir in
+      let store = Store.open_dir ~dir () in
       let s =
         Store.admit store ~tenant:"t" ~backend:"rustbrain"
           ~cases:[ "case-a"; "case-b" ] ~opts:Opts.default
@@ -494,7 +507,7 @@ let test_store_results_complete () =
       Alcotest.(check bool) "done jobs cannot be cancelled" false
         (Store.cancel store s.id);
       (* the done marker survives a restart, so the job is not re-run *)
-      let reopened = Store.open_dir ~dir in
+      let reopened = Store.open_dir ~dir () in
       Alcotest.(check (list int)) "done job not pending" []
         (List.map (fun (s : Store.submission) -> s.id) (Store.pending reopened));
       match Store.status reopened s.id with
@@ -503,7 +516,7 @@ let test_store_results_complete () =
 
 let test_store_progress () =
   with_dir (fun dir ->
-      let store = Store.open_dir ~dir in
+      let store = Store.open_dir ~dir () in
       Alcotest.(check int) "no journal yet" 0 (Store.progress store 0);
       (* progress counts the journal's record segments *)
       let jdir = Store.journal_dir store 0 in
@@ -512,6 +525,245 @@ let test_store_progress () =
       Rb_util.Fsfile.write_atomic (Filename.concat jdir "rec-000001.json") "{}";
       Rb_util.Fsfile.write_atomic (Filename.concat jdir "manifest.json") "{}";
       Alcotest.(check int) "two journaled repairs" 2 (Store.progress store 0))
+
+(* -- crash accounting (attempts WAL) ------------------------------------ *)
+
+let ids l = List.map (fun (s : Store.submission) -> s.id) l
+
+let test_store_attempts_wal () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
+          ~opts:Opts.default
+      in
+      Alcotest.(check int) "no attempts yet" 0 (Store.crash_count store s.id);
+      Store.begin_attempt store s.id;
+      (* kill -9 equivalent: a cold reopen — the started-but-never-ended
+         attempt reads back as a crash *)
+      let reopened = Store.open_dir ~dir () in
+      Alcotest.(check int) "crash visible across reopen" 1
+        (Store.crash_count reopened s.id);
+      Store.begin_attempt reopened s.id;
+      Alcotest.(check int) "crashes accumulate" 2
+        (Store.crash_count reopened s.id);
+      Store.end_attempt reopened s.id;
+      Alcotest.(check int) "clean end settles every started attempt" 0
+        (Store.crash_count reopened s.id);
+      (* completion ends the open attempt too *)
+      Store.begin_attempt reopened s.id;
+      Store.complete reopened s.id
+        { Store.cases = 1; passed = 1; failed = None };
+      Alcotest.(check int) "completion is a clean end" 0
+        (Store.crash_count reopened s.id))
+
+let test_store_quarantine () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c1"; "c2" ]
+          ~opts:Opts.default
+      in
+      (* a journal frontier, so the quarantine record can say how far the
+         job got before it went poison *)
+      let jdir = Store.journal_dir store s.id in
+      Rb_util.Fsfile.mkdir_p jdir;
+      Rb_util.Fsfile.write_atomic
+        (Filename.concat jdir "rec-000000.json")
+        "{\"case\":\"c1\"}";
+      Store.begin_attempt store s.id;
+      Store.begin_attempt store s.id;
+      Store.begin_attempt store s.id;
+      let info =
+        Store.quarantine store s.id ~reason:"crashed its runner 3 times"
+          ~backtrace:"bt"
+      in
+      Alcotest.(check int) "crash count captured" 3 info.Store.crashes;
+      Alcotest.(check (option string)) "last journaled case captured"
+        (Some "c1") info.Store.last_case;
+      let reopened = Store.open_dir ~dir () in
+      Alcotest.(check (list int)) "quarantined jobs are never resumed" []
+        (ids (Store.pending reopened));
+      (match Store.status reopened s.id with
+      | Some (Store.Quarantined q) ->
+        Alcotest.(check int) "crashes durable" 3 q.Store.crashes;
+        Alcotest.(check string) "reason durable" "crashed its runner 3 times"
+          q.Store.reason
+      | _ -> Alcotest.fail "quarantine lost across reopen");
+      (match Store.quarantined reopened with
+      | [ (id, _) ] -> Alcotest.(check int) "listed exactly once" s.id id
+      | l -> Alcotest.failf "%d quarantine entries" (List.length l));
+      let q, d, c, z = Store.counts reopened in
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        "counts" ((0, 0), (0, 1))
+        ((q, d), (c, z)))
+
+(* -- fsck: damage classified and contained, never fatal at startup ------- *)
+
+let raw_read path = Option.get (Rb_util.Fsfile.read path)
+let queue_file dir name = Filename.concat (Filename.concat dir "queue") name
+
+let test_fsck_truncated_submission () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      ignore
+        (Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
+           ~opts:Opts.default
+          : Store.submission);
+      (* cut the record mid-payload: shorter than its header declares *)
+      let path = queue_file dir "job-000000.json" in
+      let bytes = raw_read path in
+      Rb_util.Fsfile.write_atomic path
+        (String.sub bytes 0 (String.length bytes - 5));
+      let report = Store.fsck ~heal:false ~dir () in
+      Alcotest.(check int) "classified torn" 1 (Store.fsck_count `Torn report);
+      (* the startup scrub sets it aside and boots *)
+      let reopened = Store.open_dir ~dir () in
+      Alcotest.(check (list int)) "torn admission not resumed" []
+        (ids (Store.pending reopened));
+      Alcotest.(check bool) "bytes preserved for triage" true
+        (Sys.file_exists
+           (Filename.concat dir "quarantined/corrupt/queue-job-000000.json")))
+
+let test_fsck_bitflip_checksum () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      ignore
+        (Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
+           ~opts:Opts.default
+          : Store.submission);
+      let path = queue_file dir "job-000000.json" in
+      let bytes = Bytes.of_string (raw_read path) in
+      let i = Bytes.length bytes - 2 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 1));
+      Rb_util.Fsfile.write_atomic path (Bytes.to_string bytes);
+      let report = Store.fsck ~heal:false ~dir () in
+      Alcotest.(check int) "classified corrupt" 1
+        (Store.fsck_count `Corrupt report);
+      let reopened = Store.open_dir ~dir () in
+      Alcotest.(check (list int)) "flipped record not resumed" []
+        (ids (Store.pending reopened)))
+
+let test_fsck_garbage_journal () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c1"; "c2" ]
+          ~opts:Opts.default
+      in
+      let jdir = Store.journal_dir store s.id in
+      Rb_util.Fsfile.mkdir_p jdir;
+      Rb_util.Fsfile.write_atomic
+        (Filename.concat jdir "rec-000000.json")
+        "{\"case\":\"c1\"}";
+      Rb_util.Fsfile.write_atomic
+        (Filename.concat jdir "rec-000001.json")
+        "}{ not json";
+      let report = Store.fsck ~dir () in
+      Alcotest.(check int) "garbage segment healed away" 1
+        (Store.fsck_count `Healed report);
+      Alcotest.(check int) "nothing corrupt" 0
+        (Store.fsck_count `Corrupt report);
+      let reopened = Store.open_dir ~dir () in
+      Alcotest.(check (list int)) "job still resumable" [ s.id ]
+        (ids (Store.pending reopened));
+      Alcotest.(check int) "frontier recomputed from surviving segments" 1
+        (Store.progress reopened s.id))
+
+let test_fsck_marker_conflicts () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b" ~cases:[ "c" ]
+          ~opts:Opts.default
+      in
+      Store.complete store s.id { Store.cases = 1; passed = 1; failed = None };
+      (* duplicate the done marker under an id that was never admitted,
+         and fabricate a cancelled marker conflicting with the
+         completion *)
+      Rb_util.Fsfile.write_atomic
+        (queue_file dir "done-000007.json")
+        (raw_read (queue_file dir "done-000000.json"));
+      Rb_util.Fsfile.write_checked (queue_file dir "cancelled-000000.json") "{}";
+      let report = Store.fsck ~dir () in
+      Alcotest.(check int) "orphan and conflict both healed" 2
+        (Store.fsck_count `Healed report);
+      let reopened = Store.open_dir ~dir () in
+      (match Store.status reopened s.id with
+      | Some (Store.Done _) -> ()
+      | _ -> Alcotest.fail "completion must win over a cancelled marker");
+      match Store.status reopened 7 with
+      | None -> ()
+      | Some _ -> Alcotest.fail "orphan marker must not conjure a job")
+
+let test_fsck_results_torn_tail () =
+  with_dir (fun dir ->
+      let store = Store.open_dir ~dir () in
+      let s =
+        Store.admit store ~tenant:"t" ~backend:"b"
+          ~cases:[ "case-a"; "case-b" ] ~opts:Opts.default
+      in
+      Store.write_results store s.id
+        [ mk_report (); mk_report ~name:"case-b" () ];
+      let path = Store.results_path store s.id in
+      let whole = raw_read path in
+      (* cut mid final line: the torn tail is dropped, the clean prefix
+         survives byte-for-byte *)
+      Rb_util.Fsfile.write_atomic path
+        (String.sub whole 0 (String.length whole - 7));
+      let report = Store.fsck ~dir () in
+      Alcotest.(check int) "torn tail healed" 1
+        (Store.fsck_count `Healed report);
+      let first_line = String.sub whole 0 (1 + String.index whole '\n') in
+      Alcotest.(check string) "clean prefix survives" first_line
+        (raw_read path))
+
+(* -- bounded outbound buffer -------------------------------------------- *)
+
+let test_outbuf_bounded () =
+  let module O = Serve.Outbuf in
+  let b = O.create ~limit:10 in
+  Alcotest.(check bool) "fresh is empty" true (O.is_empty b);
+  Alcotest.(check bool) "add within limit" true (O.add b "hello");
+  Alcotest.(check bool) "fills to the bound" true (O.add b "world");
+  Alcotest.(check int) "length tracks bytes" 10 (O.length b);
+  Alcotest.(check bool) "overflow refused" false (O.add b "!");
+  Alcotest.(check int) "refused add leaves contents alone" 10 (O.length b);
+  (match O.peek b with
+  | Some (chunk, 0) -> Alcotest.(check string) "head chunk" "hello" chunk
+  | _ -> Alcotest.fail "peek on non-empty");
+  O.consume b 3;
+  (match O.peek b with
+  | Some (chunk, off) ->
+    Alcotest.(check string) "partial consume keeps the chunk" "hello" chunk;
+    Alcotest.(check int) "offset advances" 3 off
+  | None -> Alcotest.fail "peek after partial consume");
+  O.consume b 2;
+  (match O.peek b with
+  | Some (chunk, 0) -> Alcotest.(check string) "boundary crossed" "world" chunk
+  | _ -> Alcotest.fail "chunk boundary");
+  Alcotest.(check bool) "freed space admits again" true (O.add b "12345");
+  O.consume b 100;
+  Alcotest.(check bool) "over-consume clamps and drains" true (O.is_empty b)
+
+(* -- EINTR retry --------------------------------------------------------- *)
+
+let test_retry_on_eintr () =
+  let tries = ref 0 in
+  let v =
+    Rb_util.Retry.on_eintr (fun () ->
+        incr tries;
+        if !tries < 3 then raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+        else 42)
+  in
+  Alcotest.(check int) "retried through EINTR" 42 v;
+  Alcotest.(check int) "exactly three calls" 3 !tries;
+  match
+    Rb_util.Retry.on_eintr (fun () ->
+        raise (Unix.Unix_error (Unix.EBADF, "read", "")))
+  with
+  | (_ : int) -> Alcotest.fail "EBADF must not be retried"
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
 
 (* -- versioned report codec (wire + journal + --out) -------------------- *)
 
@@ -610,6 +862,23 @@ let suite =
     Alcotest.test_case "store: results and completion" `Quick
       test_store_results_complete;
     Alcotest.test_case "store: journal progress" `Quick test_store_progress;
+    Alcotest.test_case "store: attempts WAL counts crashes" `Quick
+      test_store_attempts_wal;
+    Alcotest.test_case "store: quarantine durable and terminal" `Quick
+      test_store_quarantine;
+    Alcotest.test_case "fsck: truncated submission set aside" `Quick
+      test_fsck_truncated_submission;
+    Alcotest.test_case "fsck: bit-flipped checksum caught" `Quick
+      test_fsck_bitflip_checksum;
+    Alcotest.test_case "fsck: garbage journal segment healed" `Quick
+      test_fsck_garbage_journal;
+    Alcotest.test_case "fsck: orphan and conflicting markers" `Quick
+      test_fsck_marker_conflicts;
+    Alcotest.test_case "fsck: results torn tail dropped" `Quick
+      test_fsck_results_torn_tail;
+    Alcotest.test_case "outbuf: bounded chunked buffer" `Quick
+      test_outbuf_bounded;
+    Alcotest.test_case "retry: EINTR loop" `Quick test_retry_on_eintr;
     Alcotest.test_case "report: codec version stamped" `Quick
       test_report_version_stamped;
     Alcotest.test_case "report: legacy lines accepted as v1" `Quick
