@@ -1322,17 +1322,25 @@ let with_serve_dir f =
 (* The bench binary re-execs itself as the server process ("serve-child"
    argv mode, dispatched in the driver below) so the smoke gate can
    kill -9 a real server process mid-campaign — the crash the durable
-   admission contract is written against, not a simulated one. *)
-let spawn_server ~socket ~state ~runners =
+   admission contract is written against, not a simulated one. In
+   ["workers"] pool mode the server in turn re-execs this binary as
+   "worker-child" processes, one per job attempt. *)
+let worker_argv_of_pool pool =
+  if String.equal pool "workers" then
+    Some [| Sys.executable_name; "worker-child" |]
+  else None
+
+let spawn_server ?(pool = "in-process") ~socket ~state ~runners () =
   Unix.create_process Sys.executable_name
     [| Sys.executable_name; "serve-child"; socket; state;
-       string_of_int runners |]
+       string_of_int runners; pool |]
     Unix.stdin Unix.stdout Unix.stderr
 
-let serve_child ~socket ~state ~runners =
+let serve_child ~socket ~state ~runners ~pool =
   let cfg =
     { Serve.Server.default_config with
-      Serve.Server.socket; state_dir = state; runners; tick_s = 0.002 }
+      Serve.Server.socket; state_dir = state; runners; tick_s = 0.002;
+      worker_argv = worker_argv_of_pool pool }
   in
   ignore (Serve.Server.run cfg : Serve.Server.summary)
 
@@ -1367,7 +1375,7 @@ let serve_smoke () =
     with_serve_dir (fun dir ->
         let socket = Filename.concat dir "sock" in
         let state = Filename.concat dir "state" in
-        let pid = spawn_server ~socket ~state ~runners:1 in
+        let pid = spawn_server ~socket ~state ~runners:1 () in
         Fun.protect ~finally:(fun () -> kill_server pid)
           (fun () ->
             match Serve.Client.connect socket with
@@ -1410,7 +1418,7 @@ let serve_smoke () =
     with_serve_dir (fun dir ->
         let socket = Filename.concat dir "sock" in
         let state = Filename.concat dir "state" in
-        let pid = spawn_server ~socket ~state ~runners:1 in
+        let pid = spawn_server ~socket ~state ~runners:1 () in
         let killed =
           Fun.protect ~finally:(fun () -> kill_server pid)
             (fun () ->
@@ -1466,7 +1474,7 @@ let serve_smoke () =
                       false))
         in
         if killed then begin
-          let pid2 = spawn_server ~socket ~state ~runners:1 in
+          let pid2 = spawn_server ~socket ~state ~runners:1 () in
           Fun.protect ~finally:(fun () -> kill_server pid2)
             (fun () ->
               match Serve.Client.connect socket with
@@ -1540,38 +1548,62 @@ let serve_smoke () =
 
 (* -- chaos-serve gate (dune runtest alias chaos-serve) ------------------ *)
 
-(* The chaos child is a real server process with the poison hook armed: one
-   named case reliably kills the whole process ("exit") or hangs its runner
-   domain forever ("hang") — the two crash vectors the supervision layer
-   must survive end to end. Everything else is the production
-   configuration; only the watchdog clocks are scaled down for the hang
-   scenario so the abandon ladder runs in test time. *)
-let chaos_child ~socket ~state ~runners ~poison_case ~mode =
-  let pmode =
+(* The chaos child is a real server process with the poison plan armed:
+   named cases reliably kill the whole process ("exit" on the in-process
+   pool), hang their runner forever ("hang"), or — under the "workers"
+   pool — SIGSTOP/SIGKILL/OOM the worker process mid-job, the crash
+   vectors only true preemption can reclaim. Everything else is the
+   production configuration; only the watchdog clocks (and in workers
+   mode the crash budget and memory cap) are scaled down so the
+   escalation ladder runs in test time. *)
+let chaos_worker_max_crashes = 2
+let chaos_worker_stall_s = 2.0
+let chaos_worker_grace_s = 0.4
+let chaos_worker_mem_mb = 512
+
+(* "case-a=stop,case-b=oom" -> a declarative poison plan; entries with
+   unknown labels are dropped *)
+let parse_poison_spec spec =
+  String.split_on_char ',' spec
+  |> List.filter_map (fun part ->
+       match String.index_opt part '=' with
+       | Some i ->
+         let case = String.sub part 0 i in
+         let label =
+           String.sub part (i + 1) (String.length part - i - 1)
+         in
+         Option.map (fun m -> (case, m)) (Serve.Jobrun.poison_of_label label)
+       | None -> None)
+
+let chaos_child ~socket ~state ~runners ~poison_spec ~mode =
+  let workers = String.equal mode "workers" in
+  (* hang/workers modes shorten the watchdog clocks so the escalation
+     ladder runs in test time — but the stall deadline must still clear a
+     real case repair with margin, or the watchdog kills honest jobs *)
+  let stall, grace =
     match mode with
-    | "exit" -> Serve.Server.Poison_exit
-    | "hang" -> Serve.Server.Poison_hang
-    | _ -> Serve.Server.Poison_raise
+    | "hang" -> (2.0, 0.2)
+    | "workers" -> (chaos_worker_stall_s, chaos_worker_grace_s)
+    | _ -> (300.0, 1.0)
   in
-  (* hang mode shortens the watchdog clocks so the abandon ladder runs in
-     test time — but the stall deadline must still clear a real case
-     repair with margin, or the watchdog kills honest jobs *)
-  let stall, grace = if mode = "hang" then (2.0, 0.2) else (300.0, 1.0) in
   let cfg =
     { Serve.Server.default_config with
       Serve.Server.socket; state_dir = state; runners; tick_s = 0.002;
       stall_timeout_s = stall; abandon_grace_s = grace;
-      poison =
-        Some
-          (fun case ->
-            if String.equal case poison_case then Some pmode else None) }
+      max_crashes =
+        (if workers then chaos_worker_max_crashes
+         else Serve.Server.default_config.Serve.Server.max_crashes);
+      poison = parse_poison_spec poison_spec;
+      worker_argv =
+        (if workers then worker_argv_of_pool "workers" else None);
+      worker_mem_mb = (if workers then chaos_worker_mem_mb else 0) }
   in
   ignore (Serve.Server.run cfg : Serve.Server.summary)
 
-let spawn_chaos ~socket ~state ~runners ~poison_case ~mode =
+let spawn_chaos ~socket ~state ~runners ~poison_spec ~mode =
   Unix.create_process Sys.executable_name
     [| Sys.executable_name; "chaos-child"; socket; state;
-       string_of_int runners; poison_case; mode |]
+       string_of_int runners; poison_spec; mode |]
     Unix.stdin Unix.stdout Unix.stderr
 
 (* WNOHANG poll with a deadline, so a wedged server fails the gate instead
@@ -1621,7 +1653,7 @@ let chaos_serve () =
     with_serve_dir (fun dir ->
         let socket = Filename.concat dir "sock" in
         let state = Filename.concat dir "state" in
-        let pid = spawn_server ~socket ~state ~runners:1 in
+        let pid = spawn_server ~socket ~state ~runners:1 () in
         Fun.protect ~finally:(fun () -> kill_server pid)
           (fun () ->
             match Serve.Client.connect socket with
@@ -1670,7 +1702,7 @@ let chaos_serve () =
       let socket = Filename.concat dir "sock" in
       let state = Filename.concat dir "state" in
       let spawn () =
-        spawn_chaos ~socket ~state ~runners:1 ~poison_case ~mode:"exit"
+        spawn_chaos ~socket ~state ~runners:1 ~poison_spec:(poison_case ^ "=exit") ~mode:"exit"
       in
       let pid0 = spawn () in
       let submitted =
@@ -1899,7 +1931,7 @@ let chaos_serve () =
       let socket = Filename.concat dir "sock" in
       let state = Filename.concat dir "state" in
       let pid =
-        spawn_chaos ~socket ~state ~runners:1 ~poison_case ~mode:"hang"
+        spawn_chaos ~socket ~state ~runners:1 ~poison_spec:(poison_case ^ "=hang") ~mode:"hang"
       in
       Fun.protect ~finally:(fun () -> kill_server pid)
         (fun () ->
@@ -1978,69 +2010,380 @@ let chaos_serve () =
                   ignore
                     (Serve.Client.request c Serve.Wire.Shutdown
                       : (Serve.Wire.response, string) result)))));
+  (* 4. worker-fault matrix: SIGSTOP, SIGKILL and OOM inside worker
+     processes of a worker-pool server — the crash vectors only true
+     preemption reclaims. A SIGSTOP'd worker must be forcibly killed
+     within stall-timeout + grace and its slot respawned; every fault is
+     crash-accounted into quarantine after exactly the (scaled-down)
+     budget; a clean job on the same server matches the in-process
+     reference byte for byte; and after DRAIN the server exits 0 with no
+     worker process left behind. *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let clean_cases = [ nth 1; nth 2 ] in
+  (* in-process reference bytes for the clean job *)
+  let clean_ref =
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let pid = spawn_server ~socket ~state ~runners:1 () in
+        Fun.protect ~finally:(fun () -> kill_server pid)
+          (fun () ->
+            match
+              Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 socket
+            with
+            | Error e ->
+              failf "worker-matrix reference connect: %s" e;
+              None
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                (fun () ->
+                  match
+                    Serve.Client.run_job c ~tenant:"chaos-worker"
+                      ~backend:"rustbrain" ~cases:(Some clean_cases)
+                      ~opts:(Some opts)
+                  with
+                  | Error e ->
+                    failf "worker-matrix reference job: %s" e;
+                    None
+                  | Ok ((_, _, failed), _) ->
+                    (match failed with
+                    | Some m -> failf "worker-matrix reference failed: %s" m
+                    | None -> ());
+                    let store =
+                      Serve.Store.open_dir ~scrub:false ~dir:state ()
+                    in
+                    Rb_util.Fsfile.read (Serve.Store.results_path store 0))))
+  in
+  with_serve_dir (fun dir ->
+      let socket = Filename.concat dir "sock" in
+      let state = Filename.concat dir "state" in
+      let poison_spec =
+        Printf.sprintf "%s=stop,%s=kill,%s=oom" (nth 0) (nth 3) (nth 4)
+      in
+      let pid =
+        spawn_chaos ~socket ~state ~runners:1 ~poison_spec ~mode:"workers"
+      in
+      let reaped = ref false in
+      Fun.protect ~finally:(fun () -> if not !reaped then kill_server pid)
+        (fun () ->
+          (* 4a. clean job first: worker-mode execution must be
+             byte-identical to the in-process reference, and HEALTH must
+             say so about the pool *)
+          let health_pids = ref [] in
+          (match
+             Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 socket
+           with
+          | Error e -> failf "worker-matrix connect: %s" e
+          | Ok c ->
+            Fun.protect ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                (match
+                   Serve.Client.run_job c ~tenant:"chaos-worker"
+                     ~backend:"rustbrain" ~cases:(Some clean_cases)
+                     ~opts:(Some opts)
+                 with
+                | Error e -> failf "worker-matrix clean job: %s" e
+                | Ok ((_, _, failed), frames) ->
+                  (match failed with
+                  | Some m -> failf "worker-matrix clean job failed: %s" m
+                  | None -> ());
+                  if List.length frames <> List.length clean_cases then
+                    failf "worker-matrix clean job: %d CASE frame(s), want %d"
+                      (List.length frames)
+                      (List.length clean_cases));
+                (match Serve.Client.request c Serve.Wire.Health with
+                | Ok (Serve.Wire.Health { pool; worker_pids; _ }) ->
+                  if not (String.equal pool "workers") then
+                    failf "worker-matrix HEALTH pool: %s, want workers" pool;
+                  if worker_pids = [] then
+                    failf "worker-matrix HEALTH: no worker pids";
+                  health_pids := worker_pids
+                | Ok r ->
+                  failf "worker-matrix HEALTH: unexpected %s"
+                    (Serve.Wire.response_to_string r)
+                | Error e -> failf "worker-matrix HEALTH: %s" e)));
+          (let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
+           match
+             (clean_ref, Rb_util.Fsfile.read (Serve.Store.results_path store 0))
+           with
+           | Some a, Some b when String.equal a b -> ()
+           | Some _, Some _ ->
+             failf
+               "worker-matrix: clean job results differ between worker and \
+                in-process modes"
+           | Some _, None -> failf "worker-matrix: clean job results missing"
+           | None, _ -> ());
+          (* 4b. the matrix itself *)
+          let outcome =
+            Serve.Chaos.run_worker_matrix ~timeout_s:60.0 ~socket
+              ~backend:"rustbrain" ~opts
+              ~plan:
+                [ (Serve.Chaos.Wf_stop, nth 0); (Serve.Chaos.Wf_kill, nth 3);
+                  (Serve.Chaos.Wf_oom, nth 4) ]
+              ()
+          in
+          List.iter
+            (fun (s : Serve.Chaos.worker_step) ->
+              let label = Serve.Chaos.worker_fault_label s.Serve.Chaos.w_fault in
+              if s.Serve.Chaos.w_job < 0 then
+                failf "worker-matrix %s: %s" label s.Serve.Chaos.w_reason
+              else begin
+                if not s.Serve.Chaos.w_probe_ok then
+                  failf "worker-matrix %s: server stopped answering" label;
+                if not s.Serve.Chaos.w_reclaimed then
+                  failf "worker-matrix %s: slot not reclaimed" label;
+                if s.Serve.Chaos.w_crashes <> chaos_worker_max_crashes then
+                  failf "worker-matrix %s: %d crash(es), want exactly %d"
+                    label s.Serve.Chaos.w_crashes chaos_worker_max_crashes;
+                let expect =
+                  match s.Serve.Chaos.w_fault with
+                  (* SIGSTOP'd and SIGKILLed workers both die to the
+                     watchdog's (or their own) signal 9; the OOM worker
+                     catches Out_of_memory at its memory cap and exits
+                     137 *)
+                  | Serve.Chaos.Wf_stop | Serve.Chaos.Wf_kill -> "signal 9"
+                  | Serve.Chaos.Wf_oom -> "exit 137"
+                in
+                if not (contains ~needle:expect s.Serve.Chaos.w_reason) then
+                  failf "worker-matrix %s: reason %S lacks %S" label
+                    s.Serve.Chaos.w_reason expect;
+                (* the SIGSTOP rung is the bound the ladder guarantees:
+                   each attempt reclaimed within stall + grace, plus
+                   dispatch/respawn slack *)
+                if
+                  s.Serve.Chaos.w_fault = Serve.Chaos.Wf_stop
+                  && s.Serve.Chaos.w_wall_s
+                     > float_of_int chaos_worker_max_crashes
+                       *. (chaos_worker_stall_s +. chaos_worker_grace_s +. 5.0)
+                then
+                  failf "worker-matrix sigstop: %.1fs to quarantine, over the \
+                         ladder bound"
+                    s.Serve.Chaos.w_wall_s
+              end)
+            outcome.Serve.Chaos.w_steps;
+          if outcome.Serve.Chaos.w_pids = [] && !health_pids = [] then
+            failf "worker-matrix: no worker pids ever observed";
+          (* exactly the three poison jobs quarantined, exactly once each *)
+          (let store = Serve.Store.open_dir ~scrub:false ~dir:state () in
+           match List.map fst (Serve.Store.quarantined store) with
+           | [ 1; 2; 3 ] -> ()
+           | ids ->
+             failf "worker-matrix: quarantined ids [%s], want [1; 2; 3]"
+               (String.concat "; " (List.map string_of_int ids)));
+          (* 4c. drain: exits 0 on its own, and no worker outlives it *)
+          (match Serve.Client.connect socket with
+          | Error e -> failf "worker-matrix drain connect: %s" e
+          | Ok c ->
+            (match Serve.Client.request c Serve.Wire.Drain with
+            | Ok (Serve.Wire.Draining _) -> ()
+            | Ok r ->
+              failf "worker-matrix DRAIN: unexpected %s"
+                (Serve.Wire.response_to_string r)
+            | Error e -> failf "worker-matrix DRAIN: %s" e);
+            Serve.Client.close c);
+          (match wait_status ~timeout_s:30.0 pid with
+          | Some (Unix.WEXITED 0) -> reaped := true
+          | Some _ ->
+            reaped := true;
+            failf "worker-matrix: drained server exited abnormally"
+          | None -> failf "worker-matrix: drained server never exited");
+          let leaked =
+            List.filter
+              (fun p ->
+                match Unix.kill p 0 with
+                | () -> true
+                | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+                | exception Unix.Unix_error _ -> true)
+              (List.sort_uniq compare (!health_pids @ outcome.Serve.Chaos.w_pids))
+          in
+          if leaked <> [] then
+            failf "worker-matrix: %d worker process(es) leaked after drain: %s"
+              (List.length leaked)
+              (String.concat ", " (List.map string_of_int leaked));
+          let report = Serve.Store.fsck ~heal:false ~dir:state () in
+          if Serve.Store.fsck_count `Corrupt report > 0 then
+            failf "worker-matrix fsck: %d corrupt record(s)"
+              (Serve.Store.fsck_count `Corrupt report);
+          if Serve.Store.fsck_count `Torn report > 0 then
+            failf "worker-matrix fsck: %d torn record(s)"
+              (Serve.Store.fsck_count `Torn report)));
   if !failures > 0 then exit 1;
   Printf.printf
     "chaos serve ok: %d seeded client faults survived, poison job \
-     quarantined after exactly %d crashes (exit and hang vectors), normal \
-     jobs byte-identical, drain exited clean, fsck clean\n"
-    12 max_crashes
+     quarantined after exactly %d crashes (exit and hang vectors), worker \
+     matrix (sigstop/sigkill/oom) reclaimed and quarantined after exactly \
+     %d crashes with no leaked processes, normal jobs byte-identical, \
+     drain exited clean, fsck clean\n"
+    12 max_crashes chaos_worker_max_crashes
 
 (* -- serve-bench (BENCH_serve.json, committed) -------------------------- *)
+
+(* -- procpool smoke (runtest gate) ------------------------------------- *)
+
+(* The byte-exactness contract of the worker pool: the same jobs, run once
+   through worker processes and once through in-process domains, must
+   produce byte-identical durable results files. Workers execute the same
+   Exec.Checkpoint campaigns against the same per-job journal layout, so
+   any divergence is a real bug in the dispatch/stream/persist path, not
+   noise. *)
+let procpool_smoke () =
+  section "Procpool smoke — worker-pool and in-process results byte-identical";
+  let failures = ref 0 in
+  let failf fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "FAIL %s\n" s;
+        incr failures)
+      fmt
+  in
+  let names =
+    List.map (fun (c : Dataset.Case.t) -> c.Dataset.Case.name) serve_smoke_cases
+  in
+  if List.length names < 4 then failf "corpus too small for the procpool gate";
+  let half = List.length names / 2 in
+  let jobs =
+    [ List.filteri (fun i _ -> i < half) names;
+      List.filteri (fun i _ -> i >= half) names ]
+  in
+  let run_mode pool =
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let pid = spawn_server ~pool ~socket ~state ~runners:2 () in
+        Fun.protect ~finally:(fun () -> kill_server pid)
+          (fun () ->
+            match
+              Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 socket
+            with
+            | Error e ->
+              failf "%s connect: %s" pool e;
+              []
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Serve.Client.close c)
+                (fun () ->
+                  let results =
+                    List.mapi
+                      (fun i cases ->
+                        match
+                          Serve.Client.run_job c ~tenant:"procpool"
+                            ~backend:"rustbrain" ~cases:(Some cases)
+                            ~opts:(Some serve_smoke_opts)
+                        with
+                        | Error e ->
+                          failf "%s job %d: %s" pool i e;
+                          None
+                        | Ok ((_, _, failed), frames) ->
+                          (match failed with
+                          | Some m -> failf "%s job %d failed: %s" pool i m
+                          | None -> ());
+                          let want = List.length cases * 2 in
+                          if List.length frames <> want then
+                            failf "%s job %d: %d CASE frame(s), want %d" pool
+                              i (List.length frames) want;
+                          let store =
+                            Serve.Store.open_dir ~scrub:false ~dir:state ()
+                          in
+                          Rb_util.Fsfile.read
+                            (Serve.Store.results_path store i))
+                      jobs
+                  in
+                  (match Serve.Client.request c Serve.Wire.Health with
+                  | Ok (Serve.Wire.Health { pool = got; worker_pids; _ }) ->
+                    if String.equal pool "workers" && worker_pids = [] then
+                      failf "workers HEALTH: no worker pids";
+                    if not (String.equal got pool) then
+                      failf "HEALTH pool: %s, want %s" got pool
+                  | Ok r ->
+                    failf "%s HEALTH: unexpected %s" pool
+                      (Serve.Wire.response_to_string r)
+                  | Error e -> failf "%s HEALTH: %s" pool e);
+                  ignore
+                    (Serve.Client.request c Serve.Wire.Shutdown
+                      : (Serve.Wire.response, string) result);
+                  results)))
+  in
+  let inproc = run_mode "in-process" in
+  let workers = run_mode "workers" in
+  List.iteri
+    (fun i (a, b) ->
+      match (a, b) with
+      | Some a, Some b when String.equal a b -> ()
+      | Some _, Some _ ->
+        failf "job %d: results differ between in-process and worker modes" i
+      | None, _ | _, None -> failf "job %d: results missing" i)
+    (List.combine inproc workers);
+  if !failures > 0 then exit 1;
+  Printf.printf
+    "procpool smoke ok: %d job(s) (%d cases x %d seeds) byte-identical \
+     between worker and in-process pools\n"
+    (List.length jobs) (List.length names) 2
 
 let serve_bench_file = "BENCH_serve.json"
 
 let serve_bench () =
   section "Serve load — sustained multi-tenant throughput over the socket";
-  with_serve_dir (fun dir ->
-      let socket = Filename.concat dir "sock" in
-      let state = Filename.concat dir "state" in
-      let runners = 4 in
-      let pid = spawn_server ~socket ~state ~runners in
-      Fun.protect ~finally:(fun () -> kill_server pid)
-        (fun () ->
-          let cfg =
-            { Serve.Load.default_config with
-              Serve.Load.socket; tenants = 4; jobs_per_tenant = 8;
-              cases_per_job = 3 }
-          in
-          let o = Serve.Load.run cfg in
-          (match Serve.Client.connect ~retries:1 socket with
-          | Ok c ->
-            ignore
-              (Serve.Client.request c Serve.Wire.Shutdown
-                : (Serve.Wire.response, string) result);
-            Serve.Client.close c
-          | Error _ -> ());
-          wait_exit pid;
-          if o.Serve.Load.errors > 0 then begin
-            Printf.eprintf "serve bench: %d error(s)\n" o.Serve.Load.errors;
-            exit 1
-          end;
-          let json =
-            Rb_util.Json.to_string
-              (Rb_util.Json.Obj
-                 [ ( "config",
-                     Rb_util.Json.Obj
-                       [ ("runners", Rb_util.Json.Num (float_of_int runners));
-                         ("tenants",
-                          Rb_util.Json.Num (float_of_int cfg.Serve.Load.tenants));
-                         ("jobs_per_tenant",
-                          Rb_util.Json.Num
-                            (float_of_int cfg.Serve.Load.jobs_per_tenant));
-                         ("cases_per_job",
-                          Rb_util.Json.Num
-                            (float_of_int cfg.Serve.Load.cases_per_job));
-                         ("backend",
-                          Rb_util.Json.Str cfg.Serve.Load.backend) ]);
-                   ("outcome", Serve.Load.outcome_to_json o) ])
-          in
-          Rb_util.Fsfile.write_atomic serve_bench_file (json ^ "\n");
-          Printf.printf
-            "%d/%d jobs (%d cases) in %.2fs — %.2f jobs/s, %.1f cases/s, busy \
-             %d -> %s\n"
-            o.Serve.Load.completed o.Serve.Load.submitted
-            o.Serve.Load.cases_done o.Serve.Load.wall_s o.Serve.Load.jobs_per_s
-            o.Serve.Load.cases_per_s o.Serve.Load.busy serve_bench_file))
+  let run_mode pool =
+    with_serve_dir (fun dir ->
+        let socket = Filename.concat dir "sock" in
+        let state = Filename.concat dir "state" in
+        let runners = 4 in
+        let pid = spawn_server ~pool ~socket ~state ~runners () in
+        Fun.protect ~finally:(fun () -> kill_server pid)
+          (fun () ->
+            let cfg =
+              { Serve.Load.default_config with
+                Serve.Load.socket; tenants = 4; jobs_per_tenant = 8;
+                cases_per_job = 3 }
+            in
+            let o = Serve.Load.run cfg in
+            (match Serve.Client.connect ~retries:1 socket with
+            | Ok c ->
+              ignore
+                (Serve.Client.request c Serve.Wire.Shutdown
+                  : (Serve.Wire.response, string) result);
+              Serve.Client.close c
+            | Error _ -> ());
+            wait_exit pid;
+            if o.Serve.Load.errors > 0 then begin
+              Printf.eprintf "serve bench (%s): %d error(s)\n" pool
+                o.Serve.Load.errors;
+              exit 1
+            end;
+            Printf.printf
+              "%-10s %d/%d jobs (%d cases) in %.2fs — %.2f jobs/s, %.1f \
+               cases/s, busy %d\n"
+              pool o.Serve.Load.completed o.Serve.Load.submitted
+              o.Serve.Load.cases_done o.Serve.Load.wall_s
+              o.Serve.Load.jobs_per_s o.Serve.Load.cases_per_s
+              o.Serve.Load.busy;
+            (runners, cfg, o)))
+  in
+  let runners, cfg, inproc = run_mode "in-process" in
+  let _, _, workers = run_mode "workers" in
+  let json =
+    Rb_util.Json.to_string
+      (Rb_util.Json.Obj
+         [ ( "config",
+             Rb_util.Json.Obj
+               [ ("runners", Rb_util.Json.Num (float_of_int runners));
+                 ("tenants",
+                  Rb_util.Json.Num (float_of_int cfg.Serve.Load.tenants));
+                 ("jobs_per_tenant",
+                  Rb_util.Json.Num
+                    (float_of_int cfg.Serve.Load.jobs_per_tenant));
+                 ("cases_per_job",
+                  Rb_util.Json.Num
+                    (float_of_int cfg.Serve.Load.cases_per_job));
+                 ("backend", Rb_util.Json.Str cfg.Serve.Load.backend) ]);
+           ("outcome", Serve.Load.outcome_to_json inproc);
+           ("outcome_workers", Serve.Load.outcome_to_json workers) ])
+  in
+  Rb_util.Fsfile.write_atomic serve_bench_file (json ^ "\n");
+  Printf.printf "-> %s\n" serve_bench_file
 
 (* -- driver ------------------------------------------------------------ *)
 
@@ -2053,16 +2396,17 @@ let experiments =
     ("interp", interp); ("interp-smoke", interp_smoke);
     ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead);
     ("serve-smoke", serve_smoke); ("chaos-serve", chaos_serve);
-    ("serve-bench", serve_bench) ]
+    ("procpool-smoke", procpool_smoke); ("serve-bench", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
-  | [ "serve-child"; socket; state; runners ] ->
-    serve_child ~socket ~state ~runners:(int_of_string runners)
-  | [ "chaos-child"; socket; state; runners; poison_case; mode ] ->
-    chaos_child ~socket ~state ~runners:(int_of_string runners) ~poison_case
+  | [ "serve-child"; socket; state; runners; pool ] ->
+    serve_child ~socket ~state ~runners:(int_of_string runners) ~pool
+  | [ "chaos-child"; socket; state; runners; poison_spec; mode ] ->
+    chaos_child ~socket ~state ~runners:(int_of_string runners) ~poison_spec
       ~mode
+  | [ "worker-child" ] -> Serve.Procpool.worker_main ()
   | [] ->
     Printf.printf "RustBrain reproduction benchmark harness (simulated clock; see DESIGN.md)\n";
     fig7 ();

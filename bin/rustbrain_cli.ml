@@ -788,8 +788,23 @@ let serve_cmd =
                  durable results file makes eviction safe: re-fetch with \
                  RESULTS.")
   in
+  let in_process =
+    Arg.(value & flag & info [ "in-process" ]
+           ~doc:"Run jobs on in-process runner domains instead of worker \
+                 processes. Cooperative aborts only: a runner hung inside a \
+                 case cannot be killed, only abandoned as a zombie. The \
+                 default worker pool gives the watchdog true preemption \
+                 (SIGTERM, then SIGKILL) and per-job OS resource caps.")
+  in
+  let worker_mem_mb =
+    Arg.(value & opt int 0 & info [ "worker-mem-mb" ] ~docv:"MIB"
+           ~doc:"Address-space cap (RLIMIT_AS) per worker process, in MiB; \
+                 a worker that exceeds it dies to the limit and the attempt \
+                 is crash-accounted. 0 (default) sets no cap. Ignored with \
+                 $(b,--in-process).")
+  in
   let run socket state_dir runners max_queue quota weights max_crashes
-      stall_timeout job_timeout evict_idle opts =
+      stall_timeout job_timeout evict_idle in_process worker_mem_mb opts =
     match
       match opts with
       | Error _ as e -> e
@@ -820,6 +835,10 @@ let serve_cmd =
           "--stall-timeout/--job-timeout/--evict-idle must be positive";
         1
       end
+      else if worker_mem_mb < 0 then begin
+        prerr_endline "--worker-mem-mb must be non-negative";
+        1
+      end
       else begin
         let trace_sink =
           Option.map (fun p -> Obs.Trace.file ~wall:true p)
@@ -841,6 +860,11 @@ let serve_cmd =
             max_queue; quota; weights; default_opts;
             max_crashes; stall_timeout_s = stall_timeout;
             job_timeout_s = job_timeout; evict_idle_s = evict_idle;
+            worker_argv =
+              (if in_process then None
+               else Some [| Sys.executable_name; "__rb_worker" |]);
+            worker_mem_mb;
+            rng_seed = Exec.Campaign_opts.seed opts;
             trace = trace_sink; metrics = registry }
         in
         let s =
@@ -866,11 +890,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the event-driven repair server: durable admission, per-tenant \
              weighted fair queuing, per-case report streaming, kill-safe \
-             resume, watchdog supervision and poison-job quarantine. Stops on \
+             resume, process-isolated worker supervision (cooperative cancel, \
+             then SIGTERM, then SIGKILL) and poison-job quarantine. Stops on \
              a SHUTDOWN frame or after a DRAIN wind-down.")
     Term.(const run $ socket_arg $ state_dir $ runners $ max_queue $ quota
           $ weights $ max_crashes $ stall_timeout $ job_timeout $ evict_idle
-          $ opts_term)
+          $ in_process $ worker_mem_mb $ opts_term)
 
 (* -- serve-fsck ----------------------------------------------------------- *)
 
@@ -974,11 +999,23 @@ let serve_ctl_cmd =
         | Error e ->
           Printf.eprintf "serve-ctl: %s\n" e;
           1
-        | Ok (Serve.Wire.Health { queued; running; quarantined; draining; slots })
+        | Ok (Serve.Wire.Health { queued; running; quarantined; draining; slots;
+                                  pool; worker_pids; respawns; kills_term;
+                                  kills_kill; zombies })
           ->
           Printf.printf "health: queued %d, running %d, quarantined %d%s\n"
             queued running quarantined
             (if draining then ", draining" else "");
+          Printf.printf "pool: %s%s\n" pool
+            (if worker_pids = [] then ""
+             else
+               Printf.sprintf " (pids %s)"
+                 (String.concat ", " (List.map string_of_int worker_pids)));
+          if respawns + kills_term + kills_kill + zombies > 0 then
+            Printf.printf
+              "supervision: %d respawned, %d SIGTERM, %d SIGKILL, %d zombie \
+               domain(s)\n"
+              respawns kills_term kills_kill zombies;
           List.iter
             (fun (i, s) -> Printf.printf "  slot %d: %s\n" i s)
             slots;
@@ -1073,7 +1110,8 @@ let serve_load_cmd =
           opts =
             (if wire_opts = Exec.Campaign_opts.default then None
              else Some wire_opts);
-          timeout_s = timeout }
+          timeout_s = timeout;
+          jitter_seed = Exec.Campaign_opts.seed opts }
       in
       let o = Serve.Load.run cfg in
       if shutdown then begin
@@ -1173,6 +1211,11 @@ let trace_summary_cmd =
     Term.(const run $ file)
 
 let () =
+  (* hidden worker entry point: the server fork/execs its own binary with
+     this marker argv, speaking the procpool protocol on stdin — never a
+     user-facing subcommand, so it is dispatched before cmdliner runs *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "__rb_worker" then
+    Serve.Procpool.worker_main ();
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'

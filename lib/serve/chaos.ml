@@ -193,6 +193,138 @@ let probe ?(timeout_s = 10.0) socket =
     Client.close c;
     ok
 
+(* -- worker-fault matrix ------------------------------------------------- *)
+
+(* Faults the in-process pool could never survive (or never reclaim): a
+   worker that SIGSTOPs itself is unsignallable except by SIGKILL, a
+   SIGKILLed worker flushes nothing, an OOM worker dies to a resource
+   limit. The property under test is the supervision ladder end to end:
+   the hung worker is forcibly killed within stall-timeout + grace, the
+   slot respawns, every retry is crash-accounted, and the job lands in
+   quarantine after exactly max_crashes attempts — with the server
+   answering probes throughout and no process leaked. *)
+
+type worker_fault = Wf_stop | Wf_kill | Wf_oom
+
+let worker_fault_label = function
+  | Wf_stop -> "sigstop"
+  | Wf_kill -> "sigkill"
+  | Wf_oom -> "oom"
+
+let all_worker_faults = [ Wf_stop; Wf_kill; Wf_oom ]
+
+type worker_step = {
+  w_fault : worker_fault;
+  w_case : string;     (* the case the server's poison plan booby-traps *)
+  w_job : int;         (* submitted job id; -1 if the step never started *)
+  w_crashes : int;     (* crash count the quarantine verdict reported *)
+  w_reason : string;   (* quarantine reason (names the death signal) *)
+  w_reclaimed : bool;  (* no slot still references the job afterwards *)
+  w_wall_s : float;    (* submit -> quarantine wall time *)
+  w_probe_ok : bool;
+}
+
+type worker_outcome = {
+  w_steps : worker_step list;
+  w_pids : int list;   (* every distinct worker pid HEALTH reported *)
+  w_survived : bool;
+}
+
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  go 0
+
+let health c =
+  match Client.request ~timeout_s:5.0 c Wire.Health with
+  | Ok (Wire.Health { worker_pids; slots; _ }) -> Some (worker_pids, slots)
+  | Ok _ | Error _ -> None
+
+let run_worker_step ~timeout_s ~socket ~backend ~opts pids (w_fault, w_case) =
+  let t0 = Unix.gettimeofday () in
+  let note_pids wp = List.iter (fun p -> Hashtbl.replace pids p ()) wp in
+  let finish ~w_job ~w_crashes ~w_reason ~w_reclaimed =
+    { w_fault; w_case; w_job; w_crashes; w_reason; w_reclaimed;
+      w_wall_s = Unix.gettimeofday () -. t0; w_probe_ok = probe socket }
+  in
+  let fail reason =
+    finish ~w_job:(-1) ~w_crashes:0 ~w_reason:reason ~w_reclaimed:false
+  in
+  match Client.connect ~retries:20 ~retry_delay_s:0.05 socket with
+  | Error e -> fail ("connect failed: " ^ e)
+  | Ok sub -> (
+    let submitted =
+      Client.request ~timeout_s:5.0 sub
+        (Wire.Submit
+           { tenant = "chaos-worker"; backend; cases = Some [ w_case ]; opts })
+    in
+    (* drop the subscription immediately: quarantine progress is watched
+       by STATUS polling on a fresh connection, which also proves the
+       verdict is durable server state rather than a pushed frame *)
+    Client.close sub;
+    match submitted with
+    | Ok (Wire.Accepted { id; _ }) -> (
+      match Client.connect ~retries:20 ~retry_delay_s:0.05 socket with
+      | Error e -> fail ("poll connect failed: " ^ e)
+      | Ok c ->
+        let deadline = t0 +. timeout_s in
+        let job_gone () =
+          (* reclaim predicate: no slot state still names this job *)
+          match health c with
+          | Some (wp, slots) ->
+            note_pids wp;
+            not
+              (List.exists
+                 (fun (_, s) ->
+                   has_substring s (Printf.sprintf "job %d" id))
+                 slots)
+          | None -> false
+        in
+        let rec wait () =
+          if Unix.gettimeofday () > deadline then
+            fail
+              (Printf.sprintf "job %d not quarantined within %.0fs" id
+                 timeout_s)
+          else
+            match Client.request ~timeout_s:5.0 c (Wire.Status (Some id)) with
+            | Ok (Wire.Job { state = Wire.Quarantined { crashes; reason; _ }; _ })
+              ->
+              let rec reclaim tries =
+                if job_gone () then true
+                else if tries = 0 then false
+                else (Unix.sleepf 0.05; reclaim (tries - 1))
+              in
+              finish ~w_job:id ~w_crashes:crashes ~w_reason:reason
+                ~w_reclaimed:(reclaim 100)
+            | Ok _ ->
+              ignore (job_gone ());
+              Unix.sleepf 0.05;
+              wait ()
+            | Error e -> fail ("status poll failed: " ^ e)
+        in
+        let r = wait () in
+        Client.close c;
+        r)
+    | Ok _ -> fail "submit not accepted"
+    | Error e -> fail ("submit failed: " ^ e))
+
+let run_worker_matrix ?(timeout_s = 60.0) ~socket ~backend ?opts ~plan () =
+  let pids = Hashtbl.create 16 in
+  let steps =
+    List.map (run_worker_step ~timeout_s ~socket ~backend ~opts pids) plan
+  in
+  { w_steps = steps;
+    w_pids =
+      List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pids []);
+    w_survived =
+      List.for_all
+        (fun s -> s.w_probe_ok && s.w_reclaimed && s.w_job >= 0)
+        steps }
+
 let run ?(probe_timeout_s = 10.0) ~socket ~seed ~steps () =
   let rng = Rb_util.Rng.create seed in
   let faults = plan ~seed ~steps in

@@ -6,6 +6,7 @@ type config = {
   backend : string;
   opts : Exec.Campaign_opts.t option;
   timeout_s : float;
+  jitter_seed : int;
 }
 
 let default_config =
@@ -15,7 +16,8 @@ let default_config =
     cases_per_job = 2;
     backend = "llm-only";
     opts = None;
-    timeout_s = 120.0 }
+    timeout_s = 120.0;
+    jitter_seed = 1 }
 
 type outcome = {
   submitted : int;
@@ -62,6 +64,9 @@ let tenant_worker cfg ~index =
   let case_at i =
     (List.nth corpus ((i : int) mod ncorpus)).Dataset.Case.name
   in
+  (* de-synchronizes the BUSY retry sweep (see below); seeded per tenant
+     so a given load-config replays the same schedule *)
+  let rng = Rb_util.Rng.create (cfg.jitter_seed + (index * 7919)) in
   match Client.connect cfg.socket with
   | Error _ ->
     { t_name; t_completed = 0; t_busy = 0; t_errors = cfg.jobs_per_tenant;
@@ -96,7 +101,11 @@ let tenant_worker cfg ~index =
           wait ())
         | Ok (Wire.Busy { retry_after_ms; _ }) when tries > 0 ->
           incr busy;
-          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.0);
+          (* ±25% jitter on the server's advice: every rejected tenant
+             gets the same retry_after_ms, so sleeping it exactly stampedes
+             them back in lockstep to be rejected together again *)
+          let jitter = 0.75 +. (0.5 *. Rb_util.Rng.float rng) in
+          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.0 *. jitter);
           attempt (tries - 1)
         | Ok _ | Error _ -> incr errors
       in

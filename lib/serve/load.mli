@@ -15,10 +15,16 @@ type config = {
   backend : string;
   opts : Exec.Campaign_opts.t option;  (** [None] = server defaults *)
   timeout_s : float;       (** per-receive patience *)
+  jitter_seed : int;
+      (** seeds the ±25% BUSY retry jitter that breaks the thundering
+          herd: without it every rejected tenant sleeps the server's
+          exact retry-after and stampedes back in lockstep. Seeded per
+          tenant, so a given config replays the same schedule. *)
 }
 
 val default_config : config
-(** 4 tenants x 4 jobs x 2 cases against ["llm-only"], 120s timeout. *)
+(** 4 tenants x 4 jobs x 2 cases against ["llm-only"], 120s timeout,
+    jitter seed 1. *)
 
 type outcome = {
   submitted : int;

@@ -1,11 +1,15 @@
-(* Deterministic fault injection for the chaos harness: the hook fires at
-   every case boundary inside the runner domain, so a test can make one
-   named case reliably kill the process, hang the domain, or fail the
-   job — the three crash vectors the supervision layer must survive. *)
-type poison_mode =
-  | Poison_exit   (* [Unix._exit]: the whole server dies mid-case *)
-  | Poison_hang   (* sleep forever: only the watchdog can reclaim the slot *)
-  | Poison_raise  (* ordinary exception: isolated as a job failure *)
+(* Deterministic fault injection for the chaos harness: the plan maps case
+   names to the fault fired at that case's boundary inside the runner —
+   the crash vectors the supervision layer must survive. Declarative (not
+   a closure) so it serializes into worker Job frames and injects the same
+   faults in both isolation modes. *)
+type poison_mode = Jobrun.poison_mode =
+  | Poison_exit
+  | Poison_hang
+  | Poison_raise
+  | Poison_stop
+  | Poison_kill
+  | Poison_oom
 
 type config = {
   socket : string;
@@ -23,7 +27,10 @@ type config = {
   abandon_grace_s : float;
   out_limit : int;
   evict_idle_s : float;
-  poison : (string -> poison_mode option) option;
+  poison : (string * poison_mode) list;
+  worker_argv : string array option;
+  worker_mem_mb : int;
+  rng_seed : int;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }
@@ -44,7 +51,10 @@ let default_config =
     abandon_grace_s = 1.0;
     out_limit = 8 * 1024 * 1024;
     evict_idle_s = 30.0;
-    poison = None;
+    poison = [];
+    worker_argv = None;
+    worker_mem_mb = 0;
+    rng_seed = 0x5eed;
     trace = None;
     metrics = None }
 
@@ -62,7 +72,7 @@ type summary = {
   evicted : int;     (** connections dropped for slow reading or overflow *)
 }
 
-(* -- job execution on a runner-slot domain ------------------------------ *)
+(* -- job execution on an in-process runner-slot domain ------------------- *)
 
 (* What a finished slot hands back to the event loop. Reports are in job
    (seed-major, case-minor) order — exactly the stitched order the durable
@@ -93,121 +103,56 @@ type slot = {
 
 let slot_aborted s = s.abort_at > 0.0
 
-(* The slot domain runs the whole job: seed fan-out through the
-   domain-parallel scheduler, under the job's own write-ahead journal so a
-   killed server resumes it. Durable results are written here (before the
-   loop marks the job done); the event loop only does bookkeeping. *)
+(* The slot domain runs the whole job through the shared {!Jobrun} core —
+   the same code a worker process runs, which is what keeps the two modes
+   byte-identical. Durable results are written here (before the loop marks
+   the job done); the event loop only does bookkeeping. *)
 let start_job (cfg : config) store (sub : Store.submission) =
   let stream = Queue.create () in
   let stream_mx = Mutex.create () in
   let finished = Atomic.make false in
   let cancel = Atomic.make false in
-  let total_cases = List.length sub.cases * List.length sub.opts.seeds in
+  let total_cases =
+    List.length sub.Store.cases
+    * List.length sub.Store.opts.Exec.Campaign_opts.seeds
+  in
   (* case-boundary guard: poison injection (chaos harness) and the
      watchdog's cooperative abort both live here, inside the runner
      domain, so neither can fire mid-case *)
   let before (case : Dataset.Case.t) =
-    (match cfg.poison with
-    | None -> ()
-    | Some hook -> (
-      match hook case.Dataset.Case.name with
-      | None -> ()
-      | Some Poison_exit -> Unix._exit 66
-      | Some Poison_hang ->
-        while true do
-          Unix.sleepf 3600.0
-        done
-      | Some Poison_raise -> raise (Exec.Runner.Aborted "poisoned case")));
+    (match List.assoc_opt case.Dataset.Case.name cfg.poison with
+    | Some m -> Jobrun.apply_poison m
+    | None -> ());
     if Atomic.get cancel then raise (Exec.Runner.Aborted "watchdog abort")
+  in
+  let observe ~seq ~case ~seed ~report_json =
+    Mutex.protect stream_mx (fun () ->
+        Queue.add (seq, case, seed, report_json) stream)
   in
   let domain =
     Domain.spawn (fun () ->
         let result =
           try
-          let runner =
-            match Exec.Campaign_opts.runner sub.opts ~backend:sub.backend with
-            | Ok r -> r
-            | Error e -> failwith e
-          in
-          let cases =
-            List.map
-              (fun n ->
-                match Dataset.Corpus.find n with
-                | Some c -> c
-                | None -> failwith (Printf.sprintf "unknown case %S" n))
-              sub.cases
-          in
-          let case_index = Hashtbl.create 16 in
-          List.iteri
-            (fun i (c : Dataset.Case.t) ->
-              Hashtbl.replace case_index c.Dataset.Case.name i)
-            cases;
-          let ncases = List.length cases in
-          let label = Printf.sprintf "serve/job-%06d" sub.id in
-          let jobs =
-            Exec.Scheduler.seeded_jobs ~label runner ~seeds:sub.opts.seeds cases
-          in
-          (* Streaming wrapper under the journal wrapper Checkpoint adds:
-             the case is pushed when repaired, then journaled. A crash
-             between the two can re-send a case after resume (at-least-once
-             streaming); the durable results file is exactly-once. Seq is
-             derived from the case's position, not a counter, so resumed
-             remainders keep their absolute positions. *)
-          let jobs =
-            List.mapi
-              (fun ji (j : Exec.Scheduler.job) ->
-                let seed = Exec.Runner.seed j.Exec.Scheduler.runner in
-                let base = ji * ncases in
-                let observe (case : Dataset.Case.t) report _stats ~snapshot:_ =
-                  let seq =
-                    base
-                    + Option.value ~default:0
-                        (Hashtbl.find_opt case_index case.Dataset.Case.name)
-                  in
-                  Mutex.protect stream_mx (fun () ->
-                      Queue.add
-                        ( seq, case.Dataset.Case.name, seed,
-                          Rustbrain.Report.to_json report )
-                        stream)
-                in
-                { j with
-                  Exec.Scheduler.runner =
-                    Exec.Runner.instrumented
-                      (Exec.Runner.guarded j.Exec.Scheduler.runner ~before)
-                      ~restore:None ~observe })
-              jobs
-          in
-          let dir = Store.journal_dir store sub.id in
-          let domains =
-            match sub.opts.domains with
-            | Some _ as d -> d
-            | None -> cfg.domains_per_job
-          in
-          let run mode =
-            Exec.Checkpoint.run ?domains
-              ~cancel:(fun () -> Atomic.get cancel)
-              ~dir ~mode jobs
-          in
-          let outcome =
-            try run Exec.Checkpoint.Resume
-            with Exec.Checkpoint.Fingerprint_mismatch _ ->
-              (* journal from another build or a changed corpus: recompute
-                 rather than refuse — the accepted job must still finish *)
-              run Exec.Checkpoint.Fresh
-          in
-          let reports =
-            List.concat_map
-              (fun r -> r.Exec.Scheduler.reports)
-              outcome.Exec.Checkpoint.results
-          in
-          Store.write_results store sub.id reports;
-          let job_failed =
-            match Exec.Scheduler.failures outcome.Exec.Checkpoint.results with
-            | [] -> None
-            | (j, f) :: _ ->
-              Some (Printf.sprintf "%s: %s" j.Exec.Scheduler.label f.Exec.Scheduler.exn)
-          in
-            Ok { reports; job_failed; replayed = outcome.Exec.Checkpoint.replayed }
+            match
+              Jobrun.execute ~backend:sub.Store.backend
+                ~case_names:sub.Store.cases ~opts:sub.Store.opts
+                ~label:(Printf.sprintf "serve/job-%06d" sub.Store.id)
+                ~journal_dir:(Store.journal_dir store sub.Store.id)
+                ~domains:
+                  (match sub.Store.opts.Exec.Campaign_opts.domains with
+                  | Some _ as d -> d
+                  | None -> cfg.domains_per_job)
+                ~before
+                ~cancel:(fun () -> Atomic.get cancel)
+                ~observe ()
+            with
+            | Ok o ->
+              Store.write_results store sub.Store.id o.Jobrun.reports;
+              Ok
+                { reports = o.Jobrun.reports;
+                  job_failed = o.Jobrun.job_failed;
+                  replayed = o.Jobrun.replayed }
+            | Error e -> Error e
           with e -> Error (Printexc.to_string e)
         in
         (* set last: once observed true, [Domain.join] returns promptly *)
@@ -219,6 +164,48 @@ let start_job (cfg : config) store (sub : Store.submission) =
     last_progress = now; abort_at = 0.0; domain }
 
 let slot_finished s = Atomic.get s.finished
+
+(* -- worker-pool slots ---------------------------------------------------- *)
+
+(* Per-attempt supervision state for a job running on a worker process. *)
+type wjob = {
+  wsub : Store.submission;
+  w_started_at : float;
+  mutable w_last_progress : float;
+      (* last CASE frame or heartbeat seen from the worker *)
+  mutable w_abort_at : float;  (* when the watchdog fired; 0.0 = it has not *)
+  mutable w_termed : bool;     (* SIGTERM rung already climbed *)
+  mutable w_killed : bool;     (* SIGKILL rung already climbed *)
+}
+
+type wstate =
+  | W_down of { next_spawn_at : float }  (* no process; spawn when due *)
+  | W_starting of { w : Procpool.worker; since : float }  (* awaiting Hello *)
+  | W_ready of { w : Procpool.worker }
+  | W_busy of { w : Procpool.worker; job : wjob }
+
+type wslot = {
+  mutable ws : wstate;
+  mutable failures : int;
+      (* consecutive deaths without a cleanly completed job: the respawn
+         backoff exponent *)
+}
+
+(* Runner isolation mode. [Workers] is the production path: every slot is
+   a supervised child process the watchdog can always SIGKILL, so there is
+   no zombie list. [In_process] (--in-process, or automatic fallback when
+   spawning fails) keeps the domain path: cooperative aborts only, hung
+   domains abandoned as zombies. *)
+type pool =
+  | In_process
+  | Workers of wslot array
+
+let worker_of ws =
+  match ws.ws with
+  | W_down _ -> None
+  | W_starting { w; _ } | W_ready { w } | W_busy { w; _ } -> Some w
+
+let wjob_of ws = match ws.ws with W_busy { job; _ } -> Some job | _ -> None
 
 (* -- connections -------------------------------------------------------- *)
 
@@ -240,15 +227,25 @@ type t = {
   queue : Store.submission Fairq.t;
   conns : (int, conn) Hashtbl.t;
   subscribers : (int, int) Hashtbl.t;  (* job id -> conn id *)
+  mutable pool : pool;
+  rng : Rb_util.Rng.t;  (* respawn-backoff jitter; seeded, deterministic *)
+  sigchld_w : Unix.file_descr;
+      (* write end of the SIGCHLD self-pipe: the handler writes one byte,
+         the select loop wakes and reaps *)
   mutable slots : slot list;
   mutable zombies : slot list;
-      (* abandoned hung runner domains: OCaml domains cannot be killed, so
-         they are parked here and reaped (joined) only once their finished
-         flag flips — the slot itself was reclaimed long ago *)
+      (* in-process mode only: abandoned hung runner domains — OCaml
+         domains cannot be killed, so they are parked here and reaped
+         (joined) only once their finished flag flips. The worker pool
+         deleted this failure class: a hung worker is SIGKILLed. *)
   mutable shutting_down : bool;
   mutable draining : bool;
   mutable next_cid : int;
   mutable service_ewma_ms : float;  (* per-job wall service time estimate *)
+  mutable ever_ready : bool;
+      (* any worker ever completed the handshake; gates the automatic
+         in-process fallback *)
+  mutable spawn_fail_streak : int;
   mutable accepted : int;
   mutable completed : int;
   mutable failed : int;
@@ -259,6 +256,9 @@ type t = {
   mutable quarantined_n : int;
   mutable requeued : int;
   mutable evicted : int;
+  mutable respawns : int;
+  mutable kills_term : int;
+  mutable kills_kill : int;
 }
 
 (* Every reply — results streams, error replies, BUSY — goes through the
@@ -300,21 +300,48 @@ let metric_observe t name v =
            reg name)
         v)
 
+let active_jobs t =
+  match t.pool with
+  | In_process -> List.length t.slots
+  | Workers ws ->
+    Array.fold_left
+      (fun n s -> match s.ws with W_busy _ -> n + 1 | _ -> n)
+      0 ws
+
 (* Backpressure advice: how long a rejected client should wait before
    retrying. Scales with how much service time is queued ahead of it
    divided by the slots that will drain it; clamped so a cold server never
    says 0 and a drowning one never says "come back in an hour". *)
 let retry_after_ms t =
-  let queued = float_of_int (Fairq.depth t.queue + List.length t.slots) in
+  let queued = float_of_int (Fairq.depth t.queue + active_jobs t) in
   let per_slot = queued /. float_of_int (max 1 t.cfg.runners) in
   int_of_float (Float.min 30000. (Float.max 50. (t.service_ewma_ms *. per_slot)))
 
 let job_cost (sub : Store.submission) =
   List.length sub.cases * List.length sub.opts.seeds
 
-let running_ids t = List.map (fun s -> s.sub.Store.id) t.slots
+let running_ids t =
+  match t.pool with
+  | In_process -> List.map (fun s -> s.sub.Store.id) t.slots
+  | Workers ws ->
+    Array.to_list ws
+    |> List.filter_map (fun s ->
+           Option.map (fun j -> j.wsub.Store.id) (wjob_of s))
 
 let is_running t id = List.mem id (running_ids t)
+
+let worker_pids t =
+  match t.pool with
+  | In_process -> []
+  | Workers ws ->
+    Array.to_list ws
+    |> List.filter_map (fun s ->
+           match worker_of s with
+           | Some w when w.alive -> Some w.pid
+           | _ -> None)
+
+let pool_label t =
+  match t.pool with In_process -> "in-process" | Workers _ -> "workers"
 
 (* -- request handling ---------------------------------------------------- *)
 
@@ -458,7 +485,7 @@ let handle_status t conn = function
       send t conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id)))
   | None ->
     let queued, completed, cancelled, quarantined = Store.counts t.store in
-    let running = List.length t.slots in
+    let running = active_jobs t in
     send t conn
       (Wire.Server
          { queued = max 0 (queued - running);
@@ -527,17 +554,33 @@ let handle_results t conn id =
     send t conn (Wire.Error_msg (Printf.sprintf "unknown job id %d" id))
 
 let slot_states t =
-  let running =
-    List.mapi
-      (fun i s ->
-        ( i,
-          Printf.sprintf "%s job %d"
-            (if slot_aborted s then "hung" else "running")
-            s.sub.Store.id ))
-      t.slots
-  in
-  let n = List.length running in
-  running @ List.init (max 0 (t.cfg.runners - n)) (fun i -> (n + i, "idle"))
+  match t.pool with
+  | In_process ->
+    let running =
+      List.mapi
+        (fun i s ->
+          ( i,
+            Printf.sprintf "%s job %d"
+              (if slot_aborted s then "hung" else "running")
+              s.sub.Store.id ))
+        t.slots
+    in
+    let n = List.length running in
+    running @ List.init (max 0 (t.cfg.runners - n)) (fun i -> (n + i, "idle"))
+  | Workers ws ->
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           ( i,
+             match s.ws with
+             | W_down _ -> "down"
+             | W_starting _ -> "starting"
+             | W_ready _ -> "idle"
+             | W_busy { w; job } ->
+               Printf.sprintf "%s job %d (pid %d)"
+                 (if job.w_abort_at > 0.0 then "hung" else "running")
+                 job.wsub.Store.id w.pid ))
+         ws)
 
 let handle_request t conn = function
   | Wire.Submit { tenant; backend; cases; opts } ->
@@ -550,26 +593,32 @@ let handle_request t conn = function
     send t conn
       (Wire.Health
          { queued = Fairq.depth t.queue;
-           running = List.length t.slots;
+           running = active_jobs t;
            quarantined;
            draining = t.draining;
-           slots = slot_states t })
+           slots = slot_states t;
+           pool = pool_label t;
+           worker_pids = worker_pids t;
+           respawns = t.respawns;
+           kills_term = t.kills_term;
+           kills_kill = t.kills_kill;
+           zombies = List.length t.zombies })
   | Wire.Drain ->
     t.draining <- true;
     trace_event t "serve-drain"
-      [ ("active", Obs.Trace.I (List.length t.slots));
+      [ ("active", Obs.Trace.I (active_jobs t));
         ("queued", Obs.Trace.I (Fairq.depth t.queue)) ];
     send t conn
       (Wire.Draining
-         { active = List.length t.slots; queued = Fairq.depth t.queue })
+         { active = active_jobs t; queued = Fairq.depth t.queue })
   | Wire.Shutdown ->
     t.shutting_down <- true;
     trace_event t "serve-shutdown"
-      [ ("active", Obs.Trace.I (List.length t.slots));
+      [ ("active", Obs.Trace.I (active_jobs t));
         ("queued", Obs.Trace.I (Fairq.depth t.queue)) ];
     send t conn
       (Wire.Shutting_down
-         { active = List.length t.slots; queued = Fairq.depth t.queue })
+         { active = active_jobs t; queued = Fairq.depth t.queue })
 
 (* -- slot lifecycle ------------------------------------------------------ *)
 
@@ -618,10 +667,10 @@ let quarantine_job t (sub : Store.submission) ~reason ~backtrace =
            last_case = q.Store.last_case }));
   Hashtbl.remove t.subscribers id
 
-(* A job whose attempt ended in a crash (dead runner domain, watchdog
-   abandonment) either re-enters the queue — resuming at its journal
-   frontier, so completed cases are never redone — or, past the crash
-   budget, is quarantined as poison. *)
+(* A job whose attempt ended in a crash (dead worker process, dead runner
+   domain, watchdog abandonment) either re-enters the queue — resuming at
+   its journal frontier, so completed cases are never redone — or, past
+   the crash budget, is quarantined as poison. *)
 let requeue_or_quarantine t (sub : Store.submission) ~reason ~backtrace =
   if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes then
     quarantine_job t sub ~reason ~backtrace
@@ -637,36 +686,491 @@ let requeue_or_quarantine t (sub : Store.submission) ~reason ~backtrace =
          ~cost:(job_cost sub) sub)
   end
 
-let dispatch t =
-  let continue = ref true in
-  while !continue && List.length t.slots < t.cfg.runners do
-    match Fairq.next t.queue with
-    | None -> continue := false
-    | Some (_tenant, sub) -> (
-      match Store.status t.store sub.Store.id with
-      | Some Store.Queued ->
-        if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes then
-          (* the crash budget can be exhausted while the job sits queued —
-             e.g. counted across whole-server kills — never hand it to
-             another runner *)
-          quarantine_job t sub
+(* -- worker-pool supervision --------------------------------------------- *)
+
+let close_worker_fd (w : Procpool.worker) =
+  if w.Procpool.alive then begin
+    w.Procpool.alive <- false;
+    try Unix.close w.Procpool.fd with Unix.Unix_error _ -> ()
+  end
+
+let kill_quiet pid signal =
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let worker_down t wslot ~crashed =
+  if crashed then wslot.failures <- wslot.failures + 1;
+  wslot.ws <-
+    W_down
+      { next_spawn_at =
+          (if wslot.failures = 0 then 0.0
+           else
+             Unix.gettimeofday ()
+             +. Procpool.backoff_delay ~failures:wslot.failures t.rng) }
+
+(* Spawning never worked at all (no fork on this platform, bad argv,
+   exhausted pids): degrade to the in-process domain pool rather than
+   spin. Only before the first successful handshake — once workers have
+   ever run, chronic respawn failure stays supervised under backoff. *)
+let maybe_fallback t =
+  if (not t.ever_ready) && t.spawn_fail_streak >= 3 then
+    match t.pool with
+    | In_process -> ()
+    | Workers ws ->
+      Array.iter
+        (fun s ->
+          (match worker_of s with
+          | Some w ->
+            close_worker_fd w;
+            kill_quiet w.Procpool.pid Sys.sigkill
+          | None -> ());
+          s.ws <- W_down { next_spawn_at = infinity })
+        ws;
+      t.pool <- In_process;
+      metric_inc t "serve.pool.fallback";
+      trace_event t "serve-pool-fallback" [];
+      prerr_endline
+        "serve: worker spawning keeps failing; falling back to in-process runners"
+
+let spawn_worker t wslot =
+  match t.cfg.worker_argv with
+  | None -> ()
+  | Some argv -> (
+    (* RLIMIT_CPU from the job wall ceiling: per attempt, since a worker
+       runs exactly one job. Skipped for effectively-unbounded budgets. *)
+    let cpu_s =
+      if t.cfg.job_timeout_s > 0.0 && t.cfg.job_timeout_s <= 86400.0 then
+        int_of_float (Float.ceil t.cfg.job_timeout_s) + 5
+      else 0
+    in
+    match Procpool.spawn ~argv ~mem_mb:t.cfg.worker_mem_mb ~cpu_s () with
+    | Ok w ->
+      if wslot.failures > 0 then begin
+        t.respawns <- t.respawns + 1;
+        metric_inc t "serve.workers.respawned"
+      end;
+      metric_inc t "serve.workers.spawned";
+      wslot.ws <- W_starting { w; since = Unix.gettimeofday () }
+    | Error e ->
+      if not t.ever_ready then t.spawn_fail_streak <- t.spawn_fail_streak + 1;
+      trace_event t "serve-worker-spawn-failed" [ ("err", Obs.Trace.S e) ];
+      worker_down t wslot ~crashed:true;
+      maybe_fallback t)
+
+let finish_worker_job t (job : wjob) ~cases ~passed ~failed ~replayed =
+  let id = job.wsub.Store.id in
+  if job.w_abort_at > 0.0 && failed <> None then
+    (* the cooperative abort landed at a case boundary: the journal holds
+       every completed case, the attempt itself was a watchdog kill *)
+    requeue_or_quarantine t job.wsub ~reason:"aborted by watchdog"
+      ~backtrace:""
+  else begin
+    let service_ms = (Unix.gettimeofday () -. job.w_started_at) *. 1000.0 in
+    t.service_ewma_ms <- (0.7 *. t.service_ewma_ms) +. (0.3 *. service_ms);
+    metric_observe t "serve.service_ms" service_ms;
+    metric_observe t
+      (Printf.sprintf "serve.service_ms.%s" job.wsub.Store.tenant)
+      service_ms;
+    if replayed > 0 then metric_inc t "serve.jobs.resumed";
+    (* the worker wrote the durable results file before sending Done *)
+    let completion = { Store.cases; passed; failed } in
+    Store.complete t.store id completion;
+    (match failed with
+    | None ->
+      t.completed <- t.completed + 1;
+      metric_inc t "serve.completed"
+    | Some _ ->
+      t.failed <- t.failed + 1;
+      metric_inc t "serve.failed");
+    trace_event t "serve-job-done"
+      [ ("id", Obs.Trace.I id);
+        ("cases", Obs.Trace.I cases);
+        ("passed", Obs.Trace.I passed);
+        ("failed", Obs.Trace.B (failed <> None)) ];
+    (match subscriber_conn t id with
+    | None -> ()
+    | Some conn -> send t conn (Wire.Done { id; cases; passed; failed }));
+    Hashtbl.remove t.subscribers id
+  end
+
+let handle_worker_msg t wslot msg =
+  let now = Unix.gettimeofday () in
+  match (msg : Procpool.to_server) with
+  | Procpool.Hello _ -> (
+    match wslot.ws with
+    | W_starting { w; _ } ->
+      wslot.ws <- W_ready { w };
+      t.ever_ready <- true;
+      t.spawn_fail_streak <- 0
+    | _ -> ())
+  | Procpool.Heartbeat -> (
+    match wslot.ws with
+    | W_busy { job; _ } -> job.w_last_progress <- now
+    | _ -> ())
+  | Procpool.Case_done { seq; case; seed; report_json } -> (
+    match wslot.ws with
+    | W_busy { job; _ } -> (
+      job.w_last_progress <- now;
+      match subscriber_conn t job.wsub.Store.id with
+      | None -> ()
+      | Some conn ->
+        metric_inc t "serve.cases.streamed";
+        send t conn
+          (Wire.Case
+             { id = job.wsub.Store.id; seq; case; seed; report_json }))
+    | _ -> ())
+  | Procpool.Job_done { cases; passed; failed; replayed } -> (
+    match wslot.ws with
+    | W_busy { w; job } ->
+      (* one worker process per job attempt: the worker exits after Done
+         and a fresh process (fresh rlimit budget, no state bleed)
+         replaces it immediately *)
+      close_worker_fd w;
+      wslot.failures <- 0;
+      worker_down t wslot ~crashed:false;
+      finish_worker_job t job ~cases ~passed ~failed ~replayed
+    | _ -> ())
+
+let read_worker t wslot =
+  match worker_of wslot with
+  | None -> ()
+  | Some w when not w.Procpool.alive -> ()
+  | Some w ->
+    let buf = Bytes.create 65536 in
+    let rec go () =
+      match Unix.read w.Procpool.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+        (* EOF: stop selecting on it; crash accounting happens at reap *)
+        close_worker_fd w
+      | n -> (
+        match Wire.feed w.Procpool.dec buf 0 n with
+        | Error _ ->
+          (* a worker that breaks framing is not trustworthy: kill it;
+             the reap turns this into ordinary crash accounting *)
+          close_worker_fd w;
+          kill_quiet w.Procpool.pid Sys.sigkill
+        | Ok frames ->
+          List.iter
+            (fun payload ->
+              match Procpool.to_server_of_string payload with
+              | Ok m -> handle_worker_msg t wslot m
+              | Error _ -> ())
+            frames;
+          if w.Procpool.alive then go ())
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_worker_fd w
+    in
+    go ()
+
+(* Unix.WSIGNALED carries OCaml's internal signal numbers (negative for
+   the Sys.sig* set); translate the ones supervision produces into the
+   conventional OS numbers so quarantine reasons read "signal 9", not
+   "signal -7". *)
+let os_signal s =
+  if s = Sys.sigkill then 9
+  else if s = Sys.sigterm then 15
+  else if s = Sys.sigsegv then 11
+  else if s = Sys.sigabrt then 6
+  else if s = Sys.sigint then 2
+  else if s = Sys.sighup then 1
+  else if s = Sys.sigquit then 3
+  else if s = Sys.sigbus then 7
+  else if s = Sys.sigxcpu then 24
+  else if s = Sys.sigxfsz then 25
+  else if s = Sys.sigstop then 19
+  else s
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" (os_signal s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" (os_signal s)
+
+let handle_worker_death t ws pid status =
+  Array.iter
+    (fun wslot ->
+      match worker_of wslot with
+      | Some w when w.Procpool.pid = pid -> (
+        (* drain frames the worker flushed before dying — CASE frames, or
+           a Job_done racing its own exit (then the slot is already
+           recycled below and this death is routine) *)
+        if w.Procpool.alive then read_worker t wslot;
+        match wslot.ws with
+        | W_busy { w; job } ->
+          (* died without Job_done: a crashed attempt. SIGKILLed, OOM
+             (rlimit), poison exit — all count toward quarantine. *)
+          close_worker_fd w;
+          worker_down t wslot ~crashed:true;
+          metric_inc t "serve.runner_crashes";
+          trace_event t "serve-worker-crash"
+            [ ("id", Obs.Trace.I job.wsub.Store.id);
+              ("pid", Obs.Trace.I pid);
+              ("status", Obs.Trace.S (describe_status status)) ];
+          requeue_or_quarantine t job.wsub
             ~reason:
-              (Printf.sprintf "crashed its runner %d times"
-                 (Store.crash_count t.store sub.Store.id))
+              (Printf.sprintf "worker pid %d died (%s)%s" pid
+                 (describe_status status)
+                 (if job.w_killed then " after watchdog SIGKILL"
+                  else if job.w_termed then " after watchdog SIGTERM"
+                  else ""))
             ~backtrace:""
-        else begin
-          trace_event t "serve-dispatch"
-            [ ("id", Obs.Trace.I sub.Store.id);
-              ("tenant", Obs.Trace.S sub.Store.tenant) ];
-          (* durable before the spawn: if this attempt dies with the whole
-             process, the next start still counts it *)
-          Store.begin_attempt t.store sub.Store.id;
-          t.slots <- t.slots @ [ start_job t.cfg t.store sub ]
-        end
-      | _ -> () (* cancelled while queued: drained, never started *))
-  done;
+        | W_starting _ ->
+          (* died before Hello: exec failure (exit 127) or early crash *)
+          if not t.ever_ready then
+            t.spawn_fail_streak <- t.spawn_fail_streak + 1;
+          (match worker_of wslot with
+          | Some w -> close_worker_fd w
+          | None -> ());
+          worker_down t wslot ~crashed:true;
+          trace_event t "serve-worker-died-early"
+            [ ("pid", Obs.Trace.I pid);
+              ("status", Obs.Trace.S (describe_status status)) ];
+          maybe_fallback t
+        | W_ready _ ->
+          (match worker_of wslot with
+          | Some w -> close_worker_fd w
+          | None -> ());
+          worker_down t wslot ~crashed:true;
+          trace_event t "serve-worker-died-idle"
+            [ ("pid", Obs.Trace.I pid);
+              ("status", Obs.Trace.S (describe_status status)) ]
+        | W_down _ -> () (* recycled after Job_done: routine *))
+      | _ -> ())
+    ws
+
+(* Reap every dead child (SIGCHLD self-pipe wakes the loop; this also runs
+   each tick as a belt-and-braces sweep) and turn worker deaths into slot
+   state transitions and crash accounting. *)
+let reap_children t =
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> ()
+    | pid, status ->
+      (match t.pool with
+      | Workers ws -> handle_worker_death t ws pid status
+      | In_process -> ());
+      go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let find_ready ws =
+  let found = ref None in
+  Array.iter
+    (fun s ->
+      match !found with
+      | Some _ -> ()
+      | None -> ( match s.ws with W_ready { w } -> found := Some (s, w) | _ -> ()))
+    ws;
+  !found
+
+let dispatch t =
+  (match t.pool with
+  | In_process ->
+    let continue = ref true in
+    while !continue && List.length t.slots < t.cfg.runners do
+      match Fairq.next t.queue with
+      | None -> continue := false
+      | Some (_tenant, sub) -> (
+        match Store.status t.store sub.Store.id with
+        | Some Store.Queued ->
+          if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes then
+            (* the crash budget can be exhausted while the job sits queued —
+               e.g. counted across whole-server kills — never hand it to
+               another runner *)
+            quarantine_job t sub
+              ~reason:
+                (Printf.sprintf "crashed its runner %d times"
+                   (Store.crash_count t.store sub.Store.id))
+              ~backtrace:""
+          else begin
+            trace_event t "serve-dispatch"
+              [ ("id", Obs.Trace.I sub.Store.id);
+                ("tenant", Obs.Trace.S sub.Store.tenant) ];
+            (* durable before the spawn: if this attempt dies with the whole
+               process, the next start still counts it *)
+            Store.begin_attempt t.store sub.Store.id;
+            t.slots <- t.slots @ [ start_job t.cfg t.store sub ]
+          end
+        | _ -> () (* cancelled while queued: drained, never started *))
+    done
+  | Workers ws ->
+    let continue = ref true in
+    while !continue do
+      match find_ready ws with
+      | None -> continue := false
+      | Some (wslot, w) -> (
+        match Fairq.next t.queue with
+        | None -> continue := false
+        | Some (_tenant, sub) -> (
+          match Store.status t.store sub.Store.id with
+          | Some Store.Queued ->
+            if Store.crash_count t.store sub.Store.id >= t.cfg.max_crashes
+            then
+              quarantine_job t sub
+                ~reason:
+                  (Printf.sprintf "crashed its runner %d times"
+                     (Store.crash_count t.store sub.Store.id))
+                ~backtrace:""
+            else begin
+              trace_event t "serve-dispatch"
+                [ ("id", Obs.Trace.I sub.Store.id);
+                  ("tenant", Obs.Trace.S sub.Store.tenant) ];
+              (* durable before the dispatch: if this attempt dies with
+                 its worker, the next requeue still counts it *)
+              Store.begin_attempt t.store sub.Store.id;
+              let spec =
+                { Procpool.id = sub.Store.id;
+                  backend = sub.Store.backend;
+                  cases = sub.Store.cases;
+                  opts = sub.Store.opts;
+                  journal_dir = Store.journal_dir t.store sub.Store.id;
+                  results_path = Store.results_path t.store sub.Store.id;
+                  domains =
+                    (match sub.Store.opts.Exec.Campaign_opts.domains with
+                    | Some _ as d -> d
+                    | None -> t.cfg.domains_per_job);
+                  poison = t.cfg.poison }
+              in
+              if Procpool.send w (Procpool.Job spec) then begin
+                let now = Unix.gettimeofday () in
+                wslot.ws <-
+                  W_busy
+                    { w;
+                      job =
+                        { wsub = sub; w_started_at = now;
+                          w_last_progress = now; w_abort_at = 0.0;
+                          w_termed = false; w_killed = false } }
+              end
+              else begin
+                (* the worker would not take the frame: not a job crash —
+                   undo the attempt, requeue the job, replace the worker *)
+                Store.end_attempt t.store sub.Store.id;
+                ignore
+                  (Fairq.admit ~force:true t.queue ~tenant:sub.Store.tenant
+                     ~cost:(job_cost sub) sub);
+                close_worker_fd w;
+                kill_quiet w.Procpool.pid Sys.sigkill;
+                worker_down t wslot ~crashed:true
+              end
+            end
+          | _ -> ()))
+    done);
   metric_gauge t "serve.queue_depth" (float_of_int (Fairq.depth t.queue));
-  metric_gauge t "serve.active" (float_of_int (List.length t.slots))
+  metric_gauge t "serve.active" (float_of_int (active_jobs t))
+
+(* Worker watchdog and lifecycle pass, once per tick. Escalation ladder on
+   a stalled or over-budget job: cooperative Cancel frame at t0, SIGTERM
+   at t0 + grace/2, SIGKILL at t0 + grace — so a SIGSTOP'd or hard-hung
+   worker is gone within stall_timeout + grace, the bound the chaos
+   worker-fault matrix asserts. *)
+let poll_workers t =
+  match t.pool with
+  | In_process -> ()
+  | Workers ws ->
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun wslot ->
+        match wslot.ws with
+        | W_busy { w; job } ->
+          if job.w_abort_at = 0.0 then begin
+            let stalled = now -. job.w_last_progress > t.cfg.stall_timeout_s in
+            let over = now -. job.w_started_at > t.cfg.job_timeout_s in
+            if stalled || over then begin
+              job.w_abort_at <- now;
+              metric_inc t "serve.watchdog.fired";
+              trace_event t "serve-watchdog"
+                [ ("id", Obs.Trace.I job.wsub.Store.id);
+                  ( "why",
+                    Obs.Trace.S (if stalled then "stalled" else "over-budget")
+                  ) ];
+              ignore (Procpool.send w Procpool.Cancel)
+            end
+          end
+          else begin
+            let dt = now -. job.w_abort_at in
+            if (not job.w_termed) && dt > 0.5 *. t.cfg.abandon_grace_s then begin
+              job.w_termed <- true;
+              t.kills_term <- t.kills_term + 1;
+              metric_inc t "serve.workers.sigterm";
+              trace_event t "serve-worker-term"
+                [ ("id", Obs.Trace.I job.wsub.Store.id);
+                  ("pid", Obs.Trace.I w.Procpool.pid) ];
+              kill_quiet w.Procpool.pid Sys.sigterm
+            end;
+            if (not job.w_killed) && dt > t.cfg.abandon_grace_s then begin
+              job.w_killed <- true;
+              t.kills_kill <- t.kills_kill + 1;
+              metric_inc t "serve.workers.sigkill";
+              trace_event t "serve-worker-kill"
+                [ ("id", Obs.Trace.I job.wsub.Store.id);
+                  ("pid", Obs.Trace.I w.Procpool.pid) ];
+              kill_quiet w.Procpool.pid Sys.sigkill
+            end
+          end
+        | W_starting { w; since } ->
+          (* a worker that never says Hello is as hung as one that never
+             finishes a case; the reap restarts it under backoff *)
+          if now -. since > 10.0 then kill_quiet w.Procpool.pid Sys.sigkill
+        | W_down { next_spawn_at } ->
+          let wanted =
+            (not t.shutting_down)
+            && not
+                 (t.draining
+                 && Fairq.depth t.queue = 0
+                 && active_jobs t = 0)
+          in
+          if wanted && now >= next_spawn_at then spawn_worker t wslot
+        | W_ready _ -> ())
+      ws
+
+(* Exit-path cleanup: close every control channel (EOF alone makes an idle
+   worker exit), SIGTERM, give stragglers a short grace, SIGKILL the rest,
+   and reap them all — the no-leaked-children half of the drain contract. *)
+let shutdown_pool t =
+  match t.pool with
+  | In_process -> ()
+  | Workers ws ->
+    let live =
+      Array.to_list ws
+      |> List.filter_map (fun s ->
+             match worker_of s with
+             | Some w ->
+               close_worker_fd w;
+               kill_quiet w.Procpool.pid Sys.sigterm;
+               Some w.Procpool.pid
+             | None -> None)
+    in
+    Array.iter (fun s -> s.ws <- W_down { next_spawn_at = infinity }) ws;
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec reap_all pending =
+      if pending <> [] then begin
+        let still =
+          List.filter
+            (fun pid ->
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> true
+              | _ -> false
+              | exception Unix.Unix_error _ -> false)
+            pending
+        in
+        if still <> [] then
+          if Unix.gettimeofday () > deadline then
+            List.iter
+              (fun pid ->
+                kill_quiet pid Sys.sigkill;
+                try ignore (Rb_util.Retry.on_eintr (fun () -> Unix.waitpid [] pid))
+                with Unix.Unix_error _ -> ())
+              still
+          else begin
+            Unix.sleepf 0.02;
+            reap_all still
+          end
+      end
+    in
+    reap_all live
 
 let finalize_slot t slot =
   (* a slot domain that died hard (its own catch-all never ran: stack
@@ -885,13 +1389,44 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
   let queue =
     Fairq.create ~max_queue:cfg.max_queue ~quota:cfg.quota ~weights:cfg.weights ()
   in
+  (* SIGCHLD self-pipe: the handler writes one byte, folding child-death
+     wakeups into the same select the sockets use *)
+  let sigchld_r, sigchld_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock sigchld_r;
+  Unix.set_nonblock sigchld_w;
   let t =
     { cfg; store; queue; conns = Hashtbl.create 16;
-      subscribers = Hashtbl.create 16; slots = []; zombies = [];
+      subscribers = Hashtbl.create 16;
+      pool =
+        (match cfg.worker_argv with
+        | None -> In_process
+        | Some _ ->
+          Workers
+            (Array.init (max 1 cfg.runners) (fun _ ->
+                 { ws = W_down { next_spawn_at = 0.0 }; failures = 0 })));
+      rng = Rb_util.Rng.create cfg.rng_seed;
+      sigchld_w; slots = []; zombies = [];
       shutting_down = false; draining = false;
-      next_cid = 0; service_ewma_ms = 1000.0; accepted = 0; completed = 0;
+      next_cid = 0; service_ewma_ms = 1000.0; ever_ready = false;
+      spawn_fail_streak = 0; accepted = 0; completed = 0;
       failed = 0; cancelled = 0; busy = 0; rejected = 0; resumed = 0;
-      quarantined_n = 0; requeued = 0; evicted = 0 }
+      quarantined_n = 0; requeued = 0; evicted = 0; respawns = 0;
+      kills_term = 0; kills_kill = 0 }
+  in
+  let chld_byte = Bytes.make 1 '\001' in
+  let previous_sigchld =
+    match t.pool with
+    | In_process -> None
+    | Workers _ -> (
+      match
+        Sys.signal Sys.sigchld
+          (Sys.Signal_handle
+             (fun _ ->
+               try ignore (Unix.write t.sigchld_w chld_byte 0 1)
+               with Unix.Unix_error _ -> ()))
+      with
+      | s -> Some s
+      | exception (Invalid_argument _ | Sys_error _) -> None)
   in
   (match cfg.trace with
   | None -> ()
@@ -919,8 +1454,9 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     (Store.pending t.store);
   trace_event t "serve-start"
     [ ("resumed", Obs.Trace.I t.resumed);
-      ("runners", Obs.Trace.I cfg.runners) ];
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      ("runners", Obs.Trace.I cfg.runners);
+      ("pool", Obs.Trace.S (pool_label t)) ];
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Rb_util.Fsfile.remove_if_exists cfg.socket;
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
   Unix.listen listen_fd 64;
@@ -928,7 +1464,9 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
   on_ready cfg.socket;
   let accept_new () =
     let rec go () =
-      match Rb_util.Retry.on_eintr (fun () -> Unix.accept listen_fd) with
+      match
+        Rb_util.Retry.on_eintr (fun () -> Unix.accept ~cloexec:true listen_fd)
+      with
       | fd, _ ->
         Unix.set_nonblock fd;
         let cid = t.next_cid in
@@ -945,17 +1483,47 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     in
     go ()
   in
+  let drain_sigchld () =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read sigchld_r buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
   let conn_list () = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   let all_flushed () =
     List.for_all (fun c -> Outbuf.is_empty c.out) (conn_list ())
   in
   let finished () =
-    (t.shutting_down && t.slots = [] && all_flushed ())
-    || (t.draining && t.slots = [] && Fairq.depth t.queue = 0 && all_flushed ())
+    (t.shutting_down && active_jobs t = 0 && all_flushed ())
+    || (t.draining
+       && active_jobs t = 0
+       && Fairq.depth t.queue = 0
+       && all_flushed ())
   in
   while not (finished ()) do
     let conns = conn_list () in
-    let rds = listen_fd :: List.map (fun c -> c.fd) conns in
+    (* (fd, slot) pairs rebuilt each tick from live worker state *)
+    let wfds =
+      match t.pool with
+      | In_process -> []
+      | Workers ws ->
+        Array.to_list ws
+        |> List.filter_map (fun s ->
+               match worker_of s with
+               | Some w when w.Procpool.alive -> Some (w.Procpool.fd, s)
+               | _ -> None)
+    in
+    let rds =
+      (listen_fd :: sigchld_r :: List.map fst wfds)
+      @ List.map (fun c -> c.fd) conns
+    in
     let wrs =
       List.filter_map
         (fun c -> if not (Outbuf.is_empty c.out) then Some c.fd else None)
@@ -971,12 +1539,20 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
     List.iter
       (fun c -> if (not c.closed) && List.mem c.fd wr then try_flush c)
       conns;
+    (* worker frames before the reap so a Job_done beats its own SIGCHLD;
+       the reap before the watchdog so deaths become respawns this tick *)
+    List.iter
+      (fun (fd, wslot) -> if List.mem fd rd then read_worker t wslot)
+      wfds;
+    if List.mem sigchld_r rd then drain_sigchld ();
+    reap_children t;
     (* draining still dispatches — the point is to finish the queue *)
     if not t.shutting_down then dispatch t;
     poll_slots t;
+    poll_workers t;
     if t.shutting_down then
       (* still drain finished work, but start nothing new *)
-      metric_gauge t "serve.active" (float_of_int (List.length t.slots));
+      metric_gauge t "serve.active" (float_of_int (active_jobs t));
     (* eager flush: a response written this tick should not wait for the
        next select round trip *)
     List.iter (fun c -> if not c.closed then try_flush c) (conn_list ());
@@ -1003,9 +1579,15 @@ let run ?(on_ready = fun (_ : string) -> ()) cfg =
           close_conn t c)
       (conn_list ())
   done;
+  shutdown_pool t;
   List.iter (fun c -> close_conn t c) (conn_list ());
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   Rb_util.Fsfile.remove_if_exists cfg.socket;
+  (match previous_sigchld with
+  | Some s -> (try Sys.set_signal Sys.sigchld s with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ());
+  (try Unix.close sigchld_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.sigchld_w with Unix.Unix_error _ -> ());
   (match previous_sigpipe with
   | Some s -> (try Sys.set_signal Sys.sigpipe s with Invalid_argument _ | Sys_error _ -> ())
   | None -> ());

@@ -2,12 +2,13 @@
 
     One single-threaded [Unix.select] event loop owns the listening
     Unix-domain socket, every client connection, the {!Fairq} admission
-    queue and the durable {!Store}; repair jobs themselves run on
-    runner-slot domains (at most [runners] concurrent jobs, each internally
-    domain-parallel via [Exec.Checkpoint.run]). The loop never blocks on a
-    job: slots signal completion through an atomic flag the loop polls each
-    tick, and stream per-case reports through a mutex-guarded queue the
-    loop drains into CASE frames.
+    queue and the durable {!Store}; repair jobs run on a supervised pool
+    of worker OS processes ({!Procpool} — at most [runners] concurrent
+    jobs, each internally domain-parallel via [Exec.Checkpoint.run]).
+    The loop never blocks on a job: workers stream CASE frames and
+    heartbeats over their control socketpairs, folded into the same
+    [select] as the client sockets, and a SIGCHLD self-pipe wakes the
+    loop the instant a worker dies.
 
     Durability contract: a job is ACCEPTED only after its submission record
     is fsynced into the store, each job runs under its own write-ahead
@@ -18,14 +19,25 @@
     the {!Store.fsck} scrub, so a damaged state dir degrades to classified,
     contained damage — never a failure to boot.
 
-    Supervision: a per-slot watchdog aborts jobs that stall past
+    Supervision: a per-slot watchdog targets jobs that stall past
     [stall_timeout_s] without completing a case or run past the
-    [job_timeout_s] wall ceiling — cooperatively at the next case boundary
-    when possible, by abandoning the hung domain (OCaml domains cannot be
-    killed) when not. A crashed or abandoned attempt requeues the job at
-    its journal frontier; a job that spends its [max_crashes] budget —
-    counted durably, across whole-server kills — is quarantined as poison
-    with its journal and backtrace preserved for triage.
+    [job_timeout_s] wall ceiling, escalating cooperative Cancel frame →
+    SIGTERM (at half the grace) → SIGKILL (at the full grace). SIGKILL is
+    unconditional: a SIGSTOP'd, hard-looping or OOM-thrashing worker is
+    reclaimed within [stall_timeout_s + abandon_grace_s], always. Each
+    worker runs exactly one job attempt under optional OS resource caps
+    (RLIMIT_AS from [worker_mem_mb], RLIMIT_CPU from [job_timeout_s]),
+    then exits; dead workers respawn under seeded-jitter exponential
+    backoff. A crashed or killed attempt requeues the job at its journal
+    frontier; a job that spends its [max_crashes] budget — counted
+    durably, across whole-server kills — is quarantined as poison with
+    its journal preserved for triage.
+
+    [--in-process] mode ([worker_argv = None]) keeps the previous
+    runner-domain path: cooperative aborts only, with hung domains
+    abandoned as zombies (OCaml domains cannot be killed). The server
+    also falls back to it automatically if worker spawning fails before
+    any worker ever completes the handshake.
 
     Admission control: a full queue or an over-quota tenant gets an
     explicit BUSY frame carrying a retry-after hint derived from an EWMA of
@@ -36,16 +48,19 @@
     durable results file makes that safe. *)
 
 (** Deterministic fault injection for the chaos harness: fires at every
-    case boundary inside the runner domain. *)
-type poison_mode =
-  | Poison_exit   (** [Unix._exit]: the whole server dies mid-case *)
+    case boundary inside the runner (worker process or domain). *)
+type poison_mode = Jobrun.poison_mode =
+  | Poison_exit   (** [Unix._exit 66]: the runner process dies mid-job *)
   | Poison_hang   (** sleep forever: only the watchdog reclaims the slot *)
   | Poison_raise  (** ordinary exception: isolated as a job failure *)
+  | Poison_stop   (** SIGSTOP itself: unsignallable except by SIGKILL *)
+  | Poison_kill   (** SIGKILL itself: instant death, nothing flushed *)
+  | Poison_oom    (** allocate until RLIMIT_AS (or a bound) kills it *)
 
 type config = {
   socket : string;           (** Unix-domain socket path to bind *)
   state_dir : string;        (** {!Store} root; survives restarts *)
-  runners : int;             (** concurrent job slots (domains) *)
+  runners : int;             (** concurrent job slots (workers/domains) *)
   domains_per_job : int option;
       (** scheduler width for jobs whose opts leave [domains] unset *)
   max_queue : int;           (** bounded inbound queue (jobs) *)
@@ -53,21 +68,29 @@ type config = {
   weights : (string * int) list;  (** fair-queue tenant weights *)
   default_opts : Exec.Campaign_opts.t;
       (** applied when SUBMIT carries no opts *)
-  tick_s : float;            (** select timeout; slot-poll cadence *)
+  tick_s : float;            (** select timeout; watchdog-poll cadence *)
   max_crashes : int;
       (** crash budget before a job is quarantined as poison *)
   stall_timeout_s : float;
       (** watchdog: max wall seconds between completed cases *)
-  job_timeout_s : float;     (** watchdog: wall ceiling per job attempt *)
+  job_timeout_s : float;     (** watchdog: wall ceiling per job attempt;
+                                 also sizes the worker RLIMIT_CPU cap *)
   abandon_grace_s : float;
-      (** wall seconds after the cooperative abort before a hung runner
-          domain is abandoned as a zombie and its slot reclaimed *)
+      (** wall seconds from the cooperative abort to SIGKILL (SIGTERM
+          fires halfway); in-process mode: time before a hung domain is
+          abandoned as a zombie and its slot reclaimed *)
   out_limit : int;           (** per-connection outbound buffer bound, bytes *)
   evict_idle_s : float;
       (** evict a connection with pending output whose socket has taken
           nothing for this long *)
-  poison : (string -> poison_mode option) option;
-      (** chaos hook, called with each case name at its case boundary *)
+  poison : (string * poison_mode) list;
+      (** chaos plan, case name -> fault fired at its case boundary;
+          declarative so it serializes into worker Job frames *)
+  worker_argv : string array option;
+      (** worker-process command line (typically the server's own binary
+          with a hidden subcommand); [None] = in-process runner domains *)
+  worker_mem_mb : int;       (** RLIMIT_AS cap per worker, MiB; 0 = none *)
+  rng_seed : int;            (** seeds respawn-backoff jitter *)
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }
@@ -75,8 +98,9 @@ type config = {
 val default_config : config
 (** socket ["rustbrain.sock"], state dir ["serve-state"], 2 runners,
     queue bound 128, quota 64, 20ms tick; crash budget 3, 5min stall /
-    1h job watchdog, 8 MiB outbound bound, 30s eviction; no poison,
-    no trace/metrics. *)
+    1h job watchdog, 1s abandon grace, 8 MiB outbound bound, 30s
+    eviction; no poison, in-process runners ([worker_argv = None]), no
+    memory cap, seed [0x5eed], no trace/metrics. *)
 
 type summary = {
   accepted : int;
@@ -97,7 +121,10 @@ val run : ?on_ready:(string -> unit) -> config -> summary
     drained (queued-but-unstarted jobs stay durable for the next start),
     or until a DRAIN frame's graceful wind-down completes: admission
     closes, the queue and in-flight slots finish, every connection is
-    flushed, then the loop exits. [on_ready] is called with the socket
+    flushed, then the loop exits. On either exit path every worker
+    process is terminated (SIGTERM, short grace, SIGKILL) and reaped —
+    no children outlive the server. [on_ready] is called with the socket
     path once it is bound and listening — the hook tests and the smoke
-    gate use to know when to connect. Installs a [SIGPIPE] ignore handler
-    for the duration. *)
+    gate use to know when to connect. Installs [SIGPIPE] ignore and
+    (worker mode) [SIGCHLD] self-pipe handlers for the duration,
+    restoring the previous handlers on exit. *)

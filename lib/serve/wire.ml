@@ -126,6 +126,12 @@ type response =
       quarantined : int;
       draining : bool;
       slots : (int * string) list;  (** slot index -> state label *)
+      pool : string;                (** "workers" | "in-process" *)
+      worker_pids : int list;       (** live worker processes *)
+      respawns : int;               (** workers respawned after a death *)
+      kills_term : int;             (** watchdog SIGTERMs sent *)
+      kills_kill : int;             (** watchdog SIGKILLs sent *)
+      zombies : int;                (** abandoned domains (in-process mode) *)
     }
   | Error_msg of string
 
@@ -272,7 +278,9 @@ let response_to_string = function
         Obj
           [ ("type", Str "draining"); ("active", num active);
             ("queued", num queued) ]
-      | Health { queued; running; quarantined; draining; slots } ->
+      | Health
+          { queued; running; quarantined; draining; slots; pool; worker_pids;
+            respawns; kills_term; kills_kill; zombies } ->
         Obj
           [ ("type", Str "health"); ("queued", num queued);
             ("running", num running); ("quarantined", num quarantined);
@@ -281,7 +289,11 @@ let response_to_string = function
               List
                 (List.map
                    (fun (i, s) -> Obj [ ("slot", num i); ("state", Str s) ])
-                   slots) ) ]
+                   slots) );
+            ("pool", Str pool);
+            ("worker_pids", List (List.map num worker_pids));
+            ("respawns", num respawns); ("kills_term", num kills_term);
+            ("kills_kill", num kills_kill); ("zombies", num zombies) ]
       | Error_msg msg -> Obj [ ("type", Str "error"); ("msg", Str msg) ])
 
 let response_of_json json =
@@ -413,7 +425,25 @@ let response_of_json json =
             | _ -> None)
           l
     in
-    Ok (Health { queued; running; quarantined; draining; slots })
+    (* pool fields absent on pre-procpool servers: default to the only
+       mode those servers had *)
+    let opt_int name =
+      Option.value ~default:0 (Option.bind (member name json) to_int)
+    in
+    let pool =
+      Option.value ~default:"in-process"
+        (Option.bind (member "pool" json) to_str)
+    in
+    let worker_pids =
+      match Option.bind (member "worker_pids" json) to_list with
+      | None -> []
+      | Some l -> List.filter_map to_int l
+    in
+    Ok
+      (Health
+         { queued; running; quarantined; draining; slots; pool; worker_pids;
+           respawns = opt_int "respawns"; kills_term = opt_int "kills_term";
+           kills_kill = opt_int "kills_kill"; zombies = opt_int "zombies" })
   | "error" ->
     let* msg = str "msg" in
     Ok (Error_msg msg)

@@ -193,7 +193,13 @@ let test_response_roundtrip () =
       Wire.Draining { active = 1; queued = 2 };
       Wire.Health
         { queued = 2; running = 1; quarantined = 1; draining = false;
-          slots = [ (0, "running job 4"); (1, "idle") ] };
+          slots = [ (0, "running job 4 (pid 123)"); (1, "idle") ];
+          pool = "workers"; worker_pids = [ 123; 456 ]; respawns = 2;
+          kills_term = 1; kills_kill = 1; zombies = 0 };
+      Wire.Health
+        { queued = 0; running = 0; quarantined = 0; draining = true;
+          slots = []; pool = "in-process"; worker_pids = []; respawns = 0;
+          kills_term = 0; kills_kill = 0; zombies = 1 };
       Wire.Error_msg "bad frame length 0" ]
   in
   List.iter
@@ -819,6 +825,121 @@ let test_fsfile_mkdir_p_nested () =
       (* fsync_dir is best-effort: a missing path must not raise *)
       Rb_util.Fsfile.fsync_dir (Filename.concat dir "no-such-dir"))
 
+(* -- worker-pool protocol (procpool) ------------------------------------- *)
+
+module Procpool = Serve.Procpool
+module Jobrun = Serve.Jobrun
+
+let test_procpool_job_roundtrip () =
+  let spec =
+    { Procpool.id = 7;
+      backend = "rustbrain";
+      cases = [ "case-a"; "case \"b\"" ];
+      opts = wire_opts;
+      journal_dir = "/tmp/state/jobs/job-000007";
+      results_path = "/tmp/state/results/job-000007.jsonl";
+      domains = Some 3;
+      poison =
+        [ ("case-a", Jobrun.Poison_stop); ("case \"b\"", Jobrun.Poison_oom) ] }
+  in
+  List.iter
+    (fun msg ->
+      match Procpool.to_worker_of_string (Procpool.to_worker_string msg) with
+      | Ok m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "to-worker round-trips: %s"
+             (Procpool.to_worker_string msg))
+          true (m = msg)
+      | Error e -> Alcotest.failf "to-worker rejected: %s" e)
+    [ Procpool.Job spec;
+      Procpool.Job { spec with domains = None; poison = [] };
+      Procpool.Cancel ]
+
+let test_procpool_server_roundtrip () =
+  let report_json =
+    Rb_util.Json.(to_string (Obj [ ("v", Num 1.0); ("case", Str "x") ]))
+  in
+  List.iter
+    (fun msg ->
+      match Procpool.to_server_of_string (Procpool.to_server_string msg) with
+      | Ok m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "to-server round-trips: %s"
+             (Procpool.to_server_string msg))
+          true (m = msg)
+      | Error e -> Alcotest.failf "to-server rejected: %s" e)
+    [ Procpool.Hello { pid = 4242 };
+      Procpool.Heartbeat;
+      Procpool.Case_done { seq = 3; case = "c\"x"; seed = 42; report_json };
+      Procpool.Job_done { cases = 4; passed = 3; failed = None; replayed = 2 };
+      Procpool.Job_done
+        { cases = 0; passed = 0; failed = Some "boom"; replayed = 0 } ]
+
+let test_procpool_case_done_verbatim () =
+  (* like Wire.Case: the report member must be spliced bytes, not a
+     re-rendering — both isolation modes stream the exact bytes the
+     results file stores *)
+  let report_json = Rustbrain.Report.to_json (mk_report ()) in
+  let rendered =
+    Procpool.to_server_string
+      (Procpool.Case_done { seq = 0; case = "case-a"; seed = 7; report_json })
+  in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report spliced verbatim" true
+    (contains ~needle:(Printf.sprintf "\"report\":%s" report_json) rendered)
+
+let test_procpool_malformed () =
+  List.iter
+    (fun s ->
+      match Procpool.to_worker_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed to-worker: %s" s)
+    [ "nope"; "{}"; {|{"type":"job"}|}; {|{"type":"warp"}|} ];
+  List.iter
+    (fun s ->
+      match Procpool.to_server_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed to-server: %s" s)
+    [ "nope"; "{}"; {|{"type":"case"}|}; {|{"type":"warp"}|} ]
+
+let test_poison_labels () =
+  List.iter
+    (fun m ->
+      match Jobrun.poison_of_label (Jobrun.poison_label m) with
+      | Some m' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "poison label round-trips: %s" (Jobrun.poison_label m))
+          true (m = m')
+      | None -> Alcotest.failf "label %s unreadable" (Jobrun.poison_label m))
+    [ Jobrun.Poison_exit; Jobrun.Poison_hang; Jobrun.Poison_raise;
+      Jobrun.Poison_stop; Jobrun.Poison_kill; Jobrun.Poison_oom ];
+  Alcotest.(check bool) "unknown label refused" true
+    (Jobrun.poison_of_label "warp" = None)
+
+let test_procpool_backoff () =
+  let rng = Rb_util.Rng.create 11 in
+  (* bounds: jitter is ±25%, base doubles from 0.25s and caps at 30s *)
+  for failures = 1 to 12 do
+    let base = Float.min 30.0 (0.25 *. Float.pow 2.0 (float_of_int (failures - 1))) in
+    for _ = 1 to 50 do
+      let d = Procpool.backoff_delay ~failures rng in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay in jitter band at %d failures" failures)
+        true
+        (d >= (0.75 *. base) -. 1e-9 && d <= (1.25 *. base) +. 1e-9)
+    done
+  done;
+  (* determinism: same seed, same draws *)
+  let a = List.init 8 (fun i -> Procpool.backoff_delay ~failures:(i + 1)
+                                  (Rb_util.Rng.create 5)) in
+  let b = List.init 8 (fun i -> Procpool.backoff_delay ~failures:(i + 1)
+                                  (Rb_util.Rng.create 5)) in
+  Alcotest.(check (list (float 1e-12))) "seeded jitter deterministic" a b
+
 let suite =
   [ Alcotest.test_case "wire: framing round-trip" `Quick test_framing_roundtrip;
     Alcotest.test_case "wire: byte-at-a-time feed" `Quick
@@ -886,4 +1007,16 @@ let suite =
     Alcotest.test_case "report: wrong version refused" `Quick
       test_report_version_rejected;
     Alcotest.test_case "fsfile: mkdir_p durability chain" `Quick
-      test_fsfile_mkdir_p_nested ]
+      test_fsfile_mkdir_p_nested;
+    Alcotest.test_case "procpool: job codec round-trip" `Quick
+      test_procpool_job_roundtrip;
+    Alcotest.test_case "procpool: server codec round-trip" `Quick
+      test_procpool_server_roundtrip;
+    Alcotest.test_case "procpool: case frame splices report verbatim" `Quick
+      test_procpool_case_done_verbatim;
+    Alcotest.test_case "procpool: malformed frames rejected" `Quick
+      test_procpool_malformed;
+    Alcotest.test_case "procpool: poison labels round-trip" `Quick
+      test_poison_labels;
+    Alcotest.test_case "procpool: respawn backoff bounds" `Quick
+      test_procpool_backoff ]
