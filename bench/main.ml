@@ -896,14 +896,16 @@ let interp_workloads =
     ("race-check", interp_race_src ~iters:1200);
     ("call-locals", interp_calls_src ~calls:4000) ]
 
-let interp_run ?(seed = 1) src =
+let interp_run ?(seed = 1) ?(engine = Miri.Machine.default_config.Miri.Machine.engine)
+    src =
   let program = Minirust.Parser.parse src in
   match Minirust.Typecheck.check program with
   | Error errs ->
     failwith ("interp workload does not typecheck: " ^ Minirust.Typecheck.errors_to_string errs)
   | Ok info ->
     let config =
-      { Miri.Machine.default_config with Miri.Machine.seed; max_steps = 500_000_000 }
+      { Miri.Machine.default_config with Miri.Machine.seed; max_steps = 500_000_000;
+        engine }
     in
     Miri.Machine.run ~config program info
 
@@ -911,25 +913,38 @@ let bench_file = "BENCH_interp.json"
 
 let interp () =
   section "interp — interpreter hot-path microbenchmarks (real wall-clock)";
+  (* Interleave the tree-walk and bytecode timings round by round (same warm
+     state, same GC phase, like obs-overhead does) and keep the per-engine
+     minimum: back-to-back blocks would flatter whichever engine ran second
+     on a freshly warmed cache. The interpreter is deterministic, so min
+     wall-clock is the least noisy estimator. *)
+  let time f =
+    Gc.minor ();
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
   let measure src =
-    (* warm once, then best-of-3: the interpreter is deterministic, so min
-       wall-clock is the least noisy estimator *)
-    ignore (interp_run src);
-    let times =
-      List.init 3 (fun _ ->
-          let t0 = Unix.gettimeofday () in
-          let r = interp_run src in
-          (Unix.gettimeofday () -. t0, r))
-    in
-    let best = List.fold_left (fun a (t, _) -> min a t) infinity (List.map Fun.id times) in
-    let _, r = List.hd times in
-    (best, r)
+    let run_tree () = interp_run ~engine:Miri.Machine.Tree_walk src in
+    let run_vm () = interp_run ~engine:Miri.Machine.Bytecode src in
+    let rt = run_tree () in
+    let rv = run_vm () in
+    if rt.Miri.Machine.steps <> rv.Miri.Machine.steps then
+      failwith
+        (Printf.sprintf "engine step divergence: tree %d vs bytecode %d"
+           rt.Miri.Machine.steps rv.Miri.Machine.steps);
+    let tree = ref infinity and vm = ref infinity in
+    for _ = 1 to 5 do
+      tree := min !tree (time run_tree);
+      vm := min !vm (time run_vm)
+    done;
+    (!vm, !tree, rv.Miri.Machine.steps)
   in
   let rows =
     List.map
       (fun (name, src) ->
-        let t, r = measure src in
-        (name, t, r.Miri.Machine.steps))
+        let t, tree_t, steps = measure src in
+        (name, t, tree_t, steps))
       interp_workloads
   in
   (* preserve the first recorded run as the baseline forever: the committed
@@ -952,38 +967,56 @@ let interp () =
       | _ -> member "current" j)
     | None -> None
   in
+  (* the tree-walker numbers this file last recorded as "current" — pinned
+     once, at the bytecode transition, so the tree->bytecode delta stays on
+     record alongside the original pre-memory-overhaul baseline *)
+  let previous_current =
+    match previous with
+    | Some j -> (
+      match member "previous_current" j with
+      | Some (Obj _ as p) -> Some p
+      | _ -> ( match member "current" j with Some (Obj _ as p) -> Some p | _ -> None))
+    | None -> None
+  in
   let current =
     Obj
       (List.map
-         (fun (name, t, steps) ->
+         (fun (name, t, _, steps) ->
            (name, Obj [ ("ms", Num (1000.0 *. t)); ("steps", Num (float_of_int steps)) ]))
          rows)
   in
-  let speedup =
-    match baseline with
+  let tree_walk =
+    Obj (List.map (fun (name, _, tree_t, _) -> (name, Obj [ ("ms", Num (1000.0 *. tree_t)) ])) rows)
+  in
+  let speedup_against key doc_opt =
+    match doc_opt with
     | Some b ->
       let ratios =
         List.filter_map
-          (fun (name, t, _) ->
+          (fun (name, t, _, _) ->
             match Option.bind (member name b) (member "ms") with
             | Some (Num before_ms) when t > 0.0 ->
               Some (name, Num (before_ms /. (1000.0 *. t)))
             | _ -> None)
           rows
       in
-      if ratios = [] then [] else [ ("speedup", Obj ratios) ]
+      if ratios = [] then [] else [ (key, Obj ratios) ]
     | None -> []
   in
+  let speedup = speedup_against "speedup" baseline in
+  let speedup_prev = speedup_against "speedup_vs_previous" previous_current in
   let doc =
     Obj
       ((("campaign", Str "interp")
         :: (match baseline with Some b -> [ ("baseline", b) ] | None -> []))
-      @ [ ("current", current) ]
-      @ speedup)
+      @ (match previous_current with Some p -> [ ("previous_current", p) ] | None -> [])
+      @ [ ("current", current); ("tree_walk", tree_walk) ]
+      @ speedup @ speedup_prev)
   in
   Rb_util.Fsfile.write_atomic bench_file (to_string doc ^ "\n");
-  let fmt_speedup name =
-    match speedup with
+  let fmt_ratio key name =
+    let table = match key with "speedup" -> speedup | _ -> speedup_prev in
+    match table with
     | [ (_, Obj ratios) ] -> (
       match List.assoc_opt name ratios with
       | Some (Num x) -> Printf.sprintf "%.2fx" x
@@ -992,12 +1025,28 @@ let interp () =
   in
   print_string
     (Statkit.Table.render
-       ~header:[ "workload"; "time(ms)"; "steps"; "speedup vs baseline" ]
+       ~header:
+         [ "workload"; "bytecode(ms)"; "tree-walk(ms)"; "steps"; "vs tree";
+           "vs baseline" ]
        (List.map
-          (fun (name, t, steps) ->
-            [ name; Printf.sprintf "%.1f" (1000.0 *. t); string_of_int steps;
-              fmt_speedup name ])
+          (fun (name, t, tree_t, steps) ->
+            [ name; Printf.sprintf "%.1f" (1000.0 *. t);
+              Printf.sprintf "%.1f" (1000.0 *. tree_t); string_of_int steps;
+              (if t > 0.0 then Printf.sprintf "%.2fx" (tree_t /. t) else "-");
+              fmt_ratio "speedup" name ])
           rows));
+  (match speedup_prev with
+  | [ (_, Obj ratios) ] ->
+    let vals =
+      List.filter_map (function _, Num x when x > 0.0 -> Some x | _ -> None) ratios
+    in
+    if vals <> [] then
+      let g =
+        exp (List.fold_left (fun a x -> a +. log x) 0.0 vals
+             /. float_of_int (List.length vals))
+      in
+      Printf.printf "\ngeomean speedup vs previous current: %.2fx\n" g
+  | _ -> ());
   Printf.printf "\nresults written to %s\n" bench_file
 
 (* -- interp smoke gate (dune runtest alias interp-smoke) ---------------- *)
@@ -1073,6 +1122,101 @@ let interp_smoke () =
    | _ -> fail "ub-smoke: expected a UB outcome");
   if !failures > 0 then exit 1;
   print_endline "interp smoke ok"
+
+(* -- bytecode differential gate (dune runtest alias bytecode-smoke) ----- *)
+
+(* Every corpus case (buggy and fixed, Stop_first and Collect, tracing on)
+   plus the interp workloads across scheduler seeds, executed by both the
+   bytecode VM and the tree-walker; every observable — outcome, print
+   trace, diagnostic strings, borrow/allocation events, step and error
+   counts — must be byte-identical. This is the differential contract that
+   lets the default engine be the VM while the golden corpus stays the
+   single source of expected diagnostics. *)
+
+let bytecode_smoke () =
+  section "Bytecode smoke — VM vs tree-walker differential gate";
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL %s\n" s; incr failures) fmt in
+  let render (r : Miri.Machine.run_result) =
+    let b = Buffer.create 256 in
+    let outcome =
+      match r.Miri.Machine.outcome with
+      | Miri.Machine.Finished -> "finished"
+      | Miri.Machine.Panicked m -> "panicked: " ^ m
+      | Miri.Machine.Ub d -> "ub: " ^ Miri.Diag.to_string d
+      | Miri.Machine.Step_limit -> "step-limit"
+      | Miri.Machine.Resource_limit m -> "resource-limit: " ^ m
+    in
+    Buffer.add_string b
+      (Printf.sprintf "outcome: %s\nsteps: %d errors: %d\n" outcome
+         r.Miri.Machine.steps r.Miri.Machine.error_count);
+    List.iter (fun s -> Buffer.add_string b ("out: " ^ s ^ "\n")) r.Miri.Machine.output;
+    List.iter
+      (fun d -> Buffer.add_string b ("diag: " ^ Miri.Diag.to_string d ^ "\n"))
+      r.Miri.Machine.diags;
+    List.iter (fun e -> Buffer.add_string b ("event: " ^ e ^ "\n")) r.Miri.Machine.events;
+    Buffer.contents b
+  in
+  let first_divergence want got =
+    let wl = String.split_on_char '\n' want and gl = String.split_on_char '\n' got in
+    let rec go i = function
+      | w :: ws, g :: gs -> if w = g then go (i + 1) (ws, gs) else (i, w, g)
+      | w :: _, [] -> (i, w, "<end>")
+      | [], g :: _ -> (i, "<end>", g)
+      | [], [] -> (i, "", "")
+    in
+    go 1 (wl, gl)
+  in
+  let checked = ref 0 in
+  let check ?(max_steps = Miri.Machine.default_config.Miri.Machine.max_steps) label
+      src ~mode ~seed ~inputs ~trace =
+    let program = Minirust.Parser.parse src in
+    match Minirust.Typecheck.check program with
+    | Error _ -> ()  (* differential gate only covers well-typed programs *)
+    | Ok info ->
+      let config engine =
+        { Miri.Machine.default_config with
+          Miri.Machine.mode; seed; inputs; trace; max_steps; engine }
+      in
+      let tree =
+        render (Miri.Machine.run ~config:(config Miri.Machine.Tree_walk) program info)
+      in
+      let vm =
+        render (Miri.Machine.run ~config:(config Miri.Machine.Bytecode) program info)
+      in
+      incr checked;
+      if tree <> vm then begin
+        let line, w, g = first_divergence tree vm in
+        fail "%s: engines diverge at line %d\n  tree:     %s\n  bytecode: %s" label
+          line w g
+      end
+  in
+  List.iter
+    (fun (c : Dataset.Case.t) ->
+      let inputs = match c.Dataset.Case.probes with p :: _ -> p | [] -> [||] in
+      List.iter
+        (fun (variant, src) ->
+          List.iter
+            (fun (mode_name, mode) ->
+              check
+                (Printf.sprintf "%s/%s/%s" c.Dataset.Case.name variant mode_name)
+                src ~mode ~seed:1 ~inputs ~trace:true)
+            [ ("stop-first", Miri.Machine.Stop_first);
+              ("collect-5", Miri.Machine.Collect 5) ])
+        [ ("buggy", c.Dataset.Case.buggy_src); ("fixed", c.Dataset.Case.fixed_src) ])
+    Dataset.Corpus.all;
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun seed ->
+          check ~max_steps:500_000_000
+            (Printf.sprintf "%s/seed-%d" name seed)
+            src ~mode:Miri.Machine.Stop_first ~seed ~inputs:[||] ~trace:false)
+        [ 1; 2; 7 ])
+    (("ub-probe", interp_smoke_ub_src) :: interp_workloads);
+  Printf.printf "compared %d program runs across both engines\n" !checked;
+  if !failures > 0 then exit 1;
+  print_endline "bytecode smoke ok"
 
 (* -- trace smoke gate (dune runtest alias trace-smoke) ------------------ *)
 
@@ -2394,6 +2538,7 @@ let experiments =
     ("resilience", resilience); ("resilience-smoke", resilience_smoke);
     ("chaos", chaos); ("resume-smoke", resume_smoke);
     ("interp", interp); ("interp-smoke", interp_smoke);
+    ("bytecode-smoke", bytecode_smoke);
     ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead);
     ("serve-smoke", serve_smoke); ("chaos-serve", chaos_serve);
     ("procpool-smoke", procpool_smoke); ("serve-bench", serve_bench) ]

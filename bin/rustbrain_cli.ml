@@ -203,7 +203,13 @@ let check_cmd =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Record and print allocation/retag/invalidation events.")
   in
-  let run file inputs collect seed trace =
+  let tree_walk =
+    Arg.(value & flag & info [ "tree-walk" ]
+           ~doc:"Interpret with the original tree-walking evaluator instead of \
+                 the bytecode VM (differential-testing escape hatch; results \
+                 are byte-identical).")
+  in
+  let run file inputs collect seed trace tree_walk =
     match load file with
     | Error msg ->
       prerr_endline msg;
@@ -215,7 +221,9 @@ let check_cmd =
       let config =
         { Miri.Machine.default_config with
           Miri.Machine.mode; seed; max_steps = 1_000_000;
-          inputs = parse_inputs inputs; trace }
+          inputs = parse_inputs inputs; trace;
+          engine =
+            (if tree_walk then Miri.Machine.Tree_walk else Miri.Machine.Bytecode) }
       in
       match Miri.Machine.analyze ~config program with
       | Miri.Machine.Compile_error msg ->
@@ -228,7 +236,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Detect undefined behaviour in a MiniRust file (Miri substrate).")
-    Term.(const run $ file $ inputs $ collect $ seed $ trace)
+    Term.(const run $ file $ inputs $ collect $ seed $ trace $ tree_walk)
 
 (* -- fix ----------------------------------------------------------------- *)
 
@@ -250,10 +258,12 @@ let fix_cmd =
   in
   let profile =
     Arg.(value & flag & info [ "profile" ]
-           ~doc:"Print per-phase wall time (parse, typecheck, interpret, repair, \
-                 re-verify) to stderr.")
+           ~doc:"Print per-phase wall time (parse, typecheck, lower, interpret, \
+                 repair, re-verify) to stderr.")
   in
-  let profile_phases = [ "parse"; "typecheck"; "interpret"; "repair"; "re-verify" ] in
+  let profile_phases =
+    [ "parse"; "typecheck"; "lower"; "interpret"; "repair"; "re-verify" ]
+  in
   let run file inputs model temperature json profile opts =
     match
       match opts with
@@ -334,11 +344,12 @@ let fix_cmd =
         in
         let kb = Knowledge.Kb.create ~clock () in
         Knowledge.Kb.seed_default kb;
-        (* timing-only when --profile: the pipeline re-typechecks every
-           candidate itself, so a failure here must not change control flow *)
-        ignore
-          (Obs.Trace.in_span "typecheck" (fun () -> Minirust.Typecheck.check program)
-            : (Minirust.Typecheck.info, Minirust.Typecheck.error list) result);
+        (* the pipeline re-typechecks every candidate itself, so a failure
+           here must not change control flow: ill-typed falls through to the
+           same Panic_bug category the old analyze path produced *)
+        let tc =
+          Obs.Trace.in_span "typecheck" (fun () -> Minirust.Typecheck.check program)
+        in
         let scorer p =
           match Minirust.Typecheck.check p with
           | Error _ -> 0.02
@@ -368,16 +379,22 @@ let fix_cmd =
             Miri.Machine.mode = Miri.Machine.Stop_first; seed = 42;
             max_steps = 200_000; inputs = probe; trace = false }
         in
+        (* lowering is its own profile phase so the interpret span times
+           only VM execution, not compilation to bytecode *)
         let category =
-          match
-            Obs.Trace.in_span "interpret" (fun () ->
-                Miri.Machine.analyze ~config:machine_config program)
-          with
-          | Miri.Machine.Ran r -> (
+          match tc with
+          | Error _ -> Miri.Diag.Panic_bug
+          | Ok info -> (
+            let code =
+              Obs.Trace.in_span "lower" (fun () -> Miri.Machine.lower program info)
+            in
+            let r =
+              Obs.Trace.in_span "interpret" (fun () ->
+                  Miri.Machine.run_lowered ~config:machine_config program info code)
+            in
             match Miri.Machine.first_ub r with
             | Some d -> d.Miri.Diag.kind
             | None -> Miri.Diag.Panic_bug)
-          | Miri.Machine.Compile_error _ -> Miri.Diag.Panic_bug
         in
         let exec =
           Obs.Trace.in_span "repair" (fun () ->
@@ -451,14 +468,21 @@ let fix_cmd =
     (match prof with
     | None -> ()
     | Some (_, recorded) ->
+      (* repair-phase candidate runs emit their own nested "lower" spans;
+         only the first record per phase — the explicit top-level span,
+         which completes before any nested repeat — is the phase timing *)
+      let seen = Hashtbl.create 8 in
       List.iter
         (fun (r : Obs.Trace.record) ->
           if
             r.Obs.Trace.kind = Obs.Trace.Span
             && List.mem r.Obs.Trace.name profile_phases
-          then
+            && not (Hashtbl.mem seen r.Obs.Trace.name)
+          then begin
+            Hashtbl.add seen r.Obs.Trace.name ();
             Printf.eprintf "profile: %-9s %8.2f ms\n%!" r.Obs.Trace.name
-              r.Obs.Trace.wall_ms)
+              r.Obs.Trace.wall_ms
+          end)
         (recorded ()));
     Option.iter Obs.Trace.close file_sink;
     print_metrics registry;

@@ -120,12 +120,17 @@ let canonical_run_memo :
   Domain.DLS.new_key (fun () -> Hashtbl.create 128)
 
 let run_config_key (c : Miri.Machine.config) =
-  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s"
+  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s|%s"
     (match c.Miri.Machine.mode with
     | Miri.Machine.Stop_first -> "S"
     | Miri.Machine.Collect n -> "C" ^ string_of_int n)
     c.Miri.Machine.seed c.Miri.Machine.max_steps c.Miri.Machine.trace
     c.Miri.Machine.max_allocs c.Miri.Machine.max_alloc_bytes
+    (* the engines are observationally identical, so sharing entries would
+       be sound; keying on the engine keeps the memo trivially exact *)
+    (match c.Miri.Machine.engine with
+    | Miri.Machine.Bytecode -> "B"
+    | Miri.Machine.Tree_walk -> "T")
     (String.concat "," (Array.to_list (Array.map Int64.to_string c.Miri.Machine.inputs)))
 
 (* Memoizing stand-in for [Miri.Machine.run], valid only for the canonical

@@ -1,0 +1,114 @@
+(* Flat, pre-resolved bytecode for MiniRust.
+
+   One-pass lowered from the typechecked AST by [Compile]: local variables
+   become compile-time frame-slot indices (the runtime does no name lookup
+   at all), function calls carry direct indices into the function table,
+   control flow is jump-threaded over a flat instruction array, and the
+   common read-check-write sequences are fused into superinstructions
+   ([I_load_local]/[I_store_local]/[I_local_binop]/...) that call straight
+   into the packed-store and borrow fast paths with their layout
+   precomputed.
+
+   Instructions only carry data resolvable at compile time (slots, indices,
+   AST types, byte sizes); every runtime judgment — permission checks,
+   diagnostics, recovery — stays in the shared [Miri.Rt] cores so the VM is
+   byte-identical to the tree-walker. *)
+
+type instr =
+  (* pushes *)
+  | I_push_unit
+  | I_push_bool of bool
+  | I_push_int of int64 * Ast.int_width
+  | I_push_fn of string * Ast.ty          (* bare function name as a value *)
+  (* fused local/static access: slot or static index, layout precomputed *)
+  | I_load_local of int                   (* read local slot, push value *)
+  | I_store_local of int                  (* pop value, write local slot *)
+  | I_load_deref_local of int             (* read local ptr, deref, read, push *)
+  | I_store_deref_local of int            (* pop value; read local ptr, deref, write *)
+  | I_local_binop of int * Ast.binop * int64 * Ast.int_width
+      (* x = x <op> k: read slot, apply, write back *)
+  | I_load_static of int
+  | I_store_static of int
+  (* operators *)
+  | I_unop of Ast.unop
+  | I_binop of Ast.binop                  (* never And/Or; those branch *)
+  | I_to_int                              (* value_as_int coercion point *)
+  (* control flow: absolute targets into the same instruction array *)
+  | I_jump of int
+  | I_br_false of int
+  | I_cmp_br_false of Ast.binop * int     (* fused compare + branch *)
+  | I_sc_and of int                       (* falsy: push false, jump past rhs *)
+  | I_sc_or of int                        (* truthy: push true, jump past rhs *)
+  (* aggregates *)
+  | I_tuple of int
+  | I_array of int
+  | I_repeat of int
+  (* borrows *)
+  | I_ref of Ast.mutability               (* pop place, retag, push &/&mut *)
+  | I_raw_of of Ast.mutability            (* pop place, retag, push raw ptr *)
+  (* calls: direct function index, or a value popped from the stack *)
+  | I_call of int * int                   (* fn index, arg count *)
+  | I_call_arity of int * int             (* known fn, statically wrong arity *)
+  | I_call_value of int                   (* arg count; callee below the args *)
+  | I_call_unknown of string
+  (* conversions and intrinsics *)
+  | I_cast of Ast.ty
+  | I_transmute of Ast.ty
+  | I_offset
+  | I_alloc
+  | I_len_place
+  | I_len_value
+  | I_input
+  | I_atomic_load
+  | I_atomic_add
+  | I_atomic_store
+  (* place construction (separate pointer+type stack) *)
+  | I_place_local of int
+  | I_place_static of int
+  | I_place_deref
+  | I_place_index
+  | I_place_index_unchecked
+  | I_place_field of int
+  | I_place_union_field of string
+  | I_place_read                          (* pop place, typed read, push value *)
+  | I_place_unknown of string             (* unresolved name: defined runtime error *)
+  (* statements *)
+  | I_stmt of int                         (* statement boundary: sid + yield *)
+  | I_loop_head                           (* per-iteration yield of a while loop *)
+  | I_pop
+  | I_let of int * Ast.ty * int * int     (* slot, ty, size, align (unclamped) *)
+  | I_let_dyn of int                      (* type only known from the value *)
+  | I_assign                              (* pop place, pop value, write *)
+  | I_push_scope
+  | I_pop_scope
+  | I_assert of string
+  | I_panic of string
+  | I_ret                                 (* pop return value, unwind frame *)
+  | I_ret_unit
+  | I_fn_end                              (* fell off the end of the body *)
+  | I_print
+  | I_dealloc
+  | I_spawn of int * int * int            (* fn index, arg count, handle slot *)
+  | I_spawn_unknown of string
+  | I_join
+  (* statics initialization prologue *)
+  | I_static_alloc of int
+  | I_static_store of int
+
+type fn_code = {
+  fc_name : string;
+  fc_param_layout : (Ast.ty * int * int) array;  (* ty, size, align (unclamped) *)
+  fc_ret : Ast.ty;
+  fc_ret_unit : bool;           (* [equal_ty ret T_unit], precomputed *)
+  fc_nslots : int;              (* frame slots incl. params *)
+  fc_code : instr array;
+}
+
+type static_info = { si_ty : Ast.ty; si_size : int; si_align : int }
+
+type program_code = {
+  pc_fns : fn_code array;                (* same indexing as the fn table *)
+  pc_statics : static_info array;        (* declaration order *)
+  pc_statics_code : instr array;         (* alloc+init sequence, run pre-main *)
+  pc_main : int option;                  (* first function named "main" *)
+}

@@ -1,0 +1,445 @@
+(* One-pass AST -> bytecode lowering.
+
+   The compiler mirrors the runtime name-resolution rules of the
+   tree-walker exactly, but at compile time:
+
+   - locals are lexically scoped with shadowing; every [let] (and spawn
+     handle) gets a fresh monotone frame slot, so an inner shadow is a
+     different slot and resolution is a scope-stack walk here instead of a
+     Hashtbl probe per access there;
+   - a name that is not a local resolves to a static if one is visible
+     (statics become visible in declaration order while the init sequence
+     is compiled, and all are visible inside function bodies — matching the
+     runtime's [Hashtbl.replace] timing), then to a function;
+   - unresolved names compile to raising instructions that reproduce the
+     tree-walker's [invalid_arg] errors verbatim, so even failure modes are
+     identical.
+
+   Evaluation order is preserved instruction-for-effect: operands compile
+   left-to-right, [I_to_int] marks exactly the points where the evaluator
+   coerced with [value_as_int], and statement boundaries ([I_stmt]) and
+   while-iteration yields ([I_loop_head]) replicate the step accounting of
+   the tree-walker, keeping step counts and scheduler interleavings — and
+   therefore diagnostics — byte-identical. *)
+
+open Bytecode
+
+(* growable instruction buffer with backpatched jumps *)
+type emitter = { mutable buf : instr array; mutable len : int }
+
+let new_emitter () = { buf = Array.make 64 I_push_unit; len = 0 }
+
+let emit em i =
+  if em.len >= Array.length em.buf then begin
+    let bigger = Array.make (2 * Array.length em.buf) I_push_unit in
+    Array.blit em.buf 0 bigger 0 em.len;
+    em.buf <- bigger
+  end;
+  em.buf.(em.len) <- i;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+(* emit a placeholder branch; returns its position for [patch] *)
+let emit_hole em i =
+  let pos = em.len in
+  emit em i;
+  pos
+
+let patch em pos target =
+  em.buf.(pos) <-
+    (match em.buf.(pos) with
+    | I_jump _ -> I_jump target
+    | I_br_false _ -> I_br_false target
+    | I_cmp_br_false (op, _) -> I_cmp_br_false (op, target)
+    | I_sc_and _ -> I_sc_and target
+    | I_sc_or _ -> I_sc_or target
+    | _ -> invalid_arg "Compile.patch: not a branch")
+
+let finish em = Array.sub em.buf 0 em.len
+
+type fctx = {
+  prog : Ast.program;
+  info : Typecheck.info;
+  fn_idx : (string, int) Hashtbl.t;       (* first declaration of each name *)
+  fn_table : Ast.fn_decl array;
+  statics_vis : (string, int) Hashtbl.t;  (* statics visible at this point *)
+  em : emitter;
+  mutable scopes : (string * int) list list;  (* innermost scope first *)
+  mutable next_slot : int;
+}
+
+let lookup_slot fx name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+      match List.assoc_opt name frame with Some s -> Some s | None -> go rest)
+  in
+  go fx.scopes
+
+let fresh_slot fx =
+  let s = fx.next_slot in
+  fx.next_slot <- s + 1;
+  s
+
+let bind_name fx name slot =
+  match fx.scopes with
+  | frame :: rest -> fx.scopes <- ((name, slot) :: frame) :: rest
+  | [] -> invalid_arg "Compile: binding outside any scope"
+
+let layout_of fx ty = (Layout.size_of fx.prog ty, Layout.align_of fx.prog ty)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec compile_expr fx (e : Ast.expr) : unit =
+  match e.Ast.e with
+  | Ast.E_unit -> emit fx.em I_push_unit
+  | Ast.E_bool b -> emit fx.em (I_push_bool b)
+  | Ast.E_int (n, w) -> emit fx.em (I_push_int (n, w))
+  | Ast.E_place p -> compile_place_read fx p
+  | Ast.E_unop (op, a) ->
+    compile_expr fx a;
+    emit fx.em (I_unop op)
+  | Ast.E_binop (Ast.And, a, b) ->
+    compile_expr fx a;
+    let hole = emit_hole fx.em (I_sc_and (-1)) in
+    compile_expr fx b;
+    patch fx.em hole (here fx.em)
+  | Ast.E_binop (Ast.Or, a, b) ->
+    compile_expr fx a;
+    let hole = emit_hole fx.em (I_sc_or (-1)) in
+    compile_expr fx b;
+    patch fx.em hole (here fx.em)
+  | Ast.E_binop (op, a, b) ->
+    compile_expr fx a;
+    compile_expr fx b;
+    emit fx.em (I_binop op)
+  | Ast.E_tuple es ->
+    List.iter (compile_expr fx) es;
+    emit fx.em (I_tuple (List.length es))
+  | Ast.E_array es ->
+    List.iter (compile_expr fx) es;
+    emit fx.em (I_array (List.length es))
+  | Ast.E_repeat (x, n) ->
+    compile_expr fx x;
+    emit fx.em (I_repeat n)
+  | Ast.E_ref (m, p) ->
+    compile_place fx p;
+    emit fx.em (I_ref m)
+  | Ast.E_raw_of (m, p) ->
+    compile_place fx p;
+    emit fx.em (I_raw_of m)
+  | Ast.E_call (name, args) -> (
+    (* name resolution: local fn-pointer first, then declared function;
+       for an unknown name the arguments are never evaluated *)
+    match lookup_slot fx name with
+    | Some slot ->
+      emit fx.em (I_load_local slot);
+      List.iter (compile_expr fx) args;
+      emit fx.em (I_call_value (List.length args))
+    | None -> (
+      match Hashtbl.find_opt fx.fn_idx name with
+      | Some idx ->
+        List.iter (compile_expr fx) args;
+        let f = fx.fn_table.(idx) in
+        if List.length args = List.length f.Ast.params then
+          emit fx.em (I_call (idx, List.length args))
+        else emit fx.em (I_call_arity (idx, List.length args))
+      | None -> emit fx.em (I_call_unknown name)))
+  | Ast.E_call_ptr (callee, args) ->
+    compile_expr fx callee;
+    List.iter (compile_expr fx) args;
+    emit fx.em (I_call_value (List.length args))
+  | Ast.E_cast (a, target) ->
+    compile_expr fx a;
+    emit fx.em (I_cast target)
+  | Ast.E_transmute (target, a) ->
+    compile_expr fx a;
+    emit fx.em (I_transmute target)
+  | Ast.E_offset (p, n) ->
+    compile_expr fx p;
+    compile_expr fx n;
+    emit fx.em I_to_int;
+    emit fx.em I_offset
+  | Ast.E_alloc (size_e, align_e) ->
+    compile_expr fx size_e;
+    emit fx.em I_to_int;
+    compile_expr fx align_e;
+    emit fx.em I_to_int;
+    emit fx.em I_alloc
+  | Ast.E_len a -> (
+    match a.Ast.e with
+    | Ast.E_place p ->
+      compile_place fx p;
+      emit fx.em I_len_place
+    | _ ->
+      compile_expr fx a;
+      emit fx.em I_len_value)
+  | Ast.E_input i ->
+    compile_expr fx i;
+    emit fx.em I_to_int;
+    emit fx.em I_input
+  | Ast.E_atomic_load p ->
+    compile_expr fx p;
+    emit fx.em I_atomic_load
+  | Ast.E_atomic_add (p, n) ->
+    compile_expr fx p;
+    compile_expr fx n;
+    emit fx.em I_to_int;
+    emit fx.em I_atomic_add
+
+(* push a (pointer, type) place onto the place stack *)
+and compile_place fx (p : Ast.place) : unit =
+  match p with
+  | Ast.P_var name -> (
+    match lookup_slot fx name with
+    | Some slot -> emit fx.em (I_place_local slot)
+    | None -> (
+      match Hashtbl.find_opt fx.statics_vis name with
+      | Some k -> emit fx.em (I_place_static k)
+      | None -> emit fx.em (I_place_unknown name)))
+  | Ast.P_deref e ->
+    compile_expr fx e;
+    emit fx.em I_place_deref
+  | Ast.P_index (base, idx) ->
+    compile_place fx base;
+    compile_expr fx idx;
+    emit fx.em I_to_int;
+    emit fx.em I_place_index
+  | Ast.P_index_unchecked (base, idx) ->
+    compile_place fx base;
+    compile_expr fx idx;
+    emit fx.em I_to_int;
+    emit fx.em I_place_index_unchecked
+  | Ast.P_field (base, i) ->
+    compile_place fx base;
+    emit fx.em (I_place_field i)
+  | Ast.P_union_field (base, fld) ->
+    compile_place fx base;
+    emit fx.em (I_place_union_field fld)
+
+and compile_place_read fx (p : Ast.place) : unit =
+  match p with
+  | Ast.P_var name -> (
+    match lookup_slot fx name with
+    | Some slot -> emit fx.em (I_load_local slot)
+    | None -> (
+      match Hashtbl.find_opt fx.statics_vis name with
+      | Some k -> emit fx.em (I_load_static k)
+      | None -> (
+        (* a bare function name used as a value *)
+        match Hashtbl.find_opt fx.fn_idx name with
+        | Some idx ->
+          let f = fx.fn_table.(idx) in
+          emit fx.em
+            (I_push_fn (name, Ast.T_fn (List.map snd f.Ast.params, f.Ast.ret)))
+        | None -> emit fx.em (I_place_unknown name))))
+  | Ast.P_deref { Ast.e = Ast.E_place (Ast.P_var name); _ }
+    when lookup_slot fx name <> None -> (
+    match lookup_slot fx name with
+    | Some slot -> emit fx.em (I_load_deref_local slot)
+    | None -> assert false)
+  | _ ->
+    compile_place fx p;
+    emit fx.em I_place_read
+
+(* ------------------------------------------------------------------ *)
+(* Conditions: compile the expression, then branch-if-false to a hole.
+   When the condition's final instruction is a plain binop we fuse it with
+   the branch — safe unless some backpatched target points *at* that final
+   instruction, which only happens when the right operand is itself a
+   short-circuit whose join lands there. *)
+
+and compile_cond_br fx (c : Ast.expr) : int =
+  compile_expr fx c;
+  let fusable =
+    match c.Ast.e with
+    | Ast.E_binop ((Ast.And | Ast.Or), _, _) -> false
+    | Ast.E_binop (_, _, { Ast.e = Ast.E_binop ((Ast.And | Ast.Or), _, _); _ }) ->
+      false
+    | Ast.E_binop (_, _, _) -> true
+    | _ -> false
+  in
+  if fusable then begin
+    let pos = here fx.em - 1 in
+    match fx.em.buf.(pos) with
+    | I_binop op ->
+      fx.em.buf.(pos) <- I_cmp_br_false (op, -1);
+      pos
+    | _ -> emit_hole fx.em (I_br_false (-1))
+  end
+  else emit_hole fx.em (I_br_false (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+and compile_stmt fx (stmt : Ast.stmt) : unit =
+  emit fx.em (I_stmt stmt.Ast.sid);
+  match stmt.Ast.s with
+  | Ast.S_let (name, annot, e) -> (
+    compile_expr fx e;
+    let slot = fresh_slot fx in
+    (match annot with
+    | Some t ->
+      let size, align = layout_of fx t in
+      emit fx.em (I_let (slot, t, size, align))
+    | None -> (
+      match Typecheck.ty_of_expr fx.info e with
+      | Some t ->
+        let size, align = layout_of fx t in
+        emit fx.em (I_let (slot, t, size, align))
+      | None -> emit fx.em (I_let_dyn slot)));
+    bind_name fx name slot)
+  | Ast.S_assign (p, e) -> (
+    (* x = x <op> const on a local fuses to a single read-modify-write *)
+    match (p, e.Ast.e) with
+    | ( Ast.P_var x,
+        Ast.E_binop
+          ( op,
+            { Ast.e = Ast.E_place (Ast.P_var x2); _ },
+            { Ast.e = Ast.E_int (k, kw); _ } ) )
+      when op <> Ast.And && op <> Ast.Or
+           && lookup_slot fx x <> None
+           && lookup_slot fx x = lookup_slot fx x2 ->
+      let slot = Option.get (lookup_slot fx x) in
+      emit fx.em (I_local_binop (slot, op, k, kw))
+    | _ -> (
+      compile_expr fx e;
+      match p with
+      | Ast.P_var x when lookup_slot fx x <> None ->
+        emit fx.em (I_store_local (Option.get (lookup_slot fx x)))
+      | Ast.P_var x when Hashtbl.mem fx.statics_vis x ->
+        emit fx.em (I_store_static (Hashtbl.find fx.statics_vis x))
+      | Ast.P_var x -> emit fx.em (I_place_unknown x)
+      | Ast.P_deref { Ast.e = Ast.E_place (Ast.P_var x); _ }
+        when lookup_slot fx x <> None ->
+        emit fx.em (I_store_deref_local (Option.get (lookup_slot fx x)))
+      | _ ->
+        compile_place fx p;
+        emit fx.em I_assign))
+  | Ast.S_expr e ->
+    compile_expr fx e;
+    emit fx.em I_pop
+  | Ast.S_if (c, t, f) ->
+    let cond_hole = compile_cond_br fx c in
+    compile_block fx t;
+    let end_hole = emit_hole fx.em (I_jump (-1)) in
+    patch fx.em cond_hole (here fx.em);
+    compile_block fx f;
+    patch fx.em end_hole (here fx.em)
+  | Ast.S_while (c, body) ->
+    (* the statement's own [I_stmt] ran once; each iteration then pays one
+       [I_loop_head] yield before re-evaluating the condition, exactly like
+       the tree-walker's [loop] *)
+    let lcond = here fx.em in
+    emit fx.em I_loop_head;
+    let cond_hole = compile_cond_br fx c in
+    compile_block fx body;
+    emit fx.em (I_jump lcond);
+    patch fx.em cond_hole (here fx.em)
+  | Ast.S_block b | Ast.S_unsafe b -> compile_block fx b
+  | Ast.S_assert (e, msg) ->
+    compile_expr fx e;
+    emit fx.em (I_assert msg)
+  | Ast.S_panic msg -> emit fx.em (I_panic msg)
+  | Ast.S_return None -> emit fx.em I_ret_unit
+  | Ast.S_return (Some e) ->
+    compile_expr fx e;
+    emit fx.em I_ret
+  | Ast.S_print e ->
+    compile_expr fx e;
+    emit fx.em I_print
+  | Ast.S_dealloc (pe, size_e, align_e) ->
+    compile_expr fx pe;
+    compile_expr fx size_e;
+    emit fx.em I_to_int;
+    compile_expr fx align_e;
+    emit fx.em I_to_int;
+    emit fx.em I_dealloc
+  | Ast.S_spawn (handle, fname, args) -> (
+    (* unknown spawn target fails before evaluating the arguments *)
+    match Hashtbl.find_opt fx.fn_idx fname with
+    | None -> emit fx.em (I_spawn_unknown fname)
+    | Some idx ->
+      List.iter (compile_expr fx) args;
+      let slot = fresh_slot fx in
+      emit fx.em (I_spawn (idx, List.length args, slot));
+      bind_name fx handle slot)
+  | Ast.S_join e ->
+    compile_expr fx e;
+    emit fx.em I_join
+  | Ast.S_atomic_store (pe, ve) ->
+    compile_expr fx pe;
+    compile_expr fx ve;
+    emit fx.em I_atomic_store
+
+and compile_block fx (b : Ast.block) : unit =
+  fx.scopes <- [] :: fx.scopes;
+  emit fx.em I_push_scope;
+  List.iter (compile_stmt fx) b;
+  emit fx.em I_pop_scope;
+  fx.scopes <- (match fx.scopes with [] -> [] | _ :: rest -> rest)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let compile_fn ~prog ~info ~fn_idx ~fn_table ~statics_vis (f : Ast.fn_decl) :
+    fn_code =
+  let fx =
+    { prog; info; fn_idx; fn_table; statics_vis; em = new_emitter ();
+      scopes = [ List.mapi (fun i (pname, _) -> (pname, i)) f.Ast.params ];
+      next_slot = List.length f.Ast.params }
+  in
+  compile_block fx f.Ast.body;
+  emit fx.em I_fn_end;
+  {
+    fc_name = f.Ast.fname;
+    fc_param_layout =
+      Array.of_list
+        (List.map
+           (fun (_, pty) ->
+             (pty, Layout.size_of prog pty, Layout.align_of prog pty))
+           f.Ast.params);
+    fc_ret = f.Ast.ret;
+    fc_ret_unit = Ast.equal_ty f.Ast.ret Ast.T_unit;
+    fc_nslots = fx.next_slot;
+    fc_code = finish fx.em;
+  }
+
+let lower (prog : Ast.program) (info : Typecheck.info) : program_code =
+  let fn_table = Array.of_list prog.Ast.funcs in
+  let fn_idx = Hashtbl.create (Array.length fn_table) in
+  Array.iteri
+    (fun i (f : Ast.fn_decl) ->
+      if not (Hashtbl.mem fn_idx f.Ast.fname) then Hashtbl.add fn_idx f.Ast.fname i)
+    fn_table;
+  let statics_vis = Hashtbl.create 8 in
+  (* statics init: each becomes visible (shadowing an earlier same-name
+     declaration) just before its own initializer compiles, mirroring the
+     runtime's replace-then-eval ordering *)
+  let sem = new_emitter () in
+  List.iteri
+    (fun k (s : Ast.static_decl) ->
+      Hashtbl.replace statics_vis s.Ast.sname k;
+      emit sem (I_static_alloc k);
+      let fx =
+        { prog; info; fn_idx; fn_table; statics_vis; em = sem; scopes = [];
+          next_slot = 0 }
+      in
+      compile_expr fx s.Ast.sinit;
+      emit sem (I_static_store k))
+    prog.Ast.statics;
+  {
+    pc_fns = Array.map (compile_fn ~prog ~info ~fn_idx ~fn_table ~statics_vis) fn_table;
+    pc_statics =
+      Array.of_list
+        (List.map
+           (fun (s : Ast.static_decl) ->
+             { si_ty = s.Ast.sty;
+               si_size = Layout.size_of prog s.Ast.sty;
+               si_align = Layout.align_of prog s.Ast.sty })
+           prog.Ast.statics);
+    pc_statics_code = finish sem;
+    pc_main = Hashtbl.find_opt fn_idx "main";
+  }

@@ -11,8 +11,12 @@ type item = { tag : int; perm : perm }
 
 type t = {
   mutable stack : item list;  (** head = top *)
-  created : (int, perm) Hashtbl.t;
-      (** every tag ever created on this stack, for violation classification *)
+  mutable created : (int * perm) list;
+      (** every tag ever created on this stack, newest first, for violation
+          classification. An assoc list, not a hashtable: stacks hold a
+          handful of tags, lookups happen only on the UB (cold) path, and a
+          fresh allocation — every stack slot of every local — must not pay
+          for a table it almost never consults. *)
 }
 
 (* Domain-local so parallel campaign workers (lib/exec) never race on tag
@@ -29,9 +33,8 @@ let fresh_tag () =
 let reset_tags () = Domain.DLS.get tag_counter := 0
 
 let create ~base_tag =
-  let created = Hashtbl.create 8 in
-  Hashtbl.replace created base_tag Unique;
-  { stack = [ { tag = base_tag; perm = Unique } ]; created }
+  { stack = [ { tag = base_tag; perm = Unique } ];
+    created = [ (base_tag, Unique) ] }
 
 let perm_name = function
   | Unique -> "Unique"
@@ -46,7 +49,7 @@ let find_index t tag =
   go 0 t.stack
 
 let missing t tag =
-  match Hashtbl.find_opt t.created tag with
+  match List.assoc_opt tag t.created with
   | Some perm ->
     {
       missing_tag = tag;
@@ -134,7 +137,7 @@ let retag t ~parent perm =
     | Error v -> Error v
     | Ok popped ->
       let tag = fresh_tag () in
-      Hashtbl.replace t.created tag perm;
+      t.created <- (tag, perm) :: t.created;
       t.stack <- { tag; perm } :: t.stack;
       Ok (tag, popped))
 

@@ -1,70 +1,52 @@
+(* The UB-detecting abstract machine.
+
+   Since the bytecode lowering, this module is the public face over two
+   engines sharing the [Rt] substrate:
+   - [Vm] executes flat pre-resolved bytecode ([Minirust.Bytecode], lowered
+     by [Minirust.Compile]) — the default, allocation-free per step;
+   - the tree-walking evaluator below, kept behind [config.engine =
+     Tree_walk] as a differential-testing escape hatch.
+
+   All semantics (typed access, arithmetic, diagnostics, scheduling) live in
+   [Rt]; the walker here only decides evaluation order, which the compiler
+   mirrors instruction-for-instruction, so the engines stay byte-identical. *)
+
 open Minirust
 
-type mode = Stop_first | Collect of int
+type mode = Rt.mode = Stop_first | Collect of int
+type engine = Rt.engine = Bytecode | Tree_walk
 
-type config = {
+type config = Rt.config = {
   mode : mode;
   seed : int;
   max_steps : int;
   inputs : int64 array;
-  trace : bool;  (* record allocation/retag/invalidation events *)
-  max_allocs : int;       (* allocation-count fuel *)
-  max_alloc_bytes : int;  (* cumulative allocated-byte fuel *)
+  trace : bool;
+  max_allocs : int;
+  max_alloc_bytes : int;
+  engine : engine;
 }
 
-let default_config =
-  { mode = Stop_first; seed = 1; max_steps = 200_000; inputs = [||]; trace = false;
-    (* generous enough that no legitimate corpus program comes near them;
-       they exist to turn an allocation bomb into a diagnosis *)
-    max_allocs = 4_000_000; max_alloc_bytes = 64 * 1024 * 1024 }
+let default_config = Rt.default_config
 
-type outcome =
+type outcome = Rt.outcome =
   | Finished
   | Panicked of string
   | Ub of Diag.t
   | Step_limit
-  | Resource_limit of string  (* allocation fuel exhausted: diagnosed, not hung *)
+  | Resource_limit of string
 
-type run_result = {
+type run_result = Rt.run_result = {
   outcome : outcome;
   output : string list;
   diags : Diag.t list;
   steps : int;
   error_count : int;
-  events : string list;  (* chronological trace, empty unless [config.trace] *)
+  events : string list;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Machine state *)
-
-type thread_status =
-  | T_runnable
-  | T_blocked_on of int
-  | T_done
-  | T_joined
-
-type thread = { tid : int; mutable clock : Vclock.t; mutable status : thread_status }
-
-type state = {
-  config : config;
-  program : Ast.program;
-  info : Typecheck.info;
-  mem : Mem.t;
-  fn_table : Ast.fn_decl array;
-  fn_index_tbl : (string, int) Hashtbl.t;  (* first index of each name *)
-  statics_tbl : (string, Mem.allocation * Ast.ty) Hashtbl.t;
-  threads : (int, thread) Hashtbl.t;
-  mutable next_tid : int;
-  mutable steps : int;
-  mutable outputs : string list;  (* reversed *)
-  mutable diags : Diag.t list;    (* reversed *)
-  mutable events : string list;   (* reversed *)
-  mutable stop : outcome option;  (* set when the run must end *)
-  sched_rng : Rb_util.Rng.t;
-  mutable cur_stmt : int;         (* node id of the statement being executed *)
-  mutable allocs : int;           (* allocations performed so far *)
-  mutable alloc_bytes : int;      (* cumulative bytes allocated *)
-}
+(* Tree-walking evaluator *)
 
 (* Execution context of one thread: the stack of lexical scopes of the
    function currently executing. Each local is its own stack allocation. *)
@@ -75,23 +57,16 @@ type scope = (string * local) list ref
 (* [locals] is the flat name->local view of [scopes], exploiting
    [Hashtbl.add]'s shadowing semantics: an inner binding is added after (and
    removed before) an outer one of the same name, so [Hashtbl.find_opt]
-   always sees the innermost binding — what the old scope-list walk computed
-   in O(depth). The scope lists survive solely to drive deallocation and
-   table cleanup at scope exit. *)
+   always sees the innermost binding. The scope lists survive solely to
+   drive deallocation and table cleanup at scope exit. *)
 type ctx = {
-  st : state;
-  tid : int;
-  thread : thread;
-      (** cached [threads] entry for [tid]: the record is created once per
-          thread and only ever mutated, so every ctx of the thread can share
-          it without a per-access table lookup *)
+  ec : Rt.ectx;
   mutable scopes : scope list;
   locals : (string, local) Hashtbl.t;
 }
 
 let make_ctx st tid =
-  { st; tid; thread = Hashtbl.find st.threads tid; scopes = [];
-    locals = Hashtbl.create 16 }
+  { ec = Rt.make_ectx st tid; scopes = []; locals = Hashtbl.create 16 }
 
 let bind_local ctx scope name local =
   scope := (name, local) :: !scope;
@@ -102,306 +77,10 @@ let close_scope ctx scope =
   List.iter
     (fun (name, l) ->
       Hashtbl.remove ctx.locals name;
-      Mem.deallocate ctx.st.mem l.l_alloc)
+      Mem.deallocate ctx.ec.Rt.st.Rt.mem l.l_alloc)
     !scope
 
-exception Panic_exc of string
-exception Ub_fatal of Diag.t
-exception Step_limit_exc
-exception Resource_exc of string
-exception Return_exc of Value.t
-
-(* Every machine allocation funnels through here so the fuel caps are
-   checked *before* memory is created: an allocation bomb fails cleanly
-   instead of first materialising a huge block. *)
-let tracked_allocate (st : state) ~size ~align ~kind =
-  if st.allocs >= st.config.max_allocs then
-    raise
-      (Resource_exc
-         (Printf.sprintf "allocation budget exhausted (%d allocations)"
-            st.config.max_allocs));
-  if st.alloc_bytes + size > st.config.max_alloc_bytes then
-    raise
-      (Resource_exc
-         (Printf.sprintf
-            "allocation-byte budget exhausted (%d bytes requested, cap %d)"
-            (st.alloc_bytes + size) st.config.max_alloc_bytes));
-  st.allocs <- st.allocs + 1;
-  st.alloc_bytes <- st.alloc_bytes + size;
-  Mem.allocate st.mem ~size ~align ~kind
-
-(* ------------------------------------------------------------------ *)
-(* Diagnostics *)
-
-let report (ctx : ctx) (kind : Diag.ub_kind) (message : string) ~(recover : unit -> 'a) : 'a =
-  let st = ctx.st in
-  let d = Diag.make ~thread:ctx.tid ~stmt_hint:st.cur_stmt kind message in
-  st.diags <- d :: st.diags;
-  match st.config.mode with
-  | Stop_first -> raise (Ub_fatal d)
-  | Collect limit ->
-    if List.length st.diags >= limit then raise (Ub_fatal d) else recover ()
-
-let classify_access_error (err : Mem.access_error) : Diag.ub_kind * string =
-  match err with
-  | Mem.Dead msg | Mem.Oob msg | Mem.No_alloc msg -> (Diag.Dangling_pointer, msg)
-  | Mem.Misaligned msg -> (Diag.Unaligned_pointer, msg)
-  | Mem.Race msg -> (Diag.Data_race, msg)
-  | Mem.Not_exposed msg -> (Diag.Provenance, msg)
-  | Mem.Borrow_bad v ->
-    let kind =
-      if v.Borrow.write_through_ro then Diag.Both_borrow
-      else
-        match v.Borrow.missing_perm with
-        | Borrow.Shared_ro -> Diag.Both_borrow
-        | Borrow.Unique | Borrow.Shared_rw -> Diag.Stack_borrow
-    in
-    (kind, v.Borrow.detail)
-
-let trace_event (st : state) fmt =
-  (* test [trace] before formatting: with tracing off (benchmarks, campaign
-     sweeps) the hot path must not pay for sprintf *)
-  if st.config.trace then
-    Printf.ksprintf (fun s -> st.events <- s :: st.events) fmt
-  else Printf.ikfprintf (fun () -> ()) () fmt
-
-let perm_name = function
-  | Borrow.Unique -> "Unique"
-  | Borrow.Shared_rw -> "SharedRW"
-  | Borrow.Shared_ro -> "SharedRO"
-
-let trace_popped (st : state) what popped =
-  if st.config.trace then
-    List.iter
-      (fun (tag, perm) ->
-        trace_event st "%s invalidated tag %d (%s)" what tag (perm_name perm))
-      popped
-
-(* ------------------------------------------------------------------ *)
-(* Function table *)
-
-let fn_addr_base = 0x7F00_0000_0000
-
-let fn_index st name = Hashtbl.find_opt st.fn_index_tbl name
-
-let fn_pointer st name : Value.pointer =
-  match fn_index st name with
-  | Some idx -> { Value.prov = Value.P_fn idx; addr = fn_addr_base + (idx * 16); tag = None }
-  | None -> invalid_arg ("Machine: unknown function " ^ name)
-
-let fn_sig (f : Ast.fn_decl) = Ast.T_fn (List.map snd f.Ast.params, f.Ast.ret)
-
-(* ------------------------------------------------------------------ *)
-(* Locals and statics *)
-
 let lookup_local ctx name : local option = Hashtbl.find_opt ctx.locals name
-
-let thread_of ctx = ctx.thread
-
-(* ------------------------------------------------------------------ *)
-(* Typed memory access *)
-
-let base_pointer (a : Mem.allocation) : Value.pointer =
-  { Value.prov = Value.P_alloc a.Mem.id; addr = a.Mem.base; tag = Some a.Mem.base_tag }
-
-let typed_read ctx (ptr : Value.pointer) (ty : Ast.ty) ~atomic : Value.t =
-  let st = ctx.st in
-  let len = Layout.size_of st.program ty in
-  let align = Layout.align_of st.program ty in
-  if len = 0 then Value.V_unit
-  else begin
-    let thread = thread_of ctx in
-    match
-      Mem.check_access st.mem ~ptr ~len ~align ~write:false ~tid:ctx.tid
-        ~clock:thread.clock ~atomic
-    with
-    | Error err ->
-      let kind, msg = classify_access_error err in
-      report ctx kind msg ~recover:(fun () -> Value.zero st.program ty)
-    | Ok (alloc, offset, popped) -> (
-      if st.config.trace then
-        trace_popped st (Printf.sprintf "read of alloc %d" alloc.Mem.id) popped;
-      if atomic then begin
-        (* acquire: merge the location's release clock into this thread *)
-        let sync = Mem.sync_clock_of st.mem alloc offset in
-        thread.clock <- Vclock.merge thread.clock sync
-      end;
-      match Mem.read_value st.program alloc ~offset ty with
-      | Ok v -> v
-      | Error msg ->
-        report ctx Diag.Validity msg ~recover:(fun () -> Value.zero st.program ty))
-  end
-
-let typed_write ctx (ptr : Value.pointer) (ty : Ast.ty) (v : Value.t) ~atomic : unit =
-  let st = ctx.st in
-  let len = Layout.size_of st.program ty in
-  let align = Layout.align_of st.program ty in
-  if len = 0 then ()
-  else begin
-    let thread = thread_of ctx in
-    match
-      Mem.check_access st.mem ~ptr ~len ~align ~write:true ~tid:ctx.tid
-        ~clock:thread.clock ~atomic
-    with
-    | Error err ->
-      let kind, msg = classify_access_error err in
-      report ctx kind msg ~recover:(fun () -> ())
-    | Ok (alloc, offset, popped) ->
-      if st.config.trace then
-        trace_popped st (Printf.sprintf "write to alloc %d" alloc.Mem.id) popped;
-      Mem.write_value st.program ~fn_addr:(fn_pointer st) alloc ~offset ty v;
-      if atomic then
-        (* release: later writes by this thread must not appear ordered
-           before the release an acquirer synchronized with *)
-        thread.clock <- Vclock.tick thread.clock ctx.tid
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Integer arithmetic with Rust overflow semantics (debug profile: panic) *)
-
-let width_bits = function
-  | Ast.I8 -> 8
-  | Ast.I16 -> 16
-  | Ast.I32 -> 32
-  | Ast.I64 | Ast.Usize -> 64
-
-let fits_width (n : int64) (w : Ast.int_width) =
-  match w with
-  | Ast.I64 -> true
-  | Ast.Usize -> true (* 64-bit wrap handled by unsigned checks below *)
-  | _ ->
-    let bits = width_bits w in
-    let lo = Int64.neg (Int64.shift_left 1L (bits - 1)) in
-    let hi = Int64.sub (Int64.shift_left 1L (bits - 1)) 1L in
-    Int64.compare n lo >= 0 && Int64.compare n hi <= 0
-
-let truncate_to_width (n : int64) (w : Ast.int_width) =
-  match w with
-  | Ast.I64 | Ast.Usize -> n
-  | _ ->
-    let bits = width_bits w in
-    let shift = 64 - bits in
-    Int64.shift_right (Int64.shift_left n shift) shift
-
-let arith_panic op = raise (Panic_exc (Printf.sprintf "attempt to %s with overflow" op))
-
-let eval_arith (op : Ast.binop) (a : int64) (b : int64) (w : Ast.int_width) : int64 =
-  let unsigned = w = Ast.Usize in
-  (* overflow is checked on the untruncated result; only then is the value
-     narrowed to the width (at which point narrowing is the identity) *)
-  let check name result =
-    if unsigned then begin
-      (* unsigned 64-bit: overflow iff result is "less" than an operand for
-         add, or borrow for sub, detected via unsigned compare *)
-      match op with
-      | Ast.Add -> if Int64.unsigned_compare result a < 0 then arith_panic name else result
-      | Ast.Sub -> if Int64.unsigned_compare a b < 0 then arith_panic name else result
-      | Ast.Mul ->
-        if (not (Int64.equal a 0L)) && not (Int64.equal (Int64.unsigned_div result a) b)
-        then arith_panic name
-        else result
-      | _ -> result
-    end
-    else if fits_width result w then result
-    else arith_panic name
-  in
-  match op with
-  | Ast.Add ->
-    let r = Int64.add a b in
-    if (not unsigned) && w = Ast.I64 && Int64.compare a 0L > 0 && Int64.compare b 0L > 0
-       && Int64.compare r 0L < 0
-    then arith_panic "add"
-    else if (not unsigned) && w = Ast.I64 && Int64.compare a 0L < 0
-            && Int64.compare b 0L < 0 && Int64.compare r 0L >= 0
-    then arith_panic "add"
-    else truncate_to_width (check "add" r) w
-  | Ast.Sub ->
-    let r = Int64.sub a b in
-    if (not unsigned) && w = Ast.I64 && Int64.compare b 0L < 0 && Int64.compare a 0L > 0
-       && Int64.compare r 0L < 0
-    then arith_panic "subtract"
-    else if (not unsigned) && w = Ast.I64 && Int64.compare b 0L > 0
-            && Int64.compare a 0L < 0 && Int64.compare r 0L > 0
-    then arith_panic "subtract"
-    else truncate_to_width (check "subtract" r) w
-  | Ast.Mul ->
-    let r = Int64.mul a b in
-    if (not unsigned) && w = Ast.I64 && (not (Int64.equal a 0L))
-       && not (Int64.equal (Int64.div r a) b)
-    then arith_panic "multiply"
-    else truncate_to_width (check "multiply" r) w
-  | Ast.Div ->
-    if Int64.equal b 0L then raise (Panic_exc "attempt to divide by zero")
-    else if unsigned then Int64.unsigned_div a b
-    else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then arith_panic "divide"
-    else Int64.div a b
-  | Ast.Rem ->
-    if Int64.equal b 0L then
-      raise (Panic_exc "attempt to calculate the remainder with a divisor of zero")
-    else if unsigned then Int64.unsigned_rem a b
-    else Int64.rem a b
-  | Ast.Bit_and -> Int64.logand a b
-  | Ast.Bit_or -> Int64.logor a b
-  | Ast.Bit_xor -> Int64.logxor a b
-  | Ast.Shl ->
-    let bits = width_bits w in
-    if Int64.compare b 0L < 0 || Int64.compare b (Int64.of_int bits) >= 0 then
-      arith_panic "shift left"
-    else truncate_to_width (Int64.shift_left a (Int64.to_int b)) w
-  | Ast.Shr ->
-    let bits = width_bits w in
-    if Int64.compare b 0L < 0 || Int64.compare b (Int64.of_int bits) >= 0 then
-      arith_panic "shift right"
-    else if w = Ast.Usize then Int64.shift_right_logical a (Int64.to_int b)
-    else truncate_to_width (Int64.shift_right a (Int64.to_int b)) w
-  | Ast.And | Ast.Or | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
-    invalid_arg "Machine.eval_arith: not an arithmetic operator"
-
-let compare_ints (w : Ast.int_width) a b =
-  if w = Ast.Usize then Int64.unsigned_compare a b else Int64.compare a b
-
-(* ------------------------------------------------------------------ *)
-(* Effects for cooperative threading *)
-
-type _ Effect.t +=
-  | Yield : unit Effect.t
-  | Spawn_eff : (int -> unit) -> int Effect.t
-  | Join_eff : int -> bool Effect.t
-        (** resumes with [false] if the handle was invalid / already joined *)
-
-let yield_point ctx =
-  let st = ctx.st in
-  st.steps <- st.steps + 1;
-  if st.steps > st.config.max_steps then raise Step_limit_exc;
-  if Hashtbl.length st.threads > 1 then Effect.perform Yield
-
-(* ------------------------------------------------------------------ *)
-(* Expression evaluation *)
-
-let value_as_int ctx (v : Value.t) : int64 =
-  match v with
-  | Value.V_int (n, _) -> n
-  | Value.V_bool b -> if b then 1L else 0L
-  | _ ->
-    report ctx Diag.Validity
-      ("expected an integer value, found " ^ Value.to_display v)
-      ~recover:(fun () -> 0L)
-
-let rec ty_of_value st (v : Value.t) : Ast.ty =
-  match v with
-  | Value.V_unit -> Ast.T_unit
-  | Value.V_bool _ -> Ast.T_bool
-  | Value.V_int (_, w) -> Ast.T_int w
-  | Value.V_ptr (_, ty) -> ty
-  | Value.V_fn (name, _) -> (
-    match Ast.lookup_fn st.program name with
-    | Some f -> fn_sig f
-    | None -> Ast.T_fn ([], Ast.T_unit))
-  | Value.V_handle _ -> Ast.T_handle
-  | Value.V_tuple vs -> Ast.T_tuple (List.map (ty_of_value st) vs)
-  | Value.V_array [] -> Ast.T_array (Ast.T_unit, 0)
-  | Value.V_array (v :: rest) -> Ast.T_array (ty_of_value st v, List.length rest + 1)
-  | Value.V_bytes b -> Ast.T_array (Ast.T_int Ast.I8, Array.length b)
 
 let rec eval_expr (ctx : ctx) (e : Ast.expr) : Value.t =
   match e.Ast.e with
@@ -409,7 +88,7 @@ let rec eval_expr (ctx : ctx) (e : Ast.expr) : Value.t =
   | Ast.E_bool b -> Value.V_bool b
   | Ast.E_int (n, w) -> Value.V_int (n, w)
   | Ast.E_place p -> eval_place_read ctx p
-  | Ast.E_unop (op, a) -> eval_unop ctx op a
+  | Ast.E_unop (op, a) -> Rt.apply_unop ctx.ec op (eval_expr ctx a)
   | Ast.E_binop (op, a, b) -> eval_binop ctx op a b
   | Ast.E_tuple es -> Value.V_tuple (List.map (eval_expr ctx) es)
   | Ast.E_array es -> Value.V_array (List.map (eval_expr ctx) es)
@@ -419,68 +98,44 @@ let rec eval_expr (ctx : ctx) (e : Ast.expr) : Value.t =
   | Ast.E_ref (m, p) ->
     let ptr, ty = eval_place ctx p in
     let perm = match m with Ast.Mut -> Borrow.Unique | Ast.Imm -> Borrow.Shared_ro in
-    let retagged = retag_pointer ctx ptr perm in
+    let retagged = Rt.retag_pointer ctx.ec ptr perm in
     Value.V_ptr (retagged, Ast.T_ref (m, ty))
   | Ast.E_raw_of (m, p) ->
     let ptr, ty = eval_place ctx p in
     let perm = match m with Ast.Mut -> Borrow.Shared_rw | Ast.Imm -> Borrow.Shared_ro in
-    let retagged = retag_pointer ctx ptr perm in
+    let retagged = Rt.retag_pointer ctx.ec ptr perm in
     Value.V_ptr (retagged, Ast.T_raw (m, ty))
   | Ast.E_call (name, args) -> eval_call ctx name args
   | Ast.E_call_ptr (callee, args) ->
     let v = eval_expr ctx callee in
     let arg_vals = List.map (eval_expr ctx) args in
     call_value ctx v arg_vals
-  | Ast.E_cast (a, target) -> eval_cast ctx a target
+  | Ast.E_cast (a, target) -> Rt.apply_cast ctx.ec (eval_expr ctx a) target
   | Ast.E_transmute (target, a) ->
     let v = eval_expr ctx a in
-    eval_transmute ctx v target
-  | Ast.E_offset (p, n) -> eval_offset ctx p n
-  | Ast.E_alloc (size_e, align_e) -> eval_alloc ctx size_e align_e
-  | Ast.E_len a -> eval_len ctx a
+    Rt.apply_transmute ctx.ec v target
+  | Ast.E_offset (p, n) ->
+    let vp = eval_expr ctx p in
+    let vn = Rt.value_as_int ctx.ec (eval_expr ctx n) in
+    Rt.apply_offset ctx.ec vp vn
+  | Ast.E_alloc (size_e, align_e) ->
+    let size = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx size_e)) in
+    let align = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx align_e)) in
+    Rt.apply_alloc ctx.ec ~size ~align
+  | Ast.E_len a -> (
+    match a.Ast.e with
+    | Ast.E_place p ->
+      let _, ty = eval_place ctx p in
+      Rt.len_of_place_ty ctx.ec ty
+    | _ -> Rt.len_of_value ctx.ec (eval_expr ctx a))
   | Ast.E_input i ->
-    let idx = Int64.to_int (value_as_int ctx (eval_expr ctx i)) in
-    let inputs = ctx.st.config.inputs in
-    let v = if idx >= 0 && idx < Array.length inputs then inputs.(idx) else 0L in
-    Value.V_int (v, Ast.I64)
-  | Ast.E_atomic_load p -> (
-    let v = eval_expr ctx p in
-    match v with
-    | Value.V_ptr (ptr, _) -> typed_read ctx ptr (Ast.T_int Ast.I64) ~atomic:true
-    | _ ->
-      report ctx Diag.Validity "atomic_load on a non-pointer"
-        ~recover:(fun () -> Value.V_int (0L, Ast.I64)))
-  | Ast.E_atomic_add (p, n) -> (
-    (* fetch-and-add with acquire/release semantics: the load acquires the
-       location's release clock, the store releases this thread's *)
+    let idx = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx i)) in
+    Rt.input_value ctx.ec.Rt.st idx
+  | Ast.E_atomic_load p -> Rt.atomic_load_v ctx.ec (eval_expr ctx p)
+  | Ast.E_atomic_add (p, n) ->
     let pv = eval_expr ctx p in
-    let delta = value_as_int ctx (eval_expr ctx n) in
-    match pv with
-    | Value.V_ptr (ptr, _) -> (
-      let old = typed_read ctx ptr (Ast.T_int Ast.I64) ~atomic:true in
-      match old with
-      | Value.V_int (o, _) ->
-        typed_write ctx ptr (Ast.T_int Ast.I64)
-          (Value.V_int (eval_arith Ast.Add o delta Ast.I64, Ast.I64))
-          ~atomic:true;
-        Value.V_int (o, Ast.I64)
-      | other -> other)
-    | _ ->
-      report ctx Diag.Validity "atomic_add on a non-pointer"
-        ~recover:(fun () -> Value.V_int (0L, Ast.I64)))
-
-and eval_unop ctx op a =
-  let v = eval_expr ctx a in
-  match (op, v) with
-  | Ast.Neg, Value.V_int (n, w) ->
-    if (not (fits_width (Int64.neg n) w)) || (w <> Ast.Usize && Int64.equal n Int64.min_int)
-    then raise (Panic_exc "attempt to negate with overflow")
-    else Value.V_int (Int64.neg n, w)
-  | Ast.Not, Value.V_bool b -> Value.V_bool (not b)
-  | Ast.Not, Value.V_int (n, w) -> Value.V_int (truncate_to_width (Int64.lognot n) w, w)
-  | _ ->
-    report ctx Diag.Validity "invalid operand for unary operator"
-      ~recover:(fun () -> v)
+    let delta = Rt.value_as_int ctx.ec (eval_expr ctx n) in
+    Rt.atomic_add_v ctx.ec pv delta
 
 and eval_binop ctx op a b =
   match op with
@@ -493,238 +148,47 @@ and eval_binop ctx op a b =
     let va = eval_expr ctx a in
     if Option.value (Value.as_bool va) ~default:false then Value.V_bool true
     else eval_expr ctx b
-  | _ -> (
+  | _ ->
     let va = eval_expr ctx a in
     let vb = eval_expr ctx b in
-    match (va, vb) with
-    | Value.V_int (x, w), Value.V_int (y, _) -> (
-      match op with
-      | Ast.Eq -> Value.V_bool (Int64.equal x y)
-      | Ast.Ne -> Value.V_bool (not (Int64.equal x y))
-      | Ast.Lt -> Value.V_bool (compare_ints w x y < 0)
-      | Ast.Le -> Value.V_bool (compare_ints w x y <= 0)
-      | Ast.Gt -> Value.V_bool (compare_ints w x y > 0)
-      | Ast.Ge -> Value.V_bool (compare_ints w x y >= 0)
-      | _ -> Value.V_int (eval_arith op x y w, w))
-    | Value.V_bool x, Value.V_bool y -> (
-      match op with
-      | Ast.Eq -> Value.V_bool (x = y)
-      | Ast.Ne -> Value.V_bool (x <> y)
-      | _ ->
-        report ctx Diag.Validity "invalid bool operands" ~recover:(fun () -> va))
-    | Value.V_ptr (p, _), Value.V_ptr (q, _) -> (
-      match op with
-      | Ast.Eq -> Value.V_bool (p.Value.addr = q.Value.addr)
-      | Ast.Ne -> Value.V_bool (p.Value.addr <> q.Value.addr)
-      | _ ->
-        report ctx Diag.Validity "invalid pointer operands" ~recover:(fun () -> va))
-    | Value.V_unit, Value.V_unit -> (
-      match op with
-      | Ast.Eq -> Value.V_bool true
-      | Ast.Ne -> Value.V_bool false
-      | _ -> report ctx Diag.Validity "invalid unit operands" ~recover:(fun () -> va))
-    | _ ->
-      report ctx Diag.Validity "mismatched operand types at runtime"
-        ~recover:(fun () -> va))
-
-and retag_pointer ctx (ptr : Value.pointer) (perm : Borrow.perm) : Value.pointer =
-  match Mem.retag ctx.st.mem ~ptr ~perm with
-  | Ok (p, popped) ->
-    if ctx.st.config.trace then begin
-      trace_event ctx.st "retag: new tag %s (%s) at addr %d"
-        (match p.Value.tag with Some t -> string_of_int t | None -> "?")
-        (perm_name perm) p.Value.addr;
-      trace_popped ctx.st "retag" popped
-    end;
-    p
-  | Error err ->
-    let kind, msg = classify_access_error err in
-    report ctx kind msg ~recover:(fun () -> ptr)
-
-and eval_cast ctx a target =
-  let v = eval_expr ctx a in
-  match (v, target) with
-  | Value.V_int (n, _), Ast.T_int w ->
-    let truncated = truncate_to_width n w in
-    let adjusted = if w = Ast.Usize then n else truncated in
-    Value.V_int (adjusted, w)
-  | Value.V_bool b, Ast.T_int w -> Value.V_int ((if b then 1L else 0L), w)
-  | Value.V_ptr (p, src_ty), Ast.T_raw (_, _) -> (
-    (* ref-to-raw is a retag; raw-to-raw just repaints the type *)
-    match src_ty with
-    | Ast.T_ref (m, _) ->
-      let perm =
-        match (m, target) with
-        | Ast.Mut, Ast.T_raw (Ast.Mut, _) -> Borrow.Shared_rw
-        | _, _ -> Borrow.Shared_ro
-      in
-      let retagged = retag_pointer ctx p perm in
-      Value.V_ptr (retagged, target)
-    | _ -> Value.V_ptr (p, target))
-  | Value.V_ptr (p, _), Ast.T_int w ->
-    (* ptr-to-int observes the address and exposes the allocation *)
-    Mem.expose ctx.st.mem p;
-    Value.V_int (truncate_to_width (Int64.of_int p.Value.addr) w, w)
-  | Value.V_int (n, _), Ast.T_raw _ ->
-    Value.V_ptr ({ Value.prov = Value.P_wild; addr = Int64.to_int n; tag = None }, target)
-  | Value.V_fn (name, _), Ast.T_int w ->
-    Value.V_int (Int64.of_int (fn_pointer ctx.st name).Value.addr, w)
-  | Value.V_fn (name, _), Ast.T_raw _ -> Value.V_ptr (fn_pointer ctx.st name, target)
-  | _ ->
-    report ctx Diag.Validity
-      (Printf.sprintf "unsupported cast of %s to %s" (Value.to_display v)
-         (Pretty.ty target))
-      ~recover:(fun () -> Value.zero ctx.st.program target)
-
-and eval_transmute ctx (v : Value.t) (target : Ast.ty) : Value.t =
-  let st = ctx.st in
-  let bytes =
-    match v with
-    | Value.V_bytes b -> Array.map (function Some n -> Mem.B_int n | None -> Mem.B_uninit) b
-    | _ -> Mem.encode st.program ~fn_addr:(fn_pointer st) (ty_of_value st v) v
-  in
-  if Array.length bytes <> Layout.size_of st.program target then
-    report ctx Diag.Validity "transmute size mismatch at runtime"
-      ~recover:(fun () -> Value.zero st.program target)
-  else
-    match Mem.decode st.program target bytes with
-    | Ok out -> out
-    | Error msg ->
-      report ctx Diag.Validity ("transmute produced an invalid value: " ^ msg)
-        ~recover:(fun () -> Value.zero st.program target)
-
-and eval_offset ctx p n =
-  let vp = eval_expr ctx p in
-  let vn = value_as_int ctx (eval_expr ctx n) in
-  match vp with
-  | Value.V_ptr (ptr, (Ast.T_raw (_, elem) as rty)) -> (
-    let elem_size = max 1 (Layout.size_of ctx.st.program elem) in
-    let new_addr = ptr.Value.addr + (Int64.to_int vn * elem_size) in
-    let moved = { ptr with Value.addr = new_addr } in
-    match ptr.Value.prov with
-    | Value.P_alloc id -> (
-      match Mem.find_alloc ctx.st.mem id with
-      | Some a ->
-        let off = new_addr - a.Mem.base in
-        if off < 0 || off > a.Mem.size then
-          report ctx Diag.Dangling_pointer
-            (Printf.sprintf
-               "pointer arithmetic leaves the bounds of allocation %d (offset %d of %d)"
-               id off a.Mem.size)
-            ~recover:(fun () -> Value.V_ptr (moved, rty))
-        else Value.V_ptr (moved, rty)
-      | None ->
-        report ctx Diag.Dangling_pointer "offset of pointer to unknown allocation"
-          ~recover:(fun () -> Value.V_ptr (moved, rty)))
-    | Value.P_wild | Value.P_none | Value.P_fn _ -> Value.V_ptr (moved, rty))
-  | _ ->
-    report ctx Diag.Validity "offset on a non-raw-pointer" ~recover:(fun () -> vp)
-
-and eval_alloc ctx size_e align_e =
-  let size = Int64.to_int (value_as_int ctx (eval_expr ctx size_e)) in
-  let align = Int64.to_int (value_as_int ctx (eval_expr ctx align_e)) in
-  let bad msg =
-    report ctx Diag.Alloc msg ~recover:(fun () ->
-        Value.V_ptr (Value.null_pointer, Ast.T_raw (Ast.Mut, Ast.T_int Ast.I8)))
-  in
-  if size <= 0 then bad (Printf.sprintf "alloc with invalid size %d" size)
-  else if align <= 0 || align land (align - 1) <> 0 then
-    bad (Printf.sprintf "alloc with invalid alignment %d" align)
-  else begin
-    let a = tracked_allocate ctx.st ~size ~align ~kind:Mem.Heap in
-    trace_event ctx.st "alloc: allocation %d (%d bytes, align %d, base tag %d)"
-      a.Mem.id size align a.Mem.base_tag;
-    Value.V_ptr (base_pointer a, Ast.T_raw (Ast.Mut, Ast.T_int Ast.I8))
-  end
-
-and eval_len ctx a =
-  match a.Ast.e with
-  | Ast.E_place p ->
-    let _, ty = eval_place ctx p in
-    (match ty with
-    | Ast.T_array (_, n) -> Value.V_int (Int64.of_int n, Ast.Usize)
-    | _ ->
-      report ctx Diag.Validity "len() of a non-array place"
-        ~recover:(fun () -> Value.V_int (0L, Ast.Usize)))
-  | _ -> (
-    match eval_expr ctx a with
-    | Value.V_array vs -> Value.V_int (Int64.of_int (List.length vs), Ast.Usize)
-    | Value.V_ptr (_, Ast.T_ref (_, Ast.T_array (_, n))) ->
-      Value.V_int (Int64.of_int n, Ast.Usize)
-    | v ->
-      report ctx Diag.Validity ("len() of non-array value " ^ Value.to_display v)
-        ~recover:(fun () -> Value.V_int (0L, Ast.Usize)))
+    Rt.apply_binop ctx.ec op va vb
 
 and eval_call ctx name args =
   (* name resolution: local fn-pointer first, then declared function *)
   match lookup_local ctx name with
   | Some local ->
-    let callee = typed_read ctx (base_pointer local.l_alloc) local.l_ty ~atomic:false in
+    let callee =
+      Rt.typed_read ctx.ec (Rt.base_pointer local.l_alloc) local.l_ty ~atomic:false
+    in
     let arg_vals = List.map (eval_expr ctx) args in
     call_value ctx callee arg_vals
   | None -> (
-    match Ast.lookup_fn ctx.st.program name with
+    match Ast.lookup_fn ctx.ec.Rt.st.Rt.program name with
     | Some f ->
       let arg_vals = List.map (eval_expr ctx) args in
       call_fn ctx f arg_vals
-    | None ->
-      invalid_arg ("Machine: call to unknown function " ^ name))
+    | None -> invalid_arg ("Machine: call to unknown function " ^ name))
 
 and call_value ctx (callee : Value.t) (args : Value.t list) : Value.t =
-  let st = ctx.st in
-  match callee with
-  | Value.V_fn (name, _) -> (
-    match Ast.lookup_fn st.program name with
-    | Some f -> call_fn ctx f args
-    | None ->
-      report ctx Diag.Func_call ("call of unknown function " ^ name)
-        ~recover:(fun () -> Value.V_unit))
-  | Value.V_ptr (p, claimed) -> (
-    match p.Value.prov with
-    | Value.P_fn idx when idx >= 0 && idx < Array.length st.fn_table ->
-      let f = st.fn_table.(idx) in
-      let actual = fn_sig f in
-      if not (Ast.equal_ty actual claimed) then
-        report ctx Diag.Func_pointer
-          (Printf.sprintf
-             "calling %s through a pointer of incompatible type %s (actual %s)"
-             f.Ast.fname (Pretty.ty claimed) (Pretty.ty actual))
-          ~recover:(fun () ->
-            match claimed with
-            | Ast.T_fn (_, ret) -> Value.zero st.program ret
-            | _ -> Value.V_unit)
-      else call_fn ctx f args
-    | Value.P_fn _ ->
-      report ctx Diag.Func_call "call through a corrupt function-table pointer"
-        ~recover:(fun () -> Value.V_unit)
-    | Value.P_alloc _ | Value.P_wild | Value.P_none ->
-      let what = if p.Value.addr = 0 then "a null pointer" else "a non-function pointer" in
-      report ctx Diag.Func_call ("attempting to call " ^ what)
-        ~recover:(fun () ->
-          match claimed with
-          | Ast.T_fn (_, ret) -> Value.zero st.program ret
-          | _ -> Value.V_unit))
-  | v ->
-    report ctx Diag.Func_call ("attempting to call value " ^ Value.to_display v)
-      ~recover:(fun () -> Value.V_unit)
+  match Rt.resolve_callee ctx.ec callee with
+  | Rt.Call_fn idx -> call_fn ctx ctx.ec.Rt.st.Rt.fn_table.(idx) args
+  | Rt.Call_recover v -> v
 
 and call_fn ctx (f : Ast.fn_decl) (args : Value.t list) : Value.t =
-  let st = ctx.st in
+  let st = ctx.ec.Rt.st in
   if List.length args <> List.length f.Ast.params then
-    report ctx Diag.Func_pointer
-      (Printf.sprintf "function %s called with %d arguments (expects %d)" f.Ast.fname
-         (List.length args) (List.length f.Ast.params))
-      ~recover:(fun () -> Value.zero st.program f.Ast.ret)
+    Rt.call_arity_error ctx.ec f.Ast.fname ~got:(List.length args)
+      ~want:(List.length f.Ast.params) f.Ast.ret
   else begin
-    let callee_ctx = make_ctx st ctx.tid in
+    let callee_ctx = make_ctx st ctx.ec.Rt.tid in
     let scope : scope = ref [] in
     callee_ctx.scopes <- [ scope ];
     List.iter2
       (fun (pname, pty) v ->
-        let size = Layout.size_of st.program pty in
-        let align = max 1 (Layout.align_of st.program pty) in
-        let a = tracked_allocate st ~size ~align ~kind:Mem.Stack in
-        typed_write callee_ctx (base_pointer a) pty v ~atomic:false;
+        let size = Layout.size_of st.Rt.program pty in
+        let align = max 1 (Layout.align_of st.Rt.program pty) in
+        let a = Rt.tracked_allocate st ~size ~align ~kind:Mem.Stack in
+        Rt.typed_write callee_ctx.ec (Rt.base_pointer a) pty v ~atomic:false;
         bind_local callee_ctx scope pname { l_alloc = a; l_ty = pty })
       f.Ast.params args;
     let finish () =
@@ -735,11 +199,8 @@ and call_fn ctx (f : Ast.fn_decl) (args : Value.t list) : Value.t =
     | () ->
       finish ();
       if Ast.equal_ty f.Ast.ret Ast.T_unit then Value.V_unit
-      else
-        report ctx Diag.Validity
-          (Printf.sprintf "function %s finished without returning a value" f.Ast.fname)
-          ~recover:(fun () -> Value.zero st.program f.Ast.ret)
-    | exception Return_exc v ->
+      else Rt.missing_return_value ctx.ec f.Ast.fname f.Ast.ret
+    | exception Rt.Return_exc v ->
       finish ();
       v
     | exception e ->
@@ -754,91 +215,46 @@ and eval_place (ctx : ctx) (p : Ast.place) : Value.pointer * Ast.ty =
   match p with
   | Ast.P_var name -> (
     match lookup_local ctx name with
-    | Some l -> (base_pointer l.l_alloc, l.l_ty)
+    | Some l -> (Rt.base_pointer l.l_alloc, l.l_ty)
     | None -> (
-      match Hashtbl.find_opt ctx.st.statics_tbl name with
-      | Some (a, ty) -> (base_pointer a, ty)
+      match Hashtbl.find_opt ctx.ec.Rt.st.Rt.statics_tbl name with
+      | Some (a, ty) -> (Rt.base_pointer a, ty)
       | None -> invalid_arg ("Machine: unknown variable " ^ name)))
-  | Ast.P_deref e -> (
-    let v = eval_expr ctx e in
-    match v with
-    | Value.V_ptr (ptr, (Ast.T_ref (_, t) | Ast.T_raw (_, t))) -> (ptr, t)
-    | Value.V_ptr (ptr, _) -> (ptr, Ast.T_unit)
-    | _ ->
-      report ctx Diag.Validity
-        ("dereference of non-pointer value " ^ Value.to_display v)
-        ~recover:(fun () -> (Value.null_pointer, Ast.T_unit)))
-  | Ast.P_index (base, idx) -> (
+  | Ast.P_deref e -> Rt.place_deref ctx.ec (eval_expr ctx e)
+  | Ast.P_index (base, idx) ->
     let bptr, bty = eval_place ctx base in
-    let i = Int64.to_int (value_as_int ctx (eval_expr ctx idx)) in
-    match bty with
-    | Ast.T_array (elem, n) ->
-      if i < 0 || i >= n then
-        raise
-          (Panic_exc
-             (Printf.sprintf "index out of bounds: the len is %d but the index is %d" n i))
-      else
-        let elem_size = Layout.size_of ctx.st.program elem in
-        ({ bptr with Value.addr = bptr.Value.addr + (i * elem_size) }, elem)
-    | _ ->
-      report ctx Diag.Validity "indexing a non-array place"
-        ~recover:(fun () -> (bptr, Ast.T_unit)))
-  | Ast.P_index_unchecked (base, idx) -> (
+    let i = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx idx)) in
+    Rt.place_index ctx.ec bptr bty i
+  | Ast.P_index_unchecked (base, idx) ->
     let bptr, bty = eval_place ctx base in
-    let i = Int64.to_int (value_as_int ctx (eval_expr ctx idx)) in
-    match bty with
-    | Ast.T_array (elem, _) ->
-      (* no bounds check: the access layer flags out-of-range addresses *)
-      let elem_size = Layout.size_of ctx.st.program elem in
-      ({ bptr with Value.addr = bptr.Value.addr + (i * elem_size) }, elem)
-    | _ ->
-      report ctx Diag.Validity "get_unchecked on a non-array place"
-        ~recover:(fun () -> (bptr, Ast.T_unit)))
-  | Ast.P_field (base, i) -> (
+    let i = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx idx)) in
+    Rt.place_index_unchecked ctx.ec bptr bty i
+  | Ast.P_field (base, i) ->
     let bptr, bty = eval_place ctx base in
-    match bty with
-    | Ast.T_tuple ts when i >= 0 && i < List.length ts ->
-      let off = List.nth (Layout.tuple_offsets ctx.st.program ts) i in
-      ({ bptr with Value.addr = bptr.Value.addr + off }, List.nth ts i)
-    | _ ->
-      report ctx Diag.Validity "tuple field access on a non-tuple place"
-        ~recover:(fun () -> (bptr, Ast.T_unit)))
-  | Ast.P_union_field (base, fld) -> (
+    Rt.place_field ctx.ec bptr bty i
+  | Ast.P_union_field (base, fld) ->
     let bptr, bty = eval_place ctx base in
-    match bty with
-    | Ast.T_union u -> (
-      match Ast.lookup_union ctx.st.program u with
-      | Some decl -> (
-        match List.assoc_opt fld decl.Ast.ufields with
-        | Some fty -> (bptr, fty)  (* all union fields live at offset 0 *)
-        | None ->
-          report ctx Diag.Validity ("unknown union field " ^ fld)
-            ~recover:(fun () -> (bptr, Ast.T_unit)))
-      | None ->
-        report ctx Diag.Validity ("unknown union type " ^ u)
-          ~recover:(fun () -> (bptr, Ast.T_unit)))
-    | _ ->
-      report ctx Diag.Validity "union field access on a non-union place"
-        ~recover:(fun () -> (bptr, Ast.T_unit)))
+    Rt.place_union_field ctx.ec bptr bty fld
 
 and eval_place_read ctx p : Value.t =
   match p with
   | Ast.P_var name when lookup_local ctx name = None
-                        && not (Hashtbl.mem ctx.st.statics_tbl name) -> (
+                        && not (Hashtbl.mem ctx.ec.Rt.st.Rt.statics_tbl name) -> (
     (* a bare function name used as a value *)
-    match Ast.lookup_fn ctx.st.program name with
-    | Some f -> Value.V_fn (name, fn_sig f)
+    match Ast.lookup_fn ctx.ec.Rt.st.Rt.program name with
+    | Some f -> Value.V_fn (name, Rt.fn_sig f)
     | None -> invalid_arg ("Machine: unknown variable " ^ name))
   | _ ->
     let ptr, ty = eval_place ctx p in
-    typed_read ctx ptr ty ~atomic:false
+    Rt.typed_read ctx.ec ptr ty ~atomic:false
 
 (* ------------------------------------------------------------------ *)
 (* Statements *)
 
 and exec_stmt (ctx : ctx) (stmt : Ast.stmt) : unit =
-  ctx.st.cur_stmt <- stmt.Ast.sid;
-  yield_point ctx;
+  let st = ctx.ec.Rt.st in
+  st.Rt.cur_stmt <- stmt.Ast.sid;
+  Rt.yield_point st;
   match stmt.Ast.s with
   | Ast.S_let (name, annot, e) ->
     let v = eval_expr ctx e in
@@ -846,28 +262,28 @@ and exec_stmt (ctx : ctx) (stmt : Ast.stmt) : unit =
       match annot with
       | Some t -> t
       | None -> (
-        match Typecheck.ty_of_expr ctx.st.info e with
+        match Typecheck.ty_of_expr st.Rt.info e with
         | Some t -> t
-        | None -> ty_of_value ctx.st v)
+        | None -> Rt.ty_of_value st v)
     in
-    let size = Layout.size_of ctx.st.program ty in
-    let align = max 1 (Layout.align_of ctx.st.program ty) in
-    let a = tracked_allocate ctx.st ~size ~align ~kind:Mem.Stack in
-    typed_write ctx (base_pointer a) ty v ~atomic:false;
+    let size = Layout.size_of st.Rt.program ty in
+    let align = max 1 (Layout.align_of st.Rt.program ty) in
+    let a = Rt.tracked_allocate st ~size ~align ~kind:Mem.Stack in
+    Rt.typed_write ctx.ec (Rt.base_pointer a) ty v ~atomic:false;
     (match ctx.scopes with
     | scope :: _ -> bind_local ctx scope name { l_alloc = a; l_ty = ty }
     | [] -> invalid_arg "Machine: let outside any scope")
   | Ast.S_assign (p, e) ->
     let v = eval_expr ctx e in
     let ptr, ty = eval_place ctx p in
-    typed_write ctx ptr ty v ~atomic:false
+    Rt.typed_write ctx.ec ptr ty v ~atomic:false
   | Ast.S_expr e -> ignore (eval_expr ctx e)
   | Ast.S_if (c, t, f) ->
     let cond = Option.value (Value.as_bool (eval_expr ctx c)) ~default:false in
     if cond then exec_block ctx t else exec_block ctx f
   | Ast.S_while (c, body) ->
     let rec loop () =
-      yield_point ctx;
+      Rt.yield_point st;
       let cond = Option.value (Value.as_bool (eval_expr ctx c)) ~default:false in
       if cond then begin
         exec_block ctx body;
@@ -878,75 +294,28 @@ and exec_stmt (ctx : ctx) (stmt : Ast.stmt) : unit =
   | Ast.S_block b | Ast.S_unsafe b -> exec_block ctx b
   | Ast.S_assert (e, msg) ->
     let ok = Option.value (Value.as_bool (eval_expr ctx e)) ~default:false in
-    if not ok then raise (Panic_exc ("assertion failed: " ^ msg))
-  | Ast.S_panic msg -> raise (Panic_exc msg)
-  | Ast.S_return None -> raise (Return_exc Value.V_unit)
-  | Ast.S_return (Some e) -> raise (Return_exc (eval_expr ctx e))
+    if not ok then raise (Rt.Panic_exc ("assertion failed: " ^ msg))
+  | Ast.S_panic msg -> raise (Rt.Panic_exc msg)
+  | Ast.S_return None -> raise (Rt.Return_exc Value.V_unit)
+  | Ast.S_return (Some e) -> raise (Rt.Return_exc (eval_expr ctx e))
   | Ast.S_print e ->
     let v = eval_expr ctx e in
-    ctx.st.outputs <- Value.to_display v :: ctx.st.outputs
-  | Ast.S_dealloc (pe, size_e, align_e) -> exec_dealloc ctx pe size_e align_e
+    st.Rt.outputs <- Value.to_display v :: st.Rt.outputs
+  | Ast.S_dealloc (pe, size_e, align_e) ->
+    let pv = eval_expr ctx pe in
+    let size = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx size_e)) in
+    let align = Int64.to_int (Rt.value_as_int ctx.ec (eval_expr ctx align_e)) in
+    Rt.dealloc_v ctx.ec pv ~size ~align
   | Ast.S_spawn (handle, fname, args) -> exec_spawn ctx handle fname args
-  | Ast.S_join e -> exec_join ctx e
-  | Ast.S_atomic_store (pe, ve) -> (
+  | Ast.S_join e -> Rt.join_v ctx.ec (eval_expr ctx e)
+  | Ast.S_atomic_store (pe, ve) ->
     let pv = eval_expr ctx pe in
     let v = eval_expr ctx ve in
-    match pv with
-    | Value.V_ptr (ptr, _) -> typed_write ctx ptr (Ast.T_int Ast.I64) v ~atomic:true
-    | _ -> report ctx Diag.Validity "atomic_store on a non-pointer" ~recover:(fun () -> ()))
-
-and exec_dealloc ctx pe size_e align_e =
-  let st = ctx.st in
-  let pv = eval_expr ctx pe in
-  let size = Int64.to_int (value_as_int ctx (eval_expr ctx size_e)) in
-  let align = Int64.to_int (value_as_int ctx (eval_expr ctx align_e)) in
-  match pv with
-  | Value.V_ptr (ptr, _) -> (
-    let resolve () =
-      match ptr.Value.prov with
-      | Value.P_alloc id -> Mem.find_alloc st.mem id
-      | Value.P_wild -> Mem.alloc_containing st.mem ptr.Value.addr
-      | Value.P_fn _ | Value.P_none -> None
-    in
-    match resolve () with
-    | None ->
-      report ctx Diag.Alloc "dealloc of a pointer that was never allocated"
-        ~recover:(fun () -> ())
-    | Some a ->
-      if not a.Mem.live then
-        report ctx Diag.Alloc "double free" ~recover:(fun () -> ())
-      else if a.Mem.kind <> Mem.Heap then
-        report ctx Diag.Alloc "dealloc of non-heap memory" ~recover:(fun () -> ())
-      else if ptr.Value.addr <> a.Mem.base then
-        report ctx Diag.Alloc "dealloc of a pointer not at the allocation start"
-          ~recover:(fun () -> ())
-      else if size <> a.Mem.size || align <> a.Mem.align then
-        report ctx Diag.Alloc
-          (Printf.sprintf
-             "dealloc with wrong layout: (size %d, align %d) vs allocated (size %d, align %d)"
-             size align a.Mem.size a.Mem.align)
-          ~recover:(fun () -> ())
-      else begin
-        (* freeing is a write-like access for the race detector *)
-        let thread = thread_of ctx in
-        (match
-           Mem.check_access st.mem ~ptr ~len:a.Mem.size ~align:1 ~write:true
-             ~tid:ctx.tid ~clock:thread.clock ~atomic:false
-         with
-        | Error err ->
-          let kind, msg = classify_access_error err in
-          report ctx kind msg ~recover:(fun () -> ())
-        | Ok _ -> ());
-        trace_event st "dealloc: freed allocation %d (%d bytes)" a.Mem.id a.Mem.size;
-        Mem.deallocate st.mem a
-      end)
-  | v ->
-    report ctx Diag.Alloc ("dealloc of non-pointer " ^ Value.to_display v)
-      ~recover:(fun () -> ())
+    Rt.atomic_store_v ctx.ec pv v
 
 and exec_spawn ctx handle fname args =
-  let st = ctx.st in
-  match Ast.lookup_fn st.program fname with
+  let st = ctx.ec.Rt.st in
+  match Ast.lookup_fn st.Rt.program fname with
   | None -> invalid_arg ("Machine: spawn of unknown function " ^ fname)
   | Some f ->
     let arg_vals = List.map (eval_expr ctx) args in
@@ -954,43 +323,14 @@ and exec_spawn ctx handle fname args =
       let child_ctx = make_ctx st tid in
       ignore (call_fn child_ctx f arg_vals)
     in
-    let tid = Effect.perform (Spawn_eff body) in
+    let tid = Effect.perform (Rt.Spawn_eff body) in
     (* bind the handle as a local *)
     let ty = Ast.T_handle in
-    let a = tracked_allocate st ~size:8 ~align:8 ~kind:Mem.Stack in
-    typed_write ctx (base_pointer a) ty (Value.V_handle tid) ~atomic:false;
+    let a = Rt.tracked_allocate st ~size:8 ~align:8 ~kind:Mem.Stack in
+    Rt.typed_write ctx.ec (Rt.base_pointer a) ty (Value.V_handle tid) ~atomic:false;
     (match ctx.scopes with
     | scope :: _ -> bind_local ctx scope handle { l_alloc = a; l_ty = ty }
     | [] -> invalid_arg "Machine: spawn outside any scope")
-
-and exec_join ctx e =
-  let v = eval_expr ctx e in
-  match v with
-  | Value.V_handle tid -> (
-    match Hashtbl.find_opt ctx.st.threads tid with
-    | None ->
-      report ctx Diag.Concurrency
-        (Printf.sprintf "join of invalid thread handle %d" tid)
-        ~recover:(fun () -> ())
-    | Some t -> (
-      match t.status with
-      | T_joined ->
-        report ctx Diag.Concurrency
-          (Printf.sprintf "thread %d joined twice" tid)
-          ~recover:(fun () -> ())
-      | T_runnable | T_blocked_on _ | T_done ->
-        let ok = Effect.perform (Join_eff tid) in
-        if ok then begin
-          (* join synchronizes: acquire the child's final clock *)
-          let self = thread_of ctx in
-          self.clock <- Vclock.tick (Vclock.merge self.clock t.clock) ctx.tid
-        end
-        else
-          report ctx Diag.Concurrency
-            (Printf.sprintf "join of thread %d failed" tid)
-            ~recover:(fun () -> ())))
-  | _ ->
-    report ctx Diag.Concurrency "join of a non-handle value" ~recover:(fun () -> ())
 
 and exec_block (ctx : ctx) (b : Ast.block) : unit =
   let scope : scope = ref [] in
@@ -1007,271 +347,47 @@ and exec_block (ctx : ctx) (b : Ast.block) : unit =
     raise e
 
 (* ------------------------------------------------------------------ *)
-(* Scheduler *)
+(* Engine dispatch *)
 
-type pending = { p_tid : int; run : unit -> unit }
+let run_tree ~config (program : Ast.program) (info : Typecheck.info) : run_result =
+  Rt.drive ~config ~program ~info
+    ~init_statics:(fun st tid ->
+      let ctx = make_ctx st tid in
+      ctx.scopes <- [ ref [] ];
+      List.iter
+        (fun (s : Ast.static_decl) ->
+          let ty = s.Ast.sty in
+          let size = Layout.size_of program ty in
+          let align = max 1 (Layout.align_of program ty) in
+          let a = Rt.tracked_allocate st ~size ~align ~kind:Mem.Global in
+          Hashtbl.replace st.Rt.statics_tbl s.Ast.sname (a, ty);
+          let v = eval_expr ctx s.Ast.sinit in
+          Rt.typed_write ctx.ec (Rt.base_pointer a) ty v ~atomic:false)
+        program.Ast.statics)
+    ~main_body:(fun st tid ->
+      let ctx = make_ctx st tid in
+      match Ast.lookup_fn program "main" with
+      | Some f -> ignore (call_fn ctx f [])
+      | None -> invalid_arg "Machine: program has no main function")
+
+type lowered = Bytecode.program_code
+
+let lower (program : Ast.program) (info : Typecheck.info) : lowered =
+  Compile.lower program info
+
+let run_lowered ?(config = default_config) (program : Ast.program)
+    (info : Typecheck.info) (code : lowered) : run_result =
+  Vm.run ~config program info code
 
 let run ?(config = default_config) (program : Ast.program) (info : Typecheck.info) :
     run_result =
-  (* deterministic tags per run: diagnostics mention tag numbers, and repair
-     traces built from them must not depend on how many runs came before *)
-  Borrow.reset_tags ();
-  let fn_table = Array.of_list program.Ast.funcs in
-  let fn_index_tbl = Hashtbl.create (Array.length fn_table) in
-  Array.iteri
-    (fun i (f : Ast.fn_decl) ->
-      (* first declaration wins, as the linear scan it replaces did *)
-      if not (Hashtbl.mem fn_index_tbl f.Ast.fname) then
-        Hashtbl.add fn_index_tbl f.Ast.fname i)
-    fn_table;
-  let st =
-    {
-      config;
-      program;
-      info;
-      mem = Mem.create ();
-      fn_table;
-      fn_index_tbl;
-      statics_tbl = Hashtbl.create 8;
-      threads = Hashtbl.create 8;
-      next_tid = 0;
-      steps = 0;
-      outputs = [];
-      diags = [];
-      events = [];
-      stop = None;
-      sched_rng = Rb_util.Rng.create (config.seed * 2 + 1);
-      cur_stmt = -1;
-      allocs = 0;
-      alloc_bytes = 0;
-    }
-  in
-  let runnable : pending list ref = ref [] in
-  let enqueue p = runnable := !runnable @ [ p ] in
-  (* joiners waiting on a tid *)
-  let waiters : (int, pending list) Hashtbl.t = Hashtbl.create 8 in
-  let new_thread () =
-    let tid = st.next_tid in
-    st.next_tid <- tid + 1;
-    let t = { tid; clock = Vclock.tick Vclock.empty tid; status = T_runnable } in
-    Hashtbl.replace st.threads tid t;
-    t
-  in
-  let record_stop outcome = if st.stop = None then st.stop <- Some outcome in
-  let rec spawn_thread (parent : thread option) (body : int -> unit) : int =
-    let t = new_thread () in
-    (match parent with
-    | Some p ->
-      (* child inherits the parent's history; both sides then advance *)
-      t.clock <- Vclock.tick (Vclock.merge t.clock p.clock) t.tid;
-      p.clock <- Vclock.tick p.clock p.tid
-    | None -> ());
-    enqueue { p_tid = t.tid; run = (fun () -> run_thread t body) };
-    t.tid
-  and run_thread (t : thread) (body : int -> unit) : unit =
-    let open Effect.Deep in
-    match_with
-      (fun () -> body t.tid)
-      ()
-      {
-        retc =
-          (fun () ->
-            t.status <- T_done;
-            (* wake joiners *)
-            match Hashtbl.find_opt waiters t.tid with
-            | Some ws ->
-              Hashtbl.remove waiters t.tid;
-              List.iter enqueue ws
-            | None -> ());
-        exnc =
-          (fun e ->
-            t.status <- T_done;
-            (match Hashtbl.find_opt waiters t.tid with
-            | Some ws ->
-              Hashtbl.remove waiters t.tid;
-              List.iter enqueue ws
-            | None -> ());
-            match e with
-            | Panic_exc msg -> record_stop (Panicked msg)
-            | Ub_fatal d -> record_stop (Ub d)
-            | Step_limit_exc -> record_stop Step_limit
-            | Resource_exc msg -> record_stop (Resource_limit msg)
-            | e -> raise e);
-        effc =
-          (fun (type a) (eff : a Effect.t) ->
-            match eff with
-            | Yield ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  enqueue { p_tid = t.tid; run = (fun () -> continue k ()) })
-            | Spawn_eff body' ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  let tid = spawn_thread (Some t) body' in
-                  continue k tid)
-            | Join_eff target ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  match Hashtbl.find_opt st.threads target with
-                  | None -> continue k false
-                  | Some tgt -> (
-                    match tgt.status with
-                    | T_done ->
-                      tgt.status <- T_joined;
-                      continue k true
-                    | T_joined -> continue k false
-                    | T_runnable | T_blocked_on _ ->
-                      t.status <- T_blocked_on target;
-                      let resume =
-                        {
-                          p_tid = t.tid;
-                          run =
-                            (fun () ->
-                              t.status <- T_runnable;
-                              (match Hashtbl.find_opt st.threads target with
-                              | Some tgt2 when tgt2.status = T_done ->
-                                tgt2.status <- T_joined
-                              | _ -> ());
-                              continue k true);
-                        }
-                      in
-                      let existing =
-                        Option.value (Hashtbl.find_opt waiters target) ~default:[]
-                      in
-                      Hashtbl.replace waiters target (existing @ [ resume ])))
-            | _ -> None);
-      }
-  in
-  (* initialize statics *)
-  let static_error = ref None in
-  let init_statics main_tid =
-    let ctx = make_ctx st main_tid in
-    ctx.scopes <- [ ref [] ];
-    List.iter
-      (fun (s : Ast.static_decl) ->
-        let ty = s.Ast.sty in
-        let size = Layout.size_of program ty in
-        let align = max 1 (Layout.align_of program ty) in
-        let a = tracked_allocate st ~size ~align ~kind:Mem.Global in
-        Hashtbl.replace st.statics_tbl s.Ast.sname (a, ty);
-        let v = eval_expr ctx s.Ast.sinit in
-        typed_write ctx (base_pointer a) ty v ~atomic:false)
-      program.Ast.statics
-  in
-  let main_body tid =
-    (match !static_error with Some e -> raise e | None -> ());
-    let ctx = make_ctx st tid in
-    match Ast.lookup_fn program "main" with
-    | Some f -> ignore (call_fn ctx f [])
-    | None -> invalid_arg "Machine: program has no main function"
-  in
-  let main_tid =
-    spawn_thread None (fun tid ->
-        (try init_statics tid
-         with (Panic_exc _ | Ub_fatal _ | Step_limit_exc | Resource_exc _) as e ->
-           static_error := Some e);
-        main_body tid)
-  in
-  (* scheduler loop *)
-  let rec loop () =
-    match st.stop with
-    | Some _ -> ()
-    | None -> (
-      match !runnable with
-      | [] -> ()
-      | pendings ->
-        let n = List.length pendings in
-        let idx = Rb_util.Rng.int st.sched_rng n in
-        let chosen = List.nth pendings idx in
-        runnable := List.filteri (fun i _ -> i <> idx) pendings;
-        chosen.run ();
-        loop ())
-  in
-  loop ();
-  (* post-run checks *)
-  let main_done =
-    match Hashtbl.find_opt st.threads main_tid with
-    | Some t -> t.status = T_done || t.status = T_joined
-    | None -> false
-  in
-  let final_diags = ref [] in
-  (match st.stop with
-  | Some _ -> ()
-  | None ->
-    if not main_done then begin
-      (* all remaining threads blocked on joins: deadlock *)
-      let d =
-        Diag.make ~thread:main_tid Diag.Concurrency
-          "deadlock: every thread is blocked on a join"
-      in
-      final_diags := d :: !final_diags
-    end
-    else begin
-      (* leaked threads: main finished while children still exist unjoined *)
-      Hashtbl.iter
-        (fun tid t ->
-          if tid <> main_tid && t.status <> T_joined then
-            final_diags :=
-              Diag.make ~thread:tid Diag.Concurrency
-                (Printf.sprintf "thread %d was never joined before main exited" tid)
-              :: !final_diags)
-        st.threads;
-      (* leaked heap allocations *)
-      List.iter
-        (fun (a : Mem.allocation) ->
-          final_diags :=
-            Diag.make ~thread:main_tid Diag.Alloc
-              (Printf.sprintf "memory leak: allocation %d (%d bytes) never freed"
-                 a.Mem.id a.Mem.size)
-            :: !final_diags)
-        (Mem.live_heap_allocations st.mem)
-    end);
-  st.diags <- !final_diags @ st.diags;
-  let outcome =
-    match st.stop with
-    | Some o -> o
-    | None -> (
-      match st.diags with
-      | [] -> Finished
-      | d :: _ -> (
-        match config.mode with
-        | Stop_first -> Ub d
-        | Collect _ -> if !final_diags <> [] then Ub (List.hd !final_diags) else Finished))
-  in
-  let diags = List.rev st.diags in
-  (* a panic or a blown resource budget each count as one error on top of
-     the recorded UB diagnostics; a step-limit stop stays cost-free, as it
-     always has (spin loops are scored by their diagnostics alone) *)
-  let aborted = match outcome with Panicked _ | Resource_limit _ -> true | _ -> false in
-  let result =
-    {
-      outcome;
-      output = List.rev st.outputs;
-      diags;
-      steps = st.steps;
-      error_count = List.length diags + (if aborted then 1 else 0);
-      events = List.rev st.events;
-    }
-  in
-  (* one event per run, never per step: the interpreter hot loop stays
-     untouched and the counters ride along for free *)
-  Obs.Trace.note "interp" (fun () ->
-      [ ("steps", Obs.Trace.I st.steps);
-        ("allocs", Obs.Trace.I st.allocs);
-        ("alloc_bytes", Obs.Trace.I st.alloc_bytes);
-        ("diags", Obs.Trace.I (List.length diags));
-        ( "outcome",
-          Obs.Trace.S
-            (match outcome with
-            | Finished -> "finished"
-            | Panicked _ -> "panicked"
-            | Ub _ -> "ub"
-            | Step_limit -> "step-limit"
-            | Resource_limit _ -> "resource-limit") ) ]);
-  Obs.Metrics.inc "interp.runs";
-  Obs.Metrics.inc ~by:st.steps "interp.steps";
-  Obs.Metrics.inc ~by:st.allocs "interp.allocs";
-  result
+  match config.engine with
+  | Tree_walk -> run_tree ~config program info
+  | Bytecode ->
+    (* lowering is its own trace phase so profiles separate compile cost
+       from execution cost *)
+    let code = Obs.Trace.in_span "lower" (fun () -> Compile.lower program info) in
+    Vm.run ~config program info code
 
 type analysis = Compile_error of string | Ran of run_result
 
@@ -1367,10 +483,11 @@ module Cache = struct
 end
 
 let config_key config =
-  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s"
+  Printf.sprintf "%s|%d|%d|%b|%d|%d|%s|%s"
     (match config.mode with Stop_first -> "S" | Collect n -> "C" ^ string_of_int n)
     config.seed config.max_steps config.trace
     config.max_allocs config.max_alloc_bytes
+    (match config.engine with Bytecode -> "B" | Tree_walk -> "T")
     (String.concat "," (Array.to_list (Array.map Int64.to_string config.inputs)))
 
 let analyze_summary ?cache ?fingerprint ?(config = default_config) program =

@@ -20,6 +20,14 @@
 
 type mode = Stop_first | Collect of int
 
+(** Which execution engine interprets the program. [Bytecode] (the default)
+    lowers the typechecked AST to a flat pre-resolved instruction array and
+    runs it on an allocation-free step loop; [Tree_walk] is the original AST
+    evaluator, kept as a differential-testing escape hatch (CLI
+    [--tree-walk]). Both engines share every semantic judgment, so their
+    results — diagnostics, outputs, step counts — are byte-identical. *)
+type engine = Bytecode | Tree_walk
+
 type config = {
   mode : mode;
   seed : int;            (** thread-scheduler seed *)
@@ -28,6 +36,7 @@ type config = {
   trace : bool;          (** record allocation/retag/invalidation events *)
   max_allocs : int;      (** allocation-count fuel before [Resource_limit] *)
   max_alloc_bytes : int; (** cumulative allocated-byte fuel *)
+  engine : engine;       (** bytecode VM (default) or tree-walker *)
 }
 
 val default_config : config
@@ -57,7 +66,22 @@ type run_result = {
 val run : ?config:config -> Minirust.Ast.program -> Minirust.Typecheck.info -> run_result
 (** Execute [main]. The program must have passed [Typecheck.check] (whose
     [info] is required here); running an ill-typed program is a programming
-    error and may raise [Invalid_argument]. *)
+    error and may raise [Invalid_argument]. With [config.engine = Bytecode]
+    the program is first lowered (under an Obs trace span named ["lower"]),
+    then executed by the VM. *)
+
+type lowered
+(** A program lowered to bytecode, reusable across runs. *)
+
+val lower : Minirust.Ast.program -> Minirust.Typecheck.info -> lowered
+(** Compile to bytecode without running. Callers that profile phases wrap
+    this in their own ["lower"] span and then time {!run_lowered}
+    separately, so the interp span covers only VM execution. *)
+
+val run_lowered :
+  ?config:config -> Minirust.Ast.program -> Minirust.Typecheck.info -> lowered ->
+  run_result
+(** Execute pre-lowered bytecode on the VM (ignores [config.engine]). *)
 
 type analysis = Compile_error of string | Ran of run_result
 

@@ -32,6 +32,17 @@ type store = {
   mutable frag_idx : Bytes.t;  (* fragment index per byte; '\255' = none *)
   mutable frag_count : int;
   mutable buckets : bucket option array;
+  (* Pre-racing fast path: before a second thread exists, every access is by
+     thread 0 and [Vclock.set] just overwrites thread 0's epoch — so the
+     whole bucket collapses to "last write epoch, last read epoch" per
+     granule, two plain int stores instead of bucket records and clock
+     updates. 0 = never accessed. A real bucket, seeded from these (a clock
+     [{0: e}] per nonzero epoch, exactly what eager recording would have
+     built), materializes lazily on the first atomic access or once racing
+     is latched; a materialized bucket then owns the granule and the flat
+     entries go stale. [||] until first accessed. *)
+  mutable nw_epoch : int array;
+  mutable nr_epoch : int array;
 }
 
 type allocation = {
@@ -56,23 +67,32 @@ type access_error =
   | Race of string
   | Not_exposed of string
 
-(* Allocations are indexed two ways: by id (hash), and by base address in a
-   growable array that stays sorted for free because [allocate] hands out
-   monotonically increasing addresses and never reuses a range. Address
-   resolution (wildcard pointers) is a binary search instead of the previous
-   linear scan over every allocation ever made. Dead allocations stay in
-   both indexes so use-after-free keeps its precise diagnostic. *)
+(* One growable array indexes every allocation ever made, and it serves
+   both lookups at once: ids are handed out densely from 1 in allocation
+   order, so [index.(id - 1)] is the id lookup, and bases are handed out
+   monotonically and never reused, so the same array is base-sorted and
+   wildcard address resolution is a binary search. Dead allocations stay in
+   the index so use-after-free keeps its precise diagnostic.
+
+   [racing] starts false and is latched on by the interpreter when a second
+   thread is spawned. While it is off, race buckets still record epochs
+   (later diagnostics print whole bucket clocks, which may include pre-spawn
+   accesses) but skip the conflict checks: a single thread cannot race, and
+   any thread spawned later inherits the spawner's clock, which dominates
+   every pre-spawn access. *)
 type t = {
   mutable next_addr : int;
   mutable next_id : int;
-  allocs : (int, allocation) Hashtbl.t;
   mutable index : allocation array;  (* sorted by base; length [index_len] *)
   mutable index_len : int;
+  mutable racing : bool;
 }
 
 let create () =
-  { next_addr = 0x1001; next_id = 1; allocs = Hashtbl.create 64;
-    index = [||]; index_len = 0 }
+  { next_addr = 0x1001; next_id = 1; index = [||]; index_len = 0;
+    racing = false }
+
+let set_racing t = t.racing <- true
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -83,7 +103,9 @@ let fresh_store size =
     frag_ptr = [||];
     frag_idx = Bytes.empty;
     frag_count = 0;
-    buckets = [||] }
+    buckets = [||];
+    nw_epoch = [||];
+    nr_epoch = [||] }
 
 let index_append t a =
   let cap = Array.length t.index in
@@ -111,7 +133,6 @@ let allocate t ~size ~align ~kind =
       store = fresh_store size;
       borrows = Borrow.create ~base_tag; base_tag; exposed = false }
   in
-  Hashtbl.replace t.allocs id a;
   index_append t a;
   a
 
@@ -120,9 +141,12 @@ let deallocate _t a =
   (* Dead allocations are unreachable for every further access (the Dead
      check fires before any race/borrow/data consultation), so their race
      metadata would only leak across a campaign. Drop it now. *)
-  a.store.buckets <- [||]
+  a.store.buckets <- [||];
+  a.store.nw_epoch <- [||];
+  a.store.nr_epoch <- [||]
 
-let find_alloc t id = Hashtbl.find_opt t.allocs id
+let find_alloc t id =
+  if id >= 1 && id <= t.index_len then Some t.index.(id - 1) else None
 
 let alloc_containing t addr =
   (* Greatest base <= addr, then the containment check. Ranges are disjoint
@@ -257,6 +281,14 @@ let bucket_of a idx =
   | Some b -> b
   | None ->
     let b = fresh_bucket () in
+    (* seed from the pre-racing flat epochs: the clock eager recording
+       would have left is exactly {0: last-epoch} per nonzero class *)
+    (if Array.length s.nw_epoch > idx then begin
+       let w = s.nw_epoch.(idx) in
+       if w > 0 then b.na_write <- Vclock.set Vclock.empty 0 w;
+       let r = s.nr_epoch.(idx) in
+       if r > 0 then b.na_read <- Vclock.set Vclock.empty 0 r
+     end);
     s.buckets.(idx) <- Some b;
     b
 
@@ -270,9 +302,16 @@ let conflict vc ~clock ~tid ~write what =
             (if write then "write" else "read"))
   else None
 
-let check_bucket b ~tid ~clock ~write ~atomic =
+(* [check] is false until the interpreter latches racing on (second thread
+   spawned): a single thread cannot conflict with itself, so the leq checks
+   are skipped — but epochs are still RECORDED, because race diagnostics
+   print the whole bucket clock and a pre-spawn epoch can legitimately
+   appear in a later message. Recording is cheap in steady state: an
+   unchanged epoch returns the clock physically unchanged. *)
+let check_bucket b ~tid ~clock ~write ~atomic ~check =
   let issue =
-    if atomic then
+    if not check then None
+    else if atomic then
       if write then
         match conflict b.na_write ~clock ~tid ~write "non-atomic write vs atomic write" with
         | Some _ as s -> s
@@ -309,16 +348,43 @@ let check_bucket b ~tid ~clock ~write ~atomic =
      else b.na_read <- Vclock.set b.na_read tid epoch);
     Ok ()
 
-let rec check_buckets a idx last ~tid ~clock ~write ~atomic =
+let rec check_buckets a idx last ~tid ~clock ~write ~atomic ~check =
   if idx > last then Ok ()
   else
-    match check_bucket (bucket_of a idx) ~tid ~clock ~write ~atomic with
-    | Ok () -> check_buckets a (idx + 1) last ~tid ~clock ~write ~atomic
+    match check_bucket (bucket_of a idx) ~tid ~clock ~write ~atomic ~check with
+    | Ok () -> check_buckets a (idx + 1) last ~tid ~clock ~write ~atomic ~check
     | Error _ as e -> e
 
-let race_check _t a ~offset ~len ~tid ~clock ~write ~atomic =
+(* Pre-racing non-atomic recording: two int stores per granule. A granule
+   whose bucket already materialized (an atomic access touched it) records
+   into the bucket so the later seed does not clobber it. *)
+let rec record_flat a idx last ~tid ~write ~epoch =
+  if idx <= last then begin
+    let s = a.store in
+    (match if Array.length s.buckets > idx then s.buckets.(idx) else None with
+    | Some b ->
+      if write then b.na_write <- Vclock.set b.na_write tid epoch
+      else b.na_read <- Vclock.set b.na_read tid epoch
+    | None ->
+      if Array.length s.nw_epoch = 0 then begin
+        let n = max (last + 1) ((a.size + 7) / 8) in
+        s.nw_epoch <- Array.make n 0;
+        s.nr_epoch <- Array.make n 0
+      end;
+      if write then s.nw_epoch.(idx) <- epoch else s.nr_epoch.(idx) <- epoch);
+    record_flat a (idx + 1) last ~tid ~write ~epoch
+  end
+
+let race_check t a ~offset ~len ~tid ~clock ~write ~atomic =
   if len <= 0 then Ok ()
-  else check_buckets a (offset / 8) ((offset + len - 1) / 8) ~tid ~clock ~write ~atomic
+  else begin
+    let first = offset / 8 and last = (offset + len - 1) / 8 in
+    if (not t.racing) && not atomic then begin
+      record_flat a first last ~tid ~write ~epoch:(Vclock.get clock tid);
+      Ok ()
+    end
+    else check_buckets a first last ~tid ~clock ~write ~atomic ~check:t.racing
+  end
 
 let sync_clock_of _t a offset = (bucket_of a (offset / 8)).sync
 

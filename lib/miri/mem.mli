@@ -55,6 +55,14 @@ type t
 
 val create : unit -> t
 
+val set_racing : t -> unit
+(** Latch on race-conflict checking. Until this is called (the interpreter
+    calls it when a second thread is spawned), accesses record race-bucket
+    epochs — later diagnostics print whole bucket clocks — but skip the
+    conflict checks: a single thread cannot race, and any later thread
+    inherits a clock dominating every pre-spawn access, so no skipped check
+    could have fired. *)
+
 val allocate : t -> size:int -> align:int -> kind:alloc_kind -> allocation
 (** Fresh live allocation; [align] must be a positive power of two. *)
 

@@ -10,12 +10,13 @@ let run ?(inputs = [||]) ?(mode = Miri.Machine.Stop_first) ?(seed = 1)
     ?(max_steps = 200_000)
     ?(max_allocs = Miri.Machine.default_config.Miri.Machine.max_allocs)
     ?(max_alloc_bytes = Miri.Machine.default_config.Miri.Machine.max_alloc_bytes)
+    ?(engine = Miri.Machine.default_config.Miri.Machine.engine)
     src =
   let program = Minirust.Parser.parse src in
   match
     Miri.Machine.analyze
       ~config:{ Miri.Machine.mode; seed; max_steps; inputs; trace = false;
-                max_allocs; max_alloc_bytes }
+                max_allocs; max_alloc_bytes; engine }
       program
   with
   | Miri.Machine.Compile_error msg -> Alcotest.failf "compile error: %s" msg

@@ -76,26 +76,28 @@ let prop_seed_independent_result =
       let r = Helpers.run ~seed src in
       r.Miri.Machine.output = [ string_of_int (2 * n) ])
 
+(* small random well-typed programs assembled from UB-prone statement
+   templates; shared by the totality and engine-equivalence properties *)
+let gen_stmt_src : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let tmpl =
+    oneofl
+      [ "let mut a = [1, 2, 3]; print(a[input(0)]);";
+        "let mut x = input(0); print(x * x);";
+        "let mut x = input(0); print(100 / x);";
+        "unsafe { let mut p = alloc(8, 8) as *mut i64; *p = input(0); print(*p); \
+         dealloc(p as *mut i8, 8, 8); }";
+        "let mut x = input(0); let mut r = &mut x; *r = *r + 1; print(x);";
+        "unsafe { let mut a = [9, 8]; print(a.get_unchecked(input(0))); }";
+        "let mut i = 0; while i < input(0) { i = i + 1; } print(i);" ]
+  in
+  list_size (int_range 1 4) tmpl >|= fun stmts ->
+  "fn main() { " ^ String.concat " " stmts ^ " }"
+
 (* a random well-typed program must never crash the machine: it finishes,
    panics, reports UB or hits the step limit — OCaml exceptions escaping the
    interpreter would show up here *)
 let prop_total_machine =
-  let gen_stmt_src : string QCheck.Gen.t =
-    let open QCheck.Gen in
-    let tmpl =
-      oneofl
-        [ "let mut a = [1, 2, 3]; print(a[input(0)]);";
-          "let mut x = input(0); print(x * x);";
-          "let mut x = input(0); print(100 / x);";
-          "unsafe { let mut p = alloc(8, 8) as *mut i64; *p = input(0); print(*p); \
-           dealloc(p as *mut i8, 8, 8); }";
-          "let mut x = input(0); let mut r = &mut x; *r = *r + 1; print(x);";
-          "unsafe { let mut a = [9, 8]; print(a.get_unchecked(input(0))); }";
-          "let mut i = 0; while i < input(0) { i = i + 1; } print(i);" ]
-    in
-    list_size (int_range 1 4) tmpl >|= fun stmts ->
-    "fn main() { " ^ String.concat " " stmts ^ " }"
-  in
   QCheck.Test.make ~name:"machine is total on well-typed programs" ~count:200
     (QCheck.make ~print:(fun (s, _) -> s) QCheck.Gen.(pair gen_stmt_src (int_range (-3) 9)))
     (fun (src, input0) ->
@@ -110,7 +112,74 @@ let prop_total_machine =
         (* any outcome is fine; reaching here without an exception is the test *)
         r.Miri.Machine.steps >= 0)
 
+(* -- engine equivalence -------------------------------------------------- *)
+
+(* everything the rest of the system can observe about a run, as strings:
+   both engines must agree on all of it, not just the outcome tag *)
+let observables (r : Miri.Machine.run_result) =
+  let outcome =
+    match r.Miri.Machine.outcome with
+    | Miri.Machine.Finished -> "finished"
+    | Miri.Machine.Panicked m -> "panicked: " ^ m
+    | Miri.Machine.Ub d -> "ub: " ^ Miri.Diag.to_string d
+    | Miri.Machine.Step_limit -> "step-limit"
+    | Miri.Machine.Resource_limit m -> "resource-limit: " ^ m
+  in
+  ( outcome, r.Miri.Machine.output,
+    List.map Miri.Diag.to_string r.Miri.Machine.diags,
+    r.Miri.Machine.steps, r.Miri.Machine.error_count )
+
+let engines_agree ~mode ~seed ~inputs src =
+  let program = Minirust.Parser.parse src in
+  match Minirust.Typecheck.check program with
+  | Error _ -> QCheck.assume_fail ()
+  | Ok info ->
+    let run engine =
+      let config =
+        { Miri.Machine.default_config with Miri.Machine.mode; seed; inputs; engine }
+      in
+      observables (Miri.Machine.run ~config program info)
+    in
+    run Miri.Machine.Bytecode = run Miri.Machine.Tree_walk
+
+(* the bytecode VM and the tree-walker must execute every corpus program
+   (buggy and fixed, any mode, any scheduler seed) identically: same
+   outcome, print trace, diagnostic strings, step and error counts *)
+let prop_engines_agree_on_corpus =
+  let cases = Array.of_list Dataset.Corpus.all in
+  QCheck.Test.make ~name:"bytecode VM = tree-walker on corpus programs" ~count:150
+    (QCheck.make
+       ~print:(fun (i, buggy, collect, seed) ->
+         Printf.sprintf "%s/%s collect=%d seed=%d"
+           cases.(i).Dataset.Case.name
+           (if buggy then "buggy" else "fixed")
+           collect seed)
+       QCheck.Gen.(
+         quad
+           (int_bound (Array.length cases - 1))
+           bool (int_bound 5) (int_range 1 50)))
+    (fun (i, buggy, collect, seed) ->
+      let c = cases.(i) in
+      let src = if buggy then c.Dataset.Case.buggy_src else c.Dataset.Case.fixed_src in
+      let mode =
+        if collect = 0 then Miri.Machine.Stop_first else Miri.Machine.Collect collect
+      in
+      let inputs = match c.Dataset.Case.probes with p :: _ -> p | [] -> [||] in
+      engines_agree ~mode ~seed ~inputs src)
+
+(* same contract over random template programs with adversarial inputs *)
+let prop_engines_agree_on_random =
+  QCheck.Test.make ~name:"bytecode VM = tree-walker on random programs" ~count:150
+    (QCheck.make
+       ~print:(fun (s, i) -> Printf.sprintf "%s input0=%d" s i)
+       QCheck.Gen.(pair gen_stmt_src (int_range (-3) 9)))
+    (fun (src, input0) ->
+      engines_agree ~mode:Miri.Machine.Stop_first ~seed:1
+        ~inputs:[| Int64.of_int input0 |] src)
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_machine_matches_reference;
     QCheck_alcotest.to_alcotest prop_seed_independent_result;
-    QCheck_alcotest.to_alcotest prop_total_machine ]
+    QCheck_alcotest.to_alcotest prop_total_machine;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_corpus;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_random ]

@@ -152,6 +152,9 @@ let test_null_access () =
 
 let test_race_detection () =
   let mem = Mem.create () in
+  (* conflict checks are latched on by the interpreter at second-thread
+     spawn; this test drives the memory layer directly *)
+  Mem.set_racing mem;
   let a = Mem.allocate mem ~size:8 ~align:8 ~kind:Mem.Global in
   let ptr = { Value.prov = Value.P_alloc a.Mem.id; addr = a.Mem.base; tag = Some a.Mem.base_tag } in
   let c0 = Miri.Vclock.tick Vclock.empty 0 in
