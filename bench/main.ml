@@ -2529,6 +2529,347 @@ let serve_bench () =
   Rb_util.Fsfile.write_atomic serve_bench_file (json ^ "\n");
   Printf.printf "-> %s\n" serve_bench_file
 
+(* -- knn: retrieval-kernel latency (BENCH_knn.json) -------------------- *)
+
+let knn_bench_file = "BENCH_knn.json"
+
+(* Synthetic Featvec-shaped vectors: a sparse, unit-normalized hashed block
+   plus a dominant 2.0 one-hot category component, mirroring
+   Featvec.of_sketch — so the bucketed index sees the geometry it was built
+   for without paying sketch extraction for 10^6 programs. *)
+let knn_synth ~dim ~hash_dim rng cat =
+  let v = Array.make dim 0.0 in
+  for _ = 1 to 8 do
+    v.(Rb_util.Rng.int rng hash_dim) <- 0.2 +. (1.4 *. Rb_util.Rng.float rng)
+  done;
+  let n = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v) in
+  if n > 0.0 then
+    for i = 0 to hash_dim - 1 do
+      v.(i) <- v.(i) /. n
+    done;
+  v.(hash_dim + cat) <- 2.0;
+  v
+
+let knn () =
+  section "knn — retrieval kernel: exact scan vs bucketed index (real wall-clock)";
+  let dim = Knowledge.Featvec.dim in
+  let ncat = List.length Miri.Diag.all_kinds in
+  let hash_dim = dim - ncat in
+  let k = Knowledge.Kb.max_hits in
+  let queries =
+    let rng = Rb_util.Rng.create 0xbeef in
+    List.init 20 (fun i -> knn_synth ~dim ~hash_dim rng (i mod ncat))
+  in
+  let nq = List.length queries in
+  let time f =
+    Gc.minor ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let t = Knowledge.Knn.create ~dim in
+        let rng = Rb_util.Rng.create (0x5eed + n) in
+        for i = 0 to n - 1 do
+          ignore (Knowledge.Knn.add t (knn_synth ~dim ~hash_dim rng (i mod ncat)))
+        done;
+        (* agreement before timing (this also builds the index once, so the
+           timed loop measures queries, not construction) *)
+        let scanned = ref 0 in
+        List.iter
+          (fun q ->
+            let ex = Knowledge.Knn.search_exact t q ~k in
+            let ix = Knowledge.Knn.search_indexed t q ~k in
+            if ex.Knowledge.Knn.hits <> ix.Knowledge.Knn.hits then begin
+              Printf.eprintf
+                "FAIL knn: indexed result diverges from the exact scan at n=%d\n" n;
+              exit 1
+            end;
+            scanned := !scanned + ix.Knowledge.Knn.scanned)
+          queries;
+        let per_query f =
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            best :=
+              min !best (time (fun () -> List.iter (fun q -> ignore (f q)) queries))
+          done;
+          1000.0 *. !best /. float_of_int nq
+        in
+        let exact_seq =
+          per_query (fun q -> Knowledge.Knn.search_exact ~domains:1 t q ~k)
+        in
+        let exact_par =
+          per_query (fun q -> Knowledge.Knn.search_exact ~domains:4 t q ~k)
+        in
+        let indexed = per_query (fun q -> Knowledge.Knn.search_indexed t q ~k) in
+        let frac = float_of_int !scanned /. float_of_int (n * nq) in
+        let strategy =
+          if n >= Knowledge.Knn.indexed_threshold then "indexed" else "exact"
+        in
+        Printf.printf
+          "n=%-9d exact-seq %9.3f ms  exact-par %9.3f ms  indexed %9.3f ms  scanned %5.1f%%  search->%s\n%!"
+          n exact_seq exact_par indexed (100.0 *. frac) strategy;
+        if n >= Knowledge.Knn.indexed_threshold && indexed >= exact_seq then begin
+          Printf.eprintf
+            "FAIL knn: indexed (%.3f ms) does not beat the exact scan (%.3f ms) at n=%d\n"
+            indexed exact_seq n;
+          exit 1
+        end;
+        (n, exact_seq, exact_par, indexed, frac, strategy))
+      [ 1_000; 100_000; 1_000_000 ]
+  in
+  (* the end-to-end payoff: retrieval hints steering repair campaigns *)
+  let cases = Dataset.Corpus.all in
+  let kb_on = rates_of (run_rustbrain ~feedback:false cases) in
+  let kb_off = rates_of (run_rustbrain ~kb:false ~feedback:false cases) in
+  Printf.printf
+    "fast-path lift (full corpus, %d reports): exec %s (KB) vs %s (no KB), pass %s vs %s\n"
+    kb_on.n (Statkit.Table.pct kb_on.exec) (Statkit.Table.pct kb_off.exec)
+    (Statkit.Table.pct kb_on.pass) (Statkit.Table.pct kb_off.pass);
+  let open Rb_util.Json in
+  let doc =
+    Obj
+      [ ("campaign", Str "knn");
+        ("queries", Num (float_of_int nq));
+        ("k", Num (float_of_int k));
+        ("dim", Num (float_of_int dim));
+        ( "sizes",
+          List
+            (List.map
+               (fun (n, es, ep, ix, frac, strategy) ->
+                 Obj
+                   [ ("n", Num (float_of_int n));
+                     ("exact_seq_ms", Num es);
+                     ("exact_par_ms", Num ep);
+                     ("indexed_ms", Num ix);
+                     ("indexed_scanned_fraction", Num frac);
+                     ("agreement", Bool true);
+                     ("search_strategy", Str strategy) ])
+               rows) );
+        ( "fast_path",
+          Obj
+            [ ("kb_exec", Num kb_on.exec); ("kb_pass", Num kb_on.pass);
+              ("nokb_exec", Num kb_off.exec); ("nokb_pass", Num kb_off.pass) ] ) ]
+  in
+  Rb_util.Fsfile.write_atomic knn_bench_file (to_string doc ^ "\n");
+  Printf.printf "-> %s\n" knn_bench_file
+
+(* -- kb-smoke gate (dune runtest alias kb-smoke) ------------------------ *)
+
+let kb_smoke () =
+  section "KB smoke — persistent-store determinism, crash healing, compaction";
+  let failures = ref 0 in
+  let failf fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "FAIL kb: %s\n" s;
+        incr failures)
+      fmt
+  in
+  let fresh_dir tag =
+    let d = Filename.temp_file (Printf.sprintf "rb-kb-%s" tag) "" in
+    Sys.remove d;
+    d
+  in
+  let payload i = Rb_util.Json.Obj [ ("i", Rb_util.Json.Num (float_of_int i)) ] in
+  let vec4 i = [| float_of_int i; 0.5; 0.0; 1.0 |] in
+
+  (* 1+2: a campaign against a fresh persistent store must be byte-identical
+     to the in-memory one (a fresh store holds exactly the default seeds),
+     and sequential vs domain-parallel scheduling must not matter — the
+     process-frozen snapshot makes every session see the same KB whatever
+     order sessions are created in. *)
+  let dir = fresh_dir "campaign" in
+  let cases = List.filteri (fun i _ -> i mod 8 = 0) Dataset.Corpus.all in
+  let runner_mem = Exec.Backends.rustbrain ~config:(rustbrain_cfg ~seed:1 ()) () in
+  let runner_kb =
+    Exec.Backends.rustbrain
+      ~config:
+        { (rustbrain_cfg ~seed:1 ()) with Rustbrain.Pipeline.kb_dir = Some dir }
+      ()
+  in
+  let mem, _ = Exec.Scheduler.run_seeded ~domains:1 runner_mem ~seeds:[ 1; 2 ] cases in
+  let per_seq, _ =
+    Exec.Scheduler.run_seeded ~domains:1 runner_kb ~seeds:[ 1; 2 ] cases
+  in
+  let per_par, _ =
+    Exec.Scheduler.run_seeded ~domains:2 runner_kb ~seeds:[ 1; 2 ] cases
+  in
+  if mem <> per_seq then
+    failf "fresh persistent campaign diverges from the in-memory one";
+  if per_seq <> per_par then
+    failf "persistent campaign: parallel reports differ from sequential";
+  Printf.printf
+    "campaign identity: in-memory==persistent %b, parallel==sequential %b\n"
+    (mem = per_seq) (per_seq = per_par);
+
+  (* learned entries are on disk for the next process, while this process's
+     snapshot stays frozen at the seed set *)
+  (match Knowledge.Segment.load dir with
+  | Error e -> failf "post-campaign load: %s" e
+  | Ok r ->
+    let seed_count = List.length Miri.Diag.all_kinds in
+    let on_disk = List.length r.Knowledge.Segment.records in
+    if on_disk <= seed_count then
+      failf "campaign learned nothing durable (%d records on disk)" on_disk;
+    (match
+       Knowledge.Kb.open_dir ~dir ~clock:(Rb_util.Simclock.create ()) ()
+     with
+    | Error e -> failf "reopen: %s" e
+    | Ok kb ->
+      let snap = Knowledge.Kb.size kb in
+      if snap <> seed_count then
+        failf "snapshot not frozen: reopen in-process sees %d entries" snap;
+      Printf.printf
+        "durable learning: %d records on disk, frozen in-process snapshot %d\n"
+        on_disk snap));
+
+  (* 3: kill -9 a child mid-append, then heal. Appends are framed + fsynced,
+     so at worst the final frame is torn; fsck truncates it and every load
+     after that agrees. The child is a fresh process image (the campaign
+     above created domains, after which OCaml 5 refuses to fork). *)
+  let dir2 = fresh_dir "kill9" in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "kb-append-child"; dir2 |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.3;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (match Knowledge.Segment.fsck ~fix:true ~expect:(4, 1) dir2 with
+  | Error e -> failf "fsck after kill -9: %s" e
+  | Ok r ->
+    if r.Knowledge.Segment.records = [] then
+      failf "kill -9 store recovered no records";
+    let a = Knowledge.Segment.load ~expect:(4, 1) dir2 in
+    let b = Knowledge.Segment.load ~expect:(4, 1) dir2 in
+    if a <> b then failf "load after healing is not deterministic";
+    (* the dead writer's lock must not outlive it: reopening appends fine *)
+    (match Knowledge.Segment.open_writer ~expect:(4, 1) ~dir:dir2 () with
+    | Error e -> failf "reopen after kill -9: %s" e
+    | Ok (w, rep) ->
+      let n0 = List.length rep.Knowledge.Segment.records in
+      (match Knowledge.Segment.append w ~vec:(vec4 n0) ~payload:(payload n0) with
+      | Ok id when id = n0 -> ()
+      | Ok id -> failf "ids not dense after recovery: got %d, wanted %d" id n0
+      | Error e -> failf "append after recovery: %s" e);
+      Knowledge.Segment.close w;
+      Printf.printf
+        "kill -9 recovery: %d records survive, healed %d tail byte(s), ids dense\n"
+        n0 r.Knowledge.Segment.healed_tail_bytes));
+
+  (* 4: a deterministically torn tail heals to the last whole frame. Work on
+     a copy so the original writer's view stays untouched. *)
+  let dir3 = fresh_dir "torn" in
+  (match Knowledge.Segment.open_writer ~expect:(4, 1) ~dir:dir3 () with
+  | Error e -> failf "torn: open_writer: %s" e
+  | Ok (w, _) ->
+    for i = 0 to 9 do
+      ignore (Knowledge.Segment.append w ~vec:(vec4 i) ~payload:(payload i))
+    done;
+    let copy = fresh_dir "torn-copy" in
+    if
+      Sys.command
+        (Printf.sprintf "cp -r %s %s" (Filename.quote dir3) (Filename.quote copy))
+      <> 0
+    then failf "torn: cp failed"
+    else begin
+      let tail = Filename.concat copy "tail.log" in
+      let size = (Unix.stat tail).Unix.st_size in
+      Unix.truncate tail (size - 7);
+      match Knowledge.Segment.fsck ~fix:true ~expect:(4, 1) copy with
+      | Error e -> failf "torn: fsck: %s" e
+      | Ok r ->
+        if List.length r.Knowledge.Segment.records <> 9 then
+          failf "torn tail healed to %d records, wanted 9"
+            (List.length r.Knowledge.Segment.records);
+        if r.Knowledge.Segment.healed_tail_bytes <= 0 then
+          failf "torn tail reported no healed bytes";
+        Printf.printf "torn tail: healed %d byte(s), 9/10 records survive\n"
+          r.Knowledge.Segment.healed_tail_bytes
+    end;
+    Knowledge.Segment.close w);
+
+  (* 5: sealing + compaction are load-equivalent, and duplicate ids (the
+     compaction-crash window: merged segment written, inputs not yet
+     deleted) resolve first-wins at load *)
+  let dir4 = fresh_dir "compact" in
+  (match
+     Knowledge.Segment.open_writer ~expect:(4, 1) ~seal_every:4 ~compact_at:3
+       ~dir:dir4 ()
+   with
+  | Error e -> failf "compact: open_writer: %s" e
+  | Ok (w, _) ->
+    for i = 0 to 25 do
+      ignore (Knowledge.Segment.append w ~vec:(vec4 i) ~payload:(payload i))
+    done;
+    let before = Knowledge.Segment.records w in
+    Knowledge.Segment.compact w;
+    if Knowledge.Segment.records w <> before then
+      failf "compaction changed the writer's record set";
+    Knowledge.Segment.close w;
+    (match Knowledge.Segment.load ~expect:(4, 1) dir4 with
+    | Error e -> failf "compact: load: %s" e
+    | Ok r ->
+      if r.Knowledge.Segment.records <> before then
+        failf "compaction is not load-equivalent";
+      (* duplicate the surviving segment under a later name *)
+      let segs =
+        Sys.readdir dir4 |> Array.to_list
+        |> List.filter (fun n -> Filename.check_suffix n ".seg")
+      in
+      (match segs with
+      | seg :: _ ->
+        if
+          Sys.command
+            (Printf.sprintf "cp %s %s"
+               (Filename.quote (Filename.concat dir4 seg))
+               (Filename.quote (Filename.concat dir4 "seg-00009999.seg")))
+          <> 0
+        then failf "compact: cp failed";
+        (match Knowledge.Segment.load ~expect:(4, 1) dir4 with
+        | Error e -> failf "compact: load with duplicates: %s" e
+        | Ok r2 ->
+          if r2.Knowledge.Segment.records <> before then
+            failf "duplicate ids were not resolved first-wins";
+          if r2.Knowledge.Segment.duplicates = 0 then
+            failf "duplicate segment reported no duplicates";
+          Printf.printf
+            "compaction: load-equivalent, %d duplicate(s) resolved first-wins\n"
+            r2.Knowledge.Segment.duplicates)
+      | [] -> failf "compaction left no segment")));
+
+  (* 6: retrieval strategies agree bit-for-bit on Featvec-shaped data —
+     exact==indexed hits, parallel==sequential scores *)
+  let dim = Knowledge.Featvec.dim in
+  let ncat = List.length Miri.Diag.all_kinds in
+  let hash_dim = dim - ncat in
+  let t = Knowledge.Knn.create ~dim in
+  let rng = Rb_util.Rng.create 0xfeed in
+  for i = 0 to 8191 do
+    ignore (Knowledge.Knn.add t (knn_synth ~dim ~hash_dim rng (i mod ncat)))
+  done;
+  let qs = List.init 30 (fun i -> knn_synth ~dim ~hash_dim rng (i mod ncat)) in
+  List.iter
+    (fun q ->
+      let ex = Knowledge.Knn.search_exact ~domains:1 t q ~k:8 in
+      let ix = Knowledge.Knn.search_indexed t q ~k:8 in
+      if ex.Knowledge.Knn.hits <> ix.Knowledge.Knn.hits then
+        failf "indexed hits diverge from the exact scan";
+      let s1 = Knowledge.Knn.scores ~domains:1 t q in
+      let s4 = Knowledge.Knn.scores ~domains:4 t q in
+      if s1 <> s4 then failf "parallel scores are not bit-identical")
+    qs;
+  Printf.printf
+    "retrieval agreement: exact==indexed and 4-domain==sequential over %d queries\n"
+    (List.length qs);
+
+  if !failures > 0 then exit 1;
+  print_endline "kb smoke ok"
+
 (* -- driver ------------------------------------------------------------ *)
 
 let experiments =
@@ -2541,7 +2882,8 @@ let experiments =
     ("bytecode-smoke", bytecode_smoke);
     ("trace-smoke", trace_smoke); ("obs-overhead", obs_overhead);
     ("serve-smoke", serve_smoke); ("chaos-serve", chaos_serve);
-    ("procpool-smoke", procpool_smoke); ("serve-bench", serve_bench) ]
+    ("procpool-smoke", procpool_smoke); ("serve-bench", serve_bench);
+    ("knn", knn); ("kb-smoke", kb_smoke) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -2552,6 +2894,19 @@ let () =
     chaos_child ~socket ~state ~runners:(int_of_string runners) ~poison_spec
       ~mode
   | [ "worker-child" ] -> Serve.Procpool.worker_main ()
+  | [ "kb-append-child"; dir ] -> (
+    (* kb-smoke helper: append 4-dim records until SIGKILLed *)
+    match Knowledge.Segment.open_writer ~expect:(4, 1) ~dir () with
+    | Error _ -> exit 2
+    | Ok (w, _) ->
+      let i = ref 0 in
+      while true do
+        ignore
+          (Knowledge.Segment.append w
+             ~vec:[| float_of_int !i; 0.5; 0.0; 1.0 |]
+             ~payload:(Rb_util.Json.Obj [ ("i", Rb_util.Json.Num (float_of_int !i)) ]));
+        incr i
+      done)
   | [] ->
     Printf.printf "RustBrain reproduction benchmark harness (simulated clock; see DESIGN.md)\n";
     fig7 ();

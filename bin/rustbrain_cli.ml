@@ -118,6 +118,21 @@ let out_arg =
                readers see either the complete old file or the complete new \
                one.")
 
+let kb_dir_arg =
+  Arg.(value & opt (some string) None & info [ "kb-dir" ] ~docv:"DIR"
+         ~doc:"Back the knowledge base with the persistent segment store in \
+               $(docv) (created and seeded on first use). The campaign \
+               retrieves from a snapshot frozen at open — deterministic \
+               under concurrent appends — and appends what it learns for \
+               future campaigns. Without this flag the KB is in-memory and \
+               seed-only, as before.")
+
+let kb_readonly_arg =
+  Arg.(value & flag & info [ "kb-readonly" ]
+         ~doc:"Open $(b,--kb-dir) without the single-writer lock: retrieval \
+               only, learned entries are dropped. Needed when many processes \
+               share one store.")
+
 let parse_seeds spec =
   let parts =
     String.split_on_char ',' spec
@@ -140,7 +155,7 @@ let parse_seeds spec =
 
 let opts_term =
   let build seeds domains fault_rate retries deadline_ms journal resume fresh
-      trace metrics out =
+      trace metrics out kb_dir kb_readonly =
     match parse_seeds seeds with
     | Error _ as e -> e
     | Ok seeds ->
@@ -148,11 +163,11 @@ let opts_term =
         { Exec.Campaign_opts.seeds;
           domains = (if domains <= 0 then None else Some domains);
           fault_rate; retries; deadline_ms; journal; resume; fresh; trace;
-          metrics; out }
+          metrics; out; kb_dir; kb_readonly }
   in
   Term.(const build $ seeds_arg $ domains_arg $ fault_rate_arg $ retries_arg
         $ deadline_arg $ journal_arg $ resume_arg $ fresh_arg $ trace_out_arg
-        $ metrics_arg $ out_arg)
+        $ metrics_arg $ out_arg $ kb_dir_arg $ kb_readonly_arg)
 
 (* Single-repair commands take the shared vocabulary but can honor only a
    slice of it; anything they would silently ignore is refused instead. *)
@@ -827,8 +842,16 @@ let serve_cmd =
                  is crash-accounted. 0 (default) sets no cap. Ignored with \
                  $(b,--in-process).")
   in
+  let kb_write =
+    Arg.(value & flag & info [ "kb-write" ]
+           ~doc:"Open tenant knowledge stores writable, so jobs append what \
+                 they learn. Off by default: concurrent jobs of one tenant \
+                 would contend for the store's single-writer lock, so enable \
+                 this only where tenant jobs are serialized.")
+  in
   let run socket state_dir runners max_queue quota weights max_crashes
-      stall_timeout job_timeout evict_idle in_process worker_mem_mb opts =
+      stall_timeout job_timeout evict_idle in_process worker_mem_mb kb_write
+      opts =
     match
       match opts with
       | Error _ as e -> e
@@ -839,6 +862,11 @@ let serve_cmd =
         else if o.out <> None then
           Error "the server stores results under --state-dir; --out does not \
                  apply"
+        else if o.kb_readonly then
+          Error "the server opens tenant knowledge stores read-only already; \
+                 pass --kb-write to make them writable"
+        else if kb_write && o.kb_dir = None then
+          Error "--kb-write requires --kb-dir DIR"
         else Result.map (fun ws -> (o, ws)) (parse_weights weights)
     with
     | Error msg ->
@@ -873,9 +901,13 @@ let serve_cmd =
           else None
         in
         let default_opts =
+          (* kb fields are server-level policy (per-tenant slicing), not
+             per-job defaults; like journal/out they must not reach jobs
+             through the opts record *)
           { opts with
             Exec.Campaign_opts.journal = None; resume = false; fresh = false;
-            trace = None; metrics = false; out = None }
+            trace = None; metrics = false; out = None;
+            kb_dir = None; kb_readonly = false }
         in
         let cfg =
           { Serve.Server.default_config with
@@ -889,6 +921,8 @@ let serve_cmd =
                else Some [| Sys.executable_name; "__rb_worker" |]);
             worker_mem_mb;
             rng_seed = Exec.Campaign_opts.seed opts;
+            kb_dir = opts.Exec.Campaign_opts.kb_dir;
+            kb_readonly = not kb_write;
             trace = trace_sink; metrics = registry }
         in
         let s =
@@ -919,7 +953,7 @@ let serve_cmd =
              a SHUTDOWN frame or after a DRAIN wind-down.")
     Term.(const run $ socket_arg $ state_dir $ runners $ max_queue $ quota
           $ weights $ max_crashes $ stall_timeout $ job_timeout $ evict_idle
-          $ in_process $ worker_mem_mb $ opts_term)
+          $ in_process $ worker_mem_mb $ kb_write $ opts_term)
 
 (* -- serve-fsck ----------------------------------------------------------- *)
 
@@ -981,6 +1015,149 @@ let serve_fsck_cmd =
              command is the offline/ops entry point. Exits 1 if anything \
              was torn or corrupt.")
     Term.(const run $ state_dir $ dry_run $ json)
+
+(* -- kb-* : persistent knowledge-base operations -------------------------- *)
+
+let kb_store_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+         ~doc:"The knowledge-base store directory (the one campaigns use \
+               with $(b,--kb-dir)).")
+
+let kb_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let kb_report_json (r : Knowledge.Segment.load_report) extra =
+  let num i = Rb_util.Json.Num (float_of_int i) in
+  Rb_util.Json.Obj
+    ([ ("records", num (List.length r.Knowledge.Segment.records));
+       ("segments", num r.Knowledge.Segment.segments);
+       ("tail_records", num r.Knowledge.Segment.tail_records);
+       ("healed_tail_bytes", num r.Knowledge.Segment.healed_tail_bytes);
+       ("corrupt_segments", num r.Knowledge.Segment.corrupt_segments);
+       ("mismatched", num r.Knowledge.Segment.mismatched);
+       ("duplicates", num r.Knowledge.Segment.duplicates) ]
+    @ extra)
+
+let kb_category_histogram (r : Knowledge.Segment.load_report) =
+  List.fold_left
+    (fun acc (rec_ : Knowledge.Segment.record) ->
+      let key =
+        match Knowledge.Kb.entry_of_json rec_.Knowledge.Segment.payload with
+        | Some e -> Miri.Diag.kind_name e.Knowledge.Kb.category
+        | None -> "(undecodable)"
+      in
+      let n = Option.value (List.assoc_opt key acc) ~default:0 in
+      (key, n + 1) :: List.remove_assoc key acc)
+    [] r.Knowledge.Segment.records
+  |> List.sort compare
+
+let kb_init_cmd =
+  let run dir =
+    let clock = Rb_util.Simclock.create () in
+    match Knowledge.Kb.open_dir ~dir ~clock () with
+    | Error e ->
+      Printf.eprintf "kb-init: %s\n" e;
+      1
+    | Ok kb ->
+      Printf.printf "kb-init: store at %s ready with %d entries\n" dir
+        (Knowledge.Kb.size kb);
+      0
+  in
+  Cmd.v
+    (Cmd.info "kb-init"
+       ~doc:"Create (and seed with the built-in per-category expertise) a \
+             persistent knowledge-base store, or verify an existing one \
+             opens writable. Idempotent.")
+    Term.(const run $ kb_store_dir_arg)
+
+let kb_stats_cmd =
+  let run dir json =
+    match Knowledge.Segment.load dir with
+    | Error e ->
+      Printf.eprintf "kb-stats: %s\n" e;
+      1
+    | Ok report ->
+      let hist = kb_category_histogram report in
+      if json then
+        print_endline
+          (Rb_util.Json.to_string
+             (kb_report_json report
+                [ ( "categories",
+                    Rb_util.Json.Obj
+                      (List.map
+                         (fun (k, n) ->
+                           (k, Rb_util.Json.Num (float_of_int n)))
+                         hist) ) ]))
+      else begin
+        Printf.printf
+          "kb-stats: %d entries in %d segments (+%d in the tail log)\n"
+          (List.length report.Knowledge.Segment.records)
+          report.Knowledge.Segment.segments
+          report.Knowledge.Segment.tail_records;
+        List.iter (fun (k, n) -> Printf.printf "  %-20s %d\n" k n) hist;
+        if report.Knowledge.Segment.mismatched > 0
+           || report.Knowledge.Segment.corrupt_segments > 0 then
+          Printf.printf
+            "  (%d mismatched record(s), %d corrupt segment(s) not counted; \
+             run kb-fsck)\n"
+            report.Knowledge.Segment.mismatched
+            report.Knowledge.Segment.corrupt_segments
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "kb-stats"
+       ~doc:"Summarize a persistent knowledge-base store: live entries, \
+             segment/tail layout, per-category histogram, and anything a \
+             load had to skip.")
+    Term.(const run $ kb_store_dir_arg $ kb_json_arg)
+
+let kb_fsck_cmd =
+  let dry_run =
+    Arg.(value & flag & info [ "dry-run" ]
+           ~doc:"Classify and report only; heal nothing, move nothing.")
+  in
+  let run dir dry_run json =
+    match Knowledge.Segment.fsck ~fix:(not dry_run) dir with
+    | Error e ->
+      Printf.eprintf "kb-fsck: %s\n" e;
+      1
+    | Ok report ->
+      if json then
+        print_endline (Rb_util.Json.to_string (kb_report_json report []))
+      else
+        Printf.printf
+          "kb-fsck%s: %d live records (%d segments, %d tail) — %d torn tail \
+           bytes %s, %d corrupt segment(s) %s, %d mismatched record(s) %s, \
+           %d duplicate id(s) dropped\n"
+          (if dry_run then " (dry run)" else "")
+          (List.length report.Knowledge.Segment.records)
+          report.Knowledge.Segment.segments
+          report.Knowledge.Segment.tail_records
+          report.Knowledge.Segment.healed_tail_bytes
+          (if dry_run then "found" else "healed")
+          report.Knowledge.Segment.corrupt_segments
+          (if dry_run then "found" else "quarantined")
+          report.Knowledge.Segment.mismatched
+          (if dry_run then "found" else "quarantined")
+          report.Knowledge.Segment.duplicates;
+      (* a torn tail heals routinely (it is the expected kill -9 residue);
+         corrupt or mismatched data means the store needed attention *)
+      if
+        report.Knowledge.Segment.corrupt_segments > 0
+        || report.Knowledge.Segment.mismatched > 0
+      then 1
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "kb-fsck"
+       ~doc:"Scan (and heal) a persistent knowledge-base store: verify every \
+             segment checksum and tail frame, truncate torn tail bytes, set \
+             corrupt segments aside under quarantined/ with their bytes \
+             preserved, and quarantine dimension-mismatched records. The \
+             same scrub runs at every writable open; this is the offline \
+             entry point. Exits 1 if anything was corrupt or mismatched.")
+    Term.(const run $ kb_store_dir_arg $ dry_run $ kb_json_arg)
 
 (* -- serve-ctl ------------------------------------------------------------ *)
 
@@ -1249,4 +1426,5 @@ let () =
           ~default
           [ check_cmd; fix_cmd; corpus_cmd; corpus_show_cmd; corpus_fix_cmd;
             campaign_cmd; serve_cmd; serve_fsck_cmd; serve_ctl_cmd;
-            serve_load_cmd; trace_summary_cmd ]))
+            serve_load_cmd; kb_init_cmd; kb_stats_cmd; kb_fsck_cmd;
+            trace_summary_cmd ]))

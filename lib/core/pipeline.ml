@@ -15,6 +15,8 @@ type config = {
   fault_rate : float;       (* total injected-LLM-fault rate, 0 = oracle API *)
   max_retries : int;        (* retries per faulted call before degrading *)
   deadline : float option;  (* per-repair simulated-seconds budget *)
+  kb_dir : string option;   (* persistent KB store directory; None = in-memory *)
+  kb_readonly : bool;       (* open the persistent KB without the writer lock *)
 }
 
 let default_config =
@@ -35,6 +37,8 @@ let default_config =
     fault_rate = 0.0;
     max_retries = 3;
     deadline = None;
+    kb_dir = None;
+    kb_readonly = false;
   }
 
 type session = {
@@ -80,12 +84,22 @@ let create_session cfg =
       ~fallback client
   in
   let kb =
-    if cfg.use_kb then begin
-      let kb = Knowledge.Kb.create ~clock:sclock () in
-      Knowledge.Kb.seed_default kb;
-      Some kb
-    end
-    else None
+    if not cfg.use_kb then None
+    else
+      match cfg.kb_dir with
+      | None ->
+        let kb = Knowledge.Kb.create ~clock:sclock () in
+        Knowledge.Kb.seed_default kb;
+        Some kb
+      | Some dir -> (
+        (* shared persistent store: the query snapshot is frozen at open, so
+           this campaign is deterministic whatever other campaigns append *)
+        match
+          Knowledge.Kb.open_dir ~readonly:cfg.kb_readonly ~dir ~clock:sclock ()
+        with
+        | Ok kb -> Some kb
+        | Error msg ->
+          failwith (Printf.sprintf "knowledge base at %s: %s" dir msg))
   in
   let feedback = if cfg.use_feedback then Some (Feedback.create ()) else None in
   { cfg; sclock; client; resilient; kb; feedback;
@@ -348,16 +362,40 @@ let repair_common session (case : Dataset.Case.t) (solutions_override : Solution
         a.at_exec.Slow_think.trace )
   in
   (* S3: learn from success *)
-  (match (session.feedback, best) with
-  | Some fb, Some a when semantic ->
+  (match best with
+  | Some a when semantic ->
     let vec = Features.vector buggy features in
     let winning_class =
       List.fold_left
         (fun acc step -> match step with Solution.Fix c -> Some c | _ -> acc)
         None a.at_solution.Solution.steps
     in
-    Feedback.learn fb vec
-      { Feedback.category = case.Dataset.Case.category; plan = a.at_solution; winning_class }
+    (match session.feedback with
+    | Some fb ->
+      Feedback.learn fb vec
+        { Feedback.category = case.Dataset.Case.category; plan = a.at_solution; winning_class }
+    | None -> ());
+    (* a persistent KB additionally accumulates cross-campaign expertise;
+       its open snapshot is frozen, so this never perturbs the current
+       campaign's retrieval (in-memory KBs keep their historical
+       seed-only content) *)
+    (match session.kb with
+    | Some kb when Knowledge.Kb.persistent_dir kb <> None ->
+      let recommended =
+        match winning_class with
+        | Some Ub_class.C_replace -> Repairs.Rule.Replace
+        | Some Ub_class.C_assert -> Repairs.Rule.Assert
+        | Some Ub_class.C_modify | None -> Repairs.Rule.Modify
+      in
+      let advice =
+        Printf.sprintf
+          "a prior %s case (%s) was repaired by the %s plan; try its fix class first"
+          (Miri.Diag.kind_name case.Dataset.Case.category)
+          case.Dataset.Case.name a.at_solution.Solution.sname
+      in
+      Knowledge.Kb.learn kb vec
+        { Knowledge.Kb.category = case.Dataset.Case.category; advice; recommended }
+    | _ -> ())
   | _ -> ());
   let stats = Llm_sim.Client.stats session.client in
   let report =

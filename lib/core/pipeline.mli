@@ -34,6 +34,17 @@ type config = {
           pre-resilience run *)
   max_retries : int;        (** retries per faulted call before degrading *)
   deadline : float option;  (** per-repair simulated-seconds watchdog budget *)
+  kb_dir : string option;
+      (** persistent knowledge base: a {!Knowledge.Segment} store shared
+          across campaigns and serve tenants. The session opens a frozen
+          snapshot (deterministic retrieval regardless of concurrent
+          appends) and, when writable, appends what S3 learns for future
+          sessions. [None] (the default) keeps the historical in-memory,
+          seed-only KB. *)
+  kb_readonly : bool;
+      (** open [kb_dir] without the single-writer lock: queries work,
+          learned entries are dropped. Required when many worker processes
+          share one store. *)
 }
 
 val default_config : config

@@ -10,6 +10,8 @@ type t = {
   trace : string option;
   metrics : bool;
   out : string option;
+  kb_dir : string option;
+  kb_readonly : bool;
 }
 
 let default =
@@ -23,7 +25,9 @@ let default =
     fresh = false;
     trace = None;
     metrics = false;
-    out = None }
+    out = None;
+    kb_dir = None;
+    kb_readonly = false }
 
 let seed t = match t.seeds with s :: _ -> s | [] -> 1
 
@@ -41,13 +45,17 @@ let validate t =
   else if t.deadline_ms < 0 then Error "deadline must be non-negative"
   else if (match t.domains with Some d -> d < 1 | None -> false) then
     Error "domain count must be at least 1"
+  else if t.kb_readonly && t.kb_dir = None then
+    Error "--kb-readonly requires --kb-dir DIR"
   else Ok t
 
 let pipeline_config ?(base = Rustbrain.Pipeline.default_config) t =
   { base with
     Rustbrain.Pipeline.fault_rate = t.fault_rate;
     max_retries = t.retries;
-    deadline = deadline t }
+    deadline = deadline t;
+    kb_dir = t.kb_dir;
+    kb_readonly = t.kb_readonly }
 
 (* The fault model targets the pipeline under study; baselines keep their
    raw oracle clients, so resilience flags on a baseline are a user error,
@@ -65,6 +73,8 @@ let runner t ~backend =
       Error
         "--fault-rate/--retries/--deadline-ms only apply to the rustbrain \
          backend"
+    | Some _ when t.kb_dir <> None ->
+      Error "--kb-dir only applies to the rustbrain backend"
     | Some r -> Ok r
 
 (* Decide what to do with the journal directory, if any: [Ok None] = run

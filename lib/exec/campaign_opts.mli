@@ -23,6 +23,12 @@ type t = {
   trace : string option;  (** JSONL trace output file *)
   metrics : bool;         (** print the metrics registry after the run *)
   out : string option;    (** report file (JSONL/CSV), written atomically *)
+  kb_dir : string option;
+      (** persistent knowledge-base store directory ({!Knowledge.Segment});
+          local plumbing like [journal]/[out] — it never travels on the
+          client wire (the server chooses its own store), only
+          server-to-worker. *)
+  kb_readonly : bool;     (** open [kb_dir] snapshot-only, no writer lock *)
 }
 
 val default : t

@@ -5,6 +5,46 @@ let hash_dim = 48
 let cat_dim = List.length Miri.Diag.all_kinds
 let dim = hash_dim + cat_dim
 
+(* Bumped whenever the featurization changes shape or semantics: persisted
+   vectors are stamped with (version, dim) and a store refuses — by
+   quarantining, not crashing — entries whose stamp disagrees with the
+   code that is loading them. *)
+let version = 1
+
+(* Total category -> one-hot-index map. The category block is addressed by
+   position, so this must agree exactly with [Miri.Diag.all_kinds]; the
+   startup check below turns a drifted enumeration into an immediate
+   failure instead of silently aliasing a category onto another's slot
+   (the old list-scan fallback mapped unknown categories to index 0 —
+   i.e. onto [Stack_borrow]). *)
+let category_index : Miri.Diag.ub_kind -> int = function
+  | Miri.Diag.Stack_borrow -> 0
+  | Miri.Diag.Unaligned_pointer -> 1
+  | Miri.Diag.Validity -> 2
+  | Miri.Diag.Alloc -> 3
+  | Miri.Diag.Func_pointer -> 4
+  | Miri.Diag.Provenance -> 5
+  | Miri.Diag.Panic_bug -> 6
+  | Miri.Diag.Func_call -> 7
+  | Miri.Diag.Dangling_pointer -> 8
+  | Miri.Diag.Both_borrow -> 9
+  | Miri.Diag.Concurrency -> 10
+  | Miri.Diag.Data_race -> 11
+
+let () =
+  (* assert-checked against the canonical enumeration: every kind maps to
+     its position in [all_kinds], with no gaps and no aliasing *)
+  assert (List.length Miri.Diag.all_kinds = cat_dim);
+  List.iteri
+    (fun i k ->
+      if category_index k <> i then
+        failwith
+          (Printf.sprintf
+             "Featvec.category_index: %S maps to %d but sits at %d in \
+              Miri.Diag.all_kinds"
+             (Miri.Diag.kind_name k) (category_index k) i))
+    Miri.Diag.all_kinds
+
 (* stable string hash (FNV-1a) so vectors do not depend on OCaml's runtime *)
 let fnv1a s =
   let h = ref 0x811c9dc5 in
@@ -110,13 +150,7 @@ let of_sketch (sk : Prune.sketch) (kind : Miri.Diag.ub_kind option) =
       vec.(i) <- vec.(i) /. hash_norm
     done;
   (match kind with
-  | Some k ->
-    let rec index_of i = function
-      | [] -> 0
-      | k' :: rest -> if k' = k then i else index_of (i + 1) rest
-    in
-    let idx = index_of 0 Miri.Diag.all_kinds in
-    vec.(hash_dim + idx) <- 2.0  (* strong category signal *)
+  | Some k -> vec.(hash_dim + category_index k) <- 2.0  (* strong category signal *)
   | None -> ());
   normalize vec
 
@@ -125,8 +159,17 @@ let of_program program diags =
   let kind = match diags with [] -> None | d :: _ -> Some d.Miri.Diag.kind in
   of_sketch sk kind
 
+(* Cosine is only defined between vectors of one featurization; silently
+   truncating to the shorter length made a 48-dim vector score against the
+   hashed block of a 60-dim one and look plausible. Mismatched dimensions
+   are a caller bug (the store quarantines persisted entries before they
+   get here), so refuse loudly. *)
 let cosine a b =
-  let n = min (Array.length a) (Array.length b) in
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf "Featvec.cosine: dimension mismatch (%d vs %d)" n
+         (Array.length b));
   let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
   for i = 0 to n - 1 do
     dot := !dot +. (a.(i) *. b.(i));

@@ -7,6 +7,22 @@
 
 val dim : int
 
+val hash_dim : int
+(** Width of the hashed structural block; components [hash_dim, dim) are
+    the UB-category one-hot block. *)
+
+val version : int
+(** Featurization version. Persisted vectors are stamped with
+    [(version, dim)]; a store quarantines entries whose stamp disagrees
+    with the loading code, so vectors never silently cross featurization
+    changes. *)
+
+val category_index : Miri.Diag.ub_kind -> int
+(** Total map from category to its one-hot slot in the category block —
+    position [hash_dim + category_index k]. Checked at module
+    initialization against [Miri.Diag.all_kinds]: a drifted enumeration
+    fails fast instead of aliasing categories. *)
+
 val of_sketch : Prune.sketch -> Miri.Diag.ub_kind option -> float array
 (** L2-normalized feature vector. *)
 
@@ -14,4 +30,6 @@ val of_program : Minirust.Ast.program -> Miri.Diag.t list -> float array
 (** Convenience: prune then vectorize, tagging with the first diag's kind. *)
 
 val cosine : float array -> float array -> float
-(** In [-1, 1]; 1.0 for identical directions. Zero vectors give 0. *)
+(** In [-1, 1]; 1.0 for identical directions. Zero vectors give 0.
+    @raise Invalid_argument on mismatched dimensions — comparing vectors
+    of different featurizations is a bug, not a low similarity. *)

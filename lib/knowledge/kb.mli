@@ -6,7 +6,18 @@
     (raising prompt quality) and a perceived-quality bias toward the
     recommended fix class. Querying and learning both charge simulated time,
     which reproduces the paper's observation that the KB costs 2-4x overhead
-    (Fig. 7, Table I's "knowledge" column). *)
+    (Fig. 7, Table I's "knowledge" column).
+
+    A knowledge base is either {e in-memory} ({!create}: private to the
+    session, seeded by {!seed_default}) or {e persistent} ({!open_dir}: a
+    {!Segment} store on disk, shared across campaigns and serve tenants).
+    A persistent KB is {e frozen at open}: queries see the snapshot loaded
+    from disk for the whole session — so seeded campaigns stay
+    deterministic however many learns happen meanwhile — while {!learn}
+    appends durably for {e future} sessions to retrieve. The handle itself
+    stays Marshal-safe (sessions are snapshotted with [Marshal]): file
+    descriptors and locks live in a process-global registry keyed by the
+    store directory, never inside [t]. *)
 
 type entry = {
   category : Miri.Diag.ub_kind;
@@ -17,23 +28,67 @@ type entry = {
 type t
 
 val create : ?query_cost:float -> clock:Rb_util.Simclock.t -> unit -> t
-(** [query_cost] is seconds charged per lookup (default 3.0, plus a
-    per-entry scan cost) — the paper's Fig. 7 observes that the knowledge
-    base buys accuracy at 2-4x overhead growing with its size. *)
+(** An in-memory KB. [query_cost] is seconds charged per lookup (default
+    3.0, plus a per-row scan cost) — the paper's Fig. 7 observes that the
+    knowledge base buys accuracy at 2-4x overhead growing with its size. *)
+
+val open_dir :
+  ?query_cost:float ->
+  ?readonly:bool ->
+  dir:string ->
+  clock:Rb_util.Simclock.t ->
+  unit ->
+  (t, string) result
+(** Open the persistent KB at [dir]. A missing or empty store is created
+    and seeded with the {!seed_default} entries when writable ([readonly]
+    defaults to [false]); read-only opens never write, skip the scrub, and
+    fail if the directory does not exist. Entries whose vectors disagree
+    with this build's {!Featvec} stamp are quarantined by the segment
+    store, not loaded and not a crash. *)
 
 val seed_default : t -> unit
-(** Install the built-in per-category expertise entries. *)
+(** Install the built-in per-category expertise entries (in-memory KBs;
+    persistent stores are seeded once at creation by {!open_dir}). *)
 
 val learn : t -> float array -> entry -> unit
-(** Add an entry under a sketch vector (used by S3 self-learning). *)
+(** Add an entry under a sketch vector (used by S3 self-learning).
+    In-memory KBs retrieve it immediately; persistent KBs append it
+    durably for future sessions (the open snapshot is frozen) and drop it
+    silently when read-only. *)
 
 val size : t -> int
+(** Entries visible to {!query} (the frozen snapshot, for persistent). *)
+
+val quarantined : t -> int
+(** Entries refused for a dimension/version mismatch. *)
+
+val persistent_dir : t -> string option
+(** The backing store directory, when {!open_dir} made this KB. *)
+
+val max_hits : int
+(** Queries return at most this many hits (8). *)
 
 val query : t -> float array -> (float * entry) list
-(** Top matches (similarity > 0.35), best first. Charges simulated time. *)
+(** The best [max_hits] matches above similarity 0.35, best first; equal
+    scores tie-break toward the earlier entry. Charges simulated time
+    proportional to the rows actually scored — a bucketed index over a
+    large store prunes most rows, so the cost grows sublinearly where the
+    historical full scan grew linearly. *)
 
 val hints_text : (float * entry) list -> string
 (** Render hits as a prompt section. *)
 
 val kind_bias : (float * entry) list -> (string * float) list
-(** Perceived-quality bias per fix-class, derived from hit similarity. *)
+(** Perceived-quality bias per fix-class, derived from hit similarity.
+    The list is canonically ordered (declaration order of
+    {!Repairs.Rule.fix_kind}, zero-contribution classes dropped), so the
+    bias a downstream agent folds over never depends on which hit happened
+    to arrive last. *)
+
+(** {2 Entry codec}
+
+    The JSON payload stored per segment record; exposed for the [kb-*]
+    CLI tools and tests. *)
+
+val entry_to_json : entry -> Rb_util.Json.t
+val entry_of_json : Rb_util.Json.t -> entry option

@@ -1,17 +1,94 @@
-type 'a t = { mutable entries : (float array * 'a) list }
+(* Generic in-memory vector store: Knn holds the packed vectors, this
+   module pairs rows with payloads and enforces the dimension discipline.
+   Ids are Knn row numbers — dense, monotonic, insertion-ordered — which
+   is exactly the tie-break order every query uses. *)
 
-let create () = { entries = [] }
+type 'a t = {
+  mutable knn : Knn.t option;  (* created on first add (or ?dim) *)
+  mutable payloads : 'a array; (* row -> payload; length >= size *)
+  mutable n : int;
+  mutable quarantined : int;
+  mutable scanned_last : int;
+}
 
-let add t vec payload = t.entries <- (vec, payload) :: t.entries
+let create ?dim () =
+  { knn = Option.map (fun d -> Knn.create ~dim:d) dim;
+    payloads = [||]; n = 0; quarantined = 0; scanned_last = 0 }
 
-let size t = List.length t.entries
+let size t = t.n
+let quarantined t = t.quarantined
+let dim t = Option.map Knn.dim t.knn
+let scanned_last t = t.scanned_last
 
-let ranked t vec =
-  t.entries
-  |> List.map (fun (v, payload) -> (Featvec.cosine vec v, payload))
-  |> List.sort (fun (a, _) (b, _) -> compare b a)
+let add t vec payload =
+  let knn =
+    match t.knn with
+    | Some k -> k
+    | None ->
+      let k = Knn.create ~dim:(max 1 (Array.length vec)) in
+      t.knn <- Some k;
+      k
+  in
+  if Array.length vec <> Knn.dim knn then
+    (* dimension drift is data rot, not a crash: refuse and count *)
+    t.quarantined <- t.quarantined + 1
+  else begin
+    if t.n >= Array.length t.payloads then begin
+      let cap = max 16 (2 * max 1 (Array.length t.payloads)) in
+      let payloads = Array.make cap payload in
+      Array.blit t.payloads 0 payloads 0 t.n;
+      t.payloads <- payloads
+    end;
+    let row = Knn.add knn vec in
+    t.payloads.(row) <- payload;
+    t.n <- row + 1
+  end
 
-let query t vec ~k = List.filteri (fun i _ -> i < k) (ranked t vec)
+let entries t =
+  match t.knn with
+  | None -> []
+  | Some knn -> List.init t.n (fun i -> (i, Knn.get knn i, t.payloads.(i)))
+
+let query_ids ?domains t vec ~k =
+  match t.knn with
+  | None ->
+    t.scanned_last <- 0;
+    []
+  | Some knn ->
+    if Array.length vec <> Knn.dim knn then begin
+      t.scanned_last <- 0;
+      []
+    end
+    else begin
+      let r = Knn.search ?domains knn vec ~k in
+      t.scanned_last <- r.Knn.scanned;
+      List.map (fun (s, row) -> (s, row, t.payloads.(row))) r.Knn.hits
+    end
+
+let query ?domains t vec ~k =
+  List.map (fun (s, _, p) -> (s, p)) (query_ids ?domains t vec ~k)
 
 let query_above t vec ~threshold =
-  List.filter (fun (s, _) -> s > threshold) (ranked t vec)
+  match t.knn with
+  | None ->
+    t.scanned_last <- 0;
+    []
+  | Some knn ->
+    if Array.length vec <> Knn.dim knn then begin
+      t.scanned_last <- 0;
+      []
+    end
+    else begin
+      let sc = Knn.scores knn vec in
+      t.scanned_last <- t.n;
+      let hits = ref [] in
+      (* rows descending so the accumulated list comes out id-ascending,
+         ready for the stable by-score sort *)
+      for row = t.n - 1 downto 0 do
+        let s = Float.Array.get sc row in
+        if s > threshold then hits := (s, row) :: !hits
+      done;
+      !hits
+      |> List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a)
+      |> List.map (fun (s, row) -> (s, t.payloads.(row)))
+    end

@@ -1,15 +1,54 @@
-(** A small in-memory vector store with cosine-similarity retrieval. *)
+(** An in-memory vector store with cosine-similarity retrieval.
+
+    Entries get dense monotonic ids in insertion order, and every query
+    ranks by (similarity descending, id ascending) — so equal-score hits
+    surface in insertion order, pinned by test, instead of whatever order
+    an internal list happened to accumulate. Retrieval runs on {!Knn}
+    (flat-array exact scan, optionally domain-parallel; bucketed index on
+    large stores), whose results are bit-compatible with the historical
+    per-entry {!Featvec.cosine} scan.
+
+    The store's dimension is fixed by the first vector added (or by
+    [?dim]); a vector of any other dimension is {e quarantined} — counted
+    and dropped, never silently truncated and never a crash — which is
+    what keeps a store coherent once vectors persist across featurization
+    versions. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?dim:int -> unit -> 'a t
+(** [dim] fixes the dimension up front; otherwise the first {!add} does. *)
 
 val add : 'a t -> float array -> 'a -> unit
+(** Append under the next id. A vector whose dimension disagrees with the
+    store's is quarantined (see {!quarantined}) and the store is
+    unchanged. *)
 
 val size : 'a t -> int
 
-val query : 'a t -> float array -> k:int -> (float * 'a) list
-(** Top-[k] entries by cosine similarity, best first. *)
+val quarantined : 'a t -> int
+(** Entries refused for dimension mismatch since [create]. *)
+
+val dim : 'a t -> int option
+(** [None] until the first successful {!add} (or [?dim]). *)
+
+val entries : 'a t -> (int * float array * 'a) list
+(** All live entries as [(id, vector, payload)], id ascending. *)
+
+val query : ?domains:int -> 'a t -> float array -> k:int -> (float * 'a) list
+(** Top-[k] entries by cosine similarity, best first; ties break toward
+    the earlier insertion. [domains] parallelizes the exact scan (results
+    byte-identical to sequential). *)
+
+val query_ids : ?domains:int -> 'a t -> float array -> k:int -> (float * int * 'a) list
+(** {!query} with each hit's id. *)
 
 val query_above : 'a t -> float array -> threshold:float -> (float * 'a) list
-(** All entries whose similarity exceeds [threshold], best first. *)
+(** All entries whose similarity exceeds [threshold], best first, ties
+    insertion-stable. Always a full scan: a threshold admits arbitrarily
+    many hits, so there is nothing for an index to prune. *)
+
+val scanned_last : 'a t -> int
+(** Rows the most recent query actually scored — [size] for an exact
+    scan, fewer when the bucketed index pruned. Feeds the knowledge
+    base's size-dependent simulated-cost model. *)

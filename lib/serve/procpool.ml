@@ -25,6 +25,12 @@ type job_spec = {
   results_path : string;
   domains : int option;
   poison : (string * Jobrun.poison_mode) list;
+  (* the persistent-KB fields are deliberately NOT part of the client-facing
+     Campaign_opts wire codec (a remote client must not point the server at
+     files); the server chooses them per tenant and they ride this
+     server-to-worker frame only *)
+  kb_dir : string option;
+  kb_readonly : bool;
 }
 
 type to_worker =
@@ -61,6 +67,11 @@ let to_worker_string = function
                 ("journal_dir", Str j.journal_dir);
                 ("results_path", Str j.results_path) ];
               (match j.domains with None -> [] | Some d -> [ ("domains", num d) ]);
+              (match j.kb_dir with
+              | None -> []
+              | Some d ->
+                ("kb_dir", Str d)
+                :: (if j.kb_readonly then [ ("kb_readonly", Bool true) ] else []));
               (match j.poison with
               | [] -> []
               | ps ->
@@ -113,7 +124,14 @@ let to_worker_of_string s =
           fields
       | _ -> []
     in
-    Ok (Job { id; backend; cases; opts; journal_dir; results_path; domains; poison })
+    let kb_dir = Option.bind (member "kb_dir" json) to_str in
+    let kb_readonly =
+      Option.value ~default:false (Option.bind (member "kb_readonly" json) to_bool)
+    in
+    Ok
+      (Job
+         { id; backend; cases; opts; journal_dir; results_path; domains; poison;
+           kb_dir; kb_readonly })
   | Some t -> Error (Printf.sprintf "unknown worker frame type %S" t)
   | None -> Error "worker frame: missing \"type\""
 
@@ -339,7 +357,10 @@ let worker_main () =
   let result =
     try
       Jobrun.execute ~backend:spec.backend ~case_names:spec.cases
-        ~opts:spec.opts
+        ~opts:
+          { spec.opts with
+            Exec.Campaign_opts.kb_dir = spec.kb_dir;
+            kb_readonly = spec.kb_readonly }
         ~label:(Printf.sprintf "serve/job-%06d" spec.id)
         ~journal_dir:spec.journal_dir ~domains:spec.domains ~before:boundary
         ~cancel:(fun () -> !cancelled)

@@ -28,6 +28,10 @@ type job_spec = {
   results_path : string;
   domains : int option;
   poison : (string * Jobrun.poison_mode) list;
+  kb_dir : string option;
+      (** per-tenant persistent KB store; server-chosen (never taken off the
+          client wire) and carried on this server→worker frame only *)
+  kb_readonly : bool;
 }
 
 type to_worker = Job of job_spec | Cancel

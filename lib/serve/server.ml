@@ -31,6 +31,8 @@ type config = {
   worker_argv : string array option;
   worker_mem_mb : int;
   rng_seed : int;
+  kb_dir : string option;
+  kb_readonly : bool;
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }
@@ -55,6 +57,8 @@ let default_config =
     worker_argv = None;
     worker_mem_mb = 0;
     rng_seed = 0x5eed;
+    kb_dir = None;
+    kb_readonly = true;
     trace = None;
     metrics = None }
 
@@ -107,6 +111,18 @@ let slot_aborted s = s.abort_at > 0.0
    the same code a worker process runs, which is what keeps the two modes
    byte-identical. Durable results are written here (before the loop marks
    the job done); the event loop only does bookkeeping. *)
+(* Per-tenant slice of the shared knowledge store. Tenants never see each
+   other's learned entries, and a read-only server skips a tenant whose
+   slice does not exist yet (the job just runs KB-less) instead of failing
+   the job on a store it is forbidden to create. *)
+let tenant_kb (cfg : config) ~tenant =
+  match cfg.kb_dir with
+  | None -> (None, cfg.kb_readonly)
+  | Some root ->
+    let dir = Filename.concat root tenant in
+    if cfg.kb_readonly && not (Sys.file_exists dir) then (None, cfg.kb_readonly)
+    else (Some dir, cfg.kb_readonly)
+
 let start_job (cfg : config) store (sub : Store.submission) =
   let stream = Queue.create () in
   let stream_mx = Mutex.create () in
@@ -133,9 +149,13 @@ let start_job (cfg : config) store (sub : Store.submission) =
     Domain.spawn (fun () ->
         let result =
           try
+            let kb_dir, kb_readonly = tenant_kb cfg ~tenant:sub.Store.tenant in
             match
               Jobrun.execute ~backend:sub.Store.backend
-                ~case_names:sub.Store.cases ~opts:sub.Store.opts
+                ~case_names:sub.Store.cases
+                ~opts:
+                  { sub.Store.opts with
+                    Exec.Campaign_opts.kb_dir; kb_readonly }
                 ~label:(Printf.sprintf "serve/job-%06d" sub.Store.id)
                 ~journal_dir:(Store.journal_dir store sub.Store.id)
                 ~domains:
@@ -1021,6 +1041,9 @@ let dispatch t =
               (* durable before the dispatch: if this attempt dies with
                  its worker, the next requeue still counts it *)
               Store.begin_attempt t.store sub.Store.id;
+              let kb_dir, kb_readonly =
+                tenant_kb t.cfg ~tenant:sub.Store.tenant
+              in
               let spec =
                 { Procpool.id = sub.Store.id;
                   backend = sub.Store.backend;
@@ -1032,7 +1055,8 @@ let dispatch t =
                     (match sub.Store.opts.Exec.Campaign_opts.domains with
                     | Some _ as d -> d
                     | None -> t.cfg.domains_per_job);
-                  poison = t.cfg.poison }
+                  poison = t.cfg.poison;
+                  kb_dir; kb_readonly }
               in
               if Procpool.send w (Procpool.Job spec) then begin
                 let now = Unix.gettimeofday () in

@@ -91,6 +91,15 @@ type config = {
           with a hidden subcommand); [None] = in-process runner domains *)
   worker_mem_mb : int;       (** RLIMIT_AS cap per worker, MiB; 0 = none *)
   rng_seed : int;            (** seeds respawn-backoff jitter *)
+  kb_dir : string option;
+      (** root of the shared persistent knowledge store; each tenant gets
+          the [<kb_dir>/<tenant>] slice, so tenants never retrieve each
+          other's learned entries. [None] = jobs keep in-memory KBs. *)
+  kb_readonly : bool;
+      (** open tenant slices snapshot-only (default [true]): concurrent
+          worker processes cannot share the single-writer lock, and a
+          missing slice just runs the job KB-less. Set [false] only on a
+          single-runner server that should accumulate learned entries. *)
   trace : Obs.Trace.t option;
   metrics : Obs.Metrics.registry option;
 }

@@ -127,6 +127,304 @@ let test_kb_learning_grows () =
     { Knowledge.Kb.category = Miri.Diag.Alloc; advice = "learned"; recommended = Repairs.Rule.Modify };
   Alcotest.(check int) "size grew" 1 (Knowledge.Kb.size kb)
 
+(* -- correctness sweep: dimensions, ties, bias order -------------------- *)
+
+let test_cosine_mismatch_raises () =
+  match Knowledge.Featvec.cosine [| 1.0; 0.0 |] [| 1.0; 0.0; 0.0 |] with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "mismatched dims produced %f instead of raising" s
+
+let test_category_index_total () =
+  (* every kind maps to a distinct slot covering 0..n-1: no category can
+     alias onto another (the old fallback collapsed unknowns onto slot 0) *)
+  let idxs = List.map Knowledge.Featvec.category_index Miri.Diag.all_kinds in
+  let n = List.length Miri.Diag.all_kinds in
+  Alcotest.(check (list int)) "distinct dense slots" (List.init n Fun.id)
+    (List.sort_uniq compare idxs)
+
+let test_store_quarantines_mismatch () =
+  let store = Knowledge.Store.create ~dim:4 () in
+  Knowledge.Store.add store [| 1.0; 0.0; 0.0 |] "bad";
+  Alcotest.(check int) "store unchanged" 0 (Knowledge.Store.size store);
+  Alcotest.(check int) "quarantined" 1 (Knowledge.Store.quarantined store);
+  Knowledge.Store.add store [| 1.0; 0.0; 0.0; 0.0 |] "good";
+  Alcotest.(check int) "good vector accepted" 1 (Knowledge.Store.size store)
+
+let test_store_tie_insertion_order () =
+  (* equal scores surface in insertion order — pinned, not accidental *)
+  let store = Knowledge.Store.create () in
+  let v = [| 0.6; 0.8 |] in
+  List.iter (fun i -> Knowledge.Store.add store v i) [ 0; 1; 2 ];
+  let ids = List.map (fun (_, id, _) -> id) (Knowledge.Store.query_ids store v ~k:3) in
+  Alcotest.(check (list int)) "ties break toward earlier insertion" [ 0; 1; 2 ] ids;
+  let above = List.map snd (Knowledge.Store.query_above store v ~threshold:0.5) in
+  Alcotest.(check (list int)) "query_above is insertion-stable too" [ 0; 1; 2 ] above
+
+let test_kind_bias_canonical_order () =
+  let e k = { Knowledge.Kb.category = Miri.Diag.Alloc; advice = "a"; recommended = k } in
+  (* hits arrive retrieval-ordered with Modify first; the bias list must
+     still come out in fix-kind declaration order with summed weights *)
+  let hits =
+    [ (0.5, e Repairs.Rule.Modify); (0.25, e Repairs.Rule.Replace);
+      (0.25, e Repairs.Rule.Modify) ]
+  in
+  let bias = Knowledge.Kb.kind_bias hits in
+  let name = Repairs.Rule.fix_kind_name in
+  Alcotest.(check (list string)) "declaration order, absent kinds dropped"
+    [ name Repairs.Rule.Replace; name Repairs.Rule.Modify ]
+    (List.map fst bias);
+  (match List.assoc_opt (name Repairs.Rule.Modify) bias with
+  | Some w -> Alcotest.(check (float 1e-9)) "weights sum over hits" (0.08 *. 0.75) w
+  | None -> Alcotest.fail "modify bias missing")
+
+(* -- segment store ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_dir f =
+  let dir = Filename.temp_file "rb-test-kb" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+let write_file p s = Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let copy_store src dst =
+  Rb_util.Fsfile.mkdir_p dst;
+  Array.iter
+    (fun n ->
+      let s = Filename.concat src n in
+      if not (Sys.is_directory s) then write_file (Filename.concat dst n) (read_file s))
+    (Sys.readdir src)
+
+let payload i = Rb_util.Json.Obj [ ("i", Rb_util.Json.Num (float_of_int i)) ]
+
+let seg_ids (r : Knowledge.Segment.load_report) =
+  List.map (fun (rc : Knowledge.Segment.record) -> rc.Knowledge.Segment.id) r.Knowledge.Segment.records
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let test_segment_roundtrip_bits () =
+  with_store_dir (fun dir ->
+      (* floats with no short decimal form must survive the JSON round-trip
+         bit-for-bit — retrieval scores depend on exact vector bytes *)
+      let vecs =
+        [ [| 0.1; 1.0 /. 3.0; 4.0 *. atan 1.0; 1e-300 |];
+          [| -0.0; 1e300; 0.30000000000000004; 2.2250738585072014e-308 |] ]
+      in
+      let w, _ = ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~dir ()) in
+      List.iteri (fun i v -> ignore (ok (Knowledge.Segment.append w ~vec:v ~payload:(payload i)))) vecs;
+      Knowledge.Segment.close w;
+      let r = ok (Knowledge.Segment.load ~expect:(4, 1) dir) in
+      let loaded = List.map (fun (rc : Knowledge.Segment.record) -> rc.Knowledge.Segment.vec) r.Knowledge.Segment.records in
+      Alcotest.(check bool) "vectors bit-identical after reload" true (loaded = vecs))
+
+let test_segment_torn_tail_heals () =
+  with_store_dir (fun dir ->
+      let w, _ = ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~dir ()) in
+      let vec i = [| float_of_int i; 0.5; 0.25; 1.0 |] in
+      ignore (ok (Knowledge.Segment.append w ~vec:(vec 0) ~payload:(payload 0)));
+      ignore (ok (Knowledge.Segment.append w ~vec:(vec 1) ~payload:(payload 1)));
+      let tail = Filename.concat dir "tail.log" in
+      let two = (Unix.stat tail).Unix.st_size in
+      ignore (ok (Knowledge.Segment.append w ~vec:(vec 2) ~payload:(payload 2)));
+      let three = (Unix.stat tail).Unix.st_size in
+      (* cut the last frame at every possible byte boundary: each prefix must
+         load as exactly the first two records *)
+      with_store_dir (fun cut_dir ->
+          for cut = 1 to three - two do
+            rm_rf cut_dir;
+            copy_store dir cut_dir;
+            Unix.truncate (Filename.concat cut_dir "tail.log") (three - cut);
+            let r = ok (Knowledge.Segment.load ~expect:(4, 1) cut_dir) in
+            if seg_ids r <> [ 0; 1 ] then
+              Alcotest.failf "cut of %d byte(s): survivors %s" cut
+                (String.concat "," (List.map string_of_int (seg_ids r)));
+            if cut < three - two && r.Knowledge.Segment.healed_tail_bytes <= 0 then
+              Alcotest.failf "cut of %d byte(s): no healed bytes reported" cut
+          done);
+      Knowledge.Segment.close w)
+
+let test_segment_append_quarantines_dim () =
+  with_store_dir (fun dir ->
+      let w, _ = ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~dir ()) in
+      ignore (ok (Knowledge.Segment.append w ~vec:[| 1.0; 0.0; 0.0; 0.0 |] ~payload:(payload 0)));
+      (match Knowledge.Segment.append w ~vec:[| 1.0; 0.0 |] ~payload:(payload 1) with
+      | Ok _ -> Alcotest.fail "mismatched vector was accepted"
+      | Error _ -> ());
+      Alcotest.(check int) "store unchanged" 1 (List.length (Knowledge.Segment.records w));
+      let qfile = Filename.concat (Filename.concat dir "quarantined") "records.jsonl" in
+      Alcotest.(check bool) "quarantine preserves the bytes" true
+        (Sys.file_exists qfile && String.length (read_file qfile) > 0);
+      Knowledge.Segment.close w)
+
+let test_segment_corrupt_segment_quarantined () =
+  with_store_dir (fun dir ->
+      let w, _ =
+        ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~seal_every:2 ~dir ())
+      in
+      for i = 0 to 3 do
+        ignore (ok (Knowledge.Segment.append w ~vec:[| float_of_int i; 0.0; 0.0; 1.0 |] ~payload:(payload i)))
+      done;
+      Knowledge.Segment.close w;
+      let seg =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> Filename.check_suffix n ".seg")
+        |> List.sort compare |> List.hd
+      in
+      let path = Filename.concat dir seg in
+      let bytes = Bytes.of_string (read_file path) in
+      Bytes.set bytes (Bytes.length bytes / 2) '#';
+      write_file path (Bytes.to_string bytes);
+      let r = ok (Knowledge.Segment.load ~expect:(4, 1) dir) in
+      Alcotest.(check int) "one segment is corrupt" 1 r.Knowledge.Segment.corrupt_segments;
+      Alcotest.(check (list int)) "the other segment's records survive" [ 2; 3 ] (seg_ids r);
+      let fixed = ok (Knowledge.Segment.fsck ~fix:true ~expect:(4, 1) dir) in
+      Alcotest.(check (list int)) "fsck keeps the survivors" [ 2; 3 ] (seg_ids fixed);
+      let again = ok (Knowledge.Segment.load ~expect:(4, 1) dir) in
+      Alcotest.(check int) "after fsck the store is clean" 0 again.Knowledge.Segment.corrupt_segments;
+      Alcotest.(check bool) "corrupt bytes preserved in quarantine" true
+        (Sys.file_exists (Filename.concat (Filename.concat dir "quarantined") "corrupt")))
+
+let test_segment_duplicate_ids_first_wins () =
+  with_store_dir (fun dir ->
+      (* the compaction-crash window: merged segment written, an input not
+         yet deleted — the same ids appear twice and dedupe keeps the first *)
+      let w, _ =
+        ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~seal_every:2 ~dir ())
+      in
+      for i = 0 to 3 do
+        ignore (ok (Knowledge.Segment.append w ~vec:[| float_of_int i; 0.0; 0.0; 1.0 |] ~payload:(payload i)))
+      done;
+      let before = Knowledge.Segment.records w in
+      Knowledge.Segment.close w;
+      let seg =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> Filename.check_suffix n ".seg")
+        |> List.sort compare |> List.hd
+      in
+      write_file (Filename.concat dir "seg-00009999.seg") (read_file (Filename.concat dir seg));
+      let r = ok (Knowledge.Segment.load ~expect:(4, 1) dir) in
+      Alcotest.(check bool) "first record wins, set unchanged" true
+        (r.Knowledge.Segment.records = before);
+      Alcotest.(check bool) "duplicates counted" true (r.Knowledge.Segment.duplicates > 0))
+
+let test_segment_compaction_equivalent () =
+  with_store_dir (fun dir ->
+      let w, _ =
+        ok (Knowledge.Segment.open_writer ~expect:(4, 1) ~seal_every:3 ~compact_at:100 ~dir ())
+      in
+      for i = 0 to 16 do
+        ignore (ok (Knowledge.Segment.append w ~vec:[| float_of_int i; 0.1; 0.2; 1.0 |] ~payload:(payload i)))
+      done;
+      let before = Knowledge.Segment.records w in
+      Knowledge.Segment.compact w;
+      Knowledge.Segment.close w;
+      let r = ok (Knowledge.Segment.load ~expect:(4, 1) dir) in
+      Alcotest.(check bool) "load-equivalent after compaction" true
+        (r.Knowledge.Segment.records = before);
+      Alcotest.(check int) "a single merged segment remains" 1 r.Knowledge.Segment.segments)
+
+let test_kb_snapshot_frozen_in_process () =
+  with_store_dir (fun dir ->
+      let clock = Rb_util.Simclock.create () in
+      let kb = ok (Knowledge.Kb.open_dir ~dir ~clock ()) in
+      let seeds = Knowledge.Kb.size kb in
+      Alcotest.(check bool) "persistent store self-seeds" true (seeds > 0);
+      let vec = Knowledge.Featvec.of_program program_with_noise [] in
+      Knowledge.Kb.learn kb vec
+        { Knowledge.Kb.category = Miri.Diag.Alloc; advice = "learned"; recommended = Repairs.Rule.Modify };
+      Alcotest.(check int) "snapshot frozen: learn goes to disk only" seeds
+        (Knowledge.Kb.size kb);
+      let again = ok (Knowledge.Kb.open_dir ~dir ~clock ()) in
+      Alcotest.(check int) "same-process reopen sees the frozen snapshot" seeds
+        (Knowledge.Kb.size again);
+      let on_disk = ok (Knowledge.Segment.load dir) in
+      Alcotest.(check int) "the learned entry is durable for the next process"
+        (seeds + 1)
+        (List.length on_disk.Knowledge.Segment.records);
+      (* a read-only handle drops learns entirely *)
+      let ro = ok (Knowledge.Kb.open_dir ~readonly:true ~dir ~clock ()) in
+      Knowledge.Kb.learn ro vec
+        { Knowledge.Kb.category = Miri.Diag.Alloc; advice = "dropped"; recommended = Repairs.Rule.Modify };
+      let after = ok (Knowledge.Segment.load dir) in
+      Alcotest.(check int) "read-only learn leaves the disk untouched"
+        (seeds + 1)
+        (List.length after.Knowledge.Segment.records))
+
+(* -- knn: exact == indexed, parallel == sequential ---------------------- *)
+
+let knn_of_vecs dim vecs =
+  let t = Knowledge.Knn.create ~dim in
+  List.iter (fun v -> ignore (Knowledge.Knn.add t v)) vecs;
+  t
+
+let prop_exact_equals_indexed =
+  QCheck.Test.make ~name:"knn: indexed hits = exact hits" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (array_of_size (Gen.return 6) (float_range (-1.0) 1.0)))
+        (array_of_size (Gen.return 6) (float_range (-1.0) 1.0)))
+    (fun (vecs, q) ->
+      QCheck.assume (vecs <> []);
+      let t = knn_of_vecs 6 vecs in
+      let ex = Knowledge.Knn.search_exact t q ~k:5 in
+      let ix = Knowledge.Knn.search_indexed t q ~k:5 in
+      ex.Knowledge.Knn.hits = ix.Knowledge.Knn.hits)
+
+(* Featvec-shaped vectors (dominant one-hot + sparse block) actually drive
+   the pruning path; random dense vectors rarely do *)
+let prop_exact_equals_indexed_featvec =
+  QCheck.Test.make ~name:"knn: indexed = exact on Featvec-shaped data" ~count:60
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, extra) ->
+      let dim = Knowledge.Featvec.dim in
+      let hd = Knowledge.Featvec.hash_dim in
+      let ncat = dim - hd in
+      let rng = Rb_util.Rng.create (seed + extra) in
+      let synth cat =
+        let v = Array.make dim 0.0 in
+        for _ = 1 to 6 do
+          v.(Rb_util.Rng.int rng hd) <- Rb_util.Rng.float rng
+        done;
+        v.(hd + cat) <- 2.0;
+        v
+      in
+      let n = 40 + Rb_util.Rng.int rng 80 in
+      let t = knn_of_vecs dim (List.init n (fun i -> synth (i mod ncat))) in
+      let q = synth (Rb_util.Rng.int rng ncat) in
+      let ex = Knowledge.Knn.search_exact t q ~k:8 in
+      let ix = Knowledge.Knn.search_indexed t q ~k:8 in
+      ex.Knowledge.Knn.hits = ix.Knowledge.Knn.hits)
+
+let test_knn_parallel_bitwise () =
+  (* above the 4096-row cutoff the scan really forks domains; the score
+     array must still be bit-identical to the sequential pass *)
+  let dim = 6 in
+  let rng = Rb_util.Rng.create 0xace in
+  let vecs =
+    List.init 5000 (fun _ -> Array.init dim (fun _ -> (2.0 *. Rb_util.Rng.float rng) -. 1.0))
+  in
+  let t = knn_of_vecs dim vecs in
+  for _ = 1 to 10 do
+    let q = Array.init dim (fun _ -> (2.0 *. Rb_util.Rng.float rng) -. 1.0) in
+    let s1 = Knowledge.Knn.scores ~domains:1 t q in
+    let s3 = Knowledge.Knn.scores ~domains:3 t q in
+    if s1 <> s3 then Alcotest.fail "parallel scores differ from sequential";
+    let e1 = Knowledge.Knn.search_exact ~domains:1 t q ~k:7 in
+    let e3 = Knowledge.Knn.search_exact ~domains:3 t q ~k:7 in
+    if e1.Knowledge.Knn.hits <> e3.Knowledge.Knn.hits then
+      Alcotest.fail "parallel hits differ from sequential"
+  done
+
 let suite =
   [ Alcotest.test_case "prune keeps unsafe" `Quick test_prune_keeps_unsafe;
     Alcotest.test_case "prune drops noise" `Quick test_prune_drops_counted;
@@ -138,4 +436,19 @@ let suite =
     Alcotest.test_case "store top-k" `Quick test_store_topk;
     Alcotest.test_case "store threshold" `Quick test_store_threshold;
     Alcotest.test_case "kb query and cost" `Quick test_kb_query_and_cost;
-    Alcotest.test_case "kb learning grows" `Quick test_kb_learning_grows ]
+    Alcotest.test_case "kb learning grows" `Quick test_kb_learning_grows;
+    Alcotest.test_case "cosine mismatch raises" `Quick test_cosine_mismatch_raises;
+    Alcotest.test_case "category index total and distinct" `Quick test_category_index_total;
+    Alcotest.test_case "store quarantines dim mismatch" `Quick test_store_quarantines_mismatch;
+    Alcotest.test_case "store ties break on insertion order" `Quick test_store_tie_insertion_order;
+    Alcotest.test_case "kind bias canonical order" `Quick test_kind_bias_canonical_order;
+    Alcotest.test_case "segment round-trips float bits" `Quick test_segment_roundtrip_bits;
+    Alcotest.test_case "segment heals torn tail at every cut" `Quick test_segment_torn_tail_heals;
+    Alcotest.test_case "segment quarantines mismatched append" `Quick test_segment_append_quarantines_dim;
+    Alcotest.test_case "segment quarantines corrupt segment" `Quick test_segment_corrupt_segment_quarantined;
+    Alcotest.test_case "segment duplicate ids first-wins" `Quick test_segment_duplicate_ids_first_wins;
+    Alcotest.test_case "segment compaction load-equivalent" `Quick test_segment_compaction_equivalent;
+    Alcotest.test_case "kb snapshot frozen in-process" `Quick test_kb_snapshot_frozen_in_process;
+    QCheck_alcotest.to_alcotest prop_exact_equals_indexed;
+    QCheck_alcotest.to_alcotest prop_exact_equals_indexed_featvec;
+    Alcotest.test_case "knn parallel scan bit-identical" `Quick test_knn_parallel_bitwise ]

@@ -840,7 +840,9 @@ let test_procpool_job_roundtrip () =
       results_path = "/tmp/state/results/job-000007.jsonl";
       domains = Some 3;
       poison =
-        [ ("case-a", Jobrun.Poison_stop); ("case \"b\"", Jobrun.Poison_oom) ] }
+        [ ("case-a", Jobrun.Poison_stop); ("case \"b\"", Jobrun.Poison_oom) ];
+      kb_dir = Some "/tmp/state/kb/tenant-a";
+      kb_readonly = true }
   in
   List.iter
     (fun msg ->
@@ -853,6 +855,8 @@ let test_procpool_job_roundtrip () =
       | Error e -> Alcotest.failf "to-worker rejected: %s" e)
     [ Procpool.Job spec;
       Procpool.Job { spec with domains = None; poison = [] };
+      Procpool.Job { spec with kb_dir = None; kb_readonly = false };
+      Procpool.Job { spec with kb_readonly = false };
       Procpool.Cancel ]
 
 let test_procpool_server_roundtrip () =
